@@ -1,0 +1,456 @@
+//! Frame-level acoustic model: feature standardisation + a small MLP
+//! (one ReLU hidden layer) + softmax.
+//!
+//! The model assigns each stacked feature frame a distribution over the
+//! ARPAbet classes plus the CTC blank. It is trained with mini-batch SGD on
+//! frame labels derived from the synthesizer's sample-exact alignments.
+//!
+//! The hidden layer matters beyond accuracy: a *linear* acoustic model
+//! trained on similar data always converges to nearly the same decision
+//! boundary, so adversarial perturbations would transfer between profiles
+//! almost perfectly — the opposite of what the paper observes for real
+//! DNN-based ASRs. With a nonlinear model, each profile's random
+//! initialisation yields genuinely different hidden-unit boundaries, and a
+//! white-box attack overfits the target's boundaries specifically, which is
+//! precisely the mechanism behind the poor cross-ASR transferability the
+//! detection system exploits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mvp_dsp::mfcc::FeatureMatrix;
+use mvp_phonetics::Phoneme;
+
+/// Per-dimension standardisation fitted on training data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureScaler {
+    mean: Vec<f64>,
+    inv_std: Vec<f64>,
+}
+
+impl FeatureScaler {
+    /// Fits mean/std on `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn fit(rows: &[&[f64]]) -> FeatureScaler {
+        assert!(!rows.is_empty(), "cannot fit scaler on empty data");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; d];
+        for r in rows {
+            for (m, &v) in mean.iter_mut().zip(*r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for r in rows {
+            for ((v, &x), &m) in var.iter_mut().zip(*r).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let inv_std = var.iter().map(|&v| 1.0 / (v / n).sqrt().max(1e-6)).collect();
+        FeatureScaler { mean, inv_std }
+    }
+
+    /// Applies the standardisation.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.inv_std)
+            .map(|((&x, &m), &s)| (x - m) * s)
+            .collect()
+    }
+
+    /// Backward: gradient w.r.t. the unscaled features.
+    pub fn backward(&self, d_scaled: &[f64]) -> Vec<f64> {
+        d_scaled.iter().zip(&self.inv_std).map(|(&g, &s)| g * s).collect()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+/// Training hyper-parameters for [`AcousticModel::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// SGD step size.
+    pub learning_rate: f64,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Shuffling / init seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 10, learning_rate: 0.08, l2: 1e-5, batch: 32, hidden: 64, seed: 1 }
+    }
+}
+
+/// Number of output classes: the full phoneme inventory plus a dedicated
+/// CTC blank.
+///
+/// Silence is a *regular* class (like DeepSpeech's space character), so
+/// attack targets can contain word boundaries; the blank class never occurs
+/// in training labels and exists only so the CTC loss has its usual
+/// topology.
+pub const N_CLASSES: usize = Phoneme::COUNT + 1;
+
+/// The acoustic model: `logits = W2·relu(W1·scale(x) + b1) + b2`.
+#[derive(Debug, Clone)]
+pub struct AcousticModel {
+    /// Row-major `[hidden × dim]`.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// Row-major `[N_CLASSES × hidden]`.
+    w2: Vec<f64>,
+    b2: Vec<f64>,
+    scaler: FeatureScaler,
+    dim: usize,
+    hidden: usize,
+}
+
+impl AcousticModel {
+    /// Trains a model on `features` with per-frame `labels` (phoneme class
+    /// indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data is empty, ragged, or labels are out of range.
+    pub fn train(features: &[Vec<f64>], labels: &[usize], cfg: &TrainConfig) -> AcousticModel {
+        assert_eq!(features.len(), labels.len(), "feature/label count mismatch");
+        assert!(!features.is_empty(), "empty training set");
+        assert!(labels.iter().all(|&l| l < N_CLASSES), "label out of range");
+        assert!(cfg.hidden > 0, "hidden width must be positive");
+        let dim = features[0].len();
+        let h = cfg.hidden;
+        let refs: Vec<&[f64]> = features.iter().map(Vec::as_slice).collect();
+        let scaler = FeatureScaler::fit(&refs);
+        let scaled: Vec<Vec<f64>> = refs.iter().map(|r| scaler.transform(r)).collect();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // He-style initialisation.
+        let s1 = (2.0 / dim as f64).sqrt();
+        let s2 = (2.0 / h as f64).sqrt();
+        let mut w1: Vec<f64> = (0..h * dim).map(|_| rng.gen_range(-s1..s1)).collect();
+        let mut b1 = vec![0.0; h];
+        let mut w2: Vec<f64> = (0..N_CLASSES * h).map(|_| rng.gen_range(-s2..s2)).collect();
+        let mut b2 = vec![0.0; N_CLASSES];
+
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        for _ in 0..cfg.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(cfg.batch) {
+                let mut gw1 = vec![0.0; h * dim];
+                let mut gb1 = vec![0.0; h];
+                let mut gw2 = vec![0.0; N_CLASSES * h];
+                let mut gb2 = vec![0.0; N_CLASSES];
+                for &i in chunk {
+                    let x = &scaled[i];
+                    // Forward.
+                    let mut hid = vec![0.0; h];
+                    for j in 0..h {
+                        let row = &w1[j * dim..(j + 1) * dim];
+                        let pre: f64 =
+                            b1[j] + row.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
+                        hid[j] = pre.max(0.0);
+                    }
+                    let mut logits = vec![0.0; N_CLASSES];
+                    for c in 0..N_CLASSES {
+                        let row = &w2[c * h..(c + 1) * h];
+                        logits[c] =
+                            b2[c] + row.iter().zip(&hid).map(|(w, hv)| w * hv).sum::<f64>();
+                    }
+                    let probs = softmax(&logits);
+                    // Backward.
+                    let mut d_hid = vec![0.0; h];
+                    for c in 0..N_CLASSES {
+                        let err = probs[c] - f64::from(c == labels[i]);
+                        gb2[c] += err;
+                        let row = &mut gw2[c * h..(c + 1) * h];
+                        let w_row = &w2[c * h..(c + 1) * h];
+                        for j in 0..h {
+                            row[j] += err * hid[j];
+                            d_hid[j] += err * w_row[j];
+                        }
+                    }
+                    for j in 0..h {
+                        if hid[j] <= 0.0 {
+                            continue; // ReLU gate
+                        }
+                        gb1[j] += d_hid[j];
+                        let row = &mut gw1[j * dim..(j + 1) * dim];
+                        for (g, &xv) in row.iter_mut().zip(x) {
+                            *g += d_hid[j] * xv;
+                        }
+                    }
+                }
+                let scale = cfg.learning_rate / chunk.len() as f64;
+                let decay = cfg.learning_rate * cfg.l2;
+                for (w, g) in w1.iter_mut().zip(&gw1) {
+                    *w -= scale * g + decay * *w;
+                }
+                for (b, g) in b1.iter_mut().zip(&gb1) {
+                    *b -= scale * g;
+                }
+                for (w, g) in w2.iter_mut().zip(&gw2) {
+                    *w -= scale * g + decay * *w;
+                }
+                for (b, g) in b2.iter_mut().zip(&gb2) {
+                    *b -= scale * g;
+                }
+            }
+        }
+        AcousticModel { w1, b1, w2, b2, scaler, dim, hidden: h }
+    }
+
+    /// Input feature dimensionality (before standardisation).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    fn hidden_activations(&self, x_scaled: &[f64]) -> Vec<f64> {
+        (0..self.hidden)
+            .map(|j| {
+                let row = &self.w1[j * self.dim..(j + 1) * self.dim];
+                (self.b1[j] + row.iter().zip(x_scaled).map(|(w, xv)| w * xv).sum::<f64>())
+                    .max(0.0)
+            })
+            .collect()
+    }
+
+    /// Logits for one raw (unscaled) feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()`.
+    pub fn logits(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim, "feature dimension mismatch");
+        let x = self.scaler.transform(row);
+        let hid = self.hidden_activations(&x);
+        (0..N_CLASSES)
+            .map(|c| {
+                let w_row = &self.w2[c * self.hidden..(c + 1) * self.hidden];
+                self.b2[c] + w_row.iter().zip(&hid).map(|(w, hv)| w * hv).sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Logit matrix (`n_frames × N_CLASSES`) for a whole feature matrix.
+    pub fn logit_matrix(&self, feats: &FeatureMatrix) -> Vec<Vec<f64>> {
+        feats.rows().map(|r| self.logits(r)).collect()
+    }
+
+    /// Most likely class per frame.
+    pub fn predict(&self, feats: &FeatureMatrix) -> Vec<usize> {
+        feats.rows().map(|r| argmax(&self.logits(r))).collect()
+    }
+
+    /// Fraction of frames whose argmax matches `labels`.
+    pub fn frame_accuracy(&self, features: &[Vec<f64>], labels: &[usize]) -> f64 {
+        assert_eq!(features.len(), labels.len());
+        if features.is_empty() {
+            return 0.0;
+        }
+        let correct = features
+            .iter()
+            .zip(labels)
+            .filter(|(f, &l)| argmax(&self.logits(f)) == l)
+            .count();
+        correct as f64 / features.len() as f64
+    }
+
+    /// Backward through scaler + MLP: gradient w.r.t. the raw feature row
+    /// `x_raw` given a gradient w.r.t. the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn backward_to_features(&self, x_raw: &[f64], d_logits: &[f64]) -> Vec<f64> {
+        assert_eq!(d_logits.len(), N_CLASSES, "logit gradient length");
+        assert_eq!(x_raw.len(), self.dim, "feature dimension mismatch");
+        let x = self.scaler.transform(x_raw);
+        let hid = self.hidden_activations(&x);
+        // d_hid = W2^T d_logits, gated by ReLU.
+        let mut d_hid = vec![0.0; self.hidden];
+        for (c, &g) in d_logits.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let row = &self.w2[c * self.hidden..(c + 1) * self.hidden];
+            for (d, &w) in d_hid.iter_mut().zip(row) {
+                *d += g * w;
+            }
+        }
+        let mut d_scaled = vec![0.0; self.dim];
+        for j in 0..self.hidden {
+            if hid[j] <= 0.0 || d_hid[j] == 0.0 {
+                continue;
+            }
+            let row = &self.w1[j * self.dim..(j + 1) * self.dim];
+            for (d, &w) in d_scaled.iter_mut().zip(row) {
+                *d += d_hid[j] * w;
+            }
+        }
+        self.scaler.backward(&d_scaled)
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+/// Index of the largest element.
+pub fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+        .map(|(i, _)| i)
+        .expect("empty logits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a linearly separable 3-class toy problem on 4-dim features.
+    fn toy_data(n_per_class: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [[3.0, 0.0, 0.0, 1.0], [0.0, 3.0, 1.0, 0.0], [-3.0, -3.0, 0.0, 0.0]];
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..n_per_class {
+                feats.push(center.iter().map(|&m| m + rng.gen_range(-0.5..0.5)).collect());
+                labels.push(c);
+            }
+        }
+        (feats, labels)
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let (feats, labels) = toy_data(60, 3);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let acc = am.frame_accuracy(&feats, &labels);
+        assert!(acc > 0.98, "train accuracy {acc}");
+        let (test_f, test_l) = toy_data(20, 99);
+        let test_acc = am.frame_accuracy(&test_f, &test_l);
+        assert!(test_acc > 0.95, "test accuracy {test_acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (feats, labels) = toy_data(20, 3);
+        let a = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let b = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        assert_eq!(a.logits(&feats[0]), b.logits(&feats[0]));
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let (feats, labels) = toy_data(20, 3);
+        let a = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let b = AcousticModel::train(
+            &feats,
+            &labels,
+            &TrainConfig { seed: 77, ..TrainConfig::default() },
+        );
+        assert_ne!(a.logits(&feats[0]), b.logits(&feats[0]));
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0, -1.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0] && p[0] > p[3]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let (feats, labels) = toy_data(20, 3);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let x = feats[0].clone();
+        let mut d_logits = vec![0.0; N_CLASSES];
+        d_logits[0] = 1.0;
+        d_logits[5] = -2.0;
+        let grad = am.backward_to_features(&x, &d_logits);
+        let f = |x: &[f64]| {
+            let l = am.logits(x);
+            l[0] - 2.0 * l[5]
+        };
+        let eps = 1e-6;
+        for t in 0..x.len() {
+            let mut hi = x.clone();
+            hi[t] += eps;
+            let mut lo = x.clone();
+            lo[t] -= eps;
+            let fd = (f(&hi) - f(&lo)) / (2.0 * eps);
+            // ReLU kinks can make a coordinate locally non-smooth; allow a
+            // loose tolerance there but demand close agreement on average.
+            assert!((grad[t] - fd).abs() < 1e-4, "dim {t}: {} vs {fd}", grad[t]);
+        }
+    }
+
+    #[test]
+    fn hidden_width_configurable() {
+        let (feats, labels) = toy_data(10, 3);
+        let am =
+            AcousticModel::train(&feats, &labels, &TrainConfig { hidden: 7, ..TrainConfig::default() });
+        assert_eq!(am.hidden(), 7);
+        assert_eq!(am.logits(&feats[0]).len(), N_CLASSES);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn ragged_input_rejected() {
+        let am = {
+            let (feats, labels) = toy_data(5, 3);
+            AcousticModel::train(&feats, &labels, &TrainConfig::default())
+        };
+        am.logits(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scaler_standardises() {
+        let rows_owned = [vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let rows: Vec<&[f64]> = rows_owned.iter().map(Vec::as_slice).collect();
+        let sc = FeatureScaler::fit(&rows);
+        let t = sc.transform(&[3.0, 30.0]);
+        assert!(t.iter().all(|v| v.abs() < 1e-9)); // the mean maps to 0
+        let hi = sc.transform(&[5.0, 50.0]);
+        assert!((hi[0] - hi[1]).abs() < 1e-9); // equal z-scores
+    }
+}

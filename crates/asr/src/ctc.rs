@@ -1,0 +1,318 @@
+//! CTC: greedy best-path decoding and the forward-backward loss with exact
+//! gradients.
+//!
+//! Silence ([`Phoneme::SIL`]) is a *regular* output symbol (the analogue of
+//! DeepSpeech's space character), so CTC targets carry word boundaries; a
+//! dedicated blank class sits at index [`Phoneme::COUNT`]. The loss
+//! gradient (`softmax − occupancy`) is what the white-box attack pushes
+//! back through the acoustic model and MFCC pipeline into the waveform.
+
+use mvp_phonetics::Phoneme;
+
+use crate::am::{argmax, softmax};
+
+/// The class index used as the CTC blank (one past the phoneme inventory).
+pub fn blank_index() -> usize {
+    Phoneme::COUNT
+}
+
+/// Per-frame argmax labels with runs shorter than `min_run` removed
+/// (transition-frame denoising), then collapsed (consecutive duplicates
+/// merged).
+///
+/// The result retains [`Phoneme::SIL`] entries — the word decoder uses them
+/// as word-boundary separators.
+pub fn greedy_phonemes(logits: &[Vec<f64>], min_run: usize) -> Vec<Phoneme> {
+    // The blank class (never seen in training, so effectively never the
+    // argmax) is folded into silence for word chunking.
+    let sil = Phoneme::SIL.index();
+    let labels: Vec<usize> =
+        logits.iter().map(|l| { let a = argmax(l); if a >= Phoneme::COUNT { sil } else { a } }).collect();
+    let mut runs: Vec<(usize, usize)> = Vec::new(); // (label, length)
+    for &l in &labels {
+        match runs.last_mut() {
+            Some((prev, n)) if *prev == l => *n += 1,
+            _ => runs.push((l, 1)),
+        }
+    }
+    let mut out: Vec<Phoneme> = Vec::new();
+    for (label, n) in runs {
+        if n < min_run {
+            continue;
+        }
+        let ph = Phoneme::from_index(label);
+        if out.last() != Some(&ph) {
+            out.push(ph);
+        }
+    }
+    out
+}
+
+/// Collapses per-frame labels CTC-style: merge repeats, then drop blanks.
+pub fn collapse_labels(labels: &[usize]) -> Vec<usize> {
+    let blank = blank_index();
+    let mut out = Vec::new();
+    let mut prev = usize::MAX;
+    for &l in labels {
+        if l != prev && l != blank {
+            out.push(l);
+        }
+        prev = l;
+    }
+    out
+}
+
+fn log_sum_exp(values: impl IntoIterator<Item = f64>) -> f64 {
+    let vals: Vec<f64> = values.into_iter().filter(|v| *v > f64::NEG_INFINITY).collect();
+    if vals.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let m = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    m + vals.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
+}
+
+/// CTC negative log-likelihood of `target` (class indices, no blanks) under
+/// the per-frame `logits`, together with the gradient w.r.t. the logits.
+///
+/// Returns `(f64::INFINITY, zeros)` when the target cannot be emitted in
+/// the available frames.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or ragged, or `target` contains the blank.
+pub fn ctc_loss_and_grad(logits: &[Vec<f64>], target: &[usize]) -> (f64, Vec<Vec<f64>>) {
+    let t_len = logits.len();
+    assert!(t_len > 0, "no frames");
+    let c = logits[0].len();
+    assert!(logits.iter().all(|l| l.len() == c), "ragged logit matrix");
+    let blank = blank_index();
+    assert!(c > blank, "logit width {c} lacks the blank class {blank}");
+    assert!(!target.contains(&blank), "target must not contain the blank");
+
+    // Extended label sequence: blank-interleaved.
+    let s_len = 2 * target.len() + 1;
+    let ext = |s: usize| -> usize {
+        if s.is_multiple_of(2) {
+            blank
+        } else {
+            target[s / 2]
+        }
+    };
+    // Minimum frames needed: every label plus a blank between repeated pairs.
+    let mut min_frames = target.len();
+    for w in target.windows(2) {
+        if w[0] == w[1] {
+            min_frames += 1;
+        }
+    }
+    let zeros = vec![vec![0.0; c]; t_len];
+    if t_len < min_frames {
+        return (f64::INFINITY, zeros);
+    }
+
+    let y: Vec<Vec<f64>> = logits
+        .iter()
+        .map(|l| {
+            let p = softmax(l);
+            p.into_iter().map(|v| v.max(1e-300).ln()).collect()
+        })
+        .collect();
+
+    const NEG: f64 = f64::NEG_INFINITY;
+    // Forward.
+    let mut alpha = vec![vec![NEG; s_len]; t_len];
+    alpha[0][0] = y[0][ext(0)];
+    if s_len > 1 {
+        alpha[0][1] = y[0][ext(1)];
+    }
+    for t in 1..t_len {
+        for s in 0..s_len {
+            let mut terms = vec![alpha[t - 1][s]];
+            if s >= 1 {
+                terms.push(alpha[t - 1][s - 1]);
+            }
+            if s >= 2 && ext(s) != blank && ext(s) != ext(s - 2) {
+                terms.push(alpha[t - 1][s - 2]);
+            }
+            let acc = log_sum_exp(terms);
+            alpha[t][s] = if acc == NEG { NEG } else { acc + y[t][ext(s)] };
+        }
+    }
+    let log_p = log_sum_exp([
+        alpha[t_len - 1][s_len - 1],
+        if s_len >= 2 { alpha[t_len - 1][s_len - 2] } else { NEG },
+    ]);
+    if log_p == NEG {
+        return (f64::INFINITY, zeros);
+    }
+
+    // Backward (beta excludes the emission at frame t).
+    let mut beta = vec![vec![NEG; s_len]; t_len];
+    beta[t_len - 1][s_len - 1] = 0.0;
+    if s_len >= 2 {
+        beta[t_len - 1][s_len - 2] = 0.0;
+    }
+    for t in (0..t_len - 1).rev() {
+        for s in 0..s_len {
+            let mut terms = vec![beta[t + 1][s] + y[t + 1][ext(s)]];
+            if s + 1 < s_len {
+                terms.push(beta[t + 1][s + 1] + y[t + 1][ext(s + 1)]);
+            }
+            if s + 2 < s_len && ext(s + 2) != blank && ext(s + 2) != ext(s) {
+                terms.push(beta[t + 1][s + 2] + y[t + 1][ext(s + 2)]);
+            }
+            beta[t][s] = log_sum_exp(terms);
+        }
+    }
+
+    // Gradient: softmax − occupancy.
+    let mut grad = vec![vec![0.0; c]; t_len];
+    for t in 0..t_len {
+        let probs = softmax(&logits[t]);
+        // Occupancy per class at frame t.
+        let mut occ_log = vec![NEG; c];
+        for s in 0..s_len {
+            let v = alpha[t][s] + beta[t][s];
+            if v > NEG {
+                let k = ext(s);
+                occ_log[k] = log_sum_exp([occ_log[k], v]);
+            }
+        }
+        for k in 0..c {
+            let occ = if occ_log[k] == NEG { 0.0 } else { (occ_log[k] - log_p).exp() };
+            grad[t][k] = probs[k] - occ;
+        }
+    }
+    (-log_p, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::am::N_CLASSES;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_logits(t: usize, c: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..t).map(|_| (0..c).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect()
+    }
+
+    #[test]
+    fn greedy_collapses_and_denoises() {
+        let mk = |idx: usize| {
+            let mut l = vec![0.0; N_CLASSES];
+            l[idx] = 10.0;
+            l
+        };
+        let a = Phoneme::AA.index();
+        let b = Phoneme::B.index();
+        let sil = Phoneme::SIL.index();
+        // AA AA AA (B glitch) AA SIL SIL B B
+        let logits = vec![mk(a), mk(a), mk(a), mk(b), mk(a), mk(sil), mk(sil), mk(b), mk(b)];
+        let seq = greedy_phonemes(&logits, 2);
+        assert_eq!(seq, vec![Phoneme::AA, Phoneme::SIL, Phoneme::B]);
+    }
+
+    #[test]
+    fn collapse_labels_drops_blanks_and_repeats() {
+        let blank = blank_index();
+        let labels = vec![blank, 3, 3, blank, 3, 5, 5, blank];
+        assert_eq!(collapse_labels(&labels), vec![3, 3, 5]);
+    }
+
+    #[test]
+    fn impossible_target_is_infinite() {
+        let logits = random_logits(2, N_CLASSES, 1);
+        let target = vec![1, 2, 3]; // needs >= 3 frames
+        let (loss, grad) = ctc_loss_and_grad(&logits, &target);
+        assert!(loss.is_infinite());
+        assert!(grad.iter().flatten().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn perfect_path_has_low_loss() {
+        let target = vec![Phoneme::AA.index(), Phoneme::B.index()];
+        let blank = blank_index();
+        let path = [blank, target[0], target[0], blank, target[1], blank];
+        let logits: Vec<Vec<f64>> = path
+            .iter()
+            .map(|&k| {
+                let mut l = vec![-5.0; N_CLASSES];
+                l[k] = 5.0;
+                l
+            })
+            .collect();
+        let (loss, _) = ctc_loss_and_grad(&logits, &target);
+        assert!(loss < 0.1, "loss {loss}");
+        // A wrong target under the same logits scores much worse.
+        let (wrong, _) = ctc_loss_and_grad(&logits, &[Phoneme::S.index()]);
+        assert!(wrong > loss + 2.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let t = 6;
+        let c = 8; // use a small class count via fake blank? blank index is SIL
+        // Use the real class count so blank_index() is valid.
+        let _ = c;
+        let logits = random_logits(t, N_CLASSES, 42);
+        let target = vec![Phoneme::AA.index(), Phoneme::B.index(), Phoneme::AA.index()];
+        let (_, grad) = ctc_loss_and_grad(&logits, &target);
+        let eps = 1e-6;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let ti = rng.gen_range(0..t);
+            let ci = rng.gen_range(0..N_CLASSES);
+            let mut hi = logits.clone();
+            hi[ti][ci] += eps;
+            let mut lo = logits.clone();
+            lo[ti][ci] -= eps;
+            let (lh, _) = ctc_loss_and_grad(&hi, &target);
+            let (ll, _) = ctc_loss_and_grad(&lo, &target);
+            let fd = (lh - ll) / (2.0 * eps);
+            assert!(
+                (grad[ti][ci] - fd).abs() < 1e-5,
+                "({ti},{ci}): analytic {} vs fd {fd}",
+                grad[ti][ci]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss() {
+        let mut logits = random_logits(10, N_CLASSES, 3);
+        let target = vec![Phoneme::S.index(), Phoneme::IY.index()];
+        let (before, grad) = ctc_loss_and_grad(&logits, &target);
+        for (l, g) in logits.iter_mut().zip(&grad) {
+            for (lv, gv) in l.iter_mut().zip(g) {
+                *lv -= 0.5 * gv;
+            }
+        }
+        let (after, _) = ctc_loss_and_grad(&logits, &target);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn empty_target_prefers_all_blank() {
+        let blank = blank_index();
+        let mut logits = random_logits(4, N_CLASSES, 9);
+        for l in &mut logits {
+            l[blank] = 9.0;
+        }
+        let (loss, _) = ctc_loss_and_grad(&logits, &[]);
+        assert!(loss < 0.5, "loss {loss}");
+    }
+
+    #[test]
+    fn repeated_labels_need_separating_blank() {
+        // Target [X, X] requires at least 3 frames (X, blank, X).
+        let target = vec![Phoneme::T.index(), Phoneme::T.index()];
+        let logits = random_logits(2, N_CLASSES, 5);
+        let (loss, _) = ctc_loss_and_grad(&logits, &target);
+        assert!(loss.is_infinite());
+        let logits3 = random_logits(3, N_CLASSES, 5);
+        let (loss3, _) = ctc_loss_and_grad(&logits3, &target);
+        assert!(loss3.is_finite());
+    }
+}

@@ -1,0 +1,313 @@
+//! Phoneme assembly and language generation: lexicon-driven word decoding.
+//!
+//! Implements the last two stages of the paper's Figure 2: the collapsed
+//! phoneme stream is split at silences into word chunks, each chunk is
+//! matched against the pronunciation lexicon (dictionary correction), and a
+//! Viterbi pass over the chunk candidates under the bigram language model
+//! picks the final word sequence (language generation). Homophones tie on
+//! edit distance, so the language model — which differs per ASR profile —
+//! makes the choice.
+
+use mvp_phonetics::{Lexicon, Phoneme};
+
+use crate::ctc::greedy_phonemes;
+use crate::lm::BigramLm;
+
+/// Decoder tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecoderConfig {
+    /// Frames below this run length are treated as transition noise.
+    pub min_run: usize,
+    /// Word candidates kept per chunk.
+    pub top_k: usize,
+    /// Weight of the (normalised) phoneme edit distance.
+    pub edit_weight: f64,
+    /// Weight of the negative LM log-probability.
+    pub lm_weight: f64,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        DecoderConfig { min_run: 2, top_k: 5, edit_weight: 6.0, lm_weight: 1.0 }
+    }
+}
+
+/// The word decoder of one ASR profile.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    vocab: Vec<(String, Vec<Phoneme>)>,
+    lm: BigramLm,
+    cfg: DecoderConfig,
+}
+
+impl Decoder {
+    /// Builds a decoder over every explicit word of `lexicon`, scored by
+    /// `lm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lexicon has no explicit entries.
+    pub fn new(lexicon: &Lexicon, lm: BigramLm, cfg: DecoderConfig) -> Decoder {
+        let mut vocab: Vec<(String, Vec<Phoneme>)> = lexicon
+            .words()
+            .map(|w| (w.to_string(), lexicon.pronounce(w)))
+            .collect();
+        assert!(!vocab.is_empty(), "decoder needs a non-empty lexicon");
+        vocab.sort(); // deterministic candidate ordering
+        Decoder { vocab, lm, cfg }
+    }
+
+    /// Decodes a logit matrix (`n_frames × n_classes`) to a transcription.
+    pub fn decode(&self, logits: &[Vec<f64>]) -> String {
+        if logits.is_empty() {
+            return String::new();
+        }
+        let seq = greedy_phonemes(logits, self.cfg.min_run);
+        self.decode_phonemes(&seq)
+    }
+
+    /// Decodes an explicit collapsed phoneme sequence (with SIL word
+    /// separators) to a transcription.
+    pub fn decode_phonemes(&self, seq: &[Phoneme]) -> String {
+        let chunks: Vec<&[Phoneme]> = seq
+            .split(|&p| p == Phoneme::SIL)
+            .filter(|c| !c.is_empty())
+            .collect();
+        if chunks.is_empty() {
+            return String::new();
+        }
+        // Candidate words per chunk.
+        let candidates: Vec<Vec<(usize, f64)>> =
+            chunks.iter().map(|c| self.chunk_candidates(c)).collect();
+        // Viterbi over chunks.
+        let first = &candidates[0];
+        let mut score: Vec<f64> = first
+            .iter()
+            .map(|&(w, edit)| {
+                self.cfg.edit_weight * edit
+                    - self.cfg.lm_weight * self.lm.log_prob(None, &self.vocab[w].0)
+            })
+            .collect();
+        let mut back: Vec<Vec<usize>> = vec![vec![0; first.len()]];
+        for ci in 1..candidates.len() {
+            let cur = &candidates[ci];
+            let prev = &candidates[ci - 1];
+            let mut new_score = Vec::with_capacity(cur.len());
+            let mut new_back = Vec::with_capacity(cur.len());
+            for &(w, edit) in cur {
+                let word = &self.vocab[w].0;
+                let (best_prev, best) = prev
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, &(pw, _))| {
+                        (
+                            pi,
+                            score[pi]
+                                - self.cfg.lm_weight
+                                    * self.lm.log_prob(Some(&self.vocab[pw].0), word),
+                        )
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN score"))
+                    .expect("non-empty candidates");
+                new_score.push(best + self.cfg.edit_weight * edit);
+                new_back.push(best_prev);
+            }
+            score = new_score;
+            back.push(new_back);
+        }
+        // Backtrack.
+        let mut idx = score
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN score"))
+            .map(|(i, _)| i)
+            .expect("non-empty final candidates");
+        let mut words = Vec::with_capacity(candidates.len());
+        for ci in (0..candidates.len()).rev() {
+            words.push(self.vocab[candidates[ci][idx].0].0.clone());
+            idx = back[ci][idx];
+        }
+        words.reverse();
+        words.join(" ")
+    }
+
+    /// Top-k `(vocab index, normalised edit distance)` candidates for a
+    /// chunk of phonemes.
+    fn chunk_candidates(&self, chunk: &[Phoneme]) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> = self
+            .vocab
+            .iter()
+            .enumerate()
+            .map(|(i, (_, pron))| {
+                let d = phoneme_edit_distance(chunk, pron);
+                (i, d as f64 / chunk.len().max(pron.len()) as f64)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN distance").then(a.0.cmp(&b.0)));
+        scored.truncate(self.cfg.top_k.max(1));
+        scored
+    }
+}
+
+/// Levenshtein distance between two phoneme sequences.
+pub fn phoneme_edit_distance(a: &[Phoneme], b: &[Phoneme]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &pa) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &pb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(pa != pb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_phonetics::Lexicon;
+
+    fn decoder() -> Decoder {
+        let lm = BigramLm::train(
+            [
+                "open the front door",
+                "open the back door",
+                "i see the sea",
+                "we see the sea",
+                "the man walked the street",
+                "turn on the lights",
+            ],
+            0.05,
+        );
+        Decoder::new(&Lexicon::builtin(), lm, DecoderConfig::default())
+    }
+
+    /// Builds one-hot logits from a phoneme sequence, `per` frames each.
+    fn logits_for(seq: &[Phoneme], per: usize) -> Vec<Vec<f64>> {
+        seq.iter()
+            .flat_map(|p| {
+                let mut l = vec![-4.0; Phoneme::COUNT];
+                l[p.index()] = 4.0;
+                std::iter::repeat_n(l, per)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decodes_clean_phoneme_stream() {
+        let lex = Lexicon::builtin();
+        let d = decoder();
+        let seq = lex.pronounce_sentence("open the front door");
+        let text = d.decode(&logits_for(&seq, 5));
+        assert_eq!(text, "open the front door");
+    }
+
+    #[test]
+    fn decodes_with_substituted_phoneme() {
+        let lex = Lexicon::builtin();
+        let d = decoder();
+        let mut seq = lex.pronounce_sentence("open the front door");
+        // Corrupt one phoneme inside "front".
+        let pos = seq.iter().position(|&p| p == Phoneme::F).unwrap();
+        seq[pos + 1] = Phoneme::L;
+        let text = d.decode(&logits_for(&seq, 5));
+        assert_eq!(text, "open the front door");
+    }
+
+    #[test]
+    fn homophone_resolved_by_language_model() {
+        let lex = Lexicon::builtin();
+        let d = decoder();
+        // "see"/"sea" share a pronunciation; after "the", the LM prefers "sea".
+        let seq = lex.pronounce_sentence("i see the sea");
+        let text = d.decode(&logits_for(&seq, 5));
+        assert_eq!(text, "i see the sea");
+    }
+
+    #[test]
+    fn empty_logits_empty_text() {
+        assert_eq!(decoder().decode(&[]), "");
+    }
+
+    #[test]
+    fn silence_only_is_empty() {
+        let d = decoder();
+        let seq = vec![Phoneme::SIL; 4];
+        assert_eq!(d.decode(&logits_for(&seq, 4)), "");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        use Phoneme::*;
+        assert_eq!(phoneme_edit_distance(&[S, IY], &[S, IY]), 0);
+        assert_eq!(phoneme_edit_distance(&[S, IY], &[S, EY]), 1);
+        assert_eq!(phoneme_edit_distance(&[], &[S, EY]), 2);
+    }
+
+    #[test]
+    fn lm_weight_zero_falls_back_to_pure_edit_distance() {
+        // With the LM silenced, homophone choice is decided by candidate
+        // ordering alone, but exact pronunciations still decode correctly.
+        let lex = Lexicon::builtin();
+        let lm = BigramLm::train(["i see the sea"], 0.05);
+        let d = Decoder::new(
+            &lex,
+            lm,
+            DecoderConfig { lm_weight: 0.0, ..DecoderConfig::default() },
+        );
+        let seq = lex.pronounce_sentence("open the front door");
+        assert_eq!(d.decode(&logits_for(&seq, 5)), "open the front door");
+    }
+
+    #[test]
+    fn top_k_one_still_decodes_exact_matches() {
+        let lex = Lexicon::builtin();
+        let lm = BigramLm::train(["turn on the lights"], 0.05);
+        let d = Decoder::new(&lex, lm, DecoderConfig { top_k: 1, ..DecoderConfig::default() });
+        let seq = lex.pronounce_sentence("turn on the lights");
+        // With k=1 homophone ties resolve to the lexicographically first
+        // candidate, so only check WER-0-modulo-homophony.
+        let text = d.decode(&logits_for(&seq, 5));
+        assert_eq!(
+            lex.pronounce_sentence(&text),
+            lex.pronounce_sentence("turn on the lights")
+        );
+    }
+
+    #[test]
+    fn noisy_transition_frames_are_ignored() {
+        // One-frame glitches between phonemes (below min_run) must not
+        // corrupt the decoding.
+        let lex = Lexicon::builtin();
+        let d = decoder();
+        let seq = lex.pronounce_sentence("open the door");
+        let mut logits = Vec::new();
+        for p in &seq {
+            let mut l = vec![-4.0; Phoneme::COUNT];
+            l[p.index()] = 4.0;
+            for _ in 0..5 {
+                logits.push(l.clone());
+            }
+            // Glitch frame.
+            let mut g = vec![-4.0; Phoneme::COUNT];
+            g[Phoneme::Z.index()] = 4.0;
+            logits.push(g);
+        }
+        assert_eq!(d.decode(&logits), "open the door");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty lexicon")]
+    fn empty_lexicon_rejected() {
+        let lm = BigramLm::train(["x"], 0.1);
+        Decoder::new(&Lexicon::new(), lm, DecoderConfig::default());
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-profile feature front end: MFCC + context stacking + subsampling.
+//!
+//! The stacked representation feeds each frame's MFCCs together with `c`
+//! context frames on either side to the acoustic model (GCS-like profiles
+//! use wide context, mimicking recurrent memory). Subsampling emits every
+//! `s`-th stacked frame (the Kaldi `--frame-subsampling-factor` analogue the
+//! paper perturbs in Section III). Both operations are linear, so the
+//! backward pass composes exactly with the MFCC adjoint.
+
+use mvp_audio::Waveform;
+use mvp_dsp::mfcc::{FeatureMatrix, MfccCache, MfccConfig, MfccExtractor};
+
+/// Front-end configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontEndConfig {
+    /// The MFCC pipeline settings.
+    pub mfcc: MfccConfig,
+    /// Context frames appended on each side (stacked dim = `(2c+1)·n_cepstra`).
+    pub context: usize,
+    /// Keep every `subsample`-th stacked frame (`1` keeps all).
+    pub subsample: usize,
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        FrontEndConfig { mfcc: MfccConfig::default(), context: 1, subsample: 1 }
+    }
+}
+
+/// Intermediates for the backward pass through the front end.
+#[derive(Debug)]
+pub struct FrontEndCache {
+    mfcc_cache: MfccCache,
+    n_mfcc_frames: usize,
+}
+
+/// The feature front end of one ASR profile.
+#[derive(Debug, Clone)]
+pub struct FeatureFrontEnd {
+    extractor: MfccExtractor,
+    context: usize,
+    subsample: usize,
+}
+
+impl FeatureFrontEnd {
+    /// Builds the front end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subsample == 0` or the MFCC config is invalid.
+    pub fn new(cfg: FrontEndConfig) -> FeatureFrontEnd {
+        assert!(cfg.subsample > 0, "subsample factor must be positive");
+        FeatureFrontEnd {
+            extractor: MfccExtractor::new(cfg.mfcc),
+            context: cfg.context,
+            subsample: cfg.subsample,
+        }
+    }
+
+    /// Dimensionality of each stacked feature row.
+    pub fn dim(&self) -> usize {
+        (2 * self.context + 1) * self.extractor.config().n_cepstra
+    }
+
+    /// The underlying MFCC configuration.
+    pub fn mfcc_config(&self) -> &MfccConfig {
+        self.extractor.config()
+    }
+
+    /// The subsampling factor.
+    pub fn subsample(&self) -> usize {
+        self.subsample
+    }
+
+    /// Sample index at the centre of stacked frame `row` (for aligning
+    /// frame labels with synthesizer alignments).
+    pub fn frame_center_sample(&self, row: usize) -> usize {
+        let cfg = self.extractor.config();
+        row * self.subsample * cfg.hop + cfg.frame_len / 2
+    }
+
+    /// Extracts stacked features for `wave`.
+    pub fn features(&self, wave: &Waveform) -> FeatureMatrix {
+        self.features_with_cache(wave).0
+    }
+
+    /// Extracts stacked features plus the cache needed by
+    /// [`backward`](Self::backward).
+    pub fn features_with_cache(&self, wave: &Waveform) -> (FeatureMatrix, FrontEndCache) {
+        let samples = wave.to_f64();
+        let (mfcc, cache) = self.extractor.extract_with_cache(&samples);
+        let stacked = self.stack(&mfcc);
+        (stacked, FrontEndCache { mfcc_cache: cache, n_mfcc_frames: mfcc.n_frames() })
+    }
+
+    fn stack(&self, mfcc: &FeatureMatrix) -> FeatureMatrix {
+        let n = mfcc.n_frames();
+        let d = mfcc.dim();
+        let c = self.context as isize;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .step_by(self.subsample)
+            .map(|f| {
+                let mut row = Vec::with_capacity(self.dim());
+                for o in -c..=c {
+                    let src = (f as isize + o).clamp(0, n as isize - 1) as usize;
+                    row.extend_from_slice(mfcc.row(src));
+                }
+                row
+            })
+            .collect();
+        let dim = (2 * self.context + 1) * d;
+        FeatureMatrix::from_rows(rows, dim)
+    }
+
+    /// Backpropagates a gradient over the stacked features to a gradient
+    /// over the waveform samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch with the cached forward pass.
+    pub fn backward(&self, cache: &FrontEndCache, d_stacked: &FeatureMatrix) -> Vec<f64> {
+        let d = self.extractor.config().n_cepstra;
+        let n = cache.n_mfcc_frames;
+        assert_eq!(d_stacked.dim(), self.dim(), "stacked dim mismatch");
+        let c = self.context as isize;
+        let mut d_mfcc = vec![vec![0.0; d]; n];
+        for (i, f) in (0..n).step_by(self.subsample).enumerate() {
+            if i >= d_stacked.n_frames() {
+                break;
+            }
+            let row = d_stacked.row(i);
+            for (oi, o) in (-c..=c).enumerate() {
+                let src = (f as isize + o).clamp(0, n as isize - 1) as usize;
+                for j in 0..d {
+                    d_mfcc[src][j] += row[oi * d + j];
+                }
+            }
+        }
+        let d_mfcc = FeatureMatrix::from_rows(d_mfcc, d);
+        self.extractor.backward(&cache.mfcc_cache, &d_mfcc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_dsp::mfcc::MfccConfig;
+    use mvp_dsp::Window;
+
+    fn small_frontend(context: usize, subsample: usize) -> FeatureFrontEnd {
+        FeatureFrontEnd::new(FrontEndConfig {
+            mfcc: MfccConfig {
+                sample_rate: 8_000,
+                frame_len: 64,
+                hop: 32,
+                n_fft: 64,
+                n_mels: 8,
+                n_cepstra: 5,
+                window: Window::Hann,
+                f_min: 50.0,
+                f_max: 4_000.0,
+                pre_emphasis: 0.95,
+                // Generous floor keeps the log curvature small enough for
+                // finite differences to be trustworthy in the grad check.
+                log_floor: 1e-3,
+            },
+            context,
+            subsample,
+        })
+    }
+
+    fn test_wave(n: usize) -> Waveform {
+        Waveform::from_samples(
+            (0..n)
+                .map(|i| {
+                    0.4 * (std::f32::consts::TAU * 500.0 * i as f32 / 8000.0).sin()
+                        + 0.1 * (std::f32::consts::TAU * 1700.0 * i as f32 / 8000.0).sin()
+                        // Broadband floor so no mel bin sits at zero energy.
+                        + 0.03 * (((i * 2654435761) % 997) as f32 / 498.5 - 1.0)
+                })
+                .collect(),
+            8_000,
+        )
+    }
+
+    #[test]
+    fn stacked_dim() {
+        assert_eq!(small_frontend(0, 1).dim(), 5);
+        assert_eq!(small_frontend(2, 1).dim(), 25);
+    }
+
+    #[test]
+    fn subsampling_reduces_frames() {
+        let w = test_wave(640);
+        let full = small_frontend(1, 1).features(&w);
+        let sub = small_frontend(1, 3).features(&w);
+        assert_eq!(sub.n_frames(), full.n_frames().div_ceil(3));
+        // Subsampled rows equal the corresponding full rows.
+        assert_eq!(sub.row(1), full.row(3));
+    }
+
+    #[test]
+    fn context_stacks_neighbours() {
+        let w = test_wave(640);
+        let flat = small_frontend(0, 1).features(&w);
+        let ctx = small_frontend(1, 1).features(&w);
+        // Middle block of row f is flat row f; left block is row f-1.
+        let f = 3;
+        assert_eq!(&ctx.row(f)[5..10], flat.row(f));
+        assert_eq!(&ctx.row(f)[0..5], flat.row(f - 1));
+        // Edge frames replicate the boundary.
+        assert_eq!(&ctx.row(0)[0..5], flat.row(0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_with_context_and_subsample() {
+        let fe = small_frontend(1, 2);
+        let w = test_wave(400);
+        let (feats, cache) = fe.features_with_cache(&w);
+        let weight = |i: usize, j: usize| ((i * 13 + j * 7) % 5) as f64 / 2.0 - 1.0;
+        let d_rows: Vec<Vec<f64>> = (0..feats.n_frames())
+            .map(|i| (0..feats.dim()).map(|j| weight(i, j)).collect())
+            .collect();
+        let d = FeatureMatrix::from_rows(d_rows, feats.dim());
+        let grad = fe.backward(&cache, &d);
+        let loss = |samples: &[f32]| -> f64 {
+            let f = fe.features(&Waveform::from_samples(samples.to_vec(), 8_000));
+            let mut acc = 0.0;
+            for i in 0..f.n_frames() {
+                for (j, &v) in f.row(i).iter().enumerate() {
+                    acc += weight(i, j) * v;
+                }
+            }
+            acc
+        };
+        let eps = 1e-4f32;
+        for &t in &[0usize, 17, 65, 200, 399] {
+            let mut hi = w.samples().to_vec();
+            hi[t] += eps;
+            let mut lo = w.samples().to_vec();
+            lo[t] -= eps;
+            // Use the realised f32 step, not the nominal one.
+            let actual = (hi[t] as f64) - (lo[t] as f64);
+            let fd = (loss(&hi) - loss(&lo)) / actual;
+            let rel = (grad[t] - fd).abs() / fd.abs().max(1e-3);
+            assert!(rel < 2e-2, "sample {t}: analytic {} vs fd {fd}", grad[t]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_subsample_rejected() {
+        small_frontend(1, 1); // fine
+        FeatureFrontEnd::new(FrontEndConfig { subsample: 0, ..FrontEndConfig::default() });
+    }
+}

@@ -1,0 +1,164 @@
+//! Bigram language model with add-k smoothing.
+//!
+//! Each ASR profile trains its language model on a *different* sentence
+//! sample, so profiles make different homophone choices during word
+//! assembly — one of the benign cross-ASR disagreements the phonetic
+//! encoding step of the detector is designed to forgive.
+
+use std::collections::HashMap;
+
+/// Sentence-start pseudo-token id.
+const BOS: usize = 0;
+
+/// A word-level bigram model.
+#[derive(Debug, Clone)]
+pub struct BigramLm {
+    ids: HashMap<String, usize>,
+    unigram: Vec<f64>,
+    bigram: HashMap<(usize, usize), f64>,
+    k: f64,
+}
+
+impl BigramLm {
+    /// Trains on an iterator of sentences with smoothing constant `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn train<'a>(sentences: impl IntoIterator<Item = &'a str>, k: f64) -> BigramLm {
+        assert!(k > 0.0, "smoothing constant must be positive");
+        let mut ids = HashMap::new();
+        let mut unigram = vec![0.0f64]; // slot 0 = BOS
+        let mut bigram: HashMap<(usize, usize), f64> = HashMap::new();
+        for sentence in sentences {
+            let mut prev = BOS;
+            unigram[BOS] += 1.0;
+            for word in sentence.split_whitespace() {
+                let word = word.to_lowercase();
+                let next_id = unigram.len();
+                let id = *ids.entry(word).or_insert(next_id);
+                if id == unigram.len() {
+                    unigram.push(0.0);
+                }
+                unigram[id] += 1.0;
+                *bigram.entry((prev, id)).or_insert(0.0) += 1.0;
+                prev = id;
+            }
+        }
+        BigramLm { ids, unigram, bigram, k }
+    }
+
+    /// Vocabulary size (distinct words seen in training).
+    pub fn vocab_size(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn id(&self, word: &str) -> Option<usize> {
+        self.ids.get(&word.to_lowercase()).copied()
+    }
+
+    /// Smoothed log `P(word | prev)`; `prev = None` means sentence start.
+    ///
+    /// Unknown words receive the smoothed floor probability.
+    pub fn log_prob(&self, prev: Option<&str>, word: &str) -> f64 {
+        let v = self.ids.len() as f64 + 2.0; // + BOS + UNK
+        let prev_id = match prev {
+            None => Some(BOS),
+            Some(p) => self.id(p),
+        };
+        let word_id = self.id(word);
+        let (num, den) = match (prev_id, word_id) {
+            (Some(p), Some(w)) => (
+                self.bigram.get(&(p, w)).copied().unwrap_or(0.0) + self.k,
+                self.unigram[p] + self.k * v,
+            ),
+            (Some(p), None) => (self.k, self.unigram[p] + self.k * v),
+            (None, Some(w)) => (self.unigram[w] + self.k, self.total() + self.k * v),
+            (None, None) => (self.k, self.total() + self.k * v),
+        };
+        (num / den).ln()
+    }
+
+    fn total(&self) -> f64 {
+        self.unigram.iter().sum()
+    }
+
+    /// Log-probability of a word sequence (BOS-anchored product of bigrams).
+    pub fn sentence_log_prob(&self, words: &[&str]) -> f64 {
+        let mut lp = 0.0;
+        let mut prev: Option<&str> = None;
+        for &w in words {
+            lp += self.log_prob(prev, w);
+            prev = Some(w);
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BigramLm {
+        BigramLm::train(
+            [
+                "the man walked the dog",
+                "the man found the book",
+                "the woman found the book",
+                "i see the sea",
+            ],
+            0.1,
+        )
+    }
+
+    #[test]
+    fn frequent_bigrams_beat_rare_ones() {
+        let lm = toy();
+        assert!(lm.log_prob(Some("the"), "man") > lm.log_prob(Some("the"), "dog"));
+        assert!(lm.log_prob(Some("found"), "the") > lm.log_prob(Some("found"), "sea"));
+    }
+
+    #[test]
+    fn unknown_words_get_floor_probability() {
+        let lm = toy();
+        let unk = lm.log_prob(Some("the"), "zyzzyva");
+        assert!(unk.is_finite());
+        assert!(unk < lm.log_prob(Some("the"), "man"));
+    }
+
+    #[test]
+    fn sentence_scoring_prefers_training_like_text() {
+        let lm = toy();
+        let good = lm.sentence_log_prob(&["the", "man", "walked", "the", "dog"]);
+        let bad = lm.sentence_log_prob(&["dog", "the", "walked", "man", "the"]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn homophone_disambiguation_by_context() {
+        let lm = BigramLm::train(["i see the sea", "we see the sea", "they see the sea"], 0.05);
+        // After "the", the noun "sea" is likelier than the verb "see".
+        assert!(lm.log_prob(Some("the"), "sea") > lm.log_prob(Some("the"), "see"));
+        // Sentence-initially after "i", "see" is likelier.
+        assert!(lm.log_prob(Some("i"), "see") > lm.log_prob(Some("i"), "sea"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let lm = toy();
+        assert_eq!(lm.log_prob(Some("THE"), "Man"), lm.log_prob(Some("the"), "man"));
+    }
+
+    #[test]
+    fn probabilities_normalise_approximately() {
+        // Σ_w P(w | prev) over seen vocab + UNK ≈ 1 (within smoothing mass).
+        let lm = toy();
+        let mut total = 0.0;
+        for w in lm.ids.keys() {
+            total += lm.log_prob(Some("the"), w).exp();
+        }
+        total += lm.log_prob(Some("the"), "zzz-unk").exp();
+        assert!(total < 1.0 + 1e-9);
+        assert!(total > 0.8, "mass {total}");
+    }
+}

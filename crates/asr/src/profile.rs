@@ -1,0 +1,314 @@
+//! The five diverse ASR profiles and their training harness.
+//!
+//! Diversity axes mirror the paper's Section IV-D discussion:
+//!
+//! | Profile | Mirrors | Feature geometry | Context | Subsample | Training data |
+//! |---|---|---|---|---|---|
+//! | `Ds0` | DeepSpeech v0.1.0 (the attack target) | 25 ms / 10 ms, 26 mel, 13 cep | ±1 | 1 | seed A |
+//! | `Ds1` | DeepSpeech v0.1.1 (same architecture, retrained) | identical to DS0 | ±1 | 1 | seed B |
+//! | `Gcs` | Google Cloud Speech (LSTM: long context) | 20 ms / 10 ms, 40 mel, 13 cep | ±3 | 1 | seed C |
+//! | `At` | Amazon Transcribe (unknown internals) | 32 ms / 12 ms, 32 mel, 16 cep | ±2 | 1 | seed D |
+//! | `Kaldi` | Kaldi (deliberately weak auxiliary, §V-E note) | 25 ms / 10 ms, 13 mel, 8 cep | 0 | 3 | small, noisy |
+//! | `KaldiVariant` | the Kaldi `--frame-subsampling-factor` variant of §III | as Kaldi | 0 | 1 | as Kaldi |
+//!
+//! Training is deterministic per profile and cached process-wide, so tests
+//! and experiment binaries pay the (few-second) cost once.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mvp_corpus::{command_phrases, CorpusBuilder, CorpusConfig, SentenceGenerator};
+use mvp_dsp::mfcc::MfccConfig;
+use mvp_dsp::Window;
+use mvp_phonetics::{Lexicon, Phoneme};
+
+use crate::am::{AcousticModel, TrainConfig};
+use crate::decoder::{Decoder, DecoderConfig};
+use crate::features::{FeatureFrontEnd, FrontEndConfig};
+use crate::lm::BigramLm;
+use crate::recognizer::TrainedAsr;
+
+/// One of the simulated ASR systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsrProfile {
+    /// DeepSpeech v0.1.0 analogue — the attack target model.
+    Ds0,
+    /// DeepSpeech v0.1.1 analogue — same architecture, different training.
+    Ds1,
+    /// Google Cloud Speech analogue — wide temporal context.
+    Gcs,
+    /// Amazon Transcribe analogue — distinct feature geometry.
+    At,
+    /// Weak Kaldi analogue (frame subsampling 3, low feature resolution).
+    Kaldi,
+    /// The Kaldi variant with `--frame-subsampling-factor` set to 1
+    /// (Section III transferability probe).
+    KaldiVariant,
+}
+
+/// Everything needed to train one profile.
+#[derive(Debug, Clone)]
+pub struct ProfileSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Front-end geometry.
+    pub frontend: FrontEndConfig,
+    /// Acoustic-model training hyper-parameters.
+    pub train: TrainConfig,
+    /// Seed of the training corpus (different seeds = different data).
+    pub corpus_seed: u64,
+    /// Number of training sentences.
+    pub corpus_size: usize,
+    /// Probability of noise augmentation during training.
+    pub noise_prob: f64,
+    /// Seed of the LM training sample.
+    pub lm_seed: u64,
+    /// Number of LM training sentences.
+    pub lm_size: usize,
+    /// Decoder tuning.
+    pub decoder: DecoderConfig,
+}
+
+impl AsrProfile {
+    /// All profiles the workspace trains.
+    pub const ALL: [AsrProfile; 6] = [
+        AsrProfile::Ds0,
+        AsrProfile::Ds1,
+        AsrProfile::Gcs,
+        AsrProfile::At,
+        AsrProfile::Kaldi,
+        AsrProfile::KaldiVariant,
+    ];
+
+    /// Display name (matches the paper's system notation).
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// The training specification of this profile.
+    pub fn spec(self) -> ProfileSpec {
+        let mfcc = |frame_len: usize, hop: usize, n_mels: usize, n_cepstra: usize| MfccConfig {
+            sample_rate: 16_000,
+            frame_len,
+            hop,
+            n_fft: 512,
+            n_mels,
+            n_cepstra,
+            window: Window::Hann,
+            f_min: 50.0,
+            f_max: 8_000.0,
+            pre_emphasis: 0.97,
+            log_floor: 1e-10,
+        };
+        match self {
+            AsrProfile::Ds0 => ProfileSpec {
+                name: "DS0",
+                frontend: FrontEndConfig { mfcc: mfcc(400, 160, 26, 13), context: 1, subsample: 1 },
+                train: TrainConfig { seed: 100, hidden: 64, ..TrainConfig::default() },
+                corpus_seed: 1_000,
+                corpus_size: 70,
+                noise_prob: 0.4,
+                lm_seed: 100,
+                lm_size: 400,
+                decoder: DecoderConfig::default(),
+            },
+            AsrProfile::Ds1 => ProfileSpec {
+                name: "DS1",
+                // Same architecture as DS0; only training data and seeds
+                // differ (v0.1.0 vs v0.1.1).
+                frontend: FrontEndConfig { mfcc: mfcc(400, 160, 26, 13), context: 1, subsample: 1 },
+                train: TrainConfig { seed: 200, hidden: 64, ..TrainConfig::default() },
+                corpus_seed: 2_000,
+                corpus_size: 70,
+                noise_prob: 0.4,
+                lm_seed: 200,
+                lm_size: 400,
+                decoder: DecoderConfig::default(),
+            },
+            AsrProfile::Gcs => ProfileSpec {
+                name: "GCS",
+                frontend: FrontEndConfig { mfcc: mfcc(320, 160, 40, 13), context: 3, subsample: 1 },
+                train: TrainConfig { seed: 300, hidden: 96, ..TrainConfig::default() },
+                corpus_seed: 3_000,
+                corpus_size: 80,
+                noise_prob: 0.5,
+                lm_seed: 300,
+                lm_size: 500,
+                decoder: DecoderConfig::default(),
+            },
+            AsrProfile::At => ProfileSpec {
+                name: "AT",
+                frontend: FrontEndConfig { mfcc: mfcc(512, 192, 32, 16), context: 2, subsample: 1 },
+                train: TrainConfig { seed: 400, hidden: 80, ..TrainConfig::default() },
+                corpus_seed: 4_000,
+                corpus_size: 80,
+                noise_prob: 0.5,
+                lm_seed: 400,
+                lm_size: 500,
+                decoder: DecoderConfig::default(),
+            },
+            AsrProfile::Kaldi => ProfileSpec {
+                name: "KALDI",
+                frontend: FrontEndConfig { mfcc: mfcc(400, 160, 13, 8), context: 0, subsample: 3 },
+                train: TrainConfig { seed: 500, epochs: 4, hidden: 24, ..TrainConfig::default() },
+                corpus_seed: 5_000,
+                corpus_size: 25,
+                noise_prob: 0.9,
+                lm_seed: 500,
+                lm_size: 150,
+                decoder: DecoderConfig { min_run: 1, ..DecoderConfig::default() },
+            },
+            AsrProfile::KaldiVariant => {
+                let mut spec = AsrProfile::Kaldi.spec();
+                spec.name = "KALDI-SUB1";
+                spec.frontend.subsample = 1;
+                spec
+            }
+        }
+    }
+
+    /// Trains this profile from scratch (deterministic; a few seconds).
+    pub fn train(self) -> TrainedAsr {
+        let spec = self.spec();
+        let frontend = FeatureFrontEnd::new(spec.frontend.clone());
+
+        // 1. Acoustic model on frame-labelled synthetic speech.
+        let corpus = CorpusBuilder::new(CorpusConfig {
+            size: spec.corpus_size,
+            seed: spec.corpus_seed,
+            sample_rate: 16_000,
+            noise_prob: spec.noise_prob,
+            noise_snr_db: (12.0, 28.0),
+        })
+        .build();
+        let mut features: Vec<Vec<f64>> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        for utt in corpus.utterances() {
+            let feats = frontend.features(&utt.wave);
+            for row in 0..feats.n_frames() {
+                let center = frontend.frame_center_sample(row);
+                let label = utt
+                    .alignment
+                    .iter()
+                    .find(|a| center >= a.start && center < a.end)
+                    .map_or(Phoneme::SIL, |a| a.phoneme);
+                features.push(feats.row(row).to_vec());
+                labels.push(label.index());
+            }
+        }
+        let am = AcousticModel::train(&features, &labels, &spec.train);
+
+        // 2. Language model on this profile's own sentence sample, plus the
+        //    assistant command phrases every deployed ASR has seen.
+        let mut lm_sentences = SentenceGenerator::new(spec.lm_seed).take_sentences(spec.lm_size);
+        for cmd in command_phrases() {
+            for _ in 0..3 {
+                lm_sentences.push(cmd.to_string());
+            }
+        }
+        let lm = BigramLm::train(lm_sentences.iter().map(String::as_str), 0.05);
+
+        // 3. Decoder over the shared lexicon.
+        let decoder = Decoder::new(&Lexicon::builtin(), lm, spec.decoder.clone());
+        TrainedAsr::new(spec.name, frontend, am, decoder)
+    }
+
+    /// The process-wide cached trained instance of this profile.
+    pub fn trained(self) -> Arc<TrainedAsr> {
+        static CACHE: OnceLock<Mutex<HashMap<AsrProfile, Arc<TrainedAsr>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        // Train outside the lock only if missing; double-checked via entry.
+        {
+            let map = cache.lock().expect("profile cache poisoned");
+            if let Some(asr) = map.get(&self) {
+                return Arc::clone(asr);
+            }
+        }
+        let trained = Arc::new(self.train());
+        let mut map = cache.lock().expect("profile cache poisoned");
+        Arc::clone(map.entry(self).or_insert(trained))
+    }
+}
+
+impl std::fmt::Display for AsrProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognizer::Asr;
+    use mvp_corpus::{CorpusBuilder, CorpusConfig};
+    use mvp_textsim::wer;
+
+    #[test]
+    fn specs_are_diverse() {
+        let specs: Vec<ProfileSpec> = AsrProfile::ALL.iter().map(|p| p.spec()).collect();
+        // DS0 and DS1 share geometry but not training seeds.
+        assert_eq!(specs[0].frontend, specs[1].frontend);
+        assert_ne!(specs[0].train.seed, specs[1].train.seed);
+        assert_ne!(specs[0].corpus_seed, specs[1].corpus_seed);
+        // GCS and AT differ from DS0 in feature geometry.
+        assert_ne!(specs[2].frontend.mfcc.n_mels, specs[0].frontend.mfcc.n_mels);
+        assert_ne!(specs[3].frontend.mfcc.frame_len, specs[0].frontend.mfcc.frame_len);
+        // Kaldi subsamples; its variant does not.
+        assert_eq!(specs[4].frontend.subsample, 3);
+        assert_eq!(specs[5].frontend.subsample, 1);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> =
+            AsrProfile::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), AsrProfile::ALL.len());
+    }
+
+    #[test]
+    fn trained_is_cached() {
+        let a = AsrProfile::Ds0.trained();
+        let b = AsrProfile::Ds0.trained();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn ds0_transcribes_benign_speech_accurately() {
+        let asr = AsrProfile::Ds0.trained();
+        // Held-out corpus: seed differs from every training seed.
+        let corpus = CorpusBuilder::new(CorpusConfig {
+            size: 10,
+            seed: 777_777,
+            noise_prob: 0.3,
+            ..CorpusConfig::default()
+        })
+        .build();
+        let mut total_wer = 0.0;
+        for utt in corpus.utterances() {
+            let hyp = asr.transcribe(&utt.wave);
+            total_wer += wer(&utt.text, &hyp);
+        }
+        let mean = total_wer / 10.0;
+        assert!(mean < 0.25, "mean WER {mean}");
+    }
+
+    #[test]
+    fn profiles_disagree_more_on_kaldi() {
+        let ds0 = AsrProfile::Ds0.trained();
+        let kaldi = AsrProfile::Kaldi.trained();
+        let corpus = CorpusBuilder::new(CorpusConfig {
+            size: 6,
+            seed: 888_888,
+            noise_prob: 0.5,
+            ..CorpusConfig::default()
+        })
+        .build();
+        let mut kaldi_wer = 0.0;
+        let mut ds0_wer = 0.0;
+        for utt in corpus.utterances() {
+            ds0_wer += wer(&utt.text, &ds0.transcribe(&utt.wave));
+            kaldi_wer += wer(&utt.text, &kaldi.transcribe(&utt.wave));
+        }
+        assert!(kaldi_wer > ds0_wer, "kaldi {kaldi_wer} vs ds0 {ds0_wer}");
+    }
+}

@@ -1,0 +1,202 @@
+//! The [`Asr`] trait and the [`TrainedAsr`] pipeline implementation.
+
+use mvp_audio::Waveform;
+use mvp_dsp::mfcc::FeatureMatrix;
+use mvp_phonetics::Phoneme;
+
+use crate::am::AcousticModel;
+use crate::ctc::ctc_loss_and_grad;
+use crate::decoder::Decoder;
+use crate::features::FeatureFrontEnd;
+
+/// A speech recogniser: audio in, transcription out.
+///
+/// The detection system treats every ASR — target or auxiliary — through
+/// this interface only, mirroring the paper's claim that MVP-EARS needs no
+/// access to model internals at detection time.
+pub trait Asr: Send + Sync {
+    /// A short stable identifier (e.g. `"DS0"`).
+    fn name(&self) -> &str;
+
+    /// Transcribes `wave` to lower-case text (empty for silent audio).
+    fn transcribe(&self, wave: &Waveform) -> String;
+}
+
+/// A fully assembled simulated ASR: front end → acoustic model → decoder.
+#[derive(Debug, Clone)]
+pub struct TrainedAsr {
+    name: String,
+    frontend: FeatureFrontEnd,
+    am: AcousticModel,
+    decoder: Decoder,
+}
+
+impl TrainedAsr {
+    /// Assembles a pipeline from trained parts.
+    pub fn new(
+        name: impl Into<String>,
+        frontend: FeatureFrontEnd,
+        am: AcousticModel,
+        decoder: Decoder,
+    ) -> TrainedAsr {
+        TrainedAsr { name: name.into(), frontend, am, decoder }
+    }
+
+    /// The feature front end (exposed for attacks and diagnostics).
+    pub fn frontend(&self) -> &FeatureFrontEnd {
+        &self.frontend
+    }
+
+    /// The acoustic model.
+    pub fn acoustic_model(&self) -> &AcousticModel {
+        &self.am
+    }
+
+    /// Per-frame logits over phoneme classes for `wave`.
+    pub fn logits(&self, wave: &Waveform) -> Vec<Vec<f64>> {
+        self.am.logit_matrix(&self.frontend.features(wave))
+    }
+
+    /// Converts a text command into the CTC target sequence using the
+    /// built-in lexicon. Silence symbols (word boundaries) are *kept* —
+    /// like DeepSpeech's space character they are regular CTC symbols,
+    /// distinct from the blank.
+    pub fn target_indices(text: &str) -> Vec<usize> {
+        let lex = mvp_phonetics::Lexicon::builtin();
+        let with_sil = lex.pronounce_sentence(text);
+        if with_sil.len() <= 2 {
+            return Vec::new(); // only the framing silences: no words
+        }
+        with_sil.into_iter().map(Phoneme::index).collect()
+    }
+
+    /// CTC loss of `wave` against a target phoneme index sequence.
+    pub fn ctc_loss(&self, wave: &Waveform, target: &[usize]) -> f64 {
+        ctc_loss_and_grad(&self.logits(wave), target).0
+    }
+
+    /// CTC loss and its gradient with respect to the waveform samples —
+    /// the full differentiable chain the white-box attack optimises:
+    /// CTC → logits → acoustic model → stacked MFCC features → samples.
+    pub fn ctc_loss_and_input_grad(&self, wave: &Waveform, target: &[usize]) -> (f64, Vec<f64>) {
+        self.attack_loss_and_input_grad(wave, target, 0.0)
+    }
+
+    /// Attack loss: CTC plus `align_weight ×` a frame cross-entropy against
+    /// a proportionally stretched target alignment, with the combined
+    /// gradient w.r.t. the waveform samples.
+    ///
+    /// The auxiliary term encourages *multi-frame* phoneme runs — plain CTC
+    /// is satisfied by single-frame emissions that real decoders (including
+    /// this crate's, via its min-run filter) treat as transition noise.
+    pub fn attack_loss_and_input_grad(
+        &self,
+        wave: &Waveform,
+        target: &[usize],
+        align_weight: f64,
+    ) -> (f64, Vec<f64>) {
+        let (feats, cache) = self.frontend.features_with_cache(wave);
+        let logits = self.am.logit_matrix(&feats);
+        let (mut loss, mut d_logits) = ctc_loss_and_grad(&logits, target);
+        if !loss.is_finite() {
+            return (loss, vec![0.0; wave.len()]);
+        }
+        if align_weight > 0.0 && !logits.is_empty() {
+            let align = stretch_alignment(target, logits.len());
+            let inv_t = 1.0 / logits.len() as f64;
+            for (t, row) in logits.iter().enumerate() {
+                let probs = crate::am::softmax(row);
+                let label = align[t];
+                loss -= align_weight * probs[label].max(1e-300).ln() * inv_t;
+                for (k, &p) in probs.iter().enumerate() {
+                    d_logits[t][k] +=
+                        align_weight * (p - f64::from(k == label)) * inv_t;
+                }
+            }
+        }
+        let d_rows: Vec<Vec<f64>> = d_logits
+            .iter()
+            .enumerate()
+            .map(|(t, row)| self.am.backward_to_features(feats.row(t), row))
+            .collect();
+        let d_feats = FeatureMatrix::from_rows(d_rows, feats.dim());
+        (loss, self.frontend.backward(&cache, &d_feats))
+    }
+}
+
+/// Distributes `n_frames` frames across the target symbols proportionally
+/// to their nominal phoneme durations.
+fn stretch_alignment(target: &[usize], n_frames: usize) -> Vec<usize> {
+    assert!(!target.is_empty(), "empty target");
+    let durations: Vec<f64> = target
+        .iter()
+        .map(|&i| f64::from(Phoneme::from_index(i).acoustics().duration_ms))
+        .collect();
+    let total: f64 = durations.iter().sum();
+    let mut bounds = Vec::with_capacity(target.len());
+    let mut acc = 0.0;
+    for &d in &durations {
+        acc += d;
+        bounds.push(acc / total);
+    }
+    (0..n_frames)
+        .map(|t| {
+            let frac = (t as f64 + 0.5) / n_frames as f64;
+            let k = bounds.iter().position(|&b| frac <= b).unwrap_or(target.len() - 1);
+            target[k]
+        })
+        .collect()
+}
+
+impl Asr for TrainedAsr {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn transcribe(&self, wave: &Waveform) -> String {
+        if wave.is_empty() {
+            return String::new();
+        }
+        self.decoder.decode(&self.logits(wave))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_indices_keep_word_boundaries() {
+        let t = TrainedAsr::target_indices("open the door");
+        assert!(!t.is_empty());
+        // Framing and inter-word silences: 4 for a three-word phrase.
+        let sils = t.iter().filter(|&&i| i == Phoneme::SIL.index()).count();
+        assert_eq!(sils, 4);
+        // Never the blank.
+        assert!(t.iter().all(|&i| i < Phoneme::COUNT));
+    }
+
+    #[test]
+    fn target_indices_empty_text() {
+        assert!(TrainedAsr::target_indices("").is_empty());
+    }
+
+    #[test]
+    fn stretched_alignment_is_monotone_and_covers_target() {
+        let target = TrainedAsr::target_indices("open the door");
+        let align = super::stretch_alignment(&target, 120);
+        assert_eq!(align.len(), 120);
+        // Every target symbol appears, in order.
+        let mut collapsed = vec![align[0]];
+        for &a in &align[1..] {
+            if *collapsed.last().unwrap() != a {
+                collapsed.push(a);
+            }
+        }
+        assert_eq!(collapsed, target);
+        // Long vowels get more frames than the framing silences.
+        let vowel = target.iter().find(|&&i| Phoneme::from_index(i).is_vowel()).unwrap();
+        let vowel_frames = align.iter().filter(|&&a| a == *vowel).count();
+        assert!(vowel_frames >= 2);
+    }
+}

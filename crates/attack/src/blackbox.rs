@@ -1,0 +1,399 @@
+//! Black-box targeted attack (Taori et al. style, structured genome).
+//!
+//! Taori et al. evolve raw waveform perturbations with a genetic algorithm
+//! plus gradient estimation, spending on the order of 10⁵–10⁶ loss-value
+//! queries per audio. That query budget is far outside this workspace's
+//! single-core envelope, and an unstructured GA at a feasible budget never
+//! leaves the flat region of the CTC loss. This implementation therefore
+//! evolves a *structured* perturbation — a per-segment gain envelope over a
+//! synthesized carrier of the target phrase plus a broadband noise genome —
+//! which preserves the attack's essential properties (query-only access to
+//! loss values and transcriptions, no gradients, markedly larger residual
+//! perturbation than the white-box attack, two-word commands), while
+//! fitting in ~10³–10⁴ queries. See DESIGN.md §2 for the substitution
+//! rationale. The genome holds two piecewise-linear envelopes: a carrier
+//! gain `g(t)` and a host attenuation `a(t)`, giving the perturbed audio
+//! `a(t)·host + g(t)·carrier`. The GA penalises total perturbation energy
+//! (injected carrier plus removed host), so the search settles on the
+//! *quietest* modification that still flips the target ASR — which is what
+//! keeps the result from trivially transferring to other ASRs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mvp_asr::{Asr, TrainedAsr};
+use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+use mvp_audio::Waveform;
+use mvp_phonetics::Lexicon;
+use mvp_textsim::wer;
+
+use crate::report::AttackOutcome;
+
+/// Black-box attack hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlackBoxConfig {
+    /// Population size.
+    pub population: usize,
+    /// Maximum GA generations.
+    pub generations: usize,
+    /// Individuals copied unchanged into the next generation.
+    pub elite: usize,
+    /// Per-gene mutation probability.
+    pub mutation_p: f64,
+    /// Mutation noise standard deviation (gain units).
+    pub mutation_std: f64,
+    /// Number of gain segments across the carrier.
+    pub segments: usize,
+    /// Maximum carrier gain (caps the injection loudness).
+    pub max_gain: f64,
+    /// Minimum host attenuation (1.0 keeps the host untouched).
+    pub min_host: f64,
+    /// Weight of the injection-energy penalty in the fitness.
+    pub energy_penalty: f64,
+    /// Decode-and-check period (generations).
+    pub check_every: usize,
+    /// NES refinement steps after the GA.
+    pub nes_steps: usize,
+    /// NES probes per step.
+    pub nes_probes: usize,
+    /// NES probe magnitude (gain units).
+    pub nes_sigma: f64,
+    /// NES step size.
+    pub nes_lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlackBoxConfig {
+    fn default() -> Self {
+        BlackBoxConfig {
+            population: 20,
+            generations: 60,
+            elite: 5,
+            mutation_p: 0.25,
+            mutation_std: 0.08,
+            segments: 32,
+            max_gain: 1.2,
+            min_host: 0.0,
+            energy_penalty: 8.0,
+            check_every: 5,
+            nes_steps: 25,
+            nes_probes: 6,
+            nes_sigma: 0.04,
+            nes_lr: 0.08,
+            seed: 11,
+        }
+    }
+}
+
+/// A carrier waveform fitted to the host length.
+///
+/// The carrier is re-synthesized at an adjusted *speaking rate* when it
+/// would overrun the host — changing durations without shifting formant
+/// frequencies (a naive resample would transpose the spectrum and garble
+/// every phoneme) — then centred with zero padding.
+fn make_carrier(target_text: &str, host: &Waveform) -> Vec<f64> {
+    let synth = Synthesizer::new(host.sample_rate());
+    let lex = Lexicon::builtin();
+    // Render at a distinct pitch so the injection does not simply mask the
+    // host speech.
+    let base = SpeakerProfile { pitch_hz: 165.0, seed: 1234, ..SpeakerProfile::default() };
+    let (raw, _) = synth.synthesize(&lex, target_text, &base);
+    let n = host.len();
+    let raw = if raw.len() > n {
+        let rate = raw.len() as f32 / n as f32 * 1.05;
+        let fast = SpeakerProfile { rate: base.rate * rate, ..base };
+        synth.synthesize(&lex, target_text, &fast).0
+    } else {
+        raw
+    };
+    let mut out = vec![0.0f64; n];
+    let offset = (n.saturating_sub(raw.len())) / 2;
+    for (i, &s) in raw.samples().iter().enumerate() {
+        if offset + i < n {
+            out[offset + i] = f64::from(s);
+        }
+    }
+    out
+}
+
+/// Expands per-segment gains to a per-sample envelope (piecewise linear).
+fn envelope(gains: &[f64], n: usize) -> Vec<f64> {
+    let k = gains.len();
+    (0..n)
+        .map(|i| {
+            let pos = i as f64 / n as f64 * (k - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(k - 1);
+            let frac = pos - lo as f64;
+            gains[lo] * (1.0 - frac) + gains[hi] * frac
+        })
+        .collect()
+}
+
+/// Runs the black-box attack on `host` so that `asr` transcribes the result
+/// as `target_text`. Only loss-value and transcription queries are issued.
+///
+/// # Panics
+///
+/// Panics if `host` is empty, the configuration is degenerate, or the
+/// target text has no pronounceable words.
+pub fn blackbox_attack(
+    asr: &TrainedAsr,
+    host: &Waveform,
+    target_text: &str,
+    cfg: &BlackBoxConfig,
+) -> AttackOutcome {
+    assert!(!host.is_empty(), "host audio is empty");
+    assert!(cfg.population >= 4, "population too small");
+    assert!(cfg.elite < cfg.population, "elite must be below population size");
+    assert!(cfg.segments >= 2, "need at least two gain segments");
+    let target = TrainedAsr::target_indices(target_text);
+    assert!(!target.is_empty(), "target text has no phonemes");
+
+    let n = host.len();
+    let host_f64 = host.to_f64();
+    let carrier = make_carrier(target_text, host);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut queries = 0usize;
+
+    // Genome: [carrier gains (segments), host attenuations (segments)].
+    let k = cfg.segments;
+    let make_wave = |genome: &[f64]| -> Waveform {
+        let g_env = envelope(&genome[..k], n);
+        let a_env = envelope(&genome[k..], n);
+        Waveform::from_samples(
+            (0..n)
+                .map(|i| (a_env[i] * host_f64[i] + g_env[i] * carrier[i]) as f32)
+                .collect(),
+            host.sample_rate(),
+        )
+    };
+    // Perturbation energy: injected carrier plus removed host signal.
+    let mean_energy = |genome: &[f64]| {
+        let inject: f64 = genome[..k].iter().map(|g| g * g).sum::<f64>();
+        let removed: f64 = genome[k..].iter().map(|a| (1.0 - a) * (1.0 - a)).sum::<f64>();
+        (inject + removed) / k as f64
+    };
+    let fitness_of = |genome: &[f64], queries: &mut usize| -> f64 {
+        *queries += 1;
+        asr.ctc_loss(&make_wave(genome), &target) + cfg.energy_penalty * mean_energy(genome)
+    };
+    let clamp_gene = |idx: usize, v: f64| -> f64 {
+        if idx < k {
+            v.clamp(0.0, cfg.max_gain)
+        } else {
+            v.clamp(cfg.min_host, 1.0)
+        }
+    };
+
+    // Initial population: carrier faded in at varying levels, host ducked
+    // to varying degrees (some individuals start near the trivial pure
+    // carrier solution so the GA always has a working ancestor to refine).
+    let mut population: Vec<Vec<f64>> = (0..cfg.population)
+        .map(|p| {
+            let g0 = 0.2 + 0.8 * p as f64 / cfg.population as f64;
+            let a0 = 1.0 - g0 * 0.9;
+            (0..2 * k)
+                .map(|i| {
+                    let base = if i < k { g0 } else { a0 };
+                    clamp_gene(i, base + rng.gen_range(-0.1..0.1))
+                })
+                .collect()
+        })
+        .collect();
+    let mut fitness: Vec<f64> =
+        population.iter().map(|g| fitness_of(g, &mut queries)).collect();
+
+    // Refinement: given a successful genome, shrink the perturbation while
+    // the attack keeps succeeding — first a binary search on a global blend
+    // toward the identity genome (g = 0, a = 1), then greedy per-gene
+    // reductions. Mirrors the white-box bound-shrinking phase with
+    // query-only access.
+    let identity: Vec<f64> = (0..2 * k).map(|i| if i < k { 0.0 } else { 1.0 }).collect();
+    let minimise = |genome: Vec<f64>,
+                    rng: &mut StdRng,
+                    queries: &mut usize,
+                    iterations: usize|
+     -> AttackOutcome {
+        let still_hits = |g: &[f64], queries: &mut usize| -> Option<String> {
+            *queries += 1;
+            let text = asr.transcribe(&make_wave(g));
+            (wer(target_text, &text) == 0.0).then_some(text)
+        };
+        let blend = |lam: f64, from: &[f64]| -> Vec<f64> {
+            from.iter()
+                .zip(&identity)
+                .map(|(&g, &id)| id + lam * (g - id))
+                .collect()
+        };
+        let mut best = genome;
+        // Binary search the smallest working global blend.
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..7 {
+            let mid = (lo + hi) / 2.0;
+            if still_hits(&blend(mid, &best), queries).is_some() {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        best = blend(hi, &best);
+        // Greedy per-gene pass in random order.
+        let mut order: Vec<usize> = (0..2 * k).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            let mut trial = best.clone();
+            trial[i] = identity[i] + 0.4 * (trial[i] - identity[i]);
+            if still_hits(&trial, queries).is_some() {
+                best = trial;
+            }
+        }
+        let wave = make_wave(&best);
+        let text = asr.transcribe(&wave);
+        *queries += 1;
+        let loss = asr.ctc_loss(&wave, &target);
+        *queries += 1;
+        AttackOutcome::new(host, wave, true, text, iterations, *queries, loss)
+    };
+
+    let mut generations_used = 0;
+    for gen in 0..cfg.generations {
+        generations_used = gen + 1;
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("NaN fitness"));
+        let sorted: Vec<Vec<f64>> = order.iter().map(|&i| population[i].clone()).collect();
+
+        if gen % cfg.check_every == 0 {
+            let text = asr.transcribe(&make_wave(&sorted[0]));
+            queries += 1;
+            if wer(target_text, &text) == 0.0 {
+                return minimise(sorted[0].clone(), &mut rng, &mut queries, generations_used);
+            }
+        }
+
+        let mut next: Vec<Vec<f64>> = sorted[..cfg.elite].to_vec();
+        while next.len() < cfg.population {
+            let half = (cfg.population / 2).max(2);
+            let pa = &sorted[rng.gen_range(0..half)];
+            let pb = &sorted[rng.gen_range(0..half)];
+            let mut child: Vec<f64> = pa
+                .iter()
+                .zip(pb)
+                .map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b })
+                .collect();
+            for (i, c) in child.iter_mut().enumerate() {
+                if rng.gen_bool(cfg.mutation_p) {
+                    *c += rng.gen_range(-1.0..1.0) * cfg.mutation_std * 3.0;
+                }
+                *c = clamp_gene(i, *c);
+            }
+            next.push(child);
+        }
+        population = next;
+        fitness = population.iter().map(|g| fitness_of(g, &mut queries)).collect();
+    }
+
+    // NES refinement on the best envelope.
+    let mut order: Vec<usize> = (0..population.len()).collect();
+    order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("NaN fitness"));
+    let mut best = population[order[0]].clone();
+    let mut best_fit = fitness[order[0]];
+    for step in 0..cfg.nes_steps {
+        let mut grad = vec![0.0f64; 2 * k];
+        for _ in 0..cfg.nes_probes {
+            let u: Vec<f64> = (0..2 * k).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+            let probe: Vec<f64> = best
+                .iter()
+                .zip(&u)
+                .enumerate()
+                .map(|(i, (&g, &ui))| clamp_gene(i, g + cfg.nes_sigma * ui))
+                .collect();
+            let f = fitness_of(&probe, &mut queries);
+            let w = (f - best_fit) / cfg.nes_sigma;
+            for (gr, &ui) in grad.iter_mut().zip(&u) {
+                *gr += w * ui / cfg.nes_probes as f64;
+            }
+        }
+        for (i, (g, gr)) in best.iter_mut().zip(&grad).enumerate() {
+            *g = clamp_gene(i, *g - cfg.nes_lr * gr);
+        }
+        best_fit = fitness_of(&best, &mut queries);
+        if step % cfg.check_every == 0 {
+            let text = asr.transcribe(&make_wave(&best));
+            queries += 1;
+            if wer(target_text, &text) == 0.0 {
+                return minimise(best, &mut rng, &mut queries, generations_used + step + 1);
+            }
+        }
+    }
+
+    let wave = make_wave(&best);
+    let text = asr.transcribe(&wave);
+    if wer(target_text, &text) == 0.0 {
+        return minimise(best, &mut rng, &mut queries, generations_used + cfg.nes_steps);
+    }
+    AttackOutcome::new(
+        host,
+        wave,
+        false,
+        text,
+        generations_used + cfg.nes_steps,
+        queries,
+        best_fit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_asr::AsrProfile;
+
+    fn host(text: &str) -> Waveform {
+        let synth = Synthesizer::new(16_000);
+        let (w, _) = synth.synthesize(&Lexicon::builtin(), text, &SpeakerProfile::default());
+        w
+    }
+
+    #[test]
+    fn blackbox_succeeds_on_two_word_command() {
+        let asr = AsrProfile::Ds0.trained();
+        let h = host("the man found the book");
+        let out = blackbox_attack(&asr, &h, "call home", &BlackBoxConfig::default());
+        assert!(out.success, "attack failed: {out}");
+        assert_eq!(out.final_transcription, "call home");
+        assert!(out.queries > 50);
+        // Black-box perturbations are larger than white-box (paper: 94.6%
+        // vs 99.9% similarity): ours are audible injections.
+        assert!(out.similarity < 0.98);
+    }
+
+    #[test]
+    fn envelope_interpolates_linearly() {
+        let env = envelope(&[0.0, 1.0], 5);
+        assert!((env[0] - 0.0).abs() < 1e-12);
+        assert!((env[4] - 0.8).abs() < 1e-12);
+        for w in env.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn carrier_matches_host_length() {
+        let h = host("good morning");
+        let c = make_carrier("call home", &h);
+        assert_eq!(c.len(), h.len());
+        assert!(c.iter().any(|&v| v.abs() > 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn tiny_population_rejected() {
+        let asr = AsrProfile::Ds0.trained();
+        let h = Waveform::from_samples(vec![0.1; 100], 16_000);
+        blackbox_attack(&asr, &h, "call home", &BlackBoxConfig { population: 2, ..BlackBoxConfig::default() });
+    }
+}

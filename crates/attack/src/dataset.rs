@@ -1,0 +1,151 @@
+//! Batch generation of labelled AE datasets (paper Table II).
+//!
+//! Only *verified* AEs are kept — as in the paper, every dataset entry is
+//! checked to fool the target model before inclusion.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mvp_asr::TrainedAsr;
+use mvp_audio::Waveform;
+use mvp_corpus::Utterance;
+
+use crate::blackbox::{blackbox_attack, BlackBoxConfig};
+use crate::whitebox::{whitebox_attack, WhiteBoxConfig};
+
+/// Which attack family produced an AE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AeKind {
+    /// Carlini & Wagner-style gradient attack.
+    WhiteBox,
+    /// Taori et al.-style genetic attack.
+    BlackBox,
+}
+
+impl std::fmt::Display for AeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AeKind::WhiteBox => "white-box",
+            AeKind::BlackBox => "black-box",
+        })
+    }
+}
+
+/// One verified adversarial example.
+#[derive(Debug, Clone)]
+pub struct GeneratedAe {
+    /// The attack family.
+    pub kind: AeKind,
+    /// Ground-truth transcription of the host audio.
+    pub host_text: String,
+    /// The embedded command.
+    pub command: String,
+    /// The adversarial waveform (verified to fool the target ASR).
+    pub wave: Waveform,
+    /// Host/AE percentage similarity.
+    pub similarity: f64,
+}
+
+/// Two-word command phrases used for black-box AEs (the paper notes the
+/// genetic attack "only embeds up to two words in one audio").
+pub fn blackbox_commands() -> Vec<&'static str> {
+    vec!["call home", "stop music", "read email", "set timer", "delete files", "open door"]
+}
+
+/// Generates up to `count` verified AEs of `kind` against `target_asr`,
+/// cycling through `hosts` and `commands` deterministically (skipping
+/// host/command pairs whose attack fails verification).
+///
+/// # Panics
+///
+/// Panics if `hosts` or `commands` is empty.
+pub fn generate_ae_dataset(
+    target_asr: &TrainedAsr,
+    hosts: &[Utterance],
+    commands: &[&str],
+    kind: AeKind,
+    count: usize,
+    seed: u64,
+) -> Vec<GeneratedAe> {
+    assert!(!hosts.is_empty(), "no host audio");
+    assert!(!commands.is_empty(), "no commands");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wb_cfg = WhiteBoxConfig::default();
+    let mut out = Vec::with_capacity(count);
+    let mut attempt = 0usize;
+    // Allow a bounded number of failures before giving up.
+    let max_attempts = count * 3 + 10;
+    while out.len() < count && attempt < max_attempts {
+        let host = &hosts[attempt % hosts.len()];
+        let command = commands[attempt % commands.len()];
+        attempt += 1;
+        if host.text == command {
+            continue; // degenerate pair: nothing to attack
+        }
+        let outcome = match kind {
+            AeKind::WhiteBox => whitebox_attack(target_asr, &host.wave, command, &wb_cfg),
+            AeKind::BlackBox => {
+                let bb_cfg = BlackBoxConfig { seed: rng.gen(), ..BlackBoxConfig::default() };
+                blackbox_attack(target_asr, &host.wave, command, &bb_cfg)
+            }
+        };
+        if outcome.success {
+            out.push(GeneratedAe {
+                kind,
+                host_text: host.text.clone(),
+                command: command.to_string(),
+                wave: outcome.adversarial,
+                similarity: outcome.similarity,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_asr::{Asr, AsrProfile};
+    use mvp_corpus::{CorpusBuilder, CorpusConfig};
+    use mvp_textsim::wer;
+
+    #[test]
+    fn whitebox_dataset_entries_are_verified() {
+        let asr = AsrProfile::Ds0.trained();
+        let hosts = CorpusBuilder::new(CorpusConfig {
+            size: 3,
+            seed: 31_337,
+            noise_prob: 0.0,
+            ..CorpusConfig::default()
+        })
+        .build();
+        let aes = generate_ae_dataset(
+            &asr,
+            hosts.utterances(),
+            &["open the front door", "unlock the garage"],
+            AeKind::WhiteBox,
+            2,
+            5,
+        );
+        assert_eq!(aes.len(), 2);
+        for ae in &aes {
+            assert_eq!(wer(&ae.command, &asr.transcribe(&ae.wave)), 0.0, "{}", ae.command);
+            assert_ne!(ae.host_text, ae.command);
+            assert!(ae.similarity > 0.2);
+        }
+    }
+
+    #[test]
+    fn blackbox_commands_are_two_words() {
+        for c in blackbox_commands() {
+            assert_eq!(c.split_whitespace().count(), 2, "{c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no host")]
+    fn empty_hosts_rejected() {
+        let asr = AsrProfile::Ds0.trained();
+        generate_ae_dataset(&asr, &[], &["x"], AeKind::WhiteBox, 1, 1);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Audio adversarial example generation.
+//!
+//! Implements the two attack families the paper's AE dataset is built from
+//! (Table II), plus the auxiliary constructions its experiments need:
+//!
+//! - [`whitebox`]: the Carlini & Wagner-style targeted attack — gradient
+//!   descent on the CTC loss toward an attacker-chosen phrase, with the
+//!   gradient backpropagated through the target ASR's acoustic model *and*
+//!   MFCC pipeline into the waveform, under an L∞ imperceptibility bound;
+//! - [`blackbox`]: the Taori et al.-style attack — a genetic algorithm over
+//!   waveform perturbations with a gradient-estimation refinement phase,
+//!   using only loss-value queries;
+//! - [`noise`]: non-targeted AEs built by mixing noise at a target SNR
+//!   until the word error rate exceeds a threshold (paper §V-J);
+//! - [`recursive`]: the CommanderSong-style two-iteration recursive
+//!   generation used in the paper's Section III transferability study;
+//! - [`dataset`]: parallel batch generation of labelled AE datasets.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mvp_asr::AsrProfile;
+//! use mvp_attack::whitebox::{whitebox_attack, WhiteBoxConfig};
+//! use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+//! use mvp_phonetics::Lexicon;
+//!
+//! let asr = AsrProfile::Ds0.trained();
+//! let synth = Synthesizer::new(16_000);
+//! let (host, _) = synth.synthesize(&Lexicon::builtin(), "i wish you wouldn't", &SpeakerProfile::default());
+//! let out = whitebox_attack(&asr, &host, "open the front door", &WhiteBoxConfig::default());
+//! assert!(out.success);
+//! ```
+
+pub mod blackbox;
+pub mod dataset;
+pub mod joint;
+pub mod noise;
+pub mod recursive;
+pub mod report;
+pub mod whitebox;
+
+pub use blackbox::{blackbox_attack, BlackBoxConfig};
+pub use dataset::{blackbox_commands, generate_ae_dataset, AeKind, GeneratedAe};
+pub use joint::{joint_attack, JointOutcome};
+pub use noise::nontargeted_ae;
+pub use recursive::{recursive_attack, RecursiveOutcome};
+pub use report::AttackOutcome;
+pub use whitebox::{whitebox_attack, WhiteBoxConfig};

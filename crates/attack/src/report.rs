@@ -1,0 +1,93 @@
+//! Attack outcome record shared by all attack families.
+
+use mvp_audio::{perturbation_similarity, perturbation_snr_db, Waveform};
+
+/// The result of one attack attempt.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The (possibly unsuccessful) adversarial waveform.
+    pub adversarial: Waveform,
+    /// Whether the target ASR transcribed it as the target phrase.
+    pub success: bool,
+    /// The transcription the target ASR produced for the final waveform.
+    pub final_transcription: String,
+    /// Optimisation iterations (white-box) or generations (black-box) used.
+    pub iterations: usize,
+    /// Loss-value queries issued (black-box; 0 for white-box).
+    pub queries: usize,
+    /// Final CTC loss against the target phrase.
+    pub final_loss: f64,
+    /// The paper's percentage similarity between AE and host.
+    pub similarity: f64,
+    /// Signal-to-perturbation ratio in dB.
+    pub snr_db: f64,
+}
+
+impl AttackOutcome {
+    /// Assembles an outcome, computing the perturbation metrics.
+    pub fn new(
+        host: &Waveform,
+        adversarial: Waveform,
+        success: bool,
+        final_transcription: String,
+        iterations: usize,
+        queries: usize,
+        final_loss: f64,
+    ) -> AttackOutcome {
+        let similarity = perturbation_similarity(host, &adversarial);
+        let snr_db = perturbation_snr_db(host, &adversarial);
+        AttackOutcome {
+            adversarial,
+            success,
+            final_transcription,
+            iterations,
+            queries,
+            final_loss,
+            similarity,
+            snr_db,
+        }
+    }
+}
+
+impl std::fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} after {} iters (loss {:.3}, similarity {:.2}%, SNR {:.1} dB) -> {:?}",
+            if self.success { "SUCCESS" } else { "FAILURE" },
+            self.iterations,
+            self.final_loss,
+            self.similarity * 100.0,
+            self.snr_db,
+            self.final_transcription,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_display() {
+        let host = Waveform::from_samples(vec![0.5; 64], 16_000);
+        let o = AttackOutcome::new(&host, host.clone(), false, "noise".into(), 3, 42, 9.0);
+        let s = o.to_string();
+        assert!(s.contains("FAILURE") && !s.contains("42")); // queries not in display
+        assert_eq!(o.queries, 42);
+        assert_eq!(o.similarity, 1.0); // identical waveforms
+    }
+
+    #[test]
+    fn metrics_computed_from_waveforms() {
+        let host = Waveform::from_samples((0..400).map(|i| (i as f32 * 0.1).sin() * 0.5).collect(), 16_000);
+        let mut ae = host.clone();
+        for s in ae.samples_mut() {
+            *s += 0.005;
+        }
+        let o = AttackOutcome::new(&host, ae, true, "x".into(), 10, 0, 0.5);
+        assert!(o.similarity > 0.9 && o.similarity < 1.0);
+        assert!(o.snr_db > 20.0);
+        assert!(o.to_string().contains("SUCCESS"));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Audio substrate: waveform container, WAV I/O, formant speech synthesis
+//! and calibrated noise generation.
+//!
+//! The paper evaluates on LibriSpeech / CommonVoice recordings; this crate
+//! provides the offline substitute — a deterministic formant synthesizer
+//! driven by the ARPAbet phoneme inventory of `mvp-phonetics` (see
+//! DESIGN.md §2 for why this preserves the behaviour the detector depends
+//! on). The synthesizer also returns sample-exact phoneme alignments, which
+//! is what lets the simulated acoustic models be trained with frame-level
+//! supervision.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+//! use mvp_phonetics::Lexicon;
+//!
+//! let synth = Synthesizer::new(16_000);
+//! let lex = Lexicon::builtin();
+//! let (wave, alignment) = synth.synthesize(&lex, "open the door", &SpeakerProfile::default());
+//! assert!(wave.duration_secs() > 0.5);
+//! assert_eq!(alignment.first().unwrap().phoneme, mvp_phonetics::Phoneme::SIL);
+//! ```
+
+pub mod metrics;
+pub mod resample;
+pub mod noise;
+pub mod synth;
+pub mod wav;
+pub mod waveform;
+
+pub use metrics::{perturbation_linf, perturbation_similarity, perturbation_snr_db};
+pub use noise::NoiseKind;
+pub use resample::resample;
+pub use synth::{AlignedPhoneme, SpeakerProfile, Synthesizer};
+pub use waveform::Waveform;

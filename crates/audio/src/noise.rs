@@ -1,0 +1,203 @@
+//! Noise generators and SNR-calibrated mixing.
+//!
+//! Section V-J of the paper builds non-targeted AEs by mixing noise into
+//! benign samples at −6 dB SNR; this module provides the generators and the
+//! calibrated mixer.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::waveform::Waveform;
+
+/// The noise colour / texture to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseKind {
+    /// Flat-spectrum noise.
+    White,
+    /// `1/f`-ish noise (Voss–McCartney approximation).
+    Pink,
+    /// Speech-shaped "crowd" noise: random formant-like chirps.
+    Babble,
+}
+
+impl NoiseKind {
+    /// Generates `n` samples of this noise at `sample_rate` Hz with unit
+    /// peak normalisation, deterministically from `seed`.
+    pub fn generate(self, n: usize, sample_rate: u32, seed: u64) -> Waveform {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let samples = match self {
+            NoiseKind::White => (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            NoiseKind::Pink => pink(n, &mut rng),
+            NoiseKind::Babble => babble(n, sample_rate, &mut rng),
+        };
+        let mut w = Waveform::from_samples(samples, sample_rate);
+        let peak = w.peak();
+        if peak > 0.0 {
+            w.scale(1.0 / peak);
+        }
+        w
+    }
+}
+
+fn pink(n: usize, rng: &mut SmallRng) -> Vec<f32> {
+    // Voss–McCartney: sum of octave-spaced held white sources.
+    const ROWS: usize = 12;
+    let mut rows = [0.0f32; ROWS];
+    for r in rows.iter_mut() {
+        *r = rng.gen_range(-1.0..1.0);
+    }
+    (0..n)
+        .map(|i| {
+            for (b, r) in rows.iter_mut().enumerate() {
+                if i % (1usize << b) == 0 {
+                    *r = rng.gen_range(-1.0..1.0);
+                }
+            }
+            rows.iter().sum::<f32>() / ROWS as f32
+        })
+        .collect()
+}
+
+fn babble(n: usize, sample_rate: u32, rng: &mut SmallRng) -> Vec<f32> {
+    // Several overlapping "voices": slowly re-tuned formant pairs.
+    const VOICES: usize = 6;
+    let sr = sample_rate as f32;
+    let mut freqs: Vec<(f32, f32)> = (0..VOICES)
+        .map(|_| (rng.gen_range(200.0f32..900.0), rng.gen_range(900.0f32..2600.0)))
+        .collect();
+    let mut phases = [(0.0f32, 0.0f32); VOICES];
+    let retune = (0.12 * sr) as usize; // ~120 ms syllable rate
+    (0..n)
+        .map(|i| {
+            if i % retune.max(1) == 0 {
+                for f in freqs.iter_mut() {
+                    *f = (rng.gen_range(200.0..900.0), rng.gen_range(900.0..2600.0));
+                }
+            }
+            let mut v = 0.0f32;
+            for (vi, &(f1, f2)) in freqs.iter().enumerate() {
+                let (p1, p2) = &mut phases[vi];
+                *p1 += std::f32::consts::TAU * f1 / sr;
+                *p2 += std::f32::consts::TAU * f2 / sr;
+                v += p1.sin() + 0.6 * p2.sin();
+            }
+            v / (VOICES as f32 * 1.6)
+        })
+        .collect()
+}
+
+/// Mixes `noise` into `signal` scaled so the result has the requested
+/// signal-to-noise ratio in dB, returning the noisy waveform.
+///
+/// The noise is cycled if shorter than the signal. A negative `snr_db`
+/// makes the noise louder than the signal (the paper uses −6 dB).
+///
+/// # Panics
+///
+/// Panics if sample rates differ, `signal` is silent, or `noise` is empty.
+pub fn mix_at_snr(signal: &Waveform, noise: &Waveform, snr_db: f64) -> Waveform {
+    assert_eq!(signal.sample_rate(), noise.sample_rate(), "sample-rate mismatch");
+    assert!(!noise.is_empty(), "noise buffer is empty");
+    let signal_rms = signal.rms() as f64;
+    assert!(signal_rms > 0.0, "cannot set SNR for a silent signal");
+    let noise_rms = noise.rms() as f64;
+    assert!(noise_rms > 0.0, "noise is silent");
+    // SNR = 20 log10(s_rms / n_rms)  =>  n_rms_target = s_rms / 10^(SNR/20)
+    let target = signal_rms / 10f64.powf(snr_db / 20.0);
+    let gain = (target / noise_rms) as f32;
+    let mut out = signal.clone();
+    let ns = noise.samples();
+    for (i, s) in out.samples_mut().iter_mut().enumerate() {
+        *s += ns[i % ns.len()] * gain;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize) -> Waveform {
+        Waveform::from_samples(
+            (0..n).map(|i| (i as f32 * 0.2).sin() * 0.5).collect(),
+            16_000,
+        )
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        for kind in [NoiseKind::White, NoiseKind::Pink, NoiseKind::Babble] {
+            let a = kind.generate(1024, 16_000, 5);
+            let b = kind.generate(1024, 16_000, 5);
+            assert_eq!(a, b, "{kind:?}");
+            let c = kind.generate(1024, 16_000, 6);
+            assert_ne!(a, c, "{kind:?} ignores seed");
+        }
+    }
+
+    #[test]
+    fn generators_normalised() {
+        for kind in [NoiseKind::White, NoiseKind::Pink, NoiseKind::Babble] {
+            let w = kind.generate(4096, 16_000, 1);
+            assert!((w.peak() - 1.0).abs() < 1e-6, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mix_achieves_requested_snr() {
+        let signal = tone(8000);
+        let noise = NoiseKind::White.generate(8000, 16_000, 3);
+        for snr in [-6.0, 0.0, 10.0, 20.0] {
+            let noisy = mix_at_snr(&signal, &noise, snr);
+            // Recover the injected noise and measure its level.
+            let injected: Vec<f32> = noisy
+                .samples()
+                .iter()
+                .zip(signal.samples())
+                .map(|(a, b)| a - b)
+                .collect();
+            let injected = Waveform::from_samples(injected, 16_000);
+            let measured = 20.0 * (signal.rms() as f64 / injected.rms() as f64).log10();
+            assert!((measured - snr).abs() < 0.5, "wanted {snr}, got {measured}");
+        }
+    }
+
+    #[test]
+    fn negative_snr_noise_dominates() {
+        let signal = tone(4000);
+        let noise = NoiseKind::White.generate(4000, 16_000, 3);
+        let noisy = mix_at_snr(&signal, &noise, -6.0);
+        assert!(noisy.rms() > signal.rms());
+    }
+
+    #[test]
+    #[should_panic(expected = "silent")]
+    fn silent_signal_rejected() {
+        let silent = Waveform::from_samples(vec![0.0; 100], 16_000);
+        let noise = NoiseKind::White.generate(100, 16_000, 1);
+        mix_at_snr(&silent, &noise, 0.0);
+    }
+
+    #[test]
+    fn pink_has_more_low_frequency_energy_than_white() {
+        // Compare energy below ~300 Hz via a crude running-mean filter.
+        let low_energy = |w: &Waveform| {
+            let k = 32;
+            let s = w.samples();
+            let mut acc = 0.0f64;
+            for i in k..s.len() {
+                let mean: f32 = s[i - k..i].iter().sum::<f32>() / k as f32;
+                acc += (mean as f64) * (mean as f64);
+            }
+            acc / (s.len() - k) as f64
+        };
+        let rms_norm = |mut w: Waveform| {
+            let r = w.rms();
+            w.scale(1.0 / r);
+            w
+        };
+        let pink = rms_norm(NoiseKind::Pink.generate(16_384, 16_000, 2));
+        let white = rms_norm(NoiseKind::White.generate(16_384, 16_000, 2));
+        assert!(low_energy(&pink) > 3.0 * low_energy(&white));
+    }
+}

@@ -1,0 +1,102 @@
+//! Sample-rate conversion (linear interpolation).
+//!
+//! Real deployments feed ASRs audio captured at many rates; the cloud ASRs
+//! the paper uses resample internally. This module provides the conversion
+//! so recordings at other rates can enter the 16 kHz pipeline.
+
+use crate::waveform::Waveform;
+
+/// Resamples `wave` to `target_rate` Hz by linear interpolation.
+///
+/// Linear interpolation is adequate for speech at the rates used here
+/// (8–48 kHz); it attenuates the top octave slightly but preserves formant
+/// structure. Returns the input unchanged when the rates already match.
+///
+/// # Panics
+///
+/// Panics if `target_rate == 0`.
+pub fn resample(wave: &Waveform, target_rate: u32) -> Waveform {
+    assert!(target_rate > 0, "target rate must be positive");
+    if wave.sample_rate() == target_rate || wave.is_empty() {
+        return Waveform::from_samples(wave.samples().to_vec(), target_rate.max(1));
+    }
+    let src = wave.samples();
+    let ratio = wave.sample_rate() as f64 / target_rate as f64;
+    let out_len = ((src.len() as f64) / ratio).round() as usize;
+    let samples: Vec<f32> = (0..out_len)
+        .map(|i| {
+            let pos = i as f64 * ratio;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(src.len() - 1);
+            let frac = (pos - lo as f64) as f32;
+            src[lo.min(src.len() - 1)] * (1.0 - frac) + src[hi] * frac
+        })
+        .collect();
+    Waveform::from_samples(samples, target_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(hz: f32, rate: u32, secs: f32) -> Waveform {
+        let n = (rate as f32 * secs) as usize;
+        Waveform::from_samples(
+            (0..n)
+                .map(|i| (std::f32::consts::TAU * hz * i as f32 / rate as f32).sin() * 0.5)
+                .collect(),
+            rate,
+        )
+    }
+
+    #[test]
+    fn identity_when_rates_match() {
+        let w = tone(440.0, 16_000, 0.1);
+        let r = resample(&w, 16_000);
+        assert_eq!(r, w);
+    }
+
+    #[test]
+    fn length_scales_with_ratio() {
+        let w = tone(440.0, 16_000, 0.5);
+        let up = resample(&w, 32_000);
+        let down = resample(&w, 8_000);
+        assert!((up.len() as f64 - 2.0 * w.len() as f64).abs() <= 2.0);
+        assert!((down.len() as f64 - 0.5 * w.len() as f64).abs() <= 2.0);
+        assert_eq!(up.sample_rate(), 32_000);
+        assert!((up.duration_secs() - w.duration_secs()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tone_frequency_preserved() {
+        // Zero-crossing count approximates frequency; it must survive the
+        // round trip within a few percent.
+        let crossings = |w: &Waveform| {
+            w.samples().windows(2).filter(|p| p[0].signum() != p[1].signum()).count()
+        };
+        let w = tone(440.0, 48_000, 0.5);
+        let down = resample(&w, 16_000);
+        let expected = crossings(&w) as f64;
+        let got = crossings(&down) as f64;
+        assert!((got - expected).abs() / expected < 0.03, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn roundtrip_rms_close() {
+        let w = tone(300.0, 16_000, 0.25);
+        let back = resample(&resample(&w, 8_000), 16_000);
+        assert!((back.rms() - w.rms()).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_input() {
+        let w = Waveform::new(16_000);
+        assert!(resample(&w, 8_000).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        resample(&tone(440.0, 16_000, 0.01), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic formant speech synthesizer.
+//!
+//! Renders ARPAbet phoneme sequences as waveforms whose spectra carry the
+//! per-phoneme formant / noise-band signatures declared in
+//! [`mvp_phonetics::Phoneme::acoustics`]. Homophones therefore synthesize to
+//! *identical* audio, which is what exercises the paper's phonetic-encoding
+//! rationale, and the returned sample-exact alignment provides frame-level
+//! supervision for acoustic-model training.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mvp_phonetics::{Lexicon, Phoneme};
+
+use crate::waveform::Waveform;
+
+/// Per-speaker rendering parameters.
+///
+/// Corpus speakers vary pitch, vocal-tract length (formant scale), speaking
+/// rate and breathiness — enough speaker diversity that the ASR profiles do
+/// not trivially memorise one voice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeakerProfile {
+    /// Glottal fundamental in Hz.
+    pub pitch_hz: f32,
+    /// Multiplier applied to every formant frequency (vocal-tract length).
+    pub formant_scale: f32,
+    /// Speaking-rate multiplier (`> 1` is faster).
+    pub rate: f32,
+    /// Overall output amplitude.
+    pub amplitude: f32,
+    /// Level of broadband aspiration noise.
+    pub breathiness: f32,
+    /// Seed controlling phases and duration jitter.
+    pub seed: u64,
+}
+
+impl Default for SpeakerProfile {
+    fn default() -> Self {
+        SpeakerProfile {
+            pitch_hz: 120.0,
+            formant_scale: 1.0,
+            rate: 1.0,
+            amplitude: 0.3,
+            breathiness: 0.015,
+            seed: 7,
+        }
+    }
+}
+
+/// One phoneme occurrence with its sample span `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignedPhoneme {
+    /// The rendered phoneme.
+    pub phoneme: Phoneme,
+    /// First sample index of the segment.
+    pub start: usize,
+    /// One past the last sample index.
+    pub end: usize,
+}
+
+/// The formant synthesizer.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    sample_rate: u32,
+}
+
+impl Synthesizer {
+    /// A synthesizer emitting audio at `sample_rate` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate == 0`.
+    pub fn new(sample_rate: u32) -> Synthesizer {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        Synthesizer { sample_rate }
+    }
+
+    /// Output sample rate in Hz.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Renders `text` using pronunciations from `lexicon`.
+    pub fn synthesize(
+        &self,
+        lexicon: &Lexicon,
+        text: &str,
+        speaker: &SpeakerProfile,
+    ) -> (Waveform, Vec<AlignedPhoneme>) {
+        self.synthesize_phonemes(&lexicon.pronounce_sentence(text), speaker)
+    }
+
+    /// Renders an explicit phoneme sequence.
+    pub fn synthesize_phonemes(
+        &self,
+        phonemes: &[Phoneme],
+        speaker: &SpeakerProfile,
+    ) -> (Waveform, Vec<AlignedPhoneme>) {
+        let sr = self.sample_rate as f32;
+        let mut samples: Vec<f32> = Vec::new();
+        let mut alignment = Vec::with_capacity(phonemes.len());
+        for (idx, &ph) in phonemes.iter().enumerate() {
+            let mut rng = segment_rng(speaker.seed, idx, ph);
+            let ac = ph.acoustics();
+            let jitter = 1.0 + rng.gen_range(-0.1..0.1);
+            let dur_ms = ac.duration_ms * jitter / speaker.rate;
+            let n = ((dur_ms / 1000.0) * sr).round().max(1.0) as usize;
+            let start = samples.len();
+            let segment = self.render_segment(ph, n, start, speaker, &mut rng);
+            samples.extend(segment);
+            alignment.push(AlignedPhoneme { phoneme: ph, start, end: samples.len() });
+        }
+        (Waveform::from_samples(samples, self.sample_rate), alignment)
+    }
+
+    fn render_segment(
+        &self,
+        ph: Phoneme,
+        n: usize,
+        global_start: usize,
+        speaker: &SpeakerProfile,
+        rng: &mut SmallRng,
+    ) -> Vec<f32> {
+        let sr = self.sample_rate as f32;
+        let ac = ph.acoustics();
+        if ph == Phoneme::SIL {
+            // Near-silence with a trace of room tone.
+            return (0..n)
+                .map(|_| rng.gen_range(-1.0f32..1.0) * speaker.breathiness * 0.2)
+                .collect();
+        }
+        // Phase offsets fixed per segment for determinism.
+        let formant_phases: Vec<f32> =
+            (0..3).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
+        // Band noise approximated by a bank of random sinusoids.
+        const NOISE_PARTIALS: usize = 12;
+        let noise_partials: Vec<(f32, f32)> = (0..NOISE_PARTIALS)
+            .map(|_| {
+                let (center, bw, _) = ac.noise_band;
+                let f = rng.gen_range((center - bw / 2.0).max(100.0)..(center + bw / 2.0).max(200.0));
+                (f, rng.gen_range(0.0..std::f32::consts::TAU))
+            })
+            .collect();
+        let ramp = (n / 4).min((0.008 * sr) as usize).max(1);
+        let mut out = Vec::with_capacity(n);
+        for t in 0..n {
+            let time = t as f32 / sr;
+            let global_time = (global_start + t) as f32 / sr;
+            let mut v = 0.0f32;
+            for (fi, &(freq, amp)) in ac.formants.iter().enumerate() {
+                if freq > 0.0 && amp > 0.0 {
+                    let f = freq * speaker.formant_scale;
+                    v += amp * (std::f32::consts::TAU * f * time + formant_phases[fi]).sin();
+                }
+            }
+            if ac.voiced {
+                // Glottal amplitude modulation adds pitch harmonics; global
+                // time keeps the pitch phase continuous across segments.
+                let glottal =
+                    (1.0 + 0.6 * (std::f32::consts::TAU * speaker.pitch_hz * global_time).sin())
+                        / 1.6;
+                v *= glottal;
+                v += 0.12 * (std::f32::consts::TAU * speaker.pitch_hz * global_time).sin();
+            }
+            let (_, _, namp) = ac.noise_band;
+            if namp > 0.0 {
+                let mut nv = 0.0f32;
+                for &(f, phase) in &noise_partials {
+                    nv += (std::f32::consts::TAU * f * time + phase).sin();
+                }
+                v += namp * nv / NOISE_PARTIALS as f32 * 2.0;
+            }
+            v += rng.gen_range(-1.0f32..1.0) * speaker.breathiness;
+            // Attack / release envelope avoids clicks at segment joins.
+            let env_in = ((t + 1) as f32 / ramp as f32).min(1.0);
+            let env_out = ((n - t) as f32 / ramp as f32).min(1.0);
+            out.push(v * env_in * env_out * speaker.amplitude);
+        }
+        out
+    }
+}
+
+fn segment_rng(seed: u64, idx: usize, ph: Phoneme) -> SmallRng {
+    let mixed = seed
+        ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (ph.index() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    SmallRng::seed_from_u64(mixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth() -> (Synthesizer, Lexicon) {
+        (Synthesizer::new(16_000), Lexicon::builtin())
+    }
+
+    #[test]
+    fn produces_contiguous_alignment() {
+        let (s, lex) = synth();
+        let (wave, align) = s.synthesize(&lex, "open the front door", &SpeakerProfile::default());
+        assert_eq!(align.first().unwrap().start, 0);
+        assert_eq!(align.last().unwrap().end, wave.len());
+        for pair in align.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_profile() {
+        let (s, lex) = synth();
+        let p = SpeakerProfile::default();
+        let (a, _) = s.synthesize(&lex, "turn on the light", &p);
+        let (b, _) = s.synthesize(&lex, "turn on the light", &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn homophones_render_identically() {
+        let (s, lex) = synth();
+        let p = SpeakerProfile::default();
+        let (a, _) = s.synthesize(&lex, "see", &p);
+        let (b, _) = s.synthesize(&lex, "sea", &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_speakers_render_differently() {
+        let (s, lex) = synth();
+        let p1 = SpeakerProfile::default();
+        let p2 = SpeakerProfile { pitch_hz: 210.0, formant_scale: 1.15, seed: 99, ..p1.clone() };
+        let (a, _) = s.synthesize(&lex, "hello", &p1);
+        let (b, _) = s.synthesize(&lex, "hello", &p2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn speech_louder_than_silence() {
+        let (s, lex) = synth();
+        let (wave, align) = s.synthesize(&lex, "door", &SpeakerProfile::default());
+        let seg_rms = |a: &AlignedPhoneme| {
+            let s = &wave.samples()[a.start..a.end];
+            (s.iter().map(|x| x * x).sum::<f32>() / s.len() as f32).sqrt()
+        };
+        let sil = align.iter().find(|a| a.phoneme == Phoneme::SIL).unwrap();
+        let vowel = align.iter().find(|a| a.phoneme.is_vowel()).unwrap();
+        assert!(seg_rms(vowel) > 10.0 * seg_rms(sil));
+    }
+
+    #[test]
+    fn faster_rate_shortens_audio() {
+        let (s, lex) = synth();
+        let slow = SpeakerProfile { rate: 0.8, ..SpeakerProfile::default() };
+        let fast = SpeakerProfile { rate: 1.3, ..SpeakerProfile::default() };
+        let (a, _) = s.synthesize(&lex, "good morning", &slow);
+        let (b, _) = s.synthesize(&lex, "good morning", &fast);
+        assert!(a.len() > b.len());
+    }
+
+    #[test]
+    fn samples_bounded() {
+        let (s, lex) = synth();
+        let (wave, _) = s.synthesize(&lex, "she sells sea shells", &SpeakerProfile::default());
+        assert!(wave.peak() <= 1.0, "peak {}", wave.peak());
+        assert!(wave.rms() > 0.01);
+    }
+}

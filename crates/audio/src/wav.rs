@@ -1,0 +1,262 @@
+//! Minimal RIFF/WAVE PCM-16 mono reader and writer.
+//!
+//! The experiment binaries persist generated AEs as standard WAV files so
+//! they can be inspected with ordinary audio tools. Only the subset needed
+//! for that (16-bit PCM, mono) is implemented.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::waveform::Waveform;
+
+/// Error decoding a WAV stream.
+#[derive(Debug)]
+pub enum ReadWavError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid or unsupported WAV data.
+    Format(String),
+}
+
+impl fmt::Display for ReadWavError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadWavError::Io(e) => write!(f, "i/o error reading wav: {e}"),
+            ReadWavError::Format(m) => write!(f, "unsupported or invalid wav: {m}"),
+        }
+    }
+}
+
+impl Error for ReadWavError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadWavError::Io(e) => Some(e),
+            ReadWavError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadWavError {
+    fn from(e: std::io::Error) -> Self {
+        ReadWavError::Io(e)
+    }
+}
+
+/// Writes `wave` as 16-bit PCM mono WAV.
+///
+/// Samples are clamped to `[-1, 1]` before quantisation. A `&mut` reference
+/// can be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn write_wav<W: Write>(mut writer: W, wave: &Waveform) -> std::io::Result<()> {
+    let n = wave.len() as u32;
+    let data_len = n * 2;
+    let sample_rate = wave.sample_rate();
+    let byte_rate = sample_rate * 2;
+    writer.write_all(b"RIFF")?;
+    writer.write_all(&(36 + data_len).to_le_bytes())?;
+    writer.write_all(b"WAVE")?;
+    writer.write_all(b"fmt ")?;
+    writer.write_all(&16u32.to_le_bytes())?;
+    writer.write_all(&1u16.to_le_bytes())?; // PCM
+    writer.write_all(&1u16.to_le_bytes())?; // mono
+    writer.write_all(&sample_rate.to_le_bytes())?;
+    writer.write_all(&byte_rate.to_le_bytes())?;
+    writer.write_all(&2u16.to_le_bytes())?; // block align
+    writer.write_all(&16u16.to_le_bytes())?; // bits per sample
+    writer.write_all(b"data")?;
+    writer.write_all(&data_len.to_le_bytes())?;
+    for &s in wave.samples() {
+        let q = (s.clamp(-1.0, 1.0) * i16::MAX as f32).round() as i16;
+        writer.write_all(&q.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_exact<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), ReadWavError> {
+    reader.read_exact(buf).map_err(ReadWavError::from)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, ReadWavError> {
+    let mut b = [0u8; 4];
+    read_exact(reader, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u16<R: Read>(reader: &mut R) -> Result<u16, ReadWavError> {
+    let mut b = [0u8; 2];
+    read_exact(reader, &mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+/// Reads a 16-bit PCM mono WAV stream. A `&mut` reference can be passed for
+/// `reader`.
+///
+/// # Errors
+///
+/// Returns [`ReadWavError::Format`] for non-PCM, non-mono or structurally
+/// invalid input and [`ReadWavError::Io`] for underlying read failures.
+pub fn read_wav<R: Read>(mut reader: R) -> Result<Waveform, ReadWavError> {
+    let mut tag = [0u8; 4];
+    read_exact(&mut reader, &mut tag)?;
+    if &tag != b"RIFF" {
+        return Err(ReadWavError::Format("missing RIFF header".into()));
+    }
+    let _riff_len = read_u32(&mut reader)?;
+    read_exact(&mut reader, &mut tag)?;
+    if &tag != b"WAVE" {
+        return Err(ReadWavError::Format("missing WAVE tag".into()));
+    }
+    let mut sample_rate = 0u32;
+    let mut bits = 0u16;
+    let mut channels = 0u16;
+    loop {
+        read_exact(&mut reader, &mut tag)?;
+        let chunk_len = read_u32(&mut reader)?;
+        match &tag {
+            b"fmt " => {
+                let fmt = read_u16(&mut reader)?;
+                if fmt != 1 {
+                    return Err(ReadWavError::Format(format!("unsupported format {fmt}")));
+                }
+                channels = read_u16(&mut reader)?;
+                sample_rate = read_u32(&mut reader)?;
+                let _byte_rate = read_u32(&mut reader)?;
+                let _align = read_u16(&mut reader)?;
+                bits = read_u16(&mut reader)?;
+                // Skip any fmt extension bytes.
+                let consumed = 16;
+                if chunk_len > consumed {
+                    skip(&mut reader, (chunk_len - consumed) as usize)?;
+                }
+            }
+            b"data" => {
+                if channels != 1 {
+                    return Err(ReadWavError::Format(format!("{channels} channels, want mono")));
+                }
+                if bits != 16 {
+                    return Err(ReadWavError::Format(format!("{bits} bits, want 16")));
+                }
+                if sample_rate == 0 {
+                    return Err(ReadWavError::Format("data chunk before fmt".into()));
+                }
+                let mut raw = vec![0u8; chunk_len as usize];
+                read_exact(&mut reader, &mut raw)?;
+                let samples: Vec<f32> = raw
+                    .chunks_exact(2)
+                    .map(|b| i16::from_le_bytes([b[0], b[1]]) as f32 / i16::MAX as f32)
+                    .collect();
+                return Ok(Waveform::from_samples(samples, sample_rate));
+            }
+            _ => skip(&mut reader, chunk_len as usize)?,
+        }
+    }
+}
+
+fn skip<R: Read>(reader: &mut R, n: usize) -> Result<(), ReadWavError> {
+    let mut remaining = n;
+    let mut buf = [0u8; 256];
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        read_exact(reader, &mut buf[..take])?;
+        remaining -= take;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_samples() {
+        let wave = Waveform::from_samples(
+            (0..1000).map(|i| ((i as f32) * 0.01).sin() * 0.8).collect(),
+            16_000,
+        );
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        let back = read_wav(buf.as_slice()).unwrap();
+        assert_eq!(back.sample_rate(), 16_000);
+        assert_eq!(back.len(), wave.len());
+        for (a, b) in back.samples().iter().zip(wave.samples()) {
+            assert!((a - b).abs() < 1.0 / i16::MAX as f32 * 2.0);
+        }
+    }
+
+    #[test]
+    fn header_is_valid_riff() {
+        let wave = Waveform::from_samples(vec![0.0; 4], 8_000);
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        assert_eq!(&buf[..4], b"RIFF");
+        assert_eq!(&buf[8..12], b"WAVE");
+        assert_eq!(buf.len(), 44 + 8);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(read_wav(&b"not a wav"[..]), Err(ReadWavError::Format(_)) | Err(ReadWavError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_stereo() {
+        let wave = Waveform::from_samples(vec![0.0; 4], 8_000);
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        buf[22] = 2; // channel count
+        match read_wav(buf.as_slice()) {
+            Err(ReadWavError::Format(m)) => assert!(m.contains("mono")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_unknown_chunks() {
+        // Insert a junk chunk between fmt and data; the reader must skip it.
+        let wave = Waveform::from_samples(vec![0.25; 8], 8_000);
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        let mut patched = buf[..36].to_vec();
+        patched.extend_from_slice(b"LIST");
+        patched.extend_from_slice(&6u32.to_le_bytes());
+        patched.extend_from_slice(b"junk..");
+        patched.extend_from_slice(&buf[36..]);
+        // Fix the RIFF length.
+        let riff_len = (patched.len() - 8) as u32;
+        patched[4..8].copy_from_slice(&riff_len.to_le_bytes());
+        let back = read_wav(patched.as_slice()).unwrap();
+        assert_eq!(back.len(), 8);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn roundtrip_any_signal(
+            samples in proptest::collection::vec(-1.0f32..1.0, 0..256),
+            rate in proptest::sample::select(vec![8_000u32, 16_000, 44_100]),
+        ) {
+            let wave = Waveform::from_samples(samples, rate);
+            let mut buf = Vec::new();
+            write_wav(&mut buf, &wave).unwrap();
+            let back = read_wav(buf.as_slice()).unwrap();
+            proptest::prop_assert_eq!(back.sample_rate(), rate);
+            proptest::prop_assert_eq!(back.len(), wave.len());
+            for (a, b) in back.samples().iter().zip(wave.samples()) {
+                proptest::prop_assert!((a - b).abs() < 2.0 / i16::MAX as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn clipping_is_clamped() {
+        let wave = Waveform::from_samples(vec![2.0, -2.0], 8_000);
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        let back = read_wav(buf.as_slice()).unwrap();
+        assert!((back.samples()[0] - 1.0).abs() < 1e-3);
+        assert!((back.samples()[1] + 1.0).abs() < 1e-3);
+    }
+}

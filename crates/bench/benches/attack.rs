@@ -1,0 +1,35 @@
+//! Attack-cost benchmarks: the per-iteration cost of the white-box
+//! optimiser (one full gradient through CTC → acoustic model → MFCC →
+//! waveform) and of a black-box loss query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mvp_asr::{AsrProfile, TrainedAsr};
+use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+use mvp_phonetics::Lexicon;
+
+fn bench_attack(c: &mut Criterion) {
+    let synth = Synthesizer::new(16_000);
+    let lex = Lexicon::builtin();
+    let (wave, _) = synth.synthesize(&lex, "good morning", &SpeakerProfile::default());
+    let ds0 = AsrProfile::Ds0.trained();
+    let target = TrainedAsr::target_indices("open the front door");
+
+    c.bench_function("whitebox_gradient_step_1s", |b| {
+        b.iter(|| {
+            black_box(ds0.attack_loss_and_input_grad(black_box(&wave), black_box(&target), 3.0))
+        })
+    });
+
+    c.bench_function("blackbox_loss_query_1s", |b| {
+        b.iter(|| black_box(ds0.ctc_loss(black_box(&wave), black_box(&target))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_attack
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! §V-I detection-overhead benchmark: target-only recognition vs the full
+//! parallel MVP-EARS pipeline, plus the similarity and classification
+//! components in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mvp_asr::{Asr, AsrProfile};
+use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+use mvp_ears::DetectionSystem;
+use mvp_ml::ClassifierKind;
+use mvp_phonetics::Lexicon;
+
+fn bench_overhead(c: &mut Criterion) {
+    let synth = Synthesizer::new(16_000);
+    let lex = Lexicon::builtin();
+    let (wave, _) =
+        synth.synthesize(&lex, "turn on the kitchen light", &SpeakerProfile::default());
+
+    let ds0 = AsrProfile::Ds0.trained();
+    let mut system =
+        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    let benign: Vec<Vec<f64>> = (0..20).map(|i| vec![0.9 + (i % 5) as f64 * 0.01]).collect();
+    let aes: Vec<Vec<f64>> = (0..20).map(|i| vec![0.3 + (i % 5) as f64 * 0.01]).collect();
+    system.train_on_scores(&benign, &aes, ClassifierKind::Svm);
+
+    c.bench_function("recognition_target_only", |b| {
+        b.iter(|| black_box(ds0.transcribe(black_box(&wave))))
+    });
+
+    c.bench_function("recognition_parallel_pair", |b| {
+        b.iter(|| black_box(system.transcripts(black_box(&wave))))
+    });
+
+    let (target, aux) = system.transcripts(&wave);
+    c.bench_function("similarity_component", |b| {
+        b.iter(|| black_box(system.scores_from_transcripts(black_box(&target), black_box(&aux))))
+    });
+
+    let scores = system.scores_from_transcripts(&target, &aux);
+    c.bench_function("classification_component", |b| {
+        b.iter(|| black_box(system.classify_scores(black_box(&scores))))
+    });
+
+    c.bench_function("detect_end_to_end", |b| {
+        b.iter(|| black_box(system.detect(black_box(&wave)).is_adversarial))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Stage-level benchmarks of the ASR pipeline: FFT, MFCC extraction,
+//! acoustic scoring, decoding and similarity calculation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mvp_asr::{Asr, AsrProfile};
+use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+use mvp_dsp::complex::Complex;
+use mvp_dsp::fft::fft;
+use mvp_dsp::mfcc::{MfccConfig, MfccExtractor};
+use mvp_ears::SimilarityMethod;
+use mvp_phonetics::Lexicon;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let synth = Synthesizer::new(16_000);
+    let lex = Lexicon::builtin();
+    let (wave, _) = synth.synthesize(&lex, "the man walked the street", &SpeakerProfile::default());
+    let samples = wave.to_f64();
+
+    c.bench_function("fft_512", |b| {
+        let base: Vec<Complex> = (0..512).map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0)).collect();
+        b.iter(|| {
+            let mut buf = base.clone();
+            fft(black_box(&mut buf));
+            black_box(buf[1])
+        })
+    });
+
+    let extractor = MfccExtractor::new(MfccConfig::default());
+    c.bench_function("mfcc_extract_2s", |b| {
+        b.iter(|| black_box(extractor.extract(black_box(&samples))))
+    });
+
+    let ds0 = AsrProfile::Ds0.trained();
+    c.bench_function("acoustic_logits_2s", |b| {
+        let feats = ds0.frontend().features(&wave);
+        b.iter(|| black_box(ds0.acoustic_model().logit_matrix(black_box(&feats))))
+    });
+
+    c.bench_function("transcribe_2s", |b| b.iter(|| black_box(ds0.transcribe(black_box(&wave)))));
+
+    let method = SimilarityMethod::default();
+    c.bench_function("similarity_pe_jarowinkler", |b| {
+        b.iter(|| {
+            black_box(method.score(
+                black_box("the man walked the street in the morning"),
+                black_box("the man walked the street in the mourning"),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

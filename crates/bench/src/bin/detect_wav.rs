@@ -1,0 +1,79 @@
+//! Command-line detector: feed a 16 kHz mono PCM-16 WAV file to the
+//! MVP-EARS system and print the verdict.
+//!
+//! ```text
+//! detect_wav <file.wav> [more.wav ...]
+//! ```
+//!
+//! The threshold detectors are fitted on a built-in benign corpus at a 5 %
+//! FPR budget (the paper's §V-G configuration), so no AE training data is
+//! needed; an audio is flagged when *any* auxiliary similarity falls below
+//! its threshold.
+
+use std::process::ExitCode;
+
+use mvp_asr::AsrProfile;
+use mvp_audio::wav::read_wav;
+use mvp_corpus::{CorpusBuilder, CorpusConfig};
+use mvp_ears::{DetectionSystem, ThresholdDetector};
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: detect_wav <file.wav> [more.wav ...]");
+        return ExitCode::from(2);
+    }
+
+    eprintln!("training ASR profiles and fitting thresholds (one-time)...");
+    let system = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(AsrProfile::Ds1)
+        .auxiliary(AsrProfile::Gcs)
+        .auxiliary(AsrProfile::At)
+        .build();
+    let benign = CorpusBuilder::new(CorpusConfig { size: 40, seed: 42, ..CorpusConfig::default() })
+        .build();
+    let benign_scores: Vec<Vec<f64>> =
+        benign.utterances().iter().map(|u| system.score_vector(&u.wave)).collect();
+    let detectors: Vec<ThresholdDetector> = (0..system.n_auxiliaries())
+        .map(|i| {
+            let col: Vec<f64> = benign_scores.iter().map(|v| v[i]).collect();
+            ThresholdDetector::fit_benign(&col, 0.05)
+        })
+        .collect();
+
+    let mut any_adversarial = false;
+    for path in &files {
+        let wave = match std::fs::File::open(path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| read_wav(std::io::BufReader::new(f)).map_err(|e| e.to_string()))
+        {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{path}: cannot read ({e})");
+                any_adversarial = true;
+                continue;
+            }
+        };
+        let (target, aux) = system.transcripts(&wave);
+        let scores = system.scores_from_transcripts(&target, &aux);
+        let flagged = scores.iter().zip(&detectors).any(|(&s, d)| d.is_adversarial(s));
+        any_adversarial |= flagged;
+        println!("{path}: {}", if flagged { "ADVERSARIAL" } else { "benign" });
+        println!("  {} ({:.1}s) heard by {}: {:?}", path, wave.duration_secs(), AsrProfile::Ds0, target);
+        for ((name, text), (&s, d)) in ["DS1", "GCS", "AT"]
+            .iter()
+            .zip(&aux)
+            .zip(scores.iter().zip(&detectors))
+        {
+            println!(
+                "  {name}: {text:?} (similarity {s:.3}, threshold {:.3})",
+                d.threshold()
+            );
+        }
+    }
+    if any_adversarial {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

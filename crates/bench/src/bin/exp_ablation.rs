@@ -1,0 +1,13 @@
+//! Ablations of the workspace's own design choices (DESIGN.md §6):
+//! phonetic-encoder selection and the decoder's min-run filter.
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{ExperimentContext, Scale};
+
+fn main() {
+    let ctx = ExperimentContext::load_or_generate(Scale::from_env());
+    mvp_bench::experiments::ablation::encoder_ablation(&ctx);
+    mvp_bench::experiments::ablation::baseline_comparison(&ctx);
+    mvp_bench::experiments::ablation::min_run_ablation(&ctx);
+}

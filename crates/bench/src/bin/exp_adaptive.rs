@@ -1,0 +1,11 @@
+//! Extension experiment: real multiple-ASR-effective AEs via the joint
+//! ensemble attack, validating the §V-H proactive defense on actual audio.
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{ExperimentContext, Scale};
+
+fn main() {
+    let ctx = ExperimentContext::load_or_generate(Scale::from_env());
+    mvp_bench::experiments::adaptive::adaptive(&ctx);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 5 (ROC curves).
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{ExperimentContext, Scale};
+
+fn main() {
+    let ctx = ExperimentContext::load_or_generate(Scale::from_env());
+    mvp_bench::experiments::unseen::fig5(&ctx);
+}

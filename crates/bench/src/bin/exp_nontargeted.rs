@@ -1,0 +1,10 @@
+//! Regenerates the paper's Section V-J non-targeted AE study.
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{ExperimentContext, Scale};
+
+fn main() {
+    let ctx = ExperimentContext::load_or_generate(Scale::from_env());
+    mvp_bench::experiments::unseen::nontargeted(&ctx);
+}

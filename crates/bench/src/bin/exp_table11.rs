@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table XI (cross-type MAE defense matrix).
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{ExperimentContext, Scale};
+
+fn main() {
+    let ctx = ExperimentContext::load_or_generate(Scale::from_env());
+    mvp_bench::experiments::mae::table11(&ctx);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table IV (single-auxiliary systems).
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{ExperimentContext, Scale};
+
+fn main() {
+    let ctx = ExperimentContext::load_or_generate(Scale::from_env());
+    mvp_bench::experiments::classifiers::table4(&ctx);
+}

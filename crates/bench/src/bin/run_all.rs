@@ -1,0 +1,33 @@
+//! Runs the complete evaluation: every table and figure in order.
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::experiments;
+use mvp_bench::{ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("MVP-EARS evaluation at scale {:?}\n", scale.name);
+    let ctx = ExperimentContext::load_or_generate(scale);
+    experiments::data::table1(&ctx);
+    experiments::data::table2(&ctx);
+    experiments::data::fig4(&ctx);
+    experiments::similarity::table3(&ctx);
+    experiments::classifiers::table4(&ctx);
+    experiments::classifiers::table5(&ctx);
+    experiments::classifiers::table6(&ctx);
+    experiments::unseen::table7(&ctx);
+    experiments::unseen::fig5(&ctx);
+    experiments::unseen::table8(&ctx);
+    experiments::mae::table9(&ctx);
+    experiments::mae::table10(&ctx);
+    experiments::mae::table11(&ctx);
+    experiments::mae::table12(&ctx);
+    experiments::perf::overhead(&ctx);
+    experiments::unseen::nontargeted(&ctx);
+    experiments::transfer::transfer(&ctx);
+    experiments::adaptive::adaptive(&ctx);
+    experiments::ablation::encoder_ablation(&ctx);
+    experiments::ablation::baseline_comparison(&ctx);
+    experiments::ablation::min_run_ablation(&ctx);
+}

@@ -1,0 +1,93 @@
+//! Table I (example AE transcriptions), Table II (dataset inventory) and
+//! Figure 4 (similarity-score histograms).
+
+use mvp_asr::AsrProfile;
+use mvp_attack::AeKind;
+use mvp_ears::SimilarityMethod;
+
+use crate::context::ExperimentContext;
+use crate::table::Table;
+
+use super::SINGLE_AUX;
+
+/// Table I: one white-box AE transcribed by all four ASRs.
+pub fn table1(ctx: &ExperimentContext) {
+    println!("== Table I: recognition results of one AE by multiple ASRs ==");
+    let Some((id, ae)) = ctx.aes.iter().find(|(_, ae)| ae.kind == AeKind::WhiteBox) else {
+        println!("(no white-box AEs at this scale)");
+        return;
+    };
+    println!("host transcription: {:?}  embedded command: {:?}", ae.host_text, ae.command);
+    let mut t = Table::new(["ASR", "Transcribed Text"]);
+    for profile in [AsrProfile::Ds0, AsrProfile::Ds1, AsrProfile::Gcs, AsrProfile::At] {
+        t.row([profile.name(), ctx.transcript(id, profile)]);
+    }
+    println!("{t}");
+}
+
+/// Table II: dataset sizes plus measured perturbation similarity per kind.
+pub fn table2(ctx: &ExperimentContext) {
+    println!("== Table II: datasets used in the evaluation ==");
+    let mut t = Table::new(["Dataset", "# of Samples", "Mean AE/host similarity"]);
+    t.row(["Benign".to_string(), ctx.benign.len().to_string(), "—".to_string()]);
+    for kind in [AeKind::WhiteBox, AeKind::BlackBox] {
+        let subset: Vec<&_> = ctx.aes.iter().filter(|(_, ae)| ae.kind == kind).collect();
+        let mean_sim = if subset.is_empty() {
+            f64::NAN
+        } else {
+            subset.iter().map(|(_, ae)| ae.similarity).sum::<f64>() / subset.len() as f64
+        };
+        t.row([
+            format!("{kind} AEs"),
+            subset.len().to_string(),
+            format!("{:.1}%", mean_sim * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "(paper: 2400 benign, 1800 white-box, 600 black-box; similarity 99.9% vs 94.6% —\n\
+         our simulated attacks need louder perturbations, but the white-box > black-box\n\
+         similarity ordering is preserved)\n"
+    );
+}
+
+/// Figure 4: similarity-score histograms of the three single-auxiliary
+/// systems (printed as bin counts).
+pub fn fig4(ctx: &ExperimentContext) {
+    println!("== Figure 4: similarity-score histograms (PE_JaroWinkler) ==");
+    let method = SimilarityMethod::default();
+    const BINS: usize = 10;
+    for aux in SINGLE_AUX {
+        let name = ExperimentContext::system_name(&aux);
+        let benign: Vec<f64> =
+            ctx.benign_scores(&aux, method).into_iter().map(|v| v[0]).collect();
+        let aes: Vec<f64> =
+            ctx.ae_scores(&aux, method, None).into_iter().map(|v| v[0]).collect();
+        let hist = |scores: &[f64]| -> Vec<usize> {
+            let mut bins = vec![0usize; BINS];
+            for &s in scores {
+                let b = ((s * BINS as f64) as usize).min(BINS - 1);
+                bins[b] += 1;
+            }
+            bins
+        };
+        let hb = hist(&benign);
+        let ha = hist(&aes);
+        let mut t = Table::new(["score bin", "benign", "AE"]);
+        for b in 0..BINS {
+            t.row([
+                format!("[{:.1}, {:.1})", b as f64 / BINS as f64, (b + 1) as f64 / BINS as f64),
+                hb[b].to_string(),
+                ha[b].to_string(),
+            ]);
+        }
+        println!("-- {name} --\n{t}");
+        // The paper's observation: the two populations form almost disjoint
+        // clusters. Quantify the overlap for the record.
+        let overlap: usize = hb.iter().zip(&ha).map(|(&b, &a)| b.min(a)).sum();
+        println!(
+            "cluster overlap: {overlap} of {} samples\n",
+            benign.len() + aes.len()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Tables IX–XII: hypothetical multiple-ASR-effective AEs and the
+//! proactively trained comprehensive system (§V-H).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mvp_ears::eval::ScorePools;
+use mvp_ears::{synthesize_mae, MaeType, SimilarityMethod};
+use mvp_ml::{BinaryMetrics, Classifier, ClassifierKind, Dataset};
+
+use crate::context::ExperimentContext;
+use crate::table::Table;
+
+use super::THREE_AUX;
+
+/// Everything the MAE experiments share: the three-auxiliary score pools
+/// and the per-type synthesized feature-vector sets.
+pub struct MaeSets {
+    /// Benign score vectors (real audio).
+    pub benign: Vec<Vec<f64>>,
+    /// Original (real) AE score vectors.
+    pub original: Vec<Vec<f64>>,
+    /// Synthesized vectors per MAE type, in [`MaeType::ALL`] order.
+    pub per_type: Vec<Vec<Vec<f64>>>,
+}
+
+/// Builds the score pools and synthesizes every MAE type.
+pub fn build_sets(ctx: &ExperimentContext) -> MaeSets {
+    let method = SimilarityMethod::default();
+    let benign = ctx.benign_scores(&THREE_AUX, method);
+    let original = ctx.ae_scores(&THREE_AUX, method, None);
+    let pools = ScorePools::from_score_vectors(&benign, &original);
+    let per_type = MaeType::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            synthesize_mae(&pools, &t.fooled_mask(), ctx.scale.mae_per_type, 1000 + i as u64)
+        })
+        .collect();
+    MaeSets { benign, original, per_type }
+}
+
+/// Table IX: the six MAE types and their synthesized counts.
+pub fn table9(ctx: &ExperimentContext) {
+    println!("== Table IX: six types of hypothetical MAE AEs ==");
+    let sets = build_sets(ctx);
+    let mut t = Table::new(["Type", "MAE AE", "# of MAE AEs"]);
+    for (i, ty) in MaeType::ALL.iter().enumerate() {
+        t.row([format!("Type-{}", i + 1), ty.name().to_string(), sets.per_type[i].len().to_string()]);
+    }
+    println!("{t}");
+}
+
+/// Resamples `source` vectors with replacement to `count` (the paper pads
+/// its benign feature set the same way for the comprehensive system).
+fn resample(source: &[Vec<f64>], count: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| source[rng.gen_range(0..source.len())].clone()).collect()
+}
+
+fn train_svm(benign: &[Vec<f64>], aes: &[Vec<f64>]) -> Box<dyn Classifier> {
+    let data = Dataset::from_classes(benign.to_vec(), aes.to_vec());
+    let mut model = ClassifierKind::Svm.build();
+    model.fit(&data);
+    model
+}
+
+fn defense_rate(model: &dyn Classifier, aes: &[Vec<f64>]) -> f64 {
+    if aes.is_empty() {
+        return 0.0;
+    }
+    aes.iter().filter(|v| model.predict(v) == 1).count() as f64 / aes.len() as f64
+}
+
+/// Table X: accuracy of systems trained on each MAE type (80/20, SVM).
+pub fn table10(ctx: &ExperimentContext) {
+    println!("== Table X: testing results per MAE AE type (SVM, 80/20) ==");
+    let sets = build_sets(ctx);
+    let mut t = Table::new(["MAE AE type", "Accuracy", "FPR", "FNR"]);
+    for (i, _) in MaeType::ALL.iter().enumerate() {
+        let benign = resample(&sets.benign, sets.per_type[i].len(), 50 + i as u64);
+        let data = Dataset::from_classes(benign, sets.per_type[i].clone());
+        let (train, test) = data.split(0.8, 9);
+        let mut model = ClassifierKind::Svm.build();
+        model.fit(&train);
+        let m = BinaryMetrics::from_predictions(&model.predict_batch(test.features()), test.labels());
+        t.row([
+            format!("Type-{}", i + 1),
+            format!("{:.2}%", m.accuracy() * 100.0),
+            format!("{:.2}%", m.fpr() * 100.0),
+            format!("{:.2}%", m.fnr() * 100.0),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Table XI: defense-rate matrix — train on one AE type, test on another.
+pub fn table11(ctx: &ExperimentContext) {
+    println!("== Table XI: defense rates against unseen-attack MAE AEs ==");
+    let sets = build_sets(ctx);
+    // Row/column order: Original, Type-1..Type-6.
+    let names: Vec<String> = std::iter::once("Original".to_string())
+        .chain((1..=6).map(|i| format!("Type-{i}")))
+        .collect();
+    let train_sets: Vec<&Vec<Vec<f64>>> =
+        std::iter::once(&sets.original).chain(sets.per_type.iter()).collect();
+    let mut header = vec!["train \\ test".to_string()];
+    header.extend(names.iter().cloned());
+    let mut t = Table::new(header);
+    for (ri, train_aes) in train_sets.iter().enumerate() {
+        let benign = resample(&sets.benign, train_aes.len().max(1), 80 + ri as u64);
+        let model = train_svm(&benign, train_aes);
+        let mut row = vec![names[ri].clone()];
+        for (ci, test_aes) in train_sets.iter().enumerate() {
+            if ri == ci {
+                row.push("—".to_string());
+            } else {
+                row.push(format!("{:.2}%", defense_rate(model.as_ref(), test_aes) * 100.0));
+            }
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!(
+        "(paper invariant: a system trained on a type fooling ASR set Λ defends any type\n\
+         fooling Λ' ⊆ Λ at ~100%, while supersets of Λ can evade it)\n"
+    );
+}
+
+/// Table XII: the comprehensive system trained on Types 4–6.
+pub fn table12(ctx: &ExperimentContext) {
+    println!("== Table XII: comprehensive system (trained on Type-4/5/6 MAE AEs) ==");
+    let sets = build_sets(ctx);
+    let mut train_aes: Vec<Vec<f64>> = Vec::new();
+    for i in 3..6 {
+        train_aes.extend(sets.per_type[i].clone());
+    }
+    let benign = resample(&sets.benign, train_aes.len(), 123);
+    let data = Dataset::from_classes(benign, train_aes);
+    let (train, test) = data.split(0.8, 11);
+    let mut model = ClassifierKind::Svm.build();
+    model.fit(&train);
+    let m = BinaryMetrics::from_predictions(&model.predict_batch(test.features()), test.labels());
+    println!(
+        "held-out test: accuracy {:.2}%  FPR {:.2}%  FNR {:.2}%",
+        m.accuracy() * 100.0,
+        m.fpr() * 100.0,
+        m.fnr() * 100.0
+    );
+    let mut t = Table::new(["Unseen-attack AE", "Defense rate"]);
+    t.row([
+        "Original AE".to_string(),
+        format!("{:.2}%", defense_rate(model.as_ref(), &sets.original) * 100.0),
+    ]);
+    for i in 0..3 {
+        t.row([
+            MaeType::ALL[i].name().to_string(),
+            format!("{:.2}%", defense_rate(model.as_ref(), &sets.per_type[i]) * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("(paper: all four rows at 100%)\n");
+}

@@ -1,0 +1,29 @@
+//! One module per experiment group; every public function prints one
+//! paper artifact (table or figure series) to stdout.
+
+pub mod ablation;
+pub mod adaptive;
+pub mod classifiers;
+pub mod data;
+pub mod mae;
+pub mod perf;
+pub mod similarity;
+pub mod transfer;
+pub mod unseen;
+
+use mvp_asr::AsrProfile;
+
+/// The single-auxiliary systems of Tables IV/VII (paper order).
+pub const SINGLE_AUX: [[AsrProfile; 1]; 3] =
+    [[AsrProfile::Ds1], [AsrProfile::Gcs], [AsrProfile::At]];
+
+/// The multi-auxiliary systems of Tables III/V/VIII (paper order).
+pub const MULTI_AUX: [&[AsrProfile]; 4] = [
+    &[AsrProfile::Ds1, AsrProfile::Gcs],
+    &[AsrProfile::Ds1, AsrProfile::At],
+    &[AsrProfile::Gcs, AsrProfile::At],
+    &[AsrProfile::Ds1, AsrProfile::Gcs, AsrProfile::At],
+];
+
+/// The three-auxiliary system used by the MAE experiments (§V-H).
+pub const THREE_AUX: [AsrProfile; 3] = [AsrProfile::Ds1, AsrProfile::Gcs, AsrProfile::At];

@@ -1,0 +1,85 @@
+//! §V-I: detection time overhead on DS0+{DS1}.
+
+use std::time::Instant;
+
+use mvp_asr::{Asr, AsrProfile};
+use mvp_ears::{DetectionSystem, SimilarityMethod};
+use mvp_ml::ClassifierKind;
+
+use crate::context::ExperimentContext;
+use crate::table::Table;
+
+/// Measures the three overhead components the paper reports: recognition
+/// (running the auxiliary alongside the target), similarity calculation and
+/// classification.
+pub fn overhead(ctx: &ExperimentContext) {
+    println!("== §V-I: time overhead of detection on DS0+{{DS1}} ==");
+    let ds0 = AsrProfile::Ds0.trained();
+    let mut system =
+        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    let method = SimilarityMethod::default();
+
+    // Train the classifier once so detection is exercised end to end.
+    let benign = ctx.benign_scores(&[AsrProfile::Ds1], method);
+    let aes = ctx.ae_scores(&[AsrProfile::Ds1], method, None);
+    system.train_on_scores(&benign, &aes, ClassifierKind::Svm);
+
+    let samples: Vec<&mvp_audio::Waveform> = ctx
+        .benign
+        .utterances()
+        .iter()
+        .map(|u| &u.wave)
+        .take(16)
+        .collect();
+
+    // 1. Target-only recognition time.
+    let t0 = Instant::now();
+    for w in &samples {
+        std::hint::black_box(ds0.transcribe(w));
+    }
+    let t_target = t0.elapsed().as_secs_f64() / samples.len() as f64;
+
+    // 2. Parallel pair (target + auxiliary) recognition time.
+    let t1 = Instant::now();
+    let mut transcripts = Vec::new();
+    for w in &samples {
+        transcripts.push(system.transcripts(w));
+    }
+    let t_pair = t1.elapsed().as_secs_f64() / samples.len() as f64;
+
+    // 3. Similarity calculation.
+    let t2 = Instant::now();
+    for (target, aux) in &transcripts {
+        std::hint::black_box(system.scores_from_transcripts(target, aux));
+    }
+    let t_sim = t2.elapsed().as_secs_f64() / samples.len() as f64;
+
+    // 4. Classification.
+    let vectors: Vec<Vec<f64>> = transcripts
+        .iter()
+        .map(|(t, a)| system.scores_from_transcripts(t, a))
+        .collect();
+    let t3 = Instant::now();
+    for v in &vectors {
+        std::hint::black_box(system.classify_scores(v));
+    }
+    let t_cls = t3.elapsed().as_secs_f64() / vectors.len() as f64;
+
+    let mut t = Table::new(["Component", "Mean time per audio", "Relative to recognition"]);
+    let rel = |x: f64| format!("{:.3}%", x / t_target * 100.0);
+    t.row(["DS0 recognition".to_string(), format!("{:.4} s", t_target), "100%".to_string()]);
+    t.row([
+        "added by parallel DS1".to_string(),
+        format!("{:.4} s", (t_pair - t_target).max(0.0)),
+        rel((t_pair - t_target).max(0.0)),
+    ]);
+    t.row(["similarity calculation".to_string(), format!("{:.2e} s", t_sim), rel(t_sim)]);
+    t.row(["classification".to_string(), format!("{:.2e} s", t_cls), rel(t_cls)]);
+    println!("{t}");
+    println!(
+        "(paper, on an 18-core machine: 0.065 s / 0.74% recognition overhead, 5.0e-6 s\n\
+         similarity, 4.2e-7 s classification. This reproduction runs on one core, so the\n\
+         auxiliary cannot be hidden behind true parallelism; similarity and classification\n\
+         remain negligible, matching the paper's conclusion.)\n"
+    );
+}

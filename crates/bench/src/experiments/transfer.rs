@@ -1,0 +1,80 @@
+//! Section III: transferability of audio AEs, including the Kaldi
+//! frame-subsampling variant and the CommanderSong-style two-iteration
+//! recursive generation.
+
+use mvp_asr::{Asr, AsrProfile};
+use mvp_attack::{recursive_attack, WhiteBoxConfig};
+use mvp_corpus::{CorpusBuilder, CorpusConfig};
+use mvp_textsim::wer;
+
+use crate::context::ExperimentContext;
+use crate::table::Table;
+
+/// Cross-ASR transfer matrix of the cached DS0 AEs, plus the recursive
+/// two-iteration experiment.
+pub fn transfer(ctx: &ExperimentContext) {
+    println!("== §III: transferability of audio AEs ==");
+    let probes = [
+        AsrProfile::Ds1,
+        AsrProfile::Gcs,
+        AsrProfile::At,
+        AsrProfile::Kaldi,
+        AsrProfile::KaldiVariant,
+    ];
+    let asrs: Vec<_> = probes.iter().map(|p| p.trained()).collect();
+    let sample: Vec<&(String, mvp_attack::GeneratedAe)> = ctx.aes.iter().take(20).collect();
+    let mut t = Table::new(["Probe ASR", "AEs transferring", "Transfer rate"]);
+    for (p, asr) in probes.iter().zip(&asrs) {
+        let hits = sample
+            .iter()
+            .filter(|(_, ae)| wer(&ae.command, &asr.transcribe(&ae.wave)) == 0.0)
+            .count();
+        t.row([
+            p.name().to_string(),
+            format!("{hits}/{}", sample.len()),
+            format!("{:.1}%", hits as f64 / sample.len().max(1) as f64 * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "(every sampled AE fools DS0 by construction; the paper finds essentially no\n\
+         transfer to other ASRs, including a Kaldi variant differing only in\n\
+         --frame-subsampling-factor)\n"
+    );
+
+    // Two-iteration recursive generation (CommanderSong style): DS0 then DS1.
+    println!("-- two-iteration recursive AEs (attack DS0, re-attack result on DS1) --");
+    let hosts = CorpusBuilder::new(CorpusConfig {
+        size: 3,
+        seed: 31_415,
+        noise_prob: 0.0,
+        ..CorpusConfig::default()
+    })
+    .build();
+    let ds0 = AsrProfile::Ds0.trained();
+    let ds1 = AsrProfile::Ds1.trained();
+    let mut t = Table::new(["host", "iter-1 ok", "iter-2 ok", "final fools DS0", "final fools DS1"]);
+    let mut both = 0usize;
+    let mut total = 0usize;
+    for u in hosts.utterances() {
+        let out = recursive_attack(&ds0, &ds1, &u.wave, "open the front door", &WhiteBoxConfig::default());
+        if out.second.success {
+            total += 1;
+            if out.final_fools_a && out.final_fools_b {
+                both += 1;
+            }
+        }
+        t.row([
+            u.text.clone(),
+            out.first.success.to_string(),
+            out.second.success.to_string(),
+            out.final_fools_a.to_string(),
+            out.final_fools_b.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "{both}/{total} completed recursions produced an AE fooling both models\n\
+         (the paper reports zero; see EXPERIMENTS.md for the discussion)\n"
+    );
+}

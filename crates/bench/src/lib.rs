@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Experiment harness reproducing every table and figure of the MVP-EARS
+//! paper's evaluation (Section V) plus the Section III transferability
+//! study.
+//!
+//! Each `exp_*` binary regenerates one artifact; `run_all` runs the whole
+//! evaluation. The expensive inputs — verified AE datasets and per-profile
+//! transcriptions — are generated once per scale and cached on disk under
+//! `data/<scale>/`, so subsequent binaries start instantly.
+//!
+//! Scale is controlled by the `MVP_EARS_SCALE` environment variable:
+//! `tiny` (CI smoke), `quick` (default; a few minutes of one-time dataset
+//! generation on one core) or `full` (the paper's 2400+2400 counts — hours
+//! of attack generation).
+
+pub mod context;
+pub mod experiments;
+pub mod scale;
+pub mod table;
+
+pub use context::ExperimentContext;
+pub use scale::Scale;
+pub use table::Table;

@@ -1,0 +1,100 @@
+//! Unsupervised majority-disagreement baseline.
+//!
+//! A natural alternative to MVP-EARS's learned classifier: flag an audio
+//! when the target transcription disagrees (similarity below a fixed
+//! cutoff) with a majority of the auxiliaries. It needs no training at all,
+//! which makes it a useful lower bound when comparing against the learned
+//! systems — and its weaker accuracy is itself evidence for the paper's
+//! classifier-based design.
+
+use crate::similarity::SimilarityMethod;
+
+/// The training-free disagreement detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MajorityBaseline {
+    /// Similarity below this counts as a disagreement.
+    pub cutoff: f64,
+    /// The similarity method used on transcription pairs.
+    pub method: SimilarityMethod,
+}
+
+impl MajorityBaseline {
+    /// A baseline with the given disagreement cutoff and the default
+    /// similarity method.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cutoff < 1`.
+    pub fn new(cutoff: f64) -> MajorityBaseline {
+        assert!(cutoff > 0.0 && cutoff < 1.0, "cutoff out of (0, 1)");
+        MajorityBaseline { cutoff, method: SimilarityMethod::default() }
+    }
+
+    /// Whether a score vector (one similarity per auxiliary) is flagged:
+    /// strictly more than half of the auxiliaries disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty score vector.
+    pub fn is_adversarial_scores(&self, scores: &[f64]) -> bool {
+        assert!(!scores.is_empty(), "no auxiliary scores");
+        let disagreements = scores.iter().filter(|&&s| s < self.cutoff).count();
+        disagreements * 2 > scores.len()
+    }
+
+    /// Convenience: flags from raw transcriptions (target vs auxiliaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `auxiliaries` is empty.
+    pub fn is_adversarial_transcripts(&self, target: &str, auxiliaries: &[String]) -> bool {
+        let scores: Vec<f64> =
+            auxiliaries.iter().map(|a| self.method.score(target, a)).collect();
+        self.is_adversarial_scores(&scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_agreement_passes() {
+        let b = MajorityBaseline::new(0.8);
+        assert!(!b.is_adversarial_scores(&[0.95, 0.9, 0.99]));
+    }
+
+    #[test]
+    fn majority_disagreement_flags() {
+        let b = MajorityBaseline::new(0.8);
+        assert!(b.is_adversarial_scores(&[0.3, 0.4, 0.9]));
+        // Exactly half is not a strict majority.
+        assert!(!b.is_adversarial_scores(&[0.3, 0.9]));
+    }
+
+    #[test]
+    fn single_auxiliary_acts_as_threshold() {
+        let b = MajorityBaseline::new(0.8);
+        assert!(b.is_adversarial_scores(&[0.5]));
+        assert!(!b.is_adversarial_scores(&[0.85]));
+    }
+
+    #[test]
+    fn transcript_convenience_path() {
+        let b = MajorityBaseline::new(0.8);
+        assert!(b.is_adversarial_transcripts(
+            "open the front door",
+            &["the man walked the street".to_string(), "the man walked home".to_string()],
+        ));
+        assert!(!b.is_adversarial_transcripts(
+            "open the front door",
+            &["open the front door".to_string(), "open the front door".to_string()],
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn bad_cutoff_rejected() {
+        MajorityBaseline::new(1.5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Score-pool collection and experiment helpers.
+
+use mvp_audio::Waveform;
+
+use crate::system::DetectionSystem;
+
+/// Per-auxiliary pools of benign (λBe) and attack (λAk) similarity scores
+/// (paper §V-H), collected from real audio datasets and sampled during MAE
+/// synthesis.
+#[derive(Debug, Clone, Default)]
+pub struct ScorePools {
+    /// `benign[i]` = benign-score pool of auxiliary `i`.
+    benign: Vec<Vec<f64>>,
+    /// `attack[i]` = AE-score pool of auxiliary `i`.
+    attack: Vec<Vec<f64>>,
+}
+
+impl ScorePools {
+    /// Wraps per-auxiliary pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool counts differ.
+    pub fn new(benign: Vec<Vec<f64>>, attack: Vec<Vec<f64>>) -> ScorePools {
+        assert_eq!(benign.len(), attack.len(), "auxiliary count mismatch");
+        ScorePools { benign, attack }
+    }
+
+    /// Builds pools by transposing per-sample score vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vectors are ragged or either set is empty.
+    pub fn from_score_vectors(benign: &[Vec<f64>], attack: &[Vec<f64>]) -> ScorePools {
+        assert!(!benign.is_empty() && !attack.is_empty(), "empty score set");
+        let n = benign[0].len();
+        assert!(
+            benign.iter().chain(attack).all(|v| v.len() == n),
+            "ragged score vectors"
+        );
+        let transpose = |vecs: &[Vec<f64>]| -> Vec<Vec<f64>> {
+            (0..n).map(|i| vecs.iter().map(|v| v[i]).collect()).collect()
+        };
+        ScorePools { benign: transpose(benign), attack: transpose(attack) }
+    }
+
+    /// Collects pools by scoring benign and AE audio through `system`.
+    pub fn collect(
+        system: &DetectionSystem,
+        benign: &[Waveform],
+        adversarial: &[Waveform],
+    ) -> ScorePools {
+        let b: Vec<Vec<f64>> = benign.iter().map(|w| system.score_vector(w)).collect();
+        let a: Vec<Vec<f64>> = adversarial.iter().map(|w| system.score_vector(w)).collect();
+        ScorePools::from_score_vectors(&b, &a)
+    }
+
+    /// Number of auxiliaries the pools cover.
+    pub fn n_auxiliaries(&self) -> usize {
+        self.benign.len()
+    }
+
+    /// The benign pool of auxiliary `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn benign(&self, i: usize) -> &[f64] {
+        &self.benign[i]
+    }
+
+    /// The attack pool of auxiliary `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn attack(&self, i: usize) -> &[f64] {
+        &self.attack[i]
+    }
+}
+
+/// Formats a ratio as the paper's `"957/960 (99.69%)"` style.
+pub fn ratio_cell(hits: usize, total: usize) -> String {
+    if total == 0 {
+        return "0/0 (—)".to_string();
+    }
+    format!("{hits}/{total} ({:.2}%)", hits as f64 / total as f64 * 100.0)
+}
+
+/// Formats a probability as a percentage with two decimals.
+pub fn pct(p: f64) -> String {
+    format!("{:.2}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_pools() {
+        let benign = vec![vec![0.9, 0.8], vec![0.7, 0.6]];
+        let attack = vec![vec![0.1, 0.2]];
+        let p = ScorePools::from_score_vectors(&benign, &attack);
+        assert_eq!(p.n_auxiliaries(), 2);
+        assert_eq!(p.benign(0), &[0.9, 0.7]);
+        assert_eq!(p.benign(1), &[0.8, 0.6]);
+        assert_eq!(p.attack(0), &[0.1]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio_cell(957, 960), "957/960 (99.69%)");
+        assert_eq!(pct(0.0421), "4.21%");
+        assert_eq!(ratio_cell(0, 0), "0/0 (—)");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_vectors_rejected() {
+        ScorePools::from_score_vectors(&[vec![0.1, 0.2]], &[vec![0.1]]);
+    }
+}

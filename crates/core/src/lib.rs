@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! MVP-EARS: multiversion-programming-inspired detection of audio
+//! adversarial examples.
+//!
+//! The paper's core idea: run a *target* ASR alongside one or more diverse
+//! *auxiliary* ASRs, convert each transcription to a phonetic encoding,
+//! compute one similarity score per auxiliary (Jaro-Winkler over the
+//! encodings), and let a binary classifier decide from the score vector
+//! whether the audio is adversarial — benign audio yields high inter-ASR
+//! agreement, AEs do not, because audio AEs do not transfer across diverse
+//! ASRs.
+//!
+//! Modules:
+//!
+//! - [`similarity`] — the similarity-calculation component (§IV-C, ablated
+//!   in Table III);
+//! - [`system`] — the [`DetectionSystem`]: parallel multi-ASR execution,
+//!   score-vector extraction, classifier training and detection;
+//! - [`threshold`] — the benign-only threshold detector of §V-G;
+//! - [`mae`] — synthesis of hypothetical multiple-ASR-effective AEs and
+//!   the proactive training of §V-H;
+//! - [`eval`] — score-pool collection and experiment helpers.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mvp_asr::AsrProfile;
+//! use mvp_ears::DetectionSystem;
+//! use mvp_ml::ClassifierKind;
+//!
+//! // DS0+{DS1, GCS, AT}: the paper's best system (99.88% accuracy).
+//! let mut system = DetectionSystem::builder(AsrProfile::Ds0)
+//!     .auxiliary(AsrProfile::Ds1)
+//!     .auxiliary(AsrProfile::Gcs)
+//!     .auxiliary(AsrProfile::At)
+//!     .build();
+//! # let (benign, adversarial): (Vec<mvp_audio::Waveform>, Vec<mvp_audio::Waveform>) = (vec![], vec![]);
+//! system.train(&benign, &adversarial, ClassifierKind::Svm);
+//! # let audio = mvp_audio::Waveform::new(16_000);
+//! let verdict = system.detect(&audio);
+//! println!("adversarial: {} (scores {:?})", verdict.is_adversarial, verdict.scores);
+//! ```
+
+pub mod baseline;
+pub mod eval;
+pub mod mae;
+pub mod similarity;
+pub mod system;
+pub mod threshold;
+
+pub use baseline::MajorityBaseline;
+pub use eval::ScorePools;
+pub use mae::{synthesize_mae, MaeType};
+pub use similarity::SimilarityMethod;
+pub use system::{Detection, DetectionSystem, DetectionSystemBuilder};
+pub use threshold::ThresholdDetector;

@@ -1,0 +1,193 @@
+//! Hypothetical multiple-ASR-effective (MAE) AEs and proactive training
+//! (paper §V-H).
+//!
+//! No method exists for generating transferable audio AEs, so the paper
+//! synthesizes them *at the feature-vector level*: if a hypothetical AE
+//! fools the target and auxiliary `i`, its `i`-th similarity score is drawn
+//! from the benign pool (the AE behaves like a benign sample for that
+//! model pair); for every auxiliary it cannot fool, the score is drawn
+//! from the attack pool. A detector trained on such vectors stays
+//! effective against transferable AEs before any exist.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::eval::ScorePools;
+
+/// The six MAE AE types of the paper's Table IX, defined by which
+/// auxiliaries (of DS1, GCS, AT — in that feature order) the hypothetical
+/// AE fools in addition to the target DS0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaeType {
+    /// `AE(DS0, DS1)`.
+    Type1,
+    /// `AE(DS0, GCS)`.
+    Type2,
+    /// `AE(DS0, AT)`.
+    Type3,
+    /// `AE(DS0, DS1, GCS)`.
+    Type4,
+    /// `AE(DS0, DS1, AT)`.
+    Type5,
+    /// `AE(DS0, GCS, AT)`.
+    Type6,
+}
+
+impl MaeType {
+    /// All six types in table order.
+    pub const ALL: [MaeType; 6] = [
+        MaeType::Type1,
+        MaeType::Type2,
+        MaeType::Type3,
+        MaeType::Type4,
+        MaeType::Type5,
+        MaeType::Type6,
+    ];
+
+    /// Which of the three auxiliaries (DS1, GCS, AT) this type fools.
+    pub fn fooled_mask(self) -> [bool; 3] {
+        match self {
+            MaeType::Type1 => [true, false, false],
+            MaeType::Type2 => [false, true, false],
+            MaeType::Type3 => [false, false, true],
+            MaeType::Type4 => [true, true, false],
+            MaeType::Type5 => [true, false, true],
+            MaeType::Type6 => [false, true, true],
+        }
+    }
+
+    /// Paper-style name, e.g. `"AE(DS0,DS1,GCS)"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MaeType::Type1 => "AE(DS0,DS1)",
+            MaeType::Type2 => "AE(DS0,GCS)",
+            MaeType::Type3 => "AE(DS0,AT)",
+            MaeType::Type4 => "AE(DS0,DS1,GCS)",
+            MaeType::Type5 => "AE(DS0,DS1,AT)",
+            MaeType::Type6 => "AE(DS0,GCS,AT)",
+        }
+    }
+
+    /// Whether every auxiliary this type fools is also fooled by `other`
+    /// (the Λ′ ⊆ Λ condition of the paper's Table XI analysis).
+    pub fn is_subset_of(self, other: MaeType) -> bool {
+        self.fooled_mask()
+            .iter()
+            .zip(other.fooled_mask())
+            .all(|(&a, b)| !a || b)
+    }
+}
+
+impl std::fmt::Display for MaeType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Synthesizes `count` MAE feature vectors: per auxiliary `i`, fooled
+/// positions draw from that auxiliary's benign score pool and resisting
+/// positions from its attack pool.
+///
+/// `fooled` must have one entry per auxiliary of `pools`.
+///
+/// # Panics
+///
+/// Panics if the mask length mismatches the pools or any needed pool is
+/// empty.
+pub fn synthesize_mae(
+    pools: &ScorePools,
+    fooled: &[bool],
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert_eq!(fooled.len(), pools.n_auxiliaries(), "mask/auxiliary mismatch");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_4541); // "MAEA"
+    (0..count)
+        .map(|_| {
+            fooled
+                .iter()
+                .enumerate()
+                .map(|(i, &is_fooled)| {
+                    let pool = if is_fooled { pools.benign(i) } else { pools.attack(i) };
+                    assert!(!pool.is_empty(), "empty score pool for auxiliary {i}");
+                    pool[rng.gen_range(0..pool.len())]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> ScorePools {
+        // Three auxiliaries, benign scores high, attack scores low.
+        let benign = vec![
+            vec![0.9, 0.91, 0.92],
+            vec![0.85, 0.88, 0.9],
+            vec![0.95, 0.96, 0.9],
+        ];
+        let attack = vec![
+            vec![0.1, 0.12, 0.15],
+            vec![0.2, 0.18, 0.22],
+            vec![0.05, 0.1, 0.12],
+        ];
+        ScorePools::new(benign, attack)
+    }
+
+    #[test]
+    fn fooled_positions_draw_from_benign_pool() {
+        let p = pools();
+        let vecs = synthesize_mae(&p, &MaeType::Type4.fooled_mask(), 50, 7);
+        assert_eq!(vecs.len(), 50);
+        for v in &vecs {
+            assert!(v[0] > 0.8, "DS1 fooled -> benign-like: {v:?}");
+            assert!(v[1] > 0.8, "GCS fooled -> benign-like: {v:?}");
+            assert!(v[2] < 0.3, "AT resists -> attack-like: {v:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = pools();
+        let a = synthesize_mae(&p, &[true, false, false], 10, 3);
+        let b = synthesize_mae(&p, &[true, false, false], 10, 3);
+        assert_eq!(a, b);
+        let c = synthesize_mae(&p, &[true, false, false], 10, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn subset_relation_matches_table_eleven() {
+        use MaeType::*;
+        assert!(Type1.is_subset_of(Type4)); // {DS1} ⊆ {DS1, GCS}
+        assert!(Type1.is_subset_of(Type5));
+        assert!(!Type1.is_subset_of(Type6)); // DS1 ∉ {GCS, AT}
+        assert!(Type2.is_subset_of(Type6));
+        assert!(!Type4.is_subset_of(Type1));
+        for t in MaeType::ALL {
+            assert!(t.is_subset_of(t));
+        }
+    }
+
+    #[test]
+    fn names_and_masks_consistent() {
+        for t in MaeType::ALL {
+            let fooled_count = t.fooled_mask().iter().filter(|&&b| b).count();
+            // Types 1-3 fool one auxiliary; 4-6 fool two.
+            let expected = if matches!(t, MaeType::Type1 | MaeType::Type2 | MaeType::Type3) {
+                1
+            } else {
+                2
+            };
+            assert_eq!(fooled_count, expected, "{t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_mask_length_rejected() {
+        synthesize_mae(&pools(), &[true], 1, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The similarity-calculation component (paper §IV-C).
+//!
+//! A method is a base string-similarity measure optionally preceded by a
+//! phonetic encoding of both transcriptions. Table III ablates six
+//! combinations and selects `PE_JaroWinkler`, which this module exposes as
+//! the default.
+
+use mvp_phonetics::{Encoder, PhoneticEncoder};
+use mvp_textsim::Similarity;
+
+/// A transcription-similarity method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimilarityMethod {
+    /// Base string-similarity measure.
+    pub base: Similarity,
+    /// Optional phonetic pre-encoding.
+    pub phonetic: Option<Encoder>,
+}
+
+impl Default for SimilarityMethod {
+    /// `PE_JaroWinkler` — the method the paper adopts.
+    fn default() -> Self {
+        SimilarityMethod { base: Similarity::JaroWinkler, phonetic: Some(Encoder::Metaphone) }
+    }
+}
+
+impl SimilarityMethod {
+    /// The six combinations of the paper's Table III, in table order.
+    pub fn paper_methods() -> Vec<SimilarityMethod> {
+        let bases = [Similarity::Cosine, Similarity::Jaccard, Similarity::JaroWinkler];
+        let mut out = Vec::with_capacity(6);
+        for base in bases {
+            out.push(SimilarityMethod { base, phonetic: None });
+        }
+        for base in bases {
+            out.push(SimilarityMethod { base, phonetic: Some(Encoder::Metaphone) });
+        }
+        out
+    }
+
+    /// Similarity of two transcriptions in `[0, 1]`.
+    ///
+    /// ```
+    /// use mvp_ears::SimilarityMethod;
+    /// let m = SimilarityMethod::default();
+    /// // Homophone substitutions are forgiven by the phonetic encoding.
+    /// assert_eq!(m.score("i see the sea", "i sea the see"), 1.0);
+    /// assert!(m.score("open the front door", "i wish you wouldn't") < 0.7);
+    /// ```
+    pub fn score(&self, a: &str, b: &str) -> f64 {
+        match self.phonetic {
+            Some(enc) => self.base.score(&enc.encode_sentence(a), &enc.encode_sentence(b)),
+            None => self.base.score(&a.to_lowercase(), &b.to_lowercase()),
+        }
+    }
+
+    /// Table-style name, e.g. `"PE_JaroWinkler"`.
+    pub fn name(&self) -> String {
+        match self.phonetic {
+            Some(_) => format!("PE_{}", self.base.name()),
+            None => self.base.name().to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for SimilarityMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_methods_cover_table_three() {
+        let methods = SimilarityMethod::paper_methods();
+        assert_eq!(methods.len(), 6);
+        let names: Vec<String> = methods.iter().map(SimilarityMethod::name).collect();
+        assert_eq!(
+            names,
+            ["Cosine", "Jaccard", "JaroWinkler", "PE_Cosine", "PE_Jaccard", "PE_JaroWinkler"]
+        );
+    }
+
+    #[test]
+    fn phonetic_encoding_helps_homophones() {
+        let raw = SimilarityMethod { base: Similarity::Jaccard, phonetic: None };
+        let pe = SimilarityMethod { base: Similarity::Jaccard, phonetic: Some(Encoder::Metaphone) };
+        // Token sets differ ("there" vs "their") but pronunciations match.
+        let a = "they went there";
+        let b = "they went their";
+        assert!(pe.score(a, b) > raw.score(a, b));
+        assert_eq!(pe.score(a, b), 1.0);
+    }
+
+    #[test]
+    fn identical_texts_score_one() {
+        for m in SimilarityMethod::paper_methods() {
+            assert_eq!(m.score("open the door", "open the door"), 1.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn dissimilar_texts_score_low() {
+        let m = SimilarityMethod::default();
+        assert!(m.score("a sight for sore eyes", "i wish you wouldn't") < 0.75);
+    }
+
+    #[test]
+    fn case_insensitive_without_encoding() {
+        let m = SimilarityMethod { base: Similarity::JaroWinkler, phonetic: None };
+        assert_eq!(m.score("Open The Door", "open the door"), 1.0);
+    }
+}

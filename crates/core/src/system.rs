@@ -1,0 +1,377 @@
+//! The MVP-EARS detection system (paper Figure 3).
+//!
+//! An audio is fed to the target ASR and every auxiliary ASR *in parallel*
+//! (one thread per recogniser, results collected over a channel — the
+//! multiversion-programming execution model). The similarity-calculation
+//! component reduces the transcriptions to one score per auxiliary, and a
+//! binary classifier over the score vector produces the verdict.
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+
+use mvp_asr::{Asr, AsrProfile, TrainedAsr};
+use mvp_audio::Waveform;
+use mvp_ml::{Classifier, ClassifierKind, Dataset};
+
+use crate::similarity::SimilarityMethod;
+
+/// The verdict for one audio input.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Whether the classifier flagged the audio as adversarial.
+    pub is_adversarial: bool,
+    /// One similarity score per auxiliary ASR (the classifier features).
+    pub scores: Vec<f64>,
+    /// The target ASR's transcription.
+    pub target_transcription: String,
+    /// The auxiliary transcriptions, in auxiliary order.
+    pub auxiliary_transcriptions: Vec<String>,
+}
+
+/// A configured (and optionally trained) MVP-EARS detection system.
+pub struct DetectionSystem {
+    target: Arc<TrainedAsr>,
+    auxiliaries: Vec<Arc<TrainedAsr>>,
+    method: SimilarityMethod,
+    classifier: Option<Box<dyn Classifier + Send + Sync>>,
+}
+
+impl std::fmt::Debug for DetectionSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionSystem")
+            .field("name", &self.name())
+            .field("method", &self.method)
+            .field("trained", &self.classifier.is_some())
+            .finish()
+    }
+}
+
+impl DetectionSystem {
+    /// Starts a builder with `target` as the target ASR profile.
+    pub fn builder(target: AsrProfile) -> DetectionSystemBuilder {
+        DetectionSystemBuilder {
+            target: target.trained(),
+            auxiliaries: Vec::new(),
+            method: SimilarityMethod::default(),
+        }
+    }
+
+    /// The paper's notation, e.g. `"DS0+{DS1, GCS, AT}"`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}+{{{}}}",
+            self.target.name(),
+            self.auxiliaries.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+        )
+    }
+
+    /// Number of auxiliary ASRs (= classifier feature dimension).
+    pub fn n_auxiliaries(&self) -> usize {
+        self.auxiliaries.len()
+    }
+
+    /// The similarity method in use.
+    pub fn method(&self) -> SimilarityMethod {
+        self.method
+    }
+
+    /// The target ASR.
+    pub fn target(&self) -> &TrainedAsr {
+        &self.target
+    }
+
+    /// Transcribes `wave` on the target and every auxiliary concurrently.
+    ///
+    /// Returns `(target transcription, auxiliary transcriptions)`.
+    pub fn transcripts(&self, wave: &Waveform) -> (String, Vec<String>) {
+        let (tx, rx) = channel::unbounded::<(usize, String)>();
+        std::thread::scope(|scope| {
+            for (i, asr) in std::iter::once(&self.target).chain(&self.auxiliaries).enumerate() {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    // A send only fails if the receiver is gone, which
+                    // cannot happen while this scope holds `rx`.
+                    let _ = tx.send((i, asr.transcribe(wave)));
+                });
+            }
+        });
+        drop(tx);
+        let mut results: Vec<(usize, String)> = rx.iter().collect();
+        results.sort_by_key(|(i, _)| *i);
+        let mut it = results.into_iter().map(|(_, t)| t);
+        let target = it.next().expect("target transcript present");
+        (target, it.collect())
+    }
+
+    /// The similarity-score feature vector for `wave` (one score per
+    /// auxiliary).
+    pub fn score_vector(&self, wave: &Waveform) -> Vec<f64> {
+        let (target, auxiliaries) = self.transcripts(wave);
+        self.scores_from_transcripts(&target, &auxiliaries)
+    }
+
+    /// Scores from already-computed transcriptions.
+    pub fn scores_from_transcripts(&self, target: &str, auxiliaries: &[String]) -> Vec<f64> {
+        auxiliaries.iter().map(|a| self.method.score(target, a)).collect()
+    }
+
+    /// Trains the binary classifier from benign and adversarial audio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set is empty.
+    pub fn train(&mut self, benign: &[Waveform], adversarial: &[Waveform], kind: ClassifierKind) {
+        assert!(!benign.is_empty() && !adversarial.is_empty(), "empty training class");
+        let neg: Vec<Vec<f64>> = benign.iter().map(|w| self.score_vector(w)).collect();
+        let pos: Vec<Vec<f64>> = adversarial.iter().map(|w| self.score_vector(w)).collect();
+        self.train_on_scores(&neg, &pos, kind);
+    }
+
+    /// Trains the classifier directly on score vectors — used both to
+    /// avoid re-transcribing cached datasets and to train *proactively* on
+    /// synthesized MAE feature vectors (§V-H), where no audio exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set is empty or vectors have the wrong dimension.
+    pub fn train_on_scores(
+        &mut self,
+        benign_scores: &[Vec<f64>],
+        ae_scores: &[Vec<f64>],
+        kind: ClassifierKind,
+    ) {
+        assert!(!benign_scores.is_empty() && !ae_scores.is_empty(), "empty training class");
+        let dim = self.n_auxiliaries();
+        assert!(
+            benign_scores.iter().chain(ae_scores).all(|v| v.len() == dim),
+            "score vectors must have one entry per auxiliary ({dim})"
+        );
+        let data = Dataset::from_classes(benign_scores.to_vec(), ae_scores.to_vec());
+        self.classifier = Some(fit_classifier(kind, &data));
+    }
+
+    /// Whether [`train`](Self::train) (or
+    /// [`train_on_scores`](Self::train_on_scores)) has run.
+    pub fn is_trained(&self) -> bool {
+        self.classifier.is_some()
+    }
+
+    /// Classifies a score vector with the trained classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is untrained.
+    pub fn classify_scores(&self, scores: &[f64]) -> bool {
+        let clf = self.classifier.as_ref().expect("detection system is untrained");
+        clf.predict(scores) == 1
+    }
+
+    /// Runs the full detection pipeline on `wave`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is untrained; see [`DetectionSystem::train`].
+    pub fn detect(&self, wave: &Waveform) -> Detection {
+        let (target, auxiliaries) = self.transcripts(wave);
+        let scores = self.scores_from_transcripts(&target, &auxiliaries);
+        Detection {
+            is_adversarial: self.classify_scores(&scores),
+            scores,
+            target_transcription: target,
+            auxiliary_transcriptions: auxiliaries,
+        }
+    }
+}
+
+/// Fits the paper-configured classifier of `kind`, keeping `Send + Sync`
+/// bounds (the `ClassifierKind::build` trait object deliberately does not
+/// carry them).
+fn fit_classifier(kind: ClassifierKind, data: &Dataset) -> Box<dyn Classifier + Send + Sync> {
+    match kind {
+        ClassifierKind::Svm => {
+            let mut m = mvp_ml::Svm::new(
+                mvp_ml::Kernel::Polynomial { degree: 3, coef0: 1.0 },
+                1.0,
+            );
+            m.fit(data);
+            Box::new(m)
+        }
+        ClassifierKind::Knn => {
+            let mut m = mvp_ml::Knn::new(10);
+            m.fit(data);
+            Box::new(m)
+        }
+        ClassifierKind::RandomForest => {
+            let mut m = mvp_ml::RandomForest::new(40, 200);
+            m.fit(data);
+            Box::new(m)
+        }
+    }
+}
+
+/// Builder for [`DetectionSystem`].
+#[derive(Debug)]
+pub struct DetectionSystemBuilder {
+    target: Arc<TrainedAsr>,
+    auxiliaries: Vec<Arc<TrainedAsr>>,
+    method: SimilarityMethod,
+}
+
+impl DetectionSystemBuilder {
+    /// Adds an auxiliary ASR profile.
+    pub fn auxiliary(mut self, profile: AsrProfile) -> Self {
+        self.auxiliaries.push(profile.trained());
+        self
+    }
+
+    /// Adds an already-trained auxiliary (e.g. a custom model).
+    pub fn auxiliary_asr(mut self, asr: Arc<TrainedAsr>) -> Self {
+        self.auxiliaries.push(asr);
+        self
+    }
+
+    /// Overrides the similarity method (default `PE_JaroWinkler`).
+    pub fn method(mut self, method: SimilarityMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no auxiliary was added.
+    pub fn build(self) -> DetectionSystem {
+        assert!(!self.auxiliaries.is_empty(), "at least one auxiliary ASR is required");
+        DetectionSystem {
+            target: self.target,
+            auxiliaries: self.auxiliaries,
+            method: self.method,
+            classifier: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+    use mvp_ml::ClassifierKind;
+    use mvp_phonetics::Lexicon;
+
+    fn ds0_ds1() -> DetectionSystem {
+        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build()
+    }
+
+    #[test]
+    fn name_follows_paper_notation() {
+        let s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .auxiliary(AsrProfile::Gcs)
+            .build();
+        assert_eq!(s.name(), "DS0+{DS1, GCS}");
+    }
+
+    #[test]
+    fn benign_audio_scores_high() {
+        let s = ds0_ds1();
+        let synth = Synthesizer::new(16_000);
+        let (wave, _) = synth.synthesize(
+            &Lexicon::builtin(),
+            "the man walked the street",
+            &SpeakerProfile::default(),
+        );
+        let scores = s.score_vector(&wave);
+        assert_eq!(scores.len(), 1);
+        assert!(scores[0] > 0.7, "benign score {}", scores[0]);
+    }
+
+    #[test]
+    fn train_on_scores_and_classify() {
+        let mut s = ds0_ds1();
+        assert!(!s.is_trained());
+        let benign: Vec<Vec<f64>> = (0..30).map(|i| vec![0.85 + (i % 10) as f64 * 0.01]).collect();
+        let aes: Vec<Vec<f64>> = (0..30).map(|i| vec![0.2 + (i % 10) as f64 * 0.01]).collect();
+        s.train_on_scores(&benign, &aes, ClassifierKind::Svm);
+        assert!(s.is_trained());
+        assert!(s.classify_scores(&[0.1]));
+        assert!(!s.classify_scores(&[0.95]));
+    }
+
+    #[test]
+    #[should_panic(expected = "untrained")]
+    fn detect_before_training_panics() {
+        let s = ds0_ds1();
+        let wave = Waveform::from_samples(vec![0.0; 1600], 16_000);
+        s.detect(&wave);
+    }
+
+    #[test]
+    #[should_panic(expected = "auxiliary")]
+    fn builder_requires_auxiliary() {
+        DetectionSystem::builder(AsrProfile::Ds0).build();
+    }
+
+    #[test]
+    fn multi_aux_score_dimensions_and_training() {
+        let mut s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .auxiliary(AsrProfile::Gcs)
+            .auxiliary(AsrProfile::At)
+            .build();
+        assert_eq!(s.n_auxiliaries(), 3);
+        // Three-dimensional score vectors train and classify.
+        let benign: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![0.9, 0.92, 0.88 + (i % 5) as f64 * 0.01]).collect();
+        let aes: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![0.3, 0.25 + (i % 5) as f64 * 0.01, 0.4]).collect();
+        for kind in ClassifierKind::ALL {
+            s.train_on_scores(&benign, &aes, kind);
+            assert!(s.classify_scores(&[0.2, 0.3, 0.35]), "{kind}");
+            assert!(!s.classify_scores(&[0.95, 0.9, 0.93]), "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per auxiliary")]
+    fn wrong_score_dimension_rejected() {
+        let mut s = ds0_ds1();
+        s.train_on_scores(&[vec![0.9, 0.8]], &[vec![0.1, 0.2]], ClassifierKind::Svm);
+    }
+
+    #[test]
+    fn method_override_changes_scores() {
+        use mvp_textsim::Similarity;
+        let jaccard = crate::similarity::SimilarityMethod {
+            base: Similarity::Jaccard,
+            phonetic: None,
+        };
+        let s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .method(jaccard)
+            .build();
+        assert_eq!(s.method().name(), "Jaccard");
+        let scores =
+            s.scores_from_transcripts("open the door", &["close the door".to_string()]);
+        assert!((scores[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_transcripts_ordered() {
+        let s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .auxiliary(AsrProfile::Gcs)
+            .build();
+        let synth = Synthesizer::new(16_000);
+        let (wave, _) =
+            synth.synthesize(&Lexicon::builtin(), "good morning", &SpeakerProfile::default());
+        let (target, aux) = s.transcripts(&wave);
+        assert_eq!(aux.len(), 2);
+        // Deterministic across calls (ordering is by ASR index, not thread
+        // completion).
+        let (t2, a2) = s.transcripts(&wave);
+        assert_eq!(target, t2);
+        assert_eq!(aux, a2);
+    }
+}

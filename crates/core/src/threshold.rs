@@ -1,0 +1,120 @@
+//! Benign-only threshold detection (paper §V-G).
+//!
+//! Single-auxiliary systems can detect unseen-attack AEs without any AE
+//! training data: pick the largest similarity threshold whose false-positive
+//! rate on *benign* scores stays under a budget (the paper uses 5 %), then
+//! flag anything scoring below it.
+
+/// A scalar-score threshold detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdDetector {
+    threshold: f64,
+    fpr: f64,
+}
+
+impl ThresholdDetector {
+    /// Fits the threshold on benign similarity scores so that the training
+    /// FPR stays strictly below `max_fpr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benign_scores` is empty or `max_fpr` is outside `(0, 1)`.
+    pub fn fit_benign(benign_scores: &[f64], max_fpr: f64) -> ThresholdDetector {
+        assert!(!benign_scores.is_empty(), "no benign scores");
+        assert!(max_fpr > 0.0 && max_fpr < 1.0, "FPR budget out of range");
+        let mut sorted = benign_scores.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+        let n = sorted.len();
+        // Flagging rule is `score < threshold`; find the largest candidate
+        // threshold keeping the benign flag rate under budget. Candidate
+        // thresholds are the observed scores themselves.
+        let mut best = sorted[0]; // flags nothing that scores >= min
+        let mut best_fpr = 0.0;
+        for (k, &t) in sorted.iter().enumerate() {
+            // Scores strictly below t: exactly k of them (ties collapse).
+            let fpr = k as f64 / n as f64;
+            if fpr < max_fpr {
+                best = t;
+                best_fpr = sorted.iter().filter(|&&s| s < t).count() as f64 / n as f64;
+            } else {
+                break;
+            }
+        }
+        ThresholdDetector { threshold: best, fpr: best_fpr }
+    }
+
+    /// The fitted threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The training-set FPR at the fitted threshold.
+    pub fn training_fpr(&self) -> f64 {
+        self.fpr
+    }
+
+    /// Whether a similarity score is flagged as adversarial.
+    pub fn is_adversarial(&self, score: f64) -> bool {
+        score < self.threshold
+    }
+
+    /// Defense rate over a set of AE scores (fraction flagged).
+    pub fn defense_rate(&self, ae_scores: &[f64]) -> f64 {
+        if ae_scores.is_empty() {
+            return 0.0;
+        }
+        ae_scores.iter().filter(|&&s| self.is_adversarial(s)).count() as f64
+            / ae_scores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benign_scores() -> Vec<f64> {
+        // 95 high scores and 5 stragglers.
+        let mut v: Vec<f64> = (0..95).map(|i| 0.85 + (i % 10) as f64 * 0.01).collect();
+        v.extend([0.55, 0.6, 0.65, 0.7, 0.75]);
+        v
+    }
+
+    #[test]
+    fn threshold_keeps_fpr_under_budget() {
+        let scores = benign_scores();
+        let det = ThresholdDetector::fit_benign(&scores, 0.05);
+        let fpr =
+            scores.iter().filter(|&&s| det.is_adversarial(s)).count() as f64 / scores.len() as f64;
+        assert!(fpr < 0.05, "fpr {fpr}");
+        assert_eq!(det.training_fpr(), fpr);
+    }
+
+    #[test]
+    fn catches_low_scoring_aes() {
+        let det = ThresholdDetector::fit_benign(&benign_scores(), 0.05);
+        let aes = [0.05, 0.1, 0.2, 0.3, 0.15];
+        assert_eq!(det.defense_rate(&aes), 1.0);
+    }
+
+    #[test]
+    fn tight_budget_lowers_threshold() {
+        let scores = benign_scores();
+        let tight = ThresholdDetector::fit_benign(&scores, 0.01);
+        let loose = ThresholdDetector::fit_benign(&scores, 0.2);
+        assert!(tight.threshold() <= loose.threshold());
+    }
+
+    #[test]
+    fn all_identical_scores() {
+        let det = ThresholdDetector::fit_benign(&[0.9; 50], 0.05);
+        assert!(!det.is_adversarial(0.9));
+        assert!(det.is_adversarial(0.2));
+        assert_eq!(det.training_fpr(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no benign")]
+    fn empty_scores_rejected() {
+        ThresholdDetector::fit_benign(&[], 0.05);
+    }
+}

@@ -1,0 +1,69 @@
+//! Seeded speaker-profile sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mvp_audio::SpeakerProfile;
+
+/// Samples diverse but bounded speaker profiles.
+///
+/// ```
+/// use mvp_corpus::SpeakerSampler;
+/// let mut s = SpeakerSampler::new(7);
+/// let p = s.next_speaker();
+/// assert!(p.pitch_hz >= 85.0 && p.pitch_hz <= 255.0);
+/// ```
+#[derive(Debug)]
+pub struct SpeakerSampler {
+    rng: StdRng,
+}
+
+impl SpeakerSampler {
+    /// A sampler with a fixed seed.
+    pub fn new(seed: u64) -> SpeakerSampler {
+        SpeakerSampler { rng: StdRng::seed_from_u64(seed ^ 0x5EED_5EED) }
+    }
+
+    /// Draws the next speaker profile.
+    pub fn next_speaker(&mut self) -> SpeakerProfile {
+        SpeakerProfile {
+            pitch_hz: self.rng.gen_range(90.0..250.0),
+            formant_scale: self.rng.gen_range(0.9..1.12),
+            rate: self.rng.gen_range(0.85..1.2),
+            amplitude: self.rng.gen_range(0.22..0.4),
+            breathiness: self.rng.gen_range(0.005..0.03),
+            seed: self.rng.gen(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = SpeakerSampler::new(4).next_speaker();
+        let b = SpeakerSampler::new(4).next_speaker();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_vary() {
+        let mut s = SpeakerSampler::new(4);
+        let a = s.next_speaker();
+        let b = s.next_speaker();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn profiles_within_bounds() {
+        let mut s = SpeakerSampler::new(12);
+        for _ in 0..100 {
+            let p = s.next_speaker();
+            assert!(p.rate > 0.5 && p.rate < 1.5);
+            assert!(p.formant_scale > 0.8 && p.formant_scale < 1.25);
+            assert!(p.amplitude > 0.0 && p.amplitude < 0.6);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Word pools and fixed phrase lists.
+//!
+//! Every word here has an explicit pronunciation in the built-in lexicon of
+//! `mvp-phonetics`, so synthesis and recognition share one consistent
+//! phonetic ground truth.
+
+/// Subject noun phrases for declarative sentences.
+pub const SUBJECTS: &[&str] = &[
+    "the man", "the woman", "the child", "the teacher", "the student",
+    "my friend", "her mother", "his father", "the family", "the people",
+];
+
+/// Intransitive/transitive past-tense verbs.
+pub const VERBS_PAST: &[&str] = &[
+    "walked", "worked", "looked", "wanted", "lived", "came", "went",
+    "took", "gave", "made", "found", "thought", "said",
+];
+
+/// Object noun phrases.
+pub const OBJECTS: &[&str] = &[
+    "the book", "the letter", "the story", "the house", "the garden",
+    "the river", "the mountain", "the forest", "the street", "the city",
+    "the school", "the water", "the paper", "the word", "the answer",
+];
+
+/// Temporal / locative tails.
+pub const TAILS: &[&str] = &[
+    "in the morning", "in the evening", "before the storm", "after the rain",
+    "in the summer", "in the winter", "every day", "every year",
+    "with the family", "in the old house", "near the river", "through the forest",
+];
+
+/// Adjectives for noun phrases.
+pub const ADJECTIVES: &[&str] = &[
+    "little", "good", "great", "small", "large", "old", "young", "long", "short", "quiet",
+];
+
+/// Attack-target command phrases (what the adversary embeds in an AE).
+///
+/// These mirror the smart-home / assistant commands the paper's introduction
+/// motivates ("open the front door").
+pub fn command_phrases() -> Vec<&'static str> {
+    vec![
+        "open the front door",
+        "open the back door",
+        "unlock the garage",
+        "turn off the alarm",
+        "turn on the lights",
+        "turn off the camera",
+        "delete all files",
+        "send the message",
+        "call home",
+        "stop the music",
+        "turn up the volume",
+        "open the window",
+        "visit the website",
+        "read the email",
+        "set the timer",
+    ]
+}
+
+/// Sentence pairs that are textually different but phonetically identical,
+/// used to validate the phonetic-encoding step (paper §V-D).
+pub fn homophone_sentence_pairs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("i see the sea", "i sea the see"),
+        ("the knight walked at night", "the night walked at knight"),
+        ("write the right answer", "right the write answer"),
+        ("they went there", "they went their"),
+        ("he ate the pear", "he eight the pair"),
+        ("the son saw the sun", "the sun saw the son"),
+        ("i hear the music here", "i here the music hear"),
+        ("four people waited for the answer", "for people waited four the answer"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_phonetics::Lexicon;
+
+    #[test]
+    fn all_pool_words_pronounceable() {
+        let lex = Lexicon::builtin();
+        let pools: Vec<&str> = SUBJECTS
+            .iter()
+            .chain(VERBS_PAST)
+            .chain(OBJECTS)
+            .chain(TAILS)
+            .chain(ADJECTIVES)
+            .copied()
+            .collect();
+        for phrase in pools {
+            for word in phrase.split_whitespace() {
+                assert!(!lex.pronounce(word).is_empty(), "{word}");
+            }
+        }
+    }
+
+    #[test]
+    fn command_words_in_lexicon() {
+        // Commands must use explicit lexicon entries so target phoneme
+        // sequences for attacks are stable.
+        let lex = Lexicon::builtin();
+        for cmd in command_phrases() {
+            for word in cmd.split_whitespace() {
+                assert!(lex.lookup(word).is_some(), "{word} not in builtin lexicon");
+            }
+        }
+    }
+
+    #[test]
+    fn homophone_pairs_really_homophonic() {
+        let lex = Lexicon::builtin();
+        for (a, b) in homophone_sentence_pairs() {
+            assert_eq!(
+                lex.pronounce_sentence(a),
+                lex.pronounce_sentence(b),
+                "{a} vs {b}"
+            );
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn pools_nonempty_and_distinct() {
+        assert!(SUBJECTS.len() >= 8);
+        assert!(OBJECTS.len() >= 10);
+        assert!(command_phrases().len() >= 12);
+        let set: std::collections::HashSet<_> = command_phrases().into_iter().collect();
+        assert_eq!(set.len(), command_phrases().len());
+    }
+}

@@ -1,0 +1,103 @@
+//! Orthonormal DCT-II used to decorrelate log-mel energies into cepstra.
+
+/// DCT-II with orthonormal scaling, truncated to `n_out` coefficients.
+///
+/// `y_k = s_k Σ_i x_i cos(π k (2i + 1) / (2n))` where `s_0 = √(1/n)` and
+/// `s_k = √(2/n)` otherwise.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `n_out > x.len()`.
+pub fn dct2(x: &[f64], n_out: usize) -> Vec<f64> {
+    let n = x.len();
+    assert!(n > 0, "DCT input must be non-empty");
+    assert!(n_out <= n, "cannot produce {n_out} coefficients from {n} inputs");
+    (0..n_out)
+        .map(|k| {
+            let s = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+            let sum: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, &xi)| {
+                    xi * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2 * n) as f64)
+                        .cos()
+                })
+                .sum();
+            s * sum
+        })
+        .collect()
+}
+
+/// Adjoint of [`dct2`]: maps a gradient over the `n_out` coefficients back
+/// to a gradient over `n_in` inputs.
+///
+/// # Panics
+///
+/// Panics if `grad.len() > n_in` or `n_in == 0`.
+pub fn dct2_transpose(grad: &[f64], n_in: usize) -> Vec<f64> {
+    assert!(n_in > 0, "DCT input dimension must be positive");
+    assert!(grad.len() <= n_in, "gradient longer than input dimension");
+    let n = n_in;
+    (0..n)
+        .map(|i| {
+            grad.iter()
+                .enumerate()
+                .map(|(k, &g)| {
+                    let s = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+                    s * g
+                        * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2 * n) as f64)
+                            .cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_concentrates_in_dc() {
+        let x = vec![2.0; 8];
+        let y = dct2(&x, 8);
+        assert!((y[0] - 2.0 * 8f64.sqrt()).abs() < 1e-12);
+        for &v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthonormal_full_transform_preserves_energy() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let y = dct2(&x, 16);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() / ex < 1e-12);
+    }
+
+    #[test]
+    fn transpose_is_adjoint() {
+        let n = 12;
+        let k = 5;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let g: Vec<f64> = (0..k).map(|i| (i as f64 * 0.91).cos()).collect();
+        let lhs: f64 = dct2(&x, k).iter().zip(&g).map(|(a, b)| a * b).sum();
+        let rhs: f64 = dct2_transpose(&g, n).iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_prefix_property() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let full = dct2(&x, 10);
+        let trunc = dct2(&x, 4);
+        assert_eq!(&full[..4], trunc.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_input_panics() {
+        dct2(&[], 0);
+    }
+}

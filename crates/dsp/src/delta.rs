@@ -1,0 +1,137 @@
+//! Delta (differential) feature computation with its adjoint.
+//!
+//! Classic ASR front ends append first-order regression coefficients
+//! ("delta" features) to each cepstral frame:
+//!
+//! `d_t = Σ_{k=1..K} k · (c_{t+k} − c_{t−k}) / (2 Σ k²)`
+//!
+//! with edge frames replicated. The operation is linear in the inputs, so
+//! the adjoint needed by the white-box attack is exact. Profiles may use
+//! deltas as one more diversity axis.
+
+use crate::mfcc::FeatureMatrix;
+
+/// Computes delta features over a window of `k` frames each side and
+/// returns a matrix of the same shape.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn delta_features(feats: &FeatureMatrix, k: usize) -> FeatureMatrix {
+    assert!(k > 0, "delta window must be positive");
+    let n = feats.n_frames();
+    let d = feats.dim();
+    let denom: f64 = 2.0 * (1..=k).map(|i| (i * i) as f64).sum::<f64>();
+    let clamp = |t: isize| -> usize { t.clamp(0, n as isize - 1) as usize };
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|t| {
+            (0..d)
+                .map(|j| {
+                    (1..=k)
+                        .map(|i| {
+                            let hi = feats.row(clamp(t as isize + i as isize))[j];
+                            let lo = feats.row(clamp(t as isize - i as isize))[j];
+                            i as f64 * (hi - lo)
+                        })
+                        .sum::<f64>()
+                        / denom
+                })
+                .collect()
+        })
+        .collect();
+    FeatureMatrix::from_rows(rows, d)
+}
+
+/// Adjoint of [`delta_features`]: maps a gradient over the delta matrix
+/// back to a gradient over the static features.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn delta_features_adjoint(d_delta: &FeatureMatrix, k: usize) -> FeatureMatrix {
+    assert!(k > 0, "delta window must be positive");
+    let n = d_delta.n_frames();
+    let d = d_delta.dim();
+    let denom: f64 = 2.0 * (1..=k).map(|i| (i * i) as f64).sum::<f64>();
+    let mut out = vec![vec![0.0; d]; n];
+    let clamp = |t: isize| -> usize { t.clamp(0, n as isize - 1) as usize };
+    for t in 0..n {
+        let g = d_delta.row(t);
+        for i in 1..=k {
+            let w = i as f64 / denom;
+            let hi = clamp(t as isize + i as isize);
+            let lo = clamp(t as isize - i as isize);
+            for j in 0..d {
+                out[hi][j] += w * g[j];
+                out[lo][j] -= w * g[j];
+            }
+        }
+    }
+    FeatureMatrix::from_rows(out, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: Vec<Vec<f64>>) -> FeatureMatrix {
+        let d = rows[0].len();
+        FeatureMatrix::from_rows(rows, d)
+    }
+
+    #[test]
+    fn constant_signal_zero_delta() {
+        let m = mat(vec![vec![3.0, -1.0]; 6]);
+        let d = delta_features(&m, 2);
+        assert!(d.as_slice().iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn linear_ramp_constant_delta() {
+        // c_t = t: delta = Σ k·2k / (2Σk²) = 1 in the interior.
+        let m = mat((0..10).map(|t| vec![t as f64]).collect());
+        let d = delta_features(&m, 2);
+        for t in 2..8 {
+            assert!((d.row(t)[0] - 1.0).abs() < 1e-12, "frame {t}");
+        }
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let m = mat(vec![vec![1.0, 2.0, 3.0]; 5]);
+        let d = delta_features(&m, 1);
+        assert_eq!(d.n_frames(), 5);
+        assert_eq!(d.dim(), 3);
+    }
+
+    #[test]
+    fn adjoint_identity() {
+        // <delta(x), g> == <x, delta^T(g)> on a full basis sweep.
+        let n = 5;
+        let dim = 2;
+        let k = 2;
+        for t in 0..n {
+            for j in 0..dim {
+                let mut x = vec![vec![0.0; dim]; n];
+                x[t][j] = 1.0;
+                let dx = delta_features(&mat(x.clone()), k);
+                for gt in 0..n {
+                    for gj in 0..dim {
+                        let mut g = vec![vec![0.0; dim]; n];
+                        g[gt][gj] = 1.0;
+                        let adj = delta_features_adjoint(&mat(g), k);
+                        let lhs = dx.row(gt)[gj];
+                        let rhs = adj.row(t)[j];
+                        assert!((lhs - rhs).abs() < 1e-12, "({t},{j}) vs ({gt},{gj})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        delta_features(&mat(vec![vec![0.0]]), 0);
+    }
+}

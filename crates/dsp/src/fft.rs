@@ -1,0 +1,191 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use crate::complex::Complex;
+
+/// In-place forward FFT.
+///
+/// Computes `X_k = Σ_t x_t e^{-2πi kt / n}` (no normalisation).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT, normalised by `1/n` so that `ifft(fft(x)) == x`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+fn transform(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::from(1.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal zero-padded to `n_fft`, returning the full
+/// complex spectrum (length `n_fft`).
+///
+/// # Panics
+///
+/// Panics if `n_fft` is not a power of two or `signal.len() > n_fft`.
+pub fn rfft(signal: &[f64], n_fft: usize) -> Vec<Complex> {
+    assert!(
+        signal.len() <= n_fft,
+        "signal length {} exceeds FFT size {n_fft}",
+        signal.len()
+    );
+    let mut buf = vec![Complex::ZERO; n_fft];
+    for (b, &s) in buf.iter_mut().zip(signal) {
+        b.re = s;
+    }
+    fft(&mut buf);
+    buf
+}
+
+/// Reference `O(n²)` DFT used for verification in tests and benches.
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (t, &x) in data.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                acc += x * Complex::from_angle(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex, b: Complex, eps: f64) -> bool {
+        (a.re - b.re).abs() < eps && (a.im - b.im).abs() < eps
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let data: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let expected = dft_naive(&data);
+        let mut got = data.clone();
+        fft(&mut got);
+        for (g, e) in got.iter().zip(&expected) {
+            assert!(close(*g, *e, 1e-9), "{g:?} vs {e:?}");
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 16];
+        data[0] = Complex::from(1.0);
+        fft(&mut data);
+        for z in &data {
+            assert!(close(*z, Complex::from(1.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn pure_tone_single_bin() {
+        let n = 128;
+        let k0 = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|t| Complex::from_angle(2.0 * std::f64::consts::PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        fft(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((z.re - n as f64).abs() < 1e-8);
+            } else {
+                assert!(z.abs() < 1e-8, "leak at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let data: Vec<Complex> = (0..256)
+            .map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, 0.0))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sq()).sum();
+        let mut spec = data.clone();
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn ifft_inverts_fft(raw in proptest::collection::vec(-1.0f64..1.0, 32)) {
+            let data: Vec<Complex> = raw.iter().map(|&r| Complex::from(r)).collect();
+            let mut buf = data.clone();
+            fft(&mut buf);
+            ifft(&mut buf);
+            for (a, b) in buf.iter().zip(&data) {
+                prop_assert!(close(*a, *b, 1e-10));
+            }
+        }
+
+        #[test]
+        fn linearity(a in proptest::collection::vec(-1.0f64..1.0, 16),
+                     b in proptest::collection::vec(-1.0f64..1.0, 16)) {
+            let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::from(x)).collect();
+            let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::from(x)).collect();
+            let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| Complex::from(x + y)).collect();
+            fft(&mut fa); fft(&mut fb); fft(&mut fab);
+            for i in 0..16 {
+                prop_assert!(close(fa[i] + fb[i], fab[i], 1e-9));
+            }
+        }
+    }
+}

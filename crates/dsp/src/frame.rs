@@ -1,0 +1,164 @@
+//! Frame segmentation and its adjoint (overlap-add scatter).
+
+/// Number of frames produced for `n_samples` with the given geometry.
+///
+/// A partial trailing frame is included and zero-padded, so any non-empty
+/// signal yields at least one frame.
+pub fn frame_count(n_samples: usize, frame_len: usize, hop: usize) -> usize {
+    assert!(frame_len > 0 && hop > 0, "frame geometry must be positive");
+    if n_samples == 0 {
+        return 0;
+    }
+    if n_samples <= frame_len {
+        return 1;
+    }
+    1 + (n_samples - frame_len).div_ceil(hop)
+}
+
+/// Segments `samples` into overlapping frames of `frame_len` advancing by
+/// `hop`, zero-padding the final partial frame.
+///
+/// ```
+/// use mvp_dsp::frame::frames;
+/// let f = frames(&[1.0, 2.0, 3.0, 4.0, 5.0], 4, 2);
+/// assert_eq!(f, vec![vec![1.0, 2.0, 3.0, 4.0], vec![3.0, 4.0, 5.0, 0.0]]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `frame_len` or `hop` is zero.
+pub fn frames(samples: &[f64], frame_len: usize, hop: usize) -> Vec<Vec<f64>> {
+    let n = frame_count(samples.len(), frame_len, hop);
+    (0..n)
+        .map(|f| {
+            let start = f * hop;
+            let mut frame = vec![0.0; frame_len];
+            if start < samples.len() {
+                let end = (start + frame_len).min(samples.len());
+                frame[..end - start].copy_from_slice(&samples[start..end]);
+            }
+            frame
+        })
+        .collect()
+}
+
+/// Adjoint of [`frames`]: scatters per-frame gradients back onto the sample
+/// axis (overlap regions accumulate).
+///
+/// `frame_grads` must have the geometry that [`frames`] produced for a
+/// signal of length `n_samples`.
+///
+/// # Panics
+///
+/// Panics if the frame count or any frame length is inconsistent with the
+/// geometry.
+pub fn overlap_add_adjoint(
+    frame_grads: &[Vec<f64>],
+    frame_len: usize,
+    hop: usize,
+    n_samples: usize,
+) -> Vec<f64> {
+    assert_eq!(
+        frame_grads.len(),
+        frame_count(n_samples, frame_len, hop),
+        "frame count mismatch"
+    );
+    let mut out = vec![0.0; n_samples];
+    for (f, grad) in frame_grads.iter().enumerate() {
+        assert_eq!(grad.len(), frame_len, "frame {f} has wrong length");
+        let start = f * hop;
+        for (i, &g) in grad.iter().enumerate() {
+            if let Some(slot) = out.get_mut(start + i) {
+                *slot += g;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_fit_no_padding() {
+        let f = frames(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(f, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+
+    #[test]
+    fn empty_signal_no_frames() {
+        assert!(frames(&[], 4, 2).is_empty());
+        assert_eq!(frame_count(0, 4, 2), 0);
+    }
+
+    #[test]
+    fn short_signal_single_frame() {
+        let f = frames(&[1.0], 4, 2);
+        assert_eq!(f, vec![vec![1.0, 0.0, 0.0, 0.0]]);
+    }
+
+    #[test]
+    fn adjoint_is_transpose() {
+        // <frames(x), G> == <x, overlap_add_adjoint(G)> for all x, G: the
+        // defining property of an adjoint operator, checked on a basis.
+        let n = 11;
+        let (fl, hop) = (4, 3);
+        let nf = frame_count(n, fl, hop);
+        for t in 0..n {
+            let mut x = vec![0.0; n];
+            x[t] = 1.0;
+            let fx = frames(&x, fl, hop);
+            for fi in 0..nf {
+                for j in 0..fl {
+                    let mut g = vec![vec![0.0; fl]; nf];
+                    g[fi][j] = 1.0;
+                    let lhs: f64 = fx[fi][j];
+                    let adj = overlap_add_adjoint(&g, fl, hop, n);
+                    assert!((lhs - adj[t]).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn frames_cover_all_samples(
+            samples in proptest::collection::vec(-1.0f64..1.0, 1..64),
+            frame_len in 1usize..16,
+            hop in 1usize..8,
+        ) {
+            let f = frames(&samples, frame_len, hop);
+            prop_assert_eq!(f.len(), frame_count(samples.len(), frame_len, hop));
+            // First frame starts with the signal.
+            prop_assert_eq!(f[0][0], samples[0]);
+            // When hops do not skip samples, the frames jointly cover the
+            // whole signal.
+            if hop <= frame_len {
+                let last_covered = (f.len() - 1) * hop + frame_len;
+                prop_assert!(last_covered >= samples.len());
+            }
+        }
+
+        #[test]
+        fn adjoint_shape(
+            n in 1usize..64,
+            frame_len in 1usize..16,
+            hop in 1usize..8,
+        ) {
+            let nf = frame_count(n, frame_len, hop);
+            let g = vec![vec![1.0; frame_len]; nf];
+            let adj = overlap_add_adjoint(&g, frame_len, hop, n);
+            prop_assert_eq!(adj.len(), n);
+            // Each sample accumulates at most ceil(frame_len / hop) times;
+            // when hops do not skip samples, also at least once.
+            for &v in &adj {
+                if hop <= frame_len {
+                    prop_assert!(v >= 1.0 - 1e-12);
+                }
+                prop_assert!(v <= (frame_len.div_ceil(hop)) as f64 + 1e-12);
+            }
+        }
+    }
+}

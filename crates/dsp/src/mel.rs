@@ -1,0 +1,162 @@
+//! Mel-scale filterbank.
+
+/// Converts frequency in Hz to mel (O'Shaughnessy formula).
+pub fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts mel to frequency in Hz (inverse of [`hz_to_mel`]).
+pub fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// A bank of triangular filters evenly spaced on the mel scale, applied to a
+/// one-sided power spectrum of `n_fft / 2 + 1` bins.
+#[derive(Debug, Clone)]
+pub struct MelFilterbank {
+    /// `weights[m][k]` is the contribution of spectrum bin `k` to filter `m`.
+    weights: Vec<Vec<f64>>,
+    n_bins: usize,
+}
+
+impl MelFilterbank {
+    /// Builds a filterbank of `n_filters` triangles covering
+    /// `[f_min, f_max]` Hz for an FFT of size `n_fft` at `sample_rate` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_filters == 0`, `f_min >= f_max`, or
+    /// `f_max > sample_rate / 2`.
+    pub fn new(n_filters: usize, n_fft: usize, sample_rate: f64, f_min: f64, f_max: f64) -> Self {
+        assert!(n_filters > 0, "need at least one mel filter");
+        assert!(f_min < f_max, "f_min {f_min} must be below f_max {f_max}");
+        assert!(
+            f_max <= sample_rate / 2.0 + 1e-9,
+            "f_max {f_max} exceeds Nyquist {}",
+            sample_rate / 2.0
+        );
+        let n_bins = n_fft / 2 + 1;
+        let mel_lo = hz_to_mel(f_min);
+        let mel_hi = hz_to_mel(f_max);
+        // n_filters + 2 edge points define n_filters triangles.
+        let edges_hz: Vec<f64> = (0..n_filters + 2)
+            .map(|i| mel_to_hz(mel_lo + (mel_hi - mel_lo) * i as f64 / (n_filters + 1) as f64))
+            .collect();
+        let bin_hz = sample_rate / n_fft as f64;
+        let mut weights = vec![vec![0.0; n_bins]; n_filters];
+        for m in 0..n_filters {
+            let (lo, mid, hi) = (edges_hz[m], edges_hz[m + 1], edges_hz[m + 2]);
+            for (k, w) in weights[m].iter_mut().enumerate() {
+                let f = k as f64 * bin_hz;
+                if f > lo && f < hi {
+                    *w = if f <= mid {
+                        (f - lo) / (mid - lo)
+                    } else {
+                        (hi - f) / (hi - mid)
+                    };
+                }
+            }
+        }
+        MelFilterbank { weights, n_bins }
+    }
+
+    /// Number of filters.
+    pub fn n_filters(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of spectrum bins this bank expects (`n_fft / 2 + 1`).
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Applies the filterbank: `mel[m] = Σ_k w[m][k] · power[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len() != self.n_bins()`.
+    pub fn apply(&self, power: &[f64]) -> Vec<f64> {
+        assert_eq!(power.len(), self.n_bins, "power spectrum bin count");
+        self.weights
+            .iter()
+            .map(|row| row.iter().zip(power).map(|(w, p)| w * p).sum())
+            .collect()
+    }
+
+    /// Adjoint of [`apply`](Self::apply): maps a gradient over mel energies
+    /// back to a gradient over spectrum bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != self.n_filters()`.
+    pub fn apply_transpose(&self, grad: &[f64]) -> Vec<f64> {
+        assert_eq!(grad.len(), self.n_filters(), "mel gradient length");
+        let mut out = vec![0.0; self.n_bins];
+        for (row, &g) in self.weights.iter().zip(grad) {
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += w * g;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mel_scale_roundtrip() {
+        for hz in [0.0, 100.0, 440.0, 1000.0, 4000.0, 8000.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 1e-6, "{hz}");
+        }
+        assert!((hz_to_mel(1000.0) - 999.99).abs() < 0.5); // 1 kHz ≈ 1000 mel
+    }
+
+    #[test]
+    fn filters_are_nonnegative_and_cover_midband() {
+        let fb = MelFilterbank::new(26, 512, 16000.0, 0.0, 8000.0);
+        let mut coverage = vec![0.0; fb.n_bins()];
+        for m in 0..fb.n_filters() {
+            let mut one = vec![0.0; fb.n_filters()];
+            one[m] = 1.0;
+            for (c, w) in coverage.iter_mut().zip(fb.apply_transpose(&one)) {
+                assert!(w >= 0.0);
+                *c += w;
+            }
+        }
+        // Interior bins are covered by at least one triangle.
+        let interior = &coverage[4..fb.n_bins() - 4];
+        assert!(interior.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn apply_pure_bin_hits_expected_filter() {
+        let fb = MelFilterbank::new(10, 256, 16000.0, 0.0, 8000.0);
+        let mut power = vec![0.0; fb.n_bins()];
+        power[20] = 1.0; // 20 * 62.5 Hz = 1250 Hz
+        let mel = fb.apply(&power);
+        let total: f64 = mel.iter().sum();
+        assert!(total > 0.0);
+        // Energy lands in at most two adjacent filters.
+        let active = mel.iter().filter(|&&m| m > 1e-12).count();
+        assert!(active <= 2, "active filters: {active}");
+    }
+
+    #[test]
+    fn transpose_is_adjoint() {
+        let fb = MelFilterbank::new(8, 128, 8000.0, 100.0, 4000.0);
+        // <A p, g> == <p, A^T g> for random-ish vectors.
+        let p: Vec<f64> = (0..fb.n_bins()).map(|i| ((i * 7) % 5) as f64).collect();
+        let g: Vec<f64> = (0..fb.n_filters()).map(|i| ((i * 3) % 4) as f64 - 1.0).collect();
+        let lhs: f64 = fb.apply(&p).iter().zip(&g).map(|(a, b)| a * b).sum();
+        let rhs: f64 = fb.apply_transpose(&g).iter().zip(&p).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn fmax_beyond_nyquist_panics() {
+        MelFilterbank::new(10, 256, 8000.0, 0.0, 6000.0);
+    }
+}

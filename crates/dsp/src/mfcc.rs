@@ -1,0 +1,447 @@
+//! Differentiable MFCC extraction.
+//!
+//! The forward pass implements the classic pipeline of the paper's Figure 2:
+//! pre-emphasis → framing → windowing → |FFT|² → mel filterbank → log →
+//! DCT-II. [`MfccExtractor::extract_with_cache`] additionally retains the
+//! per-frame spectra and mel energies so that [`MfccExtractor::backward`]
+//! can propagate a loss gradient from the MFCC matrix back to the raw
+//! samples — the "MFCC reconstruction layer" that makes the white-box
+//! Carlini & Wagner attack possible.
+
+use crate::complex::Complex;
+use crate::dct::{dct2, dct2_transpose};
+use crate::fft::{fft, rfft};
+use crate::frame::{frame_count, frames, overlap_add_adjoint};
+use crate::mel::MelFilterbank;
+use crate::window::Window;
+
+/// Configuration of an MFCC front end.
+///
+/// Different ASR profiles in `mvp-asr` use different configurations — frame
+/// geometry, mel resolution and cepstral order — which is one of the
+/// diversity axes that makes audio AEs non-transferable across ASRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfccConfig {
+    /// Sample rate in Hz.
+    pub sample_rate: u32,
+    /// Analysis frame length in samples.
+    pub frame_len: usize,
+    /// Hop (frame advance) in samples.
+    pub hop: usize,
+    /// FFT size (power of two, `>= frame_len`).
+    pub n_fft: usize,
+    /// Number of mel filters.
+    pub n_mels: usize,
+    /// Number of cepstral coefficients kept (`<= n_mels`).
+    pub n_cepstra: usize,
+    /// Analysis window.
+    pub window: Window,
+    /// Lowest filterbank frequency in Hz.
+    pub f_min: f64,
+    /// Highest filterbank frequency in Hz (`<= sample_rate / 2`).
+    pub f_max: f64,
+    /// Pre-emphasis coefficient (`0` disables).
+    pub pre_emphasis: f64,
+    /// Floor added to mel energies before the logarithm.
+    pub log_floor: f64,
+}
+
+impl Default for MfccConfig {
+    /// 16 kHz, 25 ms frames, 10 ms hop, 512-point FFT, 26 mels, 13 cepstra.
+    fn default() -> Self {
+        MfccConfig {
+            sample_rate: 16_000,
+            frame_len: 400,
+            hop: 160,
+            n_fft: 512,
+            n_mels: 26,
+            n_cepstra: 13,
+            window: Window::Hann,
+            f_min: 0.0,
+            f_max: 8_000.0,
+            pre_emphasis: 0.97,
+            log_floor: 1e-10,
+        }
+    }
+}
+
+impl MfccConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on any invalid combination.
+    pub fn validate(&self) {
+        assert!(self.frame_len > 0 && self.hop > 0, "frame geometry must be positive");
+        assert!(self.n_fft.is_power_of_two(), "n_fft {} must be a power of two", self.n_fft);
+        assert!(
+            self.n_fft >= self.frame_len,
+            "n_fft {} smaller than frame_len {}",
+            self.n_fft,
+            self.frame_len
+        );
+        assert!(self.n_cepstra > 0 && self.n_cepstra <= self.n_mels, "n_cepstra out of range");
+        assert!(self.log_floor > 0.0, "log floor must be positive");
+        assert!(
+            self.f_max <= self.sample_rate as f64 / 2.0 + 1e-9,
+            "f_max beyond Nyquist"
+        );
+    }
+}
+
+/// A dense `n_frames × dim` feature matrix in row-major order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    n_frames: usize,
+    dim: usize,
+}
+
+impl FeatureMatrix {
+    /// Builds a matrix from rows of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: Vec<Vec<f64>>, dim: usize) -> FeatureMatrix {
+        let n_frames = rows.len();
+        let mut data = Vec::with_capacity(n_frames * dim);
+        for r in rows {
+            assert_eq!(r.len(), dim, "ragged feature rows");
+            data.extend(r);
+        }
+        FeatureMatrix { data, n_frames, dim }
+    }
+
+    /// Number of frames (rows).
+    pub fn n_frames(&self) -> usize {
+        self.n_frames
+    }
+
+    /// Feature dimension (columns).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th frame's features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_frames`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim.max(1)).take(self.n_frames)
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Per-frame intermediates retained for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MfccCache {
+    /// Full complex spectrum per frame (length `n_fft`).
+    spectra: Vec<Vec<Complex>>,
+    /// Mel energies per frame (pre-log).
+    mels: Vec<Vec<f64>>,
+    /// Original signal length in samples.
+    n_samples: usize,
+}
+
+/// The MFCC front end.
+#[derive(Debug, Clone)]
+pub struct MfccExtractor {
+    cfg: MfccConfig,
+    window: Vec<f64>,
+    filterbank: MelFilterbank,
+}
+
+impl MfccExtractor {
+    /// Builds an extractor for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`MfccConfig::validate`]).
+    pub fn new(cfg: MfccConfig) -> MfccExtractor {
+        cfg.validate();
+        let window = cfg.window.coefficients(cfg.frame_len);
+        let filterbank = MelFilterbank::new(
+            cfg.n_mels,
+            cfg.n_fft,
+            cfg.sample_rate as f64,
+            cfg.f_min,
+            cfg.f_max,
+        );
+        MfccExtractor { cfg, window, filterbank }
+    }
+
+    /// The configuration this extractor was built with.
+    pub fn config(&self) -> &MfccConfig {
+        &self.cfg
+    }
+
+    /// Number of frames this extractor produces for `n_samples` samples.
+    pub fn n_frames_for(&self, n_samples: usize) -> usize {
+        frame_count(n_samples, self.cfg.frame_len, self.cfg.hop)
+    }
+
+    fn pre_emphasize(&self, samples: &[f64]) -> Vec<f64> {
+        let a = self.cfg.pre_emphasis;
+        if a == 0.0 {
+            return samples.to_vec();
+        }
+        let mut out = Vec::with_capacity(samples.len());
+        let mut prev = 0.0;
+        for &s in samples {
+            out.push(s - a * prev);
+            prev = s;
+        }
+        out
+    }
+
+    /// Extracts the MFCC matrix for `samples`.
+    pub fn extract(&self, samples: &[f64]) -> FeatureMatrix {
+        self.extract_with_cache(samples).0
+    }
+
+    /// Extracts MFCCs and the intermediates needed by [`backward`].
+    ///
+    /// [`backward`]: MfccExtractor::backward
+    pub fn extract_with_cache(&self, samples: &[f64]) -> (FeatureMatrix, MfccCache) {
+        let cfg = &self.cfg;
+        let emphasized = self.pre_emphasize(samples);
+        let frames = frames(&emphasized, cfg.frame_len, cfg.hop);
+        let n_bins = cfg.n_fft / 2 + 1;
+        let mut rows = Vec::with_capacity(frames.len());
+        let mut spectra = Vec::with_capacity(frames.len());
+        let mut mels = Vec::with_capacity(frames.len());
+        for frame in &frames {
+            let windowed: Vec<f64> = frame.iter().zip(&self.window).map(|(s, w)| s * w).collect();
+            let spec = rfft(&windowed, cfg.n_fft);
+            let power: Vec<f64> = spec[..n_bins].iter().map(|z| z.norm_sq()).collect();
+            let mel = self.filterbank.apply(&power);
+            let logmel: Vec<f64> = mel.iter().map(|&m| (m + cfg.log_floor).ln()).collect();
+            rows.push(dct2(&logmel, cfg.n_cepstra));
+            spectra.push(spec);
+            mels.push(mel);
+        }
+        (
+            FeatureMatrix::from_rows(rows, cfg.n_cepstra),
+            MfccCache { spectra, mels, n_samples: samples.len() },
+        )
+    }
+
+    /// Backpropagates a gradient over the MFCC matrix to a gradient over
+    /// the raw samples.
+    ///
+    /// `d_mfcc` must have the shape produced by
+    /// [`extract_with_cache`](Self::extract_with_cache) for the same signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between `d_mfcc` and `cache`.
+    pub fn backward(&self, cache: &MfccCache, d_mfcc: &FeatureMatrix) -> Vec<f64> {
+        let cfg = &self.cfg;
+        assert_eq!(d_mfcc.n_frames(), cache.spectra.len(), "frame count mismatch");
+        assert_eq!(d_mfcc.dim(), cfg.n_cepstra, "cepstral dimension mismatch");
+        let n_bins = cfg.n_fft / 2 + 1;
+        let mut frame_grads = Vec::with_capacity(cache.spectra.len());
+        for (f, spec) in cache.spectra.iter().enumerate() {
+            // DCT and log adjoints.
+            let d_logmel = dct2_transpose(d_mfcc.row(f), cfg.n_mels);
+            let d_mel: Vec<f64> = d_logmel
+                .iter()
+                .zip(&cache.mels[f])
+                .map(|(g, m)| g / (m + cfg.log_floor))
+                .collect();
+            let d_power = self.filterbank.apply_transpose(&d_mel);
+            // |X_k|² adjoint via one forward FFT:
+            // dL/dx_t = 2 Re( Σ_k g_k conj(X_k) e^{-2πi kt/n} ), so build
+            // Z_k = g_k conj(X_k) on the one-sided bins and DFT it.
+            let mut z = vec![Complex::ZERO; cfg.n_fft];
+            for k in 0..n_bins {
+                z[k] = spec[k].conj().scale(d_power[k]);
+            }
+            fft(&mut z);
+            let mut d_frame = vec![0.0; cfg.frame_len];
+            for (t, d) in d_frame.iter_mut().enumerate() {
+                *d = 2.0 * z[t].re * self.window[t];
+            }
+            frame_grads.push(d_frame);
+        }
+        let d_emph =
+            overlap_add_adjoint(&frame_grads, cfg.frame_len, cfg.hop, cache.n_samples);
+        // Pre-emphasis adjoint: y_t = x_t - a x_{t-1}.
+        let a = cfg.pre_emphasis;
+        if a == 0.0 {
+            return d_emph;
+        }
+        let n = d_emph.len();
+        let mut d_x = vec![0.0; n];
+        for t in 0..n {
+            d_x[t] = d_emph[t] - if t + 1 < n { a * d_emph[t + 1] } else { 0.0 };
+        }
+        d_x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MfccConfig {
+        MfccConfig {
+            sample_rate: 8_000,
+            frame_len: 64,
+            hop: 32,
+            n_fft: 64,
+            n_mels: 8,
+            n_cepstra: 5,
+            window: Window::Hann,
+            f_min: 50.0,
+            f_max: 4_000.0,
+            pre_emphasis: 0.97,
+            log_floor: 1e-8,
+        }
+    }
+
+    fn pseudo_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                0.4 * (2.0 * std::f64::consts::PI * 440.0 * i as f64 / 8000.0).sin()
+                    + 0.2 * (2.0 * std::f64::consts::PI * 1330.0 * i as f64 / 8000.0).sin()
+                    + 0.05 * (((i * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let ex = MfccExtractor::new(small_cfg());
+        let sig = pseudo_signal(200);
+        let feats = ex.extract(&sig);
+        assert_eq!(feats.dim(), 5);
+        assert_eq!(feats.n_frames(), ex.n_frames_for(200));
+        assert!(feats.n_frames() >= 5);
+    }
+
+    #[test]
+    fn empty_signal_empty_features() {
+        let ex = MfccExtractor::new(small_cfg());
+        let feats = ex.extract(&[]);
+        assert_eq!(feats.n_frames(), 0);
+    }
+
+    #[test]
+    fn louder_tone_raises_cepstral_energy() {
+        let ex = MfccExtractor::new(small_cfg());
+        let quiet: Vec<f64> = pseudo_signal(256).iter().map(|s| s * 0.01).collect();
+        let loud = pseudo_signal(256);
+        let fq = ex.extract(&quiet);
+        let fl = ex.extract(&loud);
+        // c0 tracks overall log energy.
+        assert!(fl.row(2)[0] > fq.row(2)[0]);
+    }
+
+    #[test]
+    fn distinct_tones_produce_distinct_features() {
+        let ex = MfccExtractor::new(small_cfg());
+        let tone = |hz: f64| -> Vec<f64> {
+            (0..256)
+                .map(|i| (2.0 * std::f64::consts::PI * hz * i as f64 / 8000.0).sin())
+                .collect()
+        };
+        let f1 = ex.extract(&tone(300.0));
+        let f2 = ex.extract(&tone(2500.0));
+        let d: f64 = f1
+            .row(2)
+            .iter()
+            .zip(f2.row(2))
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(d > 1.0, "features too close: {d}");
+    }
+
+    #[test]
+    fn analytic_gradient_matches_finite_differences() {
+        let ex = MfccExtractor::new(small_cfg());
+        let sig = pseudo_signal(180);
+        // Loss = Σ c_ij mfcc_ij with fixed pseudo-random weights.
+        let weight = |i: usize, j: usize| ((i * 31 + j * 17) % 7) as f64 / 3.0 - 1.0;
+        let loss = |s: &[f64]| -> f64 {
+            let f = ex.extract(s);
+            let mut acc = 0.0;
+            for i in 0..f.n_frames() {
+                for (j, &v) in f.row(i).iter().enumerate() {
+                    acc += weight(i, j) * v;
+                }
+            }
+            acc
+        };
+        let (feats, cache) = ex.extract_with_cache(&sig);
+        let d_rows: Vec<Vec<f64>> = (0..feats.n_frames())
+            .map(|i| (0..feats.dim()).map(|j| weight(i, j)).collect())
+            .collect();
+        let d_mfcc = FeatureMatrix::from_rows(d_rows, feats.dim());
+        let grad = ex.backward(&cache, &d_mfcc);
+        assert_eq!(grad.len(), sig.len());
+
+        let eps = 1e-6;
+        for &t in &[0usize, 3, 31, 32, 64, 90, 120, 150, 179] {
+            let mut hi = sig.clone();
+            hi[t] += eps;
+            let mut lo = sig.clone();
+            lo[t] -= eps;
+            let fd = (loss(&hi) - loss(&lo)) / (2.0 * eps);
+            let rel = (grad[t] - fd).abs() / fd.abs().max(1e-6);
+            assert!(rel < 1e-4, "sample {t}: analytic {} vs fd {fd}", grad[t]);
+        }
+    }
+
+    #[test]
+    fn gradient_without_pre_emphasis() {
+        let mut cfg = small_cfg();
+        cfg.pre_emphasis = 0.0;
+        let ex = MfccExtractor::new(cfg);
+        let sig = pseudo_signal(128);
+        let (feats, cache) = ex.extract_with_cache(&sig);
+        let ones = FeatureMatrix::from_rows(
+            vec![vec![1.0; feats.dim()]; feats.n_frames()],
+            feats.dim(),
+        );
+        let grad = ex.backward(&cache, &ones);
+        let loss = |s: &[f64]| ex.extract(s).as_slice().iter().sum::<f64>();
+        let eps = 1e-6;
+        for &t in &[1usize, 40, 100] {
+            let mut hi = sig.clone();
+            hi[t] += eps;
+            let mut lo = sig.clone();
+            lo[t] -= eps;
+            let fd = (loss(&hi) - loss(&lo)) / (2.0 * eps);
+            assert!((grad[t] - fd).abs() / fd.abs().max(1e-6) < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_config_rejected() {
+        let mut cfg = small_cfg();
+        cfg.n_fft = 100;
+        MfccExtractor::new(cfg);
+    }
+
+    #[test]
+    fn feature_matrix_rows_iterator() {
+        let m = FeatureMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]], 2);
+        let rows: Vec<&[f64]> = m.rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        assert_eq!(m.row(1)[1], 4.0);
+    }
+}

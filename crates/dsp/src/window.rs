@@ -1,0 +1,78 @@
+//! Analysis window functions.
+
+/// A tapering window applied to each frame before the FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// Hann window (the workspace default; good sidelobe suppression).
+    #[default]
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// No tapering.
+    Rectangular,
+}
+
+impl Window {
+    /// The window coefficients for a frame of `len` samples.
+    ///
+    /// ```
+    /// use mvp_dsp::Window;
+    /// let w = Window::Hann.coefficients(4);
+    /// assert!(w[0] < 1e-12); // Hann starts at zero
+    /// ```
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        if len == 1 {
+            return vec![1.0];
+        }
+        let denom = (len - 1) as f64;
+        (0..len)
+            .map(|i| {
+                let x = 2.0 * std::f64::consts::PI * i as f64 / denom;
+                match self {
+                    Window::Hann => 0.5 - 0.5 * x.cos(),
+                    Window::Hamming => 0.54 - 0.46 * x.cos(),
+                    Window::Rectangular => 1.0,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric() {
+        for w in [Window::Hann, Window::Hamming, Window::Rectangular] {
+            let c = w.coefficients(33);
+            for i in 0..c.len() {
+                assert!((c[i] - c[c.len() - 1 - i]).abs() < 1e-12, "{w:?} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn peak_at_center() {
+        let c = Window::Hann.coefficients(65);
+        assert!((c[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_zero_one() {
+        for w in [Window::Hann, Window::Hamming, Window::Rectangular] {
+            for &v in &w.coefficients(128) {
+                assert!((0.0..=1.0).contains(&v), "{w:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hamming.coefficients(1), vec![1.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Stratified k-fold cross-validation (paper §V-E uses k = 5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::metrics::{mean_std, BinaryMetrics};
+use crate::ClassifierKind;
+
+/// Per-fold metrics plus mean/std summaries, as the paper's Tables IV–V
+/// report them.
+#[derive(Debug, Clone)]
+pub struct CrossValSummary {
+    /// Metrics of each fold.
+    pub folds: Vec<BinaryMetrics>,
+}
+
+impl CrossValSummary {
+    /// `(mean, std)` of fold accuracies.
+    pub fn accuracy(&self) -> (f64, f64) {
+        mean_std(&self.folds.iter().map(BinaryMetrics::accuracy).collect::<Vec<_>>())
+    }
+
+    /// `(mean, std)` of fold FPRs.
+    pub fn fpr(&self) -> (f64, f64) {
+        mean_std(&self.folds.iter().map(BinaryMetrics::fpr).collect::<Vec<_>>())
+    }
+
+    /// `(mean, std)` of fold FNRs.
+    pub fn fnr(&self) -> (f64, f64) {
+        mean_std(&self.folds.iter().map(BinaryMetrics::fnr).collect::<Vec<_>>())
+    }
+}
+
+/// Stratified fold assignment: each class is distributed round-robin over
+/// `k` folds after a seeded shuffle. Returns `(train, test)` index pairs.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > data.len()`.
+pub fn stratified_k_folds(data: &Dataset, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= data.len(), "more folds than examples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fold_of = vec![0usize; data.len()];
+    for class in [0usize, 1] {
+        let mut idx: Vec<usize> =
+            (0..data.len()).filter(|&i| data.labels()[i] == class).collect();
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        for (pos, &i) in idx.iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let test: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] == f).collect();
+            let train: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] != f).collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Runs k-fold cross-validation of `kind` on `data`.
+///
+/// # Panics
+///
+/// Panics if any training fold ends up single-class (pathologically small
+/// datasets), or as in [`stratified_k_folds`].
+pub fn cross_validate(kind: ClassifierKind, data: &Dataset, k: usize, seed: u64) -> CrossValSummary {
+    let folds = stratified_k_folds(data, k, seed)
+        .into_iter()
+        .map(|(train_idx, test_idx)| {
+            let train = data.subset(&train_idx);
+            let test = data.subset(&test_idx);
+            let mut model = kind.build();
+            model.fit(&train);
+            let preds = model.predict_batch(test.features());
+            BinaryMetrics::from_predictions(&preds, test.labels())
+        })
+        .collect();
+    CrossValSummary { folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize) -> Dataset {
+        Dataset::from_classes(
+            (0..n).map(|i| vec![0.8 + (i % 7) as f64 * 0.02]).collect(),
+            (0..n).map(|i| vec![0.1 + (i % 7) as f64 * 0.02]).collect(),
+        )
+    }
+
+    #[test]
+    fn folds_partition_and_stratify() {
+        let d = separable(25);
+        let folds = stratified_k_folds(&d, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; d.len()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), d.len());
+            for &t in test {
+                seen[t] += 1;
+            }
+            // Each test fold keeps the class balance (10 of each class).
+            let pos = test.iter().filter(|&&i| d.labels()[i] == 1).count();
+            assert_eq!(pos, test.len() - pos);
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data_is_perfect() {
+        let d = separable(30);
+        for kind in ClassifierKind::ALL {
+            let s = cross_validate(kind, &d, 5, 1);
+            let (acc, std) = s.accuracy();
+            assert!(acc > 0.99, "{kind}: {acc}");
+            assert!(std < 0.05);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn too_many_folds_panics() {
+        stratified_k_folds(&separable(2), 10, 0);
+    }
+}

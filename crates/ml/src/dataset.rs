@@ -1,0 +1,157 @@
+//! Binary-labelled feature datasets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense dataset of feature vectors with binary labels (`0` / `1`).
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+}
+
+impl Dataset {
+    /// Wraps features and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, rows are ragged, or labels are not 0/1.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Dataset {
+        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        assert!(y.iter().all(|&l| l <= 1), "labels must be 0 or 1");
+        Dataset { x, y }
+    }
+
+    /// Builds a dataset by concatenating negative (label 0) and positive
+    /// (label 1) example sets.
+    pub fn from_classes(negatives: Vec<Vec<f64>>, positives: Vec<Vec<f64>>) -> Dataset {
+        let y: Vec<usize> = std::iter::repeat_n(0, negatives.len())
+            .chain(std::iter::repeat_n(1, positives.len()))
+            .collect();
+        let mut x = negatives;
+        x.extend(positives);
+        Dataset::new(x, y)
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// The feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Count of examples with label 1.
+    pub fn positives(&self) -> usize {
+        self.y.iter().filter(|&&l| l == 1).count()
+    }
+
+    /// The subset at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset::new(
+            indices.iter().map(|&i| self.x[i].clone()).collect(),
+            indices.iter().map(|&i| self.y[i]).collect(),
+        )
+    }
+
+    /// Deterministic shuffled train/test split with `train_frac` of each
+    /// class in the training set (stratified).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac < 1`.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(train_frac > 0.0 && train_frac < 1.0, "bad train fraction");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in [0usize, 1] {
+            let mut idx: Vec<usize> =
+                (0..self.len()).filter(|&i| self.y[i] == class).collect();
+            for i in (1..idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idx.swap(i, j);
+            }
+            let cut = ((idx.len() as f64) * train_frac).round() as usize;
+            train_idx.extend_from_slice(&idx[..cut]);
+            test_idx.extend_from_slice(&idx[cut..]);
+        }
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_classes(
+            (0..20).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| vec![100.0 + i as f64]).collect(),
+        )
+    }
+
+    #[test]
+    fn from_classes_labels() {
+        let d = toy();
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.positives(), 10);
+        assert_eq!(d.labels()[0], 0);
+        assert_eq!(d.labels()[29], 1);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_ratio() {
+        let d = toy();
+        let (train, test) = d.split(0.8, 7);
+        assert_eq!(train.len(), 24);
+        assert_eq!(test.len(), 6);
+        assert_eq!(train.positives(), 8);
+        assert_eq!(test.positives(), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy();
+        let (a, _) = d.split(0.5, 3);
+        let (b, _) = d.split(0.5, 3);
+        assert_eq!(a.features(), b.features());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels")]
+    fn bad_label_rejected() {
+        Dataset::new(vec![vec![1.0]], vec![2]);
+    }
+}

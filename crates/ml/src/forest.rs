@@ -1,0 +1,116 @@
+//! Random forest: bagged CART trees with feature subsampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+
+/// A random forest (the paper seeds its forest with 200).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    n_trees: usize,
+    seed: u64,
+    tree_cfg: TreeConfig,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// An untrained forest of `n_trees` trees with RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees == 0`.
+    pub fn new(n_trees: usize, seed: u64) -> RandomForest {
+        assert!(n_trees > 0, "need at least one tree");
+        RandomForest { n_trees, seed, tree_cfg: TreeConfig::default(), trees: Vec::new() }
+    }
+
+    /// Number of trained trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is untrained.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "empty training set");
+        let n = data.len();
+        let dim = data.dim();
+        let n_feats = ((dim as f64).sqrt().ceil() as usize).clamp(1, dim);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                // Feature subsample.
+                let mut feats: Vec<usize> = (0..dim).collect();
+                for i in (1..feats.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    feats.swap(i, j);
+                }
+                feats.truncate(n_feats);
+                DecisionTree::fit_subset(data, &idx, &self.tree_cfg, &feats)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.trees.is_empty(), "forest not fitted");
+        let votes: usize = self.trees.iter().map(|t| t.predict(x)).sum();
+        usize::from(votes * 2 > self.trees.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_steps() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let v = i as f64 / 60.0;
+            let noise = ((i * 37) % 11) as f64 / 110.0;
+            x.push(vec![v * 0.4 + noise * 0.1, noise]);
+            y.push(0);
+            x.push(vec![0.6 + v * 0.4 - noise * 0.1, noise]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn forest_fits_and_votes() {
+        let d = noisy_steps();
+        let mut f = RandomForest::new(25, 200);
+        f.fit(&d);
+        assert_eq!(f.len(), 25);
+        assert_eq!(f.predict(&[0.1, 0.05]), 0);
+        assert_eq!(f.predict(&[0.9, 0.05]), 1);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let d = noisy_steps();
+        let mut a = RandomForest::new(10, 200);
+        let mut b = RandomForest::new(10, 200);
+        a.fit(&d);
+        b.fit(&d);
+        for x in d.features() {
+            assert_eq!(a.predict(x), b.predict(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        RandomForest::new(5, 1).predict(&[0.0]);
+    }
+}

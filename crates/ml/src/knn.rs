@@ -1,0 +1,98 @@
+//! K-nearest-neighbours classifier (Euclidean distance, majority vote).
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+
+/// KNN with `k` voting neighbours (the paper uses `k = 10`).
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+}
+
+impl Knn {
+    /// An untrained KNN classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Knn {
+        assert!(k > 0, "k must be positive");
+        Knn { k, x: Vec::new(), y: Vec::new() }
+    }
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "empty training set");
+        self.x = data.features().to_vec();
+        self.y = data.labels().to_vec();
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.x.is_empty(), "KNN not fitted");
+        assert_eq!(x.len(), self.x[0].len(), "dimension mismatch");
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (dist_sq(xi, x), yi))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        let votes: usize = dists[..k].iter().map(|&(_, y)| y).sum();
+        usize::from(votes * 2 > k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> Dataset {
+        Dataset::from_classes(
+            (0..20).map(|i| vec![(i % 5) as f64 * 0.1, 0.0]).collect(),
+            (0..20).map(|i| vec![5.0 + (i % 5) as f64 * 0.1, 5.0]).collect(),
+        )
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let mut knn = Knn::new(10);
+        knn.fit(&clusters());
+        assert_eq!(knn.predict(&[0.2, 0.1]), 0);
+        assert_eq!(knn.predict(&[5.1, 4.9]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_data_still_works() {
+        let mut knn = Knn::new(100);
+        knn.fit(&clusters());
+        // Falls back to voting over everything: balanced classes, ties -> 0.
+        let p = knn.predict(&[2.5, 2.5]);
+        assert!(p <= 1);
+    }
+
+    #[test]
+    fn majority_vote_beats_single_outlier() {
+        // One positive outlier near the negative cluster must be outvoted.
+        let mut x: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 * 0.01]).collect();
+        let mut y = vec![0; 9];
+        x.push(vec![0.0]);
+        y.push(1);
+        let mut knn = Knn::new(5);
+        knn.fit(&Dataset::new(x, y));
+        assert_eq!(knn.predict(&[0.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        Knn::new(3).predict(&[0.0]);
+    }
+}

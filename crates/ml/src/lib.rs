@@ -1,0 +1,158 @@
+#![warn(missing_docs)]
+
+//! From-scratch machine learning used by the MVP-EARS binary classifier.
+//!
+//! The paper evaluates three classifiers on similarity-score vectors — an
+//! SVM with a 3-degree polynomial kernel, KNN with 10 voting neighbours and
+//! a random forest seeded with 200 (§V-E). This crate implements all three
+//! plus the supporting machinery: binary datasets, accuracy/FPR/FNR
+//! metrics, ROC/AUC curves and stratified k-fold cross-validation.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvp_ml::{Classifier, ClassifierKind, Dataset};
+//!
+//! // Benign samples score high, AEs low — a caricature of Figure 4.
+//! let mut x = Vec::new();
+//! let mut y = Vec::new();
+//! for i in 0..40 {
+//!     let v = i as f64 / 40.0 * 0.2;
+//!     x.push(vec![0.9 - v]); y.push(0); // benign
+//!     x.push(vec![0.1 + v]); y.push(1); // AE
+//! }
+//! let data = Dataset::new(x, y);
+//! let mut svm = ClassifierKind::Svm.build();
+//! svm.fit(&data);
+//! assert_eq!(svm.predict(&[0.95]), 0);
+//! assert_eq!(svm.predict(&[0.05]), 1);
+//! ```
+
+pub mod crossval;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod logistic;
+pub mod metrics;
+pub mod roc;
+pub mod svm;
+pub mod tree;
+
+pub use crossval::{cross_validate, stratified_k_folds, CrossValSummary};
+pub use dataset::Dataset;
+pub use forest::RandomForest;
+pub use knn::Knn;
+pub use logistic::LogisticRegression;
+pub use metrics::BinaryMetrics;
+pub use metrics::mean_std;
+pub use roc::{auc, roc_curve, threshold_for_fpr, RocPoint};
+pub use svm::{Kernel, Svm};
+
+/// A trainable binary classifier over dense feature vectors.
+///
+/// Labels are `0` (negative; benign in MVP-EARS) and `1` (positive; AE).
+pub trait Classifier {
+    /// Fits the model to `data`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on empty or single-class datasets.
+    fn fit(&mut self, data: &Dataset);
+
+    /// Predicts the label of one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`fit`](Classifier::fit) or with the wrong
+    /// dimensionality.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Predicts a batch.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// The classifier families of the paper's §V-E, with its hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// SVM with a 3-degree polynomial kernel.
+    Svm,
+    /// K-nearest-neighbours with 10 voting neighbours.
+    Knn,
+    /// Random forest with seed 200.
+    RandomForest,
+}
+
+impl ClassifierKind {
+    /// All kinds, in the paper's table order.
+    pub const ALL: [ClassifierKind; 3] =
+        [ClassifierKind::Svm, ClassifierKind::Knn, ClassifierKind::RandomForest];
+
+    /// Builds an untrained classifier with the paper's configuration.
+    pub fn build(self) -> Box<dyn Classifier> {
+        match self {
+            ClassifierKind::Svm => Box::new(Svm::new(Kernel::Polynomial { degree: 3, coef0: 1.0 }, 1.0)),
+            ClassifierKind::Knn => Box::new(Knn::new(10)),
+            ClassifierKind::RandomForest => Box::new(RandomForest::new(40, 200)),
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassifierKind::Svm => "SVM",
+            ClassifierKind::Knn => "KNN",
+            ClassifierKind::RandomForest => "Random Forest",
+        }
+    }
+}
+
+impl std::fmt::Display for ClassifierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data() -> Dataset {
+        // Non-linearly separable: class 1 inside a ring of class 0.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let a = i as f64 * 0.21;
+            x.push(vec![a.cos() * 2.0, a.sin() * 2.0]);
+            y.push(0);
+            x.push(vec![a.cos() * 0.3, a.sin() * 0.3]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn every_kind_solves_the_ring() {
+        let data = ring_data();
+        for kind in ClassifierKind::ALL {
+            let mut c = kind.build();
+            c.fit(&data);
+            let preds = c.predict_batch(data.features());
+            let acc = preds
+                .iter()
+                .zip(data.labels())
+                .filter(|(p, l)| p == l)
+                .count() as f64
+                / data.len() as f64;
+            assert!(acc > 0.9, "{kind}: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            ClassifierKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

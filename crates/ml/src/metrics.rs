@@ -1,0 +1,165 @@
+//! Binary classification metrics matching the paper's reporting.
+//!
+//! Positive = adversarial example. FPR is the fraction of benign samples
+//! flagged as AEs; FNR is the fraction of AEs that slip through — exactly
+//! the quantities of Tables III–VI.
+
+/// Confusion-matrix derived metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BinaryMetrics {
+    /// True positives (AEs detected).
+    pub tp: usize,
+    /// True negatives (benign passed).
+    pub tn: usize,
+    /// False positives (benign flagged).
+    pub fp: usize,
+    /// False negatives (AEs missed).
+    pub fn_: usize,
+}
+
+impl BinaryMetrics {
+    /// Computes the confusion matrix of `predictions` against `truth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or labels exceed 1.
+    pub fn from_predictions(predictions: &[usize], truth: &[usize]) -> BinaryMetrics {
+        assert_eq!(predictions.len(), truth.len(), "length mismatch");
+        let mut m = BinaryMetrics::default();
+        for (&p, &t) in predictions.iter().zip(truth) {
+            assert!(p <= 1 && t <= 1, "labels must be binary");
+            match (t, p) {
+                (1, 1) => m.tp += 1,
+                (0, 0) => m.tn += 1,
+                (0, 1) => m.fp += 1,
+                (1, 0) => m.fn_ += 1,
+                _ => unreachable!(),
+            }
+        }
+        m
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// False-positive rate: benign flagged as AE (0 when no benign).
+    pub fn fpr(&self) -> f64 {
+        let neg = self.tn + self.fp;
+        if neg == 0 {
+            0.0
+        } else {
+            self.fp as f64 / neg as f64
+        }
+    }
+
+    /// False-negative rate: AEs missed (0 when no AEs).
+    pub fn fnr(&self) -> f64 {
+        let pos = self.tp + self.fn_;
+        if pos == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / pos as f64
+        }
+    }
+
+    /// The paper's defense rate: fraction of AEs detected.
+    pub fn defense_rate(&self) -> f64 {
+        1.0 - self.fnr()
+    }
+
+    /// Precision over the positive class (1 when nothing was flagged).
+    pub fn precision(&self) -> f64 {
+        let flagged = self.tp + self.fp;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.tp as f64 / flagged as f64
+        }
+    }
+
+    /// Recall over the positive class (alias of defense rate).
+    pub fn recall(&self) -> f64 {
+        self.defense_rate()
+    }
+}
+
+impl std::fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc {:.2}% FPR {:.2}% FNR {:.2}%",
+            self.accuracy() * 100.0,
+            self.fpr() * 100.0,
+            self.fnr() * 100.0
+        )
+    }
+}
+
+/// Mean and (population) standard deviation of a series.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let m = BinaryMetrics::from_predictions(&[1, 0, 1, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!((m.tp, m.tn, m.fp, m.fn_), (2, 1, 1, 1));
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.fpr() - 0.5).abs() < 1e-12);
+        assert!((m.fnr() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.defense_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let m = BinaryMetrics::from_predictions(&[0, 1], &[0, 1]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.fpr(), 0.0);
+        assert_eq!(m.fnr(), 0.0);
+        assert_eq!(m.precision(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        // All benign: FNR defined as 0.
+        let m = BinaryMetrics::from_predictions(&[0, 0], &[0, 0]);
+        assert_eq!(m.fnr(), 0.0);
+        assert_eq!(m.fpr(), 0.0);
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn length_mismatch_panics() {
+        BinaryMetrics::from_predictions(&[0], &[0, 1]);
+    }
+}

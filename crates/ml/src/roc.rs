@@ -1,0 +1,144 @@
+//! ROC curves and AUC (paper Figure 5).
+//!
+//! The MVP-EARS threshold detector flags an audio as adversarial when its
+//! similarity score falls *below* a threshold, so the sweep here treats
+//! lower scores as more positive.
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold (scores `<= threshold` are flagged positive).
+    pub threshold: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+}
+
+/// Sweeps every distinct score as a threshold and returns the ROC curve,
+/// flagging positives where `score <= threshold`.
+///
+/// The curve is sorted by ascending FPR and always contains the trivial
+/// `(0, 0)` and `(1, 1)` end points.
+///
+/// # Panics
+///
+/// Panics if lengths differ, labels exceed 1, or either class is absent.
+pub fn roc_curve(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    assert!(labels.iter().all(|&l| l <= 1), "labels must be binary");
+    let pos = labels.iter().filter(|&&l| l == 1).count();
+    let neg = labels.len() - pos;
+    assert!(pos > 0 && neg > 0, "need both classes for a ROC curve");
+
+    let mut thresholds: Vec<f64> = scores.to_vec();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    thresholds.dedup();
+
+    let mut points = vec![RocPoint { threshold: f64::NEG_INFINITY, fpr: 0.0, tpr: 0.0 }];
+    for &t in &thresholds {
+        let mut tp = 0;
+        let mut fp = 0;
+        for (&s, &l) in scores.iter().zip(labels) {
+            if s <= t {
+                if l == 1 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        points.push(RocPoint {
+            threshold: t,
+            fpr: fp as f64 / neg as f64,
+            tpr: tp as f64 / pos as f64,
+        });
+    }
+    points.sort_by(|a, b| {
+        a.fpr
+            .partial_cmp(&b.fpr)
+            .expect("NaN rate")
+            .then(a.tpr.partial_cmp(&b.tpr).expect("NaN rate"))
+    });
+    points
+}
+
+/// Area under a ROC curve by trapezoidal integration.
+pub fn auc(curve: &[RocPoint]) -> f64 {
+    curve
+        .windows(2)
+        .map(|w| (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0)
+        .sum()
+}
+
+/// Picks the largest threshold whose FPR stays below `max_fpr` (the §V-G
+/// procedure: "the threshold is determined by having the FPR less than
+/// 5%"), maximising detection subject to the FPR budget.
+///
+/// Returns the chosen operating point.
+///
+/// # Panics
+///
+/// Same as [`roc_curve`].
+pub fn threshold_for_fpr(scores: &[f64], labels: &[usize], max_fpr: f64) -> RocPoint {
+    let curve = roc_curve(scores, labels);
+    curve
+        .iter()
+        .rev()
+        .find(|p| p.fpr < max_fpr && p.threshold.is_finite())
+        .copied()
+        .unwrap_or(curve[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_auc_one() {
+        // AEs score low, benign high — perfectly separated.
+        let scores = [0.1, 0.2, 0.15, 0.9, 0.95, 0.85];
+        let labels = [1, 1, 1, 0, 0, 0];
+        let curve = roc_curve(&scores, &labels);
+        assert!((auc(&curve) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_auc_half() {
+        // Interleaved scores: AUC ≈ 0.5.
+        let scores: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let labels: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let curve = roc_curve(&scores, &labels);
+        let a = auc(&curve);
+        assert!((a - 0.5).abs() < 0.05, "auc {a}");
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores = [0.3, 0.6, 0.2, 0.8, 0.5, 0.4];
+        let labels = [1, 0, 1, 0, 0, 1];
+        let curve = roc_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn threshold_respects_fpr_budget() {
+        let scores = [0.1, 0.2, 0.7, 0.8, 0.9, 0.95, 0.85, 0.75];
+        let labels = [1, 1, 1, 0, 0, 0, 0, 0];
+        let p = threshold_for_fpr(&scores, &labels, 0.05);
+        assert!(p.fpr < 0.05);
+        // The two clearly-low AEs are caught.
+        assert!(p.tpr >= 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_rejected() {
+        roc_curve(&[0.1, 0.2], &[1, 1]);
+    }
+}

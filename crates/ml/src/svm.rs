@@ -1,0 +1,248 @@
+//! Soft-margin SVM trained with simplified SMO (Platt, 1998).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+
+/// Kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `⟨x, z⟩`.
+    Linear,
+    /// `(⟨x, z⟩ + coef0)^degree` — the paper uses degree 3.
+    Polynomial {
+        /// Polynomial degree.
+        degree: u32,
+        /// Additive constant inside the power.
+        coef0: f64,
+    },
+    /// `exp(−γ ‖x − z‖²)`.
+    Rbf {
+        /// Width parameter γ.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(x, z)| x * z).sum();
+        match *self {
+            Kernel::Linear => dot,
+            Kernel::Polynomial { degree, coef0 } => (dot + coef0).powi(degree as i32),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a.iter().zip(b).map(|(x, z)| (x - z) * (x - z)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+/// A binary SVM classifier.
+#[derive(Debug, Clone)]
+pub struct Svm {
+    kernel: Kernel,
+    c: f64,
+    tol: f64,
+    max_passes: usize,
+    // Learned state.
+    support_x: Vec<Vec<f64>>,
+    support_y: Vec<f64>, // ±1
+    alpha: Vec<f64>,
+    b: f64,
+    trained: bool,
+}
+
+impl Svm {
+    /// An untrained SVM with regularisation parameter `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn new(kernel: Kernel, c: f64) -> Svm {
+        assert!(c > 0.0, "C must be positive");
+        Svm {
+            kernel,
+            c,
+            tol: 1e-3,
+            max_passes: 5,
+            support_x: Vec::new(),
+            support_y: Vec::new(),
+            alpha: Vec::new(),
+            b: 0.0,
+            trained: false,
+        }
+    }
+
+    /// Decision value `f(x)` (positive ⇒ class 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert!(self.trained, "SVM not fitted");
+        self.support_x
+            .iter()
+            .zip(&self.support_y)
+            .zip(&self.alpha)
+            .filter(|(_, &a)| a > 0.0)
+            .map(|((sx, &sy), &a)| a * sy * self.kernel.eval(sx, x))
+            .sum::<f64>()
+            + self.b
+    }
+}
+
+impl Classifier for Svm {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "empty training set");
+        let n = data.len();
+        let x = data.features();
+        let y: Vec<f64> = data.labels().iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        assert!(
+            y.iter().any(|&v| v > 0.0) && y.iter().any(|&v| v < 0.0),
+            "training set must contain both classes"
+        );
+        // Precompute the kernel matrix (feature dims here are tiny).
+        let k: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| self.kernel.eval(&x[i], &x[j])).collect())
+            .collect();
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(12_345);
+        let f = |alpha: &[f64], b: f64, i: usize, k: &[Vec<f64>], y: &[f64]| -> f64 {
+            (0..n).map(|j| alpha[j] * y[j] * k[i][j]).sum::<f64>() + b
+        };
+        let mut passes = 0;
+        while passes < self.max_passes {
+            let mut changed = 0;
+            for i in 0..n {
+                let ei = f(&alpha, b, i, &k, &y) - y[i];
+                if (y[i] * ei < -self.tol && alpha[i] < self.c)
+                    || (y[i] * ei > self.tol && alpha[i] > 0.0)
+                {
+                    let mut j = rng.gen_range(0..n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let ej = f(&alpha, b, j, &k, &y) - y[j];
+                    let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                    let (lo, hi) = if (y[i] - y[j]).abs() > 1e-12 {
+                        ((aj_old - ai_old).max(0.0), (self.c + aj_old - ai_old).min(self.c))
+                    } else {
+                        ((ai_old + aj_old - self.c).max(0.0), (ai_old + aj_old).min(self.c))
+                    };
+                    if (hi - lo).abs() < 1e-12 {
+                        continue;
+                    }
+                    let eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+                    if eta >= 0.0 {
+                        continue;
+                    }
+                    let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                    aj = aj.clamp(lo, hi);
+                    if (aj - aj_old).abs() < 1e-6 {
+                        continue;
+                    }
+                    let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                    alpha[i] = ai;
+                    alpha[j] = aj;
+                    let b1 = b - ei
+                        - y[i] * (ai - ai_old) * k[i][i]
+                        - y[j] * (aj - aj_old) * k[i][j];
+                    let b2 = b - ej
+                        - y[i] * (ai - ai_old) * k[i][j]
+                        - y[j] * (aj - aj_old) * k[j][j];
+                    b = if ai > 0.0 && ai < self.c {
+                        b1
+                    } else if aj > 0.0 && aj < self.c {
+                        b2
+                    } else {
+                        (b1 + b2) / 2.0
+                    };
+                    changed += 1;
+                }
+            }
+            passes = if changed == 0 { passes + 1 } else { 0 };
+        }
+        // Retain support vectors only.
+        self.support_x = Vec::new();
+        self.support_y = Vec::new();
+        self.alpha = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-9 {
+                self.support_x.push(x[i].clone());
+                self.support_y.push(y[i]);
+                self.alpha.push(alpha[i]);
+            }
+        }
+        self.b = b;
+        self.trained = true;
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        usize::from(self.decision(x) > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> Dataset {
+        Dataset::from_classes(
+            (0..30).map(|i| vec![-(1.0 + (i % 7) as f64 * 0.1), (i % 5) as f64 * 0.1]).collect(),
+            (0..30).map(|i| vec![1.0 + (i % 7) as f64 * 0.1, (i % 5) as f64 * 0.1]).collect(),
+        )
+    }
+
+    #[test]
+    fn linear_kernel_separates() {
+        let mut svm = Svm::new(Kernel::Linear, 1.0);
+        svm.fit(&linear_data());
+        assert_eq!(svm.predict(&[-2.0, 0.0]), 0);
+        assert_eq!(svm.predict(&[2.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn decision_margin_sign() {
+        let mut svm = Svm::new(Kernel::Polynomial { degree: 3, coef0: 1.0 }, 1.0);
+        svm.fit(&linear_data());
+        assert!(svm.decision(&[2.5, 0.2]) > 0.0);
+        assert!(svm.decision(&[-2.5, 0.2]) < 0.0);
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let jitter = i as f64 * 0.01;
+            for (a, b, label) in
+                [(0.0, 0.0, 0), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)]
+            {
+                x.push(vec![a + jitter, b - jitter]);
+                y.push(label);
+            }
+        }
+        let mut svm = Svm::new(Kernel::Rbf { gamma: 2.0 }, 10.0);
+        svm.fit(&Dataset::new(x, y));
+        assert_eq!(svm.predict(&[0.02, 0.02]), 0);
+        assert_eq!(svm.predict(&[0.98, 0.02]), 1);
+        assert_eq!(svm.predict(&[0.02, 0.98]), 1);
+        assert_eq!(svm.predict(&[0.98, 0.98]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_rejected() {
+        let mut svm = Svm::new(Kernel::Linear, 1.0);
+        svm.fit(&Dataset::new(vec![vec![1.0], vec![2.0]], vec![0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        Svm::new(Kernel::Linear, 1.0).decision(&[0.0]);
+    }
+}

@@ -1,0 +1,212 @@
+//! CART decision tree (gini impurity) — the unit the random forest bags.
+
+use crate::dataset::Dataset;
+
+/// A binary decision-tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Terminal node voting for a class.
+    Leaf {
+        /// The predicted class.
+        class: usize,
+    },
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Subtree for `x[feature] <= threshold`.
+        left: Box<Node>,
+        /// Subtree for `x[feature] > threshold`.
+        right: Box<Node>,
+    },
+}
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 10, min_samples_split: 4 }
+    }
+}
+
+/// A trained CART tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    dim: usize,
+}
+
+fn gini(counts: [usize; 2]) -> f64 {
+    let n = (counts[0] + counts[1]) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p0 = counts[0] as f64 / n;
+    let p1 = counts[1] as f64 / n;
+    1.0 - p0 * p0 - p1 * p1
+}
+
+fn majority(labels: &[usize], idx: &[usize]) -> usize {
+    let pos = idx.iter().filter(|&&i| labels[i] == 1).count();
+    usize::from(pos * 2 > idx.len())
+}
+
+fn grow(
+    x: &[Vec<f64>],
+    y: &[usize],
+    idx: &[usize],
+    depth: usize,
+    cfg: &TreeConfig,
+    features: &[usize],
+) -> Node {
+    let pos = idx.iter().filter(|&&i| y[i] == 1).count();
+    if pos == 0 || pos == idx.len() || depth >= cfg.max_depth || idx.len() < cfg.min_samples_split
+    {
+        return Node::Leaf { class: majority(y, idx) };
+    }
+    // Best split over the permitted features.
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+    for &f in features {
+        let mut values: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        values.dedup();
+        for w in values.windows(2) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let mut left = [0usize; 2];
+            let mut right = [0usize; 2];
+            for &i in idx {
+                if x[i][f] <= thr {
+                    left[y[i]] += 1;
+                } else {
+                    right[y[i]] += 1;
+                }
+            }
+            let nl = (left[0] + left[1]) as f64;
+            let nr = (right[0] + right[1]) as f64;
+            let imp = (nl * gini(left) + nr * gini(right)) / (nl + nr);
+            if best.is_none_or(|(b, _, _)| imp < b) {
+                best = Some((imp, f, thr));
+            }
+        }
+    }
+    let Some((_, feature, threshold)) = best else {
+        return Node::Leaf { class: majority(y, idx) };
+    };
+    let (li, ri): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    if li.is_empty() || ri.is_empty() {
+        return Node::Leaf { class: majority(y, idx) };
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(grow(x, y, &li, depth + 1, cfg, features)),
+        right: Box::new(grow(x, y, &ri, depth + 1, cfg, features)),
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on the rows of `data` selected by `idx`, splitting only
+    /// on `features` (all features when empty slice is not given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty.
+    pub fn fit_subset(data: &Dataset, idx: &[usize], cfg: &TreeConfig, features: &[usize]) -> DecisionTree {
+        assert!(!idx.is_empty(), "empty training subset");
+        let root = grow(data.features(), data.labels(), idx, 0, cfg, features);
+        DecisionTree { root, dim: data.dim() }
+    }
+
+    /// Fits on an entire dataset with all features available.
+    pub fn fit(data: &Dataset, cfg: &TreeConfig) -> DecisionTree {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let features: Vec<usize> = (0..data.dim()).collect();
+        DecisionTree::fit_subset(data, &idx, cfg, &features)
+    }
+
+    /// Predicts the class of one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.dim, "dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree (a leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps() -> Dataset {
+        // Class depends on x[0] with a step at 0.5.
+        Dataset::from_classes(
+            (0..20).map(|i| vec![i as f64 / 50.0, (i % 3) as f64]).collect(),
+            (0..20).map(|i| vec![0.6 + i as f64 / 50.0, (i % 3) as f64]).collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_on_separable_data() {
+        let d = steps();
+        let tree = DecisionTree::fit(&d, &TreeConfig::default());
+        for (x, &y) in d.features().iter().zip(d.labels()) {
+            assert_eq!(tree.predict(x), y);
+        }
+        // One split suffices.
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let d = steps();
+        let tree = DecisionTree::fit(&d, &TreeConfig { max_depth: 0, min_samples_split: 2 });
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn feature_restriction() {
+        let d = steps();
+        // Splitting only on the useless feature 1 yields poor fits.
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let tree = DecisionTree::fit_subset(&d, &idx, &TreeConfig::default(), &[1]);
+        let acc = d
+            .features()
+            .iter()
+            .zip(d.labels())
+            .filter(|(x, &y)| tree.predict(x) == y)
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc < 0.8, "acc {acc} suspiciously high for a useless feature");
+    }
+}

@@ -1,0 +1,119 @@
+//! The [`PhoneticEncoder`] trait and the runtime-selectable [`Encoder`] enum.
+
+use crate::{Metaphone, Nysiis, RefinedSoundex, Soundex};
+
+/// A word-level phonetic encoding algorithm.
+///
+/// Implementors map a single word to a pronunciation-oriented code; the
+/// provided [`encode_sentence`](PhoneticEncoder::encode_sentence) method maps
+/// a whole transcription by encoding each token and joining with spaces,
+/// which is the representation the similarity-calculation component of the
+/// detection system compares.
+pub trait PhoneticEncoder {
+    /// Encodes a single word. Non-alphabetic characters are ignored; an
+    /// input with no letters yields an empty code.
+    fn encode_word(&self, word: &str) -> String;
+
+    /// A short stable name for experiment-table output.
+    fn name(&self) -> &'static str;
+
+    /// Encodes a whole sentence token-by-token.
+    ///
+    /// ```
+    /// use mvp_phonetics::{Metaphone, PhoneticEncoder};
+    /// let m = Metaphone::default();
+    /// assert_eq!(m.encode_sentence("I see the sea"), m.encode_sentence("i sea the see"));
+    /// ```
+    fn encode_sentence(&self, sentence: &str) -> String {
+        sentence
+            .split(|c: char| !(c.is_alphanumeric() || c == '\''))
+            .filter(|t| !t.is_empty())
+            .map(|t| self.encode_word(t))
+            .filter(|c| !c.is_empty())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Runtime-selectable phonetic encoder, used in detection-system
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Encoder {
+    /// Original Metaphone (the workspace default; best homophone collapse).
+    #[default]
+    Metaphone,
+    /// American Soundex.
+    Soundex,
+    /// Refined Soundex.
+    RefinedSoundex,
+    /// NYSIIS.
+    Nysiis,
+}
+
+impl Encoder {
+    /// Every available encoder.
+    pub const ALL: [Encoder; 4] = [
+        Encoder::Metaphone,
+        Encoder::Soundex,
+        Encoder::RefinedSoundex,
+        Encoder::Nysiis,
+    ];
+}
+
+impl PhoneticEncoder for Encoder {
+    fn encode_word(&self, word: &str) -> String {
+        match self {
+            Encoder::Metaphone => Metaphone.encode_word(word),
+            Encoder::Soundex => Soundex.encode_word(word),
+            Encoder::RefinedSoundex => RefinedSoundex.encode_word(word),
+            Encoder::Nysiis => Nysiis.encode_word(word),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Encoder::Metaphone => Metaphone.name(),
+            Encoder::Soundex => Soundex.name(),
+            Encoder::RefinedSoundex => RefinedSoundex.name(),
+            Encoder::Nysiis => Nysiis.name(),
+        }
+    }
+}
+
+impl std::fmt::Display for Encoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentence_encoding_joins_words() {
+        let code = Encoder::Metaphone.encode_sentence("open the front door");
+        assert_eq!(code.split(' ').count(), 4);
+    }
+
+    #[test]
+    fn sentence_encoding_skips_punctuation() {
+        let a = Encoder::Soundex.encode_sentence("I wish you wouldn't.");
+        let b = Encoder::Soundex.encode_sentence("i wish you wouldn't");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_encoders_nonempty_on_words() {
+        for e in Encoder::ALL {
+            assert!(!e.encode_word("hello").is_empty(), "{e}");
+            assert!(e.encode_sentence("").is_empty(), "{e}");
+        }
+    }
+
+    #[test]
+    fn encoder_names_unique() {
+        let names: std::collections::HashSet<_> = Encoder::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), Encoder::ALL.len());
+    }
+}

@@ -1,0 +1,267 @@
+//! Rule-based grapheme-to-phoneme (G2P) conversion.
+//!
+//! The [`Lexicon`](crate::Lexicon) stores explicit pronunciations for the
+//! corpus vocabulary; this module is the fallback for out-of-vocabulary
+//! words. It implements a longest-match rewrite system over letter clusters
+//! with a handful of context-sensitive rules (silent final `e`, soft `c`/`g`,
+//! `igh`, `tion`, ...). The output only needs to be *consistent* — the same
+//! word always yields the same phoneme string, and similar spellings yield
+//! similar phoneme strings — because the synthesizer and every ASR share
+//! this same pronunciation substrate.
+
+use crate::phoneme::Phoneme;
+
+/// Multi-letter cluster rules, longest first. `None` context means the rule
+/// always applies.
+const CLUSTERS: &[(&str, &[Phoneme])] = &[
+    ("tion", &[Phoneme::SH, Phoneme::AH, Phoneme::N]),
+    ("sion", &[Phoneme::ZH, Phoneme::AH, Phoneme::N]),
+    ("ought", &[Phoneme::AO, Phoneme::T]),
+    ("augh", &[Phoneme::AO]),
+    ("eigh", &[Phoneme::EY]),
+    ("igh", &[Phoneme::AY]),
+    ("tch", &[Phoneme::CH]),
+    ("dge", &[Phoneme::JH]),
+    ("sch", &[Phoneme::S, Phoneme::K]),
+    ("ch", &[Phoneme::CH]),
+    ("sh", &[Phoneme::SH]),
+    ("th", &[Phoneme::TH]),
+    ("ph", &[Phoneme::F]),
+    ("wh", &[Phoneme::W]),
+    ("ng", &[Phoneme::NG]),
+    ("ck", &[Phoneme::K]),
+    ("qu", &[Phoneme::K, Phoneme::W]),
+    ("oo", &[Phoneme::UW]),
+    ("ee", &[Phoneme::IY]),
+    ("ea", &[Phoneme::IY]),
+    ("ai", &[Phoneme::EY]),
+    ("ay", &[Phoneme::EY]),
+    ("oa", &[Phoneme::OW]),
+    ("ow", &[Phoneme::OW]),
+    ("ou", &[Phoneme::AW]),
+    ("oi", &[Phoneme::OY]),
+    ("oy", &[Phoneme::OY]),
+    ("au", &[Phoneme::AO]),
+    ("aw", &[Phoneme::AO]),
+    ("ew", &[Phoneme::UW]),
+    ("ie", &[Phoneme::IY]),
+    ("ey", &[Phoneme::IY]),
+    ("ar", &[Phoneme::AA, Phoneme::R]),
+    ("or", &[Phoneme::AO, Phoneme::R]),
+    ("er", &[Phoneme::ER]),
+    ("ir", &[Phoneme::ER]),
+    ("ur", &[Phoneme::ER]),
+];
+
+fn single(c: u8, next: u8) -> &'static [Phoneme] {
+    match c {
+        b'a' => &[Phoneme::AE],
+        b'b' => &[Phoneme::B],
+        b'c' => {
+            if matches!(next, b'e' | b'i' | b'y') {
+                &[Phoneme::S]
+            } else {
+                &[Phoneme::K]
+            }
+        }
+        b'd' => &[Phoneme::D],
+        b'e' => &[Phoneme::EH],
+        b'f' => &[Phoneme::F],
+        b'g' => {
+            if matches!(next, b'e' | b'i' | b'y') {
+                &[Phoneme::JH]
+            } else {
+                &[Phoneme::G]
+            }
+        }
+        b'h' => &[Phoneme::HH],
+        b'i' => &[Phoneme::IH],
+        b'j' => &[Phoneme::JH],
+        b'k' => &[Phoneme::K],
+        b'l' => &[Phoneme::L],
+        b'm' => &[Phoneme::M],
+        b'n' => &[Phoneme::N],
+        b'o' => &[Phoneme::AA],
+        b'p' => &[Phoneme::P],
+        b'q' => &[Phoneme::K],
+        b'r' => &[Phoneme::R],
+        b's' => &[Phoneme::S],
+        b't' => &[Phoneme::T],
+        b'u' => &[Phoneme::AH],
+        b'v' => &[Phoneme::V],
+        b'w' => &[Phoneme::W],
+        b'x' => &[Phoneme::K, Phoneme::S],
+        b'y' => &[Phoneme::IY],
+        b'z' => &[Phoneme::Z],
+        _ => &[],
+    }
+}
+
+/// Converts a word to its phoneme sequence using the rewrite rules.
+///
+/// Non-alphabetic characters are ignored; an input with no letters yields an
+/// empty sequence. The result never contains [`Phoneme::SIL`].
+///
+/// ```
+/// use mvp_phonetics::{grapheme_to_phoneme, Phoneme};
+/// let phones = grapheme_to_phoneme("ship");
+/// assert_eq!(phones, vec![Phoneme::SH, Phoneme::IH, Phoneme::P]);
+/// ```
+pub fn grapheme_to_phoneme(word: &str) -> Vec<Phoneme> {
+    let w: Vec<u8> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase() as u8)
+        .collect();
+    let n = w.len();
+    let mut out: Vec<Phoneme> = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        // Silent final 'e' (but keep single-letter words like "e" and words
+        // that would otherwise have no vowel, e.g. "the" handled by lexicon).
+        if w[i] == b'e' && i == n - 1 && i > 0 && out.iter().any(|p| p.is_vowel()) {
+            // Lengthen the preceding vowel instead ("mad"/"made" distinction
+            // is approximated by the magic-e rule below).
+            break;
+        }
+        // Initial-cluster silent letters.
+        if i == 0 && n >= 2 {
+            match (w[0], w[1]) {
+                (b'k', b'n') | (b'g', b'n') | (b'p', b'n') => {
+                    i = 1;
+                    continue;
+                }
+                (b'w', b'r') => {
+                    i = 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Doubled consonants collapse.
+        if i + 1 < n && w[i] == w[i + 1] && !matches!(w[i], b'a' | b'e' | b'i' | b'o' | b'u') {
+            i += 1;
+            continue;
+        }
+        // Longest-match cluster rules.
+        let rest = &w[i..];
+        let mut matched = false;
+        for (pat, phones) in CLUSTERS {
+            let pat = pat.as_bytes();
+            if rest.starts_with(pat) {
+                out.extend_from_slice(phones);
+                i += pat.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Magic-e: vowel + single consonant + final 'e' makes the vowel long.
+        if matches!(w[i], b'a' | b'i' | b'o' | b'u') && i + 2 < n && w[i + 2] == b'e' && i + 2 == n - 1
+        {
+            let is_cons = !matches!(w[i + 1], b'a' | b'e' | b'i' | b'o' | b'u');
+            if is_cons {
+                let long = match w[i] {
+                    b'a' => Phoneme::EY,
+                    b'i' => Phoneme::AY,
+                    b'o' => Phoneme::OW,
+                    _ => Phoneme::UW,
+                };
+                out.push(long);
+                i += 1;
+                continue;
+            }
+        }
+        let next = if i + 1 < n { w[i + 1] } else { 0 };
+        out.extend_from_slice(single(w[i], next));
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_words() {
+        assert_eq!(grapheme_to_phoneme("cat"), vec![Phoneme::K, Phoneme::AE, Phoneme::T]);
+        assert_eq!(grapheme_to_phoneme("dog"), vec![Phoneme::D, Phoneme::AA, Phoneme::G]);
+        assert_eq!(grapheme_to_phoneme("ship"), vec![Phoneme::SH, Phoneme::IH, Phoneme::P]);
+    }
+
+    #[test]
+    fn cluster_rules() {
+        assert_eq!(grapheme_to_phoneme("night"), vec![Phoneme::N, Phoneme::AY, Phoneme::T]);
+        assert_eq!(
+            grapheme_to_phoneme("nation"),
+            vec![Phoneme::N, Phoneme::AE, Phoneme::SH, Phoneme::AH, Phoneme::N]
+        );
+        assert_eq!(grapheme_to_phoneme("queen"), vec![Phoneme::K, Phoneme::W, Phoneme::IY, Phoneme::N]);
+    }
+
+    #[test]
+    fn magic_e() {
+        assert_eq!(grapheme_to_phoneme("made"), vec![Phoneme::M, Phoneme::EY, Phoneme::D]);
+        assert_eq!(grapheme_to_phoneme("ride"), vec![Phoneme::R, Phoneme::AY, Phoneme::D]);
+        assert_eq!(grapheme_to_phoneme("code"), vec![Phoneme::K, Phoneme::OW, Phoneme::D]);
+    }
+
+    #[test]
+    fn silent_initials() {
+        assert_eq!(grapheme_to_phoneme("knight"), grapheme_to_phoneme("night"));
+        assert_eq!(grapheme_to_phoneme("write")[0], Phoneme::R);
+    }
+
+    #[test]
+    fn soft_c_and_g() {
+        assert_eq!(grapheme_to_phoneme("city")[0], Phoneme::S);
+        assert_eq!(grapheme_to_phoneme("cold")[0], Phoneme::K);
+        assert_eq!(grapheme_to_phoneme("gem")[0], Phoneme::JH);
+        assert_eq!(grapheme_to_phoneme("go")[0], Phoneme::G);
+    }
+
+    #[test]
+    fn doubled_consonants_collapse() {
+        assert_eq!(grapheme_to_phoneme("ball"), grapheme_to_phoneme("bal"));
+    }
+
+    #[test]
+    fn r_colored_vowels() {
+        assert_eq!(grapheme_to_phoneme("car"), vec![Phoneme::K, Phoneme::AA, Phoneme::R]);
+        assert_eq!(grapheme_to_phoneme("fur"), vec![Phoneme::F, Phoneme::ER]);
+        assert_eq!(grapheme_to_phoneme("for"), vec![Phoneme::F, Phoneme::AO, Phoneme::R]);
+    }
+
+    #[test]
+    fn vowel_digraphs() {
+        assert_eq!(grapheme_to_phoneme("boat"), vec![Phoneme::B, Phoneme::OW, Phoneme::T]);
+        assert_eq!(grapheme_to_phoneme("rain"), vec![Phoneme::R, Phoneme::EY, Phoneme::N]);
+        assert_eq!(grapheme_to_phoneme("mouth"), vec![Phoneme::M, Phoneme::AW, Phoneme::TH]);
+        assert_eq!(grapheme_to_phoneme("boy"), vec![Phoneme::B, Phoneme::OY]);
+    }
+
+    #[test]
+    fn empty_and_nonalpha() {
+        assert!(grapheme_to_phoneme("").is_empty());
+        assert!(grapheme_to_phoneme("1234").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn no_silence_and_deterministic(word in "[a-z]{1,16}") {
+            let a = grapheme_to_phoneme(&word);
+            let b = grapheme_to_phoneme(&word);
+            prop_assert_eq!(&a, &b);
+            prop_assert!(!a.contains(&Phoneme::SIL));
+        }
+
+        #[test]
+        fn words_with_vowels_produce_output(word in "[a-z]{0,4}[aeiou][a-z]{0,4}") {
+            prop_assert!(!grapheme_to_phoneme(&word).is_empty());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Phonetic substrate for the MVP-EARS reproduction.
+//!
+//! The paper's similarity-calculation component first converts each
+//! transcription into a *phonetic encoding* so that different ASRs emitting
+//! different words for similar sounds (homophones, near-homophones) still
+//! produce high similarity scores for benign audio. This crate provides:
+//!
+//! - the ARPAbet [`Phoneme`] inventory with per-phoneme acoustic metadata
+//!   (formant frequencies, voicing, class) that the `mvp-audio` synthesizer
+//!   and the `mvp-asr` acoustic models are built on;
+//! - a rule-based grapheme-to-phoneme converter ([`grapheme_to_phoneme`])
+//!   and a pronunciation [`Lexicon`] with homophone support;
+//! - classic phonetic-encoding algorithms — [`Soundex`], [`RefinedSoundex`],
+//!   [`Metaphone`] and [`Nysiis`] — behind the [`PhoneticEncoder`] trait.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvp_phonetics::{Metaphone, PhoneticEncoder};
+//!
+//! let enc = Metaphone::default();
+//! // Homophones collapse to the same code, which is exactly why the paper's
+//! // PE_JaroWinkler similarity method outperforms raw JaroWinkler.
+//! assert_eq!(enc.encode_word("write"), enc.encode_word("right"));
+//! ```
+
+pub mod encode;
+pub mod g2p;
+pub mod lexicon;
+pub mod metaphone;
+pub mod nysiis;
+pub mod phoneme;
+pub mod soundex;
+
+pub use encode::{Encoder, PhoneticEncoder};
+pub use g2p::grapheme_to_phoneme;
+pub use lexicon::Lexicon;
+pub use metaphone::Metaphone;
+pub use nysiis::Nysiis;
+pub use phoneme::{Phoneme, PhonemeClass};
+pub use soundex::{RefinedSoundex, Soundex};

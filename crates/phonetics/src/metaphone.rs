@@ -1,0 +1,295 @@
+//! The original Metaphone phonetic encoding (Lawrence Philips, 1990).
+//!
+//! Metaphone is the default phonetic encoder of the detection system: it
+//! collapses English homophones (`write`/`right`, `knight`/`night`) onto the
+//! same code, which is what lets PE_JaroWinkler forgive benign cross-ASR
+//! word substitutions in the paper's Table III ablation.
+
+use crate::encode::PhoneticEncoder;
+
+/// Original Metaphone encoder.
+///
+/// ```
+/// use mvp_phonetics::{Metaphone, PhoneticEncoder};
+/// let m = Metaphone::default();
+/// assert_eq!(m.encode_word("phone"), "FN");
+/// assert_eq!(m.encode_word("knight"), m.encode_word("night"));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metaphone;
+
+fn is_vowel(c: u8) -> bool {
+    matches!(c, b'A' | b'E' | b'I' | b'O' | b'U')
+}
+
+impl Metaphone {
+    fn transform(word: &[u8]) -> String {
+        // Apply initial-cluster exceptions.
+        let mut w: Vec<u8> = word.to_vec();
+        if w.len() >= 2 {
+            match (w[0], w[1]) {
+                (b'A', b'E') => {
+                    w.remove(0);
+                }
+                (b'G' | b'K' | b'P', b'N') | (b'W', b'R') => {
+                    w.remove(0);
+                }
+                (b'X', _) => w[0] = b'S',
+                (b'W', b'H') => {
+                    w.remove(1);
+                }
+                _ => {}
+            }
+        } else if w.first() == Some(&b'X') {
+            w[0] = b'S';
+        }
+
+        let n = w.len();
+        let at = |i: isize| -> u8 {
+            if i < 0 || i as usize >= n {
+                0
+            } else {
+                w[i as usize]
+            }
+        };
+        let mut out = String::new();
+        let mut i: isize = 0;
+        while (i as usize) < n {
+            let c = at(i);
+            let prev = at(i - 1);
+            let next = at(i + 1);
+            let next2 = at(i + 2);
+            // Skip duplicate adjacent letters except C.
+            if c == prev && c != b'C' {
+                i += 1;
+                continue;
+            }
+            match c {
+                b'A' | b'E' | b'I' | b'O' | b'U'
+                    if i == 0 => {
+                        out.push(c as char);
+                    }
+                b'B'
+                    // Silent terminal B after M ("lamb", "climb").
+                    if !(prev == b'M' && i as usize == n - 1) => {
+                        out.push('B');
+                    }
+                b'C' => {
+                    if next == b'I' && next2 == b'A' {
+                        out.push('X');
+                    } else if next == b'H' {
+                        if prev == b'S' {
+                            out.push('K'); // "sch"
+                        } else {
+                            out.push('X');
+                        }
+                        i += 1; // consume the H
+                    } else if matches!(next, b'I' | b'E' | b'Y') {
+                        out.push('S');
+                    } else {
+                        out.push('K');
+                    }
+                }
+                b'D' => {
+                    if next == b'G' && matches!(next2, b'E' | b'Y' | b'I') {
+                        out.push('J');
+                        i += 1; // consume the G
+                    } else {
+                        out.push('T');
+                    }
+                }
+                b'F' => out.push('F'),
+                b'G' => {
+                    let silent_gh = next == b'H' && !is_vowel(next2) && (i as usize + 2) <= n;
+                    let gn = next == b'N';
+                    if silent_gh && next2 != 0 {
+                        // "gh" followed by consonant: silent ("night").
+                    } else if next == b'H' && next2 == 0 {
+                        // terminal "gh": silent ("though").
+                        i += 1;
+                    } else if gn {
+                        // "gn" / "gned": silent G.
+                    } else if matches!(next, b'I' | b'E' | b'Y') {
+                        out.push('J');
+                    } else {
+                        out.push('K');
+                    }
+                }
+                b'H' => {
+                    // Silent after vowel with no following vowel, and inside
+                    // digraphs already consumed (CH/GH/PH/SH/TH).
+                    let after_varson = matches!(prev, b'C' | b'S' | b'P' | b'T' | b'G');
+                    if is_vowel(prev) && !is_vowel(next) {
+                        // silent
+                    } else if after_varson {
+                        // digraph handled by the consonant branch
+                    } else {
+                        out.push('H');
+                    }
+                }
+                b'J' => out.push('J'),
+                b'K'
+                    if prev != b'C' => {
+                        out.push('K');
+                    }
+                b'L' => out.push('L'),
+                b'M' => out.push('M'),
+                b'N' => out.push('N'),
+                b'P' => {
+                    if next == b'H' {
+                        out.push('F');
+                        i += 1;
+                    } else {
+                        out.push('P');
+                    }
+                }
+                b'Q' => out.push('K'),
+                b'R' => out.push('R'),
+                b'S' => {
+                    if next == b'H' {
+                        out.push('X');
+                        i += 1;
+                    } else if next == b'I' && matches!(next2, b'O' | b'A') {
+                        out.push('X');
+                    } else {
+                        out.push('S');
+                    }
+                }
+                b'T' => {
+                    if next == b'I' && matches!(next2, b'O' | b'A') {
+                        out.push('X');
+                    } else if next == b'H' {
+                        out.push('0'); // theta
+                        i += 1;
+                    } else if !(next == b'C' && next2 == b'H') {
+                        out.push('T');
+                    }
+                }
+                b'V' => out.push('F'),
+                b'W'
+                    if is_vowel(next) => {
+                        out.push('W');
+                    }
+                b'X' => out.push_str("KS"),
+                b'Y'
+                    if is_vowel(next) => {
+                        out.push('Y');
+                    }
+                b'Z' => out.push('S'),
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+impl PhoneticEncoder for Metaphone {
+    fn encode_word(&self, word: &str) -> String {
+        let letters: Vec<u8> = word
+            .chars()
+            .filter(|c| c.is_ascii_alphabetic())
+            .map(|c| c.to_ascii_uppercase() as u8)
+            .collect();
+        if letters.is_empty() {
+            return String::new();
+        }
+        Self::transform(&letters)
+    }
+
+    fn name(&self) -> &'static str {
+        "Metaphone"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_values() {
+        let m = Metaphone;
+        for (word, code) in [
+            // TH encodes as theta ('0'), so Thompson opens with it.
+            ("Thompson", "0MPSN"),
+            ("metaphone", "MTFN"),
+            ("discrimination", "TSKRMNXN"),
+            ("school", "SKL"),
+            ("thought", "0T"),
+            ("phone", "FN"),
+            ("aggregate", "AKRKT"),
+            ("lamb", "LM"),
+            ("xylophone", "SLFN"),
+        ] {
+            assert_eq!(m.encode_word(word), code, "{word}");
+        }
+    }
+
+    #[test]
+    fn homophones_collapse() {
+        let m = Metaphone;
+        for (a, b) in [
+            ("write", "right"),
+            ("knight", "night"),
+            ("sea", "see"),
+            ("hear", "here"),
+            ("four", "for"),
+            ("know", "no"),
+            ("their", "there"),
+        ] {
+            assert_eq!(m.encode_word(a), m.encode_word(b), "{a}/{b}");
+        }
+    }
+
+    #[test]
+    fn more_homophones_collapse() {
+        let m = Metaphone;
+        for (a, b) in [
+            ("buy", "by"),
+            ("new", "knew"),
+            ("weak", "week"),
+            ("meet", "meat"),
+            ("wait", "weight"),
+        ] {
+            assert_eq!(m.encode_word(a), m.encode_word(b), "{a}/{b}");
+        }
+    }
+
+    #[test]
+    fn initial_cluster_exceptions() {
+        let m = Metaphone;
+        assert_eq!(m.encode_word("gnome"), m.encode_word("nome"));
+        assert_eq!(m.encode_word("pneumatic").chars().next(), Some('N'));
+        assert_eq!(m.encode_word("wrack"), m.encode_word("rack"));
+        assert!(m.encode_word("xenon").starts_with('S'));
+    }
+
+    #[test]
+    fn distinct_words_stay_distinct() {
+        let m = Metaphone;
+        assert_ne!(m.encode_word("door"), m.encode_word("wall"));
+        assert_ne!(m.encode_word("open"), m.encode_word("close"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(Metaphone.encode_word(""), "");
+        assert_eq!(Metaphone.encode_word("42"), "");
+    }
+
+    proptest! {
+        #[test]
+        fn output_alphabet(word in "[a-zA-Z]{1,20}") {
+            let code = Metaphone.encode_word(&word);
+            prop_assert!(code.chars().all(|c| c.is_ascii_uppercase() || c == '0'), "{}", code);
+        }
+
+        #[test]
+        fn deterministic_and_case_insensitive(word in "[a-z]{1,16}") {
+            let lower = Metaphone.encode_word(&word);
+            let upper = Metaphone.encode_word(&word.to_uppercase());
+            prop_assert_eq!(lower, upper);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The NYSIIS phonetic encoding (New York State Identification and
+//! Intelligence System, 1970).
+
+use crate::encode::PhoneticEncoder;
+
+/// NYSIIS encoder (classic variant, code truncated to 6 characters).
+///
+/// ```
+/// use mvp_phonetics::{Nysiis, PhoneticEncoder};
+/// let n = Nysiis::default();
+/// assert_eq!(n.encode_word("Macintosh"), "MCANT");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Nysiis;
+
+fn is_vowel(c: u8) -> bool {
+    // Y is treated as a vowel in the scan stage so spelling variants such as
+    // smith/smyth collapse, as in common NYSIIS implementations.
+    matches!(c, b'A' | b'E' | b'I' | b'O' | b'U' | b'Y')
+}
+
+fn replace_prefix(w: &mut Vec<u8>, from: &[u8], to: &[u8]) -> bool {
+    if w.starts_with(from) {
+        w.splice(0..from.len(), to.iter().copied());
+        true
+    } else {
+        false
+    }
+}
+
+fn replace_suffix(w: &mut Vec<u8>, from: &[u8], to: &[u8]) -> bool {
+    if w.ends_with(from) {
+        let start = w.len() - from.len();
+        w.splice(start.., to.iter().copied());
+        true
+    } else {
+        false
+    }
+}
+
+impl PhoneticEncoder for Nysiis {
+    fn encode_word(&self, word: &str) -> String {
+        let mut w: Vec<u8> = word
+            .chars()
+            .filter(|c| c.is_ascii_alphabetic())
+            .map(|c| c.to_ascii_uppercase() as u8)
+            .collect();
+        if w.is_empty() {
+            return String::new();
+        }
+        // 1. Prefix transformations.
+        let _ = replace_prefix(&mut w, b"MAC", b"MCC")
+            || replace_prefix(&mut w, b"KN", b"NN")
+            || replace_prefix(&mut w, b"K", b"C")
+            || replace_prefix(&mut w, b"PH", b"FF")
+            || replace_prefix(&mut w, b"PF", b"FF")
+            || replace_prefix(&mut w, b"SCH", b"SSS");
+        // 2. Suffix transformations.
+        let _ = replace_suffix(&mut w, b"EE", b"Y")
+            || replace_suffix(&mut w, b"IE", b"Y")
+            || replace_suffix(&mut w, b"DT", b"D")
+            || replace_suffix(&mut w, b"RT", b"D")
+            || replace_suffix(&mut w, b"RD", b"D")
+            || replace_suffix(&mut w, b"NT", b"D")
+            || replace_suffix(&mut w, b"ND", b"D");
+        // 3. First key character.
+        let mut key = vec![w[0]];
+        // 4. Scan the rest.
+        let n = w.len();
+        let mut i = 1usize;
+        while i < n {
+            let prev = w[i - 1];
+            let cur = w[i];
+            let next = if i + 1 < n { w[i + 1] } else { 0 };
+            let repl: Vec<u8> = match cur {
+                b'E' if next == b'V' => {
+                    i += 1; // consume V
+                    b"AF".to_vec()
+                }
+                c if is_vowel(c) => b"A".to_vec(),
+                b'Q' => b"G".to_vec(),
+                b'Z' => b"S".to_vec(),
+                b'M' => b"N".to_vec(),
+                b'K' => {
+                    if next == b'N' {
+                        b"N".to_vec()
+                    } else {
+                        b"C".to_vec()
+                    }
+                }
+                b'S' if next == b'C' && i + 2 < n && w[i + 2] == b'H' => {
+                    i += 2;
+                    b"SSS".to_vec()
+                }
+                b'P' if next == b'H' => {
+                    i += 1;
+                    b"FF".to_vec()
+                }
+                // Silent H / W collapse onto the previously *emitted* key
+                // character, which the dedup below always removes — so emit
+                // nothing.
+                b'H' if !is_vowel(prev) || (next != 0 && !is_vowel(next)) => Vec::new(),
+                b'W' if is_vowel(prev) => Vec::new(),
+                c => vec![c],
+            };
+            for &r in &repl {
+                if key.last() != Some(&r) {
+                    key.push(r);
+                }
+            }
+            i += 1;
+        }
+        // 5. Suffix cleanup on the key.
+        if key.ends_with(b"S") && key.len() > 1 {
+            key.pop();
+        }
+        if key.ends_with(b"AY") {
+            key.truncate(key.len() - 2);
+            key.push(b'Y');
+        }
+        if key.ends_with(b"A") && key.len() > 1 {
+            key.pop();
+        }
+        key.truncate(6);
+        String::from_utf8(key).expect("key is ASCII")
+    }
+
+    fn name(&self) -> &'static str {
+        "NYSIIS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_values() {
+        let n = Nysiis;
+        for (word, code) in [
+            ("Macintosh", "MCANT"),
+            ("Knuth", "NAT"),
+            ("Koehn", "CAN"),
+            ("Phillipson", "FALAPS"),
+            ("Pfeister", "FASTAR"),
+        ] {
+            assert_eq!(n.encode_word(word), code, "{word}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(Nysiis.encode_word(""), "");
+    }
+
+    #[test]
+    fn similar_names_collapse() {
+        let n = Nysiis;
+        assert_eq!(n.encode_word("smith"), n.encode_word("smyth"));
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_uppercase(word in "[a-zA-Z]{1,20}") {
+            let code = Nysiis.encode_word(&word);
+            prop_assert!(code.len() <= 6);
+            prop_assert!(!code.is_empty());
+            prop_assert!(code.bytes().all(|b| b.is_ascii_uppercase()));
+        }
+
+        #[test]
+        fn no_adjacent_duplicates_after_first(word in "[a-z]{2,16}") {
+            let code = Nysiis.encode_word(&word);
+            let b = code.as_bytes();
+            for i in 2..b.len() {
+                prop_assert!(b[i] != b[i-1] || b[i] == b[1], "{}", code);
+            }
+        }
+    }
+}

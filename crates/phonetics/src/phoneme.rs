@@ -1,0 +1,331 @@
+//! The ARPAbet phoneme inventory with acoustic metadata.
+//!
+//! Every phoneme carries the spectral description the formant synthesizer in
+//! `mvp-audio` renders and the simulated acoustic models in `mvp-asr` learn
+//! to recognise. The formant values for vowels follow the classic
+//! Peterson–Barney measurements; consonants use representative loci / noise
+//! bands. The values only need to be mutually discriminable — they are a
+//! simulation substrate, not a naturalness target (see DESIGN.md §2).
+
+/// Broad articulatory class of a phoneme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhonemeClass {
+    /// Monophthong or diphthong vowel.
+    Vowel,
+    /// Plosive stop (p, b, t, d, k, g).
+    Stop,
+    /// Fricative (f, v, s, z, ...).
+    Fricative,
+    /// Affricate (ch, jh).
+    Affricate,
+    /// Nasal (m, n, ng).
+    Nasal,
+    /// Liquid (l, r).
+    Liquid,
+    /// Glide / semivowel (w, y) and aspirate h.
+    Glide,
+    /// Silence / word boundary marker.
+    Silence,
+}
+
+/// An ARPAbet phoneme (stress-less inventory, 39 phones plus silence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variant names are the standard ARPAbet symbols
+pub enum Phoneme {
+    // Vowels (15)
+    AA, AE, AH, AO, AW, AY, EH, ER, EY, IH, IY, OW, OY, UH, UW,
+    // Stops (6)
+    B, D, G, K, P, T,
+    // Affricates (2)
+    CH, JH,
+    // Fricatives (9)
+    DH, F, S, SH, TH, V, Z, ZH, HH,
+    // Nasals (3)
+    M, N, NG,
+    // Liquids (2)
+    L, R,
+    // Glides (2)
+    W, Y,
+    /// Inter-word / utterance silence.
+    SIL,
+}
+
+/// Acoustic rendering description of one phoneme.
+///
+/// `formants` holds up to three resonance frequencies in Hz with relative
+/// amplitudes; `noise_band` is `(center_hz, bandwidth_hz, amplitude)` for the
+/// turbulent component of fricatives/affricates/stop bursts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Acoustics {
+    /// Resonance frequencies in Hz and their linear amplitudes.
+    pub formants: [(f32, f32); 3],
+    /// Turbulent noise component: `(center_hz, bandwidth_hz, amplitude)`.
+    pub noise_band: (f32, f32, f32),
+    /// Whether the vocal folds vibrate (adds the pitch harmonic stack).
+    pub voiced: bool,
+    /// Nominal duration in milliseconds at speaking rate 1.0.
+    pub duration_ms: f32,
+}
+
+impl Phoneme {
+    /// The full inventory in declaration order (silence last).
+    pub const ALL: [Phoneme; 40] = [
+        Phoneme::AA, Phoneme::AE, Phoneme::AH, Phoneme::AO, Phoneme::AW,
+        Phoneme::AY, Phoneme::EH, Phoneme::ER, Phoneme::EY, Phoneme::IH,
+        Phoneme::IY, Phoneme::OW, Phoneme::OY, Phoneme::UH, Phoneme::UW,
+        Phoneme::B, Phoneme::D, Phoneme::G, Phoneme::K, Phoneme::P, Phoneme::T,
+        Phoneme::CH, Phoneme::JH,
+        Phoneme::DH, Phoneme::F, Phoneme::S, Phoneme::SH, Phoneme::TH,
+        Phoneme::V, Phoneme::Z, Phoneme::ZH, Phoneme::HH,
+        Phoneme::M, Phoneme::N, Phoneme::NG,
+        Phoneme::L, Phoneme::R,
+        Phoneme::W, Phoneme::Y,
+        Phoneme::SIL,
+    ];
+
+    /// Number of phonemes including silence; acoustic-model class count.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable dense index in `0..Phoneme::COUNT`, used as the acoustic-model
+    /// class id.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Phoneme::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= Phoneme::COUNT`.
+    pub fn from_index(idx: usize) -> Phoneme {
+        Self::ALL[idx]
+    }
+
+    /// The ARPAbet symbol, e.g. `"AA"`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Phoneme::AA => "AA", Phoneme::AE => "AE", Phoneme::AH => "AH",
+            Phoneme::AO => "AO", Phoneme::AW => "AW", Phoneme::AY => "AY",
+            Phoneme::EH => "EH", Phoneme::ER => "ER", Phoneme::EY => "EY",
+            Phoneme::IH => "IH", Phoneme::IY => "IY", Phoneme::OW => "OW",
+            Phoneme::OY => "OY", Phoneme::UH => "UH", Phoneme::UW => "UW",
+            Phoneme::B => "B", Phoneme::D => "D", Phoneme::G => "G",
+            Phoneme::K => "K", Phoneme::P => "P", Phoneme::T => "T",
+            Phoneme::CH => "CH", Phoneme::JH => "JH", Phoneme::DH => "DH",
+            Phoneme::F => "F", Phoneme::S => "S", Phoneme::SH => "SH",
+            Phoneme::TH => "TH", Phoneme::V => "V", Phoneme::Z => "Z",
+            Phoneme::ZH => "ZH", Phoneme::HH => "HH", Phoneme::M => "M",
+            Phoneme::N => "N", Phoneme::NG => "NG", Phoneme::L => "L",
+            Phoneme::R => "R", Phoneme::W => "W", Phoneme::Y => "Y",
+            Phoneme::SIL => "SIL",
+        }
+    }
+
+    /// Parses an ARPAbet symbol (optionally with a trailing stress digit,
+    /// which is ignored, e.g. `"AA1"`).
+    pub fn parse(sym: &str) -> Option<Phoneme> {
+        let sym = sym.trim_end_matches(|c: char| c.is_ascii_digit());
+        Phoneme::ALL.iter().copied().find(|p| p.symbol() == sym)
+    }
+
+    /// Broad articulatory class.
+    pub fn class(self) -> PhonemeClass {
+        use Phoneme::*;
+        match self {
+            AA | AE | AH | AO | AW | AY | EH | ER | EY | IH | IY | OW | OY | UH | UW => {
+                PhonemeClass::Vowel
+            }
+            B | D | G | K | P | T => PhonemeClass::Stop,
+            CH | JH => PhonemeClass::Affricate,
+            DH | F | S | SH | TH | V | Z | ZH => PhonemeClass::Fricative,
+            HH | W | Y => PhonemeClass::Glide,
+            M | N | NG => PhonemeClass::Nasal,
+            L | R => PhonemeClass::Liquid,
+            SIL => PhonemeClass::Silence,
+        }
+    }
+
+    /// Whether this phoneme is a vowel (mono- or diphthong).
+    pub fn is_vowel(self) -> bool {
+        self.class() == PhonemeClass::Vowel
+    }
+
+    /// Acoustic rendering description (see [`Acoustics`]).
+    pub fn acoustics(self) -> Acoustics {
+        use Phoneme::*;
+        // Helper: pure-formant voiced sound with default amplitudes.
+        fn vowel(f1: f32, f2: f32, f3: f32, dur: f32) -> Acoustics {
+            Acoustics {
+                formants: [(f1, 1.0), (f2, 0.63), (f3, 0.32)],
+                noise_band: (0.0, 0.0, 0.0),
+                voiced: true,
+                duration_ms: dur,
+            }
+        }
+        fn fric(center: f32, bw: f32, voiced: bool, dur: f32) -> Acoustics {
+            Acoustics {
+                formants: if voiced { [(220.0, 0.4), (0.0, 0.0), (0.0, 0.0)] } else { [(0.0, 0.0); 3] },
+                noise_band: (center, bw, 0.8),
+                voiced,
+                duration_ms: dur,
+            }
+        }
+        fn stop(burst: f32, voiced: bool) -> Acoustics {
+            Acoustics {
+                formants: if voiced { [(180.0, 0.5), (0.0, 0.0), (0.0, 0.0)] } else { [(0.0, 0.0); 3] },
+                noise_band: (burst, 900.0, 0.9),
+                voiced,
+                duration_ms: 60.0,
+            }
+        }
+        fn sonorant(f1: f32, f2: f32, f3: f32, dur: f32) -> Acoustics {
+            Acoustics {
+                formants: [(f1, 0.9), (f2, 0.5), (f3, 0.25)],
+                noise_band: (0.0, 0.0, 0.0),
+                voiced: true,
+                duration_ms: dur,
+            }
+        }
+        match self {
+            // Peterson–Barney style vowel targets.
+            AA => vowel(730.0, 1090.0, 2440.0, 140.0),
+            AE => vowel(660.0, 1720.0, 2410.0, 140.0),
+            AH => vowel(640.0, 1190.0, 2390.0, 110.0),
+            AO => vowel(570.0, 840.0, 2410.0, 140.0),
+            AW => vowel(700.0, 1030.0, 2380.0, 170.0), // diphthong midpoint
+            AY => vowel(660.0, 1400.0, 2500.0, 170.0),
+            EH => vowel(530.0, 1840.0, 2480.0, 120.0),
+            ER => vowel(490.0, 1350.0, 1690.0, 130.0),
+            EY => vowel(440.0, 2100.0, 2600.0, 150.0),
+            IH => vowel(390.0, 1990.0, 2550.0, 100.0),
+            IY => vowel(270.0, 2290.0, 3010.0, 120.0),
+            OW => vowel(470.0, 940.0, 2350.0, 150.0),
+            OY => vowel(520.0, 1150.0, 2450.0, 170.0),
+            UH => vowel(440.0, 1020.0, 2240.0, 100.0),
+            UW => vowel(300.0, 870.0, 2240.0, 120.0),
+            // Stops: burst centre frequencies chosen by place of articulation.
+            B => stop(800.0, true),
+            D => stop(2700.0, true),
+            G => stop(1800.0, true),
+            K => stop(2000.0, false),
+            P => stop(900.0, false),
+            T => stop(3200.0, false),
+            // Affricates: stop burst plus sibilant tail.
+            CH => fric(2800.0, 1600.0, false, 90.0),
+            JH => fric(2500.0, 1500.0, true, 90.0),
+            // Fricatives: noise band centres by sibilance.
+            DH => fric(1400.0, 1400.0, true, 70.0),
+            F => fric(4500.0, 2500.0, false, 90.0),
+            S => fric(5500.0, 2000.0, false, 100.0),
+            SH => fric(3300.0, 1800.0, false, 100.0),
+            TH => fric(4900.0, 2600.0, false, 80.0),
+            V => fric(3800.0, 2200.0, true, 70.0),
+            Z => fric(5200.0, 2000.0, true, 90.0),
+            ZH => fric(3000.0, 1700.0, true, 90.0),
+            HH => fric(1600.0, 2400.0, false, 70.0),
+            // Nasals: low first resonance with anti-resonance gap.
+            M => sonorant(250.0, 1100.0, 2100.0, 80.0),
+            N => sonorant(280.0, 1500.0, 2400.0, 80.0),
+            NG => sonorant(260.0, 1300.0, 2000.0, 90.0),
+            // Liquids and glides.
+            L => sonorant(360.0, 1100.0, 2600.0, 80.0),
+            R => sonorant(330.0, 1150.0, 1500.0, 80.0),
+            W => sonorant(300.0, 700.0, 2200.0, 70.0),
+            Y => sonorant(290.0, 2200.0, 2900.0, 70.0),
+            SIL => Acoustics {
+                formants: [(0.0, 0.0); 3],
+                noise_band: (0.0, 0.0, 0.0),
+                voiced: false,
+                duration_ms: 70.0,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Phoneme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn indices_are_dense_and_roundtrip() {
+        for (i, p) in Phoneme::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Phoneme::from_index(i), *p);
+        }
+    }
+
+    #[test]
+    fn symbols_unique_and_parse_roundtrip() {
+        let mut seen = HashSet::new();
+        for p in Phoneme::ALL {
+            assert!(seen.insert(p.symbol()), "duplicate symbol {p}");
+            assert_eq!(Phoneme::parse(p.symbol()), Some(p));
+        }
+        assert_eq!(Phoneme::parse("AA1"), Some(Phoneme::AA));
+        assert_eq!(Phoneme::parse("QQ"), None);
+    }
+
+    #[test]
+    fn vowels_have_formants_and_voicing() {
+        for p in Phoneme::ALL.iter().filter(|p| p.is_vowel()) {
+            let a = p.acoustics();
+            assert!(a.voiced, "{p}");
+            assert!(a.formants[0].0 > 200.0, "{p}");
+            assert!(a.formants[1].0 > a.formants[0].0, "{p} F2 <= F1");
+        }
+    }
+
+    #[test]
+    fn fricatives_have_noise() {
+        for p in [Phoneme::S, Phoneme::SH, Phoneme::F, Phoneme::Z] {
+            let a = p.acoustics();
+            assert!(a.noise_band.2 > 0.0, "{p}");
+            assert!(a.noise_band.0 > 1000.0, "{p}");
+        }
+    }
+
+    #[test]
+    fn acoustic_signatures_are_pairwise_distinct() {
+        // The acoustic model can only discriminate phonemes whose spectral
+        // descriptions differ; enforce that no two non-silence phonemes share
+        // an identical description.
+        let all: Vec<_> = Phoneme::ALL
+            .iter()
+            .filter(|p| **p != Phoneme::SIL)
+            .map(|p| {
+                let a = p.acoustics();
+                (
+                    a.formants.map(|(f, amp)| ((f * 10.0) as i64, (amp * 100.0) as i64)),
+                    ((a.noise_band.0 * 10.0) as i64, (a.noise_band.1 * 10.0) as i64),
+                    a.voiced,
+                )
+            })
+            .collect();
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j], "{} vs {}", Phoneme::ALL[i], Phoneme::ALL[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn durations_positive() {
+        for p in Phoneme::ALL {
+            assert!(p.acoustics().duration_ms > 0.0, "{p}");
+        }
+    }
+
+    #[test]
+    fn class_partition_counts() {
+        let vowels = Phoneme::ALL.iter().filter(|p| p.is_vowel()).count();
+        assert_eq!(vowels, 15);
+        assert_eq!(Phoneme::COUNT, 40);
+    }
+}

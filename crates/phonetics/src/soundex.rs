@@ -1,0 +1,188 @@
+//! American Soundex and Refined Soundex phonetic encodings.
+
+use crate::encode::PhoneticEncoder;
+
+fn soundex_digit(c: char) -> Option<char> {
+    match c {
+        'b' | 'f' | 'p' | 'v' => Some('1'),
+        'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => Some('2'),
+        'd' | 't' => Some('3'),
+        'l' => Some('4'),
+        'm' | 'n' => Some('5'),
+        'r' => Some('6'),
+        _ => None, // vowels, h, w, y and non-letters
+    }
+}
+
+/// Classic four-character American Soundex.
+///
+/// ```
+/// use mvp_phonetics::{PhoneticEncoder, Soundex};
+/// let s = Soundex::default();
+/// assert_eq!(s.encode_word("Robert"), "R163");
+/// assert_eq!(s.encode_word("Rupert"), "R163");
+/// assert_eq!(s.encode_word("Ashcraft"), "A261");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Soundex;
+
+impl PhoneticEncoder for Soundex {
+    fn encode_word(&self, word: &str) -> String {
+        let letters: Vec<char> = word
+            .chars()
+            .filter(|c| c.is_ascii_alphabetic())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        let Some(&first) = letters.first() else {
+            return String::new();
+        };
+        let mut code = String::with_capacity(4);
+        code.push(first.to_ascii_uppercase());
+        let mut prev_digit = soundex_digit(first);
+        for &c in &letters[1..] {
+            let digit = soundex_digit(c);
+            match digit {
+                Some(d) => {
+                    // Consecutive identical codes collapse; 'h'/'w' between
+                    // identical codes also collapse (handled by not clearing
+                    // prev on h/w below).
+                    if prev_digit != Some(d) {
+                        code.push(d);
+                        if code.len() == 4 {
+                            break;
+                        }
+                    }
+                    prev_digit = Some(d);
+                }
+                None => {
+                    // Vowels reset the separator rule; h/w do not.
+                    if !matches!(c, 'h' | 'w') {
+                        prev_digit = None;
+                    }
+                }
+            }
+        }
+        while code.len() < 4 {
+            code.push('0');
+        }
+        code
+    }
+
+    fn name(&self) -> &'static str {
+        "Soundex"
+    }
+}
+
+fn refined_digit(c: char) -> Option<char> {
+    match c {
+        'b' | 'p' => Some('1'),
+        'f' | 'v' => Some('2'),
+        'c' | 'k' | 's' => Some('3'),
+        'g' | 'j' => Some('4'),
+        'q' | 'x' | 'z' => Some('5'),
+        'd' | 't' => Some('6'),
+        'l' => Some('7'),
+        'm' | 'n' => Some('8'),
+        'r' => Some('9'),
+        'a' | 'e' | 'i' | 'o' | 'u' | 'y' | 'h' | 'w' => Some('0'),
+        _ => None,
+    }
+}
+
+/// Refined Soundex: finer-grained consonant classes, unlimited length,
+/// vowels encoded as `0`.
+///
+/// ```
+/// use mvp_phonetics::{PhoneticEncoder, RefinedSoundex};
+/// let r = RefinedSoundex::default();
+/// assert_eq!(r.encode_word("Braz"), "B1905");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefinedSoundex;
+
+impl PhoneticEncoder for RefinedSoundex {
+    fn encode_word(&self, word: &str) -> String {
+        let letters: Vec<char> = word
+            .chars()
+            .filter(|c| c.is_ascii_alphabetic())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        let Some(&first) = letters.first() else {
+            return String::new();
+        };
+        let mut code = String::new();
+        code.push(first.to_ascii_uppercase());
+        let mut prev = None;
+        for &c in &letters {
+            let d = refined_digit(c);
+            if let Some(d) = d {
+                if prev != Some(d) {
+                    code.push(d);
+                }
+                prev = Some(d);
+            }
+        }
+        code
+    }
+
+    fn name(&self) -> &'static str {
+        "RefinedSoundex"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_soundex_values() {
+        let s = Soundex;
+        for (word, code) in [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"),
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),
+            ("Pfister", "P236"),
+            ("Honeyman", "H555"),
+        ] {
+            assert_eq!(s.encode_word(word), code, "{word}");
+        }
+    }
+
+    #[test]
+    fn empty_and_nonalpha() {
+        assert_eq!(Soundex.encode_word(""), "");
+        assert_eq!(Soundex.encode_word("123"), "");
+        assert_eq!(RefinedSoundex.encode_word(""), "");
+    }
+
+    #[test]
+    fn refined_distinguishes_what_soundex_merges() {
+        // d/t vs l are separate classes in both, but b/p vs f/v split only
+        // in refined soundex.
+        assert_eq!(Soundex.encode_word("bat"), Soundex.encode_word("fat").replace('F', "B"));
+        assert_ne!(
+            RefinedSoundex.encode_word("bat").trim_start_matches('B'),
+            RefinedSoundex.encode_word("fat").trim_start_matches('F'),
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn soundex_shape(word in "[a-zA-Z]{1,16}") {
+            let code = Soundex.encode_word(&word);
+            prop_assert_eq!(code.len(), 4);
+            let mut chars = code.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+            prop_assert!(chars.all(|c| c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn refined_starts_with_letter(word in "[a-zA-Z]{1,16}") {
+            let code = RefinedSoundex.encode_word(&word);
+            prop_assert!(code.chars().next().unwrap().is_ascii_uppercase());
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Cosine similarity over term-frequency vectors of word tokens.
+
+use std::collections::HashMap;
+
+use crate::tokenize::tokens;
+
+fn term_freq(s: &str) -> HashMap<String, f64> {
+    let mut tf = HashMap::new();
+    for t in tokens(s) {
+        *tf.entry(t).or_insert(0.0) += 1.0;
+    }
+    tf
+}
+
+/// Cosine similarity of the token term-frequency vectors of `a` and `b`.
+///
+/// Two empty transcriptions score `1`; an empty vs non-empty pair scores `0`.
+///
+/// ```
+/// use mvp_textsim::cosine_similarity;
+/// let s = cosine_similarity("play some music", "play some jazz music");
+/// assert!(s > 0.8 && s < 1.0);
+/// ```
+pub fn cosine_similarity(a: &str, b: &str) -> f64 {
+    let ta = term_freq(a);
+    let tb = term_freq(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let dot: f64 = ta
+        .iter()
+        .filter_map(|(k, va)| tb.get(k).map(|vb| va * vb))
+        .sum();
+    let na: f64 = ta.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = tb.values().map(|v| v * v).sum::<f64>().sqrt();
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orthogonal_is_zero() {
+        assert_eq!(cosine_similarity("red green", "blue yellow"), 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplicity_is_one() {
+        // TF vectors that are scalar multiples have cosine 1.
+        assert!((cosine_similarity("go go", "go") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_half() {
+        // "a b" vs "a c": dot = 1, norms = sqrt(2) each -> 0.5.
+        assert!((cosine_similarity("a b", "a c") - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_symmetric(a in "[a-d ]{0,30}", b in "[a-d ]{0,30}") {
+            let s = cosine_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - cosine_similarity(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

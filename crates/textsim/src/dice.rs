@@ -1,0 +1,71 @@
+//! Sørensen–Dice coefficient over character bigrams.
+
+use std::collections::HashMap;
+
+use crate::tokenize::char_ngrams;
+
+/// Sørensen–Dice coefficient of the character-bigram multisets of `a` and
+/// `b`: `2 |A ∩ B| / (|A| + |B|)`.
+///
+/// Multiplicity is respected (multiset intersection). Two empty strings
+/// score `1`.
+///
+/// ```
+/// use mvp_textsim::dice_coefficient;
+/// assert!((dice_coefficient("night", "nacht") - 0.25).abs() < 1e-12);
+/// ```
+pub fn dice_coefficient(a: &str, b: &str) -> f64 {
+    let ga = char_ngrams(a, 2);
+    let gb = char_ngrams(b, 2);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for g in &ga {
+        *counts.entry(g.as_str()).or_insert(0) += 1;
+    }
+    let mut inter = 0usize;
+    for g in &gb {
+        if let Some(c) = counts.get_mut(g.as_str()) {
+            if *c > 0 {
+                *c -= 1;
+                inter += 1;
+            }
+        }
+    }
+    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_is_one() {
+        assert_eq!(dice_coefficient("sequence", "sequence"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(dice_coefficient("aaaa", "bbbb"), 0.0);
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        // "aaa" has bigrams {aa, aa}; "aa" has {aa}: 2*1/(2+1).
+        assert!((dice_coefficient("aaa", "aa") - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_symmetric(a in "[a-d]{0,20}", b in "[a-d]{0,20}") {
+            let s = dice_coefficient(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - dice_coefficient(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

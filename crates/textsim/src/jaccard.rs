@@ -1,0 +1,89 @@
+//! Jaccard index over token sets and character n-gram sets.
+
+use std::collections::HashSet;
+
+use crate::tokenize::{char_ngrams, tokens};
+
+fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Jaccard index over word-token sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// Two empty transcriptions are defined to be identical (score `1`), which
+/// matters for silent audio where every ASR outputs nothing.
+///
+/// ```
+/// use mvp_textsim::jaccard_tokens;
+/// assert_eq!(jaccard_tokens("open the door", "close the door"), 0.5);
+/// ```
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = tokens(a).into_iter().collect();
+    let sb: HashSet<String> = tokens(b).into_iter().collect();
+    jaccard_sets(&sa, &sb)
+}
+
+/// Jaccard index over character `n`-gram sets, useful for transcription
+/// pairs that differ only in word segmentation.
+///
+/// ```
+/// use mvp_textsim::jaccard_chars;
+/// assert!(jaccard_chars("nightrate", "night rate", 2) > 0.9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn jaccard_chars(a: &str, b: &str, n: usize) -> f64 {
+    let sa: HashSet<String> = char_ngrams(a, n).into_iter().collect();
+    let sb: HashSet<String> = char_ngrams(b, n).into_iter().collect();
+    jaccard_sets(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(jaccard_tokens("alpha beta", "gamma delta"), 0.0);
+    }
+
+    #[test]
+    fn repeated_words_ignored() {
+        // Set semantics: multiplicity does not matter.
+        assert_eq!(jaccard_tokens("go go go", "go"), 1.0);
+    }
+
+    #[test]
+    fn empty_pairs() {
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("word", ""), 0.0);
+    }
+
+    #[test]
+    fn char_grams_tolerate_segmentation() {
+        let joined = jaccard_chars("turnon", "turn on", 2);
+        let token_level = jaccard_tokens("turnon", "turn on");
+        assert!(joined > token_level);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_symmetric(a in "[a-d ]{0,30}", b in "[a-d ]{0,30}") {
+            let s = jaccard_tokens(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - jaccard_tokens(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

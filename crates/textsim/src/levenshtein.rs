@@ -1,0 +1,89 @@
+//! Levenshtein edit distance and its normalised similarity form.
+
+/// Computes the Levenshtein (edit) distance between `a` and `b` over Unicode
+/// scalar values, using the classic two-row dynamic program.
+///
+/// ```
+/// use mvp_textsim::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalised Levenshtein similarity: `1 - dist / max(|a|, |b|)`.
+///
+/// Two empty strings are defined to have similarity `1`.
+///
+/// ```
+/// use mvp_textsim::levenshtein_similarity;
+/// assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+/// assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+/// ```
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("a", "a"), 0);
+    }
+
+    #[test]
+    fn unicode_counts_scalars() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_metric_like(a in "[a-c]{0,12}", b in "[a-c]{0,12}", c in "[a-c]{0,12}") {
+            let ab = levenshtein(&a, &b);
+            let ba = levenshtein(&b, &a);
+            prop_assert_eq!(ab, ba);
+            // triangle inequality
+            prop_assert!(levenshtein(&a, &c) <= ab + levenshtein(&b, &c));
+            // identity of indiscernibles
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            if ab == 0 { prop_assert_eq!(&a, &b); }
+        }
+
+        #[test]
+        fn distance_bounded_by_longer(a in "[a-z]{0,16}", b in "[a-z]{0,16}") {
+            let d = levenshtein(&a, &b);
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            prop_assert!(d <= la.max(lb));
+            prop_assert!(d >= la.abs_diff(lb));
+        }
+    }
+}

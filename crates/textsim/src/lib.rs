@@ -1,0 +1,156 @@
+#![warn(missing_docs)]
+
+//! String-similarity measures used by the MVP-EARS similarity-calculation
+//! component.
+//!
+//! The detection system of the paper compares the transcription produced by
+//! the *target* ASR against each *auxiliary* ASR transcription and reduces
+//! every pair to a similarity score in `[0, 1]`. Section V-D of the paper
+//! evaluates Cosine similarity, the Jaccard index and the Jaro-Winkler edit
+//! distance (each optionally applied on phonetic encodings); this crate
+//! implements those plus Levenshtein, Sørensen–Dice and word-error-rate,
+//! which the evaluation harness uses to construct non-targeted AEs and
+//! to validate decoder quality.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvp_textsim::{jaro_winkler, Similarity};
+//!
+//! let s = jaro_winkler("open the front door", "open the back door");
+//! assert!(s > 0.8 && s < 1.0);
+//!
+//! // Every measure is also available through the `Similarity` enum, which is
+//! // what the detection system stores in its configuration.
+//! let m = Similarity::JaroWinkler;
+//! assert_eq!(m.score("hello", "hello"), 1.0);
+//! ```
+
+pub mod cosine;
+pub mod dice;
+pub mod jaccard;
+pub mod jaro;
+pub mod levenshtein;
+pub mod tokenize;
+pub mod wer;
+
+pub use cosine::cosine_similarity;
+pub use dice::dice_coefficient;
+pub use jaccard::{jaccard_chars, jaccard_tokens};
+pub use jaro::{jaro, jaro_winkler};
+pub use levenshtein::{levenshtein, levenshtein_similarity};
+pub use tokenize::{char_ngrams, tokens};
+pub use wer::{wer, word_alignment, AlignOp};
+
+/// A string-similarity measure selectable at runtime.
+///
+/// All variants produce a score in `[0, 1]` where `1` means identical and
+/// `0` means maximally dissimilar; this is the contract the binary
+/// classifier of the detection system relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Similarity {
+    /// Cosine similarity over word-token term-frequency vectors.
+    Cosine,
+    /// Jaccard index over word-token sets.
+    Jaccard,
+    /// Jaro-Winkler string distance (the method the paper adopts).
+    JaroWinkler,
+    /// Normalised Levenshtein similarity (`1 - dist/max_len`).
+    Levenshtein,
+    /// Sørensen–Dice coefficient over character bigrams.
+    Dice,
+}
+
+impl Similarity {
+    /// All measures, in the order they appear in the paper's Table III.
+    pub const ALL: [Similarity; 5] = [
+        Similarity::Cosine,
+        Similarity::Jaccard,
+        Similarity::JaroWinkler,
+        Similarity::Levenshtein,
+        Similarity::Dice,
+    ];
+
+    /// Computes the similarity of `a` and `b` under this measure.
+    ///
+    /// ```
+    /// use mvp_textsim::Similarity;
+    /// assert!(Similarity::Cosine.score("turn on the light", "turn off the light") > 0.5);
+    /// ```
+    pub fn score(self, a: &str, b: &str) -> f64 {
+        match self {
+            Similarity::Cosine => cosine_similarity(a, b),
+            Similarity::Jaccard => jaccard_tokens(a, b),
+            Similarity::JaroWinkler => jaro_winkler(a, b),
+            Similarity::Levenshtein => levenshtein_similarity(a, b),
+            Similarity::Dice => dice_coefficient(a, b),
+        }
+    }
+
+    /// A short stable name used in experiment-table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Similarity::Cosine => "Cosine",
+            Similarity::Jaccard => "Jaccard",
+            Similarity::JaroWinkler => "JaroWinkler",
+            Similarity::Levenshtein => "Levenshtein",
+            Similarity::Dice => "Dice",
+        }
+    }
+}
+
+impl std::fmt::Display for Similarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_measures_identity_is_one() {
+        for m in Similarity::ALL {
+            assert_eq!(m.score("the quick brown fox", "the quick brown fox"), 1.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn all_measures_disjoint_is_low() {
+        // Character-level measures still see the shared space / length
+        // structure, so the bound is loose; token-set measures must be 0.
+        for m in Similarity::ALL {
+            let s = m.score("aaaa bbbb", "cccc dddd");
+            assert!(s <= 0.45, "{m} gave {s}");
+        }
+        assert_eq!(Similarity::Jaccard.score("aaaa bbbb", "cccc dddd"), 0.0);
+        assert_eq!(Similarity::Cosine.score("aaaa bbbb", "cccc dddd"), 0.0);
+        assert_eq!(Similarity::Dice.score("aaaa bbbb", "cccc dddd"), 0.0);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Similarity::JaroWinkler.to_string(), "JaroWinkler");
+    }
+
+    proptest! {
+        #[test]
+        fn scores_bounded_and_symmetric(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+            for m in Similarity::ALL {
+                let s1 = m.score(&a, &b);
+                let s2 = m.score(&b, &a);
+                prop_assert!((0.0..=1.0).contains(&s1), "{m}: {s1}");
+                prop_assert!((s1 - s2).abs() < 1e-12, "{m} not symmetric: {s1} vs {s2}");
+            }
+        }
+
+        #[test]
+        fn identity_is_one_prop(a in "[a-z]{1,20}( [a-z]{1,20}){0,5}") {
+            for m in Similarity::ALL {
+                prop_assert!((m.score(&a, &a) - 1.0).abs() < 1e-12, "{m}");
+            }
+        }
+    }
+}

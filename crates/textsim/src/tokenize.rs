@@ -1,0 +1,105 @@
+//! Tokenisation helpers shared by the similarity measures.
+
+/// Splits `s` into lowercase word tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters or apostrophes; all
+/// punctuation the cloud ASRs of the paper emit (`.`, `,`, `?`) is stripped,
+/// which mirrors the paper's normalisation before similarity calculation.
+///
+/// ```
+/// use mvp_textsim::tokens;
+/// assert_eq!(tokens("I wish you wouldn't."), vec!["i", "wish", "you", "wouldn't"]);
+/// ```
+pub fn tokens(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() || ch == '\'' {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Returns the character `n`-grams of `s` (after lowercasing and removing
+/// whitespace), preserving multiplicity.
+///
+/// Strings shorter than `n` yield a single truncated gram so that non-empty
+/// inputs never produce an empty gram set.
+///
+/// ```
+/// use mvp_textsim::char_ngrams;
+/// assert_eq!(char_ngrams("abc d", 2), vec!["ab", "bc", "cd"]);
+/// assert_eq!(char_ngrams("a", 2), vec!["a"]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram size must be positive");
+    let chars: Vec<char> = s
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .flat_map(|c| c.to_lowercase())
+        .collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() < n {
+        return vec![chars.iter().collect()];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_strip_punctuation_and_case() {
+        assert_eq!(tokens("Open, the FRONT door!"), vec!["open", "the", "front", "door"]);
+    }
+
+    #[test]
+    fn tokens_empty_input() {
+        assert!(tokens("").is_empty());
+        assert!(tokens("  ...  ").is_empty());
+    }
+
+    #[test]
+    fn tokens_keep_apostrophes() {
+        assert_eq!(tokens("don't"), vec!["don't"]);
+    }
+
+    #[test]
+    fn tokens_handle_unicode_case_folding() {
+        assert_eq!(tokens("Straße RENNEN"), vec!["straße", "rennen"]);
+        assert_eq!(tokens("İstanbul"), vec!["i\u{307}stanbul"]);
+    }
+
+    #[test]
+    fn ngrams_cross_word_boundaries() {
+        // Whitespace is removed before forming grams.
+        assert_eq!(char_ngrams("to do", 3), vec!["tod", "odo"]);
+    }
+
+    #[test]
+    fn ngrams_empty() {
+        assert!(char_ngrams("", 2).is_empty());
+        assert!(char_ngrams("   ", 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ngrams_zero_panics() {
+        char_ngrams("abc", 0);
+    }
+}

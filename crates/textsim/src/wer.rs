@@ -1,0 +1,164 @@
+//! Word-error-rate and word-level alignment.
+//!
+//! Section V-J of the paper constructs non-targeted AEs by adding noise
+//! until the transcription's WER against the reference exceeds 80 %; the
+//! evaluation harness uses this module both for that construction and for
+//! validating the simulated ASR profiles' benign accuracy.
+
+/// One edit operation in a word-level alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignOp {
+    /// Reference word matched hypothesis word.
+    Correct,
+    /// Hypothesis word replaced a reference word.
+    Substitution,
+    /// Reference word missing from hypothesis.
+    Deletion,
+    /// Extra hypothesis word.
+    Insertion,
+}
+
+/// Computes the minimum-edit word alignment between `reference` and
+/// `hypothesis` token slices.
+///
+/// Ties are broken preferring substitutions, then deletions, then
+/// insertions, matching the standard NIST sclite convention closely enough
+/// for WER purposes.
+pub fn word_alignment(reference: &[String], hypothesis: &[String]) -> Vec<AlignOp> {
+    let n = reference.len();
+    let m = hypothesis.len();
+    // dp[i][j] = edit distance between reference[..i] and hypothesis[..j].
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = dp[i - 1][j - 1] + usize::from(reference[i - 1] != hypothesis[j - 1]);
+            dp[i][j] = sub.min(dp[i - 1][j] + 1).min(dp[i][j - 1] + 1);
+        }
+    }
+    // Backtrace.
+    let mut ops = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 {
+            let cost = usize::from(reference[i - 1] != hypothesis[j - 1]);
+            if dp[i][j] == dp[i - 1][j - 1] + cost {
+                ops.push(if cost == 0 { AlignOp::Correct } else { AlignOp::Substitution });
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && dp[i][j] == dp[i - 1][j] + 1 {
+            ops.push(AlignOp::Deletion);
+            i -= 1;
+        } else {
+            ops.push(AlignOp::Insertion);
+            j -= 1;
+        }
+    }
+    ops.reverse();
+    ops
+}
+
+/// Word error rate of `hypothesis` against `reference`:
+/// `(S + D + I) / N` where `N` is the reference word count.
+///
+/// An empty reference yields `0.0` for an empty hypothesis and `1.0`
+/// otherwise (every inserted word is an error, capped at 1 per convention of
+/// bounded scores used elsewhere in this workspace — note real WER may
+/// exceed 1; use [`word_alignment`] if you need raw counts).
+///
+/// ```
+/// use mvp_textsim::wer;
+/// let w = wer("turn on the kitchen light", "turn off the light");
+/// assert!(w > 0.3 && w < 0.7);
+/// assert_eq!(wer("hello world", "hello world"), 0.0);
+/// ```
+pub fn wer(reference: &str, hypothesis: &str) -> f64 {
+    let r = crate::tokenize::tokens(reference);
+    let h = crate::tokenize::tokens(hypothesis);
+    if r.is_empty() {
+        return if h.is_empty() { 0.0 } else { 1.0 };
+    }
+    let ops = word_alignment(&r, &h);
+    let errors = ops.iter().filter(|op| !matches!(op, AlignOp::Correct)).count();
+    errors as f64 / r.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize::tokens(s)
+    }
+
+    #[test]
+    fn perfect_hypothesis_zero_wer() {
+        assert_eq!(wer("open the front door", "open the front door"), 0.0);
+    }
+
+    #[test]
+    fn all_substitutions() {
+        assert_eq!(wer("a b c", "x y z"), 1.0);
+    }
+
+    #[test]
+    fn deletion_counts() {
+        assert!((wer("a b c d", "a c d") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_counts() {
+        assert!((wer("a b", "a x b") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_ops_roundtrip_lengths() {
+        let r = toks("the cat sat on the mat");
+        let h = toks("the cat on a mat");
+        let ops = word_alignment(&r, &h);
+        let ref_consumed = ops
+            .iter()
+            .filter(|o| !matches!(o, AlignOp::Insertion))
+            .count();
+        let hyp_consumed = ops
+            .iter()
+            .filter(|o| !matches!(o, AlignOp::Deletion))
+            .count();
+        assert_eq!(ref_consumed, r.len());
+        assert_eq!(hyp_consumed, h.len());
+    }
+
+    proptest! {
+        #[test]
+        fn wer_zero_iff_equal_tokens(a in "[a-c]( [a-c]){0,6}", b in "[a-c]( [a-c]){0,6}") {
+            let w = wer(&a, &b);
+            prop_assert!(w >= 0.0);
+            if toks(&a) == toks(&b) {
+                prop_assert_eq!(w, 0.0);
+            } else {
+                prop_assert!(w > 0.0);
+            }
+        }
+
+        #[test]
+        fn alignment_consumes_everything(
+            a in proptest::collection::vec("[a-c]{1,3}", 0..8),
+            b in proptest::collection::vec("[a-c]{1,3}", 0..8),
+        ) {
+            let ops = word_alignment(&a, &b);
+            let rc = ops.iter().filter(|o| !matches!(o, AlignOp::Insertion)).count();
+            let hc = ops.iter().filter(|o| !matches!(o, AlignOp::Deletion)).count();
+            prop_assert_eq!(rc, a.len());
+            prop_assert_eq!(hc, b.len());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build an MVP-EARS detector, craft one adversarial example,
+//! and watch the detector catch it.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mvp_asr::{Asr, AsrProfile};
+use mvp_attack::{whitebox_attack, WhiteBoxConfig};
+use mvp_corpus::{CorpusBuilder, CorpusConfig};
+use mvp_ears::DetectionSystem;
+use mvp_ml::ClassifierKind;
+
+fn main() {
+    // 1. A detection system: target DS0, auxiliary DS1 (both train on the
+    //    first call and are cached process-wide).
+    println!("training ASR profiles (one-time, a few seconds each)...");
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(AsrProfile::Ds1)
+        .build();
+    println!("system: {}", system.name());
+
+    // 2. A small benign corpus and one white-box AE for training/demo.
+    let corpus = CorpusBuilder::new(CorpusConfig {
+        size: 12,
+        seed: 7,
+        ..CorpusConfig::default()
+    })
+    .build();
+    let benign: Vec<_> = corpus.utterances().iter().map(|u| u.wave.clone()).collect();
+
+    println!("crafting a white-box AE (host: {:?})...", corpus.utterances()[0].text);
+    let ds0 = AsrProfile::Ds0.trained();
+    let attack = whitebox_attack(
+        &ds0,
+        &corpus.utterances()[0].wave,
+        "open the front door",
+        &WhiteBoxConfig::default(),
+    );
+    println!("attack outcome: {attack}");
+    assert!(attack.success, "demo attack unexpectedly failed");
+
+    // 3. Train the binary classifier on similarity-score vectors.
+    let benign_scores: Vec<Vec<f64>> =
+        benign.iter().map(|w| system.score_vector(w)).collect();
+    let ae_scores = vec![system.score_vector(&attack.adversarial)];
+    system.train_on_scores(&benign_scores, &ae_scores, ClassifierKind::Svm);
+
+    // 4. Detect.
+    let verdict = system.detect(&attack.adversarial);
+    println!("\nAE verdict: adversarial = {}", verdict.is_adversarial);
+    println!("  target   ({}) heard: {:?}", ds0.name(), verdict.target_transcription);
+    println!("  auxiliary heard:          {:?}", verdict.auxiliary_transcriptions[0]);
+    println!("  similarity scores: {:?}", verdict.scores);
+
+    let clean = system.detect(&benign[1]);
+    println!("\nbenign verdict: adversarial = {}", clean.is_adversarial);
+    println!("  similarity scores: {:?}", clean.scores);
+
+    assert!(verdict.is_adversarial && !clean.is_adversarial);
+    println!("\nMVP-EARS caught the AE and passed the benign sample.");
+}

@@ -1,0 +1,85 @@
+//! Smart-home scenario from the paper's introduction: an adversary embeds
+//! "open the front door" into innocuous audio played near a voice-controlled
+//! home, and the MVP-EARS detector guarding the assistant refuses it.
+//!
+//! Uses the full three-auxiliary system DS0+{DS1, GCS, AT} — the paper's
+//! best configuration (99.88% accuracy).
+//!
+//! Run with `cargo run --release --example smart_home`.
+
+use mvp_asr::{Asr, AsrProfile};
+use mvp_attack::{whitebox_attack, WhiteBoxConfig};
+use mvp_corpus::{CorpusBuilder, CorpusConfig};
+use mvp_ears::DetectionSystem;
+use mvp_ml::ClassifierKind;
+
+/// Commands a smart home must never accept from unverified audio.
+const DANGEROUS: [&str; 3] =
+    ["open the front door", "unlock the garage", "turn off the alarm"];
+
+fn main() {
+    println!("training the four ASR profiles (one-time)...");
+    let mut guard = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(AsrProfile::Ds1)
+        .auxiliary(AsrProfile::Gcs)
+        .auxiliary(AsrProfile::At)
+        .build();
+    println!("guard system: {}\n", guard.name());
+
+    // Household audio the assistant normally hears.
+    let household = CorpusBuilder::new(CorpusConfig {
+        size: 16,
+        seed: 99,
+        ..CorpusConfig::default()
+    })
+    .build();
+
+    // Train the guard: benign household audio vs a handful of crafted AEs.
+    let ds0 = AsrProfile::Ds0.trained();
+    println!("crafting {} training AEs...", DANGEROUS.len());
+    let mut ae_scores = Vec::new();
+    for (i, cmd) in DANGEROUS.iter().enumerate() {
+        let host = &household.utterances()[i].wave;
+        let out = whitebox_attack(&ds0, host, cmd, &WhiteBoxConfig::default());
+        if out.success {
+            ae_scores.push(guard.score_vector(&out.adversarial));
+        }
+    }
+    let benign_scores: Vec<Vec<f64>> = household
+        .utterances()
+        .iter()
+        .skip(DANGEROUS.len())
+        .map(|u| guard.score_vector(&u.wave))
+        .collect();
+    guard.train_on_scores(&benign_scores, &ae_scores, ClassifierKind::Svm);
+
+    // The actual attack: a *fresh* AE on unseen household audio.
+    let fresh_host = &household.utterances()[DANGEROUS.len() + 1];
+    println!(
+        "\nadversary plays audio that sounds like {:?}...",
+        fresh_host.text
+    );
+    let attack = whitebox_attack(
+        &ds0,
+        &fresh_host.wave,
+        "open the front door",
+        &WhiteBoxConfig::default(),
+    );
+    if !attack.success {
+        println!("(the attack itself failed; the door stays shut trivially)");
+        return;
+    }
+    println!("the assistant's own ASR ({}) hears: {:?}", ds0.name(), attack.final_transcription);
+
+    let verdict = guard.detect(&attack.adversarial);
+    println!("\nMVP-EARS verdict: adversarial = {}", verdict.is_adversarial);
+    for (asr, text) in ["DS1", "GCS", "AT"].iter().zip(&verdict.auxiliary_transcriptions) {
+        println!("  {asr} heard {text:?}");
+    }
+    println!("  similarity scores: {:?}", verdict.scores);
+    if verdict.is_adversarial {
+        println!("\ncommand rejected — the front door stays locked.");
+    } else {
+        println!("\ncommand accepted — detection failed on this sample!");
+    }
+}

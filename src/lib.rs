@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! Facade crate re-exporting the MVP-EARS reproduction workspace.
+//!
+//! Downstream users normally depend on [`mvp_ears`] directly; this package
+//! exists so that the repository-level `examples/` and `tests/` can exercise
+//! every crate through one import.
+
+pub use mvp_asr as asr;
+pub use mvp_attack as attack;
+pub use mvp_audio as audio;
+pub use mvp_corpus as corpus;
+pub use mvp_dsp as dsp;
+pub use mvp_ears as ears;
+pub use mvp_ml as ml;
+pub use mvp_phonetics as phonetics;
+pub use mvp_textsim as textsim;

@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: the full pipeline from text to audio to
+//! attack to detection, exercised end to end.
+//!
+//! All tests live in one binary so the process-wide trained-ASR cache is
+//! shared (each profile trains once, in seconds).
+
+use mvp_ears_suite::asr::{Asr, AsrProfile};
+use mvp_ears_suite::attack::{whitebox_attack, AeKind, WhiteBoxConfig};
+use mvp_ears_suite::audio::synth::{SpeakerProfile, Synthesizer};
+use mvp_ears_suite::corpus::{CorpusBuilder, CorpusConfig};
+use mvp_ears_suite::ears::eval::ScorePools;
+use mvp_ears_suite::ears::{synthesize_mae, DetectionSystem, MaeType, SimilarityMethod, ThresholdDetector};
+use mvp_ears_suite::ml::ClassifierKind;
+use mvp_ears_suite::phonetics::Lexicon;
+use mvp_ears_suite::textsim::wer;
+
+fn speak(text: &str) -> mvp_ears_suite::audio::Waveform {
+    let synth = Synthesizer::new(16_000);
+    let (w, _) = synth.synthesize(&Lexicon::builtin(), text, &SpeakerProfile::default());
+    w
+}
+
+#[test]
+fn every_profile_transcribes_clean_speech() {
+    // The weak Kaldi profile is excluded: it is deliberately inaccurate.
+    let text = "the man walked the street";
+    let wave = speak(text);
+    for profile in [AsrProfile::Ds0, AsrProfile::Ds1, AsrProfile::Gcs, AsrProfile::At] {
+        let hyp = profile.trained().transcribe(&wave);
+        assert!(
+            wer(text, &hyp) <= 0.4,
+            "{profile}: heard {hyp:?} for {text:?}"
+        );
+    }
+}
+
+#[test]
+fn homophones_yield_identical_transcripts_across_asrs() {
+    // "i see the sea" and "i sea the see" synthesize to identical audio, so
+    // every ASR must transcribe them identically — the situation phonetic
+    // encoding is designed for.
+    let a = speak("i see the sea");
+    let b = speak("i sea the see");
+    assert_eq!(a, b);
+    let ds0 = AsrProfile::Ds0.trained();
+    assert_eq!(ds0.transcribe(&a), ds0.transcribe(&b));
+}
+
+#[test]
+fn benign_similarity_scores_are_high_everywhere() {
+    let system = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(AsrProfile::Ds1)
+        .auxiliary(AsrProfile::Gcs)
+        .auxiliary(AsrProfile::At)
+        .build();
+    let corpus =
+        CorpusBuilder::new(CorpusConfig { size: 5, seed: 77, ..CorpusConfig::default() }).build();
+    for u in corpus.utterances() {
+        let scores = system.score_vector(&u.wave);
+        assert_eq!(scores.len(), 3);
+        for (i, &s) in scores.iter().enumerate() {
+            assert!(s > 0.6, "aux {i} scored {s} on benign {:?}", u.text);
+        }
+    }
+}
+
+#[test]
+fn end_to_end_attack_and_detection() {
+    let mut system =
+        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Gcs).build();
+    let corpus =
+        CorpusBuilder::new(CorpusConfig { size: 8, seed: 3, ..CorpusConfig::default() }).build();
+    let ds0 = AsrProfile::Ds0.trained();
+
+    let attack = whitebox_attack(
+        &ds0,
+        &corpus.utterances()[0].wave,
+        "unlock the garage",
+        &WhiteBoxConfig::default(),
+    );
+    assert!(attack.success, "attack failed: {attack}");
+
+    let benign_scores: Vec<Vec<f64>> = corpus
+        .utterances()
+        .iter()
+        .skip(1)
+        .map(|u| system.score_vector(&u.wave))
+        .collect();
+    let ae_scores = vec![system.score_vector(&attack.adversarial)];
+    system.train_on_scores(&benign_scores, &ae_scores, ClassifierKind::Svm);
+
+    assert!(system.detect(&attack.adversarial).is_adversarial);
+    assert!(!system.detect(&corpus.utterances()[2].wave).is_adversarial);
+}
+
+#[test]
+fn threshold_detector_catches_unseen_ae() {
+    let system =
+        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::At).build();
+    let corpus =
+        CorpusBuilder::new(CorpusConfig { size: 10, seed: 9, ..CorpusConfig::default() }).build();
+    let benign: Vec<f64> = corpus
+        .utterances()
+        .iter()
+        .map(|u| system.score_vector(&u.wave)[0])
+        .collect();
+    let det = ThresholdDetector::fit_benign(&benign, 0.2);
+
+    let ds0 = AsrProfile::Ds0.trained();
+    let attack = whitebox_attack(
+        &ds0,
+        &speak("the teacher found the answer"),
+        "delete all files",
+        &WhiteBoxConfig::default(),
+    );
+    assert!(attack.success);
+    let ae_score = system.score_vector(&attack.adversarial)[0];
+    assert!(
+        det.is_adversarial(ae_score),
+        "AE score {ae_score} above threshold {}",
+        det.threshold()
+    );
+}
+
+#[test]
+fn mae_pipeline_from_real_pools() {
+    let system = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(AsrProfile::Ds1)
+        .auxiliary(AsrProfile::Gcs)
+        .auxiliary(AsrProfile::At)
+        .build();
+    let corpus =
+        CorpusBuilder::new(CorpusConfig { size: 6, seed: 21, ..CorpusConfig::default() }).build();
+    let benign: Vec<Vec<f64>> =
+        corpus.utterances().iter().map(|u| system.score_vector(&u.wave)).collect();
+    // A crude attack pool: pairwise-dissimilar transcripts scored directly.
+    let method = SimilarityMethod::default();
+    let attack_pool: Vec<Vec<f64>> = (0..4)
+        .map(|i| {
+            let s = method.score("open the front door", "the man walked the street") + i as f64 * 0.01;
+            vec![s; 3]
+        })
+        .collect();
+    let pools = ScorePools::from_score_vectors(&benign, &attack_pool);
+    let mae = synthesize_mae(&pools, &MaeType::Type4.fooled_mask(), 30, 1);
+    assert_eq!(mae.len(), 30);
+    for v in &mae {
+        // Fooled auxiliaries (DS1, GCS) look benign; AT looks attacked.
+        assert!(v[0] > v[2] && v[1] > v[2], "{v:?}");
+    }
+}
+
+#[test]
+fn attack_dataset_kinds_and_verification() {
+    let ds0 = AsrProfile::Ds0.trained();
+    let hosts = CorpusBuilder::new(CorpusConfig {
+        size: 2,
+        seed: 55,
+        noise_prob: 0.0,
+        ..CorpusConfig::default()
+    })
+    .build();
+    let aes = mvp_ears_suite::attack::generate_ae_dataset(
+        &ds0,
+        hosts.utterances(),
+        &["turn on the lights"],
+        AeKind::WhiteBox,
+        1,
+        3,
+    );
+    assert_eq!(aes.len(), 1);
+    assert_eq!(wer(&aes[0].command, &ds0.transcribe(&aes[0].wave)), 0.0);
+}
+
+#[test]
+fn detection_survives_noisy_benign_audio() {
+    // Benign audio with moderate room noise must not trip the detector.
+    let mut system =
+        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    let clean =
+        CorpusBuilder::new(CorpusConfig { size: 10, seed: 31, noise_prob: 0.0, ..CorpusConfig::default() })
+            .build();
+    let noisy =
+        CorpusBuilder::new(CorpusConfig { size: 6, seed: 31, noise_prob: 1.0, ..CorpusConfig::default() })
+            .build();
+    let benign_scores: Vec<Vec<f64>> =
+        clean.utterances().iter().map(|u| system.score_vector(&u.wave)).collect();
+    // Train against clearly-adversarial synthetic scores.
+    let ae_scores: Vec<Vec<f64>> = (0..10).map(|i| vec![0.3 + i as f64 * 0.01]).collect();
+    system.train_on_scores(&benign_scores, &ae_scores, ClassifierKind::Svm);
+    let false_alarms = noisy
+        .utterances()
+        .iter()
+        .filter(|u| system.detect(&u.wave).is_adversarial)
+        .count();
+    assert!(false_alarms <= 1, "{false_alarms}/6 noisy benign flagged");
+}
