@@ -84,6 +84,13 @@ impl FeatureFrontEnd {
         self.features_with_cache(wave).0
     }
 
+    /// Extracts stacked features from pre-widened samples — the batch
+    /// path uses this with one reused `f64` scratch buffer instead of
+    /// allocating per waveform (see `TrainedAsr::transcribe_batch`).
+    pub fn features_from_samples(&self, samples: &[f64]) -> FeatureMatrix {
+        self.stack(&self.extractor.extract(samples))
+    }
+
     /// Extracts stacked features plus the cache needed by
     /// [`backward`](Self::backward).
     pub fn features_with_cache(&self, wave: &Waveform) -> (FeatureMatrix, FrontEndCache) {

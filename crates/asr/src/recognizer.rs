@@ -57,6 +57,24 @@ impl TrainedAsr {
         self.am.logit_matrix(&self.frontend.features(wave))
     }
 
+    /// Transcribes a whole micro-batch, amortizing the per-call sample
+    /// widening across items via one reused scratch buffer. Produces
+    /// exactly what [`Asr::transcribe`] would per waveform, in order.
+    pub fn transcribe_batch(&self, waves: &[&Waveform]) -> Vec<String> {
+        let mut scratch: Vec<f64> = Vec::new();
+        waves
+            .iter()
+            .map(|wave| {
+                if wave.is_empty() {
+                    return String::new();
+                }
+                wave.copy_to_f64(&mut scratch);
+                let feats = self.frontend.features_from_samples(&scratch);
+                self.decoder.decode(&self.am.logit_matrix(&feats))
+            })
+            .collect()
+    }
+
     /// Converts a text command into the CTC target sequence using the
     /// built-in lexicon. Silence symbols (word boundaries) are *kept* —
     /// like DeepSpeech's space character they are regular CTC symbols,
@@ -179,6 +197,29 @@ mod tests {
     #[test]
     fn target_indices_empty_text() {
         assert!(TrainedAsr::target_indices("").is_empty());
+    }
+
+    #[test]
+    fn transcribe_batch_matches_one_shot() {
+        use crate::profile::AsrProfile;
+        use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+        use mvp_audio::Waveform;
+        use mvp_phonetics::Lexicon;
+
+        let asr = AsrProfile::Ds0.trained();
+        let synth = Synthesizer::new(16_000);
+        let lex = Lexicon::builtin();
+        let texts = ["open the door", "good morning", "the man walked the street"];
+        let waves: Vec<Waveform> =
+            texts.iter().map(|t| synth.synthesize(&lex, t, &SpeakerProfile::default()).0).collect();
+        let mut refs: Vec<&Waveform> = waves.iter().collect();
+        let empty = Waveform::new(16_000);
+        refs.push(&empty);
+        let batch = asr.transcribe_batch(&refs);
+        assert_eq!(batch.len(), 4);
+        for (wave, text) in refs.iter().zip(&batch) {
+            assert_eq!(*text, asr.transcribe(wave));
+        }
     }
 
     #[test]

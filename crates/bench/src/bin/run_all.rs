@@ -30,4 +30,5 @@ fn main() {
     experiments::ablation::encoder_ablation(&ctx);
     experiments::ablation::baseline_comparison(&ctx);
     experiments::ablation::min_run_ablation(&ctx);
+    experiments::serve::run_serve_bench(&ctx);
 }

@@ -1,0 +1,12 @@
+//! Regenerates `BENCH_serve.json`: the serving-engine load benchmark.
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{experiments, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("serving benchmark at scale {:?}\n", scale.name);
+    let ctx = ExperimentContext::load_or_generate(scale);
+    experiments::serve::run_serve_bench(&ctx);
+}

@@ -7,6 +7,7 @@ pub mod classifiers;
 pub mod data;
 pub mod mae;
 pub mod perf;
+pub mod serve;
 pub mod similarity;
 pub mod transfer;
 pub mod unseen;

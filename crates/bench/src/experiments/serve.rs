@@ -1,0 +1,160 @@
+//! Serving-engine load benchmark: throughput, latency percentiles,
+//! cache hit rate, shedding and degradation under several load levels.
+//!
+//! Entirely offline and seeded: the corpus is the cached benign set, the
+//! classifier trains on the cached score vectors, and every load level's
+//! request sequence is deterministic. Results print as a table and are
+//! written to `BENCH_serve.json` in the working directory.
+
+use std::sync::Arc;
+
+use mvp_asr::AsrProfile;
+use mvp_audio::Waveform;
+use mvp_ears::{DetectionSystem, SimilarityMethod};
+use mvp_ml::ClassifierKind;
+use mvp_serve::{
+    run_load, DegradePolicy, DetectionEngine, EngineConfig, LoadMode, LoadReport, LoadSpec,
+};
+
+use crate::context::ExperimentContext;
+use crate::experiments::THREE_AUX;
+use crate::table::Table;
+
+/// Output artifact path, relative to the working directory.
+pub const ARTIFACT: &str = "BENCH_serve.json";
+
+/// Runs every load level against a freshly started engine each and
+/// writes [`ARTIFACT`].
+pub fn run_serve_bench(ctx: &ExperimentContext) {
+    println!("== serving engine: throughput/latency under load ==");
+    let method = SimilarityMethod::default();
+    let aux: Vec<AsrProfile> = THREE_AUX.to_vec();
+
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(aux[0])
+        .auxiliary(aux[1])
+        .auxiliary(aux[2])
+        .build();
+    let benign_scores = ctx.benign_scores(&aux, method);
+    let ae_scores = ctx.ae_scores(&aux, method, None);
+    system.train_on_scores(&benign_scores, &ae_scores, ClassifierKind::Svm);
+    let system = Arc::new(system);
+
+    let corpus: Vec<Arc<Waveform>> =
+        ctx.benign.utterances().iter().map(|u| Arc::new(u.wave.clone())).collect();
+    // Request volume scales with the corpus so tiny stays in seconds.
+    let requests = (corpus.len() * 3).clamp(24, 240);
+
+    let base_config = EngineConfig {
+        queue_cap: 64,
+        max_batch: 8,
+        max_delay_ms: 2,
+        // Generous: deadline misses here would only add noise; the
+        // degraded level forces degradation explicitly instead.
+        deadline_ms: 120_000,
+        aux_deadline_ms: Vec::new(),
+        cache_cap: 256,
+    };
+
+    struct Level {
+        spec: LoadSpec,
+        config: EngineConfig,
+    }
+
+    let levels = vec![
+        Level {
+            spec: LoadSpec {
+                name: "closed-c2".into(),
+                requests,
+                mode: LoadMode::Closed { concurrency: 2 },
+                duplicate_frac: 0.5,
+                seed: 11,
+            },
+            config: base_config.clone(),
+        },
+        Level {
+            spec: LoadSpec {
+                name: "closed-c8".into(),
+                requests,
+                mode: LoadMode::Closed { concurrency: 8 },
+                duplicate_frac: 0.5,
+                seed: 12,
+            },
+            config: base_config.clone(),
+        },
+        Level {
+            spec: LoadSpec {
+                name: "open-100hz".into(),
+                requests,
+                mode: LoadMode::Open { rate_hz: 100.0, waiters: 4 },
+                duplicate_frac: 0.5,
+                seed: 13,
+            },
+            // Small queue so overload visibly sheds instead of buffering.
+            config: EngineConfig { queue_cap: 16, ..base_config.clone() },
+        },
+        Level {
+            spec: LoadSpec {
+                name: "degraded-c4".into(),
+                requests,
+                mode: LoadMode::Closed { concurrency: 4 },
+                duplicate_frac: 0.5,
+                seed: 14,
+            },
+            // First auxiliary disabled: every verdict takes the
+            // degradation path.
+            config: EngineConfig {
+                aux_deadline_ms: vec![Some(0)],
+                ..base_config.clone()
+            },
+        },
+    ];
+
+    let n_aux = system.n_auxiliaries();
+    let mut reports: Vec<LoadReport> = Vec::with_capacity(levels.len());
+    for level in &levels {
+        let policy =
+            DegradePolicy::trained(n_aux, &benign_scores, &ae_scores, ClassifierKind::Knn, 0.05);
+        let engine = DetectionEngine::start(Arc::clone(&system), policy, level.config.clone());
+        let report = run_load(&engine, &corpus, &level.spec);
+        engine.shutdown();
+        reports.push(report);
+    }
+
+    let mut table = Table::new([
+        "level",
+        "offered",
+        "done",
+        "shed",
+        "degraded",
+        "rps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "cache hit",
+    ]);
+    for r in &reports {
+        table.row([
+            r.name.clone(),
+            r.offered.to_string(),
+            r.tally.total().to_string(),
+            r.shed.to_string(),
+            r.tally.degraded.to_string(),
+            format!("{:.1}", r.throughput_rps),
+            format!("{:.1}", r.stats.latency_p50_micros as f64 / 1e3),
+            format!("{:.1}", r.stats.latency_p95_micros as f64 / 1e3),
+            format!("{:.1}", r.stats.latency_p99_micros as f64 / 1e3),
+            format!("{:.0}%", r.stats.cache_hit_rate() * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    let json = format!(
+        "[\n  {}\n]\n",
+        reports.iter().map(LoadReport::to_json).collect::<Vec<_>>().join(",\n  ")
+    );
+    match std::fs::write(ARTIFACT, &json) {
+        Ok(()) => println!("wrote {ARTIFACT}\n"),
+        Err(e) => println!("could not write {ARTIFACT}: {e}\n"),
+    }
+}

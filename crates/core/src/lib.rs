@@ -53,5 +53,5 @@ pub use baseline::MajorityBaseline;
 pub use eval::ScorePools;
 pub use mae::{synthesize_mae, MaeType};
 pub use similarity::SimilarityMethod;
-pub use system::{Detection, DetectionSystem, DetectionSystemBuilder};
+pub use system::{fit_classifier, Detection, DetectionSystem, DetectionSystemBuilder};
 pub use threshold::ThresholdDetector;

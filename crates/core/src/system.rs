@@ -81,27 +81,78 @@ impl DetectionSystem {
         &self.target
     }
 
-    /// Transcribes `wave` on the target and every auxiliary concurrently.
+    /// Every recogniser in execution order: the target first, then the
+    /// auxiliaries. This is the seam a serving layer uses to pin one
+    /// persistent worker per recogniser instead of spawning threads per
+    /// call — see `mvp-serve`.
+    pub fn recognizers(&self) -> Vec<Arc<TrainedAsr>> {
+        std::iter::once(&self.target).chain(&self.auxiliaries).cloned().collect()
+    }
+
+    /// Number of recognisers (`1 + n_auxiliaries`).
+    pub fn n_recognizers(&self) -> usize {
+        1 + self.auxiliaries.len()
+    }
+
+    /// Splits a per-recogniser transcription vector (in
+    /// [`recognizers`](Self::recognizers) order) into
+    /// `(target, auxiliaries)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty vector.
+    pub fn split_transcripts(mut texts: Vec<String>) -> (String, Vec<String>) {
+        assert!(!texts.is_empty(), "no transcriptions");
+        let auxiliaries = texts.split_off(1);
+        (texts.pop().expect("target transcript present"), auxiliaries)
+    }
+
+    /// Transcribes `wave` on every recogniser via a caller-provided
+    /// execution strategy: `run` receives the recognisers (target first)
+    /// and must return one transcription per recogniser, in order. This
+    /// lets callers supply persistent worker pools, batching, or serial
+    /// execution; [`transcripts`](Self::transcripts) is the conventional
+    /// thread-per-call wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` returns the wrong number of transcriptions.
+    pub fn transcribe_all<R>(&self, wave: &Waveform, run: R) -> (String, Vec<String>)
+    where
+        R: FnOnce(&[Arc<TrainedAsr>], &Waveform) -> Vec<String>,
+    {
+        let asrs = self.recognizers();
+        let texts = run(&asrs, wave);
+        assert_eq!(
+            texts.len(),
+            asrs.len(),
+            "runner must return one transcription per recogniser"
+        );
+        Self::split_transcripts(texts)
+    }
+
+    /// Transcribes `wave` on the target and every auxiliary concurrently
+    /// (one short-lived thread per recogniser).
     ///
     /// Returns `(target transcription, auxiliary transcriptions)`.
     pub fn transcripts(&self, wave: &Waveform) -> (String, Vec<String>) {
-        let (tx, rx) = channel::unbounded::<(usize, String)>();
-        std::thread::scope(|scope| {
-            for (i, asr) in std::iter::once(&self.target).chain(&self.auxiliaries).enumerate() {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    // A send only fails if the receiver is gone, which
-                    // cannot happen while this scope holds `rx`.
-                    let _ = tx.send((i, asr.transcribe(wave)));
-                });
-            }
-        });
-        drop(tx);
-        let mut results: Vec<(usize, String)> = rx.iter().collect();
-        results.sort_by_key(|(i, _)| *i);
-        let mut it = results.into_iter().map(|(_, t)| t);
-        let target = it.next().expect("target transcript present");
-        (target, it.collect())
+        self.transcribe_all(wave, |asrs, wave| {
+            let (tx, rx) = channel::unbounded::<(usize, String)>();
+            std::thread::scope(|scope| {
+                for (i, asr) in asrs.iter().enumerate() {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        // A send only fails if the receiver is gone, which
+                        // cannot happen while this scope holds `rx`.
+                        let _ = tx.send((i, asr.transcribe(wave)));
+                    });
+                }
+            });
+            drop(tx);
+            let mut results: Vec<(usize, String)> = rx.iter().collect();
+            results.sort_by_key(|(i, _)| *i);
+            results.into_iter().map(|(_, t)| t).collect()
+        })
     }
 
     /// The similarity-score feature vector for `wave` (one score per
@@ -167,13 +218,15 @@ impl DetectionSystem {
         clf.predict(scores) == 1
     }
 
-    /// Runs the full detection pipeline on `wave`.
+    /// Completes the detection pipeline from already-computed
+    /// transcriptions — the entry point for serving layers that obtained
+    /// the transcriptions through their own workers (and possibly a
+    /// cache).
     ///
     /// # Panics
     ///
     /// Panics if the system is untrained; see [`DetectionSystem::train`].
-    pub fn detect(&self, wave: &Waveform) -> Detection {
-        let (target, auxiliaries) = self.transcripts(wave);
+    pub fn detect_from_transcripts(&self, target: String, auxiliaries: Vec<String>) -> Detection {
         let scores = self.scores_from_transcripts(&target, &auxiliaries);
         Detection {
             is_adversarial: self.classify_scores(&scores),
@@ -182,12 +235,24 @@ impl DetectionSystem {
             auxiliary_transcriptions: auxiliaries,
         }
     }
+
+    /// Runs the full detection pipeline on `wave`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is untrained; see [`DetectionSystem::train`].
+    pub fn detect(&self, wave: &Waveform) -> Detection {
+        let (target, auxiliaries) = self.transcripts(wave);
+        self.detect_from_transcripts(target, auxiliaries)
+    }
 }
 
 /// Fits the paper-configured classifier of `kind`, keeping `Send + Sync`
 /// bounds (the `ClassifierKind::build` trait object deliberately does not
-/// carry them).
-fn fit_classifier(kind: ClassifierKind, data: &Dataset) -> Box<dyn Classifier + Send + Sync> {
+/// carry them). Public so serving layers can train additional classifiers
+/// (e.g. per-auxiliary-subset fallbacks) with the exact configuration the
+/// detection system itself uses.
+pub fn fit_classifier(kind: ClassifierKind, data: &Dataset) -> Box<dyn Classifier + Send + Sync> {
     match kind {
         ClassifierKind::Svm => {
             let mut m = mvp_ml::Svm::new(
@@ -355,6 +420,62 @@ mod tests {
         let scores =
             s.scores_from_transcripts("open the door", &["close the door".to_string()]);
         assert!((scores[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transcribe_all_serial_matches_threaded() {
+        let s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .auxiliary(AsrProfile::Gcs)
+            .build();
+        let synth = Synthesizer::new(16_000);
+        let (wave, _) =
+            synth.synthesize(&Lexicon::builtin(), "turn on the light", &SpeakerProfile::default());
+        // A caller-provided serial runner must agree with the
+        // thread-per-call wrapper.
+        let serial = s.transcribe_all(&wave, |asrs, w| {
+            asrs.iter().map(|a| a.transcribe(w)).collect()
+        });
+        assert_eq!(serial, s.transcripts(&wave));
+    }
+
+    #[test]
+    fn recognizers_order_is_target_first() {
+        let s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .auxiliary(AsrProfile::At)
+            .build();
+        let names: Vec<String> =
+            s.recognizers().iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(names, ["DS0", "DS1", "AT"]);
+        assert_eq!(s.n_recognizers(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one transcription per recogniser")]
+    fn transcribe_all_rejects_short_runner_output() {
+        let s = ds0_ds1();
+        let wave = Waveform::from_samples(vec![0.0; 160], 16_000);
+        s.transcribe_all(&wave, |_, _| vec!["only one".to_string()]);
+    }
+
+    #[test]
+    fn detect_from_transcripts_matches_detect_shape() {
+        let mut s = ds0_ds1();
+        let benign: Vec<Vec<f64>> = (0..30).map(|i| vec![0.85 + (i % 10) as f64 * 0.01]).collect();
+        let aes: Vec<Vec<f64>> = (0..30).map(|i| vec![0.2 + (i % 10) as f64 * 0.01]).collect();
+        s.train_on_scores(&benign, &aes, ClassifierKind::Svm);
+        let d = s.detect_from_transcripts(
+            "open the door".to_string(),
+            vec!["open the door".to_string()],
+        );
+        assert!(!d.is_adversarial);
+        assert_eq!(d.scores.len(), 1);
+        let d2 = s.detect_from_transcripts(
+            "open the door".to_string(),
+            vec!["completely unrelated words here".to_string()],
+        );
+        assert!(d2.is_adversarial);
     }
 
     #[test]

@@ -1,0 +1,666 @@
+//! The long-lived detection engine.
+//!
+//! ```text
+//!  submit() ──try_send──▶ ingress queue (bounded; full ⇒ shed)
+//!                             │
+//!                         batcher thread
+//!                  cache hits answered inline; misses
+//!                  grouped into micro-batches (flush on
+//!                  max_batch or max_delay_ms, deduped by
+//!                  waveform hash)
+//!                    │                      │
+//!          BatchMeta ─▶ collector    WorkItem ─▶ one persistent
+//!                            ▲               worker per recogniser
+//!                            └── WorkResult ──┘   (transcribe_batch)
+//!                             │
+//!                         collector thread
+//!                  joins results per batch; finalizes full
+//!                  verdicts, inserts the cache, and applies
+//!                  the degradation policy to deadline misses
+//!                             │
+//!                       reply channel ──▶ PendingVerdict::wait()
+//! ```
+//!
+//! Unlike [`DetectionSystem::detect`], which spawns one thread per
+//! recogniser per call, the engine keeps one worker per recogniser alive
+//! for its whole lifetime and feeds each worker whole batches, so thread
+//! startup and feature-extraction scratch allocations are amortised
+//! across requests.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use mvp_asr::TrainedAsr;
+use mvp_audio::Waveform;
+use mvp_ears::DetectionSystem;
+
+use crate::cache::{waveform_key, LruCache, TranscriptVec};
+use crate::degrade::{DegradePolicy, FallbackTier};
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// Engine tuning knobs. The defaults suit an interactive service; load
+/// tests override them per level.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Ingress queue capacity; a full queue sheds new requests.
+    pub queue_cap: usize,
+    /// Flush a micro-batch when it reaches this many requests.
+    pub max_batch: usize,
+    /// ... or when the oldest queued request has waited this long.
+    pub max_delay_ms: u64,
+    /// Per-request deadline. The target ASR missing it fails the request;
+    /// an auxiliary missing it degrades the verdict.
+    pub deadline_ms: u64,
+    /// Per-auxiliary deadline override (clamped to `deadline_ms`).
+    /// `None` inherits `deadline_ms`; `Some(0)` disables the auxiliary
+    /// outright (it is never dispatched — deterministic degraded mode).
+    /// May be shorter than the full auxiliary list; missing tail entries
+    /// are `None`.
+    pub aux_deadline_ms: Vec<Option<u64>>,
+    /// Transcription-cache capacity in waveforms; `0` disables caching.
+    pub cache_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            queue_cap: 64,
+            max_batch: 8,
+            max_delay_ms: 5,
+            deadline_ms: 1_000,
+            aux_deadline_ms: Vec::new(),
+            cache_cap: 256,
+        }
+    }
+}
+
+/// How a verdict was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Every recogniser answered; full classifier verdict.
+    Full,
+    /// At least one auxiliary was missing; a fallback tier answered.
+    Degraded(FallbackTier),
+    /// The target ASR itself missed the deadline; no verdict possible.
+    Failed,
+}
+
+/// The engine's answer for one request.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The classification, or `None` when the request [failed](VerdictKind::Failed).
+    pub is_adversarial: Option<bool>,
+    /// Full, degraded, or failed.
+    pub kind: VerdictKind,
+    /// Whether the transcription vector came from the cache.
+    pub from_cache: bool,
+    /// Per-auxiliary similarity scores; `None` where the auxiliary was
+    /// missing.
+    pub scores: Vec<Option<f64>>,
+    /// The target transcription, when the target answered.
+    pub target_transcription: Option<String>,
+    /// End-to-end latency from `submit` to finalization.
+    pub latency: Duration,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The ingress queue is full — backpressure; retry later.
+    Overloaded,
+    /// The engine has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "ingress queue full (request shed)"),
+            SubmitError::Closed => write!(f, "engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A handle to a verdict still being computed.
+#[derive(Debug)]
+pub struct PendingVerdict {
+    rx: Receiver<Verdict>,
+}
+
+impl PendingVerdict {
+    /// Blocks until the verdict arrives. Every accepted request is
+    /// answered, even through shutdown and deadline misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's threads died without replying (a bug).
+    pub fn wait(self) -> Verdict {
+        self.rx.recv().expect("engine dropped the reply channel")
+    }
+
+    /// Returns the verdict if it is already available.
+    pub fn try_wait(&self) -> Option<Verdict> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Request {
+    wave: Arc<Waveform>,
+    key: u64,
+    submitted: Instant,
+    reply: Sender<Verdict>,
+}
+
+struct Waiter {
+    reply: Sender<Verdict>,
+    submitted: Instant,
+}
+
+/// One unique waveform within a batch and everyone waiting on it.
+struct BatchItem {
+    key: u64,
+    waiters: Vec<Waiter>,
+}
+
+struct WorkItem {
+    batch_id: u64,
+    waves: Vec<Arc<Waveform>>,
+}
+
+struct WorkResult {
+    batch_id: u64,
+    asr_index: usize,
+    texts: Vec<String>,
+}
+
+struct BatchMeta {
+    batch_id: u64,
+    items: Vec<BatchItem>,
+    /// Per recogniser (target first): whether work was sent to it.
+    dispatched: Vec<bool>,
+    /// Per recogniser: when the collector stops waiting for it.
+    deadlines: Vec<Instant>,
+}
+
+enum CollectorMsg {
+    Meta(BatchMeta),
+    Result(WorkResult),
+}
+
+struct BatchState {
+    items: Vec<BatchItem>,
+    dispatched: Vec<bool>,
+    deadlines: Vec<Instant>,
+    /// Per recogniser: transcriptions aligned with `items`.
+    results: Vec<Option<Vec<String>>>,
+}
+
+impl BatchState {
+    /// Ready when every dispatched recogniser has answered or timed out.
+    fn is_ready(&self, now: Instant) -> bool {
+        (0..self.dispatched.len())
+            .all(|i| !self.dispatched[i] || self.results[i].is_some() || now >= self.deadlines[i])
+    }
+
+    /// The next instant at which readiness can change by timeout alone.
+    fn next_deadline(&self) -> Option<Instant> {
+        (0..self.dispatched.len())
+            .filter(|&i| self.dispatched[i] && self.results[i].is_none())
+            .map(|i| self.deadlines[i])
+            .min()
+    }
+}
+
+type SharedCache = Arc<Mutex<LruCache<u64, TranscriptVec>>>;
+
+/// The long-lived serving engine. Dropping it drains in-flight requests
+/// (each gets a verdict) and joins all threads.
+pub struct DetectionEngine {
+    ingress: Option<Sender<Request>>,
+    threads: Vec<JoinHandle<()>>,
+    stats: Arc<ServeStats>,
+}
+
+impl std::fmt::Debug for DetectionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionEngine").field("threads", &self.threads.len()).finish()
+    }
+}
+
+impl DetectionEngine {
+    /// Starts the engine: one batcher, one persistent worker per
+    /// recogniser, one collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is untrained, `queue_cap`/`max_batch` is
+    /// zero, or `aux_deadline_ms` is longer than the auxiliary list.
+    pub fn start(
+        system: Arc<DetectionSystem>,
+        policy: DegradePolicy,
+        config: EngineConfig,
+    ) -> DetectionEngine {
+        assert!(system.is_trained(), "serve a trained DetectionSystem");
+        assert!(config.queue_cap > 0, "queue_cap must be positive");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        let n_aux = system.n_auxiliaries();
+        assert!(
+            config.aux_deadline_ms.len() <= n_aux,
+            "aux_deadline_ms has {} entries for {} auxiliaries",
+            config.aux_deadline_ms.len(),
+            n_aux
+        );
+        assert_eq!(policy.n_aux(), n_aux, "degrade policy dimension mismatch");
+
+        let stats = Arc::new(ServeStats::new());
+        let policy = Arc::new(policy);
+        let cache: Option<SharedCache> = (config.cache_cap > 0)
+            .then(|| Arc::new(Mutex::new(LruCache::new(config.cache_cap))));
+
+        let (ingress_tx, ingress_rx) = channel::bounded::<Request>(config.queue_cap);
+        let (collector_tx, collector_rx) = channel::unbounded::<CollectorMsg>();
+
+        let recognizers = system.recognizers();
+        let mut threads = Vec::with_capacity(recognizers.len() + 2);
+        let mut worker_txs = Vec::with_capacity(recognizers.len());
+        for (i, asr) in recognizers.into_iter().enumerate() {
+            let (tx, rx) = channel::unbounded::<WorkItem>();
+            worker_txs.push(tx);
+            let collector_tx = collector_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(asr, i, rx, collector_tx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        {
+            let system = Arc::clone(&system);
+            let stats = Arc::clone(&stats);
+            let cache = cache.clone();
+            let config = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-batcher".into())
+                    .spawn(move || {
+                        batcher_loop(system, config, ingress_rx, worker_txs, collector_tx, cache, stats)
+                    })
+                    .expect("spawn batcher"),
+            );
+        }
+
+        {
+            let stats = Arc::clone(&stats);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-collector".into())
+                    .spawn(move || collector_loop(system, policy, collector_rx, cache, stats))
+                    .expect("spawn collector"),
+            );
+        }
+
+        DetectionEngine { ingress: Some(ingress_tx), threads, stats }
+    }
+
+    /// Submits a waveform for detection. Non-blocking: a full ingress
+    /// queue sheds the request with [`SubmitError::Overloaded`].
+    pub fn submit(&self, wave: impl Into<Arc<Waveform>>) -> Result<PendingVerdict, SubmitError> {
+        let tx = self.ingress.as_ref().ok_or(SubmitError::Closed)?;
+        let wave = wave.into();
+        let key = waveform_key(&wave);
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let request = Request { wave, key, submitted: Instant::now(), reply: reply_tx };
+        // Gauge first so it never underflows against the batcher's decrement.
+        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send(request) {
+            Ok(()) => {
+                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(PendingVerdict { rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::Closed)
+            }
+        }
+    }
+
+    /// Convenience: submit and block for the verdict.
+    pub fn detect_blocking(
+        &self,
+        wave: impl Into<Arc<Waveform>>,
+    ) -> Result<Verdict, SubmitError> {
+        self.submit(wave).map(PendingVerdict::wait)
+    }
+
+    /// A point-in-time copy of the engine metrics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Shuts down explicitly (Drop does the same): stops intake, drains
+    /// in-flight requests, joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.ingress.take());
+        for t in self.threads.drain(..) {
+            if let Err(panic) = t.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Drop for DetectionEngine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(
+    asr: Arc<TrainedAsr>,
+    asr_index: usize,
+    work: Receiver<WorkItem>,
+    out: Sender<CollectorMsg>,
+) {
+    for WorkItem { batch_id, waves } in work.iter() {
+        let refs: Vec<&Waveform> = waves.iter().map(Arc::as_ref).collect();
+        let texts = asr.transcribe_batch(&refs);
+        if out.send(CollectorMsg::Result(WorkResult { batch_id, asr_index, texts })).is_err() {
+            return;
+        }
+    }
+}
+
+fn batcher_loop(
+    system: Arc<DetectionSystem>,
+    config: EngineConfig,
+    ingress: Receiver<Request>,
+    worker_txs: Vec<Sender<WorkItem>>,
+    collector_tx: Sender<CollectorMsg>,
+    cache: Option<SharedCache>,
+    stats: Arc<ServeStats>,
+) {
+    let n_rec = worker_txs.len();
+    let overall = Duration::from_millis(config.deadline_ms);
+    let max_delay = Duration::from_millis(config.max_delay_ms);
+    let mut next_batch_id = 0u64;
+    let mut pending: Vec<Request> = Vec::new();
+    let mut flush_at: Option<Instant> = None;
+
+    let flush = |pending: &mut Vec<Request>, next_batch_id: &mut u64| {
+        if pending.is_empty() {
+            return;
+        }
+        let batch_id = *next_batch_id;
+        *next_batch_id += 1;
+
+        let mut items: Vec<BatchItem> = Vec::new();
+        let mut waves: Vec<Arc<Waveform>> = Vec::new();
+        let mut index_of: HashMap<u64, usize> = HashMap::new();
+        let mut earliest = pending[0].submitted;
+        let n_requests = pending.len() as u64;
+        for Request { wave, key, submitted, reply } in pending.drain(..) {
+            earliest = earliest.min(submitted);
+            let waiter = Waiter { reply, submitted };
+            match index_of.get(&key) {
+                Some(&idx) => items[idx].waiters.push(waiter),
+                None => {
+                    index_of.insert(key, items.len());
+                    waves.push(wave);
+                    items.push(BatchItem { key, waiters: vec![waiter] });
+                }
+            }
+        }
+
+        let mut dispatched = vec![true; n_rec];
+        let mut deadlines = vec![earliest + overall; n_rec];
+        for (j, override_ms) in config.aux_deadline_ms.iter().enumerate() {
+            match override_ms {
+                Some(0) => dispatched[j + 1] = false,
+                Some(ms) => {
+                    deadlines[j + 1] =
+                        earliest + Duration::from_millis((*ms).min(config.deadline_ms));
+                }
+                None => {}
+            }
+        }
+
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.batched_requests.fetch_add(n_requests, Ordering::Relaxed);
+
+        // Meta enters the collector queue before any worker can answer, so
+        // the collector always knows a batch before seeing its results.
+        let meta = BatchMeta { batch_id, items, dispatched: dispatched.clone(), deadlines };
+        if collector_tx.send(CollectorMsg::Meta(meta)).is_err() {
+            return;
+        }
+        for (i, tx) in worker_txs.iter().enumerate() {
+            if dispatched[i] {
+                let _ = tx.send(WorkItem { batch_id, waves: waves.clone() });
+            }
+        }
+    };
+
+    loop {
+        let received = match flush_at {
+            None => ingress.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(t) => ingress.recv_timeout(t.saturating_duration_since(Instant::now())),
+        };
+        match received {
+            Ok(request) => {
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                if let Some(cached) = lookup(&cache, &request.key, &stats) {
+                    answer_cache_hit(&system, &request, &cached, &stats);
+                    continue;
+                }
+                pending.push(request);
+                if pending.len() >= config.max_batch {
+                    flush(&mut pending, &mut next_batch_id);
+                    flush_at = None;
+                } else if flush_at.is_none() {
+                    flush_at = Some(Instant::now() + max_delay);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                flush(&mut pending, &mut next_batch_id);
+                flush_at = None;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                flush(&mut pending, &mut next_batch_id);
+                return; // drops worker and collector senders
+            }
+        }
+    }
+}
+
+fn lookup(cache: &Option<SharedCache>, key: &u64, stats: &ServeStats) -> Option<TranscriptVec> {
+    let cache = cache.as_ref()?;
+    stats.cache_lookups.fetch_add(1, Ordering::Relaxed);
+    let hit = cache.lock().expect("cache poisoned").get(key).cloned();
+    if hit.is_some() {
+        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
+fn answer_cache_hit(
+    system: &DetectionSystem,
+    request: &Request,
+    texts: &TranscriptVec,
+    stats: &ServeStats,
+) {
+    let (target, auxiliaries) = DetectionSystem::split_transcripts(texts.as_ref().clone());
+    let detection = system.detect_from_transcripts(target, auxiliaries);
+    let verdict = Verdict {
+        is_adversarial: Some(detection.is_adversarial),
+        kind: VerdictKind::Full,
+        from_cache: true,
+        scores: detection.scores.into_iter().map(Some).collect(),
+        target_transcription: Some(detection.target_transcription),
+        latency: request.submitted.elapsed(),
+    };
+    stats.latency.record(verdict.latency);
+    stats.completed.fetch_add(1, Ordering::Relaxed);
+    let _ = request.reply.send(verdict);
+}
+
+fn collector_loop(
+    system: Arc<DetectionSystem>,
+    policy: Arc<DegradePolicy>,
+    rx: Receiver<CollectorMsg>,
+    cache: Option<SharedCache>,
+    stats: Arc<ServeStats>,
+) {
+    let mut batches: HashMap<u64, BatchState> = HashMap::new();
+    loop {
+        let next_deadline = batches.values().filter_map(BatchState::next_deadline).min();
+        let received = match next_deadline {
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(t) => rx.recv_timeout(t.saturating_duration_since(Instant::now())),
+        };
+        match received {
+            Ok(CollectorMsg::Meta(meta)) => {
+                let n_rec = meta.dispatched.len();
+                batches.insert(
+                    meta.batch_id,
+                    BatchState {
+                        items: meta.items,
+                        dispatched: meta.dispatched,
+                        deadlines: meta.deadlines,
+                        results: (0..n_rec).map(|_| None).collect(),
+                    },
+                );
+            }
+            Ok(CollectorMsg::Result(result)) => {
+                if let Some(state) = batches.get_mut(&result.batch_id) {
+                    state.results[result.asr_index] = Some(result.texts);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            // Producers gone and their queue drained: every result that
+            // will ever arrive has arrived, so finalize what remains
+            // (missing slots count as missed) rather than waiting out
+            // deadlines.
+            Err(RecvTimeoutError::Disconnected) => {
+                for (_, state) in batches.drain() {
+                    finalize(&system, &policy, &cache, &stats, state);
+                }
+                return;
+            }
+        }
+        let now = Instant::now();
+        let ready: Vec<u64> =
+            batches.iter().filter(|(_, s)| s.is_ready(now)).map(|(&id, _)| id).collect();
+        for id in ready {
+            let state = batches.remove(&id).expect("ready batch present");
+            finalize(&system, &policy, &cache, &stats, state);
+        }
+    }
+}
+
+fn finalize(
+    system: &DetectionSystem,
+    policy: &DegradePolicy,
+    cache: &Option<SharedCache>,
+    stats: &ServeStats,
+    state: BatchState,
+) {
+    let n_rec = state.results.len();
+    let n_aux = n_rec - 1;
+    for (idx, item) in state.items.into_iter().enumerate() {
+        let target = state.results[0].as_ref().map(|texts| texts[idx].clone());
+        let verdict = match target {
+            None => {
+                Verdict {
+                    is_adversarial: None,
+                    kind: VerdictKind::Failed,
+                    from_cache: false,
+                    scores: vec![None; n_aux],
+                    target_transcription: None,
+                    latency: Duration::ZERO,
+                }
+            }
+            Some(target) => {
+                let available: Vec<(usize, String)> = (0..n_aux)
+                    .filter_map(|j| {
+                        state.results[j + 1].as_ref().map(|texts| (j, texts[idx].clone()))
+                    })
+                    .collect();
+                if available.len() == n_aux {
+                    let auxiliaries: Vec<String> =
+                        available.into_iter().map(|(_, t)| t).collect();
+                    let detection = system.detect_from_transcripts(target, auxiliaries);
+                    if let Some(cache) = cache {
+                        let mut vector = Vec::with_capacity(n_rec);
+                        vector.push(detection.target_transcription.clone());
+                        vector.extend(detection.auxiliary_transcriptions.iter().cloned());
+                        cache
+                            .lock()
+                            .expect("cache poisoned")
+                            .insert(item.key, Arc::new(vector));
+                    }
+                    Verdict {
+                        is_adversarial: Some(detection.is_adversarial),
+                        kind: VerdictKind::Full,
+                        from_cache: false,
+                        scores: detection.scores.into_iter().map(Some).collect(),
+                        target_transcription: Some(detection.target_transcription),
+                        latency: Duration::ZERO,
+                    }
+                } else {
+                    let indices: Vec<usize> = available.iter().map(|&(j, _)| j).collect();
+                    let texts: Vec<String> =
+                        available.into_iter().map(|(_, t)| t).collect();
+                    let partial = system.scores_from_transcripts(&target, &texts);
+                    let pairs: Vec<(usize, f64)> =
+                        indices.iter().copied().zip(partial.iter().copied()).collect();
+                    let (is_adversarial, tier) = policy.classify(&pairs);
+                    let mut scores = vec![None; n_aux];
+                    for (&j, &s) in indices.iter().zip(partial.iter()) {
+                        scores[j] = Some(s);
+                    }
+                    Verdict {
+                        is_adversarial: Some(is_adversarial),
+                        kind: VerdictKind::Degraded(tier),
+                        from_cache: false,
+                        scores,
+                        target_transcription: Some(target),
+                        latency: Duration::ZERO,
+                    }
+                }
+            }
+        };
+        for waiter in item.waiters {
+            let mut verdict = verdict.clone();
+            verdict.latency = waiter.submitted.elapsed();
+            match verdict.kind {
+                VerdictKind::Failed => {
+                    stats.deadline_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                VerdictKind::Degraded(_) => {
+                    stats.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                VerdictKind::Full => {}
+            }
+            stats.latency.record(verdict.latency);
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = waiter.reply.send(verdict);
+        }
+    }
+}

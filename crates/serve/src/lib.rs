@@ -1,0 +1,51 @@
+//! mvp-serve: a high-throughput serving engine for MVP-EARS detection.
+//!
+//! [`DetectionSystem::detect`](mvp_ears::DetectionSystem::detect) is a
+//! one-shot API: every call spawns a thread per recogniser and extracts
+//! features from scratch. This crate wraps a trained system in a
+//! long-lived [`DetectionEngine`] built for sustained traffic:
+//!
+//! - a **bounded ingress queue** — overload sheds requests at the door
+//!   ([`SubmitError::Overloaded`]) instead of collapsing latency;
+//! - **persistent workers**, one pinned to each recogniser, fed whole
+//!   micro-batches over channels (no per-call thread spawn);
+//! - **micro-batching** — requests are grouped until `max_batch` or
+//!   `max_delay_ms`, amortising per-call overhead and deduplicating
+//!   identical waveforms within a batch;
+//! - a **content-addressed LRU cache** of transcription vectors — an
+//!   exact waveform replay skips every ASR;
+//! - **per-request deadlines with graceful degradation** — an auxiliary
+//!   that misses its deadline is dropped from the score vector and a
+//!   [`DegradePolicy`] fallback ladder still answers;
+//! - [`ServeStats`] — throughput counters, queue-depth gauge, latency
+//!   percentiles and cache hit rate, snapshot at any time.
+//!
+//! The [`loadgen`] module drives an engine with deterministic closed- or
+//! open-loop load for benchmarking.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use mvp_serve::{DegradePolicy, DetectionEngine, EngineConfig};
+//! # fn trained_system() -> mvp_ears::DetectionSystem { unimplemented!() }
+//! # fn some_waveform() -> mvp_audio::Waveform { unimplemented!() }
+//!
+//! let system = Arc::new(trained_system());
+//! let policy = DegradePolicy::untrained(system.n_auxiliaries());
+//! let engine = DetectionEngine::start(system, policy, EngineConfig::default());
+//! let verdict = engine.submit(some_waveform()).unwrap().wait();
+//! println!("adversarial: {:?}", verdict.is_adversarial);
+//! ```
+
+pub mod cache;
+pub mod degrade;
+pub mod engine;
+pub mod loadgen;
+pub mod stats;
+
+pub use cache::{waveform_key, LruCache, TranscriptVec};
+pub use degrade::{DegradePolicy, FallbackTier};
+pub use engine::{
+    DetectionEngine, EngineConfig, PendingVerdict, SubmitError, Verdict, VerdictKind,
+};
+pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec, VerdictTally};
+pub use stats::{LatencyHistogram, ServeStats, StatsSnapshot};

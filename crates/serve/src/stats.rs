@@ -1,0 +1,267 @@
+//! Service-level instrumentation: throughput counters, queue-depth
+//! gauge, cache hit rate, and a lock-free latency histogram with
+//! p50/p95/p99 estimation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: one per power-of-two of microseconds,
+/// which spans sub-microsecond to ~36 minutes with ≤ 2× relative error.
+const BUCKETS: usize = 32;
+
+/// A concurrent log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Largest recorded latency in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`) in microseconds: the upper
+    /// edge of the bucket containing the quantile rank, i.e. within 2× of
+    /// the true value. Returns 0 when empty.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i) µs (bucket 0: 0).
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_micros()
+    }
+}
+
+/// Cumulative engine counters. All methods are thread-safe; gauges and
+/// counters are monotone except `queue_depth`.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the ingress queue.
+    pub submitted: AtomicU64,
+    /// Requests rejected by backpressure (queue full).
+    pub shed: AtomicU64,
+    /// Requests answered (with any verdict).
+    pub completed: AtomicU64,
+    /// Requests answered in degraded mode (≥ 1 auxiliary dropped).
+    pub degraded: AtomicU64,
+    /// Requests that failed outright (target ASR missed the deadline).
+    pub deadline_failures: AtomicU64,
+    /// Cache lookups performed.
+    pub cache_lookups: AtomicU64,
+    /// Cache lookups that hit.
+    pub cache_hits: AtomicU64,
+    /// Current ingress queue depth.
+    pub queue_depth: AtomicU64,
+    /// Batches dispatched to workers.
+    pub batches: AtomicU64,
+    /// Total requests across dispatched batches (for mean batch size).
+    pub batched_requests: AtomicU64,
+    /// End-to-end latency of answered requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// Creates zeroed stats.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// Takes a point-in-time copy of every metric.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let batches = load(&self.batches);
+        StatsSnapshot {
+            submitted: load(&self.submitted),
+            shed: load(&self.shed),
+            completed: load(&self.completed),
+            degraded: load(&self.degraded),
+            deadline_failures: load(&self.deadline_failures),
+            cache_lookups: load(&self.cache_lookups),
+            cache_hits: load(&self.cache_hits),
+            queue_depth: load(&self.queue_depth),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                load(&self.batched_requests) as f64 / batches as f64
+            },
+            latency_mean_micros: self.latency.mean_micros(),
+            latency_p50_micros: self.latency.quantile_micros(0.50),
+            latency_p95_micros: self.latency.quantile_micros(0.95),
+            latency_p99_micros: self.latency.quantile_micros(0.99),
+            latency_max_micros: self.latency.max_micros(),
+        }
+    }
+}
+
+/// A point-in-time copy of the engine metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests accepted into the ingress queue.
+    pub submitted: u64,
+    /// Requests rejected by backpressure.
+    pub shed: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests answered in degraded mode.
+    pub degraded: u64,
+    /// Requests failed because the target ASR missed the deadline.
+    pub deadline_failures: u64,
+    /// Cache lookups performed.
+    pub cache_lookups: u64,
+    /// Cache lookups that hit.
+    pub cache_hits: u64,
+    /// Ingress queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Mean end-to-end latency (µs).
+    pub latency_mean_micros: f64,
+    /// Median end-to-end latency (µs, bucket upper edge).
+    pub latency_p50_micros: u64,
+    /// 95th-percentile latency (µs, bucket upper edge).
+    pub latency_p95_micros: u64,
+    /// 99th-percentile latency (µs, bucket upper edge).
+    pub latency_p99_micros: u64,
+    /// Maximum observed latency (µs).
+    pub latency_max_micros: u64,
+}
+
+impl StatsSnapshot {
+    /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Renders the snapshot as a JSON object (the repo has no serde; the
+    /// field set is flat, so hand-rolling is trivial and dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"submitted\":{},\"shed\":{},\"completed\":{},\"degraded\":{},",
+                "\"deadline_failures\":{},\"cache_lookups\":{},\"cache_hits\":{},",
+                "\"cache_hit_rate\":{:.4},\"queue_depth\":{},\"batches\":{},",
+                "\"mean_batch_size\":{:.3},\"latency_mean_us\":{:.1},",
+                "\"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_p99_us\":{},",
+                "\"latency_max_us\":{}}}"
+            ),
+            self.submitted,
+            self.shed,
+            self.completed,
+            self.degraded,
+            self.deadline_failures,
+            self.cache_lookups,
+            self.cache_hits,
+            self.cache_hit_rate(),
+            self.queue_depth,
+            self.batches,
+            self.mean_batch_size,
+            self.latency_mean_micros,
+            self.latency_p50_micros,
+            self.latency_p95_micros,
+            self.latency_p99_micros,
+            self.latency_max_micros,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_micros(0.5);
+        // True median 5 ms -> bucket upper edge within [5ms, 10ms].
+        assert!((5_000..=10_000).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_micros(0.99);
+        assert!(p99 >= 100_000, "p99 {p99}");
+        assert_eq!(h.max_micros(), 100_000);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_monotone_in_q() {
+        let h = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            h.record(Duration::from_micros(i * 37 % 5000));
+        }
+        let (p50, p95, p99) =
+            (h.quantile_micros(0.5), h.quantile_micros(0.95), h.quantile_micros(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn snapshot_hit_rate_and_json() {
+        let s = ServeStats::new();
+        s.submitted.store(10, Ordering::Relaxed);
+        s.cache_lookups.store(8, Ordering::Relaxed);
+        s.cache_hits.store(2, Ordering::Relaxed);
+        s.latency.record(Duration::from_millis(3));
+        let snap = s.snapshot();
+        assert!((snap.cache_hit_rate() - 0.25).abs() < 1e-12);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"submitted\":10"));
+        assert!(json.contains("\"cache_hit_rate\":0.2500"));
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end tests for the serving engine: verdict parity with the
+//! one-shot detection API under concurrent load, cache-hit behaviour,
+//! and graceful degradation when an auxiliary is deadline-disabled.
+
+use std::sync::Arc;
+
+use mvp_ears_suite::asr::AsrProfile;
+use mvp_ears_suite::audio::Waveform;
+use mvp_ears_suite::corpus::{CorpusBuilder, CorpusConfig};
+use mvp_ears_suite::ears::DetectionSystem;
+use mvp_ears_suite::ml::ClassifierKind;
+use mvp_ears_suite::serve::{
+    DegradePolicy, DetectionEngine, EngineConfig, FallbackTier, VerdictKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Well-separated synthetic training scores matching the paper's score
+/// geometry (benign similarities high, adversarial low), so training is
+/// deterministic and needs no attack run.
+fn training_scores(n_aux: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let benign: Vec<Vec<f64>> = (0..24)
+        .map(|i| (0..n_aux).map(|j| 0.82 + 0.015 * ((i + j) % 10) as f64).collect())
+        .collect();
+    let aes: Vec<Vec<f64>> = (0..24)
+        .map(|i| (0..n_aux).map(|j| 0.03 + 0.015 * ((i * 3 + j) % 10) as f64).collect())
+        .collect();
+    (benign, aes)
+}
+
+fn trained_system() -> Arc<DetectionSystem> {
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(AsrProfile::Ds1)
+        .auxiliary(AsrProfile::Gcs)
+        .build();
+    let (benign, aes) = training_scores(system.n_auxiliaries());
+    system.train_on_scores(&benign, &aes, ClassifierKind::Knn);
+    Arc::new(system)
+}
+
+/// Mixed test traffic: N clean utterances plus N noise bursts (which no
+/// ASR agrees on, standing in for adversarial audio).
+fn test_waves(n: usize) -> Vec<Arc<Waveform>> {
+    let corpus = CorpusBuilder::new(CorpusConfig { size: n, seed: 913, ..CorpusConfig::default() })
+        .build();
+    let mut waves: Vec<Arc<Waveform>> =
+        corpus.utterances().iter().map(|u| Arc::new(u.wave.clone())).collect();
+    let mut rng = StdRng::seed_from_u64(4242);
+    for _ in 0..n {
+        let samples: Vec<f32> = (0..6_000).map(|_| rng.gen_range(-0.4f32..0.4)).collect();
+        waves.push(Arc::new(Waveform::from_samples(samples, 16_000)));
+    }
+    waves
+}
+
+#[test]
+fn engine_verdicts_match_one_shot_detection() {
+    let system = trained_system();
+    let waves = test_waves(3);
+
+    let expected: Vec<_> = waves.iter().map(|w| system.detect(w)).collect();
+
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let config = EngineConfig {
+        max_batch: 4,
+        max_delay_ms: 2,
+        deadline_ms: 60_000, // no deadline may fire in this test
+        ..EngineConfig::default()
+    };
+    let engine = DetectionEngine::start(Arc::clone(&system), policy, config);
+
+    // Submit everything up front so requests overlap in flight.
+    let pending: Vec<_> = waves
+        .iter()
+        .map(|w| engine.submit(Arc::clone(w)).expect("queue has room"))
+        .collect();
+    for (pending, expected) in pending.into_iter().zip(&expected) {
+        let verdict = pending.wait();
+        assert_eq!(verdict.kind, VerdictKind::Full);
+        assert!(!verdict.from_cache);
+        assert_eq!(verdict.is_adversarial, Some(expected.is_adversarial));
+        let scores: Vec<f64> = verdict.scores.iter().map(|s| s.expect("full vector")).collect();
+        assert_eq!(scores, expected.scores);
+        assert_eq!(verdict.target_transcription.as_deref(), Some(expected.target_transcription.as_str()));
+    }
+
+    // An exact replay is answered from the cache with the same verdict.
+    let replay = engine.submit(Arc::clone(&waves[0])).expect("queue has room").wait();
+    assert!(replay.from_cache);
+    assert_eq!(replay.kind, VerdictKind::Full);
+    assert_eq!(replay.is_adversarial, Some(expected[0].is_adversarial));
+
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, waves.len() as u64 + 1);
+    assert_eq!(stats.completed, waves.len() as u64 + 1);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.deadline_failures, 0);
+    assert_eq!(stats.degraded, 0);
+    assert!(stats.cache_hits >= 1, "replay must hit the cache");
+    engine.shutdown();
+}
+
+#[test]
+fn degraded_mode_still_answers_every_request() {
+    let system = trained_system();
+    let n_aux = system.n_auxiliaries();
+    let waves = test_waves(3);
+
+    let (benign, aes) = training_scores(n_aux);
+    let policy = DegradePolicy::trained(n_aux, &benign, &aes, ClassifierKind::Knn, 0.05);
+    let config = EngineConfig {
+        // Auxiliary 0 (DS1) never dispatched: deterministic degraded mode.
+        aux_deadline_ms: vec![Some(0)],
+        deadline_ms: 60_000,
+        ..EngineConfig::default()
+    };
+    let engine = DetectionEngine::start(Arc::clone(&system), policy, config);
+
+    let pending: Vec<_> = waves
+        .iter()
+        .map(|w| engine.submit(Arc::clone(w)).expect("queue has room"))
+        .collect();
+    for pending in pending {
+        let verdict = pending.wait();
+        // Every request is answered, by the subset classifier for the
+        // surviving auxiliary.
+        assert_eq!(verdict.kind, VerdictKind::Degraded(FallbackTier::SubsetClassifier));
+        assert!(verdict.is_adversarial.is_some());
+        assert!(verdict.scores[0].is_none(), "disabled auxiliary must not score");
+        assert!(verdict.scores[1].is_some());
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.completed, waves.len() as u64);
+    assert_eq!(stats.degraded, waves.len() as u64);
+    assert_eq!(stats.deadline_failures, 0);
+    // Partial transcription vectors are never cached.
+    assert_eq!(stats.cache_hits, 0);
+    engine.shutdown();
+}

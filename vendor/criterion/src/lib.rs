@@ -1,0 +1,144 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate: [`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], [`Bencher::iter`] and
+//! [`black_box`].
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! this shim via a path dependency. Instead of criterion's statistical
+//! machinery it runs a short warm-up followed by `sample_size` timed
+//! samples and prints min/mean/max per benchmark — enough to compare hot
+//! paths release-to-release by eye, with the same bench source code.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark registry and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented.
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{name:32} (no samples)");
+            return self;
+        }
+        let min = samples.iter().min().expect("nonempty");
+        let max = samples.iter().max().expect("nonempty");
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!("{name:32} min {min:>12.2?}  mean {mean:>12.2?}  max {max:>12.2?}");
+        self
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: a few warm-up runs, then `sample_size` timed runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3.min(self.sample_size) {
+            black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group; both the plain and the
+/// `name/config/targets` forms of the real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 3 warm-up + 5 timed.
+        assert_eq!(runs, 8);
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("x", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(benches, target);
+        benches();
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `crossbeam` crate, providing the
+//! [`channel`] module subset this workspace uses: bounded/unbounded
+//! multi-producer multi-consumer channels with cloneable endpoints,
+//! blocking/non-blocking/timed operations and disconnect tracking.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! this shim via a path dependency. The implementation is a
+//! `Mutex<VecDeque>` + two `Condvar`s — not lock-free like the real
+//! crossbeam, but correct, and fast enough for the worker counts this
+//! repo runs (a handful of ASR workers, not thousands).
+
+pub mod channel;

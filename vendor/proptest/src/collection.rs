@@ -1,0 +1,73 @@
+//! Collection strategies ([`vec`]).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: an exact `usize` or a half-open
+/// `Range<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+/// A strategy producing `Vec`s of values from `element`, with length
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_inclusive(self.size.min, self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranged_length() {
+        let strat = vec(0.0f64..1.0, 1..64);
+        let mut rng = TestRng::for_test("vec-range");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..64).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn exact_length() {
+        let strat = vec(0u8..10, 16);
+        let mut rng = TestRng::for_test("vec-exact");
+        assert_eq!(strat.generate(&mut rng).len(), 16);
+    }
+}

@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate, covering the subset this
+//! workspace uses: the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, range strategies, regex-literal string
+//! strategies, [`collection::vec`] and [`sample::select`].
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! this shim via a path dependency. Differences from real proptest:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the message instead of minimising them.
+//! - **Deterministic.** Each test's RNG is seeded from the test name (or
+//!   `PROPTEST_SEED`), so failures reproduce exactly.
+//! - The regex strategy supports the subset the workspace's patterns use:
+//!   literals, character classes with ranges, groups, and `{m}` / `{m,n}`
+//!   repetition.
+//!
+//! Case count defaults to 64; override with `PROPTEST_CASES`.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `fn name()` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    // Render inputs up front: the body may consume them.
+                    let inputs = ::std::format!(
+                        ::std::concat!($("\n  ", ::std::stringify!($arg), " = {:?}",)+),
+                        $(&$arg,)+
+                    );
+                    let run = || $body;
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!("proptest case {case}/{cases} failed with inputs:{inputs}");
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (panics with the
+/// condition text on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "prop_assert failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}

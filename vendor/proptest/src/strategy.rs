@@ -1,0 +1,121 @@
+//! The [`Strategy`] trait and the primitive strategies (numeric ranges,
+//! regex string literals).
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case values.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy
+/// just produces a value from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategies behind shared references work like the strategy itself.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// Tuples of strategies generate tuples of values, left to right.
+macro_rules! tuple_strategy {
+    ($(($($s:ident $v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A a)
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+}
+
+/// String literals act as regex strategies (see [`crate::string`] for the
+/// supported subset).
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_matching(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_in_bounds() {
+        let mut rng = TestRng::for_test("ints");
+        let strat = 2usize..9;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = TestRng::for_test("floats");
+        let strat = -1.0f32..1.0;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn str_literal_is_regex_strategy() {
+        let mut rng = TestRng::for_test("re");
+        let s = "[a-c]{2,4}".generate(&mut rng);
+        assert!((2..=4).contains(&s.len()));
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+}

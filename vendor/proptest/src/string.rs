@@ -1,0 +1,201 @@
+//! Generation of strings matching a regex subset: literal characters,
+//! character classes with ranges (`[a-zA-Z ]`), groups, and `{m}` /
+//! `{m,n}` repetition — exactly the forms this workspace's property
+//! tests use.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<(Node, Repeat)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+const ONCE: Repeat = Repeat { min: 1, max: 1 };
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset (alternation,
+/// `*`/`+`/`?`, escapes, anchors…), naming the offending pattern.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (nodes, consumed) = parse_sequence(&chars, 0, pattern);
+    assert_eq!(consumed, chars.len(), "unbalanced pattern {pattern:?}");
+    let mut out = String::new();
+    emit_sequence(&nodes, rng, &mut out);
+    out
+}
+
+fn emit_sequence(nodes: &[(Node, Repeat)], rng: &mut TestRng, out: &mut String) {
+    for (node, rep) in nodes {
+        let n = rng.usize_inclusive(rep.min, rep.max);
+        for _ in 0..n {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(choices) => {
+                    out.push(choices[rng.usize_inclusive(0, choices.len() - 1)]);
+                }
+                Node::Group(inner) => emit_sequence(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Parses until end of input or a closing `)`, returning the nodes and
+/// the index just past the last consumed character.
+fn parse_sequence(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(Node, Repeat)>, usize) {
+    let mut nodes = Vec::new();
+    while i < chars.len() && chars[i] != ')' {
+        let node = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"))
+                    + i;
+                let node = Node::Class(expand_class(&chars[i + 1..close], pattern));
+                i = close + 1;
+                node
+            }
+            '(' => {
+                let (inner, after) = parse_sequence(chars, i + 1, pattern);
+                assert!(
+                    after < chars.len() && chars[after] == ')',
+                    "unterminated group in {pattern:?}"
+                );
+                i = after + 1;
+                Node::Group(inner)
+            }
+            '*' | '+' | '?' | '|' | '\\' | '^' | '$' | '.' => {
+                panic!("unsupported regex feature {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                Node::Literal(c)
+            }
+        };
+        let rep = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            parse_repeat(&body, pattern)
+        } else {
+            ONCE
+        };
+        nodes.push((node, rep));
+    }
+    (nodes, i)
+}
+
+fn parse_repeat(body: &str, pattern: &str) -> Repeat {
+    let parse = |s: &str| -> usize {
+        s.trim().parse().unwrap_or_else(|_| panic!("bad repetition {body:?} in {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((min, max)) => {
+            let rep = Repeat { min: parse(min), max: parse(max) };
+            assert!(rep.min <= rep.max, "inverted repetition {body:?} in {pattern:?}");
+            rep
+        }
+        None => {
+            let n = parse(body);
+            Repeat { min: n, max: n }
+        }
+    }
+}
+
+/// Expands a class body (`a-zA-Z0-9 _` style) into its member characters.
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in {pattern:?}");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            out.extend((lo..=hi).filter(|c| c.is_ascii()));
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string-strategies")
+    }
+
+    #[test]
+    fn class_with_repeat() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-d ]{0,30}", &mut r);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c) || c == ' '), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn group_with_repeat() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-c]( [a-c]){0,6}", &mut r);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=7).contains(&words.len()), "{s:?}");
+            assert!(words.iter().all(|w| w.len() == 1), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenated_classes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-z]{0,4}[aeiou][a-z]{0,4}", &mut r);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            assert!(s.chars().any(|c| "aeiou".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn multi_range_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z]{1,16}", &mut r);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let mut r = rng();
+        let s = generate_matching("ab[01]{3}", &mut r);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn rejects_unsupported_syntax() {
+        generate_matching("a+", &mut rng());
+    }
+}

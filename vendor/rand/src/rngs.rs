@@ -1,0 +1,79 @@
+//! The generator types: [`StdRng`] and [`SmallRng`].
+//!
+//! Both are xoshiro256++ (Blackman & Vigna) seeded through SplitMix64, so
+//! streams are identical across platforms and runs. The real `rand` crate
+//! uses different algorithms (ChaCha12 / xoshiro256++); this workspace
+//! only relies on *determinism given a seed*, not on any particular
+//! stream, so one good generator serves both names.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Xoshiro256 {
+        // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Xoshiro256 { s }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! generator {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name(Xoshiro256);
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                $name(Xoshiro256::from_u64(state))
+            }
+        }
+    };
+}
+
+generator! {
+    /// The default deterministic generator (stands in for `rand::rngs::StdRng`).
+    StdRng
+}
+
+generator! {
+    /// The small fast generator (stands in for `rand::rngs::SmallRng`,
+    /// gated behind the `small_rng` feature in the real crate).
+    SmallRng
+}
