@@ -29,18 +29,18 @@ pub struct FeatureScaler {
 }
 
 impl FeatureScaler {
-    /// Fits mean/std on `rows`.
+    /// Fits mean/std on the rows of `feats`.
     ///
     /// # Panics
     ///
-    /// Panics if `rows` is empty.
-    pub fn fit(rows: &[&[f64]]) -> FeatureScaler {
-        assert!(!rows.is_empty(), "cannot fit scaler on empty data");
-        let d = rows[0].len();
-        let n = rows.len() as f64;
+    /// Panics if `feats` has no rows.
+    pub fn fit(feats: &FeatureMatrix) -> FeatureScaler {
+        assert!(!feats.is_empty(), "cannot fit scaler on empty data");
+        let d = feats.dim();
+        let n = feats.n_frames() as f64;
         let mut mean = vec![0.0; d];
-        for r in rows {
-            for (m, &v) in mean.iter_mut().zip(*r) {
+        for r in feats.rows() {
+            for (m, &v) in mean.iter_mut().zip(r) {
                 *m += v;
             }
         }
@@ -48,8 +48,8 @@ impl FeatureScaler {
             *m /= n;
         }
         let mut var = vec![0.0; d];
-        for r in rows {
-            for ((v, &x), &m) in var.iter_mut().zip(*r).zip(&mean) {
+        for r in feats.rows() {
+            for ((v, &x), &m) in var.iter_mut().zip(r).zip(&mean) {
                 *v += (x - m) * (x - m);
             }
         }
@@ -59,16 +59,33 @@ impl FeatureScaler {
 
     /// Applies the standardisation.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
-        row.iter()
-            .zip(&self.mean)
-            .zip(&self.inv_std)
-            .map(|((&x, &m), &s)| (x - m) * s)
-            .collect()
+        let mut out = vec![0.0; row.len()];
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Allocation-free [`transform`](Self::transform): writes the
+    /// standardised row into `out`.
+    pub fn transform_into(&self, row: &[f64], out: &mut [f64]) {
+        for (o, ((&x, &m), &s)) in out.iter_mut().zip(row.iter().zip(&self.mean).zip(&self.inv_std))
+        {
+            *o = (x - m) * s;
+        }
     }
 
     /// Backward: gradient w.r.t. the unscaled features.
     pub fn backward(&self, d_scaled: &[f64]) -> Vec<f64> {
-        d_scaled.iter().zip(&self.inv_std).map(|(&g, &s)| g * s).collect()
+        let mut out = d_scaled.to_vec();
+        self.backward_in_place(&mut out);
+        out
+    }
+
+    /// In-place [`backward`](Self::backward): rescales a gradient over the
+    /// standardised features into one over the raw features.
+    pub fn backward_in_place(&self, d_scaled: &mut [f64]) {
+        for (g, &s) in d_scaled.iter_mut().zip(&self.inv_std) {
+            *g *= s;
+        }
     }
 
     /// Feature dimensionality.
@@ -109,6 +126,16 @@ impl Default for TrainConfig {
 /// topology.
 pub const N_CLASSES: usize = Phoneme::COUNT + 1;
 
+/// Reusable workspace for the acoustic model's per-row passes
+/// ([`AcousticModel::logits_into`],
+/// [`AcousticModel::backward_to_features_into`]).
+#[derive(Debug, Clone, Default)]
+pub struct AmScratch {
+    x: Vec<f64>,
+    hid: Vec<f64>,
+    d_hid: Vec<f64>,
+}
+
 /// The acoustic model: `logits = W2·relu(W1·scale(x) + b1) + b2`.
 #[derive(Debug, Clone)]
 pub struct AcousticModel {
@@ -130,16 +157,15 @@ impl AcousticModel {
     /// # Panics
     ///
     /// Panics if the data is empty, ragged, or labels are out of range.
-    pub fn train(features: &[Vec<f64>], labels: &[usize], cfg: &TrainConfig) -> AcousticModel {
-        assert_eq!(features.len(), labels.len(), "feature/label count mismatch");
+    pub fn train(features: &FeatureMatrix, labels: &[usize], cfg: &TrainConfig) -> AcousticModel {
+        assert_eq!(features.n_frames(), labels.len(), "feature/label count mismatch");
         assert!(!features.is_empty(), "empty training set");
         assert!(labels.iter().all(|&l| l < N_CLASSES), "label out of range");
         assert!(cfg.hidden > 0, "hidden width must be positive");
-        let dim = features[0].len();
+        let dim = features.dim();
         let h = cfg.hidden;
-        let refs: Vec<&[f64]> = features.iter().map(Vec::as_slice).collect();
-        let scaler = FeatureScaler::fit(&refs);
-        let scaled: Vec<Vec<f64>> = refs.iter().map(|r| scaler.transform(r)).collect();
+        let scaler = FeatureScaler::fit(features);
+        let scaled = features.map_rows(dim, |r, out| scaler.transform_into(r, out));
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         // He-style initialisation.
@@ -150,7 +176,7 @@ impl AcousticModel {
         let mut w2: Vec<f64> = (0..N_CLASSES * h).map(|_| rng.gen_range(-s2..s2)).collect();
         let mut b2 = vec![0.0; N_CLASSES];
 
-        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        let mut order: Vec<usize> = (0..scaled.n_frames()).collect();
         for _ in 0..cfg.epochs {
             for i in (1..order.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -162,20 +188,18 @@ impl AcousticModel {
                 let mut gw2 = vec![0.0; N_CLASSES * h];
                 let mut gb2 = vec![0.0; N_CLASSES];
                 for &i in chunk {
-                    let x = &scaled[i];
+                    let x = scaled.row(i);
                     // Forward.
                     let mut hid = vec![0.0; h];
                     for j in 0..h {
                         let row = &w1[j * dim..(j + 1) * dim];
-                        let pre: f64 =
-                            b1[j] + row.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
+                        let pre: f64 = b1[j] + row.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
                         hid[j] = pre.max(0.0);
                     }
                     let mut logits = vec![0.0; N_CLASSES];
                     for c in 0..N_CLASSES {
                         let row = &w2[c * h..(c + 1) * h];
-                        logits[c] =
-                            b2[c] + row.iter().zip(&hid).map(|(w, hv)| w * hv).sum::<f64>();
+                        logits[c] = b2[c] + row.iter().zip(&hid).map(|(w, hv)| w * hv).sum::<f64>();
                     }
                     let probs = softmax(&logits);
                     // Backward.
@@ -230,14 +254,16 @@ impl AcousticModel {
         self.hidden
     }
 
-    fn hidden_activations(&self, x_scaled: &[f64]) -> Vec<f64> {
-        (0..self.hidden)
-            .map(|j| {
-                let row = &self.w1[j * self.dim..(j + 1) * self.dim];
-                (self.b1[j] + row.iter().zip(x_scaled).map(|(w, xv)| w * xv).sum::<f64>())
-                    .max(0.0)
-            })
-            .collect()
+    /// Scales `row` into `scratch.x` and fills `scratch.hid` with the ReLU
+    /// hidden activations.
+    fn forward_hidden(&self, row: &[f64], scratch: &mut AmScratch) {
+        scratch.x.resize(self.dim, 0.0);
+        self.scaler.transform_into(row, &mut scratch.x);
+        scratch.hid.clear();
+        scratch.hid.extend((0..self.hidden).map(|j| {
+            let w_row = &self.w1[j * self.dim..(j + 1) * self.dim];
+            (self.b1[j] + w_row.iter().zip(&scratch.x).map(|(w, xv)| w * xv).sum::<f64>()).max(0.0)
+        }));
     }
 
     /// Logits for one raw (unscaled) feature row.
@@ -246,39 +272,71 @@ impl AcousticModel {
     ///
     /// Panics if `row.len() != self.dim()`.
     pub fn logits(&self, row: &[f64]) -> Vec<f64> {
+        let mut scratch = AmScratch::default();
+        let mut out = vec![0.0; N_CLASSES];
+        self.logits_into(row, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`logits`](Self::logits): writes the `N_CLASSES`
+    /// logits for one raw feature row into `out`, reusing `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()` or `out.len() != N_CLASSES`.
+    pub fn logits_into(&self, row: &[f64], scratch: &mut AmScratch, out: &mut [f64]) {
         assert_eq!(row.len(), self.dim, "feature dimension mismatch");
-        let x = self.scaler.transform(row);
-        let hid = self.hidden_activations(&x);
-        (0..N_CLASSES)
-            .map(|c| {
-                let w_row = &self.w2[c * self.hidden..(c + 1) * self.hidden];
-                self.b2[c] + w_row.iter().zip(&hid).map(|(w, hv)| w * hv).sum::<f64>()
-            })
-            .collect()
+        assert_eq!(out.len(), N_CLASSES, "logit output length");
+        self.forward_hidden(row, scratch);
+        for (c, o) in out.iter_mut().enumerate() {
+            let w_row = &self.w2[c * self.hidden..(c + 1) * self.hidden];
+            *o = self.b2[c] + w_row.iter().zip(&scratch.hid).map(|(w, hv)| w * hv).sum::<f64>();
+        }
     }
 
     /// Logit matrix (`n_frames × N_CLASSES`) for a whole feature matrix.
-    pub fn logit_matrix(&self, feats: &FeatureMatrix) -> Vec<Vec<f64>> {
-        feats.rows().map(|r| self.logits(r)).collect()
+    pub fn logit_matrix(&self, feats: &FeatureMatrix) -> FeatureMatrix {
+        let mut scratch = AmScratch::default();
+        let mut out = FeatureMatrix::default();
+        self.logit_matrix_into(feats, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`logit_matrix`](Self::logit_matrix): fills `out`
+    /// with per-frame logits, reusing `scratch` across rows.
+    pub fn logit_matrix_into(
+        &self,
+        feats: &FeatureMatrix,
+        scratch: &mut AmScratch,
+        out: &mut FeatureMatrix,
+    ) {
+        out.reset(feats.n_frames(), N_CLASSES);
+        for t in 0..feats.n_frames() {
+            self.logits_into(feats.row(t), scratch, out.row_mut(t));
+        }
     }
 
     /// Most likely class per frame.
     pub fn predict(&self, feats: &FeatureMatrix) -> Vec<usize> {
-        feats.rows().map(|r| argmax(&self.logits(r))).collect()
+        let mut scratch = AmScratch::default();
+        let mut logits = vec![0.0; N_CLASSES];
+        feats
+            .rows()
+            .map(|r| {
+                self.logits_into(r, &mut scratch, &mut logits);
+                argmax(&logits)
+            })
+            .collect()
     }
 
     /// Fraction of frames whose argmax matches `labels`.
-    pub fn frame_accuracy(&self, features: &[Vec<f64>], labels: &[usize]) -> f64 {
-        assert_eq!(features.len(), labels.len());
+    pub fn frame_accuracy(&self, features: &FeatureMatrix, labels: &[usize]) -> f64 {
+        assert_eq!(features.n_frames(), labels.len());
         if features.is_empty() {
             return 0.0;
         }
-        let correct = features
-            .iter()
-            .zip(labels)
-            .filter(|(f, &l)| argmax(&self.logits(f)) == l)
-            .count();
-        correct as f64 / features.len() as f64
+        let correct = self.predict(features).iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f64 / features.n_frames() as f64
     }
 
     /// Backward through scaler + MLP: gradient w.r.t. the raw feature row
@@ -288,41 +346,78 @@ impl AcousticModel {
     ///
     /// Panics on dimension mismatch.
     pub fn backward_to_features(&self, x_raw: &[f64], d_logits: &[f64]) -> Vec<f64> {
+        let mut scratch = AmScratch::default();
+        let mut out = vec![0.0; self.dim];
+        self.backward_to_features_into(x_raw, d_logits, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`backward_to_features`](Self::backward_to_features):
+    /// writes the raw-feature gradient into `out`, reusing `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn backward_to_features_into(
+        &self,
+        x_raw: &[f64],
+        d_logits: &[f64],
+        scratch: &mut AmScratch,
+        out: &mut [f64],
+    ) {
         assert_eq!(d_logits.len(), N_CLASSES, "logit gradient length");
         assert_eq!(x_raw.len(), self.dim, "feature dimension mismatch");
-        let x = self.scaler.transform(x_raw);
-        let hid = self.hidden_activations(&x);
+        assert_eq!(out.len(), self.dim, "feature gradient length");
+        self.forward_hidden(x_raw, scratch);
         // d_hid = W2^T d_logits, gated by ReLU.
-        let mut d_hid = vec![0.0; self.hidden];
+        scratch.d_hid.clear();
+        scratch.d_hid.resize(self.hidden, 0.0);
         for (c, &g) in d_logits.iter().enumerate() {
             if g == 0.0 {
                 continue;
             }
             let row = &self.w2[c * self.hidden..(c + 1) * self.hidden];
-            for (d, &w) in d_hid.iter_mut().zip(row) {
+            for (d, &w) in scratch.d_hid.iter_mut().zip(row) {
                 *d += g * w;
             }
         }
-        let mut d_scaled = vec![0.0; self.dim];
+        out.fill(0.0);
         for j in 0..self.hidden {
-            if hid[j] <= 0.0 || d_hid[j] == 0.0 {
+            if scratch.hid[j] <= 0.0 || scratch.d_hid[j] == 0.0 {
                 continue;
             }
             let row = &self.w1[j * self.dim..(j + 1) * self.dim];
-            for (d, &w) in d_scaled.iter_mut().zip(row) {
-                *d += d_hid[j] * w;
+            for (d, &w) in out.iter_mut().zip(row) {
+                *d += scratch.d_hid[j] * w;
             }
         }
-        self.scaler.backward(&d_scaled)
+        self.scaler.backward_in_place(out);
     }
 }
 
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; logits.len()];
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Allocation-free [`softmax`]: writes the probabilities into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != logits.len()`.
+pub fn softmax_into(logits: &[f64], out: &mut [f64]) {
+    assert_eq!(out.len(), logits.len(), "softmax output length");
     let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
-    let z: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / z).collect()
+    let mut z = 0.0;
+    for (o, &l) in out.iter_mut().zip(logits) {
+        *o = (l - m).exp();
+        z += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= z;
+    }
 }
 
 /// Index of the largest element.
@@ -339,14 +434,18 @@ mod tests {
     use super::*;
 
     /// Builds a linearly separable 3-class toy problem on 4-dim features.
-    fn toy_data(n_per_class: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn toy_data(n_per_class: usize, seed: u64) -> (FeatureMatrix, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let centers = [[3.0, 0.0, 0.0, 1.0], [0.0, 3.0, 1.0, 0.0], [-3.0, -3.0, 0.0, 0.0]];
-        let mut feats = Vec::new();
+        let mut feats = FeatureMatrix::zeros(0, 4);
         let mut labels = Vec::new();
+        let mut row = [0.0; 4];
         for (c, center) in centers.iter().enumerate() {
             for _ in 0..n_per_class {
-                feats.push(center.iter().map(|&m| m + rng.gen_range(-0.5..0.5)).collect());
+                for (r, &m) in row.iter_mut().zip(center) {
+                    *r = m + rng.gen_range(-0.5..0.5);
+                }
+                feats.push_row(&row);
                 labels.push(c);
             }
         }
@@ -369,7 +468,7 @@ mod tests {
         let (feats, labels) = toy_data(20, 3);
         let a = AcousticModel::train(&feats, &labels, &TrainConfig::default());
         let b = AcousticModel::train(&feats, &labels, &TrainConfig::default());
-        assert_eq!(a.logits(&feats[0]), b.logits(&feats[0]));
+        assert_eq!(a.logits(feats.row(0)), b.logits(feats.row(0)));
     }
 
     #[test]
@@ -381,7 +480,7 @@ mod tests {
             &labels,
             &TrainConfig { seed: 77, ..TrainConfig::default() },
         );
-        assert_ne!(a.logits(&feats[0]), b.logits(&feats[0]));
+        assert_ne!(a.logits(feats.row(0)), b.logits(feats.row(0)));
     }
 
     #[test]
@@ -402,7 +501,7 @@ mod tests {
     fn backward_matches_finite_difference() {
         let (feats, labels) = toy_data(20, 3);
         let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
-        let x = feats[0].clone();
+        let x = feats.row(0).to_vec();
         let mut d_logits = vec![0.0; N_CLASSES];
         d_logits[0] = 1.0;
         d_logits[5] = -2.0;
@@ -427,10 +526,29 @@ mod tests {
     #[test]
     fn hidden_width_configurable() {
         let (feats, labels) = toy_data(10, 3);
-        let am =
-            AcousticModel::train(&feats, &labels, &TrainConfig { hidden: 7, ..TrainConfig::default() });
+        let am = AcousticModel::train(
+            &feats,
+            &labels,
+            &TrainConfig { hidden: 7, ..TrainConfig::default() },
+        );
         assert_eq!(am.hidden(), 7);
-        assert_eq!(am.logits(&feats[0]).len(), N_CLASSES);
+        assert_eq!(am.logits(feats.row(0)).len(), N_CLASSES);
+    }
+
+    #[test]
+    fn logit_matrix_scratch_path_matches_per_row() {
+        let (feats, labels) = toy_data(10, 3);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let m = am.logit_matrix(&feats);
+        assert_eq!(m.n_frames(), feats.n_frames());
+        assert_eq!(m.dim(), N_CLASSES);
+        let mut scratch = AmScratch::default();
+        let mut reused = FeatureMatrix::default();
+        am.logit_matrix_into(&feats, &mut scratch, &mut reused);
+        assert_eq!(reused, m);
+        for t in 0..feats.n_frames() {
+            assert_eq!(m.row(t), am.logits(feats.row(t)).as_slice());
+        }
     }
 
     #[test]
@@ -445,8 +563,8 @@ mod tests {
 
     #[test]
     fn scaler_standardises() {
-        let rows_owned = [vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
-        let rows: Vec<&[f64]> = rows_owned.iter().map(Vec::as_slice).collect();
+        let rows =
+            FeatureMatrix::from_rows(vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]], 2);
         let sc = FeatureScaler::fit(&rows);
         let t = sc.transform(&[3.0, 30.0]);
         assert!(t.iter().all(|v| v.abs() < 1e-9)); // the mean maps to 0

@@ -7,9 +7,10 @@
 //! gradient (`softmax − occupancy`) is what the white-box attack pushes
 //! back through the acoustic model and MFCC pipeline into the waveform.
 
+use mvp_dsp::mfcc::FeatureMatrix;
 use mvp_phonetics::Phoneme;
 
-use crate::am::{argmax, softmax};
+use crate::am::{argmax, softmax_into};
 
 /// The class index used as the CTC blank (one past the phoneme inventory).
 pub fn blank_index() -> usize {
@@ -22,12 +23,21 @@ pub fn blank_index() -> usize {
 ///
 /// The result retains [`Phoneme::SIL`] entries — the word decoder uses them
 /// as word-boundary separators.
-pub fn greedy_phonemes(logits: &[Vec<f64>], min_run: usize) -> Vec<Phoneme> {
+pub fn greedy_phonemes(logits: &FeatureMatrix, min_run: usize) -> Vec<Phoneme> {
     // The blank class (never seen in training, so effectively never the
     // argmax) is folded into silence for word chunking.
     let sil = Phoneme::SIL.index();
-    let labels: Vec<usize> =
-        logits.iter().map(|l| { let a = argmax(l); if a >= Phoneme::COUNT { sil } else { a } }).collect();
+    let labels: Vec<usize> = logits
+        .rows()
+        .map(|l| {
+            let a = argmax(l);
+            if a >= Phoneme::COUNT {
+                sil
+            } else {
+                a
+            }
+        })
+        .collect();
     let mut runs: Vec<(usize, usize)> = Vec::new(); // (label, length)
     for &l in &labels {
         match runs.last_mut() {
@@ -79,12 +89,11 @@ fn log_sum_exp(values: impl IntoIterator<Item = f64>) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `logits` is empty or ragged, or `target` contains the blank.
-pub fn ctc_loss_and_grad(logits: &[Vec<f64>], target: &[usize]) -> (f64, Vec<Vec<f64>>) {
-    let t_len = logits.len();
+/// Panics if `logits` is empty or `target` contains the blank.
+pub fn ctc_loss_and_grad(logits: &FeatureMatrix, target: &[usize]) -> (f64, FeatureMatrix) {
+    let t_len = logits.n_frames();
     assert!(t_len > 0, "no frames");
-    let c = logits[0].len();
-    assert!(logits.iter().all(|l| l.len() == c), "ragged logit matrix");
+    let c = logits.dim();
     let blank = blank_index();
     assert!(c > blank, "logit width {c} lacks the blank class {blank}");
     assert!(!target.contains(&blank), "target must not contain the blank");
@@ -105,82 +114,85 @@ pub fn ctc_loss_and_grad(logits: &[Vec<f64>], target: &[usize]) -> (f64, Vec<Vec
             min_frames += 1;
         }
     }
-    let zeros = vec![vec![0.0; c]; t_len];
     if t_len < min_frames {
-        return (f64::INFINITY, zeros);
+        return (f64::INFINITY, FeatureMatrix::zeros(t_len, c));
     }
 
-    let y: Vec<Vec<f64>> = logits
-        .iter()
-        .map(|l| {
-            let p = softmax(l);
-            p.into_iter().map(|v| v.max(1e-300).ln()).collect()
-        })
-        .collect();
+    // Log-softmax per frame, one contiguous matrix.
+    let y = logits.map_rows(c, |l, out| {
+        softmax_into(l, out);
+        for o in out.iter_mut() {
+            *o = o.max(1e-300).ln();
+        }
+    });
 
     const NEG: f64 = f64::NEG_INFINITY;
-    // Forward.
-    let mut alpha = vec![vec![NEG; s_len]; t_len];
-    alpha[0][0] = y[0][ext(0)];
+    // Forward and backward trellises, flat with stride `s_len`.
+    let at = |t: usize, s: usize| t * s_len + s;
+    let mut alpha = vec![NEG; t_len * s_len];
+    alpha[at(0, 0)] = y.row(0)[ext(0)];
     if s_len > 1 {
-        alpha[0][1] = y[0][ext(1)];
+        alpha[at(0, 1)] = y.row(0)[ext(1)];
     }
     for t in 1..t_len {
         for s in 0..s_len {
-            let mut terms = vec![alpha[t - 1][s]];
+            let mut terms = [alpha[at(t - 1, s)], NEG, NEG];
             if s >= 1 {
-                terms.push(alpha[t - 1][s - 1]);
+                terms[1] = alpha[at(t - 1, s - 1)];
             }
             if s >= 2 && ext(s) != blank && ext(s) != ext(s - 2) {
-                terms.push(alpha[t - 1][s - 2]);
+                terms[2] = alpha[at(t - 1, s - 2)];
             }
             let acc = log_sum_exp(terms);
-            alpha[t][s] = if acc == NEG { NEG } else { acc + y[t][ext(s)] };
+            alpha[at(t, s)] = if acc == NEG { NEG } else { acc + y.row(t)[ext(s)] };
         }
     }
     let log_p = log_sum_exp([
-        alpha[t_len - 1][s_len - 1],
-        if s_len >= 2 { alpha[t_len - 1][s_len - 2] } else { NEG },
+        alpha[at(t_len - 1, s_len - 1)],
+        if s_len >= 2 { alpha[at(t_len - 1, s_len - 2)] } else { NEG },
     ]);
     if log_p == NEG {
-        return (f64::INFINITY, zeros);
+        return (f64::INFINITY, FeatureMatrix::zeros(t_len, c));
     }
 
     // Backward (beta excludes the emission at frame t).
-    let mut beta = vec![vec![NEG; s_len]; t_len];
-    beta[t_len - 1][s_len - 1] = 0.0;
+    let mut beta = vec![NEG; t_len * s_len];
+    beta[at(t_len - 1, s_len - 1)] = 0.0;
     if s_len >= 2 {
-        beta[t_len - 1][s_len - 2] = 0.0;
+        beta[at(t_len - 1, s_len - 2)] = 0.0;
     }
     for t in (0..t_len - 1).rev() {
         for s in 0..s_len {
-            let mut terms = vec![beta[t + 1][s] + y[t + 1][ext(s)]];
+            let mut terms = [beta[at(t + 1, s)] + y.row(t + 1)[ext(s)], NEG, NEG];
             if s + 1 < s_len {
-                terms.push(beta[t + 1][s + 1] + y[t + 1][ext(s + 1)]);
+                terms[1] = beta[at(t + 1, s + 1)] + y.row(t + 1)[ext(s + 1)];
             }
             if s + 2 < s_len && ext(s + 2) != blank && ext(s + 2) != ext(s) {
-                terms.push(beta[t + 1][s + 2] + y[t + 1][ext(s + 2)]);
+                terms[2] = beta[at(t + 1, s + 2)] + y.row(t + 1)[ext(s + 2)];
             }
-            beta[t][s] = log_sum_exp(terms);
+            beta[at(t, s)] = log_sum_exp(terms);
         }
     }
 
     // Gradient: softmax − occupancy.
-    let mut grad = vec![vec![0.0; c]; t_len];
+    let mut occ_log = vec![NEG; c];
+    let mut grad = FeatureMatrix::zeros(t_len, c);
+    let mut probs = vec![0.0; c];
     for t in 0..t_len {
-        let probs = softmax(&logits[t]);
+        softmax_into(logits.row(t), &mut probs);
         // Occupancy per class at frame t.
-        let mut occ_log = vec![NEG; c];
+        occ_log.fill(NEG);
         for s in 0..s_len {
-            let v = alpha[t][s] + beta[t][s];
+            let v = alpha[at(t, s)] + beta[at(t, s)];
             if v > NEG {
                 let k = ext(s);
                 occ_log[k] = log_sum_exp([occ_log[k], v]);
             }
         }
+        let row = grad.row_mut(t);
         for k in 0..c {
             let occ = if occ_log[k] == NEG { 0.0 } else { (occ_log[k] - log_p).exp() };
-            grad[t][k] = probs[k] - occ;
+            row[k] = probs[k] - occ;
         }
     }
     (-log_p, grad)
@@ -193,9 +205,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_logits(t: usize, c: usize, seed: u64) -> Vec<Vec<f64>> {
+    fn random_logits(t: usize, c: usize, seed: u64) -> FeatureMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..t).map(|_| (0..c).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect()
+        let mut m = FeatureMatrix::zeros(t, c);
+        for v in m.as_mut_slice() {
+            *v = rng.gen_range(-2.0..2.0);
+        }
+        m
     }
 
     #[test]
@@ -209,7 +225,10 @@ mod tests {
         let b = Phoneme::B.index();
         let sil = Phoneme::SIL.index();
         // AA AA AA (B glitch) AA SIL SIL B B
-        let logits = vec![mk(a), mk(a), mk(a), mk(b), mk(a), mk(sil), mk(sil), mk(b), mk(b)];
+        let logits = FeatureMatrix::from_rows(
+            vec![mk(a), mk(a), mk(a), mk(b), mk(a), mk(sil), mk(sil), mk(b), mk(b)],
+            N_CLASSES,
+        );
         let seq = greedy_phonemes(&logits, 2);
         assert_eq!(seq, vec![Phoneme::AA, Phoneme::SIL, Phoneme::B]);
     }
@@ -227,7 +246,7 @@ mod tests {
         let target = vec![1, 2, 3]; // needs >= 3 frames
         let (loss, grad) = ctc_loss_and_grad(&logits, &target);
         assert!(loss.is_infinite());
-        assert!(grad.iter().flatten().all(|&g| g == 0.0));
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
     }
 
     #[test]
@@ -235,14 +254,16 @@ mod tests {
         let target = vec![Phoneme::AA.index(), Phoneme::B.index()];
         let blank = blank_index();
         let path = [blank, target[0], target[0], blank, target[1], blank];
-        let logits: Vec<Vec<f64>> = path
-            .iter()
-            .map(|&k| {
-                let mut l = vec![-5.0; N_CLASSES];
-                l[k] = 5.0;
-                l
-            })
-            .collect();
+        let logits = FeatureMatrix::from_rows(
+            path.iter()
+                .map(|&k| {
+                    let mut l = vec![-5.0; N_CLASSES];
+                    l[k] = 5.0;
+                    l
+                })
+                .collect(),
+            N_CLASSES,
+        );
         let (loss, _) = ctc_loss_and_grad(&logits, &target);
         assert!(loss < 0.1, "loss {loss}");
         // A wrong target under the same logits scores much worse.
@@ -254,7 +275,7 @@ mod tests {
     fn gradient_matches_finite_differences() {
         let t = 6;
         let c = 8; // use a small class count via fake blank? blank index is SIL
-        // Use the real class count so blank_index() is valid.
+                   // Use the real class count so blank_index() is valid.
         let _ = c;
         let logits = random_logits(t, N_CLASSES, 42);
         let target = vec![Phoneme::AA.index(), Phoneme::B.index(), Phoneme::AA.index()];
@@ -265,16 +286,16 @@ mod tests {
             let ti = rng.gen_range(0..t);
             let ci = rng.gen_range(0..N_CLASSES);
             let mut hi = logits.clone();
-            hi[ti][ci] += eps;
+            hi.row_mut(ti)[ci] += eps;
             let mut lo = logits.clone();
-            lo[ti][ci] -= eps;
+            lo.row_mut(ti)[ci] -= eps;
             let (lh, _) = ctc_loss_and_grad(&hi, &target);
             let (ll, _) = ctc_loss_and_grad(&lo, &target);
             let fd = (lh - ll) / (2.0 * eps);
             assert!(
-                (grad[ti][ci] - fd).abs() < 1e-5,
+                (grad.row(ti)[ci] - fd).abs() < 1e-5,
                 "({ti},{ci}): analytic {} vs fd {fd}",
-                grad[ti][ci]
+                grad.row(ti)[ci]
             );
         }
     }
@@ -284,10 +305,8 @@ mod tests {
         let mut logits = random_logits(10, N_CLASSES, 3);
         let target = vec![Phoneme::S.index(), Phoneme::IY.index()];
         let (before, grad) = ctc_loss_and_grad(&logits, &target);
-        for (l, g) in logits.iter_mut().zip(&grad) {
-            for (lv, gv) in l.iter_mut().zip(g) {
-                *lv -= 0.5 * gv;
-            }
+        for (lv, gv) in logits.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *lv -= 0.5 * gv;
         }
         let (after, _) = ctc_loss_and_grad(&logits, &target);
         assert!(after < before, "{after} !< {before}");
@@ -297,8 +316,8 @@ mod tests {
     fn empty_target_prefers_all_blank() {
         let blank = blank_index();
         let mut logits = random_logits(4, N_CLASSES, 9);
-        for l in &mut logits {
-            l[blank] = 9.0;
+        for t in 0..logits.n_frames() {
+            logits.row_mut(t)[blank] = 9.0;
         }
         let (loss, _) = ctc_loss_and_grad(&logits, &[]);
         assert!(loss < 0.5, "loss {loss}");

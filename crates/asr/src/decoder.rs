@@ -8,6 +8,7 @@
 //! edit distance, so the language model — which differs per ASR profile —
 //! makes the choice.
 
+use mvp_dsp::mfcc::FeatureMatrix;
 use mvp_phonetics::{Lexicon, Phoneme};
 
 use crate::ctc::greedy_phonemes;
@@ -48,17 +49,15 @@ impl Decoder {
     ///
     /// Panics if the lexicon has no explicit entries.
     pub fn new(lexicon: &Lexicon, lm: BigramLm, cfg: DecoderConfig) -> Decoder {
-        let mut vocab: Vec<(String, Vec<Phoneme>)> = lexicon
-            .words()
-            .map(|w| (w.to_string(), lexicon.pronounce(w)))
-            .collect();
+        let mut vocab: Vec<(String, Vec<Phoneme>)> =
+            lexicon.words().map(|w| (w.to_string(), lexicon.pronounce(w))).collect();
         assert!(!vocab.is_empty(), "decoder needs a non-empty lexicon");
         vocab.sort(); // deterministic candidate ordering
         Decoder { vocab, lm, cfg }
     }
 
     /// Decodes a logit matrix (`n_frames × n_classes`) to a transcription.
-    pub fn decode(&self, logits: &[Vec<f64>]) -> String {
+    pub fn decode(&self, logits: &FeatureMatrix) -> String {
         if logits.is_empty() {
             return String::new();
         }
@@ -69,10 +68,8 @@ impl Decoder {
     /// Decodes an explicit collapsed phoneme sequence (with SIL word
     /// separators) to a transcription.
     pub fn decode_phonemes(&self, seq: &[Phoneme]) -> String {
-        let chunks: Vec<&[Phoneme]> = seq
-            .split(|&p| p == Phoneme::SIL)
-            .filter(|c| !c.is_empty())
-            .collect();
+        let chunks: Vec<&[Phoneme]> =
+            seq.split(|&p| p == Phoneme::SIL).filter(|c| !c.is_empty()).collect();
         if chunks.is_empty() {
             return String::new();
         }
@@ -191,14 +188,16 @@ mod tests {
     }
 
     /// Builds one-hot logits from a phoneme sequence, `per` frames each.
-    fn logits_for(seq: &[Phoneme], per: usize) -> Vec<Vec<f64>> {
-        seq.iter()
-            .flat_map(|p| {
-                let mut l = vec![-4.0; Phoneme::COUNT];
-                l[p.index()] = 4.0;
-                std::iter::repeat_n(l, per)
-            })
-            .collect()
+    fn logits_for(seq: &[Phoneme], per: usize) -> FeatureMatrix {
+        let mut m = FeatureMatrix::zeros(0, Phoneme::COUNT);
+        for p in seq {
+            let mut l = vec![-4.0; Phoneme::COUNT];
+            l[p.index()] = 4.0;
+            for _ in 0..per {
+                m.push_row(&l);
+            }
+        }
+        m
     }
 
     #[test]
@@ -234,7 +233,7 @@ mod tests {
 
     #[test]
     fn empty_logits_empty_text() {
-        assert_eq!(decoder().decode(&[]), "");
+        assert_eq!(decoder().decode(&FeatureMatrix::default()), "");
     }
 
     #[test]
@@ -258,11 +257,8 @@ mod tests {
         // ordering alone, but exact pronunciations still decode correctly.
         let lex = Lexicon::builtin();
         let lm = BigramLm::train(["i see the sea"], 0.05);
-        let d = Decoder::new(
-            &lex,
-            lm,
-            DecoderConfig { lm_weight: 0.0, ..DecoderConfig::default() },
-        );
+        let d =
+            Decoder::new(&lex, lm, DecoderConfig { lm_weight: 0.0, ..DecoderConfig::default() });
         let seq = lex.pronounce_sentence("open the front door");
         assert_eq!(d.decode(&logits_for(&seq, 5)), "open the front door");
     }
@@ -276,10 +272,7 @@ mod tests {
         // With k=1 homophone ties resolve to the lexicographically first
         // candidate, so only check WER-0-modulo-homophony.
         let text = d.decode(&logits_for(&seq, 5));
-        assert_eq!(
-            lex.pronounce_sentence(&text),
-            lex.pronounce_sentence("turn on the lights")
-        );
+        assert_eq!(lex.pronounce_sentence(&text), lex.pronounce_sentence("turn on the lights"));
     }
 
     #[test]
@@ -289,17 +282,17 @@ mod tests {
         let lex = Lexicon::builtin();
         let d = decoder();
         let seq = lex.pronounce_sentence("open the door");
-        let mut logits = Vec::new();
+        let mut logits = FeatureMatrix::zeros(0, Phoneme::COUNT);
         for p in &seq {
             let mut l = vec![-4.0; Phoneme::COUNT];
             l[p.index()] = 4.0;
             for _ in 0..5 {
-                logits.push(l.clone());
+                logits.push_row(&l);
             }
             // Glitch frame.
             let mut g = vec![-4.0; Phoneme::COUNT];
             g[Phoneme::Z.index()] = 4.0;
-            logits.push(g);
+            logits.push_row(&g);
         }
         assert_eq!(d.decode(&logits), "open the door");
     }

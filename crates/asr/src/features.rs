@@ -8,7 +8,7 @@
 //! backward pass composes exactly with the MFCC adjoint.
 
 use mvp_audio::Waveform;
-use mvp_dsp::mfcc::{FeatureMatrix, MfccCache, MfccConfig, MfccExtractor};
+use mvp_dsp::mfcc::{FeatureMatrix, MfccCache, MfccConfig, MfccExtractor, MfccScratch};
 
 /// Front-end configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +32,14 @@ impl Default for FrontEndConfig {
 pub struct FrontEndCache {
     mfcc_cache: MfccCache,
     n_mfcc_frames: usize,
+}
+
+/// Reusable workspace for [`FeatureFrontEnd::features_into`]: the MFCC
+/// scratch plan plus the intermediate (un-stacked) MFCC matrix.
+#[derive(Debug, Clone, Default)]
+pub struct FrontEndScratch {
+    mfcc: MfccScratch,
+    mfcc_mat: FeatureMatrix,
 }
 
 /// The feature front end of one ASR profile.
@@ -84,11 +92,25 @@ impl FeatureFrontEnd {
         self.features_with_cache(wave).0
     }
 
-    /// Extracts stacked features from pre-widened samples — the batch
-    /// path uses this with one reused `f64` scratch buffer instead of
-    /// allocating per waveform (see `TrainedAsr::transcribe_batch`).
+    /// Extracts stacked features from pre-widened samples.
     pub fn features_from_samples(&self, samples: &[f64]) -> FeatureMatrix {
-        self.stack(&self.extractor.extract(samples))
+        let mut scratch = FrontEndScratch::default();
+        let mut out = FeatureMatrix::default();
+        self.features_into(samples, &mut scratch, &mut out);
+        out
+    }
+
+    /// Extracts stacked features into `out`, reusing `scratch` — the batch
+    /// path uses this so repeated extraction performs no steady-state
+    /// allocation (see `TrainedAsr::transcribe_batch_with`).
+    pub fn features_into(
+        &self,
+        samples: &[f64],
+        scratch: &mut FrontEndScratch,
+        out: &mut FeatureMatrix,
+    ) {
+        self.extractor.extract_into(samples, &mut scratch.mfcc, &mut scratch.mfcc_mat);
+        self.stack_into(&scratch.mfcc_mat, out);
     }
 
     /// Extracts stacked features plus the cache needed by
@@ -101,22 +123,26 @@ impl FeatureFrontEnd {
     }
 
     fn stack(&self, mfcc: &FeatureMatrix) -> FeatureMatrix {
+        let mut out = FeatureMatrix::default();
+        self.stack_into(mfcc, &mut out);
+        out
+    }
+
+    /// Context-stacks and subsamples `mfcc` into `out`, writing each row in
+    /// place.
+    fn stack_into(&self, mfcc: &FeatureMatrix, out: &mut FeatureMatrix) {
         let n = mfcc.n_frames();
         let d = mfcc.dim();
         let c = self.context as isize;
-        let rows: Vec<Vec<f64>> = (0..n)
-            .step_by(self.subsample)
-            .map(|f| {
-                let mut row = Vec::with_capacity(self.dim());
-                for o in -c..=c {
-                    let src = (f as isize + o).clamp(0, n as isize - 1) as usize;
-                    row.extend_from_slice(mfcc.row(src));
-                }
-                row
-            })
-            .collect();
         let dim = (2 * self.context + 1) * d;
-        FeatureMatrix::from_rows(rows, dim)
+        out.reset(n.div_ceil(self.subsample), dim);
+        for (i, f) in (0..n).step_by(self.subsample).enumerate() {
+            let row = out.row_mut(i);
+            for (oi, o) in (-c..=c).enumerate() {
+                let src = (f as isize + o).clamp(0, n as isize - 1) as usize;
+                row[oi * d..(oi + 1) * d].copy_from_slice(mfcc.row(src));
+            }
+        }
     }
 
     /// Backpropagates a gradient over the stacked features to a gradient
@@ -129,21 +155,23 @@ impl FeatureFrontEnd {
         let d = self.extractor.config().n_cepstra;
         let n = cache.n_mfcc_frames;
         assert_eq!(d_stacked.dim(), self.dim(), "stacked dim mismatch");
+        assert_eq!(
+            d_stacked.n_frames(),
+            n.div_ceil(self.subsample),
+            "stacked frame count mismatch"
+        );
         let c = self.context as isize;
-        let mut d_mfcc = vec![vec![0.0; d]; n];
+        let mut d_mfcc = FeatureMatrix::zeros(n, d);
         for (i, f) in (0..n).step_by(self.subsample).enumerate() {
-            if i >= d_stacked.n_frames() {
-                break;
-            }
             let row = d_stacked.row(i);
             for (oi, o) in (-c..=c).enumerate() {
                 let src = (f as isize + o).clamp(0, n as isize - 1) as usize;
-                for j in 0..d {
-                    d_mfcc[src][j] += row[oi * d + j];
+                let dst = &mut d_mfcc.row_mut(src)[..d];
+                for (dv, &g) in dst.iter_mut().zip(&row[oi * d..(oi + 1) * d]) {
+                    *dv += g;
                 }
             }
         }
-        let d_mfcc = FeatureMatrix::from_rows(d_mfcc, d);
         self.extractor.backward(&cache.mfcc_cache, &d_mfcc)
     }
 }
@@ -252,6 +280,32 @@ mod tests {
             let rel = (grad[t] - fd).abs() / fd.abs().max(1e-3);
             assert!(rel < 2e-2, "sample {t}: analytic {} vs fd {fd}", grad[t]);
         }
+    }
+
+    #[test]
+    fn features_into_matches_allocating_path() {
+        let fe = small_frontend(1, 2);
+        let a = test_wave(640);
+        let b = test_wave(400);
+        let mut scratch = FrontEndScratch::default();
+        let mut out = FeatureMatrix::default();
+        for w in [&a, &b, &a] {
+            fe.features_into(&w.to_f64(), &mut scratch, &mut out);
+            assert_eq!(out, fe.features(w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stacked frame count mismatch")]
+    fn backward_rejects_truncated_gradient() {
+        // A gradient matrix with fewer rows than the forward pass produced
+        // must be rejected, not silently truncated.
+        let fe = small_frontend(1, 2);
+        let w = test_wave(400);
+        let (feats, cache) = fe.features_with_cache(&w);
+        assert!(feats.n_frames() > 1);
+        let short = FeatureMatrix::zeros(feats.n_frames() - 1, feats.dim());
+        fe.backward(&cache, &short);
     }
 
     #[test]

@@ -43,10 +43,10 @@ pub mod lm;
 pub mod profile;
 pub mod recognizer;
 
-pub use am::AcousticModel;
+pub use am::{AcousticModel, AmScratch};
 pub use ctc::{ctc_loss_and_grad, greedy_phonemes};
 pub use decoder::{Decoder, DecoderConfig};
-pub use features::{FeatureFrontEnd, FrontEndConfig};
+pub use features::{FeatureFrontEnd, FrontEndConfig, FrontEndScratch};
 pub use lm::BigramLm;
 pub use profile::AsrProfile;
-pub use recognizer::{Asr, TrainedAsr};
+pub use recognizer::{Asr, AsrScratch, TrainedAsr};

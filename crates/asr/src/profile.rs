@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use mvp_corpus::{command_phrases, CorpusBuilder, CorpusConfig, SentenceGenerator};
-use mvp_dsp::mfcc::MfccConfig;
+use mvp_dsp::mfcc::{FeatureMatrix, MfccConfig};
 use mvp_dsp::Window;
 use mvp_phonetics::{Lexicon, Phoneme};
 
@@ -181,7 +181,7 @@ impl AsrProfile {
             noise_snr_db: (12.0, 28.0),
         })
         .build();
-        let mut features: Vec<Vec<f64>> = Vec::new();
+        let mut features = FeatureMatrix::zeros(0, frontend.dim());
         let mut labels: Vec<usize> = Vec::new();
         for utt in corpus.utterances() {
             let feats = frontend.features(&utt.wave);
@@ -192,7 +192,7 @@ impl AsrProfile {
                     .iter()
                     .find(|a| center >= a.start && center < a.end)
                     .map_or(Phoneme::SIL, |a| a.phoneme);
-                features.push(feats.row(row).to_vec());
+                features.push_row(feats.row(row));
                 labels.push(label.index());
             }
         }

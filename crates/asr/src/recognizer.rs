@@ -4,10 +4,10 @@ use mvp_audio::Waveform;
 use mvp_dsp::mfcc::FeatureMatrix;
 use mvp_phonetics::Phoneme;
 
-use crate::am::AcousticModel;
+use crate::am::{AcousticModel, AmScratch};
 use crate::ctc::ctc_loss_and_grad;
 use crate::decoder::Decoder;
-use crate::features::FeatureFrontEnd;
+use crate::features::{FeatureFrontEnd, FrontEndScratch};
 
 /// A speech recogniser: audio in, transcription out.
 ///
@@ -53,24 +53,42 @@ impl TrainedAsr {
     }
 
     /// Per-frame logits over phoneme classes for `wave`.
-    pub fn logits(&self, wave: &Waveform) -> Vec<Vec<f64>> {
+    pub fn logits(&self, wave: &Waveform) -> FeatureMatrix {
         self.am.logit_matrix(&self.frontend.features(wave))
     }
 
-    /// Transcribes a whole micro-batch, amortizing the per-call sample
-    /// widening across items via one reused scratch buffer. Produces
-    /// exactly what [`Asr::transcribe`] would per waveform, in order.
+    /// Transcribes a whole micro-batch. Produces exactly what
+    /// [`Asr::transcribe`] would per waveform, in order.
     pub fn transcribe_batch(&self, waves: &[&Waveform]) -> Vec<String> {
-        let mut scratch: Vec<f64> = Vec::new();
+        self.transcribe_batch_with(waves, &mut AsrScratch::default())
+    }
+
+    /// Transcribes a micro-batch through a caller-owned scratch plan.
+    ///
+    /// Every intermediate — widened samples, MFCC workspace, stacked
+    /// features, logit matrix, acoustic-model activations — lives in
+    /// `scratch`, so a long-lived caller (mvp-serve's per-ASR workers)
+    /// performs zero steady-state allocation per batch once the buffers
+    /// have grown to the working-set size.
+    pub fn transcribe_batch_with(
+        &self,
+        waves: &[&Waveform],
+        scratch: &mut AsrScratch,
+    ) -> Vec<String> {
         waves
             .iter()
             .map(|wave| {
                 if wave.is_empty() {
                     return String::new();
                 }
-                wave.copy_to_f64(&mut scratch);
-                let feats = self.frontend.features_from_samples(&scratch);
-                self.decoder.decode(&self.am.logit_matrix(&feats))
+                wave.copy_to_f64(&mut scratch.samples);
+                self.frontend.features_into(
+                    &scratch.samples,
+                    &mut scratch.frontend,
+                    &mut scratch.feats,
+                );
+                self.am.logit_matrix_into(&scratch.feats, &mut scratch.am, &mut scratch.logits);
+                self.decoder.decode(&scratch.logits)
             })
             .collect()
     }
@@ -120,36 +138,50 @@ impl TrainedAsr {
             return (loss, vec![0.0; wave.len()]);
         }
         if align_weight > 0.0 && !logits.is_empty() {
-            let align = stretch_alignment(target, logits.len());
-            let inv_t = 1.0 / logits.len() as f64;
-            for (t, row) in logits.iter().enumerate() {
+            let align = stretch_alignment(target, logits.n_frames());
+            let inv_t = 1.0 / logits.n_frames() as f64;
+            for (t, row) in logits.rows().enumerate() {
                 let probs = crate::am::softmax(row);
                 let label = align[t];
                 loss -= align_weight * probs[label].max(1e-300).ln() * inv_t;
+                let d_row = d_logits.row_mut(t);
                 for (k, &p) in probs.iter().enumerate() {
-                    d_logits[t][k] +=
-                        align_weight * (p - f64::from(k == label)) * inv_t;
+                    d_row[k] += align_weight * (p - f64::from(k == label)) * inv_t;
                 }
             }
         }
-        let d_rows: Vec<Vec<f64>> = d_logits
-            .iter()
-            .enumerate()
-            .map(|(t, row)| self.am.backward_to_features(feats.row(t), row))
-            .collect();
-        let d_feats = FeatureMatrix::from_rows(d_rows, feats.dim());
+        let mut am_scratch = AmScratch::default();
+        let mut d_feats = FeatureMatrix::zeros(feats.n_frames(), feats.dim());
+        for t in 0..feats.n_frames() {
+            self.am.backward_to_features_into(
+                feats.row(t),
+                d_logits.row(t),
+                &mut am_scratch,
+                d_feats.row_mut(t),
+            );
+        }
         (loss, self.frontend.backward(&cache, &d_feats))
     }
+}
+
+/// Reusable workspace for [`TrainedAsr::transcribe_batch_with`]: the full
+/// per-item intermediate state of the pipeline, owned by the caller so
+/// repeated batches reuse every allocation.
+#[derive(Debug, Clone, Default)]
+pub struct AsrScratch {
+    samples: Vec<f64>,
+    frontend: FrontEndScratch,
+    feats: FeatureMatrix,
+    logits: FeatureMatrix,
+    am: AmScratch,
 }
 
 /// Distributes `n_frames` frames across the target symbols proportionally
 /// to their nominal phoneme durations.
 fn stretch_alignment(target: &[usize], n_frames: usize) -> Vec<usize> {
     assert!(!target.is_empty(), "empty target");
-    let durations: Vec<f64> = target
-        .iter()
-        .map(|&i| f64::from(Phoneme::from_index(i).acoustics().duration_ms))
-        .collect();
+    let durations: Vec<f64> =
+        target.iter().map(|&i| f64::from(Phoneme::from_index(i).acoustics().duration_ms)).collect();
     let total: f64 = durations.iter().sum();
     let mut bounds = Vec::with_capacity(target.len());
     let mut acc = 0.0;

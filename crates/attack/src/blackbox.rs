@@ -163,9 +163,7 @@ pub fn blackbox_attack(
         let g_env = envelope(&genome[..k], n);
         let a_env = envelope(&genome[k..], n);
         Waveform::from_samples(
-            (0..n)
-                .map(|i| (a_env[i] * host_f64[i] + g_env[i] * carrier[i]) as f32)
-                .collect(),
+            (0..n).map(|i| (a_env[i] * host_f64[i] + g_env[i] * carrier[i]) as f32).collect(),
             host.sample_rate(),
         )
     };
@@ -202,8 +200,7 @@ pub fn blackbox_attack(
                 .collect()
         })
         .collect();
-    let mut fitness: Vec<f64> =
-        population.iter().map(|g| fitness_of(g, &mut queries)).collect();
+    let mut fitness: Vec<f64> = population.iter().map(|g| fitness_of(g, &mut queries)).collect();
 
     // Refinement: given a successful genome, shrink the perturbation while
     // the attack keeps succeeding — first a binary search on a global blend
@@ -222,10 +219,7 @@ pub fn blackbox_attack(
             (wer(target_text, &text) == 0.0).then_some(text)
         };
         let blend = |lam: f64, from: &[f64]| -> Vec<f64> {
-            from.iter()
-                .zip(&identity)
-                .map(|(&g, &id)| id + lam * (g - id))
-                .collect()
+            from.iter().zip(&identity).map(|(&g, &id)| id + lam * (g - id)).collect()
         };
         let mut best = genome;
         // Binary search the smallest working global blend.
@@ -280,11 +274,8 @@ pub fn blackbox_attack(
             let half = (cfg.population / 2).max(2);
             let pa = &sorted[rng.gen_range(0..half)];
             let pb = &sorted[rng.gen_range(0..half)];
-            let mut child: Vec<f64> = pa
-                .iter()
-                .zip(pb)
-                .map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b })
-                .collect();
+            let mut child: Vec<f64> =
+                pa.iter().zip(pb).map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b }).collect();
             for (i, c) in child.iter_mut().enumerate() {
                 if rng.gen_bool(cfg.mutation_p) {
                     *c += rng.gen_range(-1.0..1.0) * cfg.mutation_std * 3.0;
@@ -336,15 +327,7 @@ pub fn blackbox_attack(
     if wer(target_text, &text) == 0.0 {
         return minimise(best, &mut rng, &mut queries, generations_used + cfg.nes_steps);
     }
-    AttackOutcome::new(
-        host,
-        wave,
-        false,
-        text,
-        generations_used + cfg.nes_steps,
-        queries,
-        best_fit,
-    )
+    AttackOutcome::new(host, wave, false, text, generations_used + cfg.nes_steps, queries, best_fit)
 }
 
 #[cfg(test)]
@@ -394,6 +377,11 @@ mod tests {
     fn tiny_population_rejected() {
         let asr = AsrProfile::Ds0.trained();
         let h = Waveform::from_samples(vec![0.1; 100], 16_000);
-        blackbox_attack(&asr, &h, "call home", &BlackBoxConfig { population: 2, ..BlackBoxConfig::default() });
+        blackbox_attack(
+            &asr,
+            &h,
+            "call home",
+            &BlackBoxConfig { population: 2, ..BlackBoxConfig::default() },
+        );
     }
 }

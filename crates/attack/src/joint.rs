@@ -64,10 +64,7 @@ pub fn joint_attack(
         )
     };
     let fooled_mask = |wave: &Waveform| -> Vec<bool> {
-        ensemble
-            .iter()
-            .map(|asr| wer(target_text, &asr.transcribe(wave)) == 0.0)
-            .collect()
+        ensemble.iter().map(|asr| wer(target_text, &asr.transcribe(wave)) == 0.0).collect()
     };
 
     let mut delta = vec![0.0f64; n];
@@ -110,7 +107,9 @@ pub fn joint_attack(
                 if mask.iter().all(|&f| f) {
                     let text = ensemble[0].transcribe(&wave);
                     return JointOutcome {
-                        outcome: AttackOutcome::new(host, wave, true, text, iterations, 0, total_loss),
+                        outcome: AttackOutcome::new(
+                            host, wave, true, text, iterations, 0, total_loss,
+                        ),
                         fooled: mask,
                     };
                 }

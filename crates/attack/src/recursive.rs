@@ -59,7 +59,8 @@ mod tests {
             "the teacher found the answer",
             &SpeakerProfile::default(),
         );
-        let out = recursive_attack(&ds0, &ds1, &host, "open the front door", &WhiteBoxConfig::default());
+        let out =
+            recursive_attack(&ds0, &ds1, &host, "open the front door", &WhiteBoxConfig::default());
         if out.second.success {
             // The final audio must fool the second model by construction.
             assert!(out.final_fools_b);

@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn metrics_computed_from_waveforms() {
-        let host = Waveform::from_samples((0..400).map(|i| (i as f32 * 0.1).sin() * 0.5).collect(), 16_000);
+        let host = Waveform::from_samples(
+            (0..400).map(|i| (i as f32 * 0.1).sin() * 0.5).collect(),
+            16_000,
+        );
         let mut ae = host.clone();
         for s in ae.samples_mut() {
             *s += 0.005;

@@ -25,8 +25,8 @@
 //! ```
 
 pub mod metrics;
-pub mod resample;
 pub mod noise;
+pub mod resample;
 pub mod synth;
 pub mod wav;
 pub mod waveform;

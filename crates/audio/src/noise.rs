@@ -118,10 +118,7 @@ mod tests {
     use super::*;
 
     fn tone(n: usize) -> Waveform {
-        Waveform::from_samples(
-            (0..n).map(|i| (i as f32 * 0.2).sin() * 0.5).collect(),
-            16_000,
-        )
+        Waveform::from_samples((0..n).map(|i| (i as f32 * 0.2).sin() * 0.5).collect(), 16_000)
     }
 
     #[test]
@@ -150,12 +147,8 @@ mod tests {
         for snr in [-6.0, 0.0, 10.0, 20.0] {
             let noisy = mix_at_snr(&signal, &noise, snr);
             // Recover the injected noise and measure its level.
-            let injected: Vec<f32> = noisy
-                .samples()
-                .iter()
-                .zip(signal.samples())
-                .map(|(a, b)| a - b)
-                .collect();
+            let injected: Vec<f32> =
+                noisy.samples().iter().zip(signal.samples()).map(|(a, b)| a - b).collect();
             let injected = Waveform::from_samples(injected, 16_000);
             let measured = 20.0 * (signal.rms() as f64 / injected.rms() as f64).log10();
             assert!((measured - snr).abs() < 0.5, "wanted {snr}, got {measured}");

@@ -138,7 +138,8 @@ impl Synthesizer {
         let noise_partials: Vec<(f32, f32)> = (0..NOISE_PARTIALS)
             .map(|_| {
                 let (center, bw, _) = ac.noise_band;
-                let f = rng.gen_range((center - bw / 2.0).max(100.0)..(center + bw / 2.0).max(200.0));
+                let f =
+                    rng.gen_range((center - bw / 2.0).max(100.0)..(center + bw / 2.0).max(200.0));
                 (f, rng.gen_range(0.0..std::f32::consts::TAU))
             })
             .collect();
@@ -157,9 +158,9 @@ impl Synthesizer {
             if ac.voiced {
                 // Glottal amplitude modulation adds pitch harmonics; global
                 // time keeps the pitch phase continuous across segments.
-                let glottal =
-                    (1.0 + 0.6 * (std::f32::consts::TAU * speaker.pitch_hz * global_time).sin())
-                        / 1.6;
+                let glottal = (1.0
+                    + 0.6 * (std::f32::consts::TAU * speaker.pitch_hz * global_time).sin())
+                    / 1.6;
                 v *= glottal;
                 v += 0.12 * (std::f32::consts::TAU * speaker.pitch_hz * global_time).sin();
             }

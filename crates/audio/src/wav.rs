@@ -199,7 +199,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(read_wav(&b"not a wav"[..]), Err(ReadWavError::Format(_)) | Err(ReadWavError::Io(_))));
+        assert!(matches!(
+            read_wav(&b"not a wav"[..]),
+            Err(ReadWavError::Format(_)) | Err(ReadWavError::Io(_))
+        ));
     }
 
     #[test]

@@ -14,12 +14,10 @@ use mvp_phonetics::Lexicon;
 fn bench_overhead(c: &mut Criterion) {
     let synth = Synthesizer::new(16_000);
     let lex = Lexicon::builtin();
-    let (wave, _) =
-        synth.synthesize(&lex, "turn on the kitchen light", &SpeakerProfile::default());
+    let (wave, _) = synth.synthesize(&lex, "turn on the kitchen light", &SpeakerProfile::default());
 
     let ds0 = AsrProfile::Ds0.trained();
-    let mut system =
-        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
     let benign: Vec<Vec<f64>> = (0..20).map(|i| vec![0.9 + (i % 5) as f64 * 0.01]).collect();
     let aes: Vec<Vec<f64>> = (0..20).map(|i| vec![0.3 + (i % 5) as f64 * 0.01]).collect();
     system.train_on_scores(&benign, &aes, ClassifierKind::Svm);

@@ -19,7 +19,8 @@ fn bench_pipeline(c: &mut Criterion) {
     let samples = wave.to_f64();
 
     c.bench_function("fft_512", |b| {
-        let base: Vec<Complex> = (0..512).map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0)).collect();
+        let base: Vec<Complex> =
+            (0..512).map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0)).collect();
         b.iter(|| {
             let mut buf = base.clone();
             fft(black_box(&mut buf));

@@ -30,8 +30,8 @@ fn main() -> ExitCode {
         .auxiliary(AsrProfile::Gcs)
         .auxiliary(AsrProfile::At)
         .build();
-    let benign = CorpusBuilder::new(CorpusConfig { size: 40, seed: 42, ..CorpusConfig::default() })
-        .build();
+    let benign =
+        CorpusBuilder::new(CorpusConfig { size: 40, seed: 42, ..CorpusConfig::default() }).build();
     let benign_scores: Vec<Vec<f64>> =
         benign.utterances().iter().map(|u| system.score_vector(&u.wave)).collect();
     let detectors: Vec<ThresholdDetector> = (0..system.n_auxiliaries())
@@ -59,16 +59,17 @@ fn main() -> ExitCode {
         let flagged = scores.iter().zip(&detectors).any(|(&s, d)| d.is_adversarial(s));
         any_adversarial |= flagged;
         println!("{path}: {}", if flagged { "ADVERSARIAL" } else { "benign" });
-        println!("  {} ({:.1}s) heard by {}: {:?}", path, wave.duration_secs(), AsrProfile::Ds0, target);
-        for ((name, text), (&s, d)) in ["DS1", "GCS", "AT"]
-            .iter()
-            .zip(&aux)
-            .zip(scores.iter().zip(&detectors))
+        println!(
+            "  {} ({:.1}s) heard by {}: {:?}",
+            path,
+            wave.duration_secs(),
+            AsrProfile::Ds0,
+            target
+        );
+        for ((name, text), (&s, d)) in
+            ["DS1", "GCS", "AT"].iter().zip(&aux).zip(scores.iter().zip(&detectors))
         {
-            println!(
-                "  {name}: {text:?} (similarity {s:.3}, threshold {:.3})",
-                d.threshold()
-            );
+            println!("  {name}: {text:?} (similarity {s:.3}, threshold {:.3})", d.threshold());
         }
     }
     if any_adversarial {

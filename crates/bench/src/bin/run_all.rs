@@ -31,4 +31,5 @@ fn main() {
     experiments::ablation::baseline_comparison(&ctx);
     experiments::ablation::min_run_ablation(&ctx);
     experiments::serve::run_serve_bench(&ctx);
+    experiments::dataplane::run_dataplane_bench(&ctx);
 }

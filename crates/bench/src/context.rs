@@ -10,18 +10,25 @@ use mvp_attack::{blackbox_commands, generate_ae_dataset, AeKind, GeneratedAe};
 use mvp_audio::wav::{read_wav, write_wav};
 use mvp_corpus::{command_phrases, CorpusBuilder, CorpusConfig, SpeechCorpus};
 use mvp_ears::SimilarityMethod;
-use mvp_ml::Dataset;
+use mvp_ml::{Dataset, Mat};
 
 use crate::scale::Scale;
 
 /// The ASR profiles every audio is transcribed with (cache columns).
-pub const PROFILES: [AsrProfile; 5] = [
-    AsrProfile::Ds0,
-    AsrProfile::Ds1,
-    AsrProfile::Gcs,
-    AsrProfile::At,
-    AsrProfile::Kaldi,
-];
+pub const PROFILES: [AsrProfile; 5] =
+    [AsrProfile::Ds0, AsrProfile::Ds1, AsrProfile::Gcs, AsrProfile::At, AsrProfile::Kaldi];
+
+/// Packs per-sample score vectors into one contiguous [`Mat`] — the bridge
+/// from experiment-level `Vec<Vec<f64>>` collections to the data plane's
+/// matrix carrier.
+///
+/// # Panics
+///
+/// Panics if the rows are ragged.
+pub fn score_mat(rows: Vec<Vec<f64>>) -> Mat {
+    let d = rows.first().map_or(0, Vec::len);
+    Mat::from_rows(rows, d)
+}
 
 /// All datasets and cached transcriptions for one scale.
 pub struct ExperimentContext {
@@ -35,10 +42,7 @@ pub struct ExperimentContext {
 }
 
 fn data_dir(scale: &Scale) -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("data")
-        .join(scale.name)
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("data").join(scale.name)
 }
 
 impl ExperimentContext {
@@ -82,8 +86,8 @@ impl ExperimentContext {
                     "black-box" => AeKind::BlackBox,
                     other => panic!("unknown AE kind {other}"),
                 };
-                let file = fs::File::open(wav_dir.join(format!("{id}.wav")))
-                    .expect("open cached AE wav");
+                let file =
+                    fs::File::open(wav_dir.join(format!("{id}.wav"))).expect("open cached AE wav");
                 let wave = read_wav(std::io::BufReader::new(file)).expect("read cached AE wav");
                 out.push((
                     id,
@@ -144,8 +148,7 @@ impl ExperimentContext {
         fs::create_dir_all(&wav_dir).expect("create AE wav dir");
         let mut m = String::from("id\tkind\thost\tcommand\tsimilarity\n");
         for (id, ae) in &out {
-            let file = fs::File::create(wav_dir.join(format!("{id}.wav")))
-                .expect("create AE wav");
+            let file = fs::File::create(wav_dir.join(format!("{id}.wav"))).expect("create AE wav");
             write_wav(std::io::BufWriter::new(file), &ae.wave).expect("write AE wav");
             m.push_str(&format!(
                 "{id}\t{}\t{}\t{}\t{:.6}\n",
@@ -166,8 +169,7 @@ impl ExperimentContext {
                     .iter()
                     .find(|p| p.name() == cols[1])
                     .unwrap_or_else(|| panic!("unknown profile {}", cols[1]));
-                self.transcripts
-                    .insert((cols[0].to_string(), profile.name()), cols[2].to_string());
+                self.transcripts.insert((cols[0].to_string(), profile.name()), cols[2].to_string());
             }
         }
         // Compute anything missing (covers both cold cache and scale bumps).
@@ -197,9 +199,8 @@ impl ExperimentContext {
         }
         if missing > 0 {
             eprintln!("[mvp-bench] transcribed {missing} (audio, profile) pairs");
-            let mut f = std::io::BufWriter::new(
-                fs::File::create(&path).expect("create transcripts cache"),
-            );
+            let mut f =
+                std::io::BufWriter::new(fs::File::create(&path).expect("create transcripts cache"));
             writeln!(f, "id\tprofile\ttext").expect("write transcripts");
             let mut entries: Vec<_> = self.transcripts.iter().collect();
             entries.sort();
@@ -246,26 +247,21 @@ impl ExperimentContext {
     }
 
     /// The score vector of one cached audio id for the given system shape.
-    pub fn score_vector(
-        &self,
-        id: &str,
-        aux: &[AsrProfile],
-        method: SimilarityMethod,
-    ) -> Vec<f64> {
+    pub fn score_vector(&self, id: &str, aux: &[AsrProfile], method: SimilarityMethod) -> Vec<f64> {
         let target = self.transcript(id, AsrProfile::Ds0);
         aux.iter().map(|&a| method.score(target, self.transcript(id, a))).collect()
     }
 
     /// Builds the benign/AE classification dataset for a system shape.
     pub fn dataset(&self, aux: &[AsrProfile], method: SimilarityMethod) -> Dataset {
-        Dataset::from_classes(self.benign_scores(aux, method), self.ae_scores(aux, method, None))
+        Dataset::from_classes(
+            score_mat(self.benign_scores(aux, method)),
+            score_mat(self.ae_scores(aux, method, None)),
+        )
     }
 
     /// Paper-style system name for an auxiliary set.
     pub fn system_name(aux: &[AsrProfile]) -> String {
-        format!(
-            "DS0+{{{}}}",
-            aux.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
-        )
+        format!("DS0+{{{}}}", aux.iter().map(|a| a.name()).collect::<Vec<_>>().join(", "))
     }
 }

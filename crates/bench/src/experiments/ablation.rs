@@ -9,7 +9,7 @@ use mvp_ml::{ClassifierKind, Dataset};
 use mvp_phonetics::{Encoder, PhoneticEncoder};
 use mvp_textsim::{wer, Similarity};
 
-use crate::context::ExperimentContext;
+use crate::context::{score_mat, ExperimentContext};
 use crate::table::Table;
 
 use super::THREE_AUX;
@@ -31,8 +31,8 @@ pub fn encoder_ablation(ctx: &ExperimentContext) {
     }
     for (name, method) in methods {
         let data = Dataset::from_classes(
-            ctx.benign_scores(&THREE_AUX, method),
-            ctx.ae_scores(&THREE_AUX, method, None),
+            score_mat(ctx.benign_scores(&THREE_AUX, method)),
+            score_mat(ctx.ae_scores(&THREE_AUX, method, None)),
         );
         let (train, test) = data.split(0.8, 13);
         let mut model = ClassifierKind::Svm.build();
@@ -62,14 +62,10 @@ pub fn baseline_comparison(ctx: &ExperimentContext) {
     let mut t = Table::new(["Detector", "Accuracy", "FPR", "FNR"]);
     for cutoff in [0.7, 0.8, 0.9] {
         let b = MajorityBaseline::new(cutoff);
-        let preds: Vec<usize> = benign
-            .iter()
-            .chain(&aes)
-            .map(|v| usize::from(b.is_adversarial_scores(v)))
-            .collect();
-        let truth: Vec<usize> = std::iter::repeat_n(0, benign.len())
-            .chain(std::iter::repeat_n(1, aes.len()))
-            .collect();
+        let preds: Vec<usize> =
+            benign.iter().chain(&aes).map(|v| usize::from(b.is_adversarial_scores(v))).collect();
+        let truth: Vec<usize> =
+            std::iter::repeat_n(0, benign.len()).chain(std::iter::repeat_n(1, aes.len())).collect();
         let m = mvp_ml::BinaryMetrics::from_predictions(&preds, &truth);
         t.row([
             format!("majority baseline (cutoff {cutoff})"),
@@ -79,7 +75,7 @@ pub fn baseline_comparison(ctx: &ExperimentContext) {
         ]);
     }
     // The learned SVM on the same features (80/20 split for a fair test set).
-    let data = Dataset::from_classes(benign, aes);
+    let data = Dataset::from_classes(score_mat(benign), score_mat(aes));
     let (train, test) = data.split(0.8, 13);
     let mut model = ClassifierKind::Svm.build();
     model.fit(&train);
@@ -113,12 +109,9 @@ pub fn min_run_ablation(ctx: &ExperimentContext) {
         let mut spec = AsrProfile::Ds0.spec();
         spec.decoder.min_run = min_run;
         let asr = retrain_with_spec(&spec);
-        let mean: f64 = corpus
-            .utterances()
-            .iter()
-            .map(|u| wer(&u.text, &asr.transcribe(&u.wave)))
-            .sum::<f64>()
-            / corpus.len() as f64;
+        let mean: f64 =
+            corpus.utterances().iter().map(|u| wer(&u.text, &asr.transcribe(&u.wave))).sum::<f64>()
+                / corpus.len() as f64;
         t.row([min_run.to_string(), format!("{:.1}%", mean * 100.0)]);
     }
     println!("{t}");
@@ -141,7 +134,7 @@ fn retrain_with_spec(spec: &mvp_asr::profile::ProfileSpec) -> mvp_asr::TrainedAs
         noise_snr_db: (12.0, 28.0),
     })
     .build();
-    let mut features = Vec::new();
+    let mut features = mvp_ml::Mat::zeros(0, frontend.dim());
     let mut labels = Vec::new();
     for utt in corpus.utterances() {
         let feats = frontend.features(&utt.wave);
@@ -152,7 +145,7 @@ fn retrain_with_spec(spec: &mvp_asr::profile::ProfileSpec) -> mvp_asr::TrainedAs
                 .iter()
                 .find(|a| center >= a.start && center < a.end)
                 .map_or(Phoneme::SIL, |a| a.phoneme);
-            features.push(feats.row(row).to_vec());
+            features.push_row(feats.row(row));
             labels.push(label.index());
         }
     }

@@ -19,7 +19,7 @@ use mvp_ears::{SimilarityMethod, ThresholdDetector};
 use mvp_ml::{Classifier, ClassifierKind, Dataset};
 use mvp_textsim::wer;
 
-use crate::context::ExperimentContext;
+use crate::context::{score_mat, ExperimentContext};
 use crate::experiments::mae::build_sets;
 use crate::experiments::THREE_AUX;
 use crate::table::Table;
@@ -70,22 +70,15 @@ pub fn adaptive(ctx: &ExperimentContext) {
     // Score the real MAE AEs through the three-auxiliary feature map.
     let score = |wave: &mvp_audio::Waveform| -> Vec<f64> {
         let target = ds0.transcribe(wave);
-        [&ds1, &gcs, &at]
-            .iter()
-            .map(|asr| method.score(&target, &asr.transcribe(wave)))
-            .collect()
+        [&ds1, &gcs, &at].iter().map(|asr| method.score(&target, &asr.transcribe(wave))).collect()
     };
     let mae_scores: Vec<Vec<f64>> = mae_waves.iter().map(score).collect();
 
     // 2. The DS0+{DS1} detector is blind: the DS1 similarity looks benign.
-    let benign_ds1: Vec<f64> = ctx
-        .benign_scores(&[AsrProfile::Ds1], method)
-        .into_iter()
-        .map(|v| v[0])
-        .collect();
+    let benign_ds1: Vec<f64> =
+        ctx.benign_scores(&[AsrProfile::Ds1], method).into_iter().map(|v| v[0]).collect();
     let det = ThresholdDetector::fit_benign(&benign_ds1, 0.05);
-    let caught_by_pair =
-        mae_scores.iter().filter(|v| det.is_adversarial(v[0])).count();
+    let caught_by_pair = mae_scores.iter().filter(|v| det.is_adversarial(v[0])).count();
     println!(
         "DS0+{{DS1}} threshold detector catches {caught_by_pair}/{} real MAE AEs \
          (expected ~0: both of its models are fooled)",
@@ -99,10 +92,9 @@ pub fn adaptive(ctx: &ExperimentContext) {
     for i in 3..6 {
         train_aes.extend(sets.per_type[i].clone());
     }
-    let benign: Vec<Vec<f64>> = (0..train_aes.len())
-        .map(|i| sets.benign[i % sets.benign.len()].clone())
-        .collect();
-    let data = Dataset::from_classes(benign, train_aes);
+    let benign: Vec<Vec<f64>> =
+        (0..train_aes.len()).map(|i| sets.benign[i % sets.benign.len()].clone()).collect();
+    let data = Dataset::from_classes(score_mat(benign), score_mat(train_aes));
     let mut model: Box<dyn Classifier> = ClassifierKind::Svm.build();
     model.fit(&data);
     let caught = mae_scores.iter().filter(|v| model.predict(v) == 1).count();

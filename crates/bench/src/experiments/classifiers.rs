@@ -5,7 +5,7 @@ use mvp_asr::AsrProfile;
 use mvp_ears::SimilarityMethod;
 use mvp_ml::{cross_validate, ClassifierKind, CrossValSummary, Dataset};
 
-use crate::context::ExperimentContext;
+use crate::context::{score_mat, ExperimentContext};
 use crate::table::Table;
 
 use super::{MULTI_AUX, SINGLE_AUX};
@@ -13,8 +13,8 @@ use super::{MULTI_AUX, SINGLE_AUX};
 fn cv(ctx: &ExperimentContext, aux: &[AsrProfile], kind: ClassifierKind) -> CrossValSummary {
     let method = SimilarityMethod::default();
     let data = Dataset::from_classes(
-        ctx.benign_scores(aux, method),
-        ctx.ae_scores(aux, method, None),
+        score_mat(ctx.benign_scores(aux, method)),
+        score_mat(ctx.ae_scores(aux, method, None)),
     );
     cross_validate(kind, &data, ctx.scale.folds, 99)
 }

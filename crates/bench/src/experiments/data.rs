@@ -59,10 +59,8 @@ pub fn fig4(ctx: &ExperimentContext) {
     const BINS: usize = 10;
     for aux in SINGLE_AUX {
         let name = ExperimentContext::system_name(&aux);
-        let benign: Vec<f64> =
-            ctx.benign_scores(&aux, method).into_iter().map(|v| v[0]).collect();
-        let aes: Vec<f64> =
-            ctx.ae_scores(&aux, method, None).into_iter().map(|v| v[0]).collect();
+        let benign: Vec<f64> = ctx.benign_scores(&aux, method).into_iter().map(|v| v[0]).collect();
+        let aes: Vec<f64> = ctx.ae_scores(&aux, method, None).into_iter().map(|v| v[0]).collect();
         let hist = |scores: &[f64]| -> Vec<usize> {
             let mut bins = vec![0usize; BINS];
             for &s in scores {
@@ -85,9 +83,6 @@ pub fn fig4(ctx: &ExperimentContext) {
         // The paper's observation: the two populations form almost disjoint
         // clusters. Quantify the overlap for the record.
         let overlap: usize = hb.iter().zip(&ha).map(|(&b, &a)| b.min(a)).sum();
-        println!(
-            "cluster overlap: {overlap} of {} samples\n",
-            benign.len() + aes.len()
-        );
+        println!("cluster overlap: {overlap} of {} samples\n", benign.len() + aes.len());
     }
 }

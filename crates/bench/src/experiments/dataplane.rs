@@ -1,0 +1,98 @@
+//! Data-plane microbenchmark: steady-state batch transcription with a
+//! persistent scratch plan vs the per-call allocating path, plus the
+//! latency of one white-box gradient step (the hottest loop in AE
+//! generation). Results print as a table and are written to
+//! `BENCH_dataplane.json` in the working directory.
+
+use std::time::Instant;
+
+use mvp_asr::{Asr, AsrProfile, AsrScratch, TrainedAsr};
+use mvp_audio::Waveform;
+
+use crate::context::ExperimentContext;
+use crate::table::Table;
+
+/// Output artifact path, relative to the working directory.
+pub const ARTIFACT: &str = "BENCH_dataplane.json";
+
+/// Rounds each transcription path runs; the first batch round pays the
+/// one-time scratch growth, later rounds are the steady state the serve
+/// workers live in.
+const ROUNDS: usize = 3;
+
+/// Gradient steps timed for the white-box latency figure.
+const GRAD_STEPS: usize = 5;
+
+/// Benchmarks the two transcription paths and the white-box gradient
+/// step on the DS0 recogniser, then writes [`ARTIFACT`].
+pub fn run_dataplane_bench(ctx: &ExperimentContext) {
+    println!("== data plane: scratch-plan throughput and grad-step latency ==");
+    let asr = AsrProfile::Ds0.trained();
+    let waves: Vec<&Waveform> = ctx.benign.utterances().iter().map(|u| &u.wave).collect();
+    let items = waves.len();
+
+    // Per-call path: every transcription allocates its own buffers.
+    let t0 = Instant::now();
+    let mut per_call_out = Vec::new();
+    for _ in 0..ROUNDS {
+        per_call_out = waves.iter().map(|w| asr.transcribe(w)).collect::<Vec<_>>();
+    }
+    let per_call = t0.elapsed();
+
+    // Batch path: one scratch plan reused across every batch, as the
+    // serve workers hold it. Warm once so growth is off the clock.
+    let mut scratch = AsrScratch::default();
+    let _ = asr.transcribe_batch_with(&waves, &mut scratch);
+    let t1 = Instant::now();
+    let mut batch_out = Vec::new();
+    for _ in 0..ROUNDS {
+        batch_out = asr.transcribe_batch_with(&waves, &mut scratch);
+    }
+    let batch = t1.elapsed();
+    assert_eq!(per_call_out, batch_out, "scratch path diverged from per-call path");
+
+    // White-box gradient step: loss + input gradient for one command
+    // target, the unit of work Algorithm 1 repeats thousands of times.
+    let target = TrainedAsr::target_indices("open the door");
+    let host = waves[0];
+    let _ = asr.attack_loss_and_input_grad(host, &target, 0.1);
+    let t2 = Instant::now();
+    for _ in 0..GRAD_STEPS {
+        let _ = asr.attack_loss_and_input_grad(host, &target, 0.1);
+    }
+    let grad_step_ms = t2.elapsed().as_secs_f64() * 1e3 / GRAD_STEPS as f64;
+
+    let n = (items * ROUNDS) as f64;
+    let per_call_rps = n / per_call.as_secs_f64();
+    let batch_rps = n / batch.as_secs_f64();
+    let mut table = Table::new(["path", "items", "wall ms", "items/s"]);
+    table.row([
+        "transcribe (alloc per call)".to_string(),
+        format!("{}", items * ROUNDS),
+        format!("{:.1}", per_call.as_secs_f64() * 1e3),
+        format!("{per_call_rps:.1}"),
+    ]);
+    table.row([
+        "transcribe_batch_with (scratch)".to_string(),
+        format!("{}", items * ROUNDS),
+        format!("{:.1}", batch.as_secs_f64() * 1e3),
+        format!("{batch_rps:.1}"),
+    ]);
+    println!("{table}");
+    println!(
+        "scratch speedup: {:.2}x; white-box grad step: {grad_step_ms:.1} ms (mean of {GRAD_STEPS})",
+        batch_rps / per_call_rps
+    );
+
+    let json = format!(
+        "{{\n  \"items\": {items},\n  \"rounds\": {ROUNDS},\n  \
+         \"per_call_rps\": {per_call_rps:.3},\n  \"batch_scratch_rps\": {batch_rps:.3},\n  \
+         \"scratch_speedup\": {:.4},\n  \"grad_step_ms\": {grad_step_ms:.3},\n  \
+         \"grad_steps\": {GRAD_STEPS}\n}}\n",
+        batch_rps / per_call_rps
+    );
+    match std::fs::write(ARTIFACT, &json) {
+        Ok(()) => println!("wrote {ARTIFACT}\n"),
+        Err(e) => println!("could not write {ARTIFACT}: {e}\n"),
+    }
+}

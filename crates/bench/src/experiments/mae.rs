@@ -8,7 +8,7 @@ use mvp_ears::eval::ScorePools;
 use mvp_ears::{synthesize_mae, MaeType, SimilarityMethod};
 use mvp_ml::{BinaryMetrics, Classifier, ClassifierKind, Dataset};
 
-use crate::context::ExperimentContext;
+use crate::context::{score_mat, ExperimentContext};
 use crate::table::Table;
 
 use super::THREE_AUX;
@@ -46,7 +46,11 @@ pub fn table9(ctx: &ExperimentContext) {
     let sets = build_sets(ctx);
     let mut t = Table::new(["Type", "MAE AE", "# of MAE AEs"]);
     for (i, ty) in MaeType::ALL.iter().enumerate() {
-        t.row([format!("Type-{}", i + 1), ty.name().to_string(), sets.per_type[i].len().to_string()]);
+        t.row([
+            format!("Type-{}", i + 1),
+            ty.name().to_string(),
+            sets.per_type[i].len().to_string(),
+        ]);
     }
     println!("{t}");
 }
@@ -59,7 +63,7 @@ fn resample(source: &[Vec<f64>], count: usize, seed: u64) -> Vec<Vec<f64>> {
 }
 
 fn train_svm(benign: &[Vec<f64>], aes: &[Vec<f64>]) -> Box<dyn Classifier> {
-    let data = Dataset::from_classes(benign.to_vec(), aes.to_vec());
+    let data = Dataset::from_classes(score_mat(benign.to_vec()), score_mat(aes.to_vec()));
     let mut model = ClassifierKind::Svm.build();
     model.fit(&data);
     model
@@ -79,11 +83,12 @@ pub fn table10(ctx: &ExperimentContext) {
     let mut t = Table::new(["MAE AE type", "Accuracy", "FPR", "FNR"]);
     for (i, _) in MaeType::ALL.iter().enumerate() {
         let benign = resample(&sets.benign, sets.per_type[i].len(), 50 + i as u64);
-        let data = Dataset::from_classes(benign, sets.per_type[i].clone());
+        let data = Dataset::from_classes(score_mat(benign), score_mat(sets.per_type[i].clone()));
         let (train, test) = data.split(0.8, 9);
         let mut model = ClassifierKind::Svm.build();
         model.fit(&train);
-        let m = BinaryMetrics::from_predictions(&model.predict_batch(test.features()), test.labels());
+        let m =
+            BinaryMetrics::from_predictions(&model.predict_batch(test.features()), test.labels());
         t.row([
             format!("Type-{}", i + 1),
             format!("{:.2}%", m.accuracy() * 100.0),
@@ -136,7 +141,7 @@ pub fn table12(ctx: &ExperimentContext) {
         train_aes.extend(sets.per_type[i].clone());
     }
     let benign = resample(&sets.benign, train_aes.len(), 123);
-    let data = Dataset::from_classes(benign, train_aes);
+    let data = Dataset::from_classes(score_mat(benign), score_mat(train_aes));
     let (train, test) = data.split(0.8, 11);
     let mut model = ClassifierKind::Svm.build();
     model.fit(&train);

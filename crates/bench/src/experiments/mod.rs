@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod adaptive;
 pub mod classifiers;
 pub mod data;
+pub mod dataplane;
 pub mod mae;
 pub mod perf;
 pub mod serve;

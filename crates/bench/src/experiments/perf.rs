@@ -15,8 +15,7 @@ use crate::table::Table;
 pub fn overhead(ctx: &ExperimentContext) {
     println!("== §V-I: time overhead of detection on DS0+{{DS1}} ==");
     let ds0 = AsrProfile::Ds0.trained();
-    let mut system =
-        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
     let method = SimilarityMethod::default();
 
     // Train the classifier once so detection is exercised end to end.
@@ -24,13 +23,8 @@ pub fn overhead(ctx: &ExperimentContext) {
     let aes = ctx.ae_scores(&[AsrProfile::Ds1], method, None);
     system.train_on_scores(&benign, &aes, ClassifierKind::Svm);
 
-    let samples: Vec<&mvp_audio::Waveform> = ctx
-        .benign
-        .utterances()
-        .iter()
-        .map(|u| &u.wave)
-        .take(16)
-        .collect();
+    let samples: Vec<&mvp_audio::Waveform> =
+        ctx.benign.utterances().iter().map(|u| &u.wave).take(16).collect();
 
     // 1. Target-only recognition time.
     let t0 = Instant::now();
@@ -55,10 +49,8 @@ pub fn overhead(ctx: &ExperimentContext) {
     let t_sim = t2.elapsed().as_secs_f64() / samples.len() as f64;
 
     // 4. Classification.
-    let vectors: Vec<Vec<f64>> = transcripts
-        .iter()
-        .map(|(t, a)| system.scores_from_transcripts(t, a))
-        .collect();
+    let vectors: Vec<Vec<f64>> =
+        transcripts.iter().map(|(t, a)| system.scores_from_transcripts(t, a)).collect();
     let t3 = Instant::now();
     for v in &vectors {
         std::hint::black_box(system.classify_scores(v));

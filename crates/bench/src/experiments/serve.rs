@@ -103,10 +103,7 @@ pub fn run_serve_bench(ctx: &ExperimentContext) {
             },
             // First auxiliary disabled: every verdict takes the
             // degradation path.
-            config: EngineConfig {
-                aux_deadline_ms: vec![Some(0)],
-                ..base_config.clone()
-            },
+            config: EngineConfig { aux_deadline_ms: vec![Some(0)], ..base_config.clone() },
         },
     ];
 

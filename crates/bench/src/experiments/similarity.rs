@@ -4,7 +4,7 @@
 use mvp_ears::SimilarityMethod;
 use mvp_ml::{BinaryMetrics, ClassifierKind, Dataset};
 
-use crate::context::ExperimentContext;
+use crate::context::{score_mat, ExperimentContext};
 use crate::table::Table;
 
 use super::MULTI_AUX;
@@ -16,8 +16,8 @@ pub fn evaluate_method(
     aux: &[mvp_asr::AsrProfile],
 ) -> BinaryMetrics {
     let data = Dataset::from_classes(
-        ctx.benign_scores(aux, method),
-        ctx.ae_scores(aux, method, None),
+        score_mat(ctx.benign_scores(aux, method)),
+        score_mat(ctx.ae_scores(aux, method, None)),
     );
     let (train, test) = data.split(0.8, 7);
     let mut model = ClassifierKind::Svm.build();
@@ -33,18 +33,14 @@ pub fn table3(ctx: &ExperimentContext) {
     header.extend(MULTI_AUX.iter().map(|aux| ExperimentContext::system_name(aux)));
     let mut t = Table::new(header);
     for method in SimilarityMethod::paper_methods() {
-        let cells: Vec<BinaryMetrics> = MULTI_AUX
-            .iter()
-            .map(|aux| evaluate_method(ctx, method, aux))
-            .collect();
+        let cells: Vec<BinaryMetrics> =
+            MULTI_AUX.iter().map(|aux| evaluate_method(ctx, method, aux)).collect();
         let row = |metric: &str, f: &dyn Fn(&BinaryMetrics) -> String| {
             let mut r = vec![method.name(), metric.to_string()];
             r.extend(cells.iter().map(f));
             r
         };
-        t.row(row("Accuracy", &|m| {
-            mvp_ears::eval::ratio_cell(m.tp + m.tn, m.total())
-        }));
+        t.row(row("Accuracy", &|m| mvp_ears::eval::ratio_cell(m.tp + m.tn, m.total())));
         t.row(row("FPR", &|m| mvp_ears::eval::ratio_cell(m.fp, m.fp + m.tn)));
         t.row(row("FNR", &|m| mvp_ears::eval::ratio_cell(m.fn_, m.fn_ + m.tp)));
     }
@@ -55,11 +51,9 @@ pub fn table3(ctx: &ExperimentContext) {
     let mut best = (String::new(), -1.0);
     let mut tied = Vec::new();
     for method in SimilarityMethod::paper_methods() {
-        let mean: f64 = MULTI_AUX
-            .iter()
-            .map(|aux| evaluate_method(ctx, method, aux).accuracy())
-            .sum::<f64>()
-            / MULTI_AUX.len() as f64;
+        let mean: f64 =
+            MULTI_AUX.iter().map(|aux| evaluate_method(ctx, method, aux).accuracy()).sum::<f64>()
+                / MULTI_AUX.len() as f64;
         if (mean - best.1).abs() < 1e-12 {
             tied.push(method.name());
         } else if mean > best.1 {

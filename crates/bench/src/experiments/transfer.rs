@@ -53,11 +53,18 @@ pub fn transfer(ctx: &ExperimentContext) {
     .build();
     let ds0 = AsrProfile::Ds0.trained();
     let ds1 = AsrProfile::Ds1.trained();
-    let mut t = Table::new(["host", "iter-1 ok", "iter-2 ok", "final fools DS0", "final fools DS1"]);
+    let mut t =
+        Table::new(["host", "iter-1 ok", "iter-2 ok", "final fools DS0", "final fools DS1"]);
     let mut both = 0usize;
     let mut total = 0usize;
     for u in hosts.utterances() {
-        let out = recursive_attack(&ds0, &ds1, &u.wave, "open the front door", &WhiteBoxConfig::default());
+        let out = recursive_attack(
+            &ds0,
+            &ds1,
+            &u.wave,
+            "open the front door",
+            &WhiteBoxConfig::default(),
+        );
         if out.second.success {
             total += 1;
             if out.final_fools_a && out.final_fools_b {

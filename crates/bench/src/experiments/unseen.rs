@@ -10,7 +10,7 @@ use mvp_ears::{SimilarityMethod, ThresholdDetector};
 use mvp_ml::{auc, roc_curve, ClassifierKind, Dataset};
 use mvp_textsim::wer;
 
-use crate::context::ExperimentContext;
+use crate::context::{score_mat, ExperimentContext};
 use crate::table::Table;
 
 use super::{MULTI_AUX, SINGLE_AUX};
@@ -22,10 +22,8 @@ pub fn table7(ctx: &ExperimentContext) {
     let method = SimilarityMethod::default();
     let mut t = Table::new(["System", "Threshold", "FPR", "FNs", "FNR", "Defense rate"]);
     for aux in SINGLE_AUX {
-        let benign: Vec<f64> =
-            ctx.benign_scores(&aux, method).into_iter().map(|v| v[0]).collect();
-        let aes: Vec<f64> =
-            ctx.ae_scores(&aux, method, None).into_iter().map(|v| v[0]).collect();
+        let benign: Vec<f64> = ctx.benign_scores(&aux, method).into_iter().map(|v| v[0]).collect();
+        let aes: Vec<f64> = ctx.ae_scores(&aux, method, None).into_iter().map(|v| v[0]).collect();
         let det = ThresholdDetector::fit_benign(&benign, 0.05);
         let fns = aes.iter().filter(|&&s| !det.is_adversarial(s)).count();
         t.row([
@@ -46,14 +44,11 @@ pub fn fig5(ctx: &ExperimentContext) {
     println!("== Figure 5: ROC curves of the single-auxiliary systems ==");
     let method = SimilarityMethod::default();
     for aux in SINGLE_AUX {
-        let benign: Vec<f64> =
-            ctx.benign_scores(&aux, method).into_iter().map(|v| v[0]).collect();
-        let aes: Vec<f64> =
-            ctx.ae_scores(&aux, method, None).into_iter().map(|v| v[0]).collect();
+        let benign: Vec<f64> = ctx.benign_scores(&aux, method).into_iter().map(|v| v[0]).collect();
+        let aes: Vec<f64> = ctx.ae_scores(&aux, method, None).into_iter().map(|v| v[0]).collect();
         let scores: Vec<f64> = benign.iter().chain(&aes).copied().collect();
-        let labels: Vec<usize> = std::iter::repeat_n(0, benign.len())
-            .chain(std::iter::repeat_n(1, aes.len()))
-            .collect();
+        let labels: Vec<usize> =
+            std::iter::repeat_n(0, benign.len()).chain(std::iter::repeat_n(1, aes.len())).collect();
         let curve = roc_curve(&scores, &labels);
         let a = auc(&curve);
         println!("-- {} (AUC {:.4}) --", ExperimentContext::system_name(&aux), a);
@@ -75,8 +70,11 @@ pub fn fig5(ctx: &ExperimentContext) {
 pub fn table8(ctx: &ExperimentContext) {
     println!("== Table VIII: defense rates against unseen-attack AEs (multi-aux) ==");
     let method = SimilarityMethod::default();
-    let mut t =
-        Table::new(["System", "Black-box AEs (trained on white-box)", "White-box AEs (trained on black-box)"]);
+    let mut t = Table::new([
+        "System",
+        "Black-box AEs (trained on white-box)",
+        "White-box AEs (trained on black-box)",
+    ]);
     for aux in MULTI_AUX {
         let benign = ctx.benign_scores(aux, method);
         let wb = ctx.ae_scores(aux, method, Some(AeKind::WhiteBox));
@@ -85,11 +83,11 @@ pub fn table8(ctx: &ExperimentContext) {
             if train_ae.is_empty() || test_ae.is_empty() {
                 return "—".to_string();
             }
-            let data = Dataset::from_classes(benign.clone(), train_ae.clone());
+            let data =
+                Dataset::from_classes(score_mat(benign.clone()), score_mat(train_ae.clone()));
             let mut model = ClassifierKind::Svm.build();
             model.fit(&data);
-            let detected =
-                test_ae.iter().filter(|v| model.predict(v) == 1).count();
+            let detected = test_ae.iter().filter(|v| model.predict(v) == 1).count();
             format!("{:.2}%", detected as f64 / test_ae.len() as f64 * 100.0)
         };
         t.row([ExperimentContext::system_name(aux), defense(&wb, &bb), defense(&bb, &wb)]);
@@ -133,8 +131,7 @@ pub fn nontargeted(ctx: &ExperimentContext) {
 
     let mut t = Table::new(["System", "Threshold", "Defense rate"]);
     for (ai, aux) in SINGLE_AUX.iter().enumerate() {
-        let benign: Vec<f64> =
-            ctx.benign_scores(aux, method).into_iter().map(|v| v[0]).collect();
+        let benign: Vec<f64> = ctx.benign_scores(aux, method).into_iter().map(|v| v[0]).collect();
         let det = ThresholdDetector::fit_benign(&benign, 0.05);
         let aux_asr = &asrs[ai + 1];
         let scores: Vec<f64> = noisy

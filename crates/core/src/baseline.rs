@@ -48,8 +48,7 @@ impl MajorityBaseline {
     ///
     /// Panics if `auxiliaries` is empty.
     pub fn is_adversarial_transcripts(&self, target: &str, auxiliaries: &[String]) -> bool {
-        let scores: Vec<f64> =
-            auxiliaries.iter().map(|a| self.method.score(target, a)).collect();
+        let scores: Vec<f64> = auxiliaries.iter().map(|a| self.method.score(target, a)).collect();
         self.is_adversarial_scores(&scores)
     }
 }

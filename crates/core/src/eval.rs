@@ -34,10 +34,7 @@ impl ScorePools {
     pub fn from_score_vectors(benign: &[Vec<f64>], attack: &[Vec<f64>]) -> ScorePools {
         assert!(!benign.is_empty() && !attack.is_empty(), "empty score set");
         let n = benign[0].len();
-        assert!(
-            benign.iter().chain(attack).all(|v| v.len() == n),
-            "ragged score vectors"
-        );
+        assert!(benign.iter().chain(attack).all(|v| v.len() == n), "ragged score vectors");
         let transpose = |vecs: &[Vec<f64>]| -> Vec<Vec<f64>> {
             (0..n).map(|i| vecs.iter().map(|v| v[i]).collect()).collect()
         };

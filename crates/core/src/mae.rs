@@ -71,10 +71,7 @@ impl MaeType {
     /// Whether every auxiliary this type fools is also fooled by `other`
     /// (the Λ′ ⊆ Λ condition of the paper's Table XI analysis).
     pub fn is_subset_of(self, other: MaeType) -> bool {
-        self.fooled_mask()
-            .iter()
-            .zip(other.fooled_mask())
-            .all(|(&a, b)| !a || b)
+        self.fooled_mask().iter().zip(other.fooled_mask()).all(|(&a, b)| !a || b)
     }
 }
 
@@ -123,16 +120,8 @@ mod tests {
 
     fn pools() -> ScorePools {
         // Three auxiliaries, benign scores high, attack scores low.
-        let benign = vec![
-            vec![0.9, 0.91, 0.92],
-            vec![0.85, 0.88, 0.9],
-            vec![0.95, 0.96, 0.9],
-        ];
-        let attack = vec![
-            vec![0.1, 0.12, 0.15],
-            vec![0.2, 0.18, 0.22],
-            vec![0.05, 0.1, 0.12],
-        ];
+        let benign = vec![vec![0.9, 0.91, 0.92], vec![0.85, 0.88, 0.9], vec![0.95, 0.96, 0.9]];
+        let attack = vec![vec![0.1, 0.12, 0.15], vec![0.2, 0.18, 0.22], vec![0.05, 0.1, 0.12]];
         ScorePools::new(benign, attack)
     }
 
@@ -176,11 +165,8 @@ mod tests {
         for t in MaeType::ALL {
             let fooled_count = t.fooled_mask().iter().filter(|&&b| b).count();
             // Types 1-3 fool one auxiliary; 4-6 fool two.
-            let expected = if matches!(t, MaeType::Type1 | MaeType::Type2 | MaeType::Type3) {
-                1
-            } else {
-                2
-            };
+            let expected =
+                if matches!(t, MaeType::Type1 | MaeType::Type2 | MaeType::Type3) { 1 } else { 2 };
             assert_eq!(fooled_count, expected, "{t}");
         }
     }

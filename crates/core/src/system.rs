@@ -12,7 +12,7 @@ use crossbeam::channel;
 
 use mvp_asr::{Asr, AsrProfile, TrainedAsr};
 use mvp_audio::Waveform;
-use mvp_ml::{Classifier, ClassifierKind, Dataset};
+use mvp_ml::{Classifier, ClassifierKind, Dataset, Mat};
 
 use crate::similarity::SimilarityMethod;
 
@@ -123,11 +123,7 @@ impl DetectionSystem {
     {
         let asrs = self.recognizers();
         let texts = run(&asrs, wave);
-        assert_eq!(
-            texts.len(),
-            asrs.len(),
-            "runner must return one transcription per recogniser"
-        );
+        assert_eq!(texts.len(), asrs.len(), "runner must return one transcription per recogniser");
         Self::split_transcripts(texts)
     }
 
@@ -198,7 +194,10 @@ impl DetectionSystem {
             benign_scores.iter().chain(ae_scores).all(|v| v.len() == dim),
             "score vectors must have one entry per auxiliary ({dim})"
         );
-        let data = Dataset::from_classes(benign_scores.to_vec(), ae_scores.to_vec());
+        let data = Dataset::from_classes(
+            Mat::from_rows(benign_scores.to_vec(), dim),
+            Mat::from_rows(ae_scores.to_vec(), dim),
+        );
         self.classifier = Some(fit_classifier(kind, &data));
     }
 
@@ -255,10 +254,7 @@ impl DetectionSystem {
 pub fn fit_classifier(kind: ClassifierKind, data: &Dataset) -> Box<dyn Classifier + Send + Sync> {
     match kind {
         ClassifierKind::Svm => {
-            let mut m = mvp_ml::Svm::new(
-                mvp_ml::Kernel::Polynomial { degree: 3, coef0: 1.0 },
-                1.0,
-            );
+            let mut m = mvp_ml::Svm::new(mvp_ml::Kernel::Polynomial { degree: 3, coef0: 1.0 }, 1.0);
             m.fit(data);
             Box::new(m)
         }
@@ -408,17 +404,14 @@ mod tests {
     #[test]
     fn method_override_changes_scores() {
         use mvp_textsim::Similarity;
-        let jaccard = crate::similarity::SimilarityMethod {
-            base: Similarity::Jaccard,
-            phonetic: None,
-        };
+        let jaccard =
+            crate::similarity::SimilarityMethod { base: Similarity::Jaccard, phonetic: None };
         let s = DetectionSystem::builder(AsrProfile::Ds0)
             .auxiliary(AsrProfile::Ds1)
             .method(jaccard)
             .build();
         assert_eq!(s.method().name(), "Jaccard");
-        let scores =
-            s.scores_from_transcripts("open the door", &["close the door".to_string()]);
+        let scores = s.scores_from_transcripts("open the door", &["close the door".to_string()]);
         assert!((scores[0] - 0.5).abs() < 1e-9);
     }
 
@@ -433,9 +426,8 @@ mod tests {
             synth.synthesize(&Lexicon::builtin(), "turn on the light", &SpeakerProfile::default());
         // A caller-provided serial runner must agree with the
         // thread-per-call wrapper.
-        let serial = s.transcribe_all(&wave, |asrs, w| {
-            asrs.iter().map(|a| a.transcribe(w)).collect()
-        });
+        let serial =
+            s.transcribe_all(&wave, |asrs, w| asrs.iter().map(|a| a.transcribe(w)).collect());
         assert_eq!(serial, s.transcripts(&wave));
     }
 
@@ -445,8 +437,7 @@ mod tests {
             .auxiliary(AsrProfile::Ds1)
             .auxiliary(AsrProfile::At)
             .build();
-        let names: Vec<String> =
-            s.recognizers().iter().map(|a| a.name().to_string()).collect();
+        let names: Vec<String> = s.recognizers().iter().map(|a| a.name().to_string()).collect();
         assert_eq!(names, ["DS0", "DS1", "AT"]);
         assert_eq!(s.n_recognizers(), 3);
     }

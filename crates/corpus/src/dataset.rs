@@ -156,10 +156,7 @@ impl SpeechCorpus {
     ///
     /// Panics unless `0.0 < train_frac < 1.0`.
     pub fn split_indices(&self, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-        assert!(
-            train_frac > 0.0 && train_frac < 1.0,
-            "train fraction {train_frac} out of (0, 1)"
-        );
+        assert!(train_frac > 0.0 && train_frac < 1.0, "train fraction {train_frac} out of (0, 1)");
         let mut idx: Vec<usize> = (0..self.len()).collect();
         shuffle(&mut idx, seed);
         let cut = ((self.len() as f64) * train_frac).round() as usize;
@@ -180,8 +177,7 @@ impl SpeechCorpus {
         shuffle(&mut idx, seed);
         (0..k)
             .map(|f| {
-                let test: Vec<usize> =
-                    idx.iter().copied().skip(f).step_by(k).collect();
+                let test: Vec<usize> = idx.iter().copied().skip(f).step_by(k).collect();
                 let train: Vec<usize> = idx
                     .iter()
                     .copied()

@@ -36,12 +36,9 @@ impl SentenceGenerator {
     pub fn next_sentence(&mut self) -> String {
         let template = self.rng.gen_range(0..5u32);
         match template {
-            0 => format!(
-                "{} {} {}",
-                self.pick(SUBJECTS),
-                self.pick(VERBS_PAST),
-                self.pick(OBJECTS)
-            ),
+            0 => {
+                format!("{} {} {}", self.pick(SUBJECTS), self.pick(VERBS_PAST), self.pick(OBJECTS))
+            }
             1 => format!(
                 "{} {} {} {}",
                 self.pick(SUBJECTS),

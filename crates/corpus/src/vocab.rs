@@ -6,34 +6,62 @@
 
 /// Subject noun phrases for declarative sentences.
 pub const SUBJECTS: &[&str] = &[
-    "the man", "the woman", "the child", "the teacher", "the student",
-    "my friend", "her mother", "his father", "the family", "the people",
+    "the man",
+    "the woman",
+    "the child",
+    "the teacher",
+    "the student",
+    "my friend",
+    "her mother",
+    "his father",
+    "the family",
+    "the people",
 ];
 
 /// Intransitive/transitive past-tense verbs.
 pub const VERBS_PAST: &[&str] = &[
-    "walked", "worked", "looked", "wanted", "lived", "came", "went",
-    "took", "gave", "made", "found", "thought", "said",
+    "walked", "worked", "looked", "wanted", "lived", "came", "went", "took", "gave", "made",
+    "found", "thought", "said",
 ];
 
 /// Object noun phrases.
 pub const OBJECTS: &[&str] = &[
-    "the book", "the letter", "the story", "the house", "the garden",
-    "the river", "the mountain", "the forest", "the street", "the city",
-    "the school", "the water", "the paper", "the word", "the answer",
+    "the book",
+    "the letter",
+    "the story",
+    "the house",
+    "the garden",
+    "the river",
+    "the mountain",
+    "the forest",
+    "the street",
+    "the city",
+    "the school",
+    "the water",
+    "the paper",
+    "the word",
+    "the answer",
 ];
 
 /// Temporal / locative tails.
 pub const TAILS: &[&str] = &[
-    "in the morning", "in the evening", "before the storm", "after the rain",
-    "in the summer", "in the winter", "every day", "every year",
-    "with the family", "in the old house", "near the river", "through the forest",
+    "in the morning",
+    "in the evening",
+    "before the storm",
+    "after the rain",
+    "in the summer",
+    "in the winter",
+    "every day",
+    "every year",
+    "with the family",
+    "in the old house",
+    "near the river",
+    "through the forest",
 ];
 
 /// Adjectives for noun phrases.
-pub const ADJECTIVES: &[&str] = &[
-    "little", "good", "great", "small", "large", "old", "young", "long", "short", "quiet",
-];
+pub const ADJECTIVES: &[&str] =
+    &["little", "good", "great", "small", "large", "old", "young", "long", "short", "quiet"];
 
 /// Attack-target command phrases (what the adversary embeds in an AE).
 ///
@@ -113,11 +141,7 @@ mod tests {
     fn homophone_pairs_really_homophonic() {
         let lex = Lexicon::builtin();
         for (a, b) in homophone_sentence_pairs() {
-            assert_eq!(
-                lex.pronounce_sentence(a),
-                lex.pronounce_sentence(b),
-                "{a} vs {b}"
-            );
+            assert_eq!(lex.pronounce_sentence(a), lex.pronounce_sentence(b), "{a} vs {b}");
             assert_ne!(a, b);
         }
     }

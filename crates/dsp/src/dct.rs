@@ -9,23 +9,31 @@
 ///
 /// Panics if `x` is empty or `n_out > x.len()`.
 pub fn dct2(x: &[f64], n_out: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n_out];
+    dct2_into(x, &mut out);
+    out
+}
+
+/// Allocation-free [`dct2`]: writes `out.len()` coefficients into `out`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `out.len() > x.len()`.
+pub fn dct2_into(x: &[f64], out: &mut [f64]) {
     let n = x.len();
     assert!(n > 0, "DCT input must be non-empty");
-    assert!(n_out <= n, "cannot produce {n_out} coefficients from {n} inputs");
-    (0..n_out)
-        .map(|k| {
-            let s = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
-            let sum: f64 = x
-                .iter()
-                .enumerate()
-                .map(|(i, &xi)| {
-                    xi * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2 * n) as f64)
-                        .cos()
-                })
-                .sum();
-            s * sum
-        })
-        .collect()
+    assert!(out.len() <= n, "cannot produce {} coefficients from {n} inputs", out.len());
+    for (k, o) in out.iter_mut().enumerate() {
+        let s = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+        let sum: f64 = x
+            .iter()
+            .enumerate()
+            .map(|(i, &xi)| {
+                xi * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2 * n) as f64).cos()
+            })
+            .sum();
+        *o = s * sum;
+    }
 }
 
 /// Adjoint of [`dct2`]: maps a gradient over the `n_out` coefficients back
@@ -35,22 +43,32 @@ pub fn dct2(x: &[f64], n_out: usize) -> Vec<f64> {
 ///
 /// Panics if `grad.len() > n_in` or `n_in == 0`.
 pub fn dct2_transpose(grad: &[f64], n_in: usize) -> Vec<f64> {
-    assert!(n_in > 0, "DCT input dimension must be positive");
-    assert!(grad.len() <= n_in, "gradient longer than input dimension");
-    let n = n_in;
-    (0..n)
-        .map(|i| {
-            grad.iter()
-                .enumerate()
-                .map(|(k, &g)| {
-                    let s = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
-                    s * g
-                        * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2 * n) as f64)
-                            .cos()
-                })
-                .sum()
-        })
-        .collect()
+    let mut out = vec![0.0; n_in];
+    dct2_transpose_into(grad, &mut out);
+    out
+}
+
+/// Allocation-free [`dct2_transpose`]: writes the `out.len()`-dimensional
+/// input gradient into `out`.
+///
+/// # Panics
+///
+/// Panics if `grad.len() > out.len()` or `out` is empty.
+pub fn dct2_transpose_into(grad: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    assert!(n > 0, "DCT input dimension must be positive");
+    assert!(grad.len() <= n, "gradient longer than input dimension");
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = grad
+            .iter()
+            .enumerate()
+            .map(|(k, &g)| {
+                let s = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+                s * g
+                    * (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2 * n) as f64).cos()
+            })
+            .sum();
+    }
 }
 
 #[cfg(test)]

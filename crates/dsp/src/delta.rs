@@ -23,23 +23,20 @@ pub fn delta_features(feats: &FeatureMatrix, k: usize) -> FeatureMatrix {
     let d = feats.dim();
     let denom: f64 = 2.0 * (1..=k).map(|i| (i * i) as f64).sum::<f64>();
     let clamp = |t: isize| -> usize { t.clamp(0, n as isize - 1) as usize };
-    let rows: Vec<Vec<f64>> = (0..n)
-        .map(|t| {
-            (0..d)
-                .map(|j| {
-                    (1..=k)
-                        .map(|i| {
-                            let hi = feats.row(clamp(t as isize + i as isize))[j];
-                            let lo = feats.row(clamp(t as isize - i as isize))[j];
-                            i as f64 * (hi - lo)
-                        })
-                        .sum::<f64>()
-                        / denom
-                })
-                .collect()
-        })
-        .collect();
-    FeatureMatrix::from_rows(rows, d)
+    let mut out = FeatureMatrix::zeros(n, d);
+    for t in 0..n {
+        for i in 1..=k {
+            let w = i as f64 / denom;
+            let hi = clamp(t as isize + i as isize) * d;
+            let lo = clamp(t as isize - i as isize) * d;
+            let data = feats.as_slice();
+            let row = out.row_mut(t);
+            for j in 0..d {
+                row[j] += w * (data[hi + j] - data[lo + j]);
+            }
+        }
+    }
+    out
 }
 
 /// Adjoint of [`delta_features`]: maps a gradient over the delta matrix
@@ -53,21 +50,22 @@ pub fn delta_features_adjoint(d_delta: &FeatureMatrix, k: usize) -> FeatureMatri
     let n = d_delta.n_frames();
     let d = d_delta.dim();
     let denom: f64 = 2.0 * (1..=k).map(|i| (i * i) as f64).sum::<f64>();
-    let mut out = vec![vec![0.0; d]; n];
+    let mut out = FeatureMatrix::zeros(n, d);
     let clamp = |t: isize| -> usize { t.clamp(0, n as isize - 1) as usize };
     for t in 0..n {
-        let g = d_delta.row(t);
         for i in 1..=k {
             let w = i as f64 / denom;
-            let hi = clamp(t as isize + i as isize);
-            let lo = clamp(t as isize - i as isize);
+            let hi = clamp(t as isize + i as isize) * d;
+            let lo = clamp(t as isize - i as isize) * d;
+            let g = &d_delta.as_slice()[t * d..(t + 1) * d];
+            let data = out.as_mut_slice();
             for j in 0..d {
-                out[hi][j] += w * g[j];
-                out[lo][j] -= w * g[j];
+                data[hi + j] += w * g[j];
+                data[lo + j] -= w * g[j];
             }
         }
     }
-    FeatureMatrix::from_rows(out, d)
+    out
 }
 
 #[cfg(test)]

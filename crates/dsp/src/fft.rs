@@ -68,11 +68,7 @@ fn transform(data: &mut [Complex], sign: f64) {
 ///
 /// Panics if `n_fft` is not a power of two or `signal.len() > n_fft`.
 pub fn rfft(signal: &[f64], n_fft: usize) -> Vec<Complex> {
-    assert!(
-        signal.len() <= n_fft,
-        "signal length {} exceeds FFT size {n_fft}",
-        signal.len()
-    );
+    assert!(signal.len() <= n_fft, "signal length {} exceeds FFT size {n_fft}", signal.len());
     let mut buf = vec![Complex::ZERO; n_fft];
     for (b, &s) in buf.iter_mut().zip(signal) {
         b.re = s;
@@ -107,9 +103,8 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        let data: Vec<Complex> = (0..64)
-            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
-            .collect();
+        let data: Vec<Complex> =
+            (0..64).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
         let expected = dft_naive(&data);
         let mut got = data.clone();
         fft(&mut got);
@@ -154,9 +149,8 @@ mod tests {
 
     #[test]
     fn parseval_theorem() {
-        let data: Vec<Complex> = (0..256)
-            .map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, 0.0))
-            .collect();
+        let data: Vec<Complex> =
+            (0..256).map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, 0.0)).collect();
         let time_energy: f64 = data.iter().map(|z| z.norm_sq()).sum();
         let mut spec = data.clone();
         fft(&mut spec);

@@ -1,5 +1,7 @@
 //! Frame segmentation and its adjoint (overlap-add scatter).
 
+use crate::mat::Mat;
+
 /// Number of frames produced for `n_samples` with the given geometry.
 ///
 /// A partial trailing frame is included and zero-padded, so any non-empty
@@ -16,56 +18,51 @@ pub fn frame_count(n_samples: usize, frame_len: usize, hop: usize) -> usize {
 }
 
 /// Segments `samples` into overlapping frames of `frame_len` advancing by
-/// `hop`, zero-padding the final partial frame.
+/// `hop`, zero-padding the final partial frame. Returns an
+/// `n_frames × frame_len` matrix.
 ///
 /// ```
 /// use mvp_dsp::frame::frames;
 /// let f = frames(&[1.0, 2.0, 3.0, 4.0, 5.0], 4, 2);
-/// assert_eq!(f, vec![vec![1.0, 2.0, 3.0, 4.0], vec![3.0, 4.0, 5.0, 0.0]]);
+/// assert_eq!(f.n_rows(), 2);
+/// assert_eq!(f.row(0), &[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(f.row(1), &[3.0, 4.0, 5.0, 0.0]);
 /// ```
 ///
 /// # Panics
 ///
 /// Panics if `frame_len` or `hop` is zero.
-pub fn frames(samples: &[f64], frame_len: usize, hop: usize) -> Vec<Vec<f64>> {
+pub fn frames(samples: &[f64], frame_len: usize, hop: usize) -> Mat {
     let n = frame_count(samples.len(), frame_len, hop);
-    (0..n)
-        .map(|f| {
-            let start = f * hop;
-            let mut frame = vec![0.0; frame_len];
-            if start < samples.len() {
-                let end = (start + frame_len).min(samples.len());
-                frame[..end - start].copy_from_slice(&samples[start..end]);
-            }
-            frame
-        })
-        .collect()
+    let mut out = Mat::zeros(n, frame_len);
+    for f in 0..n {
+        let start = f * hop;
+        if start < samples.len() {
+            let end = (start + frame_len).min(samples.len());
+            out.row_mut(f)[..end - start].copy_from_slice(&samples[start..end]);
+        }
+    }
+    out
 }
 
 /// Adjoint of [`frames`]: scatters per-frame gradients back onto the sample
 /// axis (overlap regions accumulate).
 ///
-/// `frame_grads` must have the geometry that [`frames`] produced for a
-/// signal of length `n_samples`.
+/// `frame_grads` must have the geometry (`frame_count × frame_len`) that
+/// [`frames`] produced for a signal of length `n_samples`.
 ///
 /// # Panics
 ///
-/// Panics if the frame count or any frame length is inconsistent with the
-/// geometry.
-pub fn overlap_add_adjoint(
-    frame_grads: &[Vec<f64>],
-    frame_len: usize,
-    hop: usize,
-    n_samples: usize,
-) -> Vec<f64> {
+/// Panics if the frame count is inconsistent with the geometry.
+pub fn overlap_add_adjoint(frame_grads: &Mat, hop: usize, n_samples: usize) -> Vec<f64> {
+    let frame_len = frame_grads.n_cols();
     assert_eq!(
-        frame_grads.len(),
+        frame_grads.n_rows(),
         frame_count(n_samples, frame_len, hop),
         "frame count mismatch"
     );
     let mut out = vec![0.0; n_samples];
-    for (f, grad) in frame_grads.iter().enumerate() {
-        assert_eq!(grad.len(), frame_len, "frame {f} has wrong length");
+    for (f, grad) in frame_grads.rows().enumerate() {
         let start = f * hop;
         for (i, &g) in grad.iter().enumerate() {
             if let Some(slot) = out.get_mut(start + i) {
@@ -84,7 +81,9 @@ mod tests {
     #[test]
     fn exact_fit_no_padding() {
         let f = frames(&[1.0, 2.0, 3.0, 4.0], 2, 2);
-        assert_eq!(f, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.row(0), &[1.0, 2.0]);
+        assert_eq!(f.row(1), &[3.0, 4.0]);
     }
 
     #[test]
@@ -96,7 +95,8 @@ mod tests {
     #[test]
     fn short_signal_single_frame() {
         let f = frames(&[1.0], 4, 2);
-        assert_eq!(f, vec![vec![1.0, 0.0, 0.0, 0.0]]);
+        assert_eq!(f.n_rows(), 1);
+        assert_eq!(f.row(0), &[1.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]
@@ -112,10 +112,10 @@ mod tests {
             let fx = frames(&x, fl, hop);
             for fi in 0..nf {
                 for j in 0..fl {
-                    let mut g = vec![vec![0.0; fl]; nf];
-                    g[fi][j] = 1.0;
-                    let lhs: f64 = fx[fi][j];
-                    let adj = overlap_add_adjoint(&g, fl, hop, n);
+                    let mut g = Mat::zeros(nf, fl);
+                    g.row_mut(fi)[j] = 1.0;
+                    let lhs: f64 = fx.row(fi)[j];
+                    let adj = overlap_add_adjoint(&g, hop, n);
                     assert!((lhs - adj[t]).abs() < 1e-15);
                 }
             }
@@ -130,13 +130,13 @@ mod tests {
             hop in 1usize..8,
         ) {
             let f = frames(&samples, frame_len, hop);
-            prop_assert_eq!(f.len(), frame_count(samples.len(), frame_len, hop));
+            prop_assert_eq!(f.n_rows(), frame_count(samples.len(), frame_len, hop));
             // First frame starts with the signal.
-            prop_assert_eq!(f[0][0], samples[0]);
+            prop_assert_eq!(f.row(0)[0], samples[0]);
             // When hops do not skip samples, the frames jointly cover the
             // whole signal.
             if hop <= frame_len {
-                let last_covered = (f.len() - 1) * hop + frame_len;
+                let last_covered = (f.n_rows() - 1) * hop + frame_len;
                 prop_assert!(last_covered >= samples.len());
             }
         }
@@ -148,8 +148,9 @@ mod tests {
             hop in 1usize..8,
         ) {
             let nf = frame_count(n, frame_len, hop);
-            let g = vec![vec![1.0; frame_len]; nf];
-            let adj = overlap_add_adjoint(&g, frame_len, hop, n);
+            let mut g = Mat::zeros(nf, frame_len);
+            g.fill(1.0);
+            let adj = overlap_add_adjoint(&g, hop, n);
             prop_assert_eq!(adj.len(), n);
             // Each sample accumulates at most ceil(frame_len / hop) times;
             // when hops do not skip samples, also at least once.

@@ -23,15 +23,17 @@
 //! ```
 
 pub mod complex;
-pub mod delta;
 pub mod dct;
+pub mod delta;
 pub mod fft;
 pub mod frame;
+pub mod mat;
 pub mod mel;
 pub mod mfcc;
 pub mod spectrogram;
 pub mod window;
 
 pub use complex::Complex;
-pub use mfcc::{FeatureMatrix, MfccConfig, MfccExtractor};
+pub use mat::Mat;
+pub use mfcc::{FeatureMatrix, MfccConfig, MfccExtractor, MfccScratch};
 pub use window::Window;

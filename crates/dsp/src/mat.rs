@@ -1,0 +1,288 @@
+//! A contiguous row-major `f64` matrix — the one carrier type of the
+//! numeric data plane.
+//!
+//! Every layer of the pipeline (framing, MFCC, acoustic-model logits, CTC
+//! gradients, classifier datasets) moves dense `rows × cols` blocks of
+//! `f64`. [`Mat`] stores them in a single allocation so that hot loops walk
+//! one cache-friendly buffer instead of chasing a `Vec` of row pointers,
+//! and so that scratch-plan call sites can reuse the allocation across
+//! calls ([`Mat::reset`]).
+//!
+//! `mvp_dsp::mfcc::FeatureMatrix` is an alias of this type, kept for
+//! continuity with the original feature-extraction API.
+
+/// A dense `n_rows × n_cols` matrix of `f64` in row-major order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mat {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl Mat {
+    /// A zero-filled `n_rows × n_cols` matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Mat {
+        Mat { data: vec![0.0; n_rows * n_cols], n_rows, n_cols }
+    }
+
+    /// Builds a matrix from rows of equal length.
+    ///
+    /// Kept for tests and one-off construction; steady-state code should
+    /// write rows in place via [`row_mut`](Self::row_mut) or
+    /// [`push_row`](Self::push_row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `n_cols`.
+    pub fn from_rows(rows: Vec<Vec<f64>>, n_cols: usize) -> Mat {
+        let n_rows = rows.len();
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged feature rows");
+            data.extend(r);
+        }
+        Mat { data, n_rows, n_cols }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len()` is a multiple of `n_cols`
+    /// (an empty buffer with `n_cols == 0` is the empty matrix).
+    pub fn from_vec(data: Vec<f64>, n_cols: usize) -> Mat {
+        let n_rows = if n_cols == 0 {
+            assert!(data.is_empty(), "zero-width matrix must be empty");
+            0
+        } else {
+            assert!(data.len().is_multiple_of(n_cols), "buffer not a whole number of rows");
+            data.len() / n_cols
+        };
+        Mat { data, n_rows, n_cols }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of rows — feature-matrix alias of [`n_rows`](Self::n_rows).
+    pub fn n_frames(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns — feature-matrix alias of [`n_cols`](Self::n_cols).
+    pub fn dim(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n_rows, "row {i} out of range ({} rows)", self.n_rows);
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Mutable view of the `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.n_rows, "row {i} out of range ({} rows)", self.n_rows);
+        &mut self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.n_cols.max(1)).take(self.n_rows)
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Appends a row, adopting its width if the matrix is still `0 × 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the established column count.
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.n_rows == 0 && self.n_cols == 0 {
+            self.n_cols = row.len();
+        }
+        assert_eq!(row.len(), self.n_cols, "row width mismatch");
+        self.data.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
+    /// Resizes to `n_rows × n_cols`, reusing the existing allocation, and
+    /// zero-fills the contents. The scratch-plan entry point: callers that
+    /// own a long-lived `Mat` reset it per work item without reallocating
+    /// once it has reached its steady-state size.
+    pub fn reset(&mut self, n_rows: usize, n_cols: usize) {
+        self.n_rows = n_rows;
+        self.n_cols = n_cols;
+        self.data.clear();
+        self.data.resize(n_rows * n_cols, 0.0);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Maps each row through `f`, which writes the `out_cols`-wide output
+    /// row in place — a single output allocation, no per-row `Vec`s.
+    pub fn map_rows(&self, out_cols: usize, mut f: impl FnMut(&[f64], &mut [f64])) -> Mat {
+        let mut out = Mat::zeros(self.n_rows, out_cols);
+        for i in 0..self.n_rows {
+            f(self.row(i), out.row_mut(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Mat::zeros(3, 2);
+        assert_eq!((m.n_rows(), m.n_cols()), (3, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = Mat::zeros(2, 2);
+        m.row_mut(1).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(m.row(1), &[5.0, 6.0]);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn push_row_adopts_width() {
+        let mut m = Mat::default();
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!((m.n_rows(), m.n_cols()), (2, 3));
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_rejects_width_mismatch() {
+        let mut m = Mat::zeros(0, 2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut m = Mat::zeros(4, 8);
+        let cap = m.as_slice().len();
+        m.row_mut(0)[0] = 7.0;
+        m.reset(2, 8);
+        assert_eq!((m.n_rows(), m.n_cols()), (2, 8));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert!(m.as_slice().len() <= cap);
+    }
+
+    #[test]
+    fn from_vec_infers_rows() {
+        let m = Mat::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn from_vec_rejects_partial_rows() {
+        Mat::from_vec(vec![1.0, 2.0, 3.0], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn from_rows_round_trips_through_row_views(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 5),
+                0..12,
+            ),
+        ) {
+            let m = Mat::from_rows(rows.clone(), 5);
+            prop_assert_eq!(m.n_rows(), rows.len());
+            for (i, r) in rows.iter().enumerate() {
+                prop_assert_eq!(m.row(i), r.as_slice());
+            }
+            let collected: Vec<Vec<f64>> = m.rows().map(<[f64]>::to_vec).collect();
+            prop_assert_eq!(collected, rows);
+        }
+
+        #[test]
+        fn ragged_rows_rejected(
+            good in proptest::collection::vec(-1.0f64..1.0, 4),
+            extra in proptest::collection::vec(-1.0f64..1.0, 1..5),
+        ) {
+            // A second row longer than the first is always ragged.
+            let mut bad = good.clone();
+            bad.extend_from_slice(&extra);
+            let result = std::panic::catch_unwind(|| {
+                Mat::from_rows(vec![good.clone(), bad.clone()], 4)
+            });
+            prop_assert!(result.is_err());
+        }
+
+        #[test]
+        fn map_rows_matches_naive_nested_path(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, 3),
+                1..10,
+            ),
+        ) {
+            let m = Mat::from_rows(rows.clone(), 3);
+            // Arbitrary per-row transform: prefix sums.
+            let mapped = m.map_rows(3, |r, out| {
+                let mut acc = 0.0;
+                for (o, &v) in out.iter_mut().zip(r) {
+                    acc += v;
+                    *o = acc;
+                }
+            });
+            let naive: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .scan(0.0, |acc, &v| {
+                            *acc += v;
+                            Some(*acc)
+                        })
+                        .collect()
+                })
+                .collect();
+            for (i, r) in naive.iter().enumerate() {
+                prop_assert_eq!(mapped.row(i), r.as_slice());
+            }
+        }
+    }
+}

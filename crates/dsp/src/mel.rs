@@ -1,5 +1,7 @@
 //! Mel-scale filterbank.
 
+use crate::mat::Mat;
+
 /// Converts frequency in Hz to mel (O'Shaughnessy formula).
 pub fn hz_to_mel(hz: f64) -> f64 {
     2595.0 * (1.0 + hz / 700.0).log10()
@@ -14,8 +16,9 @@ pub fn mel_to_hz(mel: f64) -> f64 {
 /// one-sided power spectrum of `n_fft / 2 + 1` bins.
 #[derive(Debug, Clone)]
 pub struct MelFilterbank {
-    /// `weights[m][k]` is the contribution of spectrum bin `k` to filter `m`.
-    weights: Vec<Vec<f64>>,
+    /// Row `m`, column `k` is the contribution of spectrum bin `k` to
+    /// filter `m` — one flat `n_filters × n_bins` matrix.
+    weights: Mat,
     n_bins: usize,
 }
 
@@ -43,17 +46,13 @@ impl MelFilterbank {
             .map(|i| mel_to_hz(mel_lo + (mel_hi - mel_lo) * i as f64 / (n_filters + 1) as f64))
             .collect();
         let bin_hz = sample_rate / n_fft as f64;
-        let mut weights = vec![vec![0.0; n_bins]; n_filters];
+        let mut weights = Mat::zeros(n_filters, n_bins);
         for m in 0..n_filters {
             let (lo, mid, hi) = (edges_hz[m], edges_hz[m + 1], edges_hz[m + 2]);
-            for (k, w) in weights[m].iter_mut().enumerate() {
+            for (k, w) in weights.row_mut(m).iter_mut().enumerate() {
                 let f = k as f64 * bin_hz;
                 if f > lo && f < hi {
-                    *w = if f <= mid {
-                        (f - lo) / (mid - lo)
-                    } else {
-                        (hi - f) / (hi - mid)
-                    };
+                    *w = if f <= mid { (f - lo) / (mid - lo) } else { (hi - f) / (hi - mid) };
                 }
             }
         }
@@ -62,7 +61,7 @@ impl MelFilterbank {
 
     /// Number of filters.
     pub fn n_filters(&self) -> usize {
-        self.weights.len()
+        self.weights.n_rows()
     }
 
     /// Number of spectrum bins this bank expects (`n_fft / 2 + 1`).
@@ -76,11 +75,24 @@ impl MelFilterbank {
     ///
     /// Panics if `power.len() != self.n_bins()`.
     pub fn apply(&self, power: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_filters()];
+        self.apply_into(power, &mut out);
+        out
+    }
+
+    /// Allocation-free [`apply`](Self::apply): writes the mel energies into
+    /// `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len() != self.n_bins()` or
+    /// `out.len() != self.n_filters()`.
+    pub fn apply_into(&self, power: &[f64], out: &mut [f64]) {
         assert_eq!(power.len(), self.n_bins, "power spectrum bin count");
-        self.weights
-            .iter()
-            .map(|row| row.iter().zip(power).map(|(w, p)| w * p).sum())
-            .collect()
+        assert_eq!(out.len(), self.n_filters(), "mel output length");
+        for (o, row) in out.iter_mut().zip(self.weights.rows()) {
+            *o = row.iter().zip(power).map(|(w, p)| w * p).sum();
+        }
     }
 
     /// Adjoint of [`apply`](Self::apply): maps a gradient over mel energies
@@ -92,7 +104,7 @@ impl MelFilterbank {
     pub fn apply_transpose(&self, grad: &[f64]) -> Vec<f64> {
         assert_eq!(grad.len(), self.n_filters(), "mel gradient length");
         let mut out = vec![0.0; self.n_bins];
-        for (row, &g) in self.weights.iter().zip(grad) {
+        for (row, &g) in self.weights.rows().zip(grad) {
             for (o, &w) in out.iter_mut().zip(row) {
                 *o += w * g;
             }

@@ -7,13 +7,23 @@
 //! can propagate a loss gradient from the MFCC matrix back to the raw
 //! samples — the "MFCC reconstruction layer" that makes the white-box
 //! Carlini & Wagner attack possible.
+//!
+//! The steady-state entry point is [`MfccExtractor::extract_into`], which
+//! threads an [`MfccScratch`] plan through the pipeline so repeated
+//! extraction (batch serving, attack inner loops) performs no per-call
+//! allocation once the buffers have reached their working size.
 
 use crate::complex::Complex;
-use crate::dct::{dct2, dct2_transpose};
-use crate::fft::{fft, rfft};
-use crate::frame::{frame_count, frames, overlap_add_adjoint};
+use crate::dct::{dct2_into, dct2_transpose_into};
+use crate::fft::fft;
+use crate::frame::{frame_count, overlap_add_adjoint};
+use crate::mat::Mat;
 use crate::mel::MelFilterbank;
 use crate::window::Window;
+
+/// A dense `n_frames × dim` feature matrix — an alias of [`Mat`], kept for
+/// continuity with the original feature-extraction API.
+pub use crate::mat::Mat as FeatureMatrix;
 
 /// Configuration of an MFCC front end.
 ///
@@ -82,76 +92,47 @@ impl MfccConfig {
         );
         assert!(self.n_cepstra > 0 && self.n_cepstra <= self.n_mels, "n_cepstra out of range");
         assert!(self.log_floor > 0.0, "log floor must be positive");
-        assert!(
-            self.f_max <= self.sample_rate as f64 / 2.0 + 1e-9,
-            "f_max beyond Nyquist"
-        );
-    }
-}
-
-/// A dense `n_frames × dim` feature matrix in row-major order.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct FeatureMatrix {
-    data: Vec<f64>,
-    n_frames: usize,
-    dim: usize,
-}
-
-impl FeatureMatrix {
-    /// Builds a matrix from rows of equal length.
-    ///
-    /// # Panics
-    ///
-    /// Panics if rows have differing lengths.
-    pub fn from_rows(rows: Vec<Vec<f64>>, dim: usize) -> FeatureMatrix {
-        let n_frames = rows.len();
-        let mut data = Vec::with_capacity(n_frames * dim);
-        for r in rows {
-            assert_eq!(r.len(), dim, "ragged feature rows");
-            data.extend(r);
-        }
-        FeatureMatrix { data, n_frames, dim }
-    }
-
-    /// Number of frames (rows).
-    pub fn n_frames(&self) -> usize {
-        self.n_frames
-    }
-
-    /// Feature dimension (columns).
-    pub fn dim(&self) -> usize {
-        self.dim
-    }
-
-    /// The `i`-th frame's features.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= n_frames`.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
-    }
-
-    /// Iterates over rows.
-    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.dim.max(1)).take(self.n_frames)
-    }
-
-    /// The raw row-major buffer.
-    pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        assert!(self.f_max <= self.sample_rate as f64 / 2.0 + 1e-9, "f_max beyond Nyquist");
     }
 }
 
 /// Per-frame intermediates retained for the backward pass.
 #[derive(Debug, Clone)]
 pub struct MfccCache {
-    /// Full complex spectrum per frame (length `n_fft`).
-    spectra: Vec<Vec<Complex>>,
-    /// Mel energies per frame (pre-log).
-    mels: Vec<Vec<f64>>,
+    /// Full complex spectra, one `n_fft`-length segment per frame.
+    spectra: Vec<Complex>,
+    /// Spectrum stride (`n_fft`).
+    n_fft: usize,
+    /// Mel energies per frame (pre-log), `n_frames × n_mels`.
+    mels: Mat,
     /// Original signal length in samples.
     n_samples: usize,
+}
+
+impl MfccCache {
+    fn n_frames(&self) -> usize {
+        self.mels.n_rows()
+    }
+
+    fn spectrum(&self, f: usize) -> &[Complex] {
+        &self.spectra[f * self.n_fft..(f + 1) * self.n_fft]
+    }
+}
+
+/// Reusable workspace for [`MfccExtractor::extract_into`].
+///
+/// Holds the pre-emphasis buffer, FFT frame buffer and mel/DCT temporaries.
+/// Buffers grow to the working size on first use and are reused verbatim
+/// afterwards, so repeated extraction allocates nothing in steady state.
+/// A scratch built for one extractor geometry may be reused with another;
+/// the buffers simply resize once.
+#[derive(Debug, Clone, Default)]
+pub struct MfccScratch {
+    emphasized: Vec<f64>,
+    fft: Vec<Complex>,
+    power: Vec<f64>,
+    mel: Vec<f64>,
+    logmel: Vec<f64>,
 }
 
 /// The MFCC front end.
@@ -171,13 +152,8 @@ impl MfccExtractor {
     pub fn new(cfg: MfccConfig) -> MfccExtractor {
         cfg.validate();
         let window = cfg.window.coefficients(cfg.frame_len);
-        let filterbank = MelFilterbank::new(
-            cfg.n_mels,
-            cfg.n_fft,
-            cfg.sample_rate as f64,
-            cfg.f_min,
-            cfg.f_max,
-        );
+        let filterbank =
+            MelFilterbank::new(cfg.n_mels, cfg.n_fft, cfg.sample_rate as f64, cfg.f_min, cfg.f_max);
         MfccExtractor { cfg, window, filterbank }
     }
 
@@ -191,50 +167,106 @@ impl MfccExtractor {
         frame_count(n_samples, self.cfg.frame_len, self.cfg.hop)
     }
 
-    fn pre_emphasize(&self, samples: &[f64]) -> Vec<f64> {
+    fn pre_emphasize_into(&self, samples: &[f64], out: &mut Vec<f64>) {
         let a = self.cfg.pre_emphasis;
+        out.clear();
+        out.reserve(samples.len());
         if a == 0.0 {
-            return samples.to_vec();
+            out.extend_from_slice(samples);
+            return;
         }
-        let mut out = Vec::with_capacity(samples.len());
         let mut prev = 0.0;
         for &s in samples {
             out.push(s - a * prev);
             prev = s;
         }
-        out
     }
 
     /// Extracts the MFCC matrix for `samples`.
     pub fn extract(&self, samples: &[f64]) -> FeatureMatrix {
-        self.extract_with_cache(samples).0
+        let mut scratch = MfccScratch::default();
+        let mut out = FeatureMatrix::default();
+        self.extract_into(samples, &mut scratch, &mut out);
+        out
+    }
+
+    /// Extracts MFCCs into `out`, reusing the buffers in `scratch`.
+    ///
+    /// `out` is resized to `n_frames × n_cepstra`; neither it nor `scratch`
+    /// allocates once both have reached their steady-state size.
+    pub fn extract_into(
+        &self,
+        samples: &[f64],
+        scratch: &mut MfccScratch,
+        out: &mut FeatureMatrix,
+    ) {
+        self.forward(samples, scratch, out, None);
     }
 
     /// Extracts MFCCs and the intermediates needed by [`backward`].
     ///
     /// [`backward`]: MfccExtractor::backward
     pub fn extract_with_cache(&self, samples: &[f64]) -> (FeatureMatrix, MfccCache) {
+        let mut scratch = MfccScratch::default();
+        let mut out = FeatureMatrix::default();
+        let mut cache = MfccCache {
+            spectra: Vec::new(),
+            n_fft: self.cfg.n_fft,
+            mels: Mat::default(),
+            n_samples: samples.len(),
+        };
+        self.forward(samples, &mut scratch, &mut out, Some(&mut cache));
+        (out, cache)
+    }
+
+    /// Shared forward pass; fills `cache` when the caller needs gradients.
+    fn forward(
+        &self,
+        samples: &[f64],
+        scratch: &mut MfccScratch,
+        out: &mut FeatureMatrix,
+        mut cache: Option<&mut MfccCache>,
+    ) {
         let cfg = &self.cfg;
-        let emphasized = self.pre_emphasize(samples);
-        let frames = frames(&emphasized, cfg.frame_len, cfg.hop);
+        let n_frames = self.n_frames_for(samples.len());
         let n_bins = cfg.n_fft / 2 + 1;
-        let mut rows = Vec::with_capacity(frames.len());
-        let mut spectra = Vec::with_capacity(frames.len());
-        let mut mels = Vec::with_capacity(frames.len());
-        for frame in &frames {
-            let windowed: Vec<f64> = frame.iter().zip(&self.window).map(|(s, w)| s * w).collect();
-            let spec = rfft(&windowed, cfg.n_fft);
-            let power: Vec<f64> = spec[..n_bins].iter().map(|z| z.norm_sq()).collect();
-            let mel = self.filterbank.apply(&power);
-            let logmel: Vec<f64> = mel.iter().map(|&m| (m + cfg.log_floor).ln()).collect();
-            rows.push(dct2(&logmel, cfg.n_cepstra));
-            spectra.push(spec);
-            mels.push(mel);
+        self.pre_emphasize_into(samples, &mut scratch.emphasized);
+        out.reset(n_frames, cfg.n_cepstra);
+        scratch.fft.resize(cfg.n_fft, Complex::ZERO);
+        scratch.power.resize(n_bins, 0.0);
+        scratch.mel.resize(cfg.n_mels, 0.0);
+        scratch.logmel.resize(cfg.n_mels, 0.0);
+        if let Some(c) = cache.as_deref_mut() {
+            c.n_fft = cfg.n_fft;
+            c.n_samples = samples.len();
+            c.spectra.clear();
+            c.spectra.reserve(n_frames * cfg.n_fft);
+            c.mels.reset(n_frames, cfg.n_mels);
         }
-        (
-            FeatureMatrix::from_rows(rows, cfg.n_cepstra),
-            MfccCache { spectra, mels, n_samples: samples.len() },
-        )
+        let emphasized = &scratch.emphasized;
+        for f in 0..n_frames {
+            // Windowed frame straight into the FFT buffer (zero-padded).
+            let start = f * cfg.hop;
+            let end = (start + cfg.frame_len).min(emphasized.len());
+            for (t, z) in scratch.fft.iter_mut().enumerate() {
+                let s = if t < end.saturating_sub(start) { emphasized[start + t] } else { 0.0 };
+                let w = if t < cfg.frame_len { self.window[t] } else { 0.0 };
+                *z = Complex::new(s * w, 0.0);
+            }
+            fft(&mut scratch.fft);
+            for (p, z) in scratch.power.iter_mut().zip(&scratch.fft) {
+                *p = z.norm_sq();
+            }
+            self.filterbank.apply_into(&scratch.power, &mut scratch.mel);
+            for (l, &m) in scratch.logmel.iter_mut().zip(&scratch.mel) {
+                *l = (m + cfg.log_floor).ln();
+            }
+            dct2_into(&scratch.logmel, out.row_mut(f));
+            if let Some(c) = cache.as_deref_mut() {
+                c.spectra.extend_from_slice(&scratch.fft);
+                c.mels.row_mut(f).copy_from_slice(&scratch.mel);
+            }
+        }
     }
 
     /// Backpropagates a gradient over the MFCC matrix to a gradient over
@@ -248,35 +280,34 @@ impl MfccExtractor {
     /// Panics on shape mismatch between `d_mfcc` and `cache`.
     pub fn backward(&self, cache: &MfccCache, d_mfcc: &FeatureMatrix) -> Vec<f64> {
         let cfg = &self.cfg;
-        assert_eq!(d_mfcc.n_frames(), cache.spectra.len(), "frame count mismatch");
+        assert_eq!(d_mfcc.n_frames(), cache.n_frames(), "frame count mismatch");
         assert_eq!(d_mfcc.dim(), cfg.n_cepstra, "cepstral dimension mismatch");
         let n_bins = cfg.n_fft / 2 + 1;
-        let mut frame_grads = Vec::with_capacity(cache.spectra.len());
-        for (f, spec) in cache.spectra.iter().enumerate() {
+        let mut frame_grads = Mat::zeros(cache.n_frames(), cfg.frame_len);
+        let mut d_logmel = vec![0.0; cfg.n_mels];
+        let mut d_mel = vec![0.0; cfg.n_mels];
+        let mut z = vec![Complex::ZERO; cfg.n_fft];
+        for f in 0..cache.n_frames() {
+            let spec = cache.spectrum(f);
             // DCT and log adjoints.
-            let d_logmel = dct2_transpose(d_mfcc.row(f), cfg.n_mels);
-            let d_mel: Vec<f64> = d_logmel
-                .iter()
-                .zip(&cache.mels[f])
-                .map(|(g, m)| g / (m + cfg.log_floor))
-                .collect();
+            dct2_transpose_into(d_mfcc.row(f), &mut d_logmel);
+            for ((d, &g), &m) in d_mel.iter_mut().zip(&d_logmel).zip(cache.mels.row(f)) {
+                *d = g / (m + cfg.log_floor);
+            }
             let d_power = self.filterbank.apply_transpose(&d_mel);
             // |X_k|² adjoint via one forward FFT:
             // dL/dx_t = 2 Re( Σ_k g_k conj(X_k) e^{-2πi kt/n} ), so build
             // Z_k = g_k conj(X_k) on the one-sided bins and DFT it.
-            let mut z = vec![Complex::ZERO; cfg.n_fft];
+            z.fill(Complex::ZERO);
             for k in 0..n_bins {
                 z[k] = spec[k].conj().scale(d_power[k]);
             }
             fft(&mut z);
-            let mut d_frame = vec![0.0; cfg.frame_len];
-            for (t, d) in d_frame.iter_mut().enumerate() {
+            for (t, d) in frame_grads.row_mut(f).iter_mut().enumerate() {
                 *d = 2.0 * z[t].re * self.window[t];
             }
-            frame_grads.push(d_frame);
         }
-        let d_emph =
-            overlap_add_adjoint(&frame_grads, cfg.frame_len, cfg.hop, cache.n_samples);
+        let d_emph = overlap_add_adjoint(&frame_grads, cfg.hop, cache.n_samples);
         // Pre-emphasis adjoint: y_t = x_t - a x_{t-1}.
         let a = cfg.pre_emphasis;
         if a == 0.0 {
@@ -353,20 +384,30 @@ mod tests {
     fn distinct_tones_produce_distinct_features() {
         let ex = MfccExtractor::new(small_cfg());
         let tone = |hz: f64| -> Vec<f64> {
-            (0..256)
-                .map(|i| (2.0 * std::f64::consts::PI * hz * i as f64 / 8000.0).sin())
-                .collect()
+            (0..256).map(|i| (2.0 * std::f64::consts::PI * hz * i as f64 / 8000.0).sin()).collect()
         };
         let f1 = ex.extract(&tone(300.0));
         let f2 = ex.extract(&tone(2500.0));
-        let d: f64 = f1
-            .row(2)
-            .iter()
-            .zip(f2.row(2))
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f64>()
-            .sqrt();
+        let d: f64 =
+            f1.row(2).iter().zip(f2.row(2)).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
         assert!(d > 1.0, "features too close: {d}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_exact() {
+        // Two different signals through the same scratch, interleaved with
+        // the allocating path: results must be bit-identical.
+        let ex = MfccExtractor::new(small_cfg());
+        let a = pseudo_signal(200);
+        let b: Vec<f64> = pseudo_signal(300).iter().map(|s| s * 0.5).collect();
+        let mut scratch = MfccScratch::default();
+        let mut out = FeatureMatrix::default();
+        ex.extract_into(&a, &mut scratch, &mut out);
+        assert_eq!(out, ex.extract(&a));
+        ex.extract_into(&b, &mut scratch, &mut out);
+        assert_eq!(out, ex.extract(&b));
+        ex.extract_into(&a, &mut scratch, &mut out);
+        assert_eq!(out, ex.extract(&a));
     }
 
     #[test]
@@ -412,10 +453,8 @@ mod tests {
         let ex = MfccExtractor::new(cfg);
         let sig = pseudo_signal(128);
         let (feats, cache) = ex.extract_with_cache(&sig);
-        let ones = FeatureMatrix::from_rows(
-            vec![vec![1.0; feats.dim()]; feats.n_frames()],
-            feats.dim(),
-        );
+        let ones =
+            FeatureMatrix::from_rows(vec![vec![1.0; feats.dim()]; feats.n_frames()], feats.dim());
         let grad = ex.backward(&cache, &ones);
         let loss = |s: &[f64]| ex.extract(s).as_slice().iter().sum::<f64>();
         let eps = 1e-6;

@@ -89,14 +89,14 @@ pub fn spectrogram(
     let coeffs = window.coefficients(frame_len);
     let n_bins = n_fft / 2 + 1;
     let framed = frames(samples, frame_len, hop);
-    let mut data = Vec::with_capacity(framed.len() * n_bins);
-    for frame in &framed {
+    let mut data = Vec::with_capacity(framed.n_rows() * n_bins);
+    for frame in framed.rows() {
         let windowed: Vec<f64> = frame.iter().zip(&coeffs).map(|(s, w)| s * w).collect();
         let spec = rfft(&windowed, n_fft);
         data.extend(spec[..n_bins].iter().map(|z| z.norm_sq()));
     }
     Spectrogram {
-        n_frames: framed.len(),
+        n_frames: framed.n_rows(),
         n_bins,
         bin_hz: sample_rate as f64 / n_fft as f64,
         data,
@@ -108,9 +108,7 @@ mod tests {
     use super::*;
 
     fn tone(hz: f64, rate: u32, n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| (std::f64::consts::TAU * hz * i as f64 / rate as f64).sin())
-            .collect()
+        (0..n).map(|i| (std::f64::consts::TAU * hz * i as f64 / rate as f64).sin()).collect()
     }
 
     #[test]

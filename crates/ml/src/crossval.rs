@@ -44,8 +44,7 @@ pub fn stratified_k_folds(data: &Dataset, k: usize, seed: u64) -> Vec<(Vec<usize
     let mut rng = StdRng::seed_from_u64(seed);
     let mut fold_of = vec![0usize; data.len()];
     for class in [0usize, 1] {
-        let mut idx: Vec<usize> =
-            (0..data.len()).filter(|&i| data.labels()[i] == class).collect();
+        let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.labels()[i] == class).collect();
         for i in (1..idx.len()).rev() {
             let j = rng.gen_range(0..=i);
             idx.swap(i, j);
@@ -69,7 +68,12 @@ pub fn stratified_k_folds(data: &Dataset, k: usize, seed: u64) -> Vec<(Vec<usize
 ///
 /// Panics if any training fold ends up single-class (pathologically small
 /// datasets), or as in [`stratified_k_folds`].
-pub fn cross_validate(kind: ClassifierKind, data: &Dataset, k: usize, seed: u64) -> CrossValSummary {
+pub fn cross_validate(
+    kind: ClassifierKind,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> CrossValSummary {
     let folds = stratified_k_folds(data, k, seed)
         .into_iter()
         .map(|(train_idx, test_idx)| {
@@ -87,11 +91,12 @@ pub fn cross_validate(kind: ClassifierKind, data: &Dataset, k: usize, seed: u64)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mvp_dsp::Mat;
 
     fn separable(n: usize) -> Dataset {
         Dataset::from_classes(
-            (0..n).map(|i| vec![0.8 + (i % 7) as f64 * 0.02]).collect(),
-            (0..n).map(|i| vec![0.1 + (i % 7) as f64 * 0.02]).collect(),
+            Mat::from_rows((0..n).map(|i| vec![0.8 + (i % 7) as f64 * 0.02]).collect(), 1),
+            Mat::from_rows((0..n).map(|i| vec![0.1 + (i % 7) as f64 * 0.02]).collect(), 1),
         )
     }
 

@@ -1,45 +1,64 @@
 //! Binary-labelled feature datasets.
 
+use mvp_dsp::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A dense dataset of feature vectors with binary labels (`0` / `1`).
+///
+/// Features live in one contiguous [`Mat`] (the workspace-wide data-plane
+/// carrier), so classifiers walk a single row-major buffer.
 #[derive(Debug, Clone, Default)]
 pub struct Dataset {
-    x: Vec<Vec<f64>>,
+    x: Mat,
     y: Vec<usize>,
 }
 
 impl Dataset {
-    /// Wraps features and labels.
+    /// Wraps a feature matrix and labels.
     ///
     /// # Panics
     ///
-    /// Panics if lengths differ, rows are ragged, or labels are not 0/1.
-    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Dataset {
-        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
-        if let Some(first) = x.first() {
-            let d = first.len();
-            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
-        }
+    /// Panics if row and label counts differ or labels are not 0/1.
+    pub fn new(x: Mat, y: Vec<usize>) -> Dataset {
+        assert_eq!(x.n_rows(), y.len(), "feature/label count mismatch");
         assert!(y.iter().all(|&l| l <= 1), "labels must be 0 or 1");
         Dataset { x, y }
     }
 
+    /// Builds a dataset from per-example feature rows.
+    ///
+    /// Kept for tests and one-off construction; bulk producers should build
+    /// a [`Mat`] directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged, counts differ, or labels are not 0/1.
+    pub fn from_rows(x: Vec<Vec<f64>>, y: Vec<usize>) -> Dataset {
+        let d = x.first().map_or(0, Vec::len);
+        Dataset::new(Mat::from_rows(x, d), y)
+    }
+
     /// Builds a dataset by concatenating negative (label 0) and positive
     /// (label 1) example sets.
-    pub fn from_classes(negatives: Vec<Vec<f64>>, positives: Vec<Vec<f64>>) -> Dataset {
-        let y: Vec<usize> = std::iter::repeat_n(0, negatives.len())
-            .chain(std::iter::repeat_n(1, positives.len()))
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices have different widths (both non-empty).
+    pub fn from_classes(negatives: Mat, positives: Mat) -> Dataset {
+        let y: Vec<usize> = std::iter::repeat_n(0, negatives.n_rows())
+            .chain(std::iter::repeat_n(1, positives.n_rows()))
             .collect();
         let mut x = negatives;
-        x.extend(positives);
+        for row in positives.rows() {
+            x.push_row(row);
+        }
         Dataset::new(x, y)
     }
 
     /// Number of examples.
     pub fn len(&self) -> usize {
-        self.x.len()
+        self.x.n_rows()
     }
 
     /// Whether the dataset is empty.
@@ -47,14 +66,23 @@ impl Dataset {
         self.x.is_empty()
     }
 
-    /// Feature dimensionality (0 for an empty dataset).
+    /// Feature dimensionality.
     pub fn dim(&self) -> usize {
-        self.x.first().map_or(0, Vec::len)
+        self.x.n_cols()
     }
 
-    /// The feature rows.
-    pub fn features(&self) -> &[Vec<f64>] {
+    /// The feature matrix.
+    pub fn features(&self) -> &Mat {
         &self.x
+    }
+
+    /// The `i`-th feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.x.row(i)
     }
 
     /// The labels.
@@ -73,10 +101,11 @@ impl Dataset {
     ///
     /// Panics if an index is out of range.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        Dataset::new(
-            indices.iter().map(|&i| self.x[i].clone()).collect(),
-            indices.iter().map(|&i| self.y[i]).collect(),
-        )
+        let mut x = Mat::zeros(0, self.dim());
+        for &i in indices {
+            x.push_row(self.x.row(i));
+        }
+        Dataset::new(x, indices.iter().map(|&i| self.y[i]).collect())
     }
 
     /// Deterministic shuffled train/test split with `train_frac` of each
@@ -91,8 +120,7 @@ impl Dataset {
         let mut train_idx = Vec::new();
         let mut test_idx = Vec::new();
         for class in [0usize, 1] {
-            let mut idx: Vec<usize> =
-                (0..self.len()).filter(|&i| self.y[i] == class).collect();
+            let mut idx: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] == class).collect();
             for i in (1..idx.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 idx.swap(i, j);
@@ -111,8 +139,8 @@ mod tests {
 
     fn toy() -> Dataset {
         Dataset::from_classes(
-            (0..20).map(|i| vec![i as f64]).collect(),
-            (0..10).map(|i| vec![100.0 + i as f64]).collect(),
+            Mat::from_rows((0..20).map(|i| vec![i as f64]).collect(), 1),
+            Mat::from_rows((0..10).map(|i| vec![100.0 + i as f64]).collect(), 1),
         )
     }
 
@@ -146,12 +174,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_rejected() {
-        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+        Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
     }
 
     #[test]
     #[should_panic(expected = "labels")]
     fn bad_label_rejected() {
-        Dataset::new(vec![vec![1.0]], vec![2]);
+        Dataset::from_rows(vec![vec![1.0]], vec![2]);
     }
 }

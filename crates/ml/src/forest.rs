@@ -83,7 +83,7 @@ mod tests {
             x.push(vec![0.6 + v * 0.4 - noise * 0.1, noise]);
             y.push(1);
         }
-        Dataset::new(x, y)
+        Dataset::from_rows(x, y)
     }
 
     #[test]
@@ -103,7 +103,7 @@ mod tests {
         let mut b = RandomForest::new(10, 200);
         a.fit(&d);
         b.fit(&d);
-        for x in d.features() {
+        for x in d.features().rows() {
             assert_eq!(a.predict(x), b.predict(x));
         }
     }

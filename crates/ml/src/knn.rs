@@ -1,5 +1,7 @@
 //! K-nearest-neighbours classifier (Euclidean distance, majority vote).
 
+use mvp_dsp::Mat;
+
 use crate::dataset::Dataset;
 use crate::Classifier;
 
@@ -7,7 +9,7 @@ use crate::Classifier;
 #[derive(Debug, Clone)]
 pub struct Knn {
     k: usize,
-    x: Vec<Vec<f64>>,
+    x: Mat,
     y: Vec<usize>,
 }
 
@@ -19,7 +21,7 @@ impl Knn {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Knn {
         assert!(k > 0, "k must be positive");
-        Knn { k, x: Vec::new(), y: Vec::new() }
+        Knn { k, x: Mat::default(), y: Vec::new() }
     }
 }
 
@@ -30,19 +32,15 @@ fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
 impl Classifier for Knn {
     fn fit(&mut self, data: &Dataset) {
         assert!(!data.is_empty(), "empty training set");
-        self.x = data.features().to_vec();
+        self.x = data.features().clone();
         self.y = data.labels().to_vec();
     }
 
     fn predict(&self, x: &[f64]) -> usize {
         assert!(!self.x.is_empty(), "KNN not fitted");
-        assert_eq!(x.len(), self.x[0].len(), "dimension mismatch");
-        let mut dists: Vec<(f64, usize)> = self
-            .x
-            .iter()
-            .zip(&self.y)
-            .map(|(xi, &yi)| (dist_sq(xi, x), yi))
-            .collect();
+        assert_eq!(x.len(), self.x.n_cols(), "dimension mismatch");
+        let mut dists: Vec<(f64, usize)> =
+            self.x.rows().zip(&self.y).map(|(xi, &yi)| (dist_sq(xi, x), yi)).collect();
         let k = self.k.min(dists.len());
         dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
         let votes: usize = dists[..k].iter().map(|&(_, y)| y).sum();
@@ -56,8 +54,8 @@ mod tests {
 
     fn clusters() -> Dataset {
         Dataset::from_classes(
-            (0..20).map(|i| vec![(i % 5) as f64 * 0.1, 0.0]).collect(),
-            (0..20).map(|i| vec![5.0 + (i % 5) as f64 * 0.1, 5.0]).collect(),
+            Mat::from_rows((0..20).map(|i| vec![(i % 5) as f64 * 0.1, 0.0]).collect(), 2),
+            Mat::from_rows((0..20).map(|i| vec![5.0 + (i % 5) as f64 * 0.1, 5.0]).collect(), 2),
         )
     }
 
@@ -86,7 +84,7 @@ mod tests {
         x.push(vec![0.0]);
         y.push(1);
         let mut knn = Knn::new(5);
-        knn.fit(&Dataset::new(x, y));
+        knn.fit(&Dataset::from_rows(x, y));
         assert_eq!(knn.predict(&[0.0]), 0);
     }
 

@@ -11,15 +11,15 @@
 //! # Examples
 //!
 //! ```
-//! use mvp_ml::{Classifier, ClassifierKind, Dataset};
+//! use mvp_ml::{Classifier, ClassifierKind, Dataset, Mat};
 //!
 //! // Benign samples score high, AEs low — a caricature of Figure 4.
-//! let mut x = Vec::new();
+//! let mut x = Mat::zeros(0, 1);
 //! let mut y = Vec::new();
 //! for i in 0..40 {
 //!     let v = i as f64 / 40.0 * 0.2;
-//!     x.push(vec![0.9 - v]); y.push(0); // benign
-//!     x.push(vec![0.1 + v]); y.push(1); // AE
+//!     x.push_row(&[0.9 - v]); y.push(0); // benign
+//!     x.push_row(&[0.1 + v]); y.push(1); // AE
 //! }
 //! let data = Dataset::new(x, y);
 //! let mut svm = ClassifierKind::Svm.build();
@@ -43,8 +43,9 @@ pub use dataset::Dataset;
 pub use forest::RandomForest;
 pub use knn::Knn;
 pub use logistic::LogisticRegression;
-pub use metrics::BinaryMetrics;
 pub use metrics::mean_std;
+pub use metrics::BinaryMetrics;
+pub use mvp_dsp::Mat;
 pub use roc::{auc, roc_curve, threshold_for_fpr, RocPoint};
 pub use svm::{Kernel, Svm};
 
@@ -67,9 +68,9 @@ pub trait Classifier {
     /// dimensionality.
     fn predict(&self, x: &[f64]) -> usize;
 
-    /// Predicts a batch.
-    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
-        xs.iter().map(|x| self.predict(x)).collect()
+    /// Predicts one label per row of `xs`.
+    fn predict_batch(&self, xs: &Mat) -> Vec<usize> {
+        xs.rows().map(|x| self.predict(x)).collect()
     }
 }
 
@@ -92,7 +93,9 @@ impl ClassifierKind {
     /// Builds an untrained classifier with the paper's configuration.
     pub fn build(self) -> Box<dyn Classifier> {
         match self {
-            ClassifierKind::Svm => Box::new(Svm::new(Kernel::Polynomial { degree: 3, coef0: 1.0 }, 1.0)),
+            ClassifierKind::Svm => {
+                Box::new(Svm::new(Kernel::Polynomial { degree: 3, coef0: 1.0 }, 1.0))
+            }
             ClassifierKind::Knn => Box::new(Knn::new(10)),
             ClassifierKind::RandomForest => Box::new(RandomForest::new(40, 200)),
         }
@@ -129,7 +132,7 @@ mod tests {
             x.push(vec![a.cos() * 0.3, a.sin() * 0.3]);
             y.push(1);
         }
-        Dataset::new(x, y)
+        Dataset::from_rows(x, y)
     }
 
     #[test]
@@ -139,11 +142,7 @@ mod tests {
             let mut c = kind.build();
             c.fit(&data);
             let preds = c.predict_batch(data.features());
-            let acc = preds
-                .iter()
-                .zip(data.labels())
-                .filter(|(p, l)| p == l)
-                .count() as f64
+            let acc = preds.iter().zip(data.labels()).filter(|(p, l)| p == l).count() as f64
                 / data.len() as f64;
             assert!(acc > 0.9, "{kind}: accuracy {acc}");
         }

@@ -40,8 +40,7 @@ impl LogisticRegression {
     pub fn probability(&self, x: &[f64]) -> f64 {
         assert!(self.trained, "logistic regression not fitted");
         assert_eq!(x.len(), self.weights.len(), "dimension mismatch");
-        let z: f64 =
-            self.bias + self.weights.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
+        let z: f64 = self.bias + self.weights.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 }
@@ -62,9 +61,9 @@ impl Classifier for LogisticRegression {
         for _ in 0..self.epochs {
             let mut gw = vec![0.0; d];
             let mut gb = 0.0;
-            for (x, &y) in data.features().iter().zip(data.labels()) {
-                let z: f64 = self.bias
-                    + self.weights.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
+            for (x, &y) in data.features().rows().zip(data.labels()) {
+                let z: f64 =
+                    self.bias + self.weights.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let err = p - y as f64;
                 gb += err;
@@ -88,11 +87,12 @@ impl Classifier for LogisticRegression {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mvp_dsp::Mat;
 
     fn separable() -> Dataset {
         Dataset::from_classes(
-            (0..30).map(|i| vec![0.85 + (i % 10) as f64 * 0.01]).collect(),
-            (0..30).map(|i| vec![0.2 + (i % 10) as f64 * 0.01]).collect(),
+            Mat::from_rows((0..30).map(|i| vec![0.85 + (i % 10) as f64 * 0.01]).collect(), 1),
+            Mat::from_rows((0..30).map(|i| vec![0.2 + (i % 10) as f64 * 0.01]).collect(), 1),
         )
     }
 
@@ -118,8 +118,8 @@ mod tests {
     #[test]
     fn multidimensional_fit() {
         let data = Dataset::from_classes(
-            (0..20).map(|i| vec![0.9, 0.9 - (i % 4) as f64 * 0.01]).collect(),
-            (0..20).map(|i| vec![0.3, 0.2 + (i % 4) as f64 * 0.01]).collect(),
+            Mat::from_rows((0..20).map(|i| vec![0.9, 0.9 - (i % 4) as f64 * 0.01]).collect(), 2),
+            Mat::from_rows((0..20).map(|i| vec![0.3, 0.2 + (i % 4) as f64 * 0.01]).collect(), 2),
         );
         let mut lr = LogisticRegression::new();
         lr.fit(&data);

@@ -65,10 +65,7 @@ pub fn roc_curve(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
 
 /// Area under a ROC curve by trapezoidal integration.
 pub fn auc(curve: &[RocPoint]) -> f64 {
-    curve
-        .windows(2)
-        .map(|w| (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0)
-        .sum()
+    curve.windows(2).map(|w| (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0).sum()
 }
 
 /// Picks the largest threshold whose FPR stays below `max_fpr` (the §V-G

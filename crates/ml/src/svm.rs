@@ -1,5 +1,6 @@
 //! Soft-margin SVM trained with simplified SMO (Platt, 1998).
 
+use mvp_dsp::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,7 +48,7 @@ pub struct Svm {
     tol: f64,
     max_passes: usize,
     // Learned state.
-    support_x: Vec<Vec<f64>>,
+    support_x: Mat,
     support_y: Vec<f64>, // ±1
     alpha: Vec<f64>,
     b: f64,
@@ -67,7 +68,7 @@ impl Svm {
             c,
             tol: 1e-3,
             max_passes: 5,
-            support_x: Vec::new(),
+            support_x: Mat::default(),
             support_y: Vec::new(),
             alpha: Vec::new(),
             b: 0.0,
@@ -83,7 +84,7 @@ impl Svm {
     pub fn decision(&self, x: &[f64]) -> f64 {
         assert!(self.trained, "SVM not fitted");
         self.support_x
-            .iter()
+            .rows()
             .zip(&self.support_y)
             .zip(&self.alpha)
             .filter(|(_, &a)| a > 0.0)
@@ -103,15 +104,21 @@ impl Classifier for Svm {
             y.iter().any(|&v| v > 0.0) && y.iter().any(|&v| v < 0.0),
             "training set must contain both classes"
         );
-        // Precompute the kernel matrix (feature dims here are tiny).
-        let k: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| self.kernel.eval(&x[i], &x[j])).collect())
-            .collect();
+        // Precompute the kernel matrix (feature dims here are tiny) in one
+        // contiguous cache.
+        let mut k = Mat::zeros(n, n);
+        for i in 0..n {
+            let row = k.row_mut(i);
+            for j in 0..n {
+                row[j] = self.kernel.eval(x.row(i), x.row(j));
+            }
+        }
         let mut alpha = vec![0.0f64; n];
         let mut b = 0.0f64;
         let mut rng = StdRng::seed_from_u64(12_345);
-        let f = |alpha: &[f64], b: f64, i: usize, k: &[Vec<f64>], y: &[f64]| -> f64 {
-            (0..n).map(|j| alpha[j] * y[j] * k[i][j]).sum::<f64>() + b
+        let f = |alpha: &[f64], b: f64, i: usize, k: &Mat, y: &[f64]| -> f64 {
+            let ki = k.row(i);
+            (0..n).map(|j| alpha[j] * y[j] * ki[j]).sum::<f64>() + b
         };
         let mut passes = 0;
         while passes < self.max_passes {
@@ -135,7 +142,7 @@ impl Classifier for Svm {
                     if (hi - lo).abs() < 1e-12 {
                         continue;
                     }
-                    let eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+                    let eta = 2.0 * k.row(i)[j] - k.row(i)[i] - k.row(j)[j];
                     if eta >= 0.0 {
                         continue;
                     }
@@ -147,12 +154,14 @@ impl Classifier for Svm {
                     let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                     alpha[i] = ai;
                     alpha[j] = aj;
-                    let b1 = b - ei
-                        - y[i] * (ai - ai_old) * k[i][i]
-                        - y[j] * (aj - aj_old) * k[i][j];
-                    let b2 = b - ej
-                        - y[i] * (ai - ai_old) * k[i][j]
-                        - y[j] * (aj - aj_old) * k[j][j];
+                    let b1 = b
+                        - ei
+                        - y[i] * (ai - ai_old) * k.row(i)[i]
+                        - y[j] * (aj - aj_old) * k.row(i)[j];
+                    let b2 = b
+                        - ej
+                        - y[i] * (ai - ai_old) * k.row(i)[j]
+                        - y[j] * (aj - aj_old) * k.row(j)[j];
                     b = if ai > 0.0 && ai < self.c {
                         b1
                     } else if aj > 0.0 && aj < self.c {
@@ -166,12 +175,12 @@ impl Classifier for Svm {
             passes = if changed == 0 { passes + 1 } else { 0 };
         }
         // Retain support vectors only.
-        self.support_x = Vec::new();
+        self.support_x = Mat::zeros(0, data.dim());
         self.support_y = Vec::new();
         self.alpha = Vec::new();
         for i in 0..n {
             if alpha[i] > 1e-9 {
-                self.support_x.push(x[i].clone());
+                self.support_x.push_row(x.row(i));
                 self.support_y.push(y[i]);
                 self.alpha.push(alpha[i]);
             }
@@ -191,8 +200,16 @@ mod tests {
 
     fn linear_data() -> Dataset {
         Dataset::from_classes(
-            (0..30).map(|i| vec![-(1.0 + (i % 7) as f64 * 0.1), (i % 5) as f64 * 0.1]).collect(),
-            (0..30).map(|i| vec![1.0 + (i % 7) as f64 * 0.1, (i % 5) as f64 * 0.1]).collect(),
+            Mat::from_rows(
+                (0..30)
+                    .map(|i| vec![-(1.0 + (i % 7) as f64 * 0.1), (i % 5) as f64 * 0.1])
+                    .collect(),
+                2,
+            ),
+            Mat::from_rows(
+                (0..30).map(|i| vec![1.0 + (i % 7) as f64 * 0.1, (i % 5) as f64 * 0.1]).collect(),
+                2,
+            ),
         )
     }
 
@@ -218,15 +235,13 @@ mod tests {
         let mut y = Vec::new();
         for i in 0..10 {
             let jitter = i as f64 * 0.01;
-            for (a, b, label) in
-                [(0.0, 0.0, 0), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)]
-            {
+            for (a, b, label) in [(0.0, 0.0, 0), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)] {
                 x.push(vec![a + jitter, b - jitter]);
                 y.push(label);
             }
         }
         let mut svm = Svm::new(Kernel::Rbf { gamma: 2.0 }, 10.0);
-        svm.fit(&Dataset::new(x, y));
+        svm.fit(&Dataset::from_rows(x, y));
         assert_eq!(svm.predict(&[0.02, 0.02]), 0);
         assert_eq!(svm.predict(&[0.98, 0.02]), 1);
         assert_eq!(svm.predict(&[0.02, 0.98]), 1);
@@ -237,7 +252,7 @@ mod tests {
     #[should_panic(expected = "both classes")]
     fn single_class_rejected() {
         let mut svm = Svm::new(Kernel::Linear, 1.0);
-        svm.fit(&Dataset::new(vec![vec![1.0], vec![2.0]], vec![0, 0]));
+        svm.fit(&Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![0, 0]));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! CART decision tree (gini impurity) — the unit the random forest bags.
 
+use mvp_dsp::Mat;
+
 use crate::dataset::Dataset;
 
 /// A binary decision-tree node.
@@ -61,7 +63,7 @@ fn majority(labels: &[usize], idx: &[usize]) -> usize {
 }
 
 fn grow(
-    x: &[Vec<f64>],
+    x: &Mat,
     y: &[usize],
     idx: &[usize],
     depth: usize,
@@ -69,14 +71,13 @@ fn grow(
     features: &[usize],
 ) -> Node {
     let pos = idx.iter().filter(|&&i| y[i] == 1).count();
-    if pos == 0 || pos == idx.len() || depth >= cfg.max_depth || idx.len() < cfg.min_samples_split
-    {
+    if pos == 0 || pos == idx.len() || depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
         return Node::Leaf { class: majority(y, idx) };
     }
     // Best split over the permitted features.
     let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
     for &f in features {
-        let mut values: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+        let mut values: Vec<f64> = idx.iter().map(|&i| x.row(i)[f]).collect();
         values.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
         values.dedup();
         for w in values.windows(2) {
@@ -84,7 +85,7 @@ fn grow(
             let mut left = [0usize; 2];
             let mut right = [0usize; 2];
             for &i in idx {
-                if x[i][f] <= thr {
+                if x.row(i)[f] <= thr {
                     left[y[i]] += 1;
                 } else {
                     right[y[i]] += 1;
@@ -102,7 +103,7 @@ fn grow(
         return Node::Leaf { class: majority(y, idx) };
     };
     let (li, ri): (Vec<usize>, Vec<usize>) =
-        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        idx.iter().partition(|&&i| x.row(i)[feature] <= threshold);
     if li.is_empty() || ri.is_empty() {
         return Node::Leaf { class: majority(y, idx) };
     }
@@ -121,7 +122,12 @@ impl DecisionTree {
     /// # Panics
     ///
     /// Panics if `idx` is empty.
-    pub fn fit_subset(data: &Dataset, idx: &[usize], cfg: &TreeConfig, features: &[usize]) -> DecisionTree {
+    pub fn fit_subset(
+        data: &Dataset,
+        idx: &[usize],
+        cfg: &TreeConfig,
+        features: &[usize],
+    ) -> DecisionTree {
         assert!(!idx.is_empty(), "empty training subset");
         let root = grow(data.features(), data.labels(), idx, 0, cfg, features);
         DecisionTree { root, dim: data.dim() }
@@ -171,8 +177,11 @@ mod tests {
     fn steps() -> Dataset {
         // Class depends on x[0] with a step at 0.5.
         Dataset::from_classes(
-            (0..20).map(|i| vec![i as f64 / 50.0, (i % 3) as f64]).collect(),
-            (0..20).map(|i| vec![0.6 + i as f64 / 50.0, (i % 3) as f64]).collect(),
+            Mat::from_rows((0..20).map(|i| vec![i as f64 / 50.0, (i % 3) as f64]).collect(), 2),
+            Mat::from_rows(
+                (0..20).map(|i| vec![0.6 + i as f64 / 50.0, (i % 3) as f64]).collect(),
+                2,
+            ),
         )
     }
 
@@ -180,7 +189,7 @@ mod tests {
     fn perfect_on_separable_data() {
         let d = steps();
         let tree = DecisionTree::fit(&d, &TreeConfig::default());
-        for (x, &y) in d.features().iter().zip(d.labels()) {
+        for (x, &y) in d.features().rows().zip(d.labels()) {
             assert_eq!(tree.predict(x), y);
         }
         // One split suffices.
@@ -200,12 +209,8 @@ mod tests {
         // Splitting only on the useless feature 1 yields poor fits.
         let idx: Vec<usize> = (0..d.len()).collect();
         let tree = DecisionTree::fit_subset(&d, &idx, &TreeConfig::default(), &[1]);
-        let acc = d
-            .features()
-            .iter()
-            .zip(d.labels())
-            .filter(|(x, &y)| tree.predict(x) == y)
-            .count() as f64
+        let acc = d.features().rows().zip(d.labels()).filter(|(x, &y)| tree.predict(x) == y).count()
+            as f64
             / d.len() as f64;
         assert!(acc < 0.8, "acc {acc} suspiciously high for a useless feature");
     }

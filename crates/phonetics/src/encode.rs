@@ -52,12 +52,8 @@ pub enum Encoder {
 
 impl Encoder {
     /// Every available encoder.
-    pub const ALL: [Encoder; 4] = [
-        Encoder::Metaphone,
-        Encoder::Soundex,
-        Encoder::RefinedSoundex,
-        Encoder::Nysiis,
-    ];
+    pub const ALL: [Encoder; 4] =
+        [Encoder::Metaphone, Encoder::Soundex, Encoder::RefinedSoundex, Encoder::Nysiis];
 }
 
 impl PhoneticEncoder for Encoder {

@@ -159,7 +159,10 @@ pub fn grapheme_to_phoneme(word: &str) -> Vec<Phoneme> {
             continue;
         }
         // Magic-e: vowel + single consonant + final 'e' makes the vowel long.
-        if matches!(w[i], b'a' | b'i' | b'o' | b'u') && i + 2 < n && w[i + 2] == b'e' && i + 2 == n - 1
+        if matches!(w[i], b'a' | b'i' | b'o' | b'u')
+            && i + 2 < n
+            && w[i + 2] == b'e'
+            && i + 2 == n - 1
         {
             let is_cons = !matches!(w[i + 1], b'a' | b'e' | b'i' | b'o' | b'u');
             if is_cons {
@@ -200,7 +203,10 @@ mod tests {
             grapheme_to_phoneme("nation"),
             vec![Phoneme::N, Phoneme::AE, Phoneme::SH, Phoneme::AH, Phoneme::N]
         );
-        assert_eq!(grapheme_to_phoneme("queen"), vec![Phoneme::K, Phoneme::W, Phoneme::IY, Phoneme::N]);
+        assert_eq!(
+            grapheme_to_phoneme("queen"),
+            vec![Phoneme::K, Phoneme::W, Phoneme::IY, Phoneme::N]
+        );
     }
 
     #[test]

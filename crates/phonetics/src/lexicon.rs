@@ -159,9 +159,8 @@ impl Lexicon {
     /// words and framing the utterance.
     pub fn pronounce_sentence(&self, sentence: &str) -> Vec<Phoneme> {
         let mut out = vec![Phoneme::SIL];
-        for token in sentence
-            .split(|c: char| !(c.is_alphanumeric() || c == '\''))
-            .filter(|t| !t.is_empty())
+        for token in
+            sentence.split(|c: char| !(c.is_alphanumeric() || c == '\'')).filter(|t| !t.is_empty())
         {
             let phones = self.pronounce(token);
             if phones.is_empty() {

@@ -245,13 +245,9 @@ mod tests {
     #[test]
     fn more_homophones_collapse() {
         let m = Metaphone;
-        for (a, b) in [
-            ("buy", "by"),
-            ("new", "knew"),
-            ("weak", "week"),
-            ("meet", "meat"),
-            ("wait", "weight"),
-        ] {
+        for (a, b) in
+            [("buy", "by"), ("new", "knew"), ("weak", "week"), ("meet", "meat"), ("wait", "weight")]
+        {
             assert_eq!(m.encode_word(a), m.encode_word(b), "{a}/{b}");
         }
     }

@@ -33,19 +33,51 @@ pub enum PhonemeClass {
 #[allow(missing_docs)] // variant names are the standard ARPAbet symbols
 pub enum Phoneme {
     // Vowels (15)
-    AA, AE, AH, AO, AW, AY, EH, ER, EY, IH, IY, OW, OY, UH, UW,
+    AA,
+    AE,
+    AH,
+    AO,
+    AW,
+    AY,
+    EH,
+    ER,
+    EY,
+    IH,
+    IY,
+    OW,
+    OY,
+    UH,
+    UW,
     // Stops (6)
-    B, D, G, K, P, T,
+    B,
+    D,
+    G,
+    K,
+    P,
+    T,
     // Affricates (2)
-    CH, JH,
+    CH,
+    JH,
     // Fricatives (9)
-    DH, F, S, SH, TH, V, Z, ZH, HH,
+    DH,
+    F,
+    S,
+    SH,
+    TH,
+    V,
+    Z,
+    ZH,
+    HH,
     // Nasals (3)
-    M, N, NG,
+    M,
+    N,
+    NG,
     // Liquids (2)
-    L, R,
+    L,
+    R,
     // Glides (2)
-    W, Y,
+    W,
+    Y,
     /// Inter-word / utterance silence.
     SIL,
 }
@@ -70,16 +102,45 @@ pub struct Acoustics {
 impl Phoneme {
     /// The full inventory in declaration order (silence last).
     pub const ALL: [Phoneme; 40] = [
-        Phoneme::AA, Phoneme::AE, Phoneme::AH, Phoneme::AO, Phoneme::AW,
-        Phoneme::AY, Phoneme::EH, Phoneme::ER, Phoneme::EY, Phoneme::IH,
-        Phoneme::IY, Phoneme::OW, Phoneme::OY, Phoneme::UH, Phoneme::UW,
-        Phoneme::B, Phoneme::D, Phoneme::G, Phoneme::K, Phoneme::P, Phoneme::T,
-        Phoneme::CH, Phoneme::JH,
-        Phoneme::DH, Phoneme::F, Phoneme::S, Phoneme::SH, Phoneme::TH,
-        Phoneme::V, Phoneme::Z, Phoneme::ZH, Phoneme::HH,
-        Phoneme::M, Phoneme::N, Phoneme::NG,
-        Phoneme::L, Phoneme::R,
-        Phoneme::W, Phoneme::Y,
+        Phoneme::AA,
+        Phoneme::AE,
+        Phoneme::AH,
+        Phoneme::AO,
+        Phoneme::AW,
+        Phoneme::AY,
+        Phoneme::EH,
+        Phoneme::ER,
+        Phoneme::EY,
+        Phoneme::IH,
+        Phoneme::IY,
+        Phoneme::OW,
+        Phoneme::OY,
+        Phoneme::UH,
+        Phoneme::UW,
+        Phoneme::B,
+        Phoneme::D,
+        Phoneme::G,
+        Phoneme::K,
+        Phoneme::P,
+        Phoneme::T,
+        Phoneme::CH,
+        Phoneme::JH,
+        Phoneme::DH,
+        Phoneme::F,
+        Phoneme::S,
+        Phoneme::SH,
+        Phoneme::TH,
+        Phoneme::V,
+        Phoneme::Z,
+        Phoneme::ZH,
+        Phoneme::HH,
+        Phoneme::M,
+        Phoneme::N,
+        Phoneme::NG,
+        Phoneme::L,
+        Phoneme::R,
+        Phoneme::W,
+        Phoneme::Y,
         Phoneme::SIL,
     ];
 
@@ -104,19 +165,45 @@ impl Phoneme {
     /// The ARPAbet symbol, e.g. `"AA"`.
     pub fn symbol(self) -> &'static str {
         match self {
-            Phoneme::AA => "AA", Phoneme::AE => "AE", Phoneme::AH => "AH",
-            Phoneme::AO => "AO", Phoneme::AW => "AW", Phoneme::AY => "AY",
-            Phoneme::EH => "EH", Phoneme::ER => "ER", Phoneme::EY => "EY",
-            Phoneme::IH => "IH", Phoneme::IY => "IY", Phoneme::OW => "OW",
-            Phoneme::OY => "OY", Phoneme::UH => "UH", Phoneme::UW => "UW",
-            Phoneme::B => "B", Phoneme::D => "D", Phoneme::G => "G",
-            Phoneme::K => "K", Phoneme::P => "P", Phoneme::T => "T",
-            Phoneme::CH => "CH", Phoneme::JH => "JH", Phoneme::DH => "DH",
-            Phoneme::F => "F", Phoneme::S => "S", Phoneme::SH => "SH",
-            Phoneme::TH => "TH", Phoneme::V => "V", Phoneme::Z => "Z",
-            Phoneme::ZH => "ZH", Phoneme::HH => "HH", Phoneme::M => "M",
-            Phoneme::N => "N", Phoneme::NG => "NG", Phoneme::L => "L",
-            Phoneme::R => "R", Phoneme::W => "W", Phoneme::Y => "Y",
+            Phoneme::AA => "AA",
+            Phoneme::AE => "AE",
+            Phoneme::AH => "AH",
+            Phoneme::AO => "AO",
+            Phoneme::AW => "AW",
+            Phoneme::AY => "AY",
+            Phoneme::EH => "EH",
+            Phoneme::ER => "ER",
+            Phoneme::EY => "EY",
+            Phoneme::IH => "IH",
+            Phoneme::IY => "IY",
+            Phoneme::OW => "OW",
+            Phoneme::OY => "OY",
+            Phoneme::UH => "UH",
+            Phoneme::UW => "UW",
+            Phoneme::B => "B",
+            Phoneme::D => "D",
+            Phoneme::G => "G",
+            Phoneme::K => "K",
+            Phoneme::P => "P",
+            Phoneme::T => "T",
+            Phoneme::CH => "CH",
+            Phoneme::JH => "JH",
+            Phoneme::DH => "DH",
+            Phoneme::F => "F",
+            Phoneme::S => "S",
+            Phoneme::SH => "SH",
+            Phoneme::TH => "TH",
+            Phoneme::V => "V",
+            Phoneme::Z => "Z",
+            Phoneme::ZH => "ZH",
+            Phoneme::HH => "HH",
+            Phoneme::M => "M",
+            Phoneme::N => "N",
+            Phoneme::NG => "NG",
+            Phoneme::L => "L",
+            Phoneme::R => "R",
+            Phoneme::W => "W",
+            Phoneme::Y => "Y",
             Phoneme::SIL => "SIL",
         }
     }
@@ -164,7 +251,11 @@ impl Phoneme {
         }
         fn fric(center: f32, bw: f32, voiced: bool, dur: f32) -> Acoustics {
             Acoustics {
-                formants: if voiced { [(220.0, 0.4), (0.0, 0.0), (0.0, 0.0)] } else { [(0.0, 0.0); 3] },
+                formants: if voiced {
+                    [(220.0, 0.4), (0.0, 0.0), (0.0, 0.0)]
+                } else {
+                    [(0.0, 0.0); 3]
+                },
                 noise_band: (center, bw, 0.8),
                 voiced,
                 duration_ms: dur,
@@ -172,7 +263,11 @@ impl Phoneme {
         }
         fn stop(burst: f32, voiced: bool) -> Acoustics {
             Acoustics {
-                formants: if voiced { [(180.0, 0.5), (0.0, 0.0), (0.0, 0.0)] } else { [(0.0, 0.0); 3] },
+                formants: if voiced {
+                    [(180.0, 0.5), (0.0, 0.0), (0.0, 0.0)]
+                } else {
+                    [(0.0, 0.0); 3]
+                },
                 noise_band: (burst, 900.0, 0.9),
                 voiced,
                 duration_ms: 60.0,

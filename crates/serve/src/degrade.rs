@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use mvp_ears::{fit_classifier, ThresholdDetector};
-use mvp_ml::{Classifier, ClassifierKind, Dataset};
+use mvp_ml::{Classifier, ClassifierKind, Dataset, Mat};
 
 /// Which fallback tier produced a degraded verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,13 +85,15 @@ impl DegradePolicy {
 
         let mut subsets = HashMap::new();
         for mask in Self::fallback_masks(n_aux) {
-            let project = |vectors: &[Vec<f64>]| -> Vec<Vec<f64>> {
-                vectors
-                    .iter()
-                    .map(|v| {
-                        (0..n_aux).filter(|i| mask & (1 << i) != 0).map(|i| v[i]).collect()
-                    })
-                    .collect()
+            let kept: Vec<usize> = (0..n_aux).filter(|i| mask & (1 << i) != 0).collect();
+            let project = |vectors: &[Vec<f64>]| -> Mat {
+                let mut m = Mat::zeros(vectors.len(), kept.len());
+                for (r, v) in vectors.iter().enumerate() {
+                    for (c, &i) in kept.iter().enumerate() {
+                        m.row_mut(r)[c] = v[i];
+                    }
+                }
+                m
             };
             let data = Dataset::from_classes(project(benign_scores), project(ae_scores));
             subsets.insert(mask, fit_classifier(kind, &data));
@@ -131,8 +133,7 @@ impl DegradePolicy {
                 return (clf.predict(&features) == 1, FallbackTier::SubsetClassifier);
             }
             if let Some(thr) = &self.threshold {
-                let mean =
-                    available.iter().map(|&(_, s)| s).sum::<f64>() / available.len() as f64;
+                let mean = available.iter().map(|&(_, s)| s).sum::<f64>() / available.len() as f64;
                 return (thr.is_adversarial(mean), FallbackTier::MeanThreshold);
             }
         }

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 
-use mvp_asr::TrainedAsr;
+use mvp_asr::{AsrScratch, TrainedAsr};
 use mvp_audio::Waveform;
 use mvp_ears::DetectionSystem;
 
@@ -261,8 +261,8 @@ impl DetectionEngine {
 
         let stats = Arc::new(ServeStats::new());
         let policy = Arc::new(policy);
-        let cache: Option<SharedCache> = (config.cache_cap > 0)
-            .then(|| Arc::new(Mutex::new(LruCache::new(config.cache_cap))));
+        let cache: Option<SharedCache> =
+            (config.cache_cap > 0).then(|| Arc::new(Mutex::new(LruCache::new(config.cache_cap))));
 
         let (ingress_tx, ingress_rx) = channel::bounded::<Request>(config.queue_cap);
         let (collector_tx, collector_rx) = channel::unbounded::<CollectorMsg>();
@@ -291,7 +291,15 @@ impl DetectionEngine {
                 std::thread::Builder::new()
                     .name("serve-batcher".into())
                     .spawn(move || {
-                        batcher_loop(system, config, ingress_rx, worker_txs, collector_tx, cache, stats)
+                        batcher_loop(
+                            system,
+                            config,
+                            ingress_rx,
+                            worker_txs,
+                            collector_tx,
+                            cache,
+                            stats,
+                        )
                     })
                     .expect("spawn batcher"),
             );
@@ -338,10 +346,7 @@ impl DetectionEngine {
     }
 
     /// Convenience: submit and block for the verdict.
-    pub fn detect_blocking(
-        &self,
-        wave: impl Into<Arc<Waveform>>,
-    ) -> Result<Verdict, SubmitError> {
+    pub fn detect_blocking(&self, wave: impl Into<Arc<Waveform>>) -> Result<Verdict, SubmitError> {
         self.submit(wave).map(PendingVerdict::wait)
     }
 
@@ -378,9 +383,13 @@ fn worker_loop(
     work: Receiver<WorkItem>,
     out: Sender<CollectorMsg>,
 ) {
+    // One scratch plan per worker thread: after the first few batches every
+    // pipeline intermediate is served from these buffers, so steady-state
+    // batches allocate nothing on the hot path.
+    let mut scratch = AsrScratch::default();
     for WorkItem { batch_id, waves } in work.iter() {
         let refs: Vec<&Waveform> = waves.iter().map(Arc::as_ref).collect();
-        let texts = asr.transcribe_batch(&refs);
+        let texts = asr.transcribe_batch_with(&refs, &mut scratch);
         if out.send(CollectorMsg::Result(WorkResult { batch_id, asr_index, texts })).is_err() {
             return;
         }
@@ -586,16 +595,14 @@ fn finalize(
     for (idx, item) in state.items.into_iter().enumerate() {
         let target = state.results[0].as_ref().map(|texts| texts[idx].clone());
         let verdict = match target {
-            None => {
-                Verdict {
-                    is_adversarial: None,
-                    kind: VerdictKind::Failed,
-                    from_cache: false,
-                    scores: vec![None; n_aux],
-                    target_transcription: None,
-                    latency: Duration::ZERO,
-                }
-            }
+            None => Verdict {
+                is_adversarial: None,
+                kind: VerdictKind::Failed,
+                from_cache: false,
+                scores: vec![None; n_aux],
+                target_transcription: None,
+                latency: Duration::ZERO,
+            },
             Some(target) => {
                 let available: Vec<(usize, String)> = (0..n_aux)
                     .filter_map(|j| {
@@ -603,17 +610,13 @@ fn finalize(
                     })
                     .collect();
                 if available.len() == n_aux {
-                    let auxiliaries: Vec<String> =
-                        available.into_iter().map(|(_, t)| t).collect();
+                    let auxiliaries: Vec<String> = available.into_iter().map(|(_, t)| t).collect();
                     let detection = system.detect_from_transcripts(target, auxiliaries);
                     if let Some(cache) = cache {
                         let mut vector = Vec::with_capacity(n_rec);
                         vector.push(detection.target_transcription.clone());
                         vector.extend(detection.auxiliary_transcriptions.iter().cloned());
-                        cache
-                            .lock()
-                            .expect("cache poisoned")
-                            .insert(item.key, Arc::new(vector));
+                        cache.lock().expect("cache poisoned").insert(item.key, Arc::new(vector));
                     }
                     Verdict {
                         is_adversarial: Some(detection.is_adversarial),
@@ -625,8 +628,7 @@ fn finalize(
                     }
                 } else {
                     let indices: Vec<usize> = available.iter().map(|&(j, _)| j).collect();
-                    let texts: Vec<String> =
-                        available.into_iter().map(|(_, t)| t).collect();
+                    let texts: Vec<String> = available.into_iter().map(|(_, t)| t).collect();
                     let partial = system.scores_from_transcripts(&target, &texts);
                     let pairs: Vec<(usize, f64)> =
                         indices.iter().copied().zip(partial.iter().copied()).collect();

@@ -166,11 +166,7 @@ fn request_schedule(spec: &LoadSpec, corpus_len: usize) -> Vec<usize> {
 
 /// Runs one load level and reports. The engine should be freshly started
 /// so the embedded stats snapshot covers exactly this run.
-pub fn run_load(
-    engine: &DetectionEngine,
-    corpus: &[Arc<Waveform>],
-    spec: &LoadSpec,
-) -> LoadReport {
+pub fn run_load(engine: &DetectionEngine, corpus: &[Arc<Waveform>], spec: &LoadSpec) -> LoadReport {
     let schedule = request_schedule(spec, corpus.len());
     let started = Instant::now();
     let (tally, shed) = match spec.mode {

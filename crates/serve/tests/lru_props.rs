@@ -34,8 +34,7 @@ impl NaiveLru {
             self.entries.insert(0, (key, value));
             return None;
         }
-        let evicted =
-            if self.entries.len() == self.capacity { self.entries.pop() } else { None };
+        let evicted = if self.entries.len() == self.capacity { self.entries.pop() } else { None };
         self.entries.insert(0, (key, value));
         evicted
     }

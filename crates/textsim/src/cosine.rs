@@ -30,10 +30,7 @@ pub fn cosine_similarity(a: &str, b: &str) -> f64 {
     if ta.is_empty() || tb.is_empty() {
         return 0.0;
     }
-    let dot: f64 = ta
-        .iter()
-        .filter_map(|(k, va)| tb.get(k).map(|vb| va * vb))
-        .sum();
+    let dot: f64 = ta.iter().filter_map(|(k, va)| tb.get(k).map(|vb| va * vb)).sum();
     let na: f64 = ta.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = tb.values().map(|v| v * v).sum::<f64>().sqrt();
     (dot / (na * nb)).clamp(0.0, 1.0)

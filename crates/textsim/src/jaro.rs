@@ -45,17 +45,9 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     if m == 0 {
         return 0.0;
     }
-    let b_matches: Vec<char> = b
-        .iter()
-        .zip(&b_match_mask)
-        .filter_map(|(&c, &used)| used.then_some(c))
-        .collect();
-    let transpositions = a_matches
-        .iter()
-        .zip(&b_matches)
-        .filter(|(x, y)| x != y)
-        .count()
-        / 2;
+    let b_matches: Vec<char> =
+        b.iter().zip(&b_match_mask).filter_map(|(&c, &used)| used.then_some(c)).collect();
+    let transpositions = a_matches.iter().zip(&b_matches).filter(|(x, y)| x != y).count() / 2;
     let m = m as f64;
     let t = transpositions as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
@@ -77,12 +69,7 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     const PREFIX_SCALE: f64 = 0.1;
     const MAX_PREFIX: usize = 4;
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(MAX_PREFIX)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(MAX_PREFIX).take_while(|(x, y)| x == y).count();
     (j + prefix as f64 * PREFIX_SCALE * (1.0 - j)).min(1.0)
 }
 

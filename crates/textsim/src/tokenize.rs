@@ -45,11 +45,8 @@ pub fn tokens(s: &str) -> Vec<String> {
 /// Panics if `n == 0`.
 pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
     assert!(n > 0, "n-gram size must be positive");
-    let chars: Vec<char> = s
-        .chars()
-        .filter(|c| !c.is_whitespace())
-        .flat_map(|c| c.to_lowercase())
-        .collect();
+    let chars: Vec<char> =
+        s.chars().filter(|c| !c.is_whitespace()).flat_map(|c| c.to_lowercase()).collect();
     if chars.is_empty() {
         return Vec::new();
     }

@@ -125,14 +125,8 @@ mod tests {
         let r = toks("the cat sat on the mat");
         let h = toks("the cat on a mat");
         let ops = word_alignment(&r, &h);
-        let ref_consumed = ops
-            .iter()
-            .filter(|o| !matches!(o, AlignOp::Insertion))
-            .count();
-        let hyp_consumed = ops
-            .iter()
-            .filter(|o| !matches!(o, AlignOp::Deletion))
-            .count();
+        let ref_consumed = ops.iter().filter(|o| !matches!(o, AlignOp::Insertion)).count();
+        let hyp_consumed = ops.iter().filter(|o| !matches!(o, AlignOp::Deletion)).count();
         assert_eq!(ref_consumed, r.len());
         assert_eq!(hyp_consumed, h.len());
     }

@@ -22,15 +22,16 @@ fn main() {
         .build();
 
     // Real score pools: benign audio and a handful of real (DS0-only) AEs.
-    let corpus = CorpusBuilder::new(CorpusConfig { size: 10, seed: 5, ..CorpusConfig::default() })
-        .build();
+    let corpus =
+        CorpusBuilder::new(CorpusConfig { size: 10, seed: 5, ..CorpusConfig::default() }).build();
     let benign: Vec<Vec<f64>> =
         corpus.utterances().iter().map(|u| system.score_vector(&u.wave)).collect();
     let ds0 = AsrProfile::Ds0.trained();
     println!("crafting a few real AEs for the attack score pool...");
     let mut real_aes = Vec::new();
     for (i, cmd) in command_phrases().iter().take(4).enumerate() {
-        let out = whitebox_attack(&ds0, &corpus.utterances()[i].wave, cmd, &WhiteBoxConfig::default());
+        let out =
+            whitebox_attack(&ds0, &corpus.utterances()[i].wave, cmd, &WhiteBoxConfig::default());
         if out.success {
             real_aes.push(system.score_vector(&out.adversarial));
         }
@@ -49,18 +50,14 @@ fn main() {
     for vectors in &per_type[3..6] {
         train_aes.extend(vectors.clone());
     }
-    let train_benign: Vec<Vec<f64>> = (0..train_aes.len())
-        .map(|i| benign[i % benign.len()].clone())
-        .collect();
+    let train_benign: Vec<Vec<f64>> =
+        (0..train_aes.len()).map(|i| benign[i % benign.len()].clone()).collect();
     system.train_on_scores(&train_benign, &train_aes, ClassifierKind::Svm);
     println!("\ncomprehensive system trained on {} synthesized MAE vectors", train_aes.len());
 
     // It must now catch everything *less* transferable than its training AEs.
     for (i, t) in MaeType::ALL.iter().enumerate().take(3) {
-        let caught = per_type[i]
-            .iter()
-            .filter(|v| system.classify_scores(v))
-            .count();
+        let caught = per_type[i].iter().filter(|v| system.classify_scores(v)).count();
         println!("  defense vs {}: {}/{}", t.name(), caught, per_type[i].len());
     }
     let caught_real = real_aes.iter().filter(|v| system.classify_scores(v)).count();

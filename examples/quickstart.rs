@@ -13,18 +13,12 @@ fn main() {
     // 1. A detection system: target DS0, auxiliary DS1 (both train on the
     //    first call and are cached process-wide).
     println!("training ASR profiles (one-time, a few seconds each)...");
-    let mut system = DetectionSystem::builder(AsrProfile::Ds0)
-        .auxiliary(AsrProfile::Ds1)
-        .build();
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
     println!("system: {}", system.name());
 
     // 2. A small benign corpus and one white-box AE for training/demo.
-    let corpus = CorpusBuilder::new(CorpusConfig {
-        size: 12,
-        seed: 7,
-        ..CorpusConfig::default()
-    })
-    .build();
+    let corpus =
+        CorpusBuilder::new(CorpusConfig { size: 12, seed: 7, ..CorpusConfig::default() }).build();
     let benign: Vec<_> = corpus.utterances().iter().map(|u| u.wave.clone()).collect();
 
     println!("crafting a white-box AE (host: {:?})...", corpus.utterances()[0].text);
@@ -39,8 +33,7 @@ fn main() {
     assert!(attack.success, "demo attack unexpectedly failed");
 
     // 3. Train the binary classifier on similarity-score vectors.
-    let benign_scores: Vec<Vec<f64>> =
-        benign.iter().map(|w| system.score_vector(w)).collect();
+    let benign_scores: Vec<Vec<f64>> = benign.iter().map(|w| system.score_vector(w)).collect();
     let ae_scores = vec![system.score_vector(&attack.adversarial)];
     system.train_on_scores(&benign_scores, &ae_scores, ClassifierKind::Svm);
 

@@ -14,8 +14,7 @@ use mvp_ears::DetectionSystem;
 use mvp_ml::ClassifierKind;
 
 /// Commands a smart home must never accept from unverified audio.
-const DANGEROUS: [&str; 3] =
-    ["open the front door", "unlock the garage", "turn off the alarm"];
+const DANGEROUS: [&str; 3] = ["open the front door", "unlock the garage", "turn off the alarm"];
 
 fn main() {
     println!("training the four ASR profiles (one-time)...");
@@ -27,12 +26,8 @@ fn main() {
     println!("guard system: {}\n", guard.name());
 
     // Household audio the assistant normally hears.
-    let household = CorpusBuilder::new(CorpusConfig {
-        size: 16,
-        seed: 99,
-        ..CorpusConfig::default()
-    })
-    .build();
+    let household =
+        CorpusBuilder::new(CorpusConfig { size: 16, seed: 99, ..CorpusConfig::default() }).build();
 
     // Train the guard: benign household audio vs a handful of crafted AEs.
     let ds0 = AsrProfile::Ds0.trained();
@@ -55,16 +50,9 @@ fn main() {
 
     // The actual attack: a *fresh* AE on unseen household audio.
     let fresh_host = &household.utterances()[DANGEROUS.len() + 1];
-    println!(
-        "\nadversary plays audio that sounds like {:?}...",
-        fresh_host.text
-    );
-    let attack = whitebox_attack(
-        &ds0,
-        &fresh_host.wave,
-        "open the front door",
-        &WhiteBoxConfig::default(),
-    );
+    println!("\nadversary plays audio that sounds like {:?}...", fresh_host.text);
+    let attack =
+        whitebox_attack(&ds0, &fresh_host.wave, "open the front door", &WhiteBoxConfig::default());
     if !attack.success {
         println!("(the attack itself failed; the door stays shut trivially)");
         return;

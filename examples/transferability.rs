@@ -41,7 +41,11 @@ fn main() {
             continue;
         }
         successes += 1;
-        println!("  DS0 hears {:?} (similarity {:.1}%)", out.final_transcription, out.similarity * 100.0);
+        println!(
+            "  DS0 hears {:?} (similarity {:.1}%)",
+            out.final_transcription,
+            out.similarity * 100.0
+        );
         for (j, asr) in probe_asrs.iter().enumerate() {
             let heard = asr.transcribe(&out.adversarial);
             let transferred = wer(cmd, &heard) == 0.0;

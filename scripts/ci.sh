@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The tier-1 CI gate. Fully offline: the workspace vendors every
+# dependency, so no network access is needed or attempted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo build --release
+cargo test -q

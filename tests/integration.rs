@@ -9,7 +9,9 @@ use mvp_ears_suite::attack::{whitebox_attack, AeKind, WhiteBoxConfig};
 use mvp_ears_suite::audio::synth::{SpeakerProfile, Synthesizer};
 use mvp_ears_suite::corpus::{CorpusBuilder, CorpusConfig};
 use mvp_ears_suite::ears::eval::ScorePools;
-use mvp_ears_suite::ears::{synthesize_mae, DetectionSystem, MaeType, SimilarityMethod, ThresholdDetector};
+use mvp_ears_suite::ears::{
+    synthesize_mae, DetectionSystem, MaeType, SimilarityMethod, ThresholdDetector,
+};
 use mvp_ears_suite::ml::ClassifierKind;
 use mvp_ears_suite::phonetics::Lexicon;
 use mvp_ears_suite::textsim::wer;
@@ -27,10 +29,7 @@ fn every_profile_transcribes_clean_speech() {
     let wave = speak(text);
     for profile in [AsrProfile::Ds0, AsrProfile::Ds1, AsrProfile::Gcs, AsrProfile::At] {
         let hyp = profile.trained().transcribe(&wave);
-        assert!(
-            wer(text, &hyp) <= 0.4,
-            "{profile}: heard {hyp:?} for {text:?}"
-        );
+        assert!(wer(text, &hyp) <= 0.4, "{profile}: heard {hyp:?} for {text:?}");
     }
 }
 
@@ -66,8 +65,7 @@ fn benign_similarity_scores_are_high_everywhere() {
 
 #[test]
 fn end_to_end_attack_and_detection() {
-    let mut system =
-        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Gcs).build();
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Gcs).build();
     let corpus =
         CorpusBuilder::new(CorpusConfig { size: 8, seed: 3, ..CorpusConfig::default() }).build();
     let ds0 = AsrProfile::Ds0.trained();
@@ -80,12 +78,8 @@ fn end_to_end_attack_and_detection() {
     );
     assert!(attack.success, "attack failed: {attack}");
 
-    let benign_scores: Vec<Vec<f64>> = corpus
-        .utterances()
-        .iter()
-        .skip(1)
-        .map(|u| system.score_vector(&u.wave))
-        .collect();
+    let benign_scores: Vec<Vec<f64>> =
+        corpus.utterances().iter().skip(1).map(|u| system.score_vector(&u.wave)).collect();
     let ae_scores = vec![system.score_vector(&attack.adversarial)];
     system.train_on_scores(&benign_scores, &ae_scores, ClassifierKind::Svm);
 
@@ -95,15 +89,11 @@ fn end_to_end_attack_and_detection() {
 
 #[test]
 fn threshold_detector_catches_unseen_ae() {
-    let system =
-        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::At).build();
+    let system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::At).build();
     let corpus =
         CorpusBuilder::new(CorpusConfig { size: 10, seed: 9, ..CorpusConfig::default() }).build();
-    let benign: Vec<f64> = corpus
-        .utterances()
-        .iter()
-        .map(|u| system.score_vector(&u.wave)[0])
-        .collect();
+    let benign: Vec<f64> =
+        corpus.utterances().iter().map(|u| system.score_vector(&u.wave)[0]).collect();
     let det = ThresholdDetector::fit_benign(&benign, 0.2);
 
     let ds0 = AsrProfile::Ds0.trained();
@@ -137,7 +127,8 @@ fn mae_pipeline_from_real_pools() {
     let method = SimilarityMethod::default();
     let attack_pool: Vec<Vec<f64>> = (0..4)
         .map(|i| {
-            let s = method.score("open the front door", "the man walked the street") + i as f64 * 0.01;
+            let s =
+                method.score("open the front door", "the man walked the street") + i as f64 * 0.01;
             vec![s; 3]
         })
         .collect();
@@ -175,23 +166,27 @@ fn attack_dataset_kinds_and_verification() {
 #[test]
 fn detection_survives_noisy_benign_audio() {
     // Benign audio with moderate room noise must not trip the detector.
-    let mut system =
-        DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
-    let clean =
-        CorpusBuilder::new(CorpusConfig { size: 10, seed: 31, noise_prob: 0.0, ..CorpusConfig::default() })
-            .build();
-    let noisy =
-        CorpusBuilder::new(CorpusConfig { size: 6, seed: 31, noise_prob: 1.0, ..CorpusConfig::default() })
-            .build();
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    let clean = CorpusBuilder::new(CorpusConfig {
+        size: 10,
+        seed: 31,
+        noise_prob: 0.0,
+        ..CorpusConfig::default()
+    })
+    .build();
+    let noisy = CorpusBuilder::new(CorpusConfig {
+        size: 6,
+        seed: 31,
+        noise_prob: 1.0,
+        ..CorpusConfig::default()
+    })
+    .build();
     let benign_scores: Vec<Vec<f64>> =
         clean.utterances().iter().map(|u| system.score_vector(&u.wave)).collect();
     // Train against clearly-adversarial synthetic scores.
     let ae_scores: Vec<Vec<f64>> = (0..10).map(|i| vec![0.3 + i as f64 * 0.01]).collect();
     system.train_on_scores(&benign_scores, &ae_scores, ClassifierKind::Svm);
-    let false_alarms = noisy
-        .utterances()
-        .iter()
-        .filter(|u| system.detect(&u.wave).is_adversarial)
-        .count();
+    let false_alarms =
+        noisy.utterances().iter().filter(|u| system.detect(&u.wave).is_adversarial).count();
     assert!(false_alarms <= 1, "{false_alarms}/6 noisy benign flagged");
 }

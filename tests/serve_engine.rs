@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use mvp_ears_suite::asr::AsrProfile;
+use mvp_ears_suite::asr::{Asr, AsrProfile, AsrScratch};
 use mvp_ears_suite::audio::Waveform;
 use mvp_ears_suite::corpus::{CorpusBuilder, CorpusConfig};
 use mvp_ears_suite::ears::DetectionSystem;
@@ -41,8 +41,8 @@ fn trained_system() -> Arc<DetectionSystem> {
 /// Mixed test traffic: N clean utterances plus N noise bursts (which no
 /// ASR agrees on, standing in for adversarial audio).
 fn test_waves(n: usize) -> Vec<Arc<Waveform>> {
-    let corpus = CorpusBuilder::new(CorpusConfig { size: n, seed: 913, ..CorpusConfig::default() })
-        .build();
+    let corpus =
+        CorpusBuilder::new(CorpusConfig { size: n, seed: 913, ..CorpusConfig::default() }).build();
     let mut waves: Vec<Arc<Waveform>> =
         corpus.utterances().iter().map(|u| Arc::new(u.wave.clone())).collect();
     let mut rng = StdRng::seed_from_u64(4242);
@@ -70,10 +70,8 @@ fn engine_verdicts_match_one_shot_detection() {
     let engine = DetectionEngine::start(Arc::clone(&system), policy, config);
 
     // Submit everything up front so requests overlap in flight.
-    let pending: Vec<_> = waves
-        .iter()
-        .map(|w| engine.submit(Arc::clone(w)).expect("queue has room"))
-        .collect();
+    let pending: Vec<_> =
+        waves.iter().map(|w| engine.submit(Arc::clone(w)).expect("queue has room")).collect();
     for (pending, expected) in pending.into_iter().zip(&expected) {
         let verdict = pending.wait();
         assert_eq!(verdict.kind, VerdictKind::Full);
@@ -81,7 +79,10 @@ fn engine_verdicts_match_one_shot_detection() {
         assert_eq!(verdict.is_adversarial, Some(expected.is_adversarial));
         let scores: Vec<f64> = verdict.scores.iter().map(|s| s.expect("full vector")).collect();
         assert_eq!(scores, expected.scores);
-        assert_eq!(verdict.target_transcription.as_deref(), Some(expected.target_transcription.as_str()));
+        assert_eq!(
+            verdict.target_transcription.as_deref(),
+            Some(expected.target_transcription.as_str())
+        );
     }
 
     // An exact replay is answered from the cache with the same verdict.
@@ -116,10 +117,8 @@ fn degraded_mode_still_answers_every_request() {
     };
     let engine = DetectionEngine::start(Arc::clone(&system), policy, config);
 
-    let pending: Vec<_> = waves
-        .iter()
-        .map(|w| engine.submit(Arc::clone(w)).expect("queue has room"))
-        .collect();
+    let pending: Vec<_> =
+        waves.iter().map(|w| engine.submit(Arc::clone(w)).expect("queue has room")).collect();
     for pending in pending {
         let verdict = pending.wait();
         // Every request is answered, by the subset classifier for the
@@ -137,4 +136,21 @@ fn degraded_mode_still_answers_every_request() {
     // Partial transcription vectors are never cached.
     assert_eq!(stats.cache_hits, 0);
     engine.shutdown();
+}
+
+#[test]
+fn batch_scratch_reuse_is_byte_identical_to_one_shot() {
+    // The serve workers hold one scratch plan for their whole lifetime;
+    // reusing it across batches must never leak state between requests.
+    let asr = AsrProfile::Ds0.trained();
+    let waves = test_waves(2);
+    let refs: Vec<&Waveform> = waves.iter().map(Arc::as_ref).collect();
+
+    let one_shot: Vec<String> = refs.iter().map(|w| asr.transcribe(w)).collect();
+
+    let mut scratch = AsrScratch::default();
+    let first = asr.transcribe_batch_with(&refs, &mut scratch);
+    let second = asr.transcribe_batch_with(&refs, &mut scratch);
+    assert_eq!(first, one_shot, "fresh scratch must match the allocating path");
+    assert_eq!(second, one_shot, "reused scratch must match the allocating path");
 }

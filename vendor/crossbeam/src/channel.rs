@@ -24,11 +24,7 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
 
 fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
-        state: Mutex::new(State {
-            queue: VecDeque::new(),
-            senders: 1,
-            receivers: 1,
-        }),
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
         cap,
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
@@ -214,11 +210,8 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, _) = self
-                .inner
-                .not_empty
-                .wait_timeout(state, deadline - now)
-                .expect("channel poisoned");
+            let (guard, _) =
+                self.inner.not_empty.wait_timeout(state, deadline - now).expect("channel poisoned");
             state = guard;
         }
     }

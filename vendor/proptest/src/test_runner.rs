@@ -3,10 +3,7 @@
 
 /// Number of cases each property runs: `PROPTEST_CASES` or 64.
 pub fn cases() -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64)
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
 }
 
 /// SplitMix64 generator seeded from the test name (or `PROPTEST_SEED`),
@@ -25,10 +22,8 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let extra = std::env::var("PROPTEST_SEED")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(0);
+        let extra =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
         TestRng { state: h ^ extra }
     }
 
