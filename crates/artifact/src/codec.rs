@@ -1,0 +1,310 @@
+//! Field-level encoding: little-endian primitives and length-prefixed
+//! composites over a flat byte buffer.
+//!
+//! [`Encoder`] appends to an in-memory payload; [`Decoder`] walks a
+//! checksum-verified payload with a cursor, returning
+//! [`ArtifactError::Truncated`] the moment a read would run past the end —
+//! a corrupt length prefix can therefore never trigger an oversized
+//! allocation, because every declared length is checked against the bytes
+//! actually remaining before anything is reserved.
+
+use mvp_dsp::Mat;
+
+use crate::error::ArtifactError;
+
+/// Appends fields to an artifact payload.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty payload.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// The encoded payload bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a bool as one byte (`0` / `1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends an `f64` bit-exactly (IEEE-754 bits, little-endian).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64s(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Appends a length-prefixed slice of `usize`s (stored as `u64`).
+    pub fn put_usizes(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_usize(x);
+        }
+    }
+
+    /// Appends a matrix: row and column counts, then the row-major buffer.
+    pub fn put_mat(&mut self, m: &Mat) {
+        self.put_usize(m.n_rows());
+        self.put_usize(m.n_cols());
+        for &x in m.as_slice() {
+            self.put_f64(x);
+        }
+    }
+}
+
+/// Walks an artifact payload, decoding fields in write order.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `payload`.
+    pub fn new(payload: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf: payload, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if self.remaining() < n {
+            return Err(ArtifactError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, ArtifactError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u64` and converts to `usize`.
+    pub fn usize(&mut self) -> Result<usize, ArtifactError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| ArtifactError::SchemaMismatch("count exceeds usize".into()))
+    }
+
+    /// Reads a bool byte; anything but `0`/`1` is a schema error.
+    pub fn bool(&mut self) -> Result<bool, ArtifactError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ArtifactError::SchemaMismatch(format!("bool byte {other}"))),
+        }
+    }
+
+    /// Reads an `f64` bit-exactly.
+    pub fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a declared element count, verifying that `elem_size`-byte
+    /// elements of that count actually fit in the remaining payload.
+    fn checked_len(&mut self, elem_size: usize) -> Result<usize, ArtifactError> {
+        let n = self.usize()?;
+        if n.checked_mul(elem_size).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(ArtifactError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, ArtifactError> {
+        let n = self.checked_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::SchemaMismatch("invalid UTF-8 in string field".into()))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, ArtifactError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    pub fn usizes(&mut self) -> Result<Vec<usize>, ArtifactError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    /// Reads a matrix written by [`Encoder::put_mat`].
+    pub fn mat(&mut self) -> Result<Mat, ArtifactError> {
+        let n_rows = self.usize()?;
+        let n_cols = self.usize()?;
+        let total = n_rows
+            .checked_mul(n_cols)
+            .ok_or_else(|| ArtifactError::SchemaMismatch("matrix shape overflow".into()))?;
+        if total.checked_mul(8).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(ArtifactError::Truncated);
+        }
+        let mut data = Vec::with_capacity(total);
+        for _ in 0..total {
+            data.push(self.f64()?);
+        }
+        if n_rows > 0 && n_cols == 0 {
+            return Err(ArtifactError::SchemaMismatch("matrix rows with zero columns".into()));
+        }
+        Ok(Mat::from_vec(data, n_cols))
+    }
+
+    /// Asserts the whole payload was consumed; trailing bytes mean the
+    /// writer and reader disagree about the field layout.
+    pub fn finish(self) -> Result<(), ArtifactError> {
+        if self.remaining() != 0 {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "{} trailing payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u16(65_535);
+        enc.put_u32(1 << 30);
+        enc.put_u64(u64::MAX);
+        enc.put_bool(true);
+        enc.put_f64(-0.0);
+        enc.put_str("open the door");
+        enc.put_f64s(&[1.0, f64::NAN, f64::NEG_INFINITY]);
+        enc.put_usizes(&[0, 42]);
+        let mut dec = Decoder::new(enc.as_bytes());
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u16().unwrap(), 65_535);
+        assert_eq!(dec.u32().unwrap(), 1 << 30);
+        assert_eq!(dec.u64().unwrap(), u64::MAX);
+        assert!(dec.bool().unwrap());
+        assert_eq!(dec.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(dec.str().unwrap(), "open the door");
+        let v = dec.f64s().unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v[1].is_nan());
+        assert_eq!(dec.usizes().unwrap(), vec![0, 42]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_cleanly() {
+        let mut enc = Encoder::new();
+        enc.put_f64s(&[1.0, 2.0, 3.0]);
+        let bytes = enc.as_bytes();
+        // Cut at every prefix length: all must be Truncated, never panic.
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(matches!(dec.f64s(), Err(ArtifactError::Truncated)), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_truncated_not_alloc() {
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX); // claims ~2^64 elements
+        let mut dec = Decoder::new(enc.as_bytes());
+        assert!(matches!(dec.f64s(), Err(ArtifactError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(1);
+        enc.put_u8(2);
+        let mut dec = Decoder::new(enc.as_bytes());
+        assert_eq!(dec.u8().unwrap(), 1);
+        assert!(matches!(dec.finish(), Err(ArtifactError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn mat_shape_errors_are_schema_mismatches() {
+        let mut enc = Encoder::new();
+        enc.put_usize(3); // rows
+        enc.put_usize(0); // cols — inconsistent with rows > 0
+        let mut dec = Decoder::new(enc.as_bytes());
+        assert!(matches!(dec.mat(), Err(ArtifactError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_schema_mismatches() {
+        let mut dec = Decoder::new(&[2]);
+        assert!(matches!(dec.bool(), Err(ArtifactError::SchemaMismatch(_))));
+        let mut enc = Encoder::new();
+        enc.put_usize(2);
+        let mut raw = enc.as_bytes().to_vec();
+        raw.extend_from_slice(&[0xff, 0xfe]);
+        let mut dec = Decoder::new(&raw);
+        assert!(matches!(dec.str(), Err(ArtifactError::SchemaMismatch(_))));
+    }
+}

@@ -1,0 +1,358 @@
+//! The artifact container: header, checksum, the [`Persist`] trait and
+//! atomic file helpers.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::codec::{Decoder, Encoder};
+use crate::error::ArtifactError;
+
+/// The four magic bytes every artifact starts with.
+pub const MAGIC: [u8; 4] = *b"MVPA";
+
+/// Container format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// What an artifact's payload is — the `u16` kind tag in the header.
+///
+/// The registry of known kinds lives here so tags are allocated in one
+/// place, but the crate never interprets payloads itself; downstream
+/// crates pair each tag with a [`Persist`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKind(u16);
+
+impl ArtifactKind {
+    /// A contiguous `f64` matrix (`mvp_dsp::Mat`).
+    pub const MAT: ArtifactKind = ArtifactKind(1);
+    /// Per-dimension feature standardisation (`mvp_asr::am::FeatureScaler`).
+    pub const FEATURE_SCALER: ArtifactKind = ArtifactKind(2);
+    /// Acoustic-model weights (`mvp_asr::AcousticModel`).
+    pub const ACOUSTIC_MODEL: ArtifactKind = ArtifactKind(3);
+    /// Bigram language model (`mvp_asr::BigramLm`).
+    pub const BIGRAM_LM: ArtifactKind = ArtifactKind(4);
+    /// A whole trained ASR pipeline (`mvp_asr::TrainedAsr`).
+    pub const TRAINED_ASR: ArtifactKind = ArtifactKind(5);
+    /// Support-vector machine (`mvp_ml::Svm`).
+    pub const SVM: ArtifactKind = ArtifactKind(6);
+    /// K-nearest-neighbours reference set (`mvp_ml::Knn`).
+    pub const KNN: ArtifactKind = ArtifactKind(7);
+    /// One CART tree (`mvp_ml::tree::DecisionTree`).
+    pub const DECISION_TREE: ArtifactKind = ArtifactKind(8);
+    /// Bagged forest (`mvp_ml::RandomForest`).
+    pub const RANDOM_FOREST: ArtifactKind = ArtifactKind(9);
+    /// A fitted classifier of any paper kind (`mvp_ml::FittedClassifier`).
+    pub const FITTED_CLASSIFIER: ArtifactKind = ArtifactKind(10);
+    /// Benign-only threshold detector (`mvp_ears::ThresholdDetector`).
+    pub const THRESHOLD_DETECTOR: ArtifactKind = ArtifactKind(11);
+    /// A bank of per-auxiliary threshold detectors.
+    pub const THRESHOLD_BANK: ArtifactKind = ArtifactKind(12);
+    /// A whole detection system (`mvp_ears::DetectionSystemSnapshot`).
+    pub const DETECTION_SNAPSHOT: ArtifactKind = ArtifactKind(13);
+
+    /// A kind with an explicit tag (downstream/experimental artifacts
+    /// should use tags `>= 0x7000` to stay clear of the registry).
+    pub const fn new(tag: u16) -> ArtifactKind {
+        ArtifactKind(tag)
+    }
+
+    /// The raw header tag.
+    pub const fn tag(self) -> u16 {
+        self.0
+    }
+}
+
+/// FNV-1a 64-bit hash — the payload checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes one artifact: header, payload, checksum.
+pub fn write_artifact<W: Write>(
+    mut w: W,
+    kind: ArtifactKind,
+    schema: u16,
+    payload: &[u8],
+) -> Result<(), ArtifactError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    w.write_all(&kind.tag().to_le_bytes())?;
+    w.write_all(&schema.to_le_bytes())?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_u16<R: Read>(r: &mut R) -> Result<u16, ArtifactError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+/// Reads and fully validates one artifact of the expected kind, returning
+/// the checksum-verified payload. Field decoding happens afterwards, so a
+/// corrupt payload is rejected before a single field is interpreted.
+pub fn read_artifact<R: Read>(
+    mut r: R,
+    kind: ArtifactKind,
+    schema: u16,
+) -> Result<Vec<u8>, ArtifactError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(ArtifactError::BadMagic { found: magic });
+    }
+    let format = read_u16(&mut r)?;
+    if format != FORMAT_VERSION {
+        return Err(ArtifactError::VersionMismatch {
+            layer: "container",
+            found: format,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let found_kind = read_u16(&mut r)?;
+    if found_kind != kind.tag() {
+        return Err(ArtifactError::SchemaMismatch(format!(
+            "artifact kind {found_kind} where kind {} was expected",
+            kind.tag()
+        )));
+    }
+    let found_schema = read_u16(&mut r)?;
+    if found_schema != schema {
+        return Err(ArtifactError::VersionMismatch {
+            layer: "schema",
+            found: found_schema,
+            expected: schema,
+        });
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let len = usize::try_from(u64::from_le_bytes(len_bytes))
+        .map_err(|_| ArtifactError::SchemaMismatch("payload length exceeds usize".into()))?;
+    // Stream the payload in bounded chunks: a corrupt length cannot force
+    // a giant up-front allocation, it just runs out of bytes.
+    let mut payload = Vec::new();
+    let mut taken = (&mut r).take(len as u64);
+    taken.read_to_end(&mut payload).map_err(ArtifactError::from)?;
+    if payload.len() < len {
+        return Err(ArtifactError::Truncated);
+    }
+    let mut sum_bytes = [0u8; 8];
+    r.read_exact(&mut sum_bytes)?;
+    let found = u64::from_le_bytes(sum_bytes);
+    let computed = fnv1a(&payload);
+    if found != computed {
+        return Err(ArtifactError::ChecksumMismatch { found, computed });
+    }
+    Ok(payload)
+}
+
+/// A type that persists through the artifact plane.
+///
+/// Implementors provide the field layout ([`encode`](Persist::encode) /
+/// [`decode`](Persist::decode)); the trait supplies the container framing
+/// over any `std::io` stream and atomic on-disk save/load. Nested records
+/// compose by calling each other's `encode`/`decode` directly — only the
+/// outermost artifact carries a header.
+pub trait Persist: Sized {
+    /// The kind tag written to (and required from) the header.
+    const KIND: ArtifactKind;
+    /// Version of this type's field layout; bump on layout change.
+    const SCHEMA: u16;
+
+    /// Appends this value's fields to the payload.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Reads this value's fields back, in [`encode`](Persist::encode)
+    /// order.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError>;
+
+    /// Writes a complete artifact (header + fields + checksum) to `w`.
+    fn write_to<W: Write>(&self, w: W) -> Result<(), ArtifactError> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        write_artifact(w, Self::KIND, Self::SCHEMA, enc.as_bytes())
+    }
+
+    /// Reads a complete artifact from `r`, validating magic, versions,
+    /// kind, checksum, and that every payload byte is consumed.
+    fn read_from<R: Read>(r: R) -> Result<Self, ArtifactError> {
+        let payload = read_artifact(r, Self::KIND, Self::SCHEMA)?;
+        let mut dec = Decoder::new(&payload);
+        let value = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(value)
+    }
+
+    /// Saves atomically: writes to a sibling temp file, then renames over
+    /// `path`, so readers never observe a half-written artifact. Parent
+    /// directories are created as needed.
+    fn save_file(&self, path: &Path) -> Result<(), ArtifactError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".{}.tmp", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let file = fs::File::create(&tmp)?;
+            self.write_to(std::io::BufWriter::new(file))?;
+            fs::rename(&tmp, path)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Loads from `path`; a missing file surfaces as
+    /// [`ArtifactError::Io`] with `NotFound` (see
+    /// [`ArtifactError::is_not_found`]).
+    fn load_file(path: &Path) -> Result<Self, ArtifactError> {
+        let file = fs::File::open(path)?;
+        Self::read_from(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny artifact for container-level tests.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob(Vec<f64>);
+
+    impl Persist for Blob {
+        const KIND: ArtifactKind = ArtifactKind::new(0x7fff);
+        const SCHEMA: u16 = 3;
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_f64s(&self.0);
+        }
+        fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+            Ok(Blob(dec.f64s()?))
+        }
+    }
+
+    fn blob_bytes() -> (Blob, Vec<u8>) {
+        let blob = Blob(vec![1.0, -2.5, 1e-300]);
+        let mut bytes = Vec::new();
+        blob.write_to(&mut bytes).unwrap();
+        (blob, bytes)
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference values for the 64-bit FNV-1a test suite.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn round_trip() {
+        let (blob, bytes) = blob_bytes();
+        assert_eq!(Blob::read_from(&bytes[..]).unwrap(), blob);
+    }
+
+    #[test]
+    fn bad_magic() {
+        let (_, mut bytes) = blob_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(Blob::read_from(&bytes[..]), Err(ArtifactError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn container_version_skew() {
+        let (_, mut bytes) = blob_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            Blob::read_from(&bytes[..]),
+            Err(ArtifactError::VersionMismatch { layer: "container", found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn schema_version_skew() {
+        let (_, mut bytes) = blob_bytes();
+        bytes[8] = Blob::SCHEMA as u8 + 1;
+        assert!(matches!(
+            Blob::read_from(&bytes[..]),
+            Err(ArtifactError::VersionMismatch { layer: "schema", .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_header() {
+        let (_, mut bytes) = blob_bytes();
+        bytes[6] = ArtifactKind::MAT.tag() as u8;
+        bytes[7] = 0;
+        assert!(matches!(Blob::read_from(&bytes[..]), Err(ArtifactError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn every_truncation_point_is_clean() {
+        let (_, bytes) = blob_bytes();
+        for cut in 0..bytes.len() {
+            let err = Blob::read_from(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ArtifactError::Truncated),
+                "cut {cut}: unexpected {err:?} (len {})",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let (blob, bytes) = blob_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                match Blob::read_from(&corrupt[..]) {
+                    // A flip may hit header fields (typed errors) or the
+                    // payload/checksum (ChecksumMismatch) — but it must
+                    // never round-trip to the original unnoticed...
+                    Err(_) => {}
+                    // ...unless it flipped a payload bit AND the matching
+                    // checksum bit — impossible with a single flip.
+                    Ok(back) => {
+                        assert_ne!(back, blob, "byte {byte} bit {bit} silently ignored");
+                        // Value changed but checksum passed? That means the
+                        // flip was in the length prefix region producing a
+                        // consistent read — FNV over different bytes
+                        // colliding is not possible for 1-bit flips of the
+                        // same length, so reaching here is a bug.
+                        panic!("byte {byte} bit {bit}: corrupt read succeeded");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_reports_not_found() {
+        let dir = std::env::temp_dir().join(format!("mvpa-container-{}", std::process::id()));
+        let path = dir.join("nested/blob.mvpa");
+        let missing = Blob::load_file(&path).unwrap_err();
+        assert!(missing.is_not_found(), "{missing:?}");
+        let (blob, _) = blob_bytes();
+        blob.save_file(&path).unwrap();
+        assert_eq!(Blob::load_file(&path).unwrap(), blob);
+        // No temp file left behind.
+        let leftovers: Vec<_> =
+            fs::read_dir(path.parent().unwrap()).unwrap().map(|e| e.unwrap().file_name()).collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("blob.mvpa")]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

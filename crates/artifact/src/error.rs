@@ -1,0 +1,116 @@
+//! The typed failure taxonomy of the artifact plane.
+
+use std::fmt;
+
+/// Why an artifact could not be written or read back.
+///
+/// Every corruption mode a checkpoint file can exhibit maps to exactly one
+/// variant; loading code never panics on bad bytes.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The stream does not start with the `MVPA` magic — not an artifact.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The container format or the per-kind schema version is not the one
+    /// this build reads.
+    VersionMismatch {
+        /// Which version field disagreed (`"container"` or `"schema"`).
+        layer: &'static str,
+        /// The version found in the header.
+        found: u16,
+        /// The version this build expects.
+        expected: u16,
+    },
+    /// The payload checksum does not match — the content was corrupted.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        found: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// The stream ended before the declared content did.
+    Truncated,
+    /// The header or fields disagree with the expected artifact shape
+    /// (wrong kind tag, trailing bytes, or internally inconsistent
+    /// fields).
+    SchemaMismatch(String),
+    /// An underlying I/O failure (file missing, permissions, disk).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic { found } => {
+                write!(f, "not an MVPA artifact (magic bytes {found:02x?})")
+            }
+            ArtifactError::VersionMismatch { layer, found, expected } => {
+                write!(f, "{layer} version {found} (this build reads {expected})")
+            }
+            ArtifactError::ChecksumMismatch { found, computed } => {
+                write!(f, "payload checksum {computed:#018x} != stored {found:#018x} (corrupt)")
+            }
+            ArtifactError::Truncated => write!(f, "artifact truncated"),
+            ArtifactError::SchemaMismatch(why) => write!(f, "artifact schema mismatch: {why}"),
+            ArtifactError::Io(e) => write!(f, "artifact I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    /// Wraps an I/O error, folding early-EOF into
+    /// [`Truncated`](ArtifactError::Truncated) so callers see one variant
+    /// for every cut-short stream.
+    fn from(e: std::io::Error) -> ArtifactError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ArtifactError::Truncated
+        } else {
+            ArtifactError::Io(e)
+        }
+    }
+}
+
+impl ArtifactError {
+    /// Whether this error means "the file does not exist" — the one case
+    /// train-on-miss tiers treat as a cache miss rather than a failure.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, ArtifactError::Io(e) if e.kind() == std::io::ErrorKind::NotFound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_becomes_truncated() {
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(ArtifactError::from(eof), ArtifactError::Truncated));
+        let denied = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no");
+        assert!(matches!(ArtifactError::from(denied), ArtifactError::Io(_)));
+    }
+
+    #[test]
+    fn not_found_is_detected() {
+        let nf = ArtifactError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(nf.is_not_found());
+        assert!(!ArtifactError::Truncated.is_not_found());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArtifactError::VersionMismatch { layer: "schema", found: 9, expected: 1 };
+        assert!(e.to_string().contains("schema version 9"));
+    }
+}

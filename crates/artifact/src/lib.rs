@@ -1,0 +1,127 @@
+#![warn(missing_docs)]
+
+//! The artifact plane: versioned, checksummed binary model checkpoints.
+//!
+//! Every trained artifact in the workspace — acoustic models, language
+//! models, whole ASR pipelines, classifiers, threshold detectors, detector
+//! snapshots — persists through this crate, so a deployed detector can
+//! cold-start from disk instead of retraining, and can *refuse* to serve
+//! from a corrupt or version-skewed checkpoint with a typed error rather
+//! than a panic or silent garbage.
+//!
+//! # Container format
+//!
+//! One artifact is one self-describing byte stream:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "MVPA"
+//! 4       2     container format version (LE u16)
+//! 6       2     artifact kind tag       (LE u16)   — what the payload is
+//! 8       2     schema version          (LE u16)   — per-kind field layout
+//! 10      8     payload length          (LE u64)
+//! 18      n     payload: length-prefixed little-endian fields
+//! 18+n    8     FNV-1a 64 checksum of the payload (LE u64)
+//! ```
+//!
+//! The payload is a flat sequence of fields written by [`Encoder`] and
+//! read back by [`Decoder`]: fixed-width integers and `f64`s (bit-exact,
+//! so loaded models reproduce trained behaviour to the last bit), and
+//! length-prefixed strings, slices and [`Mat`]s. There is no
+//! self-description inside the payload — the `(kind, schema)` pair in the
+//! header names the exact field layout, which is why both are checked
+//! before a single field is decoded.
+//!
+//! # Failure taxonomy
+//!
+//! Every way a checkpoint can be wrong maps to one [`ArtifactError`]
+//! variant — [`BadMagic`](ArtifactError::BadMagic) (not an artifact at
+//! all), [`VersionMismatch`](ArtifactError::VersionMismatch) (container or
+//! schema skew), [`SchemaMismatch`](ArtifactError::SchemaMismatch) (wrong
+//! kind, or fields inconsistent with each other),
+//! [`ChecksumMismatch`](ArtifactError::ChecksumMismatch) (payload
+//! corruption), [`Truncated`](ArtifactError::Truncated) (file cut short)
+//! and [`Io`](ArtifactError::Io). Loading never panics on bad bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Calibration {
+//!     gain: f64,
+//!     taps: Vec<f64>,
+//! }
+//!
+//! impl Persist for Calibration {
+//!     const KIND: ArtifactKind = ArtifactKind::new(0x7001);
+//!     const SCHEMA: u16 = 1;
+//!     fn encode(&self, enc: &mut Encoder) {
+//!         enc.put_f64(self.gain);
+//!         enc.put_f64s(&self.taps);
+//!     }
+//!     fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+//!         Ok(Calibration { gain: dec.f64()?, taps: dec.f64s()? })
+//!     }
+//! }
+//!
+//! let cal = Calibration { gain: 0.5, taps: vec![1.0, -2.0, 3.0] };
+//! let mut bytes = Vec::new();
+//! cal.write_to(&mut bytes).unwrap();
+//! assert_eq!(Calibration::read_from(&bytes[..]).unwrap(), cal);
+//!
+//! // A flipped payload bit is caught by the checksum, never decoded.
+//! let n = bytes.len();
+//! bytes[n - 12] ^= 0x10;
+//! assert!(matches!(
+//!     Calibration::read_from(&bytes[..]),
+//!     Err(ArtifactError::ChecksumMismatch { .. })
+//! ));
+//! ```
+
+pub mod codec;
+pub mod container;
+pub mod error;
+
+pub use codec::{Decoder, Encoder};
+pub use container::{read_artifact, write_artifact, ArtifactKind, Persist, FORMAT_VERSION, MAGIC};
+pub use error::ArtifactError;
+
+use mvp_dsp::Mat;
+
+impl Persist for Mat {
+    const KIND: ArtifactKind = ArtifactKind::MAT;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_mat(self);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        dec.mat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat_round_trips() {
+        let m = Mat::from_rows(vec![vec![1.5, -2.25], vec![0.0, f64::MIN_POSITIVE]], 2);
+        let mut bytes = Vec::new();
+        m.write_to(&mut bytes).unwrap();
+        assert_eq!(Mat::read_from(&bytes[..]).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_mat_round_trips() {
+        let m = Mat::default();
+        let mut bytes = Vec::new();
+        m.write_to(&mut bytes).unwrap();
+        let back = Mat::read_from(&bytes[..]).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.n_cols(), 0);
+    }
+}

@@ -18,6 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder as FieldDecoder, Encoder, Persist};
 use mvp_dsp::mfcc::FeatureMatrix;
 use mvp_phonetics::Phoneme;
 
@@ -395,6 +396,67 @@ impl AcousticModel {
     }
 }
 
+impl Persist for FeatureScaler {
+    const KIND: ArtifactKind = ArtifactKind::FEATURE_SCALER;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64s(&self.mean);
+        enc.put_f64s(&self.inv_std);
+    }
+
+    fn decode(dec: &mut FieldDecoder<'_>) -> Result<Self, ArtifactError> {
+        let mean = dec.f64s()?;
+        let inv_std = dec.f64s()?;
+        if mean.len() != inv_std.len() {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "scaler mean dim {} != inv_std dim {}",
+                mean.len(),
+                inv_std.len()
+            )));
+        }
+        Ok(FeatureScaler { mean, inv_std })
+    }
+}
+
+impl Persist for AcousticModel {
+    const KIND: ArtifactKind = ArtifactKind::ACOUSTIC_MODEL;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.dim);
+        enc.put_usize(self.hidden);
+        enc.put_f64s(&self.w1);
+        enc.put_f64s(&self.b1);
+        enc.put_f64s(&self.w2);
+        enc.put_f64s(&self.b2);
+        self.scaler.encode(enc);
+    }
+
+    fn decode(dec: &mut FieldDecoder<'_>) -> Result<Self, ArtifactError> {
+        let dim = dec.usize()?;
+        let hidden = dec.usize()?;
+        let w1 = dec.f64s()?;
+        let b1 = dec.f64s()?;
+        let w2 = dec.f64s()?;
+        let b2 = dec.f64s()?;
+        let scaler = FeatureScaler::decode(dec)?;
+        let shape_ok = hidden > 0
+            && hidden.checked_mul(dim) == Some(w1.len())
+            && b1.len() == hidden
+            && N_CLASSES.checked_mul(hidden) == Some(w2.len())
+            && b2.len() == N_CLASSES
+            && scaler.dim() == dim;
+        if !shape_ok {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "acoustic model shapes inconsistent with dim {dim}, hidden {hidden}, \
+                 {N_CLASSES} classes"
+            )));
+        }
+        Ok(AcousticModel { w1, b1, w2, b2, scaler, dim, hidden })
+    }
+}
+
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
     let mut out = vec![0.0; logits.len()];
@@ -559,6 +621,44 @@ mod tests {
             AcousticModel::train(&feats, &labels, &TrainConfig::default())
         };
         am.logits(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn persisted_model_reproduces_logits_bit_exactly() {
+        let (feats, labels) = toy_data(20, 3);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let mut bytes = Vec::new();
+        am.write_to(&mut bytes).unwrap();
+        let back = AcousticModel::read_from(&bytes[..]).unwrap();
+        assert_eq!(back.dim(), am.dim());
+        assert_eq!(back.hidden(), am.hidden());
+        for t in 0..feats.n_frames() {
+            assert_eq!(back.logits(feats.row(t)), am.logits(feats.row(t)));
+        }
+    }
+
+    #[test]
+    fn inconsistent_model_shapes_are_refused() {
+        let (feats, labels) = toy_data(10, 3);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let mut enc = Encoder::new();
+        am.encode(&mut enc);
+        // Re-frame the valid payload with a lying hidden width: the checksum
+        // passes, so the shape validation must catch it.
+        let mut payload = enc.as_bytes().to_vec();
+        payload[8..16].copy_from_slice(&(am.hidden() as u64 + 1).to_le_bytes());
+        let mut bytes = Vec::new();
+        mvp_artifact::write_artifact(
+            &mut bytes,
+            AcousticModel::KIND,
+            AcousticModel::SCHEMA,
+            &payload,
+        )
+        .unwrap();
+        assert!(matches!(
+            AcousticModel::read_from(&bytes[..]),
+            Err(ArtifactError::SchemaMismatch(_))
+        ));
     }
 
     #[test]

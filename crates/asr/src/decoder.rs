@@ -56,6 +56,16 @@ impl Decoder {
         Decoder { vocab, lm, cfg }
     }
 
+    /// The language model scoring word transitions.
+    pub fn lm(&self) -> &BigramLm {
+        &self.lm
+    }
+
+    /// The decoder tuning parameters.
+    pub fn config(&self) -> &DecoderConfig {
+        &self.cfg
+    }
+
     /// Decodes a logit matrix (`n_frames × n_classes`) to a transcription.
     pub fn decode(&self, logits: &FeatureMatrix) -> String {
         if logits.is_empty() {

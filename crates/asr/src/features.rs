@@ -80,6 +80,16 @@ impl FeatureFrontEnd {
         self.subsample
     }
 
+    /// The full configuration this front end was built from
+    /// ([`FeatureFrontEnd::new`] on the result reproduces it exactly).
+    pub fn config(&self) -> FrontEndConfig {
+        FrontEndConfig {
+            mfcc: self.extractor.config().clone(),
+            context: self.context,
+            subsample: self.subsample,
+        }
+    }
+
     /// Sample index at the centre of stacked frame `row` (for aligning
     /// frame labels with synthesizer alignments).
     pub fn frame_center_sample(&self, row: usize) -> usize {

@@ -40,6 +40,7 @@ pub mod ctc;
 pub mod decoder;
 pub mod features;
 pub mod lm;
+pub mod persist;
 pub mod profile;
 pub mod recognizer;
 
@@ -48,5 +49,5 @@ pub use ctc::{ctc_loss_and_grad, greedy_phonemes};
 pub use decoder::{Decoder, DecoderConfig};
 pub use features::{FeatureFrontEnd, FrontEndConfig, FrontEndScratch};
 pub use lm::BigramLm;
-pub use profile::AsrProfile;
+pub use profile::{AsrProfile, MODEL_DIR_ENV};
 pub use recognizer::{Asr, AsrScratch, TrainedAsr};

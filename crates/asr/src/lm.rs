@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
+
 /// Sentence-start pseudo-token id.
 const BOS: usize = 0;
 
@@ -95,6 +97,68 @@ impl BigramLm {
     }
 }
 
+impl Persist for BigramLm {
+    const KIND: ArtifactKind = ArtifactKind::BIGRAM_LM;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.k);
+        enc.put_f64s(&self.unigram);
+        // Hash maps iterate in arbitrary order; serialise sorted so the
+        // same model always produces the same bytes.
+        let mut words: Vec<(&String, &usize)> = self.ids.iter().collect();
+        words.sort();
+        enc.put_usize(words.len());
+        for (word, &id) in words {
+            enc.put_str(word);
+            enc.put_usize(id);
+        }
+        let mut pairs: Vec<(&(usize, usize), &f64)> = self.bigram.iter().collect();
+        pairs.sort_by_key(|(k, _)| **k);
+        enc.put_usize(pairs.len());
+        for (&(prev, next), &count) in pairs {
+            enc.put_usize(prev);
+            enc.put_usize(next);
+            enc.put_f64(count);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let k = dec.f64()?;
+        if !(k > 0.0) {
+            return Err(ArtifactError::SchemaMismatch(format!("smoothing constant {k}")));
+        }
+        let unigram = dec.f64s()?;
+        let n_words = dec.usize()?;
+        if unigram.len() != n_words + 1 {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "unigram table {} entries for {n_words} words",
+                unigram.len()
+            )));
+        }
+        let mut ids = HashMap::with_capacity(n_words);
+        for _ in 0..n_words {
+            let word = dec.str()?;
+            let id = dec.usize()?;
+            if id == BOS || id >= unigram.len() || ids.insert(word, id).is_some() {
+                return Err(ArtifactError::SchemaMismatch("word id table inconsistent".into()));
+            }
+        }
+        let n_pairs = dec.usize()?;
+        let mut bigram = HashMap::with_capacity(n_pairs);
+        for _ in 0..n_pairs {
+            let prev = dec.usize()?;
+            let next = dec.usize()?;
+            let count = dec.f64()?;
+            if prev >= unigram.len() || next >= unigram.len() {
+                return Err(ArtifactError::SchemaMismatch("bigram id out of range".into()));
+            }
+            bigram.insert((prev, next), count);
+        }
+        Ok(BigramLm { ids, unigram, bigram, k })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +211,24 @@ mod tests {
     fn case_insensitive() {
         let lm = toy();
         assert_eq!(lm.log_prob(Some("THE"), "Man"), lm.log_prob(Some("the"), "man"));
+    }
+
+    #[test]
+    fn persisted_lm_is_deterministic_and_faithful() {
+        let lm = toy();
+        let mut a = Vec::new();
+        lm.write_to(&mut a).unwrap();
+        // Same model, fresh hash maps: byte-identical artifact.
+        let mut b = Vec::new();
+        toy().write_to(&mut b).unwrap();
+        assert_eq!(a, b);
+        let back = BigramLm::read_from(&a[..]).unwrap();
+        assert_eq!(back.vocab_size(), lm.vocab_size());
+        for (prev, word) in
+            [(None, "the"), (Some("the"), "man"), (Some("found"), "sea"), (Some("x"), "zyzzyva")]
+        {
+            assert_eq!(back.log_prob(prev, word).to_bits(), lm.log_prob(prev, word).to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Artifact-plane field layouts for the ASR configuration records and the
+//! whole-pipeline [`TrainedAsr`] checkpoint.
+//!
+//! Weight-bearing types ([`crate::am::AcousticModel`],
+//! [`crate::lm::BigramLm`]) implement [`Persist`] next to their fields;
+//! this module covers the *configuration* records — which nest inside the
+//! pipeline artifact rather than standing alone, so they get plain
+//! encode/decode helpers instead of `Persist` — and composes everything
+//! into the [`TrainedAsr`] artifact. The decoder's vocabulary and the
+//! front end's filterbanks are deterministic functions of their configs
+//! (built-in lexicon, closed-form mel geometry), so only configs are
+//! stored and the heavy structures are rebuilt on load.
+
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder as FieldDecoder, Encoder, Persist};
+use mvp_dsp::mfcc::MfccConfig;
+use mvp_dsp::Window;
+use mvp_phonetics::Lexicon;
+
+use crate::am::AcousticModel;
+use crate::decoder::{Decoder, DecoderConfig};
+use crate::features::{FeatureFrontEnd, FrontEndConfig};
+use crate::lm::BigramLm;
+use crate::recognizer::{Asr, TrainedAsr};
+
+fn window_tag(w: Window) -> u8 {
+    match w {
+        Window::Hann => 0,
+        Window::Hamming => 1,
+        Window::Rectangular => 2,
+    }
+}
+
+fn window_from_tag(tag: u8) -> Result<Window, ArtifactError> {
+    match tag {
+        0 => Ok(Window::Hann),
+        1 => Ok(Window::Hamming),
+        2 => Ok(Window::Rectangular),
+        other => Err(ArtifactError::SchemaMismatch(format!("window tag {other}"))),
+    }
+}
+
+/// Appends an [`MfccConfig`] record.
+pub fn encode_mfcc_config(enc: &mut Encoder, cfg: &MfccConfig) {
+    enc.put_u32(cfg.sample_rate);
+    enc.put_usize(cfg.frame_len);
+    enc.put_usize(cfg.hop);
+    enc.put_usize(cfg.n_fft);
+    enc.put_usize(cfg.n_mels);
+    enc.put_usize(cfg.n_cepstra);
+    enc.put_u8(window_tag(cfg.window));
+    enc.put_f64(cfg.f_min);
+    enc.put_f64(cfg.f_max);
+    enc.put_f64(cfg.pre_emphasis);
+    enc.put_f64(cfg.log_floor);
+}
+
+/// Reads an [`MfccConfig`] record written by [`encode_mfcc_config`].
+pub fn decode_mfcc_config(dec: &mut FieldDecoder<'_>) -> Result<MfccConfig, ArtifactError> {
+    Ok(MfccConfig {
+        sample_rate: dec.u32()?,
+        frame_len: dec.usize()?,
+        hop: dec.usize()?,
+        n_fft: dec.usize()?,
+        n_mels: dec.usize()?,
+        n_cepstra: dec.usize()?,
+        window: window_from_tag(dec.u8()?)?,
+        f_min: dec.f64()?,
+        f_max: dec.f64()?,
+        pre_emphasis: dec.f64()?,
+        log_floor: dec.f64()?,
+    })
+}
+
+impl FrontEndConfig {
+    /// Appends this record to an artifact payload.
+    pub fn encode(&self, enc: &mut Encoder) {
+        encode_mfcc_config(enc, &self.mfcc);
+        enc.put_usize(self.context);
+        enc.put_usize(self.subsample);
+    }
+
+    /// Reads a record written by [`FrontEndConfig::encode`].
+    pub fn decode(dec: &mut FieldDecoder<'_>) -> Result<FrontEndConfig, ArtifactError> {
+        let mfcc = decode_mfcc_config(dec)?;
+        let context = dec.usize()?;
+        let subsample = dec.usize()?;
+        if subsample == 0 {
+            return Err(ArtifactError::SchemaMismatch("zero subsample factor".into()));
+        }
+        Ok(FrontEndConfig { mfcc, context, subsample })
+    }
+}
+
+impl DecoderConfig {
+    /// Appends this record to an artifact payload.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.min_run);
+        enc.put_usize(self.top_k);
+        enc.put_f64(self.edit_weight);
+        enc.put_f64(self.lm_weight);
+    }
+
+    /// Reads a record written by [`DecoderConfig::encode`].
+    pub fn decode(dec: &mut FieldDecoder<'_>) -> Result<DecoderConfig, ArtifactError> {
+        Ok(DecoderConfig {
+            min_run: dec.usize()?,
+            top_k: dec.usize()?,
+            edit_weight: dec.f64()?,
+            lm_weight: dec.f64()?,
+        })
+    }
+}
+
+impl Persist for TrainedAsr {
+    const KIND: ArtifactKind = ArtifactKind::TRAINED_ASR;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.name());
+        self.frontend().config().encode(enc);
+        self.acoustic_model().encode(enc);
+        self.decoder().lm().encode(enc);
+        self.decoder().config().encode(enc);
+    }
+
+    fn decode(dec: &mut FieldDecoder<'_>) -> Result<Self, ArtifactError> {
+        let name = dec.str()?;
+        let frontend_cfg = FrontEndConfig::decode(dec)?;
+        let am = AcousticModel::decode(dec)?;
+        let lm = BigramLm::decode(dec)?;
+        let decoder_cfg = DecoderConfig::decode(dec)?;
+        let frontend = FeatureFrontEnd::new(frontend_cfg);
+        if am.dim() != frontend.dim() {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "acoustic model expects dim {} but the front end produces {}",
+                am.dim(),
+                frontend.dim()
+            )));
+        }
+        let decoder = Decoder::new(&Lexicon::builtin(), lm, decoder_cfg);
+        Ok(TrainedAsr::new(name, frontend, am, decoder))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mfcc_config_round_trips() {
+        let cfg = MfccConfig { window: Window::Hamming, n_mels: 17, ..MfccConfig::default() };
+        let mut enc = Encoder::new();
+        encode_mfcc_config(&mut enc, &cfg);
+        let mut dec = FieldDecoder::new(enc.as_bytes());
+        assert_eq!(decode_mfcc_config(&mut dec).unwrap(), cfg);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn frontend_config_rejects_zero_subsample() {
+        let mut enc = Encoder::new();
+        FrontEndConfig { subsample: 3, ..FrontEndConfig::default() }.encode(&mut enc);
+        let mut bytes = enc.as_bytes().to_vec();
+        // The subsample factor is the final u64 of the record.
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&0u64.to_le_bytes());
+        let mut dec = FieldDecoder::new(&bytes);
+        assert!(matches!(FrontEndConfig::decode(&mut dec), Err(ArtifactError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn decoder_config_round_trips() {
+        let cfg = DecoderConfig { min_run: 1, top_k: 9, edit_weight: 2.5, lm_weight: 0.75 };
+        let mut enc = Encoder::new();
+        cfg.encode(&mut enc);
+        let mut dec = FieldDecoder::new(enc.as_bytes());
+        assert_eq!(DecoderConfig::decode(&mut dec).unwrap(), cfg);
+        dec.finish().unwrap();
+    }
+}

@@ -15,8 +15,10 @@
 //! and experiment binaries pay the (few-second) cost once.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use mvp_artifact::{ArtifactError, Persist};
 use mvp_corpus::{command_phrases, CorpusBuilder, CorpusConfig, SentenceGenerator};
 use mvp_dsp::mfcc::{FeatureMatrix, MfccConfig};
 use mvp_dsp::Window;
@@ -26,7 +28,14 @@ use crate::am::{AcousticModel, TrainConfig};
 use crate::decoder::{Decoder, DecoderConfig};
 use crate::features::{FeatureFrontEnd, FrontEndConfig};
 use crate::lm::BigramLm;
-use crate::recognizer::TrainedAsr;
+use crate::recognizer::{Asr, TrainedAsr};
+
+/// Environment variable naming a directory of persisted profile artifacts.
+///
+/// When set, [`AsrProfile::trained`] backs its process-wide cache with the
+/// directory: profiles load from disk instead of retraining, and freshly
+/// trained profiles are saved there for the next process.
+pub const MODEL_DIR_ENV: &str = "MVP_EARS_MODEL_DIR";
 
 /// One of the simulated ASR systems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -213,19 +222,101 @@ impl AsrProfile {
         TrainedAsr::new(spec.name, frontend, am, decoder)
     }
 
-    /// The process-wide cached trained instance of this profile.
+    /// File name of this profile's artifact inside a model directory.
+    pub fn artifact_file_name(self) -> String {
+        format!("asr-{}.mvpa", self.name().to_lowercase())
+    }
+
+    /// Path of this profile's artifact inside `dir`.
+    pub fn artifact_path(self, dir: &Path) -> PathBuf {
+        dir.join(self.artifact_file_name())
+    }
+
+    /// Loads this profile's persisted pipeline from `dir`.
+    ///
+    /// Refuses (with the typed [`ArtifactError`]) rather than degrade: a
+    /// corrupt, truncated or version-skewed artifact — or one whose stored
+    /// profile name does not match — is an error, never a silently wrong
+    /// model. A missing file is reported as a `NotFound` I/O error
+    /// ([`ArtifactError::is_not_found`]).
+    pub fn load(self, dir: &Path) -> Result<TrainedAsr, ArtifactError> {
+        let asr = TrainedAsr::load_file(&self.artifact_path(dir))?;
+        if asr.name() != self.name() {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "artifact holds profile {:?} where {:?} was expected",
+                asr.name(),
+                self.name()
+            )));
+        }
+        Ok(asr)
+    }
+
+    /// Loads this profile from `dir`, training and saving it on a cache
+    /// miss (missing file). Any other load failure propagates — a corrupt
+    /// artifact is *not* silently replaced, because whoever wrote it may
+    /// still be relying on it.
+    pub fn load_or_train(self, dir: &Path) -> Result<TrainedAsr, ArtifactError> {
+        match self.load(dir) {
+            Ok(asr) => Ok(asr),
+            Err(e) if e.is_not_found() => {
+                let asr = self.train();
+                asr.save_file(&self.artifact_path(dir))?;
+                Ok(asr)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The process-wide cached trained instance of this profile, backed by
+    /// the artifact directory in [`MODEL_DIR_ENV`] when that is set.
     pub fn trained(self) -> Arc<TrainedAsr> {
+        let dir = std::env::var_os(MODEL_DIR_ENV).map(PathBuf::from);
+        self.trained_in(dir.as_deref())
+    }
+
+    /// [`trained`](Self::trained) with an explicit disk tier.
+    ///
+    /// With `dir = None` this is a pure in-process cache (train on miss).
+    /// With a directory, misses first try the persisted artifact and only
+    /// then retrain; fresh models are saved back best-effort. Because this
+    /// path is infallible, a *corrupt* artifact here is warned about and
+    /// healed by retraining — use [`load`](Self::load) /
+    /// [`load_or_train`](Self::load_or_train) where refusal is wanted.
+    pub fn trained_in(self, dir: Option<&Path>) -> Arc<TrainedAsr> {
         static CACHE: OnceLock<Mutex<HashMap<AsrProfile, Arc<TrainedAsr>>>> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        // Train outside the lock only if missing; double-checked via entry.
+        // Training panics can poison the lock; the map itself is never left
+        // half-updated (single insert), so recover the guard and go on.
         {
-            let map = cache.lock().expect("profile cache poisoned");
+            let map = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(asr) = map.get(&self) {
                 return Arc::clone(asr);
             }
         }
-        let trained = Arc::new(self.train());
-        let mut map = cache.lock().expect("profile cache poisoned");
+        // Resolve outside the lock: loading takes milliseconds but training
+        // takes seconds, and other profiles should not serialise behind it.
+        let resolved = match dir {
+            Some(dir) => match self.load(dir) {
+                Ok(asr) => asr,
+                Err(e) => {
+                    if !e.is_not_found() {
+                        eprintln!(
+                            "warning: discarding unusable artifact for {} in {}: {e}",
+                            self.name(),
+                            dir.display()
+                        );
+                    }
+                    let asr = self.train();
+                    if let Err(e) = asr.save_file(&self.artifact_path(dir)) {
+                        eprintln!("warning: could not persist {} model: {e}", self.name());
+                    }
+                    asr
+                }
+            },
+            None => self.train(),
+        };
+        let trained = Arc::new(resolved);
+        let mut map = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(map.entry(self).or_insert(trained))
     }
 }

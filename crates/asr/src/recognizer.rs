@@ -52,6 +52,11 @@ impl TrainedAsr {
         &self.am
     }
 
+    /// The word decoder.
+    pub fn decoder(&self) -> &Decoder {
+        &self.decoder
+    }
+
     /// Per-frame logits over phoneme classes for `wave`.
     pub fn logits(&self, wave: &Waveform) -> FeatureMatrix {
         self.am.logit_matrix(&self.frontend.features(wave))

@@ -1,0 +1,120 @@
+//! End-to-end fidelity of the ASR artifact plane: a persisted pipeline
+//! must reproduce the original's transcriptions exactly, and every
+//! corruption mode must surface as a typed error — never a panic, never a
+//! silently different model.
+
+use std::sync::{Arc, OnceLock};
+
+use mvp_artifact::{ArtifactError, Persist};
+use mvp_asr::{AcousticModel, Asr, AsrProfile, TrainedAsr};
+use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+use mvp_audio::Waveform;
+use mvp_phonetics::Lexicon;
+
+/// The KALDI profile is the cheapest to train; one instance serves every
+/// test in this binary.
+fn asr() -> Arc<TrainedAsr> {
+    static ONCE: OnceLock<Arc<TrainedAsr>> = OnceLock::new();
+    Arc::clone(ONCE.get_or_init(|| AsrProfile::Kaldi.trained_in(None)))
+}
+
+fn artifact_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    asr().write_to(&mut bytes).unwrap();
+    bytes
+}
+
+fn test_waves() -> Vec<Waveform> {
+    let synth = Synthesizer::new(16_000);
+    let lex = Lexicon::builtin();
+    ["open the door", "turn on the lights", "good morning"]
+        .iter()
+        .map(|t| synth.synthesize(&lex, t, &SpeakerProfile::default()).0)
+        .collect()
+}
+
+#[test]
+fn loaded_pipeline_transcribes_identically() {
+    let original = asr();
+    let bytes = artifact_bytes();
+    let loaded = TrainedAsr::read_from(&bytes[..]).unwrap();
+    assert_eq!(loaded.name(), original.name());
+    for wave in test_waves() {
+        assert_eq!(loaded.transcribe(&wave), original.transcribe(&wave));
+        // Stronger than equal text: the logit matrices agree bit-exactly.
+        assert_eq!(loaded.logits(&wave), original.logits(&wave));
+    }
+}
+
+#[test]
+fn serialisation_is_deterministic() {
+    assert_eq!(artifact_bytes(), artifact_bytes());
+}
+
+#[test]
+fn truncated_artifact_is_refused() {
+    let bytes = artifact_bytes();
+    for cut in [0, 3, 10, 17, 18, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            matches!(TrainedAsr::read_from(&bytes[..cut]), Err(ArtifactError::Truncated)),
+            "cut {cut}"
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_payload_is_refused() {
+    let mut bytes = artifact_bytes();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    assert!(matches!(
+        TrainedAsr::read_from(&bytes[..]),
+        Err(ArtifactError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn wrong_kind_is_refused() {
+    // An acoustic-model artifact presented where a whole pipeline is
+    // expected must fail on the header, before any field is decoded.
+    let mut bytes = Vec::new();
+    asr().acoustic_model().write_to(&mut bytes).unwrap();
+    assert!(matches!(TrainedAsr::read_from(&bytes[..]), Err(ArtifactError::SchemaMismatch(_))));
+    let am = AcousticModel::read_from(&bytes[..]).unwrap();
+    assert_eq!(am.dim(), asr().acoustic_model().dim());
+}
+
+#[test]
+fn disk_tier_round_trips_and_refuses_mismatched_profiles() {
+    let dir = std::env::temp_dir().join(format!("mvp-asr-tier-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Miss: nothing on disk yet.
+    let missing = AsrProfile::Kaldi.load(&dir).unwrap_err();
+    assert!(missing.is_not_found(), "{missing:?}");
+
+    // Populate the tier from the in-process model, then load.
+    asr().save_file(&AsrProfile::Kaldi.artifact_path(&dir)).unwrap();
+    let loaded = AsrProfile::Kaldi.load(&dir).unwrap();
+    let wave = &test_waves()[0];
+    assert_eq!(loaded.transcribe(wave), asr().transcribe(wave));
+
+    // The same file under another profile's name is a schema error: the
+    // stored name must match the requested profile.
+    std::fs::copy(AsrProfile::Kaldi.artifact_path(&dir), AsrProfile::Ds0.artifact_path(&dir))
+        .unwrap();
+    assert!(matches!(AsrProfile::Ds0.load(&dir), Err(ArtifactError::SchemaMismatch(_))));
+
+    // load_or_train refuses a corrupt file instead of clobbering it.
+    let path = AsrProfile::Kaldi.artifact_path(&dir);
+    let mut raw = std::fs::read(&path).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x40;
+    std::fs::write(&path, &raw).unwrap();
+    assert!(matches!(
+        AsrProfile::Kaldi.load_or_train(&dir),
+        Err(ArtifactError::ChecksumMismatch { .. })
+    ));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,12 @@
+//! Standalone driver for the artifact-plane benchmark (also runs at the
+//! end of `run_all`): cold train vs warm load per ASR profile, written to
+//! `BENCH_artifact.json`.
+
+use mvp_bench::experiments::artifact::run_artifact_bench;
+use mvp_bench::{ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ctx = ExperimentContext::load_or_generate(scale);
+    run_artifact_bench(&ctx);
+}

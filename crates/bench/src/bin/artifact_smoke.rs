@@ -1,0 +1,65 @@
+//! CI smoke test for the artifact plane: trains the cheapest ASR profile,
+//! persists it, then proves the disk tier both round-trips faithfully and
+//! refuses a corrupted artifact with a typed error. Exits non-zero on any
+//! failure, so `scripts/ci.sh` can gate on it.
+
+use std::process::ExitCode;
+
+use mvp_asr::{Asr, AsrProfile};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("artifact smoke: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("artifact smoke: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let profile = AsrProfile::Kaldi; // cheapest training recipe
+    let dir = std::env::temp_dir().join(format!("mvp-artifact-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = smoke(profile, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn smoke(profile: AsrProfile, dir: &std::path::Path) -> Result<(), String> {
+    // Cold: train and persist.
+    let trained = profile.load_or_train(dir).map_err(|e| format!("cold train: {e}"))?;
+    let path = profile.artifact_path(dir);
+    if !path.is_file() {
+        return Err(format!("{} was not written", path.display()));
+    }
+    println!("trained {profile} and wrote {}", path.display());
+
+    // Warm: a clean load must reproduce the pipeline.
+    let loaded = profile.load(dir).map_err(|e| format!("warm load: {e}"))?;
+    let wave = mvp_audio::Waveform::from_samples(vec![0.01f32; 8_000], 16_000);
+    if loaded.transcribe(&wave) != trained.transcribe(&wave) {
+        return Err("warm-loaded pipeline diverged from the trained one".into());
+    }
+    println!("warm load reproduces the trained pipeline");
+
+    // Corrupt a copy: the load must fail cleanly with a typed error.
+    let mut bytes = std::fs::read(&path).map_err(|e| format!("read artifact: {e}"))?;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    let corrupt_dir = dir.join("corrupt");
+    std::fs::create_dir_all(&corrupt_dir).map_err(|e| format!("create corrupt dir: {e}"))?;
+    std::fs::write(profile.artifact_path(&corrupt_dir), &bytes)
+        .map_err(|e| format!("write corrupt copy: {e}"))?;
+    match profile.load(&corrupt_dir) {
+        Ok(_) => Err("corrupted artifact was accepted".into()),
+        Err(e) if e.is_not_found() => Err(format!("corruption misreported as a cache miss: {e}")),
+        Err(e) => {
+            println!("corrupted artifact refused as expected: {e}");
+            Ok(())
+        }
+    }
+}

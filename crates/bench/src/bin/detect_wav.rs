@@ -2,61 +2,81 @@
 //! MVP-EARS system and print the verdict.
 //!
 //! ```text
-//! detect_wav <file.wav> [more.wav ...]
+//! detect_wav [--model-dir <dir>] <file.wav> [more.wav ...]
 //! ```
 //!
 //! The threshold detectors are fitted on a built-in benign corpus at a 5 %
 //! FPR budget (the paper's §V-G configuration), so no AE training data is
 //! needed; an audio is flagged when *any* auxiliary similarity falls below
 //! its threshold.
+//!
+//! With `--model-dir`, trained ASR models and the fitted threshold bank
+//! are loaded from (and on first run saved to) versioned artifacts in
+//! `<dir>`, so later invocations skip training entirely. A corrupt or
+//! incompatible artifact is an error, never a silent retrain.
+//!
+//! Exit codes — the verdict is the exit status, and I/O trouble is never
+//! conflated with an adversarial verdict:
+//!
+//! - `0` — every input was read and judged **benign**;
+//! - `1` — at least one input was judged **adversarial**;
+//! - `2` — usage error, unreadable input, or unusable model directory
+//!   (no complete verdict was possible).
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use mvp_artifact::Persist;
 use mvp_asr::AsrProfile;
 use mvp_audio::wav::read_wav;
 use mvp_corpus::{CorpusBuilder, CorpusConfig};
-use mvp_ears::{DetectionSystem, ThresholdDetector};
+use mvp_ears::{DetectionSystem, ThresholdBank, ThresholdDetector};
+
+const AUXILIARIES: [AsrProfile; 3] = [AsrProfile::Ds1, AsrProfile::Gcs, AsrProfile::At];
+const THRESHOLD_FILE: &str = "thresholds.mvpa";
 
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    match run() {
+        Ok(true) => ExitCode::from(1),
+        Ok(false) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("detect_wav: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut model_dir: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--model-dir" => {
+                let dir = args.next().ok_or("--model-dir needs a directory argument")?;
+                model_dir = Some(PathBuf::from(dir));
+            }
+            _ => files.push(arg),
+        }
+    }
     if files.is_empty() {
-        eprintln!("usage: detect_wav <file.wav> [more.wav ...]");
-        return ExitCode::from(2);
+        return Err("usage: detect_wav [--model-dir <dir>] <file.wav> [more.wav ...]".into());
     }
 
-    eprintln!("training ASR profiles and fitting thresholds (one-time)...");
-    let system = DetectionSystem::builder(AsrProfile::Ds0)
-        .auxiliary(AsrProfile::Ds1)
-        .auxiliary(AsrProfile::Gcs)
-        .auxiliary(AsrProfile::At)
-        .build();
-    let benign =
-        CorpusBuilder::new(CorpusConfig { size: 40, seed: 42, ..CorpusConfig::default() }).build();
-    let benign_scores: Vec<Vec<f64>> =
-        benign.utterances().iter().map(|u| system.score_vector(&u.wave)).collect();
-    let detectors: Vec<ThresholdDetector> = (0..system.n_auxiliaries())
-        .map(|i| {
-            let col: Vec<f64> = benign_scores.iter().map(|v| v[i]).collect();
-            ThresholdDetector::fit_benign(&col, 0.05)
-        })
-        .collect();
+    let system = build_system(model_dir.as_deref())?;
+    let detectors = load_or_fit_thresholds(&system, model_dir.as_deref())?;
 
     let mut any_adversarial = false;
     for path in &files {
-        let wave = match std::fs::File::open(path)
-            .map_err(|e| e.to_string())
-            .and_then(|f| read_wav(std::io::BufReader::new(f)).map_err(|e| e.to_string()))
-        {
-            Ok(w) => w,
-            Err(e) => {
-                eprintln!("{path}: cannot read ({e})");
-                any_adversarial = true;
-                continue;
-            }
-        };
+        let wave = std::fs::File::open(path)
+            .map_err(|e| format!("{path}: cannot open ({e})"))
+            .and_then(|f| {
+                read_wav(std::io::BufReader::new(f))
+                    .map_err(|e| format!("{path}: cannot read ({e})"))
+            })?;
         let (target, aux) = system.transcripts(&wave);
         let scores = system.scores_from_transcripts(&target, &aux);
-        let flagged = scores.iter().zip(&detectors).any(|(&s, d)| d.is_adversarial(s));
+        let flagged = scores.iter().zip(detectors.detectors()).any(|(&s, d)| d.is_adversarial(s));
         any_adversarial |= flagged;
         println!("{path}: {}", if flagged { "ADVERSARIAL" } else { "benign" });
         println!(
@@ -66,15 +86,81 @@ fn main() -> ExitCode {
             AsrProfile::Ds0,
             target
         );
-        for ((name, text), (&s, d)) in
-            ["DS1", "GCS", "AT"].iter().zip(&aux).zip(scores.iter().zip(&detectors))
+        for ((profile, text), (&s, d)) in
+            AUXILIARIES.iter().zip(&aux).zip(scores.iter().zip(detectors.detectors()))
         {
-            println!("  {name}: {text:?} (similarity {s:.3}, threshold {:.3})", d.threshold());
+            println!("  {profile}: {text:?} (similarity {s:.3}, threshold {:.3})", d.threshold());
         }
     }
-    if any_adversarial {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    Ok(any_adversarial)
+}
+
+/// Builds DS0+{DS1, GCS, AT}, training in-process or loading/saving each
+/// model through the `--model-dir` disk tier.
+fn build_system(model_dir: Option<&Path>) -> Result<DetectionSystem, String> {
+    match model_dir {
+        None => {
+            eprintln!("training ASR profiles (one-time; use --model-dir to persist them)...");
+            Ok(DetectionSystem::builder(AsrProfile::Ds0)
+                .auxiliary(AsrProfile::Ds1)
+                .auxiliary(AsrProfile::Gcs)
+                .auxiliary(AsrProfile::At)
+                .build())
+        }
+        Some(dir) => {
+            let load = |p: AsrProfile| {
+                p.load_or_train(dir)
+                    .map(std::sync::Arc::new)
+                    .map_err(|e| format!("model dir {}: {p}: {e}", dir.display()))
+            };
+            let mut builder = DetectionSystem::builder_for(load(AsrProfile::Ds0)?);
+            for aux in AUXILIARIES {
+                builder = builder.auxiliary_asr(load(aux)?);
+            }
+            Ok(builder.build())
+        }
     }
+}
+
+/// Fits the per-auxiliary threshold bank on the built-in benign corpus,
+/// or round-trips it through `<model_dir>/thresholds.mvpa`.
+fn load_or_fit_thresholds(
+    system: &DetectionSystem,
+    model_dir: Option<&Path>,
+) -> Result<ThresholdBank, String> {
+    let path = model_dir.map(|d| d.join(THRESHOLD_FILE));
+    if let Some(path) = &path {
+        match ThresholdBank::load_file(path) {
+            Ok(bank) => {
+                if bank.detectors().len() != system.n_auxiliaries() {
+                    return Err(format!(
+                        "{}: bank has {} detectors for {} auxiliaries",
+                        path.display(),
+                        bank.detectors().len(),
+                        system.n_auxiliaries()
+                    ));
+                }
+                return Ok(bank);
+            }
+            Err(e) if e.is_not_found() => {}
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        }
+    }
+    eprintln!("fitting thresholds on the built-in benign corpus (5% FPR budget)...");
+    let benign =
+        CorpusBuilder::new(CorpusConfig { size: 40, seed: 42, ..CorpusConfig::default() }).build();
+    let benign_scores: Vec<Vec<f64>> =
+        benign.utterances().iter().map(|u| system.score_vector(&u.wave)).collect();
+    let bank = ThresholdBank(
+        (0..system.n_auxiliaries())
+            .map(|i| {
+                let col: Vec<f64> = benign_scores.iter().map(|v| v[i]).collect();
+                ThresholdDetector::fit_benign(&col, 0.05)
+            })
+            .collect(),
+    );
+    if let Some(path) = &path {
+        bank.save_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(bank)
 }

@@ -32,4 +32,5 @@ fn main() {
     experiments::ablation::min_run_ablation(&ctx);
     experiments::serve::run_serve_bench(&ctx);
     experiments::dataplane::run_dataplane_bench(&ctx);
+    experiments::artifact::run_artifact_bench(&ctx);
 }

@@ -45,6 +45,13 @@ fn data_dir(scale: &Scale) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("data").join(scale.name)
 }
 
+/// Where this scale's trained ASR artifacts live
+/// (`data/<scale>/models/`). The context routes every profile through
+/// this disk tier, so re-runs warm-start instead of retraining.
+pub fn models_dir(scale: &Scale) -> PathBuf {
+    data_dir(scale).join("models")
+}
+
 impl ExperimentContext {
     /// Loads the cached context for `scale`, generating (and caching) any
     /// missing pieces. The first call at a given scale pays for AE
@@ -69,6 +76,11 @@ impl ExperimentContext {
         let mut ctx = ExperimentContext { scale, benign, aes, transcripts: HashMap::new() };
         ctx.load_or_generate_transcripts(&dir);
         ctx
+    }
+
+    /// This scale's ASR model directory (`data/<scale>/models/`).
+    pub fn models_dir(&self) -> PathBuf {
+        models_dir(&self.scale)
     }
 
     fn load_or_generate_aes(scale: &Scale, dir: &Path) -> Vec<(String, GeneratedAe)> {
@@ -108,7 +120,7 @@ impl ExperimentContext {
              this is a one-time cost",
             scale.name, scale.whitebox, scale.blackbox
         );
-        let ds0 = AsrProfile::Ds0.trained();
+        let ds0 = AsrProfile::Ds0.trained_in(Some(&models_dir(scale)));
         let hosts = CorpusBuilder::new(CorpusConfig {
             size: scale.whitebox.clamp(12, 80),
             seed: 4242,
@@ -188,7 +200,7 @@ impl ExperimentContext {
             {
                 continue;
             }
-            let asr = profile.trained();
+            let asr = profile.trained_in(Some(&models_dir(&self.scale)));
             for (id, wave) in &ids {
                 let key = (id.clone(), profile.name());
                 if let std::collections::hash_map::Entry::Vacant(e) = self.transcripts.entry(key) {

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod adaptive;
+pub mod artifact;
 pub mod classifiers;
 pub mod data;
 pub mod dataplane;

@@ -18,6 +18,8 @@
 //! - [`system`] — the [`DetectionSystem`]: parallel multi-ASR execution,
 //!   score-vector extraction, classifier training and detection;
 //! - [`threshold`] — the benign-only threshold detector of §V-G;
+//! - [`snapshot`] — whole-system checkpointing through the artifact plane
+//!   ([`DetectionSystemSnapshot`]), for warm-starting serving processes;
 //! - [`mae`] — synthesis of hypothetical multiple-ASR-effective AEs and
 //!   the proactive training of §V-H;
 //! - [`eval`] — score-pool collection and experiment helpers.
@@ -46,6 +48,7 @@ pub mod baseline;
 pub mod eval;
 pub mod mae;
 pub mod similarity;
+pub mod snapshot;
 pub mod system;
 pub mod threshold;
 
@@ -53,5 +56,6 @@ pub use baseline::MajorityBaseline;
 pub use eval::ScorePools;
 pub use mae::{synthesize_mae, MaeType};
 pub use similarity::SimilarityMethod;
+pub use snapshot::DetectionSystemSnapshot;
 pub use system::{fit_classifier, Detection, DetectionSystem, DetectionSystemBuilder};
-pub use threshold::ThresholdDetector;
+pub use threshold::{ThresholdBank, ThresholdDetector};

@@ -12,7 +12,7 @@ use crossbeam::channel;
 
 use mvp_asr::{Asr, AsrProfile, TrainedAsr};
 use mvp_audio::Waveform;
-use mvp_ml::{Classifier, ClassifierKind, Dataset, Mat};
+use mvp_ml::{Classifier, ClassifierKind, Dataset, FittedClassifier, Mat};
 
 use crate::similarity::SimilarityMethod;
 
@@ -34,7 +34,7 @@ pub struct DetectionSystem {
     target: Arc<TrainedAsr>,
     auxiliaries: Vec<Arc<TrainedAsr>>,
     method: SimilarityMethod,
-    classifier: Option<Box<dyn Classifier + Send + Sync>>,
+    classifier: Option<FittedClassifier>,
 }
 
 impl std::fmt::Debug for DetectionSystem {
@@ -50,8 +50,15 @@ impl std::fmt::Debug for DetectionSystem {
 impl DetectionSystem {
     /// Starts a builder with `target` as the target ASR profile.
     pub fn builder(target: AsrProfile) -> DetectionSystemBuilder {
+        Self::builder_for(target.trained())
+    }
+
+    /// Starts a builder from an already-trained target ASR — the entry
+    /// point for warm starts, where the model came off disk rather than
+    /// from a profile's training recipe.
+    pub fn builder_for(target: Arc<TrainedAsr>) -> DetectionSystemBuilder {
         DetectionSystemBuilder {
-            target: target.trained(),
+            target,
             auxiliaries: Vec::new(),
             method: SimilarityMethod::default(),
         }
@@ -79,6 +86,24 @@ impl DetectionSystem {
     /// The target ASR.
     pub fn target(&self) -> &TrainedAsr {
         &self.target
+    }
+
+    /// The auxiliary ASRs, in score-vector order.
+    pub fn auxiliaries(&self) -> &[Arc<TrainedAsr>] {
+        &self.auxiliaries
+    }
+
+    /// The trained classifier, if [`train`](Self::train) has run.
+    pub fn classifier(&self) -> Option<&FittedClassifier> {
+        self.classifier.as_ref()
+    }
+
+    /// Installs an externally trained classifier (e.g. one restored from a
+    /// persisted snapshot). Callers must pair the classifier with the
+    /// auxiliary set it was trained for — feature dimension is checked at
+    /// prediction time, not here.
+    pub fn set_classifier(&mut self, classifier: FittedClassifier) {
+        self.classifier = Some(classifier);
     }
 
     /// Every recogniser in execution order: the target first, then the
@@ -198,7 +223,7 @@ impl DetectionSystem {
             Mat::from_rows(benign_scores.to_vec(), dim),
             Mat::from_rows(ae_scores.to_vec(), dim),
         );
-        self.classifier = Some(fit_classifier(kind, &data));
+        self.classifier = Some(FittedClassifier::fit(kind, &data));
     }
 
     /// Whether [`train`](Self::train) (or

@@ -5,6 +5,8 @@
 //! rate on *benign* scores stays under a budget (the paper uses 5 %), then
 //! flag anything scoring below it.
 
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
+
 /// A scalar-score threshold detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdDetector {
@@ -68,6 +70,63 @@ impl ThresholdDetector {
     }
 }
 
+impl Persist for ThresholdDetector {
+    const KIND: ArtifactKind = ArtifactKind::THRESHOLD_DETECTOR;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.threshold);
+        enc.put_f64(self.fpr);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let threshold = dec.f64()?;
+        let fpr = dec.f64()?;
+        if !(0.0..1.0).contains(&fpr) {
+            return Err(ArtifactError::SchemaMismatch(format!("training FPR {fpr}")));
+        }
+        Ok(ThresholdDetector { threshold, fpr })
+    }
+}
+
+/// A bank of per-auxiliary threshold detectors, persisted as one artifact
+/// (the `detect_wav` CLI stores one per auxiliary ASR).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ThresholdBank(pub Vec<ThresholdDetector>);
+
+impl ThresholdBank {
+    /// The detectors, in auxiliary order.
+    pub fn detectors(&self) -> &[ThresholdDetector] {
+        &self.0
+    }
+}
+
+impl From<Vec<ThresholdDetector>> for ThresholdBank {
+    fn from(detectors: Vec<ThresholdDetector>) -> ThresholdBank {
+        ThresholdBank(detectors)
+    }
+}
+
+impl Persist for ThresholdBank {
+    const KIND: ArtifactKind = ArtifactKind::THRESHOLD_BANK;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.0.len());
+        for det in &self.0 {
+            det.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let n = dec.usize()?;
+        (0..n)
+            .map(|_| ThresholdDetector::decode(dec))
+            .collect::<Result<Vec<_>, _>>()
+            .map(ThresholdBank)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +175,61 @@ mod tests {
     #[should_panic(expected = "no benign")]
     fn empty_scores_rejected() {
         ThresholdDetector::fit_benign(&[], 0.05);
+    }
+
+    #[test]
+    fn detector_round_trips_bit_exactly() {
+        let det = ThresholdDetector::fit_benign(&benign_scores(), 0.05);
+        let mut bytes = Vec::new();
+        det.write_to(&mut bytes).unwrap();
+        let loaded = ThresholdDetector::read_from(&bytes[..]).unwrap();
+        assert_eq!(loaded, det);
+        assert_eq!(loaded.threshold().to_bits(), det.threshold().to_bits());
+        assert_eq!(loaded.training_fpr().to_bits(), det.training_fpr().to_bits());
+    }
+
+    #[test]
+    fn bank_round_trips_and_rejects_corruption() {
+        let scores = benign_scores();
+        let bank = ThresholdBank(vec![
+            ThresholdDetector::fit_benign(&scores, 0.05),
+            ThresholdDetector::fit_benign(&scores, 0.01),
+            ThresholdDetector::fit_benign(&scores, 0.2),
+        ]);
+        let mut bytes = Vec::new();
+        bank.write_to(&mut bytes).unwrap();
+        assert_eq!(ThresholdBank::read_from(&bytes[..]).unwrap(), bank);
+        // Any single-byte corruption is refused.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(ThresholdBank::read_from(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn empty_bank_is_legal() {
+        let mut bytes = Vec::new();
+        ThresholdBank::default().write_to(&mut bytes).unwrap();
+        assert!(ThresholdBank::read_from(&bytes[..]).unwrap().detectors().is_empty());
+    }
+
+    #[test]
+    fn absurd_fpr_is_refused() {
+        // Hand-frame a payload with an out-of-range training FPR: the
+        // checksum is valid, so only the schema check can catch it.
+        let mut enc = mvp_artifact::Encoder::new();
+        enc.put_f64(0.5);
+        enc.put_f64(1.5);
+        let mut bytes = Vec::new();
+        mvp_artifact::write_artifact(
+            &mut bytes,
+            ThresholdDetector::KIND,
+            ThresholdDetector::SCHEMA,
+            enc.as_bytes(),
+        )
+        .unwrap();
+        assert!(matches!(
+            ThresholdDetector::read_from(&bytes[..]),
+            Err(ArtifactError::SchemaMismatch(_))
+        ));
     }
 }

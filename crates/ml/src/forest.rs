@@ -1,5 +1,6 @@
 //! Random forest: bagged CART trees with feature subsampling.
 
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,6 +36,37 @@ impl RandomForest {
     /// Whether the forest is untrained.
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()
+    }
+}
+
+impl Persist for RandomForest {
+    const KIND: ArtifactKind = ArtifactKind::RANDOM_FOREST;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_trees);
+        enc.put_u64(self.seed);
+        enc.put_usize(self.tree_cfg.max_depth);
+        enc.put_usize(self.tree_cfg.min_samples_split);
+        enc.put_usize(self.trees.len());
+        for tree in &self.trees {
+            tree.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let n_trees = dec.usize()?;
+        let seed = dec.u64()?;
+        let tree_cfg = TreeConfig { max_depth: dec.usize()?, min_samples_split: dec.usize()? };
+        let stored = dec.usize()?;
+        if n_trees == 0 || (stored != 0 && stored != n_trees) {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "forest of {n_trees} trees with {stored} stored"
+            )));
+        }
+        let trees =
+            (0..stored).map(|_| DecisionTree::decode(dec)).collect::<Result<Vec<_>, _>>()?;
+        Ok(RandomForest { n_trees, seed, tree_cfg, trees })
     }
 }
 

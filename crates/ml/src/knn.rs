@@ -1,5 +1,6 @@
 //! K-nearest-neighbours classifier (Euclidean distance, majority vote).
 
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
 use mvp_dsp::Mat;
 
 use crate::dataset::Dataset;
@@ -22,6 +23,31 @@ impl Knn {
     pub fn new(k: usize) -> Knn {
         assert!(k > 0, "k must be positive");
         Knn { k, x: Mat::default(), y: Vec::new() }
+    }
+}
+
+impl Persist for Knn {
+    const KIND: ArtifactKind = ArtifactKind::KNN;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.k);
+        enc.put_mat(&self.x);
+        enc.put_usizes(&self.y);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let k = dec.usize()?;
+        let x = dec.mat()?;
+        let y = dec.usizes()?;
+        if k == 0 || y.len() != x.n_rows() || y.iter().any(|&l| l > 1) {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "KNN with k {k}, {} rows, {} labels",
+                x.n_rows(),
+                y.len()
+            )));
+        }
+        Ok(Knn { k, x, y })
     }
 }
 

@@ -117,6 +117,104 @@ impl std::fmt::Display for ClassifierKind {
     }
 }
 
+/// A trained classifier of a known paper family.
+///
+/// Unlike `Box<dyn Classifier>`, the fitted state is a concrete,
+/// introspectable value — which is what lets a whole detection system
+/// persist through the artifact plane and warm-start without retraining.
+#[derive(Debug, Clone)]
+pub enum FittedClassifier {
+    /// A fitted SVM.
+    Svm(Svm),
+    /// A fitted KNN reference set.
+    Knn(Knn),
+    /// A fitted random forest.
+    RandomForest(RandomForest),
+}
+
+impl FittedClassifier {
+    /// Fits `kind` (with the paper's hyper-parameters) on `data`.
+    pub fn fit(kind: ClassifierKind, data: &Dataset) -> FittedClassifier {
+        match kind {
+            ClassifierKind::Svm => {
+                let mut svm = Svm::new(Kernel::Polynomial { degree: 3, coef0: 1.0 }, 1.0);
+                svm.fit(data);
+                FittedClassifier::Svm(svm)
+            }
+            ClassifierKind::Knn => {
+                let mut knn = Knn::new(10);
+                knn.fit(data);
+                FittedClassifier::Knn(knn)
+            }
+            ClassifierKind::RandomForest => {
+                let mut forest = RandomForest::new(40, 200);
+                forest.fit(data);
+                FittedClassifier::RandomForest(forest)
+            }
+        }
+    }
+
+    /// The family this classifier belongs to.
+    pub fn kind(&self) -> ClassifierKind {
+        match self {
+            FittedClassifier::Svm(_) => ClassifierKind::Svm,
+            FittedClassifier::Knn(_) => ClassifierKind::Knn,
+            FittedClassifier::RandomForest(_) => ClassifierKind::RandomForest,
+        }
+    }
+}
+
+impl Classifier for FittedClassifier {
+    fn fit(&mut self, data: &Dataset) {
+        match self {
+            FittedClassifier::Svm(c) => c.fit(data),
+            FittedClassifier::Knn(c) => c.fit(data),
+            FittedClassifier::RandomForest(c) => c.fit(data),
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        match self {
+            FittedClassifier::Svm(c) => c.predict(x),
+            FittedClassifier::Knn(c) => c.predict(x),
+            FittedClassifier::RandomForest(c) => c.predict(x),
+        }
+    }
+}
+
+impl mvp_artifact::Persist for FittedClassifier {
+    const KIND: mvp_artifact::ArtifactKind = mvp_artifact::ArtifactKind::FITTED_CLASSIFIER;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut mvp_artifact::Encoder) {
+        match self {
+            FittedClassifier::Svm(c) => {
+                enc.put_u8(0);
+                c.encode(enc);
+            }
+            FittedClassifier::Knn(c) => {
+                enc.put_u8(1);
+                c.encode(enc);
+            }
+            FittedClassifier::RandomForest(c) => {
+                enc.put_u8(2);
+                c.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut mvp_artifact::Decoder<'_>) -> Result<Self, mvp_artifact::ArtifactError> {
+        match dec.u8()? {
+            0 => Ok(FittedClassifier::Svm(Svm::decode(dec)?)),
+            1 => Ok(FittedClassifier::Knn(Knn::decode(dec)?)),
+            2 => Ok(FittedClassifier::RandomForest(RandomForest::decode(dec)?)),
+            other => Err(mvp_artifact::ArtifactError::SchemaMismatch(format!(
+                "classifier family tag {other}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

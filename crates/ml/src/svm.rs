@@ -1,5 +1,6 @@
 //! Soft-margin SVM trained with simplified SMO (Platt, 1998).
 
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
 use mvp_dsp::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,6 +92,63 @@ impl Svm {
             .map(|((sx, &sy), &a)| a * sy * self.kernel.eval(sx, x))
             .sum::<f64>()
             + self.b
+    }
+}
+
+impl Persist for Svm {
+    const KIND: ArtifactKind = ArtifactKind::SVM;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        match self.kernel {
+            Kernel::Linear => enc.put_u8(0),
+            Kernel::Polynomial { degree, coef0 } => {
+                enc.put_u8(1);
+                enc.put_u32(degree);
+                enc.put_f64(coef0);
+            }
+            Kernel::Rbf { gamma } => {
+                enc.put_u8(2);
+                enc.put_f64(gamma);
+            }
+        }
+        enc.put_f64(self.c);
+        enc.put_f64(self.tol);
+        enc.put_usize(self.max_passes);
+        enc.put_bool(self.trained);
+        enc.put_mat(&self.support_x);
+        enc.put_f64s(&self.support_y);
+        enc.put_f64s(&self.alpha);
+        enc.put_f64(self.b);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let kernel = match dec.u8()? {
+            0 => Kernel::Linear,
+            1 => Kernel::Polynomial { degree: dec.u32()?, coef0: dec.f64()? },
+            2 => Kernel::Rbf { gamma: dec.f64()? },
+            other => return Err(ArtifactError::SchemaMismatch(format!("kernel tag {other}"))),
+        };
+        let c = dec.f64()?;
+        if !(c > 0.0) {
+            return Err(ArtifactError::SchemaMismatch(format!("SVM C = {c}")));
+        }
+        let tol = dec.f64()?;
+        let max_passes = dec.usize()?;
+        let trained = dec.bool()?;
+        let support_x = dec.mat()?;
+        let support_y = dec.f64s()?;
+        let alpha = dec.f64s()?;
+        let b = dec.f64()?;
+        if support_y.len() != support_x.n_rows() || alpha.len() != support_x.n_rows() {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "{} support vectors with {} labels and {} multipliers",
+                support_x.n_rows(),
+                support_y.len(),
+                alpha.len()
+            )));
+        }
+        Ok(Svm { kernel, c, tol, max_passes, support_x, support_y, alpha, b, trained })
     }
 }
 

@@ -1,5 +1,6 @@
 //! CART decision tree (gini impurity) — the unit the random forest bags.
 
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
 use mvp_dsp::Mat;
 
 use crate::dataset::Dataset;
@@ -167,6 +168,74 @@ impl DecisionTree {
             }
         }
         d(&self.root)
+    }
+}
+
+/// Deepest tree a persisted artifact may encode — far above anything
+/// [`TreeConfig`] grows, low enough that a malformed artifact cannot
+/// recurse the decoder off the stack.
+const MAX_PERSISTED_DEPTH: usize = 512;
+
+fn encode_node(node: &Node, enc: &mut Encoder) {
+    match node {
+        Node::Leaf { class } => {
+            enc.put_u8(0);
+            enc.put_usize(*class);
+        }
+        Node::Split { feature, threshold, left, right } => {
+            enc.put_u8(1);
+            enc.put_usize(*feature);
+            enc.put_f64(*threshold);
+            encode_node(left, enc);
+            encode_node(right, enc);
+        }
+    }
+}
+
+fn decode_node(dec: &mut Decoder<'_>, dim: usize, depth: usize) -> Result<Node, ArtifactError> {
+    if depth > MAX_PERSISTED_DEPTH {
+        return Err(ArtifactError::SchemaMismatch("tree deeper than the persisted limit".into()));
+    }
+    match dec.u8()? {
+        0 => {
+            let class = dec.usize()?;
+            if class > 1 {
+                return Err(ArtifactError::SchemaMismatch(format!("leaf class {class}")));
+            }
+            Ok(Node::Leaf { class })
+        }
+        1 => {
+            let feature = dec.usize()?;
+            if feature >= dim {
+                return Err(ArtifactError::SchemaMismatch(format!(
+                    "split on feature {feature} of a {dim}-dim tree"
+                )));
+            }
+            let threshold = dec.f64()?;
+            let left = Box::new(decode_node(dec, dim, depth + 1)?);
+            let right = Box::new(decode_node(dec, dim, depth + 1)?);
+            Ok(Node::Split { feature, threshold, left, right })
+        }
+        other => Err(ArtifactError::SchemaMismatch(format!("tree node tag {other}"))),
+    }
+}
+
+impl Persist for DecisionTree {
+    const KIND: ArtifactKind = ArtifactKind::DECISION_TREE;
+    const SCHEMA: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.dim);
+        encode_node(&self.root, enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let dim = dec.usize()?;
+        if dim == 0 {
+            return Err(ArtifactError::SchemaMismatch("zero-dimensional tree".into()));
+        }
+        let root = decode_node(dec, dim, 0)?;
+        Ok(DecisionTree { root, dim })
     }
 }
 

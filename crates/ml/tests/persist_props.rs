@@ -1,0 +1,101 @@
+//! Property tests for classifier persistence: a round-tripped classifier
+//! must agree with the original on every probe point, for every family and
+//! across randomly generated training sets.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mvp_artifact::{ArtifactError, Persist};
+use mvp_ml::{Classifier, ClassifierKind, Dataset, FittedClassifier};
+
+/// Two noisy 2-d clusters around (0,0) and (sep,sep).
+fn cluster_data(n_per_class: usize, sep: f64, jitter: &[f64]) -> Dataset {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..n_per_class {
+        let jx = jitter[i % jitter.len()];
+        let jy = jitter[(i * 7 + 3) % jitter.len()];
+        x.push(vec![jx, jy]);
+        y.push(0);
+        x.push(vec![sep + jy, sep + jx]);
+        y.push(1);
+    }
+    Dataset::from_rows(x, y)
+}
+
+fn probe_grid() -> Vec<Vec<f64>> {
+    let mut probes = Vec::new();
+    for i in 0..7 {
+        for j in 0..7 {
+            probes.push(vec![i as f64 - 1.0, j as f64 - 1.0]);
+        }
+    }
+    probes
+}
+
+proptest! {
+    #[test]
+    fn every_family_round_trips_with_identical_predictions(
+        n in 8usize..24,
+        sep in 2.0f64..5.0,
+        jitter in vec(-0.6f64..0.6, 8..16),
+    ) {
+        let data = cluster_data(n, sep, &jitter);
+        for kind in ClassifierKind::ALL {
+            let fitted = FittedClassifier::fit(kind, &data);
+            let mut bytes = Vec::new();
+            fitted.write_to(&mut bytes).unwrap();
+            let loaded = FittedClassifier::read_from(&bytes[..]).unwrap();
+            prop_assert_eq!(loaded.kind(), kind);
+            for probe in probe_grid() {
+                prop_assert_eq!(
+                    loaded.predict(&probe),
+                    fitted.predict(&probe),
+                    "{kind} disagrees at {probe:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_classifier_artifacts_are_refused(
+        jitter in vec(-0.5f64..0.5, 8..12),
+        byte_pick in 0usize..100_000,
+    ) {
+        let data = cluster_data(10, 3.0, &jitter);
+        for kind in ClassifierKind::ALL {
+            let fitted = FittedClassifier::fit(kind, &data);
+            let mut bytes = Vec::new();
+            fitted.write_to(&mut bytes).unwrap();
+            let pos = byte_pick % bytes.len();
+            bytes[pos] ^= 0x20;
+            match FittedClassifier::read_from(&bytes[..]) {
+                Err(_) => {}
+                Ok(_) => prop_assert!(false, "{kind}: flip at {pos} accepted"),
+            }
+        }
+    }
+}
+
+#[test]
+fn family_tag_is_validated() {
+    let jitter = [0.1, -0.2, 0.3];
+    let data = cluster_data(8, 3.0, &jitter);
+    let fitted = FittedClassifier::fit(ClassifierKind::Knn, &data);
+    let mut enc = mvp_artifact::Encoder::new();
+    fitted.encode(&mut enc);
+    let mut payload = enc.as_bytes().to_vec();
+    payload[0] = 9; // unknown family
+    let mut bytes = Vec::new();
+    mvp_artifact::write_artifact(
+        &mut bytes,
+        FittedClassifier::KIND,
+        FittedClassifier::SCHEMA,
+        &payload,
+    )
+    .unwrap();
+    assert!(matches!(
+        FittedClassifier::read_from(&bytes[..]),
+        Err(ArtifactError::SchemaMismatch(_))
+    ));
+}

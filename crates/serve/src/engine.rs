@@ -28,6 +28,7 @@
 //! across requests.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -35,9 +36,10 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 
+use mvp_artifact::{ArtifactError, Persist};
 use mvp_asr::{AsrScratch, TrainedAsr};
 use mvp_audio::Waveform;
-use mvp_ears::DetectionSystem;
+use mvp_ears::{DetectionSystem, DetectionSystemSnapshot};
 
 use crate::cache::{waveform_key, LruCache, TranscriptVec};
 use crate::degrade::{DegradePolicy, FallbackTier};
@@ -64,6 +66,11 @@ pub struct EngineConfig {
     pub aux_deadline_ms: Vec<Option<u64>>,
     /// Transcription-cache capacity in waveforms; `0` disables caching.
     pub cache_cap: usize,
+    /// Model directory for [`DetectionEngine::start_or_warm`]: when set,
+    /// the engine loads its detection system from
+    /// `<model_dir>/detector.mvpa` instead of training, and persists the
+    /// system there after a cold start. `None` disables the disk tier.
+    pub model_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +82,7 @@ impl Default for EngineConfig {
             deadline_ms: 1_000,
             aux_deadline_ms: Vec::new(),
             cache_cap: 256,
+            model_dir: None,
         }
     }
 }
@@ -318,6 +326,49 @@ impl DetectionEngine {
         DetectionEngine { ingress: Some(ingress_tx), threads, stats }
     }
 
+    /// File name of the persisted detection system inside
+    /// [`EngineConfig::model_dir`].
+    pub const SNAPSHOT_FILE: &'static str = "detector.mvpa";
+
+    /// Starts the engine, warm-starting from `config.model_dir` when a
+    /// persisted detection system exists there.
+    ///
+    /// - snapshot present and valid → restore it (no training) and start;
+    ///   returns `warm = true`;
+    /// - snapshot absent (or no `model_dir`) → call `cold` to build the
+    ///   system, persist it for the next process, and start; returns
+    ///   `warm = false`;
+    /// - snapshot present but unreadable (corrupt, version skew) → return
+    ///   the error rather than silently retraining; the caller decides
+    ///   whether to delete the artifact or run cold.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`start`](Self::start) does on invalid configs or an
+    /// untrained cold system.
+    pub fn start_or_warm(
+        policy: DegradePolicy,
+        config: EngineConfig,
+        cold: impl FnOnce() -> DetectionSystem,
+    ) -> Result<(DetectionEngine, bool), ArtifactError> {
+        let path = config.model_dir.as_ref().map(|dir| dir.join(Self::SNAPSHOT_FILE));
+        if let Some(path) = &path {
+            match DetectionSystemSnapshot::load_file(path) {
+                Ok(snapshot) => {
+                    let system = Arc::new(snapshot.restore());
+                    return Ok((Self::start(system, policy, config), true));
+                }
+                Err(err) if err.is_not_found() => {}
+                Err(err) => return Err(err),
+            }
+        }
+        let system = Arc::new(cold());
+        if let Some(path) = &path {
+            DetectionSystemSnapshot::capture(&system).save_file(path)?;
+        }
+        Ok((Self::start(system, policy, config), false))
+    }
+
     /// Submits a waveform for detection. Non-blocking: a full ingress
     /// queue sheds the request with [`SubmitError::Overloaded`].
     pub fn submit(&self, wave: impl Into<Arc<Waveform>>) -> Result<PendingVerdict, SubmitError> {
@@ -501,7 +552,7 @@ fn batcher_loop(
 fn lookup(cache: &Option<SharedCache>, key: &u64, stats: &ServeStats) -> Option<TranscriptVec> {
     let cache = cache.as_ref()?;
     stats.cache_lookups.fetch_add(1, Ordering::Relaxed);
-    let hit = cache.lock().expect("cache poisoned").get(key).cloned();
+    let hit = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(key).cloned();
     if hit.is_some() {
         stats.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
@@ -616,7 +667,10 @@ fn finalize(
                         let mut vector = Vec::with_capacity(n_rec);
                         vector.push(detection.target_transcription.clone());
                         vector.extend(detection.auxiliary_transcriptions.iter().cloned());
-                        cache.lock().expect("cache poisoned").insert(item.key, Arc::new(vector));
+                        cache
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .insert(item.key, Arc::new(vector));
                     }
                     Verdict {
                         is_adversarial: Some(detection.is_adversarial),

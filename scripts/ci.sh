@@ -7,3 +7,8 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo build --release
 cargo test -q
+
+# Artifact-plane smoke: train the cheapest profile, persist it, and prove
+# a clean load succeeds while a corrupted artifact fails with a typed
+# error (exit status is the gate).
+cargo run --release -q -p mvp-bench --bin artifact_smoke

@@ -6,6 +6,7 @@
 //! exists so that the repository-level `examples/` and `tests/` can exercise
 //! every crate through one import.
 
+pub use mvp_artifact as artifact;
 pub use mvp_asr as asr;
 pub use mvp_attack as attack;
 pub use mvp_audio as audio;

@@ -1,6 +1,7 @@
 //! End-to-end tests for the serving engine: verdict parity with the
 //! one-shot detection API under concurrent load, cache-hit behaviour,
-//! and graceful degradation when an auxiliary is deadline-disabled.
+//! graceful degradation when an auxiliary is deadline-disabled, and
+//! warm starts from a persisted detection-system snapshot.
 
 use std::sync::Arc;
 
@@ -136,6 +137,72 @@ fn degraded_mode_still_answers_every_request() {
     // Partial transcription vectors are never cached.
     assert_eq!(stats.cache_hits, 0);
     engine.shutdown();
+}
+
+#[test]
+fn warm_start_round_trips_through_the_model_dir() {
+    let dir = std::env::temp_dir().join(format!("mvp-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let waves = test_waves(2);
+    let config = EngineConfig {
+        deadline_ms: 60_000,
+        model_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    };
+
+    // Cold start: no snapshot on disk yet, so the closure trains and the
+    // engine persists the system.
+    let n_aux = {
+        let system = trained_system();
+        let n_aux = system.n_auxiliaries();
+        let policy = DegradePolicy::untrained(n_aux);
+        let (engine, warm) = DetectionEngine::start_or_warm(policy, config.clone(), || {
+            Arc::try_unwrap(trained_system()).expect("sole owner")
+        })
+        .expect("cold start");
+        assert!(!warm, "first start must be cold");
+        let verdict = engine.detect_blocking(Arc::clone(&waves[0])).expect("accepted");
+        assert_eq!(verdict.kind, VerdictKind::Full);
+        engine.shutdown();
+        n_aux
+    };
+    assert!(dir.join(DetectionEngine::SNAPSHOT_FILE).is_file(), "snapshot persisted");
+
+    // Warm start: the snapshot is loaded, the cold closure must not run,
+    // and verdicts match the one-shot API on the restored system.
+    let expected: Vec<_> = {
+        let system = trained_system();
+        waves.iter().map(|w| system.detect(w)).collect()
+    };
+    let policy = DegradePolicy::untrained(n_aux);
+    let (engine, warm) = DetectionEngine::start_or_warm(policy, config.clone(), || {
+        panic!("warm start must not train")
+    })
+    .expect("warm start");
+    assert!(warm, "second start must be warm");
+    for (wave, expected) in waves.iter().zip(&expected) {
+        let verdict = engine.detect_blocking(Arc::clone(wave)).expect("accepted");
+        assert_eq!(verdict.kind, VerdictKind::Full);
+        assert_eq!(verdict.is_adversarial, Some(expected.is_adversarial));
+        let scores: Vec<f64> = verdict.scores.iter().map(|s| s.expect("full vector")).collect();
+        assert_eq!(scores, expected.scores, "warm verdicts must be bit-identical");
+    }
+    engine.shutdown();
+
+    // A corrupted snapshot is refused with a typed error, not retrained.
+    let path = dir.join(DetectionEngine::SNAPSHOT_FILE);
+    let mut bytes = std::fs::read(&path).expect("snapshot readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("snapshot writable");
+    let policy = DegradePolicy::untrained(n_aux);
+    let err = DetectionEngine::start_or_warm(policy, config, || {
+        panic!("corrupt snapshot must not fall back to training")
+    })
+    .expect_err("corrupt snapshot must be refused");
+    assert!(!err.is_not_found(), "corruption is not a cache miss: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
