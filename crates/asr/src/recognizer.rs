@@ -86,13 +86,17 @@ impl TrainedAsr {
                 if wave.is_empty() {
                     return String::new();
                 }
-                wave.copy_to_f64(&mut scratch.samples);
-                self.frontend.features_into(
-                    &scratch.samples,
-                    &mut scratch.frontend,
-                    &mut scratch.feats,
-                );
-                self.am.logit_matrix_into(&scratch.feats, &mut scratch.am, &mut scratch.logits);
+                {
+                    let _span = mvp_obs::span!("asr.features");
+                    wave.copy_to_f64(&mut scratch.samples);
+                    self.frontend.features_into(
+                        &scratch.samples,
+                        &mut scratch.frontend,
+                        &mut scratch.feats,
+                    );
+                    self.am.logit_matrix_into(&scratch.feats, &mut scratch.am, &mut scratch.logits);
+                }
+                let _span = mvp_obs::span!("asr.decode");
                 self.decoder.decode(&scratch.logits)
             })
             .collect()
@@ -212,7 +216,12 @@ impl Asr for TrainedAsr {
         if wave.is_empty() {
             return String::new();
         }
-        self.decoder.decode(&self.logits(wave))
+        let logits = {
+            let _span = mvp_obs::span!("asr.features");
+            self.logits(wave)
+        };
+        let _span = mvp_obs::span!("asr.decode");
+        self.decoder.decode(&logits)
     }
 }
 

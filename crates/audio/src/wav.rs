@@ -92,14 +92,40 @@ fn read_u16<R: Read>(reader: &mut R) -> Result<u16, ReadWavError> {
     Ok(u16::from_le_bytes(b))
 }
 
+/// Default cap on decoded samples for [`read_wav`]: 2²⁴ samples is about
+/// 17 minutes of 16 kHz audio (32 MiB of PCM), far beyond any utterance
+/// this workspace processes.
+pub const DEFAULT_MAX_SAMPLES: usize = 1 << 24;
+
 /// Reads a 16-bit PCM mono WAV stream. A `&mut` reference can be passed for
 /// `reader`.
+///
+/// Decoding is capped at [`DEFAULT_MAX_SAMPLES`] samples; use
+/// [`read_wav_with_limit`] to choose a different bound.
 ///
 /// # Errors
 ///
 /// Returns [`ReadWavError::Format`] for non-PCM, non-mono or structurally
 /// invalid input and [`ReadWavError::Io`] for underlying read failures.
-pub fn read_wav<R: Read>(mut reader: R) -> Result<Waveform, ReadWavError> {
+pub fn read_wav<R: Read>(reader: R) -> Result<Waveform, ReadWavError> {
+    read_wav_with_limit(reader, DEFAULT_MAX_SAMPLES)
+}
+
+/// [`read_wav`] with an explicit cap on the number of decoded samples.
+///
+/// The declared `data` chunk length is untrusted input: it is checked
+/// against `max_samples` *before* any allocation, and the chunk is
+/// consumed through a fixed-size buffer, so a hostile header cannot make
+/// the reader allocate gigabytes up front.
+///
+/// # Errors
+///
+/// Returns [`ReadWavError::Format`] when the data chunk declares more
+/// than `max_samples` samples, plus everything [`read_wav`] returns.
+pub fn read_wav_with_limit<R: Read>(
+    mut reader: R,
+    max_samples: usize,
+) -> Result<Waveform, ReadWavError> {
     let mut tag = [0u8; 4];
     read_exact(&mut reader, &mut tag)?;
     if &tag != b"RIFF" {
@@ -127,11 +153,14 @@ pub fn read_wav<R: Read>(mut reader: R) -> Result<Waveform, ReadWavError> {
                 let _byte_rate = read_u32(&mut reader)?;
                 let _align = read_u16(&mut reader)?;
                 bits = read_u16(&mut reader)?;
-                // Skip any fmt extension bytes.
+                // Skip any fmt extension bytes, plus the alignment pad:
+                // RIFF chunks are word-aligned, so an odd chunk_len is
+                // followed by a pad byte not counted in the length.
                 let consumed = 16;
                 if chunk_len > consumed {
                     skip(&mut reader, (chunk_len - consumed) as usize)?;
                 }
+                skip(&mut reader, (chunk_len % 2) as usize)?;
             }
             b"data" => {
                 if channels != 1 {
@@ -143,15 +172,30 @@ pub fn read_wav<R: Read>(mut reader: R) -> Result<Waveform, ReadWavError> {
                 if sample_rate == 0 {
                     return Err(ReadWavError::Format("data chunk before fmt".into()));
                 }
-                let mut raw = vec![0u8; chunk_len as usize];
-                read_exact(&mut reader, &mut raw)?;
-                let samples: Vec<f32> = raw
-                    .chunks_exact(2)
-                    .map(|b| i16::from_le_bytes([b[0], b[1]]) as f32 / i16::MAX as f32)
-                    .collect();
+                let declared = (chunk_len / 2) as usize;
+                if declared > max_samples {
+                    return Err(ReadWavError::Format(format!(
+                        "data chunk declares {declared} samples, limit is {max_samples}"
+                    )));
+                }
+                // Stream through a fixed buffer: the declared length is
+                // attacker-controlled and must not size an allocation.
+                let mut samples = Vec::with_capacity(declared);
+                let mut remaining = chunk_len as usize;
+                let mut buf = [0u8; 4096];
+                while remaining > 1 {
+                    let take = remaining.min(buf.len()) & !1;
+                    read_exact(&mut reader, &mut buf[..take])?;
+                    samples.extend(
+                        buf[..take]
+                            .chunks_exact(2)
+                            .map(|b| i16::from_le_bytes([b[0], b[1]]) as f32 / i16::MAX as f32),
+                    );
+                    remaining -= take;
+                }
                 return Ok(Waveform::from_samples(samples, sample_rate));
             }
-            _ => skip(&mut reader, chunk_len as usize)?,
+            _ => skip(&mut reader, chunk_len as usize + (chunk_len % 2) as usize)?,
         }
     }
 }
@@ -233,6 +277,69 @@ mod tests {
         patched[4..8].copy_from_slice(&riff_len.to_le_bytes());
         let back = read_wav(patched.as_slice()).unwrap();
         assert_eq!(back.len(), 8);
+    }
+
+    #[test]
+    fn skips_odd_length_chunks_with_pad() {
+        // An odd-length chunk is followed by a pad byte not counted in
+        // chunk_len; a reader that forgets it desynchronises and reads
+        // the pad as the first byte of the next chunk tag.
+        let wave = Waveform::from_samples(vec![0.25; 8], 8_000);
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        let mut patched = buf[..36].to_vec();
+        patched.extend_from_slice(b"LIST");
+        patched.extend_from_slice(&5u32.to_le_bytes());
+        patched.extend_from_slice(b"junk.");
+        patched.push(0); // alignment pad
+        patched.extend_from_slice(&buf[36..]);
+        let riff_len = (patched.len() - 8) as u32;
+        patched[4..8].copy_from_slice(&riff_len.to_le_bytes());
+        let back = read_wav(patched.as_slice()).unwrap();
+        assert_eq!(back.len(), 8);
+    }
+
+    #[test]
+    fn skips_odd_fmt_extension_with_pad() {
+        // fmt chunk of length 17: the 16 standard bytes plus one
+        // extension byte, then an alignment pad before the data chunk.
+        let wave = Waveform::from_samples(vec![-0.5; 4], 16_000);
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        let mut patched = buf[..16].to_vec();
+        patched.extend_from_slice(&17u32.to_le_bytes()); // fmt length
+        patched.extend_from_slice(&buf[20..36]); // standard fmt body
+        patched.push(0xAB); // extension byte
+        patched.push(0); // alignment pad
+        patched.extend_from_slice(&buf[36..]);
+        let riff_len = (patched.len() - 8) as u32;
+        patched[4..8].copy_from_slice(&riff_len.to_le_bytes());
+        let back = read_wav(patched.as_slice()).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.sample_rate(), 16_000);
+    }
+
+    #[test]
+    fn rejects_oversized_data_declaration() {
+        // A hostile header declaring a 4 GiB data chunk must be rejected
+        // up front, not answered with a 4 GiB allocation.
+        let wave = Waveform::from_samples(vec![0.0; 2], 8_000);
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        buf[40..44].copy_from_slice(&u32::MAX.to_le_bytes()); // data length
+        match read_wav(buf.as_slice()) {
+            Err(ReadWavError::Format(m)) => assert!(m.contains("limit"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sample_limit_is_exact() {
+        let wave = Waveform::from_samples(vec![0.1; 8], 8_000);
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &wave).unwrap();
+        assert_eq!(read_wav_with_limit(buf.as_slice(), 8).unwrap().len(), 8);
+        assert!(matches!(read_wav_with_limit(buf.as_slice(), 7), Err(ReadWavError::Format(_))));
     }
 
     proptest::proptest! {

@@ -2,7 +2,7 @@
 //! MVP-EARS system and print the verdict.
 //!
 //! ```text
-//! detect_wav [--model-dir <dir>] <file.wav> [more.wav ...]
+//! detect_wav [--model-dir <dir>] [--trace] <file.wav> [more.wav ...]
 //! ```
 //!
 //! The threshold detectors are fitted on a built-in benign corpus at a 5 %
@@ -14,6 +14,10 @@
 //! are loaded from (and on first run saved to) versioned artifacts in
 //! `<dir>`, so later invocations skip training entirely. A corrupt or
 //! incompatible artifact is an error, never a silent retrain.
+//!
+//! With `--trace`, the observability plane's span tracing is enabled and
+//! an indented span tree — per-stage micro-timings of the whole pipeline —
+//! is printed after each file's verdict.
 //!
 //! Exit codes — the verdict is the exit status, and I/O trouble is never
 //! conflated with an adversarial verdict:
@@ -48,6 +52,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<bool, String> {
     let mut model_dir: Option<PathBuf> = None;
+    let mut trace = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,11 +61,14 @@ fn run() -> Result<bool, String> {
                 let dir = args.next().ok_or("--model-dir needs a directory argument")?;
                 model_dir = Some(PathBuf::from(dir));
             }
+            "--trace" => trace = true,
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        return Err("usage: detect_wav [--model-dir <dir>] <file.wav> [more.wav ...]".into());
+        return Err(
+            "usage: detect_wav [--model-dir <dir>] [--trace] <file.wav> [more.wav ...]".into()
+        );
     }
 
     let system = build_system(model_dir.as_deref())?;
@@ -74,6 +82,9 @@ fn run() -> Result<bool, String> {
                 read_wav(std::io::BufReader::new(f))
                     .map_err(|e| format!("{path}: cannot read ({e})"))
             })?;
+        if trace {
+            mvp_obs::trace::enable(8192);
+        }
         let (target, aux) = system.transcripts(&wave);
         let scores = system.scores_from_transcripts(&target, &aux);
         let flagged = scores.iter().zip(detectors.detectors()).any(|(&s, d)| d.is_adversarial(s));
@@ -90,6 +101,11 @@ fn run() -> Result<bool, String> {
             AUXILIARIES.iter().zip(&aux).zip(scores.iter().zip(detectors.detectors()))
         {
             println!("  {profile}: {text:?} (similarity {s:.3}, threshold {:.3})", d.threshold());
+        }
+        if trace {
+            let events = mvp_obs::trace::drain();
+            mvp_obs::trace::disable();
+            print!("{}", mvp_obs::trace::render_tree(&events));
         }
     }
     Ok(any_adversarial)

@@ -1,0 +1,13 @@
+//! Regenerates `BENCH_obs.json`: the observability-plane overhead
+//! benchmark (obs off vs span tracing vs verdict audit log).
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{experiments, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("observability benchmark at scale {:?}\n", scale.name);
+    let ctx = ExperimentContext::load_or_generate(scale);
+    experiments::obs::run_obs_bench(&ctx);
+}

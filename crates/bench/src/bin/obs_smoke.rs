@@ -1,0 +1,218 @@
+//! CI smoke test for the observability plane. Four gates, all in-process
+//! so no cross-run hardware noise can flake the build:
+//!
+//! 1. **Zero-cost-when-off**: the measured cost of a disabled span site,
+//!    multiplied by a generous per-request site count, must stay under 2 %
+//!    of one measured detection; the instrumentation may not tax the
+//!    serving path when tracing is off.
+//! 2. **Tracing**: a traced detection must emit a well-formed span forest
+//!    (unique ids, children nested inside parents) covering every pipeline
+//!    stage, and the forest must render.
+//! 3. **Audit**: every serve-path verdict — full, cache hit — must append
+//!    one JSONL record that parses with the obs JSON parser and carries
+//!    the fields needed to reconstruct the decision.
+//! 4. **Metrics**: the Prometheus exposition must agree with the stats
+//!    snapshot (single storage, no dual bookkeeping).
+//!
+//! Exits non-zero on any failure, so `scripts/ci.sh` can gate on it.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mvp_asr::AsrProfile;
+use mvp_audio::Waveform;
+use mvp_corpus::{CorpusBuilder, CorpusConfig};
+use mvp_ears::DetectionSystem;
+use mvp_ml::ClassifierKind;
+use mvp_obs::AuditLog;
+use mvp_serve::{DegradePolicy, DetectionEngine, EngineConfig};
+
+/// Conservative upper bound on span sites crossed by one serve request
+/// (submit + flush + per-auxiliary transcribe/features/decode + finalize).
+const SPAN_SITES_PER_REQUEST: f64 = 64.0;
+
+/// Stage names a traced detection must emit.
+const REQUIRED_SPANS: [&str; 6] = [
+    "detect",
+    "detect.transcribe",
+    "detect.similarity",
+    "detect.classify",
+    "asr.features",
+    "asr.decode",
+];
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("obs smoke: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("obs smoke: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let system = trained_system();
+    let corpus =
+        CorpusBuilder::new(CorpusConfig { size: 3, seed: 77, ..CorpusConfig::default() }).build();
+    let waves: Vec<Arc<Waveform>> =
+        corpus.utterances().iter().map(|u| Arc::new(u.wave.clone())).collect();
+
+    disabled_overhead_gate(&system, &waves[0])?;
+    tracing_gate(&system, &waves[0])?;
+    audit_and_metrics_gate(&system, &waves)?;
+    Ok(())
+}
+
+/// DS0 + {DS1, GCS} trained on synthetic well-separated score vectors, so
+/// the smoke needs no attack run.
+fn trained_system() -> Arc<DetectionSystem> {
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(AsrProfile::Ds1)
+        .auxiliary(AsrProfile::Gcs)
+        .build();
+    let n_aux = system.n_auxiliaries();
+    let benign: Vec<Vec<f64>> = (0..24)
+        .map(|i| (0..n_aux).map(|j| 0.82 + 0.015 * ((i + j) % 10) as f64).collect())
+        .collect();
+    let aes: Vec<Vec<f64>> = (0..24)
+        .map(|i| (0..n_aux).map(|j| 0.03 + 0.015 * ((i * 3 + j) % 10) as f64).collect())
+        .collect();
+    system.train_on_scores(&benign, &aes, ClassifierKind::Knn);
+    Arc::new(system)
+}
+
+/// Gate 1: disabled span sites must cost < 2 % of a detection.
+fn disabled_overhead_gate(system: &DetectionSystem, wave: &Waveform) -> Result<(), String> {
+    mvp_obs::trace::disable();
+
+    let iterations = 2_000_000u64;
+    let started = Instant::now();
+    for _ in 0..iterations {
+        let _guard = mvp_obs::trace::span("smoke.noop");
+    }
+    let per_span_ns = started.elapsed().as_nanos() as f64 / iterations as f64;
+
+    let started = Instant::now();
+    let detections = 3;
+    for _ in 0..detections {
+        let _ = system.detect(wave);
+    }
+    let detect_ns = started.elapsed().as_nanos() as f64 / f64::from(detections);
+
+    let overhead_pct = per_span_ns * SPAN_SITES_PER_REQUEST / detect_ns * 100.0;
+    println!(
+        "disabled span: {per_span_ns:.1} ns/site, detection: {:.2} ms -> worst-case overhead {overhead_pct:.4}%",
+        detect_ns / 1e6
+    );
+    if overhead_pct >= 2.0 {
+        return Err(format!("disabled-tracing overhead bound {overhead_pct:.2}% exceeds 2%"));
+    }
+    Ok(())
+}
+
+/// Gate 2: a traced detection yields a valid forest with every stage.
+fn tracing_gate(system: &DetectionSystem, wave: &Waveform) -> Result<(), String> {
+    mvp_obs::trace::enable(4096);
+    let _ = system.detect(wave);
+    let events = mvp_obs::trace::drain();
+    mvp_obs::trace::disable();
+
+    mvp_obs::trace::validate(&events).map_err(|e| format!("span forest invalid: {e}"))?;
+    for name in REQUIRED_SPANS {
+        if !events.iter().any(|e| e.name == name) {
+            return Err(format!("traced detection emitted no `{name}` span"));
+        }
+    }
+    let tree = mvp_obs::trace::render_tree(&events);
+    println!("traced detection ({} spans):\n{tree}", events.len());
+    Ok(())
+}
+
+/// Gates 3 and 4: serve-path audit records and metric/snapshot agreement.
+fn audit_and_metrics_gate(
+    system: &Arc<DetectionSystem>,
+    waves: &[Arc<Waveform>],
+) -> Result<(), String> {
+    let path = std::env::temp_dir().join(format!("mvp-obs-smoke-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let audit =
+        Arc::new(AuditLog::create(&path, 1 << 20).map_err(|e| format!("audit create: {e}"))?);
+
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let config = EngineConfig {
+        deadline_ms: 60_000,
+        audit: Some(Arc::clone(&audit)),
+        ..EngineConfig::default()
+    };
+    let engine = DetectionEngine::start(Arc::clone(system), policy, config);
+    for wave in waves {
+        engine.detect_blocking(Arc::clone(wave)).map_err(|e| format!("submit: {e:?}"))?;
+    }
+    // Exact replay: must come back from the cache and still be audited.
+    let replay =
+        engine.detect_blocking(Arc::clone(&waves[0])).map_err(|e| format!("replay: {e:?}"))?;
+    if !replay.from_cache {
+        return Err("replayed waveform was not answered from the cache".into());
+    }
+
+    let exposition = engine.metrics_text();
+    let stats = engine.stats();
+    engine.shutdown();
+
+    // Gate 3: every verdict has a parseable record with decision fields.
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read audit: {e}"))?;
+    let _ = std::fs::remove_file(&path);
+    let mut verdicts = 0u64;
+    let mut cache_hits = 0u64;
+    for (k, line) in text.lines().enumerate() {
+        let record =
+            mvp_obs::json::parse(line).map_err(|e| format!("audit line {}: {e}", k + 1))?;
+        let event = record
+            .get("event")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("audit line {} has no event field", k + 1))?;
+        if event != "verdict" {
+            continue;
+        }
+        verdicts += 1;
+        for field in ["request", "kind", "adversarial", "timing"] {
+            if record.get(field).is_none() {
+                return Err(format!("verdict record {} lacks `{field}`: {line}", k + 1));
+            }
+        }
+        if record.get("timing").and_then(|t| t.get("total_us")).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("verdict record {} lacks timing.total_us", k + 1));
+        }
+        if record.get("cache").and_then(|v| v.as_bool()) == Some(true) {
+            cache_hits += 1;
+        }
+    }
+    let expected = waves.len() as u64 + 1;
+    if verdicts != expected {
+        return Err(format!("{expected} verdicts served but {verdicts} audited"));
+    }
+    if cache_hits == 0 {
+        return Err("the cache-hit verdict produced no cache:true audit record".into());
+    }
+    println!("audit: {verdicts} verdict records ({cache_hits} cache hits), all parse");
+
+    // Gate 4: the exposition and the snapshot are the same numbers.
+    for (name, value) in [
+        ("serve_submitted_total", stats.submitted),
+        ("serve_completed_total", stats.completed),
+        ("serve_cache_hits_total", stats.cache_hits),
+        ("serve_shed_total", stats.shed),
+    ] {
+        let line = format!("{name} {value}");
+        if !exposition.lines().any(|l| l == line) {
+            return Err(format!("exposition lacks `{line}`:\n{exposition}"));
+        }
+    }
+    println!("metrics: exposition agrees with the stats snapshot");
+    Ok(())
+}

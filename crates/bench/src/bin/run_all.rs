@@ -31,6 +31,7 @@ fn main() {
     experiments::ablation::baseline_comparison(&ctx);
     experiments::ablation::min_run_ablation(&ctx);
     experiments::serve::run_serve_bench(&ctx);
+    experiments::obs::run_obs_bench(&ctx);
     experiments::dataplane::run_dataplane_bench(&ctx);
     experiments::artifact::run_artifact_bench(&ctx);
 }

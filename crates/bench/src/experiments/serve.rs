@@ -55,6 +55,7 @@ pub fn run_serve_bench(ctx: &ExperimentContext) {
         aux_deadline_ms: Vec::new(),
         cache_cap: 256,
         model_dir: None,
+        audit: None,
     };
 
     struct Level {

@@ -49,7 +49,13 @@ impl SimilarityMethod {
     /// ```
     pub fn score(&self, a: &str, b: &str) -> f64 {
         match self.phonetic {
-            Some(enc) => self.base.score(&enc.encode_sentence(a), &enc.encode_sentence(b)),
+            Some(enc) => {
+                let (ea, eb) = {
+                    let _span = mvp_obs::span!("similarity.phonetic_encode");
+                    (enc.encode_sentence(a), enc.encode_sentence(b))
+                };
+                self.base.score(&ea, &eb)
+            }
             None => self.base.score(&a.to_lowercase(), &b.to_lowercase()),
         }
     }

@@ -157,6 +157,7 @@ impl DetectionSystem {
     ///
     /// Returns `(target transcription, auxiliary transcriptions)`.
     pub fn transcripts(&self, wave: &Waveform) -> (String, Vec<String>) {
+        let _span = mvp_obs::span!("detect.transcribe");
         self.transcribe_all(wave, |asrs, wave| {
             let (tx, rx) = channel::unbounded::<(usize, String)>();
             std::thread::scope(|scope| {
@@ -185,6 +186,7 @@ impl DetectionSystem {
 
     /// Scores from already-computed transcriptions.
     pub fn scores_from_transcripts(&self, target: &str, auxiliaries: &[String]) -> Vec<f64> {
+        let _span = mvp_obs::span!("detect.similarity");
         auxiliaries.iter().map(|a| self.method.score(target, a)).collect()
     }
 
@@ -238,6 +240,7 @@ impl DetectionSystem {
     ///
     /// Panics if the system is untrained.
     pub fn classify_scores(&self, scores: &[f64]) -> bool {
+        let _span = mvp_obs::span!("detect.classify");
         let clf = self.classifier.as_ref().expect("detection system is untrained");
         clf.predict(scores) == 1
     }
@@ -266,6 +269,7 @@ impl DetectionSystem {
     ///
     /// Panics if the system is untrained; see [`DetectionSystem::train`].
     pub fn detect(&self, wave: &Waveform) -> Detection {
+        let _span = mvp_obs::span!("detect");
         let (target, auxiliaries) = self.transcripts(wave);
         self.detect_from_transcripts(target, auxiliaries)
     }

@@ -22,6 +22,7 @@ impl ThresholdDetector {
     ///
     /// Panics if `benign_scores` is empty or `max_fpr` is outside `(0, 1)`.
     pub fn fit_benign(benign_scores: &[f64], max_fpr: f64) -> ThresholdDetector {
+        let _span = mvp_obs::span!("threshold.fit");
         assert!(!benign_scores.is_empty(), "no benign scores");
         assert!(max_fpr > 0.0 && max_fpr < 1.0, "FPR budget out of range");
         let mut sorted = benign_scores.to_vec();

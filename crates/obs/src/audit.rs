@@ -1,0 +1,185 @@
+//! The verdict audit log: append-only JSONL with bounded rotation.
+//!
+//! One line per event, flushed per append so a crash loses at most the
+//! line being written. When the active file would exceed the byte budget
+//! it is rotated to `<path>.1` (replacing the previous rotation), so the
+//! log never holds more than two generations ≈ `2 × max_bytes` on disk.
+//! Writers on any thread share one lock; poisoning is recovered.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A bounded, rotating JSONL audit log.
+#[derive(Debug)]
+pub struct AuditLog {
+    path: PathBuf,
+    max_bytes: u64,
+    state: Mutex<State>,
+    lines: AtomicU64,
+}
+
+#[derive(Debug)]
+struct State {
+    file: File,
+    written: u64,
+}
+
+impl AuditLog {
+    /// Opens (appending) or creates the log at `path`, rotating once the
+    /// active file exceeds `max_bytes` (minimum 1 KiB). Parent
+    /// directories are created.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be opened.
+    pub fn create(path: impl Into<PathBuf>, max_bytes: u64) -> std::io::Result<AuditLog> {
+        let path = path.into();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let written = file.metadata()?.len();
+        Ok(AuditLog {
+            path,
+            max_bytes: max_bytes.max(1024),
+            state: Mutex::new(State { file, written }),
+            lines: AtomicU64::new(0),
+        })
+    }
+
+    /// The active log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Where the previous generation lives after a rotation.
+    pub fn rotated_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(".1");
+        PathBuf::from(name)
+    }
+
+    /// Lines appended through this handle (not counting pre-existing
+    /// file content).
+    pub fn lines_written(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Appends one record (a complete JSON object, no trailing newline)
+    /// and flushes. Rotates first when the active file is over budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the log stays usable (a failed
+    /// rotation falls back to appending in place).
+    pub fn append(&self, line: &str) -> std::io::Result<()> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.written > 0 && state.written + line.len() as u64 + 1 > self.max_bytes {
+            // Replace the previous generation; on any failure keep
+            // appending to the oversized active file rather than losing
+            // the record.
+            let _ = std::fs::remove_file(self.rotated_path());
+            if std::fs::rename(&self.path, self.rotated_path()).is_ok() {
+                if let Ok(file) = OpenOptions::new().create(true).append(true).open(&self.path) {
+                    state.file = file;
+                    state.written = 0;
+                }
+            }
+        }
+        state.file.write_all(line.as_bytes())?;
+        state.file.write_all(b"\n")?;
+        state.file.flush()?;
+        state.written += line.len() as u64 + 1;
+        self.lines.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mvp-obs-audit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn appends_parseable_jsonl() {
+        let dir = temp_dir("basic");
+        let log = AuditLog::create(dir.join("audit.jsonl"), 1 << 20).unwrap();
+        for i in 0..5u64 {
+            let line = crate::JsonObj::new().str("event", "verdict").u64("request", i).finish();
+            log.append(&line).unwrap();
+        }
+        assert_eq!(log.lines_written(), 5);
+        let text = std::fs::read_to_string(log.path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("request").unwrap().as_f64(), Some(i as f64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_bounds_disk_usage() {
+        let dir = temp_dir("rotate");
+        let log = AuditLog::create(dir.join("audit.jsonl"), 1024).unwrap();
+        let line = crate::JsonObj::new().str("pad", &"x".repeat(100)).finish();
+        for _ in 0..64 {
+            log.append(&line).unwrap();
+        }
+        let active = std::fs::metadata(log.path()).unwrap().len();
+        let rotated = std::fs::metadata(log.rotated_path()).unwrap().len();
+        assert!(active <= 1024 + line.len() as u64 + 1, "active {active}");
+        assert!(rotated <= 1024 + line.len() as u64 + 1, "rotated {rotated}");
+        // Both generations still parse line by line.
+        for path in [log.path().to_path_buf(), log.rotated_path()] {
+            for l in std::fs::read_to_string(path).unwrap().lines() {
+                crate::json::parse(l).unwrap();
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_appends() {
+        let dir = temp_dir("reopen");
+        let path = dir.join("audit.jsonl");
+        AuditLog::create(&path, 1 << 20).unwrap().append("{\"n\":1}").unwrap();
+        AuditLog::create(&path, 1 << 20).unwrap().append("{\"n\":2}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appends_stay_line_atomic() {
+        let dir = temp_dir("concurrent");
+        let log = std::sync::Arc::new(AuditLog::create(dir.join("audit.jsonl"), 1 << 20).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let log = std::sync::Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let line = crate::JsonObj::new().u64("thread", t).u64("seq", i).finish();
+                        log.append(&line).unwrap();
+                    }
+                });
+            }
+        });
+        let text = std::fs::read_to_string(log.path()).unwrap();
+        assert_eq!(text.lines().count(), 200);
+        for l in text.lines() {
+            crate::json::parse(l).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,435 @@
+//! Minimal JSON building and parsing — the workspace has no serde, and
+//! the observability plane both emits (audit records, benchmark
+//! artifacts) and consumes (smoke gates, baseline comparisons) JSON.
+//!
+//! The builder produces one compact object per call chain; the parser is
+//! a strict recursive-descent reader for complete documents. Both cover
+//! exactly the JSON this workspace writes: objects, arrays, strings
+//! (with escapes), finite numbers, booleans and null.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted JSON string with escapes.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for one JSON object, written in field order.
+///
+/// ```
+/// let line = mvp_obs::JsonObj::new()
+///     .str("event", "verdict")
+///     .u64("request", 17)
+///     .bool("cache", false)
+///     .finish();
+/// assert_eq!(line, r#"{"event":"verdict","request":17,"cache":false}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> JsonObj {
+        JsonObj { buf: String::from("{") }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        write_escaped(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> JsonObj {
+        self.key(k);
+        write_escaped(&mut self.buf, v);
+        self
+    }
+
+    /// Adds a string field, `null` when `None`.
+    pub fn opt_str(self, k: &str, v: Option<&str>) -> JsonObj {
+        match v {
+            Some(v) => self.str(k, v),
+            None => self.null(k),
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> JsonObj {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (`null` for non-finite values, which JSON
+    /// cannot represent).
+    pub fn f64(mut self, k: &str, v: f64) -> JsonObj {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a float field, `null` when `None`.
+    pub fn opt_f64(self, k: &str, v: Option<f64>) -> JsonObj {
+        match v {
+            Some(v) => self.f64(k, v),
+            None => self.null(k),
+        }
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a boolean field, `null` when `None`.
+    pub fn opt_bool(self, k: &str, v: Option<bool>) -> JsonObj {
+        match v {
+            Some(v) => self.bool(k, v),
+            None => self.null(k),
+        }
+    }
+
+    /// Adds an explicit `null` field.
+    pub fn null(mut self, k: &str) -> JsonObj {
+        self.key(k);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Adds a field whose value is already-serialised JSON (a nested
+    /// object or array built elsewhere).
+    pub fn raw(mut self, k: &str, v: &str) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes and returns the object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses one complete JSON document.
+///
+/// # Errors
+///
+/// Returns a position-annotated description of the first syntax error.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let c = if (0xd800..0xdc00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
+                                let lo = parse_hex4(b, *pos + 3)?;
+                                *pos += 6;
+                                let code =
+                                    0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00));
+                                char::from_u32(code)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        out.push(c.ok_or_else(|| format!("bad \\u escape at byte {pos}"))?);
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let slice = b.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let text = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+    u32::from_str_radix(text, 16).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrips_through_parser() {
+        let line = JsonObj::new()
+            .str("event", "verdict \"quoted\"\n")
+            .u64("request", 17)
+            .f64("score", 0.25)
+            .opt_f64("missing", None)
+            .bool("cache", true)
+            .raw("aux", "[1,2,3]")
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("verdict \"quoted\"\n"));
+        assert_eq!(v.get("request").unwrap().as_f64(), Some(17.0));
+        assert_eq!(v.get("score").unwrap().as_f64(), Some(0.25));
+        assert!(v.get("missing").unwrap().is_null());
+        assert_eq!(v.get("cache").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("aux").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parses_nesting_and_unicode() {
+        let v = parse(r#"{"a":[{"b":null},-1.5e2,"\u00e9\ud83d\ude00"],"c":{}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert!(arr[0].get("b").unwrap().is_null());
+        assert_eq!(arr[1].as_f64(), Some(-150.0));
+        assert_eq!(arr[2].as_str(), Some("é😀"));
+        assert_eq!(v.get("c"), Some(&Value::Obj(vec![])));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\" 1}", "nul", "1 2", "\"\\q\"", "{}{}"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = JsonObj::new().f64("x", f64::NAN).f64("y", f64::INFINITY).finish();
+        let v = parse(&line).unwrap();
+        assert!(v.get("x").unwrap().is_null());
+        assert!(v.get("y").unwrap().is_null());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn escaped_strings_roundtrip(s in "[\"\\a-zA-Z0-9 \t\néλ]{0,40}") {
+            let line = JsonObj::new().str("s", &s).finish();
+            let v = parse(&line).unwrap();
+            proptest::prop_assert_eq!(v.get("s").unwrap().as_str(), Some(s.as_str()));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! mvp-obs: the observability plane for the MVP-EARS workspace.
+//!
+//! Three independent facilities, all dependency-free and safe to leave
+//! compiled into production binaries:
+//!
+//! - [`trace`] — lightweight span tracing. A [`span!`] guard records a
+//!   named, monotonically timestamped interval (with parent links via a
+//!   thread-local span stack) into a global bounded ring buffer. When
+//!   tracing is disabled — the default — taking a span costs one relaxed
+//!   atomic load and no allocation, so instrumentation can live on hot
+//!   paths permanently.
+//! - [`metrics`] — named [`Counter`]s, [`Gauge`]s and log₂-bucketed
+//!   [`Histogram`]s behind a [`Registry`] that renders a Prometheus-style
+//!   text exposition, plus a [`SnapshotWriter`] that dumps the exposition
+//!   to a file on a fixed interval.
+//! - [`audit`] — an append-only JSONL [`AuditLog`] with bounded size
+//!   rotation, used by serving layers to record one structured,
+//!   offline-reconstructible record per verdict.
+//!
+//! [`json`] holds the tiny hand-rolled JSON builder/parser the other
+//! modules (and their tests) share; the workspace has no serde.
+
+pub mod audit;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use audit::AuditLog;
+pub use json::{JsonObj, Value};
+pub use metrics::{Counter, Gauge, Histogram, Registry, SnapshotWriter};
+pub use trace::{SpanEvent, SpanGuard};

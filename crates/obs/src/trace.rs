@@ -1,0 +1,409 @@
+//! Span tracing: named, monotonically timestamped intervals with parent
+//! links, collected into a global bounded ring buffer.
+//!
+//! ```
+//! mvp_obs::trace::enable(1024);
+//! {
+//!     let _outer = mvp_obs::span!("detect");
+//!     let _inner = mvp_obs::span!("detect.similarity");
+//! } // guards record on drop, innermost first
+//! let spans = mvp_obs::trace::drain();
+//! assert_eq!(spans.len(), 2);
+//! mvp_obs::trace::validate(&spans).unwrap();
+//! mvp_obs::trace::disable();
+//! ```
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** [`span`] loads one relaxed atomic and
+//!    returns an inert guard; no clock read, no allocation, no lock.
+//! 2. **Thread safety.** Any thread may record; the sink is a single
+//!    mutex-guarded ring (spans finish at most once per request stage, so
+//!    the lock is far off the critical path) and recovers from poisoning.
+//! 3. **Bounded memory.** The ring holds a fixed capacity; overflow drops
+//!    the *oldest* events and counts them ([`dropped`]).
+//!
+//! Timestamps are microseconds on the monotonic clock since the process
+//! trace epoch (first use), so spans from different threads are directly
+//! comparable and never go backwards.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Unique id (process-wide, monotonically assigned).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name, e.g. `"asr.decode"`.
+    pub name: &'static str,
+    /// Caller-supplied correlation tag (request id, batch id, … — 0 when
+    /// untagged).
+    pub tag: u64,
+    /// Start, in microseconds since the trace epoch.
+    pub start_micros: u64,
+    /// End, in microseconds since the trace epoch (`>= start_micros`).
+    pub end_micros: u64,
+}
+
+impl SpanEvent {
+    /// Span duration in microseconds.
+    pub fn duration_micros(&self) -> u64 {
+        self.end_micros - self.start_micros
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+struct Sink {
+    events: VecDeque<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink { events: VecDeque::new(), capacity: 0, dropped: 0 });
+
+fn sink() -> MutexGuard<'static, Sink> {
+    // A panic mid-push cannot leave the ring structurally broken, so
+    // poisoning is recovered rather than propagated.
+    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_micros() -> u64 {
+    epoch().elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turns tracing on with a ring buffer of `capacity` spans (minimum 1).
+/// Already-collected events are kept; capacity changes apply immediately.
+pub fn enable(capacity: usize) {
+    epoch(); // pin the epoch before the first span
+    let mut sink = sink();
+    sink.capacity = capacity.max(1);
+    while sink.events.len() > sink.capacity {
+        sink.events.pop_front();
+        sink.dropped += 1;
+    }
+    drop(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns tracing off. In-flight guards finish silently; collected events
+/// remain readable via [`drain`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether tracing is currently enabled.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Removes and returns every collected span, oldest first.
+pub fn drain() -> Vec<SpanEvent> {
+    sink().events.drain(..).collect()
+}
+
+/// Discards every collected span and resets the drop counter.
+pub fn clear() {
+    let mut sink = sink();
+    sink.events.clear();
+    sink.dropped = 0;
+}
+
+/// Spans evicted by ring overflow since the last [`clear`].
+pub fn dropped() -> u64 {
+    sink().dropped
+}
+
+/// Opens an untagged span. See [`span_tagged`].
+pub fn span(name: &'static str) -> SpanGuard {
+    span_tagged(name, 0)
+}
+
+/// Opens a span named `name` carrying correlation `tag`. The returned
+/// guard records the span into the ring when dropped; while it lives,
+/// spans opened on the same thread become its children. When tracing is
+/// disabled this is a single relaxed atomic load.
+pub fn span_tagged(name: &'static str, tag: u64) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard { active: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    SpanGuard { active: Some(ActiveSpan { id, parent, name, tag, start_micros: now_micros() }) }
+}
+
+/// Convenience macro: `span!("name")` or `span!("name", tag)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+    ($name:expr, $tag:expr) => {
+        $crate::trace::span_tagged($name, $tag)
+    };
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    tag: u64,
+    start_micros: u64,
+}
+
+/// An open span; records itself on drop. Inert (and free) when tracing
+/// was disabled at creation.
+#[derive(Debug)]
+#[must_use = "a span measures the scope of the guard binding"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else { return };
+        let end_micros = now_micros();
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards normally drop innermost-first; a leaked or reordered
+            // guard only affects parent attribution, never correctness.
+            if let Some(pos) = s.iter().rposition(|&id| id == span.id) {
+                s.remove(pos);
+            }
+        });
+        let mut sink = sink();
+        if sink.capacity == 0 {
+            return; // enabled() never ran: nowhere to record
+        }
+        if sink.events.len() == sink.capacity {
+            sink.events.pop_front();
+            sink.dropped += 1;
+        }
+        sink.events.push_back(SpanEvent {
+            id: span.id,
+            parent: span.parent,
+            name: span.name,
+            tag: span.tag,
+            start_micros: span.start_micros,
+            end_micros,
+        });
+    }
+}
+
+/// Checks that `events` form a well-formed span forest: unique ids,
+/// `start <= end`, and every parented span nested strictly inside a
+/// present parent's interval.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate(events: &[SpanEvent]) -> Result<(), String> {
+    let mut by_id = std::collections::HashMap::with_capacity(events.len());
+    for e in events {
+        if e.end_micros < e.start_micros {
+            return Err(format!("span {} ({}) ends before it starts", e.id, e.name));
+        }
+        if by_id.insert(e.id, e).is_some() {
+            return Err(format!("duplicate span id {}", e.id));
+        }
+    }
+    for e in events {
+        if let Some(pid) = e.parent {
+            let Some(p) = by_id.get(&pid) else {
+                return Err(format!("span {} ({}) has missing parent {pid}", e.id, e.name));
+            };
+            if e.start_micros < p.start_micros || e.end_micros > p.end_micros {
+                return Err(format!(
+                    "span {} ({}) [{}, {}] escapes parent {} ({}) [{}, {}]",
+                    e.id,
+                    e.name,
+                    e.start_micros,
+                    e.end_micros,
+                    p.id,
+                    p.name,
+                    p.start_micros,
+                    p.end_micros
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders `events` as an indented forest (children under parents, both
+/// in start order) with durations — the `detect_wav --trace` output.
+pub fn render_tree(events: &[SpanEvent]) -> String {
+    let mut children: std::collections::HashMap<Option<u64>, Vec<&SpanEvent>> =
+        std::collections::HashMap::new();
+    let ids: std::collections::HashSet<u64> = events.iter().map(|e| e.id).collect();
+    for e in events {
+        // A parent evicted from the ring leaves its children as roots.
+        let key = e.parent.filter(|p| ids.contains(p));
+        children.entry(key).or_default().push(e);
+    }
+    for list in children.values_mut() {
+        list.sort_by_key(|e| (e.start_micros, e.id));
+    }
+    let mut out = String::new();
+    let mut stack: Vec<(&SpanEvent, usize)> = children
+        .get(&None)
+        .map(|roots| roots.iter().rev().map(|&e| (e, 0)).collect())
+        .unwrap_or_default();
+    while let Some((e, depth)) = stack.pop() {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(e.name);
+        if e.tag != 0 {
+            out.push_str(&format!(" #{}", e.tag));
+        }
+        out.push_str(&format!(" — {} µs\n", e.duration_micros()));
+        if let Some(kids) = children.get(&Some(e.id)) {
+            for &kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing state is process-global, so every test runs under one lock.
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _gate = exclusive();
+        disable();
+        clear();
+        {
+            let _s = span("quiet");
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn nesting_links_parents_and_validates() {
+        let _gate = exclusive();
+        enable(64);
+        clear();
+        {
+            let _a = span!("outer");
+            {
+                let _b = span!("inner", 7);
+            }
+            let _c = span!("sibling");
+        }
+        disable();
+        let events = drain();
+        assert_eq!(events.len(), 3);
+        validate(&events).unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let sibling = events.iter().find(|e| e.name == "sibling").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(sibling.parent, Some(outer.id));
+        assert_eq!(inner.tag, 7);
+        // Drop order: inner finishes before its parent records.
+        let tree = render_tree(&events);
+        assert!(tree.starts_with("outer"));
+        assert!(tree.contains("  inner #7"));
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest() {
+        let _gate = exclusive();
+        enable(4);
+        clear();
+        for _ in 0..10 {
+            let _s = span("tick");
+        }
+        disable();
+        assert_eq!(dropped(), 6);
+        assert_eq!(drain().len(), 4);
+    }
+
+    #[test]
+    fn spans_from_many_threads_validate() {
+        let _gate = exclusive();
+        enable(4096);
+        clear();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..32 {
+                        let _outer = span_tagged("thread.outer", t);
+                        let _inner = span!("thread.inner");
+                    }
+                });
+            }
+        });
+        disable();
+        let events = drain();
+        assert_eq!(events.len(), 4 * 32 * 2);
+        validate(&events).unwrap();
+        // Parents never cross threads: every inner's parent is an outer.
+        for e in events.iter().filter(|e| e.name == "thread.inner") {
+            let p = events.iter().find(|p| Some(p.id) == e.parent).unwrap();
+            assert_eq!(p.name, "thread.outer");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_escaping_child() {
+        let mk = |id, parent, start, end| SpanEvent {
+            id,
+            parent,
+            name: "x",
+            tag: 0,
+            start_micros: start,
+            end_micros: end,
+        };
+        assert!(validate(&[mk(1, None, 10, 20), mk(2, Some(1), 5, 15)]).is_err());
+        assert!(validate(&[mk(1, None, 10, 20), mk(2, Some(3), 12, 15)]).is_err());
+        assert!(validate(&[mk(1, None, 10, 20), mk(2, Some(1), 12, 15)]).is_ok());
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_thread() {
+        let _gate = exclusive();
+        enable(64);
+        clear();
+        {
+            let _a = span("first");
+        }
+        {
+            let _b = span("second");
+        }
+        disable();
+        let events = drain();
+        assert!(events[0].start_micros <= events[1].start_micros);
+        assert!(events.iter().all(|e| e.end_micros >= e.start_micros));
+    }
+}

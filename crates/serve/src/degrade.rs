@@ -28,6 +28,17 @@ pub enum FallbackTier {
     Default,
 }
 
+impl FallbackTier {
+    /// Stable lowercase name, used in audit records and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackTier::SubsetClassifier => "subset_classifier",
+            FallbackTier::MeanThreshold => "mean_threshold",
+            FallbackTier::Default => "default",
+        }
+    }
+}
+
 /// Subset-classifier training is exhaustive (every non-empty proper
 /// subset) up to this many auxiliaries; beyond it only leave-one-out
 /// subsets are trained, since 2^n blows up and deadline misses rarely
@@ -114,6 +125,13 @@ impl DegradePolicy {
     /// Number of subset classifiers held.
     pub fn n_subset_classifiers(&self) -> usize {
         self.subsets.len()
+    }
+
+    /// The benign-fitted mean-score threshold, when trained. Audit
+    /// records carry it so [`FallbackTier::MeanThreshold`] verdicts are
+    /// reconstructible offline.
+    pub fn mean_threshold(&self) -> Option<f64> {
+        self.threshold.as_ref().map(ThresholdDetector::threshold)
     }
 
     /// Classifies from the surviving auxiliaries: `available` pairs each

@@ -26,10 +26,17 @@
 //! for its whole lifetime and feeds each worker whole batches, so thread
 //! startup and feature-extraction scratch allocations are amortised
 //! across requests.
+//!
+//! Every stage is instrumented: `serve.submit`, `serve.flush`,
+//! `serve.cache_hit`, `serve.transcribe_batch` and `serve.finalize`
+//! spans (inert unless `mvp_obs::trace` is enabled), registry-backed
+//! [`ServeStats`] counters, and — when [`EngineConfig::audit`] is set —
+//! one JSONL record per verdict or shed from which the decision can be
+//! reconstructed offline.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,6 +47,8 @@ use mvp_artifact::{ArtifactError, Persist};
 use mvp_asr::{AsrScratch, TrainedAsr};
 use mvp_audio::Waveform;
 use mvp_ears::{DetectionSystem, DetectionSystemSnapshot};
+use mvp_obs::metrics::Counter;
+use mvp_obs::{AuditLog, JsonObj, Registry};
 
 use crate::cache::{waveform_key, LruCache, TranscriptVec};
 use crate::degrade::{DegradePolicy, FallbackTier};
@@ -71,6 +80,10 @@ pub struct EngineConfig {
     /// `<model_dir>/detector.mvpa` instead of training, and persists the
     /// system there after a cold start. `None` disables the disk tier.
     pub model_dir: Option<PathBuf>,
+    /// Verdict audit log. When set, every answered request (full,
+    /// degraded, failed, cache hit) and every shed appends one JSONL
+    /// record. `None` (the default) disables auditing.
+    pub audit: Option<Arc<AuditLog>>,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +96,7 @@ impl Default for EngineConfig {
             aux_deadline_ms: Vec::new(),
             cache_cap: 256,
             model_dir: None,
+            audit: None,
         }
     }
 }
@@ -160,15 +174,20 @@ impl PendingVerdict {
 }
 
 struct Request {
+    id: u64,
     wave: Arc<Waveform>,
     key: u64,
     submitted: Instant,
+    /// Time spent in the ingress queue, stamped at batcher pickup.
+    queued_us: u64,
     reply: Sender<Verdict>,
 }
 
 struct Waiter {
+    id: u64,
     reply: Sender<Verdict>,
     submitted: Instant,
+    queued_us: u64,
 }
 
 /// One unique waveform within a batch and everyone waiting on it.
@@ -186,6 +205,7 @@ struct WorkResult {
     batch_id: u64,
     asr_index: usize,
     texts: Vec<String>,
+    elapsed_us: u64,
 }
 
 struct BatchMeta {
@@ -208,6 +228,8 @@ struct BatchState {
     deadlines: Vec<Instant>,
     /// Per recogniser: transcriptions aligned with `items`.
     results: Vec<Option<Vec<String>>>,
+    /// Per recogniser: batch transcription wall time, for audit records.
+    elapsed_us: Vec<Option<u64>>,
 }
 
 impl BatchState {
@@ -226,7 +248,112 @@ impl BatchState {
     }
 }
 
-type SharedCache = Arc<Mutex<LruCache<u64, TranscriptVec>>>;
+/// The transcription cache shared between batcher and collector.
+///
+/// All access goes through [`with`](Self::with), which recovers — and
+/// counts — a poisoned lock: a thread panicking while holding the cache
+/// must degrade to a possibly-stale cache, never wedge the engine.
+#[derive(Clone)]
+struct SharedCache {
+    inner: Arc<Mutex<LruCache<u64, TranscriptVec>>>,
+    poison_recovered: Counter,
+}
+
+impl SharedCache {
+    fn new(capacity: usize, poison_recovered: Counter) -> SharedCache {
+        SharedCache { inner: Arc::new(Mutex::new(LruCache::new(capacity))), poison_recovered }
+    }
+
+    fn with<T>(&self, f: impl FnOnce(&mut LruCache<u64, TranscriptVec>) -> T) -> T {
+        let mut guard = match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                // Count the incident once, then clear the flag: the LRU
+                // is never left mid-mutation by its panic-free methods.
+                self.poison_recovered.inc();
+                self.inner.clear_poison();
+                poisoned.into_inner()
+            }
+        };
+        f(&mut guard)
+    }
+}
+
+/// Wall-clock microseconds since the Unix epoch, for audit records.
+fn wall_ts_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+/// Builds the JSONL audit record for one answered request.
+#[allow(clippy::too_many_arguments)]
+fn verdict_record(
+    id: u64,
+    batch_id: Option<u64>,
+    verdict: &Verdict,
+    aux_texts: &[Option<String>],
+    threshold: Option<f64>,
+    queued_us: u64,
+    transcribe_us: &[Option<u64>],
+    finalize_us: u64,
+) -> String {
+    let (kind, tier) = match verdict.kind {
+        VerdictKind::Full => ("full", None),
+        VerdictKind::Degraded(t) => ("degraded", Some(t.name())),
+        VerdictKind::Failed => ("failed", None),
+    };
+    let mut aux = String::from("[");
+    for (j, text) in aux_texts.iter().enumerate() {
+        if j > 0 {
+            aux.push(',');
+        }
+        aux.push_str(
+            &JsonObj::new()
+                .u64("i", j as u64)
+                .opt_str("text", text.as_deref())
+                .opt_f64("score", verdict.scores.get(j).copied().flatten())
+                .finish(),
+        );
+    }
+    aux.push(']');
+    let mut transcribe = String::from("[");
+    for (i, t) in transcribe_us.iter().enumerate() {
+        if i > 0 {
+            transcribe.push(',');
+        }
+        match t {
+            Some(us) => transcribe.push_str(&us.to_string()),
+            None => transcribe.push_str("null"),
+        }
+    }
+    transcribe.push(']');
+    let timing = JsonObj::new()
+        .u64("queue_us", queued_us)
+        .raw("transcribe_us", &transcribe)
+        .u64("finalize_us", finalize_us)
+        .u64("total_us", verdict.latency.as_micros().min(u128::from(u64::MAX)) as u64)
+        .finish();
+    let obj = JsonObj::new()
+        .u64("v", 1)
+        .str("event", "verdict")
+        .u64("ts_us", wall_ts_us())
+        .u64("request", id);
+    let obj = match batch_id {
+        Some(b) => obj.u64("batch", b),
+        None => obj.null("batch"),
+    };
+    obj.str("kind", kind)
+        .opt_str("tier", tier)
+        .bool("cache", verdict.from_cache)
+        .opt_bool("adversarial", verdict.is_adversarial)
+        .opt_str("target", verdict.target_transcription.as_deref())
+        .opt_f64("threshold", threshold)
+        .raw("aux", &aux)
+        .raw("timing", &timing)
+        .finish()
+}
 
 /// The long-lived serving engine. Dropping it drains in-flight requests
 /// (each gets a verdict) and joins all threads.
@@ -234,6 +361,8 @@ pub struct DetectionEngine {
     ingress: Option<Sender<Request>>,
     threads: Vec<JoinHandle<()>>,
     stats: Arc<ServeStats>,
+    audit: Option<Arc<AuditLog>>,
+    next_id: AtomicU64,
 }
 
 impl std::fmt::Debug for DetectionEngine {
@@ -269,8 +398,9 @@ impl DetectionEngine {
 
         let stats = Arc::new(ServeStats::new());
         let policy = Arc::new(policy);
-        let cache: Option<SharedCache> =
-            (config.cache_cap > 0).then(|| Arc::new(Mutex::new(LruCache::new(config.cache_cap))));
+        let audit = config.audit.clone();
+        let cache: Option<SharedCache> = (config.cache_cap > 0)
+            .then(|| SharedCache::new(config.cache_cap, stats.cache_poison_recovered.clone()));
 
         let (ingress_tx, ingress_rx) = channel::bounded::<Request>(config.queue_cap);
         let (collector_tx, collector_rx) = channel::unbounded::<CollectorMsg>();
@@ -315,15 +445,24 @@ impl DetectionEngine {
 
         {
             let stats = Arc::clone(&stats);
+            let audit = audit.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-collector".into())
-                    .spawn(move || collector_loop(system, policy, collector_rx, cache, stats))
+                    .spawn(move || {
+                        collector_loop(system, policy, collector_rx, cache, stats, audit)
+                    })
                     .expect("spawn collector"),
             );
         }
 
-        DetectionEngine { ingress: Some(ingress_tx), threads, stats }
+        DetectionEngine {
+            ingress: Some(ingress_tx),
+            threads,
+            stats,
+            audit,
+            next_id: AtomicU64::new(0),
+        }
     }
 
     /// File name of the persisted detection system inside
@@ -373,24 +512,37 @@ impl DetectionEngine {
     /// queue sheds the request with [`SubmitError::Overloaded`].
     pub fn submit(&self, wave: impl Into<Arc<Waveform>>) -> Result<PendingVerdict, SubmitError> {
         let tx = self.ingress.as_ref().ok_or(SubmitError::Closed)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let _span = mvp_obs::span!("serve.submit", id);
         let wave = wave.into();
         let key = waveform_key(&wave);
         let (reply_tx, reply_rx) = channel::bounded(1);
-        let request = Request { wave, key, submitted: Instant::now(), reply: reply_tx };
+        let request =
+            Request { id, wave, key, submitted: Instant::now(), queued_us: 0, reply: reply_tx };
         // Gauge first so it never underflows against the batcher's decrement.
-        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.stats.queue_depth.inc();
         match tx.try_send(request) {
             Ok(()) => {
-                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.stats.submitted.inc();
                 Ok(PendingVerdict { rx: reply_rx })
             }
-            Err(TrySendError::Full(_)) => {
-                self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            Err(TrySendError::Full(request)) => {
+                self.stats.queue_depth.dec();
+                self.stats.shed.inc();
+                if let Some(audit) = &self.audit {
+                    let _ = audit.append(
+                        &JsonObj::new()
+                            .u64("v", 1)
+                            .str("event", "shed")
+                            .u64("ts_us", wall_ts_us())
+                            .u64("request", request.id)
+                            .finish(),
+                    );
+                }
                 Err(SubmitError::Overloaded)
             }
             Err(TrySendError::Disconnected(_)) => {
-                self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.stats.queue_depth.dec();
                 Err(SubmitError::Closed)
             }
         }
@@ -404,6 +556,17 @@ impl DetectionEngine {
     /// A point-in-time copy of the engine metrics.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The metrics registry backing [`stats`](Self::stats); hand it to an
+    /// [`mvp_obs::SnapshotWriter`] for periodic exposition dumps.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(self.stats.registry())
+    }
+
+    /// Prometheus-style text exposition of every engine metric.
+    pub fn metrics_text(&self) -> String {
+        self.stats.render_text()
     }
 
     /// Shuts down explicitly (Drop does the same): stops intake, drains
@@ -439,9 +602,15 @@ fn worker_loop(
     // batches allocate nothing on the hot path.
     let mut scratch = AsrScratch::default();
     for WorkItem { batch_id, waves } in work.iter() {
-        let refs: Vec<&Waveform> = waves.iter().map(Arc::as_ref).collect();
-        let texts = asr.transcribe_batch_with(&refs, &mut scratch);
-        if out.send(CollectorMsg::Result(WorkResult { batch_id, asr_index, texts })).is_err() {
+        let started = Instant::now();
+        let texts = {
+            let _span = mvp_obs::span!("serve.transcribe_batch", batch_id);
+            let refs: Vec<&Waveform> = waves.iter().map(Arc::as_ref).collect();
+            asr.transcribe_batch_with(&refs, &mut scratch)
+        };
+        let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let result = WorkResult { batch_id, asr_index, texts, elapsed_us };
+        if out.send(CollectorMsg::Result(result)).is_err() {
             return;
         }
     }
@@ -469,15 +638,16 @@ fn batcher_loop(
         }
         let batch_id = *next_batch_id;
         *next_batch_id += 1;
+        let _span = mvp_obs::span!("serve.flush", batch_id);
 
         let mut items: Vec<BatchItem> = Vec::new();
         let mut waves: Vec<Arc<Waveform>> = Vec::new();
         let mut index_of: HashMap<u64, usize> = HashMap::new();
         let mut earliest = pending[0].submitted;
         let n_requests = pending.len() as u64;
-        for Request { wave, key, submitted, reply } in pending.drain(..) {
+        for Request { id, wave, key, submitted, queued_us, reply } in pending.drain(..) {
             earliest = earliest.min(submitted);
-            let waiter = Waiter { reply, submitted };
+            let waiter = Waiter { id, reply, submitted, queued_us };
             match index_of.get(&key) {
                 Some(&idx) => items[idx].waiters.push(waiter),
                 None => {
@@ -501,8 +671,8 @@ fn batcher_loop(
             }
         }
 
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats.batched_requests.fetch_add(n_requests, Ordering::Relaxed);
+        stats.batches.inc();
+        stats.batched_requests.add(n_requests);
 
         // Meta enters the collector queue before any worker can answer, so
         // the collector always knows a batch before seeing its results.
@@ -523,10 +693,12 @@ fn batcher_loop(
             Some(t) => ingress.recv_timeout(t.saturating_duration_since(Instant::now())),
         };
         match received {
-            Ok(request) => {
-                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(mut request) => {
+                stats.queue_depth.dec();
+                request.queued_us =
+                    request.submitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 if let Some(cached) = lookup(&cache, &request.key, &stats) {
-                    answer_cache_hit(&system, &request, &cached, &stats);
+                    answer_cache_hit(&system, &request, &cached, &stats, &config.audit);
                     continue;
                 }
                 pending.push(request);
@@ -551,10 +723,10 @@ fn batcher_loop(
 
 fn lookup(cache: &Option<SharedCache>, key: &u64, stats: &ServeStats) -> Option<TranscriptVec> {
     let cache = cache.as_ref()?;
-    stats.cache_lookups.fetch_add(1, Ordering::Relaxed);
-    let hit = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(key).cloned();
+    stats.cache_lookups.inc();
+    let hit = cache.with(|c| c.get(key).cloned());
     if hit.is_some() {
-        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        stats.cache_hits.inc();
     }
     hit
 }
@@ -564,9 +736,13 @@ fn answer_cache_hit(
     request: &Request,
     texts: &TranscriptVec,
     stats: &ServeStats,
+    audit: &Option<Arc<AuditLog>>,
 ) {
+    let _span = mvp_obs::span!("serve.cache_hit", request.id);
     let (target, auxiliaries) = DetectionSystem::split_transcripts(texts.as_ref().clone());
     let detection = system.detect_from_transcripts(target, auxiliaries);
+    let aux_texts: Vec<Option<String>> =
+        detection.auxiliary_transcriptions.iter().cloned().map(Some).collect();
     let verdict = Verdict {
         is_adversarial: Some(detection.is_adversarial),
         kind: VerdictKind::Full,
@@ -576,7 +752,12 @@ fn answer_cache_hit(
         latency: request.submitted.elapsed(),
     };
     stats.latency.record(verdict.latency);
-    stats.completed.fetch_add(1, Ordering::Relaxed);
+    stats.completed.inc();
+    if let Some(audit) = audit {
+        let record =
+            verdict_record(request.id, None, &verdict, &aux_texts, None, request.queued_us, &[], 0);
+        let _ = audit.append(&record);
+    }
     let _ = request.reply.send(verdict);
 }
 
@@ -586,6 +767,7 @@ fn collector_loop(
     rx: Receiver<CollectorMsg>,
     cache: Option<SharedCache>,
     stats: Arc<ServeStats>,
+    audit: Option<Arc<AuditLog>>,
 ) {
     let mut batches: HashMap<u64, BatchState> = HashMap::new();
     loop {
@@ -604,12 +786,14 @@ fn collector_loop(
                         dispatched: meta.dispatched,
                         deadlines: meta.deadlines,
                         results: (0..n_rec).map(|_| None).collect(),
+                        elapsed_us: vec![None; n_rec],
                     },
                 );
             }
             Ok(CollectorMsg::Result(result)) => {
                 if let Some(state) = batches.get_mut(&result.batch_id) {
                     state.results[result.asr_index] = Some(result.texts);
+                    state.elapsed_us[result.asr_index] = Some(result.elapsed_us);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -618,8 +802,8 @@ fn collector_loop(
             // (missing slots count as missed) rather than waiting out
             // deadlines.
             Err(RecvTimeoutError::Disconnected) => {
-                for (_, state) in batches.drain() {
-                    finalize(&system, &policy, &cache, &stats, state);
+                for (id, state) in batches.drain() {
+                    finalize(&system, &policy, &cache, &stats, &audit, id, state);
                 }
                 return;
             }
@@ -629,7 +813,7 @@ fn collector_loop(
             batches.iter().filter(|(_, s)| s.is_ready(now)).map(|(&id, _)| id).collect();
         for id in ready {
             let state = batches.remove(&id).expect("ready batch present");
-            finalize(&system, &policy, &cache, &stats, state);
+            finalize(&system, &policy, &cache, &stats, &audit, id, state);
         }
     }
 }
@@ -639,21 +823,28 @@ fn finalize(
     policy: &DegradePolicy,
     cache: &Option<SharedCache>,
     stats: &ServeStats,
+    audit: &Option<Arc<AuditLog>>,
+    batch_id: u64,
     state: BatchState,
 ) {
+    let _span = mvp_obs::span!("serve.finalize", batch_id);
+    let started = Instant::now();
     let n_rec = state.results.len();
     let n_aux = n_rec - 1;
     for (idx, item) in state.items.into_iter().enumerate() {
         let target = state.results[0].as_ref().map(|texts| texts[idx].clone());
-        let verdict = match target {
-            None => Verdict {
-                is_adversarial: None,
-                kind: VerdictKind::Failed,
-                from_cache: false,
-                scores: vec![None; n_aux],
-                target_transcription: None,
-                latency: Duration::ZERO,
-            },
+        let (verdict, aux_texts) = match target {
+            None => (
+                Verdict {
+                    is_adversarial: None,
+                    kind: VerdictKind::Failed,
+                    from_cache: false,
+                    scores: vec![None; n_aux],
+                    target_transcription: None,
+                    latency: Duration::ZERO,
+                },
+                vec![None; n_aux],
+            ),
             Some(target) => {
                 let available: Vec<(usize, String)> = (0..n_aux)
                     .filter_map(|j| {
@@ -667,19 +858,21 @@ fn finalize(
                         let mut vector = Vec::with_capacity(n_rec);
                         vector.push(detection.target_transcription.clone());
                         vector.extend(detection.auxiliary_transcriptions.iter().cloned());
-                        cache
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .insert(item.key, Arc::new(vector));
+                        cache.with(|c| c.insert(item.key, Arc::new(vector)));
                     }
-                    Verdict {
-                        is_adversarial: Some(detection.is_adversarial),
-                        kind: VerdictKind::Full,
-                        from_cache: false,
-                        scores: detection.scores.into_iter().map(Some).collect(),
-                        target_transcription: Some(detection.target_transcription),
-                        latency: Duration::ZERO,
-                    }
+                    let aux_texts: Vec<Option<String>> =
+                        detection.auxiliary_transcriptions.iter().cloned().map(Some).collect();
+                    (
+                        Verdict {
+                            is_adversarial: Some(detection.is_adversarial),
+                            kind: VerdictKind::Full,
+                            from_cache: false,
+                            scores: detection.scores.into_iter().map(Some).collect(),
+                            target_transcription: Some(detection.target_transcription),
+                            latency: Duration::ZERO,
+                        },
+                        aux_texts,
+                    )
                 } else {
                     let indices: Vec<usize> = available.iter().map(|&(j, _)| j).collect();
                     let texts: Vec<String> = available.into_iter().map(|(_, t)| t).collect();
@@ -688,35 +881,120 @@ fn finalize(
                         indices.iter().copied().zip(partial.iter().copied()).collect();
                     let (is_adversarial, tier) = policy.classify(&pairs);
                     let mut scores = vec![None; n_aux];
-                    for (&j, &s) in indices.iter().zip(partial.iter()) {
+                    let mut aux_texts: Vec<Option<String>> = vec![None; n_aux];
+                    for ((&j, &s), text) in indices.iter().zip(partial.iter()).zip(texts) {
                         scores[j] = Some(s);
+                        aux_texts[j] = Some(text);
                     }
-                    Verdict {
-                        is_adversarial: Some(is_adversarial),
-                        kind: VerdictKind::Degraded(tier),
-                        from_cache: false,
-                        scores,
-                        target_transcription: Some(target),
-                        latency: Duration::ZERO,
-                    }
+                    (
+                        Verdict {
+                            is_adversarial: Some(is_adversarial),
+                            kind: VerdictKind::Degraded(tier),
+                            from_cache: false,
+                            scores,
+                            target_transcription: Some(target),
+                            latency: Duration::ZERO,
+                        },
+                        aux_texts,
+                    )
                 }
             }
+        };
+        // The mean-score threshold makes MeanThreshold verdicts
+        // reconstructible from the audit record alone.
+        let threshold = match verdict.kind {
+            VerdictKind::Degraded(FallbackTier::MeanThreshold) => policy.mean_threshold(),
+            _ => None,
         };
         for waiter in item.waiters {
             let mut verdict = verdict.clone();
             verdict.latency = waiter.submitted.elapsed();
             match verdict.kind {
                 VerdictKind::Failed => {
-                    stats.deadline_failures.fetch_add(1, Ordering::Relaxed);
+                    stats.deadline_failures.inc();
                 }
                 VerdictKind::Degraded(_) => {
-                    stats.degraded.fetch_add(1, Ordering::Relaxed);
+                    stats.degraded.inc();
                 }
                 VerdictKind::Full => {}
             }
             stats.latency.record(verdict.latency);
-            stats.completed.fetch_add(1, Ordering::Relaxed);
+            stats.completed.inc();
+            if let Some(audit) = audit {
+                let record = verdict_record(
+                    waiter.id,
+                    Some(batch_id),
+                    &verdict,
+                    &aux_texts,
+                    threshold,
+                    waiter.queued_us,
+                    &state.elapsed_us,
+                    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                );
+                let _ = audit.append(&record);
+            }
             let _ = waiter.reply.send(verdict);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_cache_recovers_from_poisoning() {
+        let recovered = Counter::new();
+        let cache = SharedCache::new(4, recovered.clone());
+        cache.with(|c| c.insert(1, Arc::new(vec!["a".into()])));
+        let poisoner = cache.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker dies while holding the cache lock");
+        })
+        .join();
+        // The poisoned lock is recovered (and counted), not propagated:
+        // the cache keeps answering.
+        assert_eq!(cache.with(|c| c.get(&1).cloned()).map(|v| v.len()), Some(1));
+        cache.with(|c| c.insert(2, Arc::new(vec!["b".into()])));
+        assert!(cache.with(|c| c.get(&2).is_some()));
+        assert_eq!(recovered.get(), 1);
+    }
+
+    #[test]
+    fn verdict_records_parse_and_reconstruct() {
+        let verdict = Verdict {
+            is_adversarial: Some(true),
+            kind: VerdictKind::Degraded(FallbackTier::MeanThreshold),
+            from_cache: false,
+            scores: vec![Some(0.12), None],
+            target_transcription: Some("open the door".into()),
+            latency: Duration::from_micros(1500),
+        };
+        let line = verdict_record(
+            7,
+            Some(3),
+            &verdict,
+            &[Some("open door".into()), None],
+            Some(0.4),
+            250,
+            &[Some(900), Some(800), None],
+            30,
+        );
+        let v = mvp_obs::json::parse(&line).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("verdict"));
+        assert_eq!(v.get("request").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("degraded"));
+        assert_eq!(v.get("tier").unwrap().as_str(), Some("mean_threshold"));
+        assert_eq!(v.get("adversarial").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("threshold").unwrap().as_f64(), Some(0.4));
+        let aux = v.get("aux").unwrap().as_arr().unwrap();
+        assert_eq!(aux.len(), 2);
+        assert_eq!(aux[0].get("score").unwrap().as_f64(), Some(0.12));
+        assert!(aux[1].get("text").unwrap().is_null());
+        let timing = v.get("timing").unwrap();
+        assert_eq!(timing.get("queue_us").unwrap().as_f64(), Some(250.0));
+        assert_eq!(timing.get("total_us").unwrap().as_f64(), Some(1500.0));
+        assert!(timing.get("transcribe_us").unwrap().as_arr().unwrap()[2].is_null());
     }
 }

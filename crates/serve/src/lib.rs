@@ -18,7 +18,13 @@
 //!   that misses its deadline is dropped from the score vector and a
 //!   [`DegradePolicy`] fallback ladder still answers;
 //! - [`ServeStats`] — throughput counters, queue-depth gauge, latency
-//!   percentiles and cache hit rate, snapshot at any time.
+//!   percentiles and cache hit rate, snapshot at any time, all backed by
+//!   an `mvp_obs` metrics registry with Prometheus-style exposition
+//!   ([`DetectionEngine::metrics_text`]);
+//! - **observability** — `serve.*` spans on every stage (enable with
+//!   `mvp_obs::trace::enable`) and an optional JSONL verdict audit log
+//!   ([`EngineConfig::audit`]) from which each decision can be
+//!   reconstructed offline.
 //!
 //! The [`loadgen`] module drives an engine with deterministic closed- or
 //! open-loop load for benchmarking.

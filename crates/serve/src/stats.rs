@@ -1,131 +1,109 @@
 //! Service-level instrumentation: throughput counters, queue-depth
-//! gauge, cache hit rate, and a lock-free latency histogram with
-//! p50/p95/p99 estimation.
+//! gauge, cache hit rate, and latency quantiles.
+//!
+//! Every metric lives in an [`mvp_obs::Registry`], so the same storage
+//! cells back the typed [`StatsSnapshot`], the Prometheus-style text
+//! exposition, and any periodic snapshot writer — there is no second
+//! set of books to drift out of sync.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
 
-/// Number of histogram buckets: one per power-of-two of microseconds,
-/// which spans sub-microsecond to ~36 minutes with ≤ 2× relative error.
-const BUCKETS: usize = 32;
+use mvp_obs::metrics::{Counter, Gauge, Histogram, Registry};
 
-/// A concurrent log₂-bucketed latency histogram over microseconds.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-    max_micros: AtomicU64,
-}
+/// The serve latency histogram. Retained name from the pre-registry
+/// implementation; the type now lives in `mvp_obs`.
+pub use mvp_obs::metrics::Histogram as LatencyHistogram;
 
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram::default()
-    }
-
-    /// Records one latency observation.
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return 0.0;
-        }
-        self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64
-    }
-
-    /// Largest recorded latency in microseconds.
-    pub fn max_micros(&self) -> u64 {
-        self.max_micros.load(Ordering::Relaxed)
-    }
-
-    /// Approximate `q`-quantile (`0 < q <= 1`) in microseconds: the upper
-    /// edge of the bucket containing the quantile rank, i.e. within 2× of
-    /// the true value. Returns 0 when empty.
-    pub fn quantile_micros(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Bucket i holds values in [2^(i-1), 2^i) µs (bucket 0: 0).
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        self.max_micros()
-    }
-}
-
-/// Cumulative engine counters. All methods are thread-safe; gauges and
-/// counters are monotone except `queue_depth`.
-#[derive(Debug, Default)]
+/// Cumulative engine counters, registry-backed. All handles are
+/// thread-safe; counters are monotone, `queue_depth` moves both ways.
+#[derive(Debug)]
 pub struct ServeStats {
+    registry: Arc<Registry>,
     /// Requests accepted into the ingress queue.
-    pub submitted: AtomicU64,
+    pub submitted: Counter,
     /// Requests rejected by backpressure (queue full).
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Requests answered (with any verdict).
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Requests answered in degraded mode (≥ 1 auxiliary dropped).
-    pub degraded: AtomicU64,
+    pub degraded: Counter,
     /// Requests that failed outright (target ASR missed the deadline).
-    pub deadline_failures: AtomicU64,
+    pub deadline_failures: Counter,
     /// Cache lookups performed.
-    pub cache_lookups: AtomicU64,
+    pub cache_lookups: Counter,
     /// Cache lookups that hit.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
+    /// Times a poisoned cache lock was recovered (a worker panicked
+    /// while holding it and the engine carried on).
+    pub cache_poison_recovered: Counter,
     /// Current ingress queue depth.
-    pub queue_depth: AtomicU64,
+    pub queue_depth: Gauge,
     /// Batches dispatched to workers.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Total requests across dispatched batches (for mean batch size).
-    pub batched_requests: AtomicU64,
+    pub batched_requests: Counter,
     /// End-to-end latency of answered requests.
-    pub latency: LatencyHistogram,
+    pub latency: Histogram,
 }
 
 impl ServeStats {
-    /// Creates zeroed stats.
+    /// Creates zeroed stats backed by a fresh registry.
     pub fn new() -> ServeStats {
-        ServeStats::default()
+        let registry = Arc::new(Registry::new());
+        ServeStats {
+            submitted: registry
+                .counter("serve_submitted_total", "requests accepted into the ingress queue"),
+            shed: registry.counter("serve_shed_total", "requests rejected by backpressure"),
+            completed: registry.counter("serve_completed_total", "requests answered"),
+            degraded: registry.counter("serve_degraded_total", "requests answered degraded"),
+            deadline_failures: registry
+                .counter("serve_deadline_failures_total", "requests failed on target deadline"),
+            cache_lookups: registry
+                .counter("serve_cache_lookups_total", "transcription cache lookups"),
+            cache_hits: registry.counter("serve_cache_hits_total", "transcription cache hits"),
+            cache_poison_recovered: registry.counter(
+                "serve_cache_poison_recovered_total",
+                "poisoned cache locks recovered after a worker panic",
+            ),
+            queue_depth: registry.gauge("serve_queue_depth", "current ingress queue depth"),
+            batches: registry.counter("serve_batches_total", "micro-batches dispatched"),
+            batched_requests: registry
+                .counter("serve_batched_requests_total", "requests across dispatched batches"),
+            latency: registry
+                .histogram("serve_latency_micros", "end-to-end request latency in microseconds"),
+            registry,
+        }
+    }
+
+    /// The registry backing every metric; render it for exposition or
+    /// hand it to an [`mvp_obs::SnapshotWriter`].
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Prometheus-style text exposition of every serve metric.
+    pub fn render_text(&self) -> String {
+        self.registry.render_text()
     }
 
     /// Takes a point-in-time copy of every metric.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let batches = load(&self.batches);
+        let batches = self.batches.get();
         StatsSnapshot {
-            submitted: load(&self.submitted),
-            shed: load(&self.shed),
-            completed: load(&self.completed),
-            degraded: load(&self.degraded),
-            deadline_failures: load(&self.deadline_failures),
-            cache_lookups: load(&self.cache_lookups),
-            cache_hits: load(&self.cache_hits),
-            queue_depth: load(&self.queue_depth),
+            submitted: self.submitted.get(),
+            shed: self.shed.get(),
+            completed: self.completed.get(),
+            degraded: self.degraded.get(),
+            deadline_failures: self.deadline_failures.get(),
+            cache_lookups: self.cache_lookups.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_poison_recovered: self.cache_poison_recovered.get(),
+            queue_depth: self.queue_depth.get(),
             batches,
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
-                load(&self.batched_requests) as f64 / batches as f64
+                self.batched_requests.get() as f64 / batches as f64
             },
             latency_mean_micros: self.latency.mean_micros(),
             latency_p50_micros: self.latency.quantile_micros(0.50),
@@ -133,6 +111,12 @@ impl ServeStats {
             latency_p99_micros: self.latency.quantile_micros(0.99),
             latency_max_micros: self.latency.max_micros(),
         }
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
     }
 }
 
@@ -153,6 +137,8 @@ pub struct StatsSnapshot {
     pub cache_lookups: u64,
     /// Cache lookups that hit.
     pub cache_hits: u64,
+    /// Poisoned cache locks recovered.
+    pub cache_poison_recovered: u64,
     /// Ingress queue depth at snapshot time.
     pub queue_depth: u64,
     /// Batches dispatched.
@@ -188,7 +174,8 @@ impl StatsSnapshot {
             concat!(
                 "{{\"submitted\":{},\"shed\":{},\"completed\":{},\"degraded\":{},",
                 "\"deadline_failures\":{},\"cache_lookups\":{},\"cache_hits\":{},",
-                "\"cache_hit_rate\":{:.4},\"queue_depth\":{},\"batches\":{},",
+                "\"cache_hit_rate\":{:.4},\"cache_poison_recovered\":{},",
+                "\"queue_depth\":{},\"batches\":{},",
                 "\"mean_batch_size\":{:.3},\"latency_mean_us\":{:.1},",
                 "\"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_p99_us\":{},",
                 "\"latency_max_us\":{}}}"
@@ -201,6 +188,7 @@ impl StatsSnapshot {
             self.cache_lookups,
             self.cache_hits,
             self.cache_hit_rate(),
+            self.cache_poison_recovered,
             self.queue_depth,
             self.batches,
             self.mean_batch_size,
@@ -216,6 +204,7 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn histogram_quantiles_bracket_observations() {
@@ -253,9 +242,9 @@ mod tests {
     #[test]
     fn snapshot_hit_rate_and_json() {
         let s = ServeStats::new();
-        s.submitted.store(10, Ordering::Relaxed);
-        s.cache_lookups.store(8, Ordering::Relaxed);
-        s.cache_hits.store(2, Ordering::Relaxed);
+        s.submitted.add(10);
+        s.cache_lookups.add(8);
+        s.cache_hits.add(2);
         s.latency.record(Duration::from_millis(3));
         let snap = s.snapshot();
         assert!((snap.cache_hit_rate() - 0.25).abs() < 1e-12);
@@ -263,5 +252,46 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"submitted\":10"));
         assert!(json.contains("\"cache_hit_rate\":0.2500"));
+        assert!(json.contains("\"cache_poison_recovered\":0"));
+    }
+
+    #[test]
+    fn snapshot_matches_exposition() {
+        // The snapshot and the rendered registry must read the same
+        // cells: no dual bookkeeping.
+        let s = ServeStats::new();
+        s.submitted.add(7);
+        s.shed.inc();
+        s.queue_depth.set(3);
+        s.latency.record(Duration::from_micros(900));
+        let snap = s.snapshot();
+        let text = s.render_text();
+        assert!(text.contains(&format!("serve_submitted_total {}", snap.submitted)));
+        assert!(text.contains(&format!("serve_shed_total {}", snap.shed)));
+        assert!(text.contains(&format!("serve_queue_depth {}", snap.queue_depth)));
+        assert!(text.contains("serve_latency_micros_count 1"));
+        assert!(text.contains("serve_latency_micros_sum 900"));
+    }
+
+    #[test]
+    fn registry_names_cover_every_snapshot_field() {
+        let s = ServeStats::new();
+        let names = s.registry().names();
+        for required in [
+            "serve_submitted_total",
+            "serve_shed_total",
+            "serve_completed_total",
+            "serve_degraded_total",
+            "serve_deadline_failures_total",
+            "serve_cache_lookups_total",
+            "serve_cache_hits_total",
+            "serve_cache_poison_recovered_total",
+            "serve_queue_depth",
+            "serve_batches_total",
+            "serve_batched_requests_total",
+            "serve_latency_micros",
+        ] {
+            assert!(names.iter().any(|n| n == required), "missing metric {required}");
+        }
     }
 }

@@ -12,3 +12,9 @@ cargo test -q
 # a clean load succeeds while a corrupted artifact fails with a typed
 # error (exit status is the gate).
 cargo run --release -q -p mvp-bench --bin artifact_smoke
+
+# Observability-plane smoke: disabled-tracing overhead must stay under
+# 2 % per request, traced detections must emit a valid span forest, and
+# every serve verdict must leave a parseable audit record that agrees
+# with the metrics exposition (exit status is the gate).
+cargo run --release -q -p mvp-bench --bin obs_smoke

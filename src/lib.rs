@@ -14,6 +14,7 @@ pub use mvp_corpus as corpus;
 pub use mvp_dsp as dsp;
 pub use mvp_ears as ears;
 pub use mvp_ml as ml;
+pub use mvp_obs as obs;
 pub use mvp_phonetics as phonetics;
 pub use mvp_serve as serve;
 pub use mvp_textsim as textsim;
