@@ -203,6 +203,7 @@ impl<'a> Decoder<'a> {
         if total.checked_mul(8).is_none_or(|bytes| bytes > self.remaining()) {
             return Err(ArtifactError::Truncated);
         }
+        // mvp-lint: allow(unbounded-with-capacity) -- `total` is checked against remaining() two lines up via checked_mul(8); the look-back heuristic cannot see through the closure
         let mut data = Vec::with_capacity(total);
         for _ in 0..total {
             data.push(self.f64()?);

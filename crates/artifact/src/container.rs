@@ -165,7 +165,7 @@ pub trait Persist: Sized {
     /// The kind tag written to (and required from) the header.
     const KIND: ArtifactKind;
     /// Version of this type's field layout; bump on layout change.
-    const SCHEMA: u16;
+    const SCHEMA_VERSION: u16;
 
     /// Appends this value's fields to the payload.
     fn encode(&self, enc: &mut Encoder);
@@ -178,13 +178,13 @@ pub trait Persist: Sized {
     fn write_to<W: Write>(&self, w: W) -> Result<(), ArtifactError> {
         let mut enc = Encoder::new();
         self.encode(&mut enc);
-        write_artifact(w, Self::KIND, Self::SCHEMA, enc.as_bytes())
+        write_artifact(w, Self::KIND, Self::SCHEMA_VERSION, enc.as_bytes())
     }
 
     /// Reads a complete artifact from `r`, validating magic, versions,
     /// kind, checksum, and that every payload byte is consumed.
     fn read_from<R: Read>(r: R) -> Result<Self, ArtifactError> {
-        let payload = read_artifact(r, Self::KIND, Self::SCHEMA)?;
+        let payload = read_artifact(r, Self::KIND, Self::SCHEMA_VERSION)?;
         let mut dec = Decoder::new(&payload);
         let value = Self::decode(&mut dec)?;
         dec.finish()?;
@@ -234,7 +234,7 @@ mod tests {
 
     impl Persist for Blob {
         const KIND: ArtifactKind = ArtifactKind::new(0x7fff);
-        const SCHEMA: u16 = 3;
+        const SCHEMA_VERSION: u16 = 3;
         fn encode(&self, enc: &mut Encoder) {
             enc.put_f64s(&self.0);
         }
@@ -284,7 +284,7 @@ mod tests {
     #[test]
     fn schema_version_skew() {
         let (_, mut bytes) = blob_bytes();
-        bytes[8] = Blob::SCHEMA as u8 + 1;
+        bytes[8] = Blob::SCHEMA_VERSION as u8 + 1;
         assert!(matches!(
             Blob::read_from(&bytes[..]),
             Err(ArtifactError::VersionMismatch { layer: "schema", .. })

@@ -56,7 +56,7 @@
 //!
 //! impl Persist for Calibration {
 //!     const KIND: ArtifactKind = ArtifactKind::new(0x7001);
-//!     const SCHEMA: u16 = 1;
+//!     const SCHEMA_VERSION: u16 = 1;
 //!     fn encode(&self, enc: &mut Encoder) {
 //!         enc.put_f64(self.gain);
 //!         enc.put_f64s(&self.taps);
@@ -92,7 +92,7 @@ use mvp_dsp::Mat;
 
 impl Persist for Mat {
     const KIND: ArtifactKind = ArtifactKind::MAT;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_mat(self);

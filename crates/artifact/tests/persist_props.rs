@@ -21,7 +21,7 @@ struct Omnibus {
 
 impl Persist for Omnibus {
     const KIND: ArtifactKind = ArtifactKind::new(0x7002);
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_bool(self.flag);

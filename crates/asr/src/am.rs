@@ -398,7 +398,7 @@ impl AcousticModel {
 
 impl Persist for FeatureScaler {
     const KIND: ArtifactKind = ArtifactKind::FEATURE_SCALER;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_f64s(&self.mean);
@@ -421,7 +421,7 @@ impl Persist for FeatureScaler {
 
 impl Persist for AcousticModel {
     const KIND: ArtifactKind = ArtifactKind::ACOUSTIC_MODEL;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_usize(self.dim);
@@ -651,7 +651,7 @@ mod tests {
         mvp_artifact::write_artifact(
             &mut bytes,
             AcousticModel::KIND,
-            AcousticModel::SCHEMA,
+            AcousticModel::SCHEMA_VERSION,
             &payload,
         )
         .unwrap();

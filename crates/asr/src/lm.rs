@@ -99,7 +99,7 @@ impl BigramLm {
 
 impl Persist for BigramLm {
     const KIND: ArtifactKind = ArtifactKind::BIGRAM_LM;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_f64(self.k);

@@ -113,7 +113,7 @@ impl DecoderConfig {
 
 impl Persist for TrainedAsr {
     const KIND: ArtifactKind = ArtifactKind::TRAINED_ASR;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_str(self.name());

@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 use mvp_asr::{Asr, TrainedAsr};
 use mvp_audio::synth::{SpeakerProfile, Synthesizer};
 use mvp_audio::Waveform;
+use mvp_dsp::Mat;
 use mvp_phonetics::Lexicon;
 use mvp_textsim::wer;
 
@@ -188,19 +189,19 @@ pub fn blackbox_attack(
     // Initial population: carrier faded in at varying levels, host ducked
     // to varying degrees (some individuals start near the trivial pure
     // carrier solution so the GA always has a working ancestor to refine).
-    let mut population: Vec<Vec<f64>> = (0..cfg.population)
-        .map(|p| {
-            let g0 = 0.2 + 0.8 * p as f64 / cfg.population as f64;
-            let a0 = 1.0 - g0 * 0.9;
-            (0..2 * k)
-                .map(|i| {
-                    let base = if i < k { g0 } else { a0 };
-                    clamp_gene(i, base + rng.gen_range(-0.1..0.1))
-                })
-                .collect()
-        })
-        .collect();
-    let mut fitness: Vec<f64> = population.iter().map(|g| fitness_of(g, &mut queries)).collect();
+    let mut population = Mat::zeros(0, 2 * k);
+    for p in 0..cfg.population {
+        let g0 = 0.2 + 0.8 * p as f64 / cfg.population as f64;
+        let a0 = 1.0 - g0 * 0.9;
+        let genome: Vec<f64> = (0..2 * k)
+            .map(|i| {
+                let base = if i < k { g0 } else { a0 };
+                clamp_gene(i, base + rng.gen_range(-0.1..0.1))
+            })
+            .collect();
+        population.push_row(&genome);
+    }
+    let mut fitness: Vec<f64> = population.rows().map(|g| fitness_of(g, &mut queries)).collect();
 
     // Refinement: given a successful genome, shrink the perturbation while
     // the attack keeps succeeding — first a binary search on a global blend
@@ -257,23 +258,29 @@ pub fn blackbox_attack(
     let mut generations_used = 0;
     for gen in 0..cfg.generations {
         generations_used = gen + 1;
-        let mut order: Vec<usize> = (0..population.len()).collect();
+        let mut order: Vec<usize> = (0..population.n_rows()).collect();
         order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("NaN fitness"));
-        let sorted: Vec<Vec<f64>> = order.iter().map(|&i| population[i].clone()).collect();
+        let mut sorted = Mat::zeros(0, 2 * k);
+        for &i in &order {
+            sorted.push_row(population.row(i));
+        }
 
         if gen % cfg.check_every == 0 {
-            let text = asr.transcribe(&make_wave(&sorted[0]));
+            let text = asr.transcribe(&make_wave(sorted.row(0)));
             queries += 1;
             if wer(target_text, &text) == 0.0 {
-                return minimise(sorted[0].clone(), &mut rng, &mut queries, generations_used);
+                return minimise(sorted.row(0).to_vec(), &mut rng, &mut queries, generations_used);
             }
         }
 
-        let mut next: Vec<Vec<f64>> = sorted[..cfg.elite].to_vec();
-        while next.len() < cfg.population {
+        let mut next = Mat::zeros(0, 2 * k);
+        for e in 0..cfg.elite {
+            next.push_row(sorted.row(e));
+        }
+        while next.n_rows() < cfg.population {
             let half = (cfg.population / 2).max(2);
-            let pa = &sorted[rng.gen_range(0..half)];
-            let pb = &sorted[rng.gen_range(0..half)];
+            let pa = sorted.row(rng.gen_range(0..half));
+            let pb = sorted.row(rng.gen_range(0..half));
             let mut child: Vec<f64> =
                 pa.iter().zip(pb).map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b }).collect();
             for (i, c) in child.iter_mut().enumerate() {
@@ -282,16 +289,16 @@ pub fn blackbox_attack(
                 }
                 *c = clamp_gene(i, *c);
             }
-            next.push(child);
+            next.push_row(&child);
         }
         population = next;
-        fitness = population.iter().map(|g| fitness_of(g, &mut queries)).collect();
+        fitness = population.rows().map(|g| fitness_of(g, &mut queries)).collect();
     }
 
     // NES refinement on the best envelope.
-    let mut order: Vec<usize> = (0..population.len()).collect();
+    let mut order: Vec<usize> = (0..population.n_rows()).collect();
     order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("NaN fitness"));
-    let mut best = population[order[0]].clone();
+    let mut best = population.row(order[0]).to_vec();
     let mut best_fit = fitness[order[0]];
     for step in 0..cfg.nes_steps {
         let mut grad = vec![0.0f64; 2 * k];

@@ -99,6 +99,7 @@ impl Synthesizer {
     ) -> (Waveform, Vec<AlignedPhoneme>) {
         let sr = self.sample_rate as f32;
         let mut samples: Vec<f32> = Vec::new();
+        // mvp-lint: allow(unbounded-with-capacity) -- sized by the caller's in-memory phoneme slice, not a byte-read length field
         let mut alignment = Vec::with_capacity(phonemes.len());
         for (idx, &ph) in phonemes.iter().enumerate() {
             let mut rng = segment_rng(speaker.seed, idx, ph);
@@ -144,6 +145,7 @@ impl Synthesizer {
             })
             .collect();
         let ramp = (n / 4).min((0.008 * sr) as usize).max(1);
+        // mvp-lint: allow(unbounded-with-capacity) -- `n` comes from per-phoneme duration constants jittered at most 10%, far below a second of audio
         let mut out = Vec::with_capacity(n);
         for t in 0..n {
             let time = t as f32 / sr;

@@ -52,8 +52,16 @@ impl From<std::io::Error> for ReadWavError {
 ///
 /// Returns any I/O error from `writer`.
 pub fn write_wav<W: Write>(mut writer: W, wave: &Waveform) -> std::io::Result<()> {
-    let n = wave.len() as u32;
-    let data_len = n * 2;
+    let data_len = u32::try_from(wave.len())
+        .ok()
+        .and_then(|n| n.checked_mul(2))
+        .filter(|&d| d <= u32::MAX - 36)
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "waveform too long for a RIFF length field",
+            )
+        })?;
     let sample_rate = wave.sample_rate();
     let byte_rate = sample_rate * 2;
     writer.write_all(b"RIFF")?;
@@ -70,6 +78,7 @@ pub fn write_wav<W: Write>(mut writer: W, wave: &Waveform) -> std::io::Result<()
     writer.write_all(b"data")?;
     writer.write_all(&data_len.to_le_bytes())?;
     for &s in wave.samples() {
+        // mvp-lint: allow(numeric-truncation) -- quantising a clamped [-1, 1] f32; the product is within i16 range by construction
         let q = (s.clamp(-1.0, 1.0) * i16::MAX as f32).round() as i16;
         writer.write_all(&q.to_le_bytes())?;
     }
@@ -90,6 +99,14 @@ fn read_u16<R: Read>(reader: &mut R) -> Result<u16, ReadWavError> {
     let mut b = [0u8; 2];
     read_exact(reader, &mut b)?;
     Ok(u16::from_le_bytes(b))
+}
+
+/// Converts a header-declared byte count to `usize`, surfacing a format
+/// error on targets whose address space cannot hold it (instead of the
+/// silent wrap an `as` cast would produce).
+fn to_usize(n: u32) -> Result<usize, ReadWavError> {
+    usize::try_from(n)
+        .map_err(|_| ReadWavError::Format(format!("chunk length {n} exceeds address space")))
 }
 
 /// Default cap on decoded samples for [`read_wav`]: 2²⁴ samples is about
@@ -158,9 +175,9 @@ pub fn read_wav_with_limit<R: Read>(
                 // followed by a pad byte not counted in the length.
                 let consumed = 16;
                 if chunk_len > consumed {
-                    skip(&mut reader, (chunk_len - consumed) as usize)?;
+                    skip(&mut reader, to_usize(chunk_len - consumed)?)?;
                 }
-                skip(&mut reader, (chunk_len % 2) as usize)?;
+                skip(&mut reader, usize::from(chunk_len % 2 == 1))?;
             }
             b"data" => {
                 if channels != 1 {
@@ -172,7 +189,7 @@ pub fn read_wav_with_limit<R: Read>(
                 if sample_rate == 0 {
                     return Err(ReadWavError::Format("data chunk before fmt".into()));
                 }
-                let declared = (chunk_len / 2) as usize;
+                let declared = to_usize(chunk_len / 2)?;
                 if declared > max_samples {
                     return Err(ReadWavError::Format(format!(
                         "data chunk declares {declared} samples, limit is {max_samples}"
@@ -181,7 +198,7 @@ pub fn read_wav_with_limit<R: Read>(
                 // Stream through a fixed buffer: the declared length is
                 // attacker-controlled and must not size an allocation.
                 let mut samples = Vec::with_capacity(declared);
-                let mut remaining = chunk_len as usize;
+                let mut remaining = to_usize(chunk_len)?;
                 let mut buf = [0u8; 4096];
                 while remaining > 1 {
                     let take = remaining.min(buf.len()) & !1;
@@ -195,7 +212,7 @@ pub fn read_wav_with_limit<R: Read>(
                 }
                 return Ok(Waveform::from_samples(samples, sample_rate));
             }
-            _ => skip(&mut reader, chunk_len as usize + (chunk_len % 2) as usize)?,
+            _ => skip(&mut reader, to_usize(chunk_len)? + usize::from(chunk_len % 2 == 1))?,
         }
     }
 }

@@ -88,13 +88,15 @@ pub fn adaptive(ctx: &ExperimentContext) {
     // 3. The comprehensive proactive system (trained on synthesized
     //    Type-4/5/6 vectors, never on real MAE audio) catches them.
     let sets = build_sets(ctx);
-    let mut train_aes = Vec::new();
+    let mut train_aes = mvp_ml::Mat::zeros(0, sets.per_type[3].n_cols());
     for i in 3..6 {
-        train_aes.extend(sets.per_type[i].clone());
+        for row in sets.per_type[i].rows() {
+            train_aes.push_row(row);
+        }
     }
     let benign: Vec<Vec<f64>> =
-        (0..train_aes.len()).map(|i| sets.benign[i % sets.benign.len()].clone()).collect();
-    let data = Dataset::from_classes(score_mat(benign), score_mat(train_aes));
+        (0..train_aes.n_rows()).map(|i| sets.benign[i % sets.benign.len()].clone()).collect();
+    let data = Dataset::from_classes(score_mat(benign), train_aes);
     let mut model: Box<dyn Classifier> = ClassifierKind::Svm.build();
     model.fit(&data);
     let caught = mae_scores.iter().filter(|v| model.predict(v) == 1).count();

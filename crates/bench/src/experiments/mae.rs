@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use mvp_ears::eval::ScorePools;
 use mvp_ears::{synthesize_mae, MaeType, SimilarityMethod};
-use mvp_ml::{BinaryMetrics, Classifier, ClassifierKind, Dataset};
+use mvp_ml::{BinaryMetrics, Classifier, ClassifierKind, Dataset, Mat};
 
 use crate::context::{score_mat, ExperimentContext};
 use crate::table::Table;
@@ -18,10 +18,10 @@ use super::THREE_AUX;
 pub struct MaeSets {
     /// Benign score vectors (real audio).
     pub benign: Vec<Vec<f64>>,
-    /// Original (real) AE score vectors.
-    pub original: Vec<Vec<f64>>,
-    /// Synthesized vectors per MAE type, in [`MaeType::ALL`] order.
-    pub per_type: Vec<Vec<Vec<f64>>>,
+    /// Original (real) AE score matrix, one row per AE.
+    pub original: Mat,
+    /// Synthesized score matrix per MAE type, in [`MaeType::ALL`] order.
+    pub per_type: Vec<Mat>,
 }
 
 /// Builds the score pools and synthesizes every MAE type.
@@ -37,7 +37,7 @@ pub fn build_sets(ctx: &ExperimentContext) -> MaeSets {
             synthesize_mae(&pools, &t.fooled_mask(), ctx.scale.mae_per_type, 1000 + i as u64)
         })
         .collect();
-    MaeSets { benign, original, per_type }
+    MaeSets { benign, original: score_mat(original), per_type }
 }
 
 /// Table IX: the six MAE types and their synthesized counts.
@@ -49,31 +49,36 @@ pub fn table9(ctx: &ExperimentContext) {
         t.row([
             format!("Type-{}", i + 1),
             ty.name().to_string(),
-            sets.per_type[i].len().to_string(),
+            sets.per_type[i].n_rows().to_string(),
         ]);
     }
     println!("{t}");
 }
 
-/// Resamples `source` vectors with replacement to `count` (the paper pads
-/// its benign feature set the same way for the comprehensive system).
-fn resample(source: &[Vec<f64>], count: usize, seed: u64) -> Vec<Vec<f64>> {
+/// Resamples `source` vectors with replacement into a `count`-row matrix
+/// (the paper pads its benign feature set the same way for the
+/// comprehensive system).
+fn resample(source: &[Vec<f64>], count: usize, seed: u64) -> Mat {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| source[rng.gen_range(0..source.len())].clone()).collect()
+    let mut out = Mat::zeros(0, source.first().map_or(0, Vec::len));
+    for _ in 0..count {
+        out.push_row(&source[rng.gen_range(0..source.len())]);
+    }
+    out
 }
 
-fn train_svm(benign: &[Vec<f64>], aes: &[Vec<f64>]) -> Box<dyn Classifier> {
-    let data = Dataset::from_classes(score_mat(benign.to_vec()), score_mat(aes.to_vec()));
+fn train_svm(benign: Mat, aes: &Mat) -> Box<dyn Classifier> {
+    let data = Dataset::from_classes(benign, aes.clone());
     let mut model = ClassifierKind::Svm.build();
     model.fit(&data);
     model
 }
 
-fn defense_rate(model: &dyn Classifier, aes: &[Vec<f64>]) -> f64 {
+fn defense_rate(model: &dyn Classifier, aes: &Mat) -> f64 {
     if aes.is_empty() {
         return 0.0;
     }
-    aes.iter().filter(|v| model.predict(v) == 1).count() as f64 / aes.len() as f64
+    aes.rows().filter(|v| model.predict(v) == 1).count() as f64 / aes.n_rows() as f64
 }
 
 /// Table X: accuracy of systems trained on each MAE type (80/20, SVM).
@@ -82,8 +87,8 @@ pub fn table10(ctx: &ExperimentContext) {
     let sets = build_sets(ctx);
     let mut t = Table::new(["MAE AE type", "Accuracy", "FPR", "FNR"]);
     for (i, _) in MaeType::ALL.iter().enumerate() {
-        let benign = resample(&sets.benign, sets.per_type[i].len(), 50 + i as u64);
-        let data = Dataset::from_classes(score_mat(benign), score_mat(sets.per_type[i].clone()));
+        let benign = resample(&sets.benign, sets.per_type[i].n_rows(), 50 + i as u64);
+        let data = Dataset::from_classes(benign, sets.per_type[i].clone());
         let (train, test) = data.split(0.8, 9);
         let mut model = ClassifierKind::Svm.build();
         model.fit(&train);
@@ -107,14 +112,14 @@ pub fn table11(ctx: &ExperimentContext) {
     let names: Vec<String> = std::iter::once("Original".to_string())
         .chain((1..=6).map(|i| format!("Type-{i}")))
         .collect();
-    let train_sets: Vec<&Vec<Vec<f64>>> =
+    let train_sets: Vec<&Mat> =
         std::iter::once(&sets.original).chain(sets.per_type.iter()).collect();
     let mut header = vec!["train \\ test".to_string()];
     header.extend(names.iter().cloned());
     let mut t = Table::new(header);
     for (ri, train_aes) in train_sets.iter().enumerate() {
-        let benign = resample(&sets.benign, train_aes.len().max(1), 80 + ri as u64);
-        let model = train_svm(&benign, train_aes);
+        let benign = resample(&sets.benign, train_aes.n_rows().max(1), 80 + ri as u64);
+        let model = train_svm(benign, train_aes);
         let mut row = vec![names[ri].clone()];
         for (ci, test_aes) in train_sets.iter().enumerate() {
             if ri == ci {
@@ -136,12 +141,14 @@ pub fn table11(ctx: &ExperimentContext) {
 pub fn table12(ctx: &ExperimentContext) {
     println!("== Table XII: comprehensive system (trained on Type-4/5/6 MAE AEs) ==");
     let sets = build_sets(ctx);
-    let mut train_aes: Vec<Vec<f64>> = Vec::new();
+    let mut train_aes = Mat::zeros(0, sets.per_type[3].n_cols());
     for i in 3..6 {
-        train_aes.extend(sets.per_type[i].clone());
+        for row in sets.per_type[i].rows() {
+            train_aes.push_row(row);
+        }
     }
-    let benign = resample(&sets.benign, train_aes.len(), 123);
-    let data = Dataset::from_classes(score_mat(benign), score_mat(train_aes));
+    let benign = resample(&sets.benign, train_aes.n_rows(), 123);
+    let data = Dataset::from_classes(benign, train_aes);
     let (train, test) = data.split(0.8, 11);
     let mut model = ClassifierKind::Svm.build();
     model.fit(&train);

@@ -1,28 +1,33 @@
 //! Score-pool collection and experiment helpers.
 
 use mvp_audio::Waveform;
+use mvp_ml::Mat;
 
 use crate::system::DetectionSystem;
 
 /// Per-auxiliary pools of benign (λBe) and attack (λAk) similarity scores
 /// (paper §V-H), collected from real audio datasets and sampled during MAE
 /// synthesis.
+///
+/// Each pool is a contiguous [`Mat`] with one row per auxiliary ASR and
+/// one column per scored sample, so MAE synthesis draws from cache-local
+/// rows instead of chasing per-auxiliary allocations.
 #[derive(Debug, Clone, Default)]
 pub struct ScorePools {
-    /// `benign[i]` = benign-score pool of auxiliary `i`.
-    benign: Vec<Vec<f64>>,
-    /// `attack[i]` = AE-score pool of auxiliary `i`.
-    attack: Vec<Vec<f64>>,
+    /// Row `i` = benign-score pool of auxiliary `i`.
+    benign: Mat,
+    /// Row `i` = AE-score pool of auxiliary `i`.
+    attack: Mat,
 }
 
 impl ScorePools {
-    /// Wraps per-auxiliary pools.
+    /// Wraps per-auxiliary pools (rows = auxiliaries, columns = samples).
     ///
     /// # Panics
     ///
-    /// Panics if the pool counts differ.
-    pub fn new(benign: Vec<Vec<f64>>, attack: Vec<Vec<f64>>) -> ScorePools {
-        assert_eq!(benign.len(), attack.len(), "auxiliary count mismatch");
+    /// Panics if the auxiliary (row) counts differ.
+    pub fn new(benign: Mat, attack: Mat) -> ScorePools {
+        assert_eq!(benign.n_rows(), attack.n_rows(), "auxiliary count mismatch");
         ScorePools { benign, attack }
     }
 
@@ -35,8 +40,14 @@ impl ScorePools {
         assert!(!benign.is_empty() && !attack.is_empty(), "empty score set");
         let n = benign[0].len();
         assert!(benign.iter().chain(attack).all(|v| v.len() == n), "ragged score vectors");
-        let transpose = |vecs: &[Vec<f64>]| -> Vec<Vec<f64>> {
-            (0..n).map(|i| vecs.iter().map(|v| v[i]).collect()).collect()
+        let transpose = |vecs: &[Vec<f64>]| -> Mat {
+            let mut m = Mat::zeros(n, vecs.len());
+            for (j, v) in vecs.iter().enumerate() {
+                for (i, &s) in v.iter().enumerate() {
+                    m.row_mut(i)[j] = s;
+                }
+            }
+            m
         };
         ScorePools { benign: transpose(benign), attack: transpose(attack) }
     }
@@ -47,14 +58,14 @@ impl ScorePools {
         benign: &[Waveform],
         adversarial: &[Waveform],
     ) -> ScorePools {
-        let b: Vec<Vec<f64>> = benign.iter().map(|w| system.score_vector(w)).collect();
-        let a: Vec<Vec<f64>> = adversarial.iter().map(|w| system.score_vector(w)).collect();
+        let b: Vec<_> = benign.iter().map(|w| system.score_vector(w)).collect();
+        let a: Vec<_> = adversarial.iter().map(|w| system.score_vector(w)).collect();
         ScorePools::from_score_vectors(&b, &a)
     }
 
     /// Number of auxiliaries the pools cover.
     pub fn n_auxiliaries(&self) -> usize {
-        self.benign.len()
+        self.benign.n_rows()
     }
 
     /// The benign pool of auxiliary `i`.
@@ -63,7 +74,7 @@ impl ScorePools {
     ///
     /// Panics if `i` is out of range.
     pub fn benign(&self, i: usize) -> &[f64] {
-        &self.benign[i]
+        self.benign.row(i)
     }
 
     /// The attack pool of auxiliary `i`.
@@ -72,7 +83,7 @@ impl ScorePools {
     ///
     /// Panics if `i` is out of range.
     pub fn attack(&self, i: usize) -> &[f64] {
-        &self.attack[i]
+        self.attack.row(i)
     }
 }
 

@@ -9,6 +9,7 @@
 //! from the attack pool. A detector trained on such vectors stays
 //! effective against transferable AEs before any exist.
 
+use mvp_ml::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -81,9 +82,9 @@ impl std::fmt::Display for MaeType {
     }
 }
 
-/// Synthesizes `count` MAE feature vectors: per auxiliary `i`, fooled
-/// positions draw from that auxiliary's benign score pool and resisting
-/// positions from its attack pool.
+/// Synthesizes `count` MAE feature vectors (one [`Mat`] row per vector):
+/// per auxiliary `i`, fooled positions draw from that auxiliary's benign
+/// score pool and resisting positions from its attack pool.
 ///
 /// `fooled` must have one entry per auxiliary of `pools`.
 ///
@@ -91,27 +92,19 @@ impl std::fmt::Display for MaeType {
 ///
 /// Panics if the mask length mismatches the pools or any needed pool is
 /// empty.
-pub fn synthesize_mae(
-    pools: &ScorePools,
-    fooled: &[bool],
-    count: usize,
-    seed: u64,
-) -> Vec<Vec<f64>> {
+pub fn synthesize_mae(pools: &ScorePools, fooled: &[bool], count: usize, seed: u64) -> Mat {
     assert_eq!(fooled.len(), pools.n_auxiliaries(), "mask/auxiliary mismatch");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_4541); // "MAEA"
-    (0..count)
-        .map(|_| {
-            fooled
-                .iter()
-                .enumerate()
-                .map(|(i, &is_fooled)| {
-                    let pool = if is_fooled { pools.benign(i) } else { pools.attack(i) };
-                    assert!(!pool.is_empty(), "empty score pool for auxiliary {i}");
-                    pool[rng.gen_range(0..pool.len())]
-                })
-                .collect()
-        })
-        .collect()
+    let mut out = Mat::zeros(count, fooled.len());
+    for v in 0..count {
+        let row = out.row_mut(v);
+        for (i, &is_fooled) in fooled.iter().enumerate() {
+            let pool = if is_fooled { pools.benign(i) } else { pools.attack(i) };
+            assert!(!pool.is_empty(), "empty score pool for auxiliary {i}");
+            row[i] = pool[rng.gen_range(0..pool.len())];
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -122,15 +115,15 @@ mod tests {
         // Three auxiliaries, benign scores high, attack scores low.
         let benign = vec![vec![0.9, 0.91, 0.92], vec![0.85, 0.88, 0.9], vec![0.95, 0.96, 0.9]];
         let attack = vec![vec![0.1, 0.12, 0.15], vec![0.2, 0.18, 0.22], vec![0.05, 0.1, 0.12]];
-        ScorePools::new(benign, attack)
+        ScorePools::new(Mat::from_rows(benign, 3), Mat::from_rows(attack, 3))
     }
 
     #[test]
     fn fooled_positions_draw_from_benign_pool() {
         let p = pools();
         let vecs = synthesize_mae(&p, &MaeType::Type4.fooled_mask(), 50, 7);
-        assert_eq!(vecs.len(), 50);
-        for v in &vecs {
+        assert_eq!(vecs.n_rows(), 50);
+        for v in vecs.rows() {
             assert!(v[0] > 0.8, "DS1 fooled -> benign-like: {v:?}");
             assert!(v[1] > 0.8, "GCS fooled -> benign-like: {v:?}");
             assert!(v[2] < 0.3, "AT resists -> attack-like: {v:?}");

@@ -123,7 +123,7 @@ impl DetectionSystemSnapshot {
 
 impl Persist for DetectionSystemSnapshot {
     const KIND: ArtifactKind = ArtifactKind::DETECTION_SNAPSHOT;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         self.target.encode(enc);

@@ -197,9 +197,16 @@ impl DetectionSystem {
     /// Panics if either set is empty.
     pub fn train(&mut self, benign: &[Waveform], adversarial: &[Waveform], kind: ClassifierKind) {
         assert!(!benign.is_empty() && !adversarial.is_empty(), "empty training class");
-        let neg: Vec<Vec<f64>> = benign.iter().map(|w| self.score_vector(w)).collect();
-        let pos: Vec<Vec<f64>> = adversarial.iter().map(|w| self.score_vector(w)).collect();
-        self.train_on_scores(&neg, &pos, kind);
+        let dim = self.n_auxiliaries();
+        let mut neg = Mat::zeros(0, dim);
+        for w in benign {
+            neg.push_row(&self.score_vector(w));
+        }
+        let mut pos = Mat::zeros(0, dim);
+        for w in adversarial {
+            pos.push_row(&self.score_vector(w));
+        }
+        self.train_on_mats(neg, pos, kind);
     }
 
     /// Trains the classifier directly on score vectors — used both to
@@ -215,16 +222,34 @@ impl DetectionSystem {
         ae_scores: &[Vec<f64>],
         kind: ClassifierKind,
     ) {
-        assert!(!benign_scores.is_empty() && !ae_scores.is_empty(), "empty training class");
         let dim = self.n_auxiliaries();
         assert!(
             benign_scores.iter().chain(ae_scores).all(|v| v.len() == dim),
             "score vectors must have one entry per auxiliary ({dim})"
         );
-        let data = Dataset::from_classes(
+        self.train_on_mats(
             Mat::from_rows(benign_scores.to_vec(), dim),
             Mat::from_rows(ae_scores.to_vec(), dim),
+            kind,
         );
+    }
+
+    /// Trains the classifier from contiguous score matrices (one row per
+    /// sample) — the data-plane entry point the other `train*` methods
+    /// funnel into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class is empty or a matrix width differs from the
+    /// auxiliary count.
+    pub fn train_on_mats(&mut self, benign_scores: Mat, ae_scores: Mat, kind: ClassifierKind) {
+        assert!(!benign_scores.is_empty() && !ae_scores.is_empty(), "empty training class");
+        let dim = self.n_auxiliaries();
+        assert!(
+            benign_scores.n_cols() == dim && ae_scores.n_cols() == dim,
+            "score matrices must have one column per auxiliary ({dim})"
+        );
+        let data = Dataset::from_classes(benign_scores, ae_scores);
         self.classifier = Some(FittedClassifier::fit(kind, &data));
     }
 

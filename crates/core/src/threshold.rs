@@ -73,7 +73,7 @@ impl ThresholdDetector {
 
 impl Persist for ThresholdDetector {
     const KIND: ArtifactKind = ArtifactKind::THRESHOLD_DETECTOR;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_f64(self.threshold);
@@ -110,7 +110,7 @@ impl From<Vec<ThresholdDetector>> for ThresholdBank {
 
 impl Persist for ThresholdBank {
     const KIND: ArtifactKind = ArtifactKind::THRESHOLD_BANK;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_usize(self.0.len());
@@ -224,7 +224,7 @@ mod tests {
         mvp_artifact::write_artifact(
             &mut bytes,
             ThresholdDetector::KIND,
-            ThresholdDetector::SCHEMA,
+            ThresholdDetector::SCHEMA_VERSION,
             enc.as_bytes(),
         )
         .unwrap();

@@ -34,6 +34,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if any row's length differs from `n_cols`.
+    // mvp-lint: allow(nested-vec-f64) -- the one bridge constructor from row-per-allocation data; rows are flattened into the contiguous buffer immediately
     pub fn from_rows(rows: Vec<Vec<f64>>, n_cols: usize) -> Mat {
         let n_rows = rows.len();
         let mut data = Vec::with_capacity(n_rows * n_cols);

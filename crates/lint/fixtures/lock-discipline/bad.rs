@@ -1,0 +1,15 @@
+// Linted as if at crates/serve/src/bad.rs: raw .lock() outside
+// SharedCache::with bypasses the single poison-recovery point.
+use std::sync::Mutex;
+
+pub struct Worker {
+    state: Mutex<u32>,
+}
+
+impl Worker {
+    pub fn bump(&self) -> u32 {
+        let mut guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *guard += 1;
+        *guard
+    }
+}

@@ -1,0 +1,8 @@
+// Linted as if at crates/core/src/bad.rs — a numeric crate.
+pub struct Pools {
+    benign: Vec<Vec<f64>>,
+}
+
+pub fn transpose(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    Vec::new()
+}

@@ -1,0 +1,21 @@
+// Mat in production code; nested vectors confined to tests, strings and
+// comments, none of which may trip the rule.
+use mvp_dsp::Mat;
+
+/// Not real code: `Vec<Vec<f64>>` in a doc comment.
+pub struct Pools {
+    benign: Mat,
+}
+
+pub fn describe() -> &'static str {
+    "Vec<Vec<f64>> inside a string literal"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn builds_from_rows() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0]];
+        assert_eq!(rows.len(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Linted as if at crates/audio/src/wav.rs: `as` narrowing of
+// header-declared values wraps silently.
+pub fn chunk_to_len(chunk_len: u32) -> usize {
+    chunk_len as usize
+}
+
+pub fn halve(len: u64) -> u32 {
+    (len / 2) as u32
+}

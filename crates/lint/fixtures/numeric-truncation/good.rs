@@ -1,0 +1,21 @@
+// Checked conversions and widening casts only.
+pub fn chunk_to_len(chunk_len: u32) -> Result<usize, String> {
+    usize::try_from(chunk_len).map_err(|_| "chunk too large".to_string())
+}
+
+pub fn widen(len: u32) -> u64 {
+    u64::from(len)
+}
+
+pub fn to_float(len: u32) -> f64 {
+    // Widening to f64 loses no range.
+    len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_fine() {
+        assert_eq!(300u32 as u8, 44);
+    }
+}

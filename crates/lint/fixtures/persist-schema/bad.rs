@@ -1,0 +1,16 @@
+// An impl Persist without its own SCHEMA_VERSION const: the wire format
+// has no version to check on decode.
+pub trait Persist {
+    const SCHEMA_VERSION: u16 = 1;
+    fn encode(&self) -> Vec<u8>;
+}
+
+pub struct Blob {
+    bytes: Vec<u8>,
+}
+
+impl Persist for Blob {
+    fn encode(&self) -> Vec<u8> {
+        self.bytes.clone()
+    }
+}

@@ -1,0 +1,24 @@
+// Every Persist impl pins its own schema version; unrelated impls need
+// no const.
+pub trait Persist {
+    const SCHEMA_VERSION: u16 = 1;
+    fn encode(&self) -> Vec<u8>;
+}
+
+pub struct Blob {
+    bytes: Vec<u8>,
+}
+
+impl Persist for Blob {
+    const SCHEMA_VERSION: u16 = 3;
+
+    fn encode(&self) -> Vec<u8> {
+        self.bytes.clone()
+    }
+}
+
+impl Clone for Blob {
+    fn clone(&self) -> Blob {
+        Blob { bytes: self.bytes.clone() }
+    }
+}

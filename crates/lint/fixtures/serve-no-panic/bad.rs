@@ -1,0 +1,16 @@
+// Linted as if at crates/serve/src/bad.rs — the request path.
+pub fn handle(input: Option<u32>) -> u32 {
+    let v = input.unwrap();
+    let w = compute(v).expect("compute failed");
+    if w == 0 {
+        panic!("zero");
+    }
+    match w {
+        1 => 1,
+        _ => unreachable!(),
+    }
+}
+
+fn compute(v: u32) -> Option<u32> {
+    Some(v)
+}

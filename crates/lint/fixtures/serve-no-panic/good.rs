@@ -1,0 +1,23 @@
+// Error propagation on the request path; panics only in tests, strings,
+// comments, or under a reasoned suppression.
+pub fn handle(input: Option<u32>) -> Result<u32, String> {
+    // A comment saying unwrap() is not a call to unwrap().
+    let v = input.ok_or("missing input")?;
+    let msg = "this string mentions panic!(...) harmlessly";
+    let _ = msg;
+    // mvp-lint: allow(serve-no-panic) -- construction-time invariant, no request in flight
+    let w = compute(v).expect("compute failed");
+    Ok(w)
+}
+
+fn compute(v: u32) -> Option<u32> {
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        super::handle(Some(3)).unwrap();
+    }
+}

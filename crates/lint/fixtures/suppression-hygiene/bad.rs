@@ -1,0 +1,21 @@
+// Every marker here is defective: no reason, unknown rule, malformed
+// syntax, or an empty rule list.
+pub fn a() -> u32 {
+    // mvp-lint: allow(todo-markers)
+    1
+}
+
+pub fn b() -> u32 {
+    // mvp-lint: allow(not-a-real-rule) -- the rule name is wrong
+    2
+}
+
+pub fn c() -> u32 {
+    // mvp-lint: please ignore this line
+    3
+}
+
+pub fn d() -> u32 {
+    // mvp-lint: allow() -- nothing named
+    4
+}

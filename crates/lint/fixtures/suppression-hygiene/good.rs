@@ -1,0 +1,11 @@
+// Well-formed markers: a known rule list and a reason after `--`.
+pub fn detect(x: u32) -> u32 {
+    // mvp-lint: allow(todo-markers) -- exercising the suppression grammar in a fixture
+    let y = x + 1;
+    // mvp-lint: allow(numeric-truncation, todo-markers) -- multiple rules are allowed in one marker
+    y
+}
+
+// Prose that merely mentions the mvp-lint: allow(...) syntax inside a
+// sentence is not a marker and must not be parsed as one.
+pub fn docs() {}

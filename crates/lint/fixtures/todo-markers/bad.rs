@@ -1,0 +1,8 @@
+pub fn detect(x: u32) -> u32 {
+    let traced = dbg!(x);
+    if traced > 10 {
+        todo!("handle large inputs")
+    } else {
+        unimplemented!()
+    }
+}

@@ -1,0 +1,17 @@
+// The words todo and dbg without the macro bang are fine, as are
+// mentions in comments (TODO: like this) and strings.
+pub fn detect(x: u32) -> u32 {
+    let todo = x + 1;
+    let dbg = "dbg!(x) in a string";
+    let _ = dbg;
+    todo
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffolding_in_tests_is_tolerated() {
+        let x = dbg!(2 + 2);
+        assert_eq!(x, 4);
+    }
+}

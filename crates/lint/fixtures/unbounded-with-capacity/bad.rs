@@ -1,0 +1,11 @@
+// Linted as if at crates/audio/src/bad.rs: allocations sized straight
+// from a parsed length field, no limit check anywhere nearby.
+pub fn read_samples(declared: u32) -> Vec<i16> {
+    let n = declared as u64 as usize;
+    let samples: Vec<i16> = Vec::with_capacity(n);
+    samples
+}
+
+pub fn read_table(count: usize) -> Vec<u8> {
+    vec![0u8; count]
+}

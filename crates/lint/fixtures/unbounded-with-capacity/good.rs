@@ -1,0 +1,18 @@
+// Bounded allocations: a preceding limit check, an inline clamp, or a
+// constant size.
+const MAX_SAMPLES: usize = 1 << 24;
+
+pub fn read_samples(declared: usize) -> Result<Vec<i16>, String> {
+    if declared > MAX_SAMPLES {
+        return Err(format!("{declared} samples over limit"));
+    }
+    Ok(Vec::with_capacity(declared))
+}
+
+pub fn read_clamped(count: usize) -> Vec<u8> {
+    Vec::with_capacity(count.min(MAX_SAMPLES))
+}
+
+pub fn fixed_scratch() -> Vec<f64> {
+    Vec::with_capacity(4096)
+}

@@ -1,0 +1,128 @@
+//! The `lint` binary: runs the mvp-lint rule set over the workspace.
+//!
+//! ```text
+//! lint [--root <dir>] [--rule <name>] [--fail-on=warn|deny] [--json] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when no finding reaches the gate level, 1 when one
+//! does, 2 on usage or I/O errors — so `scripts/ci.sh` can gate on it
+//! directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mvp_lint::{engine, report, Severity};
+
+struct Opts {
+    root: PathBuf,
+    rule: Option<String>,
+    fail_on: Severity,
+    json: bool,
+    list_rules: bool,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("lint: {msg}");
+            eprintln!("usage: lint [--root <dir>] [--rule <name>] [--fail-on=warn|deny] [--json] [--list-rules]");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        print!("{}", report::list_rules());
+        return ExitCode::SUCCESS;
+    }
+
+    let started = Instant::now();
+    let run = match engine::lint_workspace(&opts.root, opts.rule.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", report::json(&run));
+    } else {
+        print!("{}", report::human(&run));
+        eprintln!("lint: finished in {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
+    }
+
+    if run.fails_at(opts.fail_on) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: default_root(),
+        rule: None,
+        fail_on: Severity::Deny,
+        json: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--rule" => {
+                opts.rule = Some(validated_rule(&args.next().ok_or("--rule needs a name")?)?);
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--rule=") {
+                    opts.rule = Some(validated_rule(v)?);
+                } else if let Some(v) = other.strip_prefix("--fail-on=") {
+                    opts.fail_on = match v {
+                        "warn" => Severity::Warn,
+                        "deny" => Severity::Deny,
+                        _ => return Err(format!("--fail-on must be warn or deny, got `{v}`")),
+                    };
+                } else if let Some(v) = other.strip_prefix("--root=") {
+                    opts.root = PathBuf::from(v);
+                } else {
+                    return Err(format!("unknown argument `{other}`"));
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn validated_rule(name: &str) -> Result<String, String> {
+    let known = mvp_lint::rules::known_names();
+    if known.contains(&name) {
+        Ok(name.to_string())
+    } else {
+        Err(format!("unknown rule `{name}`; known rules: {}", known.join(", ")))
+    }
+}
+
+/// The workspace root: the nearest ancestor of the current directory
+/// with a `[workspace]` manifest, falling back to the crate's own
+/// grandparent (the layout this binary is built in).
+fn default_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

@@ -1,0 +1,55 @@
+//! Diagnostics and severities.
+
+use std::fmt;
+
+/// How a finding gates CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, but only fails the run under `--fail-on=warn`.
+    Warn,
+    /// An invariant violation: fails the default `--fail-on=deny` gate.
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case name, as printed and as accepted by `--fail-on`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule that produced the finding.
+    pub rule: &'static str,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: usize,
+    /// 1-based column (byte within the line) of the finding.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}: {}",
+            self.path, self.line, self.col, self.severity, self.rule, self.message
+        )
+    }
+}

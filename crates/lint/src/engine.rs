@@ -1,0 +1,142 @@
+//! The lint engine: runs the rule set over sources, applies inline
+//! suppressions, and reports suppression-format problems as its own
+//! `suppression-hygiene` rule.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::{self, SUPPRESSION_HYGIENE};
+use crate::source::SourceFile;
+use crate::workspace;
+
+/// Outcome of a lint run.
+pub struct LintReport {
+    /// Surviving findings, in (path, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files lexed and checked.
+    pub files_scanned: usize,
+    /// Findings silenced by a well-formed, reasoned `allow(...)`.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Highest severity present, if any finding survived.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether the run fails under the given gate level.
+    pub fn fails_at(&self, gate: Severity) -> bool {
+        self.max_severity().is_some_and(|s| s >= gate)
+    }
+}
+
+/// Lints one in-memory source under a workspace-relative path. This is
+/// the fixture-test entry point: the `rel` path decides which rules are
+/// in scope, exactly as for on-disk files.
+///
+/// # Errors
+///
+/// Returns a description of the lex failure for unparseable input.
+pub fn lint_source(
+    rel: &str,
+    text: &str,
+    only_rule: Option<&str>,
+) -> Result<Vec<Diagnostic>, String> {
+    let file = SourceFile::parse(rel, text).map_err(|e| format!("{rel}: {e}"))?;
+    let mut out = Vec::new();
+    let mut suppressed = 0usize;
+    lint_file(&file, only_rule, &mut out, &mut suppressed);
+    Ok(out)
+}
+
+/// Lints every non-vendor member source file under `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures; an unlexable file is reported as an
+/// `Err` so a lexer gap fails loudly instead of silently skipping.
+pub fn lint_workspace(root: &Path, only_rule: Option<&str>) -> io::Result<LintReport> {
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    let files = workspace::lintable_files(root)?;
+    let files_scanned = files.len();
+    for wf in &files {
+        let text = fs::read_to_string(&wf.abs)?;
+        let file = SourceFile::parse(&wf.rel, &text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", wf.rel)))?;
+        lint_file(&file, only_rule, &mut diagnostics, &mut suppressed);
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(LintReport { diagnostics, files_scanned, suppressed })
+}
+
+fn lint_file(
+    file: &SourceFile,
+    only_rule: Option<&str>,
+    out: &mut Vec<Diagnostic>,
+    suppressed: &mut usize,
+) {
+    for rule in rules::all() {
+        if only_rule.is_some_and(|r| r != rule.name()) {
+            continue;
+        }
+        if !rule.applies_to(&file.rel) {
+            continue;
+        }
+        let mut found = Vec::new();
+        rule.check(file, &mut found);
+        for d in found {
+            if file.is_suppressed(d.rule, d.line) {
+                *suppressed += 1;
+            } else {
+                out.push(d);
+            }
+        }
+    }
+    if only_rule.is_none() || only_rule == Some(SUPPRESSION_HYGIENE) {
+        suppression_hygiene(file, out);
+    }
+}
+
+/// The engine-owned rule: every `mvp-lint:` marker must be a
+/// well-formed `allow(known-rule, ...) -- reason`. Hygiene findings are
+/// deliberately not themselves suppressible.
+fn suppression_hygiene(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let known = rules::known_names();
+    for s in file.suppressions() {
+        let mut push = |message: String| {
+            out.push(Diagnostic {
+                rule: SUPPRESSION_HYGIENE,
+                severity: Severity::Deny,
+                path: file.rel.clone(),
+                line: s.line,
+                col: 1,
+                message,
+            });
+        };
+        if !s.well_formed {
+            push(
+                "malformed mvp-lint marker; expected `mvp-lint: allow(<rule>) -- <reason>`"
+                    .to_string(),
+            );
+            continue;
+        }
+        if s.reason.is_none() {
+            push(
+                "suppression has no reason; append ` -- <why this violation is acceptable>`"
+                    .to_string(),
+            );
+        }
+        for r in &s.rules {
+            if !known.contains(&r.as_str()) {
+                push(format!("suppression names unknown rule `{r}`"));
+            }
+        }
+        if s.rules.is_empty() {
+            push("suppression allows no rules; name at least one".to_string());
+        }
+    }
+}

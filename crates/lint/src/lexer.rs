@@ -1,0 +1,501 @@
+//! A hand-rolled Rust lexer, just deep enough to be trustworthy.
+//!
+//! The rules in this crate match *token* sequences, never raw text, so a
+//! `panic!` inside a string literal or a `Vec<Vec<f64>>` in a doc comment
+//! can never trip a lint. That only works if the lexer gets the hard
+//! cases right: nested block comments, escaped strings, raw strings with
+//! arbitrary `#` fences, and the `'a` lifetime / `'a'` char-literal
+//! ambiguity.
+//!
+//! Every token records its byte span in the source, and the lexer
+//! guarantees (checked by [`roundtrip_ok`] and a workspace-wide property
+//! test) that concatenating token text with the whitespace gaps between
+//! spans reproduces the input byte-for-byte — there are no silent holes a
+//! rule could fail to see.
+
+use std::fmt;
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Character literal `'x'` (and byte chars `b'x'`).
+    CharLit,
+    /// String literal, including byte strings (`b"…"`).
+    StrLit,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStrLit,
+    /// Numeric literal, including suffixes (`1_000u64`, `0x1f`, `1.5e-3`).
+    NumLit,
+    /// `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// A single punctuation character (`<` `>` `.` `!` `(` …).
+    Punct,
+}
+
+/// One token: kind plus the byte span it covers in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// A lexing failure: structurally invalid Rust the lexer refuses to
+/// guess about (unterminated string/comment/char).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset where the offending token started.
+    pub offset: usize,
+    /// What was wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, chars or block comments;
+/// the offset points at the opening delimiter.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(ahead)
+    }
+
+    fn byte(&self, at: usize) -> Option<u8> {
+        self.bytes.get(at).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize) {
+        self.out.push(Token { kind, start, end: self.pos });
+    }
+
+    fn err(&self, offset: usize, msg: &str) -> LexError {
+        LexError { offset, msg: msg.to_string() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let c = self.peek(0).expect("pos is on a char boundary");
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+                continue;
+            }
+            match c {
+                '/' if self.byte(start + 1) == Some(b'/') => self.line_comment(start),
+                '/' if self.byte(start + 1) == Some(b'*') => self.block_comment(start)?,
+                '"' => self.string(start, start)?,
+                '\'' => self.char_or_lifetime(start)?,
+                c if c.is_ascii_digit() => self.number(start),
+                c if is_ident_start(c) => self.ident_or_prefixed(start)?,
+                c => {
+                    self.pos += c.len_utf8();
+                    self.push(TokKind::Punct, start);
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn line_comment(&mut self, start: usize) {
+        while let Some(b) = self.byte(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        // pos may sit inside a multi-byte char only if that char contains
+        // a 0x0a byte, which UTF-8 continuation bytes never do.
+        self.push(TokKind::LineComment, start);
+    }
+
+    fn block_comment(&mut self, start: usize) -> Result<(), LexError> {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.byte(self.pos), self.byte(self.pos + 1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => return Err(self.err(start, "unterminated block comment")),
+            }
+        }
+        self.push(TokKind::BlockComment, start);
+        Ok(())
+    }
+
+    /// Lexes a `"…"` body starting at the opening quote (`quote_at ==
+    /// self.pos`); `start` includes any `b` prefix already consumed.
+    fn string(&mut self, start: usize, quote_at: usize) -> Result<(), LexError> {
+        self.pos = quote_at + 1;
+        loop {
+            match self.byte(self.pos) {
+                Some(b'\\') => self.pos += 2,
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(self.err(start, "unterminated string literal")),
+            }
+        }
+        if self.pos > self.bytes.len() {
+            // A trailing backslash stepped past the end.
+            return Err(self.err(start, "unterminated string literal"));
+        }
+        self.push(TokKind::StrLit, start);
+        Ok(())
+    }
+
+    /// Lexes a raw string starting at the `r` / fence (`self.pos` is on
+    /// the first `#` or the quote); `start` includes the `r`/`br` prefix.
+    fn raw_string(&mut self, start: usize) -> Result<(), LexError> {
+        let mut fence = 0usize;
+        while self.byte(self.pos) == Some(b'#') {
+            fence += 1;
+            self.pos += 1;
+        }
+        if self.byte(self.pos) != Some(b'"') {
+            return Err(self.err(start, "malformed raw string opener"));
+        }
+        self.pos += 1;
+        loop {
+            match self.byte(self.pos) {
+                Some(b'"') => {
+                    let closes = (1..=fence).all(|k| self.byte(self.pos + k) == Some(b'#'));
+                    if closes {
+                        self.pos += 1 + fence;
+                        self.push(TokKind::RawStrLit, start);
+                        return Ok(());
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(self.err(start, "unterminated raw string literal")),
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, start: usize) -> Result<(), LexError> {
+        // After the opening quote: a backslash is always a char literal;
+        // one char followed by a closing quote is a char literal;
+        // otherwise it is a lifetime / label.
+        match self.peek(1) {
+            Some('\\') => {
+                self.pos += 2; // ' and backslash
+                let escaped = self
+                    .peek(0)
+                    .ok_or_else(|| self.err(start, "unterminated character literal"))?;
+                self.pos += escaped.len_utf8();
+                // Escapes like \u{1F600} span to the closing quote.
+                while let Some(b) = self.byte(self.pos) {
+                    if b == b'\'' {
+                        self.pos += 1;
+                        self.push(TokKind::CharLit, start);
+                        return Ok(());
+                    }
+                    if b == b'\n' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Err(self.err(start, "unterminated character literal"))
+            }
+            Some(c) if self.byte(start + 1 + c.len_utf8()) == Some(b'\'') && c != '\'' => {
+                self.pos = start + 1 + c.len_utf8() + 1;
+                self.push(TokKind::CharLit, start);
+                Ok(())
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                self.pos = start + 1;
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    self.pos += c.len_utf8();
+                }
+                self.push(TokKind::Lifetime, start);
+                Ok(())
+            }
+            _ => Err(self.err(start, "stray single quote")),
+        }
+    }
+
+    fn number(&mut self, start: usize) {
+        let radix_prefixed = self.byte(start) == Some(b'0')
+            && matches!(self.byte(start + 1), Some(b'x' | b'o' | b'b'));
+        self.pos += 1;
+        while let Some(b) = self.byte(self.pos) {
+            match b {
+                b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    self.pos += 1;
+                    // Decimal exponent may carry a sign: 1.5e-3.
+                    if !radix_prefixed
+                        && (b == b'e' || b == b'E')
+                        && matches!(self.byte(self.pos), Some(b'+' | b'-'))
+                        && matches!(self.byte(self.pos + 1), Some(b'0'..=b'9'))
+                    {
+                        self.pos += 1;
+                    }
+                }
+                // A dot joins the number only when a digit follows, so
+                // ranges (`0..n`) and method calls (`1.max(x)`) stay out.
+                b'.' if matches!(self.byte(self.pos + 1), Some(b'0'..=b'9')) => self.pos += 1,
+                _ => break,
+            }
+        }
+        self.push(TokKind::NumLit, start);
+    }
+
+    fn ident_or_prefixed(&mut self, start: usize) -> Result<(), LexError> {
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+        let ident = &self.src[start..self.pos];
+        // String/char prefixes: the ident glues to a following quote.
+        match (ident, self.byte(self.pos)) {
+            ("r" | "br" | "cr", Some(b'#')) => {
+                // `r#"…"#` is a raw string; `r#ident` is a raw identifier.
+                if ident == "r" && matches!(self.peek(1), Some(c) if is_ident_start(c)) {
+                    self.pos += 1;
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        self.pos += c.len_utf8();
+                    }
+                    self.push(TokKind::Ident, start);
+                    return Ok(());
+                }
+                self.raw_string(start)
+            }
+            ("r" | "br" | "cr", Some(b'"')) => self.raw_string(start),
+            ("b" | "c", Some(b'"')) => self.string(start, self.pos),
+            ("b", Some(b'\'')) => {
+                // Byte char: never a lifetime. Reuse the char scanner from
+                // the quote; it cannot produce Lifetime after a prefix
+                // because b'x' always closes.
+                self.pos += 1;
+                match self.byte(self.pos) {
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        while let Some(b) = self.byte(self.pos) {
+                            self.pos += 1;
+                            if b == b'\'' && self.pos > start + 4 {
+                                self.push(TokKind::CharLit, start);
+                                return Ok(());
+                            }
+                        }
+                        Err(self.err(start, "unterminated byte literal"))
+                    }
+                    Some(_) => {
+                        self.pos += 1;
+                        if self.byte(self.pos) == Some(b'\'') {
+                            self.pos += 1;
+                            self.push(TokKind::CharLit, start);
+                            Ok(())
+                        } else {
+                            Err(self.err(start, "unterminated byte literal"))
+                        }
+                    }
+                    None => Err(self.err(start, "unterminated byte literal")),
+                }
+            }
+            _ => {
+                self.push(TokKind::Ident, start);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Checks the round-trip invariant: token spans are monotonic,
+/// non-overlapping, and the gaps between them are pure whitespace, so
+/// token text + gaps reassemble `src` exactly.
+///
+/// # Errors
+///
+/// Returns a description of the first hole or overlap found.
+pub fn roundtrip_ok(src: &str, tokens: &[Token]) -> Result<(), String> {
+    let mut cursor = 0usize;
+    for t in tokens {
+        if t.start < cursor {
+            return Err(format!("token at {} overlaps previous end {}", t.start, cursor));
+        }
+        let gap = &src[cursor..t.start];
+        if !gap.chars().all(char::is_whitespace) {
+            return Err(format!("non-whitespace gap {:?} before byte {}", gap, t.start));
+        }
+        if t.end <= t.start || t.end > src.len() {
+            return Err(format!("degenerate span {}..{}", t.start, t.end));
+        }
+        cursor = t.end;
+    }
+    let tail = &src[cursor..];
+    if !tail.chars().all(char::is_whitespace) {
+        let head: String = tail.chars().take(40).collect();
+        return Err(format!("non-whitespace tail {head:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).expect("lexes").into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::CharLit).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(chars[0].1, "'x'");
+        assert_eq!(chars[1].1, "'\\''");
+    }
+
+    #[test]
+    fn static_lifetime_and_labels() {
+        let toks = kinds("&'static str; 'outer: loop { break 'outer; }");
+        let lt: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(lt, ["'static", "'outer", "'outer"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* one /* two */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "/* one /* two */ still */");
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r#"inner "quoted" text"#; let t = r"plain";"####;
+        let toks = kinds(src);
+        let raws: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::RawStrLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(raws, [r###"r#"inner "quoted" text"#"###, r#"r"plain""#]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"RIFF"; let b = b'\n'; let c = b'x';"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::StrLit && t == "b\"RIFF\""));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "b'\\n'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "b'x'"));
+    }
+
+    #[test]
+    fn panics_in_strings_and_comments_are_not_code() {
+        let src = r#"let m = "panic!(\"no\")"; // panic! here too
+        /* unwrap() */ let ok = 1;"#;
+        let toks = kinds(src);
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Ident).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, ["let", "m", "let", "ok"]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("0..10; 1_000u64; 0x1f; 1.5e-3; x.0.1; 2.0f64");
+        let nums: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::NumLit).map(|(_, t)| t.as_str()).collect();
+        assert!(nums.contains(&"1_000u64"));
+        assert!(nums.contains(&"0x1f"));
+        assert!(nums.contains(&"1.5e-3"));
+        assert!(nums.contains(&"2.0f64"));
+        // Ranges must not swallow the dots.
+        assert!(nums.contains(&"0") && nums.contains(&"10"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn unterminated_inputs_error_not_panic() {
+        for bad in ["\"abc", "/* open", "'", "r#\"abc", "b'"] {
+            assert!(lex(bad).is_err(), "{bad:?} should fail to lex");
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_representative_source() {
+        let src = r####"
+//! Doc comment.
+fn main() {
+    let v: Vec<Vec<f64>> = vec![vec![1.0; 3]; 2];
+    let s = r#"raw "str""#;
+    let c = 'c';
+    let lt: &'static str = "x";
+    /* nested /* comments */ ok */
+    println!("{} {s} {c} {lt}", v.len());
+}
+"####;
+        let toks = lex(src).expect("lexes");
+        roundtrip_ok(src, &toks).expect("round-trips");
+    }
+}

@@ -1,0 +1,31 @@
+//! **mvp-lint** — workspace-aware static analysis for the mvp-ears
+//! workspace.
+//!
+//! The paper's defense works because independent implementations hold
+//! independent invariants; the workspace works the same way, and this
+//! crate is where those invariants become executable. Each PR that
+//! established a discipline — the `Mat` data plane, the non-panicking
+//! serve path, the artifact schema protocol, the hardened parsers —
+//! contributes a rule, and `scripts/ci.sh` gates merges on the rules
+//! holding.
+//!
+//! The design follows `mvp-obs`: zero external dependencies, a
+//! hand-rolled lexer, and reporters built on `mvp_obs::json`. The lexer
+//! produces a faithful token stream (comments, strings, raw strings,
+//! lifetimes vs. char literals), so rules match token sequences and are
+//! immune to look-alikes inside strings or comments.
+//!
+//! Findings are silenced inline with
+//! `// mvp-lint: allow(<rule>) -- <reason>`; the reason is mandatory
+//! and the marker's format is itself linted (`suppression-hygiene`).
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diag::{Diagnostic, Severity};
+pub use engine::{lint_source, lint_workspace, LintReport};

@@ -1,0 +1,82 @@
+//! Reporters: a human-readable listing and a machine-readable JSON
+//! document (built on `mvp_obs::json`, like every other artifact the
+//! workspace emits).
+
+use mvp_obs::json::JsonObj;
+
+use crate::diag::Severity;
+use crate::engine::LintReport;
+use crate::rules;
+
+/// Human-readable report: one `path:line:col: [sev] rule: message` per
+/// finding, then a summary line.
+pub fn human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let denies = count(report, Severity::Deny);
+    let warns = count(report, Severity::Warn);
+    out.push_str(&format!(
+        "mvp-lint: {} file(s) scanned, {} deny, {} warn, {} suppressed\n",
+        report.files_scanned, denies, warns, report.suppressed
+    ));
+    out
+}
+
+/// JSON report document.
+pub fn json(report: &LintReport) -> String {
+    let mut findings = String::from("[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            findings.push(',');
+        }
+        findings.push_str(
+            &JsonObj::new()
+                .str("rule", d.rule)
+                .str("severity", d.severity.name())
+                .str("path", &d.path)
+                .u64("line", d.line as u64)
+                .u64("col", d.col as u64)
+                .str("message", &d.message)
+                .finish(),
+        );
+    }
+    findings.push(']');
+    JsonObj::new()
+        .str("tool", "mvp-lint")
+        .u64("files_scanned", report.files_scanned as u64)
+        .u64("deny", count(report, Severity::Deny) as u64)
+        .u64("warn", count(report, Severity::Warn) as u64)
+        .u64("suppressed", report.suppressed as u64)
+        .raw("findings", &findings)
+        .finish()
+}
+
+/// The `--list-rules` table: one `name  severity  doc` line per rule,
+/// including the engine-owned `suppression-hygiene`. Asserted verbatim
+/// by a unit test so a new rule cannot ship without a doc line.
+pub fn list_rules() -> String {
+    let mut out = String::new();
+    let rows: Vec<(&str, &str, &str)> = rules::all()
+        .iter()
+        .map(|r| (r.name(), r.severity().name(), r.doc()))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .chain(std::iter::once((
+            rules::SUPPRESSION_HYGIENE,
+            Severity::Deny.name(),
+            "every mvp-lint marker is a well-formed allow(<known-rule>) -- <reason>",
+        )))
+        .collect();
+    let width = rows.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0);
+    for (name, sev, doc) in rows {
+        out.push_str(&format!("{name:width$}  {sev:5}  {doc}\n"));
+    }
+    out
+}
+
+fn count(report: &LintReport, sev: Severity) -> usize {
+    report.diagnostics.iter().filter(|d| d.severity == sev).count()
+}

@@ -1,0 +1,66 @@
+//! `lock-discipline`: the cache mutex is taken in exactly one place.
+//!
+//! `SharedCache::with` centralises poison recovery for the serve-path
+//! cache; any other `.lock()` call in `crates/serve/src` bypasses that
+//! recovery and can deadlock or propagate poisoning into a worker.
+//! The rule allows `.lock()` only inside a `fn with` of an
+//! `impl SharedCache` block.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+const NAME: &str = "lock-discipline";
+
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn doc(&self) -> &'static str {
+        "in crates/serve, .lock() may appear only inside SharedCache::with (poison recovery)"
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        rel.starts_with("crates/serve/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = file.code();
+        for (i, &(kind, word, at)) in toks.iter().enumerate() {
+            if kind != TokKind::Ident || word != "lock" {
+                continue;
+            }
+            let dotted = i > 0 && toks[i - 1].1 == ".";
+            let called = toks.get(i + 1).is_some_and(|t| t.1 == "(");
+            if !dotted || !called {
+                continue;
+            }
+            if file.is_test_at(at) {
+                continue;
+            }
+            let in_with = file.fn_at(at).is_some_and(|f| f.name == "with")
+                && file.in_impl_named(at, "SharedCache");
+            if in_with {
+                continue;
+            }
+            finding(
+                file,
+                NAME,
+                self.severity(),
+                at,
+                "raw .lock() outside SharedCache::with; route cache access through \
+                 SharedCache::with so poisoning is recovered in one place"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The rule framework and the built-in rule set.
+//!
+//! Each rule is a stateless checker over one lexed [`SourceFile`].
+//! Scoping (which crates/paths a rule polices) lives in the rule via
+//! [`Rule::applies_to`] so the engine stays generic; test-code
+//! exemption is each rule's responsibility via
+//! [`SourceFile::is_test_at`], because a few rules (none today) could
+//! legitimately gate tests too.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+mod lock_discipline;
+mod nested_vec_f64;
+mod numeric_truncation;
+mod persist_schema;
+mod serve_no_panic;
+mod todo_markers;
+mod unbounded_with_capacity;
+
+/// A lint rule.
+pub trait Rule {
+    /// Stable kebab-case rule name (used in reports, `--rule`, and
+    /// `allow(...)` suppressions).
+    fn name(&self) -> &'static str;
+    /// Gate level for findings of this rule.
+    fn severity(&self) -> Severity;
+    /// One-line invariant statement for `--list-rules`.
+    fn doc(&self) -> &'static str;
+    /// Whether the rule runs on this workspace-relative path.
+    fn applies_to(&self, rel: &str) -> bool;
+    /// Appends findings for `file` (already known to be in scope).
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Name reserved for the engine's own suppression-format findings.
+pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
+
+/// All built-in rules, in report order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(nested_vec_f64::NestedVecF64),
+        Box::new(serve_no_panic::ServeNoPanic),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(unbounded_with_capacity::UnboundedWithCapacity),
+        Box::new(numeric_truncation::NumericTruncation),
+        Box::new(persist_schema::PersistSchema),
+        Box::new(todo_markers::TodoMarkers),
+    ]
+}
+
+/// Every valid rule name accepted by `--rule` and `allow(...)`,
+/// including the engine-owned `suppression-hygiene`.
+pub fn known_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all().iter().map(|r| r.name()).collect();
+    names.push(SUPPRESSION_HYGIENE);
+    names
+}
+
+/// Shared helper: is `rel` a `src/` file of one of the named crate dirs?
+pub(crate) fn in_crate_src(rel: &str, crates: &[&str]) -> bool {
+    crates.iter().any(|c| rel.strip_prefix(&format!("crates/{c}/src/")).is_some())
+}
+
+/// Shared helper: push a finding at byte `offset` of `file`.
+pub(crate) fn finding(
+    file: &SourceFile,
+    rule: &'static str,
+    severity: Severity,
+    offset: usize,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let (line, col) = file.line_col(offset);
+    out.push(Diagnostic { rule, severity, path: file.rel.clone(), line, col, message });
+}

@@ -1,0 +1,65 @@
+//! `nested-vec-f64`: the data plane is `Mat`, not jagged nested vectors.
+//!
+//! PR 2 unified every numeric path on the contiguous row-major
+//! `mvp_dsp::Mat`; a `Vec<Vec<f64>>` reappearing in non-test code of a
+//! numeric crate means a score or feature path has regressed to a
+//! cache-hostile, per-row-allocating representation.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::rules::{finding, in_crate_src, Rule};
+use crate::source::SourceFile;
+
+const NAME: &str = "nested-vec-f64";
+const CRATES: &[&str] = &["dsp", "asr", "ml", "attack", "core"];
+
+pub struct NestedVecF64;
+
+impl Rule for NestedVecF64 {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn doc(&self) -> &'static str {
+        "numeric crates carry matrices as contiguous Mat, never Vec<Vec<f64>>, outside tests"
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        in_crate_src(rel, CRATES)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = file.code();
+        // Match the token run: Vec < Vec < f64 > > — whitespace-immune.
+        let words: Vec<&str> = toks.iter().map(|&(_, w, _)| w).collect();
+        for i in 0..toks.len().saturating_sub(5) {
+            let is = |j: usize, k: TokKind, w: &str| toks[i + j].0 == k && words[i + j] == w;
+            if is(0, TokKind::Ident, "Vec")
+                && is(1, TokKind::Punct, "<")
+                && is(2, TokKind::Ident, "Vec")
+                && is(3, TokKind::Punct, "<")
+                && is(4, TokKind::Ident, "f64")
+                && is(5, TokKind::Punct, ">")
+            {
+                let at = toks[i].2;
+                if file.is_test_at(at) {
+                    continue;
+                }
+                finding(
+                    file,
+                    NAME,
+                    self.severity(),
+                    at,
+                    "Vec<Vec<f64>> in non-test numeric code; use mvp_dsp::Mat (contiguous \
+                     row-major) instead"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}

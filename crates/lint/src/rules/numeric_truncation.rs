@@ -1,0 +1,68 @@
+//! `numeric-truncation`: parsers convert lengths with `try_into`, not `as`.
+//!
+//! An `as` cast to a narrower (or platform-width) integer silently
+//! wraps: a 3 GiB declared chunk length becomes a small `usize` on a
+//! 32-bit target and the parser reads garbage instead of erroring. In
+//! the byte-parsing crates (`audio`, `artifact`), integer narrowing
+//! must go through `try_into()` / `usize::try_from` so oversized values
+//! surface as format errors.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+const NAME: &str = "numeric-truncation";
+/// Cast targets that can lose value range from the wider parse types.
+const NARROW: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32"];
+
+pub struct NumericTruncation;
+
+impl Rule for NumericTruncation {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn doc(&self) -> &'static str {
+        "byte-format codecs (wav, artifact) must not narrow integers with `as`; use try_into"
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        // Scoped to the byte-format codecs, where the cast source is a
+        // field read off the wire; synthesis/DSP sample-index math in
+        // the rest of crates/audio is not parsing.
+        rel == "crates/audio/src/wav.rs" || rel.starts_with("crates/artifact/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = file.code();
+        for i in 0..toks.len().saturating_sub(1) {
+            let (kind, word, at) = toks[i];
+            if kind != TokKind::Ident || word != "as" {
+                continue;
+            }
+            let (tkind, tword, _) = toks[i + 1];
+            if tkind != TokKind::Ident || !NARROW.contains(&tword) {
+                continue;
+            }
+            if file.is_test_at(at) {
+                continue;
+            }
+            finding(
+                file,
+                NAME,
+                self.severity(),
+                at,
+                format!(
+                    "narrowing `as {tword}` cast in parsing code; use `try_into()` so \
+                     out-of-range values become format errors instead of wrapping"
+                ),
+                out,
+            );
+        }
+    }
+}

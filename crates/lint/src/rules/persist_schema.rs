@@ -1,0 +1,75 @@
+//! `persist-schema`: every persisted type pins its schema version.
+//!
+//! The artifact container refuses payloads whose schema version does
+//! not match the decoder (PR 3). That protocol only works if every
+//! `impl Persist for T` declares its own `SCHEMA_VERSION` const —
+//! inherited or copy-pasted versions silently couple unrelated types'
+//! wire formats.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+const NAME: &str = "persist-schema";
+
+pub struct PersistSchema;
+
+impl Rule for PersistSchema {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn doc(&self) -> &'static str {
+        "every `impl Persist for T` declares a `SCHEMA_VERSION` const for its wire format"
+    }
+
+    fn applies_to(&self, _rel: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = file.code();
+        // Collect `const SCHEMA_VERSION` declaration offsets once.
+        let decls: Vec<usize> = toks
+            .windows(2)
+            .filter(|w| {
+                w[0].0 == TokKind::Ident
+                    && w[0].1 == "const"
+                    && w[1].0 == TokKind::Ident
+                    && w[1].1 == "SCHEMA_VERSION"
+            })
+            .map(|w| w[1].2)
+            .collect();
+        // `impl Persist for T` blocks come from the structural scan; the
+        // trait definition itself (`trait Persist { ... }`) has no impl
+        // span, so it is naturally exempt.
+        for imp in file.impl_spans() {
+            if imp.trait_name.as_deref() != Some("Persist") {
+                continue;
+            }
+            if file.is_test_at(imp.start) {
+                continue;
+            }
+            let has = decls.iter().any(|&d| d >= imp.start && d < imp.end);
+            if !has {
+                finding(
+                    file,
+                    NAME,
+                    self.severity(),
+                    imp.start,
+                    format!(
+                        "`impl Persist for {}` has no `SCHEMA_VERSION` const; declare the \
+                         type's own wire-format version",
+                        imp.name
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

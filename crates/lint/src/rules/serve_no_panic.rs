@@ -1,0 +1,83 @@
+//! `serve-no-panic`: the request path degrades, it does not abort.
+//!
+//! PR 1's serving engine promises graceful degradation under load; a
+//! single `unwrap()` on a request path turns a recoverable condition
+//! into a dead worker thread. Panicking constructs in
+//! `crates/serve/src` non-test code must be replaced with error
+//! propagation or carry a written suppression explaining why the panic
+//! is an invariant (not an input) failure.
+//!
+//! `loadgen.rs` is exempt by scope: it is the load-generator harness
+//! driving the engine from outside, not the request path itself.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+const NAME: &str = "serve-no-panic";
+
+pub struct ServeNoPanic;
+
+impl Rule for ServeNoPanic {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn doc(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable! in crates/serve request-path code (loadgen exempt)"
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        rel.starts_with("crates/serve/src/") && rel != "crates/serve/src/loadgen.rs"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = file.code();
+        for (i, &(kind, word, at)) in toks.iter().enumerate() {
+            if kind != TokKind::Ident {
+                continue;
+            }
+            let construct = match word {
+                "unwrap" | "expect" => {
+                    // Method call: preceded by `.`, followed by `(`.
+                    let dotted = i > 0 && toks[i - 1].1 == ".";
+                    let called = toks.get(i + 1).is_some_and(|t| t.1 == "(");
+                    if dotted && called {
+                        Some(format!(".{word}()"))
+                    } else {
+                        None
+                    }
+                }
+                "panic" | "unreachable" => {
+                    // Macro: followed by `!`.
+                    if toks.get(i + 1).is_some_and(|t| t.1 == "!") {
+                        Some(format!("{word}!"))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            let Some(construct) = construct else { continue };
+            if file.is_test_at(at) {
+                continue;
+            }
+            finding(
+                file,
+                NAME,
+                self.severity(),
+                at,
+                format!(
+                    "{construct} on the serve request path; propagate an error (the engine \
+                     must degrade, not abort)"
+                ),
+                out,
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `todo-markers`: no scaffolding ships.
+//!
+//! `todo!()` and `unimplemented!()` are runtime panics wearing a
+//! comment's clothing, and `dbg!` is stderr noise with an artifact's
+//! lifetime. None may appear in non-test code anywhere in the
+//! workspace.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+const NAME: &str = "todo-markers";
+
+pub struct TodoMarkers;
+
+impl Rule for TodoMarkers {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn doc(&self) -> &'static str {
+        "no todo!/unimplemented!/dbg! anywhere in non-test workspace code"
+    }
+
+    fn applies_to(&self, _rel: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = file.code();
+        for i in 0..toks.len().saturating_sub(1) {
+            let (kind, word, at) = toks[i];
+            if kind != TokKind::Ident {
+                continue;
+            }
+            if !matches!(word, "todo" | "unimplemented" | "dbg") {
+                continue;
+            }
+            if toks[i + 1].1 != "!" {
+                continue;
+            }
+            if file.is_test_at(at) {
+                continue;
+            }
+            finding(
+                file,
+                NAME,
+                self.severity(),
+                at,
+                format!("`{word}!` marker in non-test code; finish or remove it before merge"),
+                out,
+            );
+        }
+    }
+}

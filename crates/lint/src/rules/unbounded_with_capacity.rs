@@ -1,0 +1,186 @@
+//! `unbounded-with-capacity`: parser allocations are bounded first.
+//!
+//! PR 4 hardened the WAV parser against declared-length attacks: a
+//! length read from untrusted bytes must be checked against a limit
+//! before it sizes an allocation. This rule flags
+//! `Vec::with_capacity(expr)` / `vec![elem; expr]` in the parsing
+//! crates when `expr` is dynamic (names a runtime variable) and no
+//! comparison against any of those variables appears in the preceding
+//! lines of the same function.
+//!
+//! The look-back is a proximity heuristic, so the rule is `warn`-level:
+//! a guard placed further away (or expressed through a helper) is
+//! reported but should be suppressed with a reason rather than
+//! contorted.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+const NAME: &str = "unbounded-with-capacity";
+/// How many lines above the allocation a guard may sit.
+const LOOKBACK_LINES: usize = 15;
+
+pub struct UnboundedWithCapacity;
+
+impl Rule for UnboundedWithCapacity {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn doc(&self) -> &'static str {
+        "in audio/artifact parsers, with_capacity/vec![..; n] from parsed values needs a \
+         prior limit check (heuristic)"
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        rel.starts_with("crates/audio/src/") || rel.starts_with("crates/artifact/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = file.code();
+        for i in 0..toks.len() {
+            let (kind, word, at) = toks[i];
+            if kind != TokKind::Ident {
+                continue;
+            }
+            // Locate the capacity expression's token range.
+            let arg = if word == "with_capacity" && toks.get(i + 1).is_some_and(|t| t.1 == "(") {
+                delimited(&toks, i + 1, "(", ")")
+            } else if word == "vec"
+                && toks.get(i + 1).is_some_and(|t| t.1 == "!")
+                && toks.get(i + 2).is_some_and(|t| t.1 == "[")
+            {
+                // vec![elem; n] — take tokens after the top-level `;`.
+                delimited(&toks, i + 2, "[", "]").and_then(|(lo, hi)| {
+                    let mut depth = 0usize;
+                    for j in lo..hi {
+                        match toks[j].1 {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                            ";" if depth == 0 => return Some((j + 1, hi)),
+                            _ => {}
+                        }
+                    }
+                    None
+                })
+            } else {
+                None
+            };
+            let Some((lo, hi)) = arg else { continue };
+            if file.is_test_at(at) {
+                continue;
+            }
+            let vars = dynamic_idents(&toks[lo..hi]);
+            if vars.is_empty() {
+                continue; // constant-sized allocation
+            }
+            // Clamped inline (`n.min(LIMIT)`) counts as its own guard.
+            if toks[lo..hi].iter().any(|t| t.0 == TokKind::Ident && t.1 == "min") {
+                continue;
+            }
+            if guarded(file, &toks, i, &vars) {
+                continue;
+            }
+            finding(
+                file,
+                NAME,
+                self.severity(),
+                at,
+                format!(
+                    "allocation sized by `{}` with no limit check in the preceding {} lines; \
+                     compare against a maximum first or clamp with .min()",
+                    vars.join("`/`"),
+                    LOOKBACK_LINES
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Token index range strictly inside the delimiter pair opening at `open`.
+fn delimited(
+    toks: &[(TokKind, &str, usize)],
+    open: usize,
+    l: &str,
+    r: &str,
+) -> Option<(usize, usize)> {
+    if toks.get(open)?.1 != l {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.1 == l {
+            depth += 1;
+        } else if t.1 == r {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open + 1, j));
+            }
+        }
+    }
+    None
+}
+
+/// Lower-case identifiers in the expression — runtime values, as opposed
+/// to `SCREAMING_CASE` consts and type/path names.
+fn dynamic_idents<'a>(toks: &[(TokKind, &'a str, usize)]) -> Vec<&'a str> {
+    let mut out: Vec<&str> = Vec::new();
+    for (j, &(kind, word, _)) in toks.iter().enumerate() {
+        if kind != TokKind::Ident {
+            continue;
+        }
+        if word.chars().next().is_some_and(char::is_uppercase) {
+            continue;
+        }
+        // Skip method names (`x.len()` — `len` is not the variable).
+        if j > 0 && toks[j - 1].1 == "." {
+            continue;
+        }
+        if matches!(word, "as" | "usize" | "u8" | "u16" | "u32" | "u64" | "f32" | "f64") {
+            continue;
+        }
+        if !out.contains(&word) {
+            out.push(word);
+        }
+    }
+    out
+}
+
+/// Does a comparison involving one of `vars` appear between the start of
+/// the look-back window and the allocation at token `site`?
+fn guarded(file: &SourceFile, toks: &[(TokKind, &str, usize)], site: usize, vars: &[&str]) -> bool {
+    let site_at = toks[site].2;
+    let site_line = file.line_of(site_at);
+    let fn_start = file.fn_at(site_at).map_or(0, |f| f.start);
+    for (j, &(kind, word, at)) in toks.iter().enumerate().take(site) {
+        if at < fn_start {
+            continue;
+        }
+        if site_line.saturating_sub(file.line_of(at)) > LOOKBACK_LINES {
+            continue;
+        }
+        if kind != TokKind::Ident || !vars.contains(&word) {
+            continue;
+        }
+        // Comparison operator within a few tokens on either side.
+        let lo = j.saturating_sub(3);
+        let hi = (j + 4).min(site);
+        if toks[lo..hi].iter().any(|t| t.0 == TokKind::Punct && matches!(t.1, "<" | ">")) {
+            return true;
+        }
+        // `var.min(...)` clamps too.
+        if toks.get(j + 1).is_some_and(|t| t.1 == ".")
+            && toks.get(j + 2).is_some_and(|t| t.1 == "min")
+        {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,479 @@
+//! A lexed source file plus the structural facts rules query: line
+//! table, test-code spans, enclosing `fn`/`impl` context, and inline
+//! suppressions.
+//!
+//! Test-code detection is intentionally syntactic: a `#[cfg(test)]` (or
+//! `#[test]` / `#[bench]`) attribute marks the brace-span of the item
+//! that follows it, and whole files under a member's `tests/`,
+//! `benches/` or `examples/` directory are test code. Rules ask
+//! [`SourceFile::is_test_at`] per finding, so production invariants
+//! never gate fixture or test scaffolding.
+
+use crate::lexer::{lex, LexError, TokKind, Token};
+
+/// The inline suppression marker. Full syntax:
+/// `// mvp-lint: allow(rule-a, rule-b) -- reason`
+/// A suppression covers its own line (trailing comment) and the next
+/// line (preceding comment). The reason is mandatory; a marker without
+/// one is itself reported by the `suppression-hygiene` rule.
+pub const ALLOW_MARKER: &str = "mvp-lint:";
+
+/// One parsed `// mvp-lint: allow(...)` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule names inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Text after `--`, trimmed; `None` when missing or empty.
+    pub reason: Option<String>,
+    /// Whether the marker parsed as `allow(...)` at all.
+    pub well_formed: bool,
+}
+
+/// Byte span of a function or impl body, with its name context.
+#[derive(Debug, Clone)]
+pub struct ScopeSpan {
+    /// `fn` name, or the `impl` self-type name.
+    pub name: String,
+    /// For impl blocks: the trait name when this is a trait impl.
+    pub trait_name: Option<String>,
+    /// Byte range covering the whole item (signature through `}`).
+    pub start: usize,
+    /// End of the item's brace block (exclusive).
+    pub end: usize,
+}
+
+/// A lexed workspace file, ready for rules.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (e.g.
+    /// `crates/serve/src/engine.rs`).
+    pub rel: String,
+    /// File contents.
+    pub text: String,
+    /// Token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// True for files under `tests/`, `benches/` or `examples/`.
+    pub is_test_file: bool,
+    line_starts: Vec<usize>,
+    test_spans: Vec<(usize, usize)>,
+    fn_spans: Vec<ScopeSpan>,
+    impl_spans: Vec<ScopeSpan>,
+    suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes `text` under the workspace-relative name `rel`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`LexError`] for unlexable input.
+    pub fn parse(rel: &str, text: &str) -> Result<SourceFile, LexError> {
+        let tokens = lex(text)?;
+        let rel = rel.replace('\\', "/");
+        let is_test_file = {
+            let segs: Vec<&str> = rel.split('/').collect();
+            segs.contains(&"tests") || segs.contains(&"benches") || segs.contains(&"examples")
+        };
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut file = SourceFile {
+            rel,
+            text: text.to_string(),
+            tokens,
+            is_test_file,
+            line_starts,
+            test_spans: Vec::new(),
+            fn_spans: Vec::new(),
+            impl_spans: Vec::new(),
+            suppressions: Vec::new(),
+        };
+        file.scan_structure();
+        file.scan_suppressions();
+        Ok(file)
+    }
+
+    /// 1-based (line, column) of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_col(offset).0
+    }
+
+    /// Whether `offset` falls inside test code (test file, `#[cfg(test)]`
+    /// module, or `#[test]` function).
+    pub fn is_test_at(&self, offset: usize) -> bool {
+        self.is_test_file || self.test_spans.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The innermost `fn` containing `offset`, if any.
+    pub fn fn_at(&self, offset: usize) -> Option<&ScopeSpan> {
+        self.fn_spans
+            .iter()
+            .filter(|s| offset >= s.start && offset < s.end)
+            .min_by_key(|s| s.end - s.start)
+    }
+
+    /// The innermost `impl` block containing `offset`, if any.
+    ///
+    /// Note `impl Trait` in argument position also produces a span, so
+    /// rules that ask "is this inside `impl X`" should prefer
+    /// [`SourceFile::in_impl_named`] (any enclosing impl).
+    pub fn impl_at(&self, offset: usize) -> Option<&ScopeSpan> {
+        self.impl_spans
+            .iter()
+            .filter(|s| offset >= s.start && offset < s.end)
+            .min_by_key(|s| s.end - s.start)
+    }
+
+    /// Whether any enclosing `impl` block's self-type is `name`.
+    pub fn in_impl_named(&self, offset: usize, name: &str) -> bool {
+        self.impl_spans.iter().any(|s| offset >= s.start && offset < s.end && s.name == name)
+    }
+
+    /// All `impl` block spans found in the file, in scan order.
+    pub fn impl_spans(&self) -> &[ScopeSpan] {
+        &self.impl_spans
+    }
+
+    /// All parsed suppression markers, in file order.
+    pub fn suppressions(&self) -> &[Suppression] {
+        &self.suppressions
+    }
+
+    /// Whether a diagnostic of `rule` on `line` is covered by a
+    /// well-formed, reasoned suppression (on the same line or the line
+    /// above).
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressions.iter().any(|s| {
+            s.well_formed
+                && s.reason.is_some()
+                && (s.line == line || s.line + 1 == line)
+                && s.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    /// Non-comment tokens, the stream rules usually match over.
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+    }
+
+    /// Code tokens resolved to `(kind, text, start)` for rule matching.
+    pub fn code(&self) -> Vec<(TokKind, &str, usize)> {
+        self.code_tokens().map(|t| (t.kind, &self.text[t.start..t.end], t.start)).collect()
+    }
+
+    fn token_text(&self, t: &Token) -> &str {
+        &self.text[t.start..t.end]
+    }
+
+    /// Single pass over the token stream collecting `#[cfg(test)]` /
+    /// `#[test]` item spans and `fn` / `impl` scopes.
+    fn scan_structure(&mut self) {
+        let toks: Vec<Token> = self.code_tokens().copied().collect::<Vec<_>>();
+        let text = self.text.clone();
+        let word = |i: usize| -> &str { toks.get(i).map_or("", |t| &text[t.start..t.end]) };
+        let is_punct = |i: usize, c: &str| -> bool {
+            toks.get(i).is_some_and(|t| t.kind == TokKind::Punct) && word(i) == c
+        };
+
+        // Matches the brace block opening at or after `i`; returns
+        // (open_index, end_offset_exclusive) of the matching `}`.
+        let brace_block = |mut i: usize| -> Option<(usize, usize)> {
+            while i < toks.len() && !is_punct(i, "{") {
+                // A `;` before any `{` means a body-less item.
+                if is_punct(i, ";") {
+                    return None;
+                }
+                i += 1;
+            }
+            if i >= toks.len() {
+                return None;
+            }
+            let open = i;
+            let mut depth = 0usize;
+            while i < toks.len() {
+                if is_punct(i, "{") {
+                    depth += 1;
+                } else if is_punct(i, "}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((open, toks[i].end));
+                    }
+                }
+                i += 1;
+            }
+            None
+        };
+
+        let mut i = 0usize;
+        while i < toks.len() {
+            // Attributes: `#[ ... ]` — remember if one mentions test.
+            if is_punct(i, "#") && (is_punct(i + 1, "[") || (is_punct(i + 1, "!"))) {
+                let mut j = if is_punct(i + 1, "!") { i + 2 } else { i + 1 };
+                if !is_punct(j, "[") {
+                    i += 1;
+                    continue;
+                }
+                let mut depth = 0usize;
+                let mut mentions_test = false;
+                while j < toks.len() {
+                    if is_punct(j, "[") {
+                        depth += 1;
+                    } else if is_punct(j, "]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if toks[j].kind == TokKind::Ident && matches!(word(j), "test" | "bench")
+                    {
+                        mentions_test = true;
+                    }
+                    j += 1;
+                }
+                if mentions_test {
+                    // Attach to the item introduced by the next `fn` /
+                    // `mod` / `struct` … keyword: span from the attribute
+                    // through the item's closing brace.
+                    let mut k = j + 1;
+                    // Skip any further attributes wholesale.
+                    while k < toks.len() {
+                        if is_punct(k, "#") && is_punct(k + 1, "[") {
+                            let mut d = 0usize;
+                            let mut m = k + 1;
+                            while m < toks.len() {
+                                if is_punct(m, "[") {
+                                    d += 1;
+                                } else if is_punct(m, "]") {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                m += 1;
+                            }
+                            k = m + 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if let Some((_, end)) = brace_block(k) {
+                        self.test_spans.push((toks[i].start, end));
+                    }
+                }
+                i = j + 1;
+                continue;
+            }
+
+            if toks[i].kind == TokKind::Ident && word(i) == "fn" {
+                if toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Ident) {
+                    let name = word(i + 1).to_string();
+                    if let Some((_, end)) = brace_block(i + 2) {
+                        self.fn_spans.push(ScopeSpan {
+                            name,
+                            trait_name: None,
+                            start: toks[i].start,
+                            end,
+                        });
+                    }
+                }
+                i += 1;
+                continue;
+            }
+
+            if toks[i].kind == TokKind::Ident && word(i) == "impl" {
+                // Skip generic params: impl<T: Bound> …
+                let mut j = i + 1;
+                if is_punct(j, "<") {
+                    let mut depth = 0usize;
+                    while j < toks.len() {
+                        if is_punct(j, "<") {
+                            depth += 1;
+                        } else if is_punct(j, ">") {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                // First path segment(s) up to `for` / `{` / `where`.
+                let mut first = Vec::new();
+                let mut second: Option<Vec<String>> = None;
+                let mut cur: &mut Vec<String> = &mut first;
+                let mut saw_for = false;
+                while j < toks.len() && !is_punct(j, "{") {
+                    if toks[j].kind == TokKind::Ident && word(j) == "where" {
+                        break;
+                    }
+                    if toks[j].kind == TokKind::Ident && word(j) == "for" {
+                        second = Some(Vec::new());
+                        saw_for = true;
+                        j += 1;
+                        cur = second.as_mut().expect("just set");
+                        continue;
+                    }
+                    if toks[j].kind == TokKind::Ident {
+                        cur.push(word(j).to_string());
+                    }
+                    j += 1;
+                }
+                let type_idents = if saw_for { second.unwrap_or_default() } else { first.clone() };
+                let type_name = type_idents.last().cloned().unwrap_or_default();
+                let trait_name = if saw_for { first.first().cloned() } else { None };
+                if let Some((_, end)) = brace_block(j) {
+                    self.impl_spans.push(ScopeSpan {
+                        name: type_name,
+                        trait_name,
+                        start: toks[i].start,
+                        end,
+                    });
+                }
+                i += 1;
+                continue;
+            }
+
+            i += 1;
+        }
+    }
+
+    fn scan_suppressions(&mut self) {
+        let mut found = Vec::new();
+        for t in &self.tokens {
+            if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                continue;
+            }
+            // A marker must open the comment (after the comment sigil):
+            // prose that merely *mentions* the syntax is not a marker.
+            let body = self.token_text(t).trim_start_matches(['/', '*', '!']).trim_start();
+            if !body.starts_with(ALLOW_MARKER) {
+                continue;
+            }
+            let line = self.line_of(t.start);
+            let rest = body[ALLOW_MARKER.len()..].trim();
+            let Some(args) =
+                rest.strip_prefix("allow").map(str::trim_start).and_then(|r| r.strip_prefix('('))
+            else {
+                found.push(Suppression {
+                    line,
+                    rules: Vec::new(),
+                    reason: None,
+                    well_formed: false,
+                });
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                found.push(Suppression {
+                    line,
+                    rules: Vec::new(),
+                    reason: None,
+                    well_formed: false,
+                });
+                continue;
+            };
+            let rules: Vec<String> = args[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let tail = args[close + 1..].trim();
+            let reason = tail
+                .strip_prefix("--")
+                .map(|r| r.trim_end_matches("*/").trim().to_string())
+                .filter(|r| !r.is_empty());
+            found.push(Suppression { line, rules, reason, well_formed: true });
+        }
+        self.suppressions = found;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", src).expect("parses")
+    }
+
+    #[test]
+    fn cfg_test_module_spans_are_test_code() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let f = parse(src);
+        let prod_at = src.find("prod").expect("prod");
+        let helper_at = src.find("helper").expect("helper");
+        assert!(!f.is_test_at(prod_at));
+        assert!(f.is_test_at(helper_at));
+    }
+
+    #[test]
+    fn test_attribute_marks_only_that_fn() {
+        let src = "#[test]\nfn a_test() { x(); }\nfn prod() { y(); }\n";
+        let f = parse(src);
+        assert!(f.is_test_at(src.find("x()").expect("x")));
+        assert!(!f.is_test_at(src.find("y()").expect("y")));
+    }
+
+    #[test]
+    fn should_panic_attr_is_test_code() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() { z(); }\n";
+        let f = parse(src);
+        assert!(f.is_test_at(src.find("z()").expect("z")));
+    }
+
+    #[test]
+    fn files_under_tests_dir_are_test_code() {
+        let f = SourceFile::parse("crates/x/tests/it.rs", "fn a() {}").expect("parses");
+        assert!(f.is_test_at(0));
+    }
+
+    #[test]
+    fn fn_and_impl_context() {
+        let src = "impl SharedCache {\n    fn with(&self) { self.inner.lock(); }\n}\n\
+                   impl Persist for Blob {\n    fn encode(&self) {}\n}\n";
+        let f = parse(src);
+        let lock_at = src.find(".lock").expect("lock") + 1;
+        assert_eq!(f.fn_at(lock_at).map(|s| s.name.as_str()), Some("with"));
+        assert_eq!(f.impl_at(lock_at).map(|s| s.name.as_str()), Some("SharedCache"));
+        let enc_at = src.find("encode").expect("encode");
+        let imp = f.impl_at(enc_at).expect("in impl");
+        assert_eq!(imp.name, "Blob");
+        assert_eq!(imp.trait_name.as_deref(), Some("Persist"));
+    }
+
+    #[test]
+    fn suppression_parsing_and_matching() {
+        let src = "\
+// mvp-lint: allow(todo-markers) -- scaffolding tracked in #42\nlet a = 1;\n\
+let b = 2; // mvp-lint: allow(rule-x, rule-y) -- both fine here\n\
+// mvp-lint: allow(todo-markers)\nlet c = 3;\n";
+        let f = parse(src);
+        assert_eq!(f.suppressions().len(), 3);
+        assert!(f.is_suppressed("todo-markers", 2)); // line after marker
+        assert!(f.is_suppressed("rule-y", 3)); // same line
+        assert!(!f.is_suppressed("todo-markers", 5), "reasonless marker must not suppress");
+        assert!(f.suppressions()[2].reason.is_none());
+    }
+
+    #[test]
+    fn line_col_math() {
+        let f = parse("ab\ncd\n");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(4), (2, 2));
+    }
+}

@@ -1,0 +1,162 @@
+//! Workspace discovery: member enumeration from the root `Cargo.toml`
+//! and the `.rs` file walk for each member.
+//!
+//! The walk is driven by the manifest, not by globbing the tree, so
+//! `target/`, `data/` and stray scratch directories are never lint
+//! inputs. `vendor/*` members are resolved (they are workspace members)
+//! but excluded from linting — they carry third-party shims whose style
+//! we do not police.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One workspace member crate.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Directory relative to the workspace root, e.g. `crates/serve`.
+    pub rel_dir: String,
+    /// Whether the member lives under `vendor/` (excluded from linting).
+    pub is_vendor: bool,
+}
+
+/// A source file scheduled for linting.
+#[derive(Debug, Clone)]
+pub struct WalkedFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+}
+
+/// Parses `members = [...]` out of the root manifest and expands one
+/// level of `*` globs (the only form the workspace uses).
+///
+/// # Errors
+///
+/// Returns an error when the manifest cannot be read or has no
+/// `members` array.
+pub fn members(root: &Path) -> io::Result<Vec<Member>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let list = extract_members(&manifest).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "root Cargo.toml has no [workspace] members array",
+        )
+    })?;
+    let mut out = Vec::new();
+    for pat in list {
+        if let Some(prefix) = pat.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            let mut names: Vec<String> = fs::read_dir(&dir)?
+                .filter_map(Result::ok)
+                .filter(|e| e.path().join("Cargo.toml").is_file())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect();
+            names.sort();
+            for name in names {
+                out.push(Member {
+                    rel_dir: format!("{prefix}/{name}"),
+                    is_vendor: prefix == "vendor",
+                });
+            }
+        } else {
+            out.push(Member { is_vendor: pat.starts_with("vendor/"), rel_dir: pat });
+        }
+    }
+    Ok(out)
+}
+
+/// Pulls the string entries of the first `members = [ ... ]` array.
+fn extract_members(manifest: &str) -> Option<Vec<String>> {
+    let at = manifest.find("members")?;
+    let rest = &manifest[at..];
+    let open = rest.find('[')?;
+    let close = rest[open..].find(']')? + open;
+    let body: String = rest[open + 1..close]
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.len() >= 2 && (part.starts_with('"') || part.starts_with('\'')) {
+            out.push(part[1..part.len() - 1].to_string());
+        }
+    }
+    Some(out)
+}
+
+/// Collects every `.rs` file of the non-vendor members plus the root
+/// crate's own `tests/` and `examples/` trees, sorted by relative path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk.
+pub fn lintable_files(root: &Path) -> io::Result<Vec<WalkedFile>> {
+    let mut out = Vec::new();
+    for m in members(root)? {
+        if m.is_vendor {
+            continue;
+        }
+        for sub in ["src", "tests", "benches", "examples"] {
+            collect_rs(root, &root.join(&m.rel_dir).join(sub), &mut out)?;
+        }
+    }
+    // Root-level integration tests and examples (workspace-level harness
+    // code, not owned by any member).
+    for sub in ["tests", "examples", "benches"] {
+        collect_rs(root, &root.join(sub), &mut out)?;
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    out.dedup_by(|a, b| a.rel == b.rel);
+    Ok(out)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<WalkedFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push(WalkedFile { abs: path, rel });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_quoted_members() {
+        let toml = "[workspace]\nmembers = [\n  \"crates/*\", # comment\n  \"vendor/*\",\n]\n";
+        let got = extract_members(toml).expect("parses");
+        assert_eq!(got, vec!["crates/*".to_string(), "vendor/*".to_string()]);
+    }
+
+    #[test]
+    fn workspace_members_resolve_and_flag_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ms = members(&root).expect("members");
+        assert!(ms.iter().any(|m| m.rel_dir == "crates/lint" && !m.is_vendor));
+        assert!(ms.iter().filter(|m| m.is_vendor).count() >= 1);
+    }
+
+    #[test]
+    fn walk_finds_this_file_and_skips_vendor_and_target() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = lintable_files(&root).expect("walk");
+        assert!(files.iter().any(|f| f.rel == "crates/lint/src/workspace.rs"));
+        assert!(files.iter().all(|f| !f.rel.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.rel.contains("target/")));
+    }
+}

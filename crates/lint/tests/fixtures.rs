@@ -1,0 +1,74 @@
+//! Per-rule fixture tests: every rule must flag its `bad.rs` fixture
+//! and stay silent on its `good.rs` twin. Fixtures live under
+//! `crates/lint/fixtures/<rule>/` — a directory the workspace walk
+//! never visits, so the intentional violations cannot fail the gate.
+//!
+//! Each fixture is linted under a *virtual* workspace-relative path
+//! that puts the rule in scope, exactly as `applies_to` would see a
+//! real file.
+
+use mvp_lint::lint_source;
+
+/// (rule, virtual path) pairs; the path must satisfy the rule's
+/// `applies_to` so a scoping regression shows up as a missing finding.
+const CASES: &[(&str, &str)] = &[
+    ("nested-vec-f64", "crates/core/src/fixture.rs"),
+    ("serve-no-panic", "crates/serve/src/fixture.rs"),
+    ("lock-discipline", "crates/serve/src/fixture.rs"),
+    ("unbounded-with-capacity", "crates/audio/src/fixture.rs"),
+    ("numeric-truncation", "crates/audio/src/wav.rs"),
+    ("persist-schema", "crates/artifact/src/fixture.rs"),
+    ("todo-markers", "crates/core/src/fixture.rs"),
+    ("suppression-hygiene", "crates/core/src/fixture.rs"),
+];
+
+fn fixture(rule: &str, which: &str) -> String {
+    let path = format!("{}/fixtures/{rule}/{which}.rs", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn every_rule_flags_its_bad_fixture() {
+    for &(rule, rel) in CASES {
+        let text = fixture(rule, "bad");
+        let diags = lint_source(rel, &text, Some(rule)).expect("fixture lexes");
+        assert!(!diags.is_empty(), "{rule}: bad.rs produced no findings under {rel}");
+        assert!(
+            diags.iter().all(|d| d.rule == rule),
+            "{rule}: bad.rs produced findings from other rules: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_passes_its_good_fixture() {
+    for &(rule, rel) in CASES {
+        let text = fixture(rule, "good");
+        let diags = lint_source(rel, &text, Some(rule)).expect("fixture lexes");
+        assert!(diags.is_empty(), "{rule}: good.rs should be clean under {rel}, got: {diags:?}");
+    }
+}
+
+#[test]
+fn bad_fixture_findings_carry_position_and_message() {
+    let text = fixture("todo-markers", "bad");
+    let diags =
+        lint_source("crates/core/src/fixture.rs", &text, Some("todo-markers")).expect("lexes");
+    for d in &diags {
+        assert!(d.line >= 1 && d.col >= 1, "1-based positions: {d:?}");
+        assert!(!d.message.is_empty(), "message must not be empty: {d:?}");
+        assert_eq!(d.path, "crates/core/src/fixture.rs");
+    }
+}
+
+#[test]
+fn suppression_hygiene_bad_fixture_covers_each_defect() {
+    let text = fixture("suppression-hygiene", "bad");
+    let diags = lint_source("crates/core/src/fixture.rs", &text, Some("suppression-hygiene"))
+        .expect("lexes");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("no reason")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("unknown rule")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("malformed")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("no rules")), "{msgs:?}");
+}

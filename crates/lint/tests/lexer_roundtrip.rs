@@ -1,0 +1,92 @@
+//! The lexer's load-bearing invariant, checked two ways: every `.rs`
+//! file the workspace walk can reach must lex, and the token stream
+//! must reproduce the file byte-for-byte (token text plus whitespace
+//! gaps). A lexer gap here would silently blind every rule.
+
+use std::fs;
+use std::path::Path;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mvp_lint::lexer::{lex, roundtrip_ok};
+use mvp_lint::workspace;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn every_workspace_file_lexes_and_round_trips() {
+    let files = workspace::lintable_files(workspace_root()).expect("walk workspace");
+    assert!(files.len() > 100, "workspace walk looks broken: only {} files", files.len());
+    for wf in &files {
+        let text = fs::read_to_string(&wf.abs).expect("readable source");
+        let tokens = lex(&text).unwrap_or_else(|e| panic!("{}: lex failed: {e}", wf.rel));
+        roundtrip_ok(&text, &tokens)
+            .unwrap_or_else(|e| panic!("{}: roundtrip failed: {e}", wf.rel));
+    }
+}
+
+/// Source-shaped fragments: every tricky lexeme class the lexer
+/// distinguishes, composed in random order with random whitespace.
+const FRAGMENTS: &[&str] = &[
+    "fn f()",
+    "let x = 1;",
+    "// line comment\n",
+    "/* block /* nested */ comment */",
+    "\"str with \\\" escape\"",
+    "r#\"raw \" string\"#",
+    "b\"bytes\"",
+    "'c'",
+    "'\\n'",
+    "'lifetime",
+    "&'a str",
+    "1_000.5e-3",
+    "0xfe",
+    "x..=y",
+    "x as u32",
+    "vec![0u8; n]",
+    "#[cfg(test)]",
+    "mod m { }",
+    "a().b::<T>()",
+    "\u{1F980} \"🦀 in a string\"",
+];
+
+proptest! {
+    #[test]
+    fn random_fragment_soup_round_trips(
+        parts in vec(proptest::sample::select(FRAGMENTS.to_vec()), 0..40),
+        seps in vec(proptest::sample::select(vec![" ", "\n", "\t", "\n\n", ""]), 0..40),
+    ) {
+        // An empty separator may not fuse two lexemes into a third
+        // (e.g. `e-3` + `r#"..."#` becomes a suffixed number that eats
+        // the raw string's `r`): that is real Rust tokenization, not a
+        // lexer gap, so space those joins out.
+        let fuses = |prev: &str, next: &str| {
+            let tail_joins = prev
+                .chars()
+                .last()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let head_joins = next
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '\'');
+            tail_joins && head_joins
+        };
+        let mut src = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            src.push_str(p);
+            let sep = seps.get(i).copied().unwrap_or("\n");
+            let next = parts.get(i + 1).copied().unwrap_or("");
+            if sep.is_empty() && fuses(p, next) {
+                src.push(' ');
+            } else {
+                src.push_str(sep);
+            }
+        }
+        let tokens = lex(&src).unwrap_or_else(|e| panic!("lex failed on {src:?}: {e}"));
+        roundtrip_ok(&src, &tokens)
+            .unwrap_or_else(|e| panic!("roundtrip failed on {src:?}: {e}"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Reporter surface tests: the `--list-rules` table is asserted
+//! verbatim (a new rule cannot ship without a doc line), and the JSON
+//! report must parse back through `mvp_obs::json`.
+
+use mvp_lint::engine::LintReport;
+use mvp_lint::report;
+use mvp_lint::{Diagnostic, Severity};
+use mvp_obs::json;
+
+/// Golden copy of the rule table. Adding, renaming or re-documenting a
+/// rule must update this test alongside DESIGN.md §8.
+const LIST_RULES_GOLDEN: &str = "\
+nested-vec-f64           deny   numeric crates carry matrices as contiguous Mat, never Vec<Vec<f64>>, outside tests
+serve-no-panic           deny   no unwrap/expect/panic!/unreachable! in crates/serve request-path code (loadgen exempt)
+lock-discipline          deny   in crates/serve, .lock() may appear only inside SharedCache::with (poison recovery)
+unbounded-with-capacity  warn   in audio/artifact parsers, with_capacity/vec![..; n] from parsed values needs a prior limit check (heuristic)
+numeric-truncation       deny   byte-format codecs (wav, artifact) must not narrow integers with `as`; use try_into
+persist-schema           deny   every `impl Persist for T` declares a `SCHEMA_VERSION` const for its wire format
+todo-markers             deny   no todo!/unimplemented!/dbg! anywhere in non-test workspace code
+suppression-hygiene      deny   every mvp-lint marker is a well-formed allow(<known-rule>) -- <reason>
+";
+
+#[test]
+fn list_rules_matches_golden() {
+    assert_eq!(report::list_rules(), LIST_RULES_GOLDEN);
+}
+
+fn sample_report() -> LintReport {
+    LintReport {
+        diagnostics: vec![
+            Diagnostic {
+                rule: "todo-markers",
+                severity: Severity::Deny,
+                path: "crates/core/src/x.rs".to_string(),
+                line: 3,
+                col: 9,
+                message: "todo!() left in non-test code".to_string(),
+            },
+            Diagnostic {
+                rule: "unbounded-with-capacity",
+                severity: Severity::Warn,
+                path: "crates/audio/src/wav.rs".to_string(),
+                line: 41,
+                col: 5,
+                message: "allocation sized by `n` with no visible limit check".to_string(),
+            },
+        ],
+        files_scanned: 7,
+        suppressed: 2,
+    }
+}
+
+#[test]
+fn json_report_parses_and_carries_counts() {
+    let doc = report::json(&sample_report());
+    let v = json::parse(&doc).expect("reporter emits valid JSON");
+    assert_eq!(v.get("tool").and_then(|t| t.as_str()), Some("mvp-lint"));
+    assert_eq!(v.get("files_scanned").and_then(json::Value::as_f64), Some(7.0));
+    assert_eq!(v.get("deny").and_then(json::Value::as_f64), Some(1.0));
+    assert_eq!(v.get("warn").and_then(json::Value::as_f64), Some(1.0));
+    assert_eq!(v.get("suppressed").and_then(json::Value::as_f64), Some(2.0));
+    let findings = v.get("findings").and_then(json::Value::as_arr).expect("array");
+    assert_eq!(findings.len(), 2);
+    assert_eq!(findings[0].get("rule").and_then(|r| r.as_str()), Some("todo-markers"));
+    assert_eq!(findings[1].get("line").and_then(json::Value::as_f64), Some(41.0));
+}
+
+#[test]
+fn human_report_lists_findings_then_summary() {
+    let text = report::human(&sample_report());
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert_eq!(
+        lines[0],
+        "crates/core/src/x.rs:3:9: [deny] todo-markers: todo!() left in non-test code"
+    );
+    assert_eq!(lines[2], "mvp-lint: 7 file(s) scanned, 1 deny, 1 warn, 2 suppressed");
+}

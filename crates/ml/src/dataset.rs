@@ -34,6 +34,7 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if rows are ragged, counts differ, or labels are not 0/1.
+    // mvp-lint: allow(nested-vec-f64) -- bridge constructor mirroring Mat::from_rows; flattens into the contiguous Mat immediately
     pub fn from_rows(x: Vec<Vec<f64>>, y: Vec<usize>) -> Dataset {
         let d = x.first().map_or(0, Vec::len);
         Dataset::new(Mat::from_rows(x, d), y)

@@ -41,7 +41,7 @@ impl RandomForest {
 
 impl Persist for RandomForest {
     const KIND: ArtifactKind = ArtifactKind::RANDOM_FOREST;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_usize(self.n_trees);

@@ -28,7 +28,7 @@ impl Knn {
 
 impl Persist for Knn {
     const KIND: ArtifactKind = ArtifactKind::KNN;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_usize(self.k);

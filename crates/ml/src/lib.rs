@@ -184,7 +184,7 @@ impl Classifier for FittedClassifier {
 
 impl mvp_artifact::Persist for FittedClassifier {
     const KIND: mvp_artifact::ArtifactKind = mvp_artifact::ArtifactKind::FITTED_CLASSIFIER;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut mvp_artifact::Encoder) {
         match self {

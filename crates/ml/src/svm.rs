@@ -97,7 +97,7 @@ impl Svm {
 
 impl Persist for Svm {
     const KIND: ArtifactKind = ArtifactKind::SVM;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         match self.kernel {

@@ -222,7 +222,7 @@ fn decode_node(dec: &mut Decoder<'_>, dim: usize, depth: usize) -> Result<Node, 
 
 impl Persist for DecisionTree {
     const KIND: ArtifactKind = ArtifactKind::DECISION_TREE;
-    const SCHEMA: u16 = 1;
+    const SCHEMA_VERSION: u16 = 1;
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_usize(self.dim);

@@ -90,7 +90,7 @@ fn family_tag_is_validated() {
     mvp_artifact::write_artifact(
         &mut bytes,
         FittedClassifier::KIND,
-        FittedClassifier::SCHEMA,
+        FittedClassifier::SCHEMA_VERSION,
         &payload,
     )
     .unwrap();

@@ -91,7 +91,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// the evicted `(key, value)` pair, if any.
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         if let Some(&idx) = self.map.get(&key) {
-            self.slab[idx].as_mut().expect("mapped slot occupied").value = value;
+            self.occupied_mut(idx).value = value;
             self.detach(idx);
             self.attach_front(idx);
             return None;
@@ -99,7 +99,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let evicted = if self.map.len() == self.capacity {
             let lru = self.tail;
             self.detach(lru);
-            let entry = self.slab[lru].take().expect("tail slot occupied");
+            let entry = self.take_entry(lru);
             self.map.remove(&entry.key);
             self.free.push(lru);
             Some((entry.key, entry.value))
@@ -127,15 +127,36 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let mut out = Vec::with_capacity(self.map.len());
         let mut idx = self.head;
         while idx != NIL {
-            let entry = self.slab[idx].as_ref().expect("linked slot occupied");
+            let entry = self.occupied(idx);
             out.push(entry.key.clone());
             idx = entry.next;
         }
         out
     }
 
+    /// The entry in a slab slot that the map or recency list points at.
+    /// The map, slab and links are mutated together behind the engine's
+    /// single cache mutex, so a vacant slot here is an internal coherence
+    /// bug — there is no degraded way to serve from a corrupt index.
+    fn occupied(&self, idx: usize) -> &Entry<K, V> {
+        // mvp-lint: allow(serve-no-panic) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
+        self.slab[idx].as_ref().expect("linked slot occupied")
+    }
+
+    /// Mutable counterpart of [`occupied`](Self::occupied).
+    fn occupied_mut(&mut self, idx: usize) -> &mut Entry<K, V> {
+        // mvp-lint: allow(serve-no-panic) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
+        self.slab[idx].as_mut().expect("linked slot occupied")
+    }
+
+    /// Removes and returns the entry of an occupied slot.
+    fn take_entry(&mut self, idx: usize) -> Entry<K, V> {
+        // mvp-lint: allow(serve-no-panic) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
+        self.slab[idx].take().expect("linked slot occupied")
+    }
+
     fn links(&self, idx: usize) -> (usize, usize) {
-        let entry = self.slab[idx].as_ref().expect("linked slot occupied");
+        let entry = self.occupied(idx);
         (entry.prev, entry.next)
     }
 
@@ -147,7 +168,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                     self.head = next;
                 }
             }
-            p => self.slab[p].as_mut().expect("linked slot occupied").next = next,
+            p => self.occupied_mut(p).next = next,
         }
         match next {
             NIL => {
@@ -155,21 +176,22 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                     self.tail = prev;
                 }
             }
-            n => self.slab[n].as_mut().expect("linked slot occupied").prev = prev,
+            n => self.occupied_mut(n).prev = prev,
         }
-        let entry = self.slab[idx].as_mut().expect("linked slot occupied");
+        let entry = self.occupied_mut(idx);
         entry.prev = NIL;
         entry.next = NIL;
     }
 
     fn attach_front(&mut self, idx: usize) {
         {
-            let entry = self.slab[idx].as_mut().expect("linked slot occupied");
+            let head = self.head;
+            let entry = self.occupied_mut(idx);
             entry.prev = NIL;
-            entry.next = self.head;
+            entry.next = head;
         }
         if self.head != NIL {
-            self.slab[self.head].as_mut().expect("linked slot occupied").prev = idx;
+            self.occupied_mut(self.head).prev = idx;
         }
         self.head = idx;
         if self.tail == NIL {

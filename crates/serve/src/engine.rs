@@ -164,6 +164,7 @@ impl PendingVerdict {
     ///
     /// Panics if the engine's threads died without replying (a bug).
     pub fn wait(self) -> Verdict {
+        // mvp-lint: allow(serve-no-panic) -- every accepted ticket is answered by construction (drain-on-shutdown); a dropped channel is an engine bug the caller cannot degrade around
         self.rx.recv().expect("engine dropped the reply channel")
     }
 
@@ -416,6 +417,7 @@ impl DetectionEngine {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(asr, i, rx, collector_tx))
+                    // mvp-lint: allow(serve-no-panic) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
                     .expect("spawn worker"),
             );
         }
@@ -439,6 +441,7 @@ impl DetectionEngine {
                             stats,
                         )
                     })
+                    // mvp-lint: allow(serve-no-panic) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
                     .expect("spawn batcher"),
             );
         }
@@ -452,6 +455,7 @@ impl DetectionEngine {
                     .spawn(move || {
                         collector_loop(system, policy, collector_rx, cache, stats, audit)
                     })
+                    // mvp-lint: allow(serve-no-panic) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
                     .expect("spawn collector"),
             );
         }
@@ -812,6 +816,7 @@ fn collector_loop(
         let ready: Vec<u64> =
             batches.iter().filter(|(_, s)| s.is_ready(now)).map(|(&id, _)| id).collect();
         for id in ready {
+            // mvp-lint: allow(serve-no-panic) -- `id` was collected from `batches` two lines up with no intervening removal; absence is an engine bug, not request input
             let state = batches.remove(&id).expect("ready batch present");
             finalize(&system, &policy, &cache, &stats, &audit, id, state);
         }

@@ -11,7 +11,7 @@ use mvp_attack::{whitebox_attack, WhiteBoxConfig};
 use mvp_corpus::{command_phrases, CorpusBuilder, CorpusConfig};
 use mvp_ears::eval::ScorePools;
 use mvp_ears::{synthesize_mae, DetectionSystem, MaeType};
-use mvp_ml::ClassifierKind;
+use mvp_ml::{ClassifierKind, Mat};
 
 fn main() {
     println!("training the four ASR profiles (one-time)...");
@@ -38,27 +38,32 @@ fn main() {
     }
     let pools = ScorePools::from_score_vectors(&benign, &real_aes);
 
-    // Synthesize the six hypothetical MAE types.
-    let per_type: Vec<Vec<Vec<f64>>> = MaeType::ALL
+    // Synthesize the six hypothetical MAE types (one score row per AE).
+    let per_type: Vec<Mat> = MaeType::ALL
         .iter()
         .enumerate()
         .map(|(i, t)| synthesize_mae(&pools, &t.fooled_mask(), 200, i as u64))
         .collect();
 
     // Comprehensive training set: Types 4-6 (each fools two auxiliaries).
-    let mut train_aes = Vec::new();
+    let mut train_aes = Mat::zeros(0, pools.n_auxiliaries());
     for vectors in &per_type[3..6] {
-        train_aes.extend(vectors.clone());
+        for row in vectors.rows() {
+            train_aes.push_row(row);
+        }
     }
-    let train_benign: Vec<Vec<f64>> =
-        (0..train_aes.len()).map(|i| benign[i % benign.len()].clone()).collect();
-    system.train_on_scores(&train_benign, &train_aes, ClassifierKind::Svm);
-    println!("\ncomprehensive system trained on {} synthesized MAE vectors", train_aes.len());
+    let mut train_benign = Mat::zeros(0, pools.n_auxiliaries());
+    for i in 0..train_aes.n_rows() {
+        train_benign.push_row(&benign[i % benign.len()]);
+    }
+    let n_train = train_aes.n_rows();
+    system.train_on_mats(train_benign, train_aes, ClassifierKind::Svm);
+    println!("\ncomprehensive system trained on {n_train} synthesized MAE vectors");
 
     // It must now catch everything *less* transferable than its training AEs.
     for (i, t) in MaeType::ALL.iter().enumerate().take(3) {
-        let caught = per_type[i].iter().filter(|v| system.classify_scores(v)).count();
-        println!("  defense vs {}: {}/{}", t.name(), caught, per_type[i].len());
+        let caught = per_type[i].rows().filter(|v| system.classify_scores(v)).count();
+        println!("  defense vs {}: {}/{}", t.name(), caught, per_type[i].n_rows());
     }
     let caught_real = real_aes.iter().filter(|v| system.classify_scores(v)).count();
     println!("  defense vs real (DS0-only) AEs: {caught_real}/{}", real_aes.len());

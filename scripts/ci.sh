@@ -5,8 +5,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo build --release
+RUSTFLAGS="-Dwarnings" cargo build --release
 cargo test -q
+
+# Static-analysis gate: the workspace's own invariants (data-plane Mat
+# discipline, serve-path panic freedom, artifact schema versioning, ...)
+# enforced by mvp-lint. Deny findings fail the build; suppressions
+# require a reason and a known rule name.
+cargo run --release -q -p mvp-lint --bin lint -- --fail-on=deny
+
+# Lint self-test: seed a violation into a linted path and prove the gate
+# actually fails on it, then clean up whatever happens.
+lint_smoke() {
+    local seeded="crates/serve/src/ci_lint_smoke_seeded.rs"
+    trap 'rm -f "$seeded"' RETURN
+    printf 'pub fn seeded() { panic!("ci lint smoke"); }\n' > "$seeded"
+    if cargo run --release -q -p mvp-lint --bin lint -- --fail-on=deny > /dev/null 2>&1; then
+        echo "lint_smoke: gate passed with a seeded violation" >&2
+        return 1
+    fi
+    echo "lint_smoke: seeded violation correctly failed the gate"
+}
+lint_smoke
 
 # Artifact-plane smoke: train the cheapest profile, persist it, and prove
 # a clean load succeeds while a corrupted artifact fails with a typed

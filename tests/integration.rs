@@ -134,8 +134,8 @@ fn mae_pipeline_from_real_pools() {
         .collect();
     let pools = ScorePools::from_score_vectors(&benign, &attack_pool);
     let mae = synthesize_mae(&pools, &MaeType::Type4.fooled_mask(), 30, 1);
-    assert_eq!(mae.len(), 30);
-    for v in &mae {
+    assert_eq!(mae.n_rows(), 30);
+    for v in mae.rows() {
         // Fooled auxiliaries (DS1, GCS) look benign; AT looks attacked.
         assert!(v[0] > v[2] && v[1] > v[2], "{v:?}");
     }

@@ -1,0 +1,50 @@
+//! Every checked-in WAV fixture must parse. The `data/<scale>/ae_wavs/`
+//! caches are committed so experiment binaries warm-start; a fixture
+//! that the workspace's own parser rejects (as happened once, when an
+//! encoding-lossy copy silently corrupted a whole cache tier) is worse
+//! than a missing one because the failure surfaces deep inside an
+//! experiment run instead of here.
+
+use std::fs;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use mvp_audio::wav::read_wav_with_limit;
+
+/// Generous per-file cap: quick-scale AEs are a few seconds of 16 kHz
+/// mono, so a million samples flags a corrupt header long before OOM.
+const MAX_SAMPLES: usize = 1 << 20;
+
+fn collect_wavs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_wavs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "wav") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_checked_in_wav_fixture_parses() {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("data");
+    let mut wavs = Vec::new();
+    collect_wavs(&data, &mut wavs);
+    wavs.sort();
+    assert!(
+        !wavs.is_empty(),
+        "no WAV fixtures found under {}; the cache tiers are gone",
+        data.display()
+    );
+    for path in &wavs {
+        let file = fs::File::open(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let wave = read_wav_with_limit(BufReader::new(file), MAX_SAMPLES)
+            .unwrap_or_else(|e| panic!("{}: corrupt fixture: {e:?}", path.display()));
+        assert!(!wave.is_empty(), "{}: fixture decodes to zero samples", path.display());
+        assert!(wave.sample_rate() > 0, "{}: fixture declares a zero sample rate", path.display());
+    }
+}
