@@ -49,6 +49,10 @@ impl ArtifactKind {
     pub const THRESHOLD_BANK: ArtifactKind = ArtifactKind(12);
     /// A whole detection system (`mvp_ears::DetectionSystemSnapshot`).
     pub const DETECTION_SNAPSHOT: ArtifactKind = ArtifactKind(13);
+    /// Benign-only one-class scorer (`mvp_ml::OneClassScorer`).
+    pub const ONE_CLASS_SCORER: ArtifactKind = ArtifactKind(14);
+    /// Similarity + modality fusion classifier (`mvp_ears::FusedClassifier`).
+    pub const FUSED_CLASSIFIER: ArtifactKind = ArtifactKind(15);
 
     /// A kind with an explicit tag (downstream/experimental artifacts
     /// should use tags `>= 0x7000` to stay clear of the registry).

@@ -2,7 +2,7 @@
 //! MVP-EARS system and print the verdict.
 //!
 //! ```text
-//! detect_wav [--model-dir <dir>] [--trace] <file.wav> [more.wav ...]
+//! detect_wav [--model-dir <dir>] [--modalities <list>] [--trace] <file.wav> [more.wav ...]
 //! ```
 //!
 //! The threshold detectors are fitted on a built-in benign corpus at a 5 %
@@ -14,6 +14,15 @@
 //! are loaded from (and on first run saved to) versioned artifacts in
 //! `<dir>`, so later invocations skip training entirely. A corrupt or
 //! incompatible artifact is an error, never a silent retrain.
+//!
+//! With `--modalities`, a comma-separated mix of detection modalities is
+//! evaluated per file and their stability features printed as evidence
+//! alongside the verdict. `similarity` (the default) is the plain
+//! cross-ASR ensemble; the other names are the `mvp-modality` kinds
+//! (`transform`, `distribution`, `instability`). The similarity
+//! thresholds alone decide the verdict — modality evidence never changes
+//! the exit code, so the exit-code semantics below are unchanged — and an
+//! unknown modality name is a usage error (exit 2).
 //!
 //! With `--trace`, the observability plane's span tracing is enabled and
 //! an indented span tree — per-stage micro-timings of the whole pipeline —
@@ -35,9 +44,34 @@ use mvp_asr::AsrProfile;
 use mvp_audio::wav::read_wav;
 use mvp_corpus::{CorpusBuilder, CorpusConfig};
 use mvp_ears::{DetectionSystem, ThresholdBank, ThresholdDetector};
+use mvp_modality::ModalityKind;
 
 const AUXILIARIES: [AsrProfile; 3] = [AsrProfile::Ds1, AsrProfile::Gcs, AsrProfile::At];
 const THRESHOLD_FILE: &str = "thresholds.mvpa";
+
+/// Parses the `--modalities` list: `similarity` selects the baseline
+/// ensemble (and may appear alone or alongside modality kinds); every
+/// other name must be a known [`ModalityKind`]. Unknown names and
+/// duplicates are usage errors.
+fn parse_modalities(list: &str) -> Result<Vec<ModalityKind>, String> {
+    let mut kinds = Vec::new();
+    for name in list.split(',').map(str::trim) {
+        if name == "similarity" {
+            continue; // always evaluated; listing it is allowed, not required
+        }
+        let kind = ModalityKind::parse(name).ok_or_else(|| {
+            format!(
+                "unknown modality {name:?}; valid names: similarity, {}",
+                ModalityKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })?;
+        if kinds.contains(&kind) {
+            return Err(format!("modality {name:?} listed twice"));
+        }
+        kinds.push(kind);
+    }
+    Ok(kinds)
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -53,6 +87,7 @@ fn main() -> ExitCode {
 fn run() -> Result<bool, String> {
     let mut model_dir: Option<PathBuf> = None;
     let mut trace = false;
+    let mut modalities: Vec<ModalityKind> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,17 +96,21 @@ fn run() -> Result<bool, String> {
                 let dir = args.next().ok_or("--model-dir needs a directory argument")?;
                 model_dir = Some(PathBuf::from(dir));
             }
+            "--modalities" => {
+                let list = args.next().ok_or("--modalities needs a comma-separated list")?;
+                modalities = parse_modalities(&list)?;
+            }
             "--trace" => trace = true,
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        return Err(
-            "usage: detect_wav [--model-dir <dir>] [--trace] <file.wav> [more.wav ...]".into()
-        );
+        return Err("usage: detect_wav [--model-dir <dir>] [--modalities <list>] [--trace] \
+                    <file.wav> [more.wav ...]"
+            .into());
     }
 
-    let system = build_system(model_dir.as_deref())?;
+    let system = build_system(model_dir.as_deref(), &modalities)?;
     let detectors = load_or_fit_thresholds(&system, model_dir.as_deref())?;
 
     let mut any_adversarial = false;
@@ -102,6 +141,25 @@ fn run() -> Result<bool, String> {
         {
             println!("  {profile}: {text:?} (similarity {s:.3}, threshold {:.3})", d.threshold());
         }
+        // Extra modality evidence, printed but never part of the verdict:
+        // the similarity thresholds alone decide the exit code.
+        for (outcome, modality) in
+            system.score_modalities(&wave, &target).iter().zip(system.modalities().modalities())
+        {
+            let features: Vec<String> = modality
+                .feature_names()
+                .iter()
+                .zip(&outcome.features)
+                .map(|(name, value)| format!("{name}={value:.3}"))
+                .collect();
+            println!(
+                "  modality {} [{}]: {} ({} us)",
+                outcome.name,
+                modality.cost().name(),
+                features.join(" "),
+                outcome.elapsed_us
+            );
+        }
         if trace {
             let events = mvp_obs::trace::drain();
             mvp_obs::trace::disable();
@@ -111,9 +169,13 @@ fn run() -> Result<bool, String> {
     Ok(any_adversarial)
 }
 
-/// Builds DS0+{DS1, GCS, AT}, training in-process or loading/saving each
-/// model through the `--model-dir` disk tier.
-fn build_system(model_dir: Option<&Path>) -> Result<DetectionSystem, String> {
+/// Builds DS0+{DS1, GCS, AT} with the selected modality mix registered,
+/// training in-process or loading/saving each model through the
+/// `--model-dir` disk tier.
+fn build_system(
+    model_dir: Option<&Path>,
+    modalities: &[ModalityKind],
+) -> Result<DetectionSystem, String> {
     match model_dir {
         None => {
             eprintln!("training ASR profiles (one-time; use --model-dir to persist them)...");
@@ -121,6 +183,7 @@ fn build_system(model_dir: Option<&Path>) -> Result<DetectionSystem, String> {
                 .auxiliary(AsrProfile::Ds1)
                 .auxiliary(AsrProfile::Gcs)
                 .auxiliary(AsrProfile::At)
+                .modality_kinds(modalities)
                 .build())
         }
         Some(dir) => {
@@ -133,7 +196,7 @@ fn build_system(model_dir: Option<&Path>) -> Result<DetectionSystem, String> {
             for aux in AUXILIARIES {
                 builder = builder.auxiliary_asr(load(aux)?);
             }
-            Ok(builder.build())
+            Ok(builder.modality_kinds(modalities).build())
         }
     }
 }

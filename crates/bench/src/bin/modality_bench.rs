@@ -1,0 +1,12 @@
+//! Regenerates `BENCH_modality.json`: per-modality and fused detector
+//! AUC + extraction latency against the similarity-only baseline.
+//!
+//! Scale via `MVP_EARS_SCALE` (tiny / quick / full).
+
+use mvp_bench::{experiments, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ctx = ExperimentContext::load_or_generate(scale);
+    experiments::modality::run_modality_bench(&ctx);
+}

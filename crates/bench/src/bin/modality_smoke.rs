@@ -1,0 +1,93 @@
+//! CI smoke test for the multi-modal detection plane. Exits non-zero on
+//! any failure, so `scripts/ci.sh` can gate on it. Two gates:
+//!
+//! 1. **Fusion lifts (or at least matches) the baseline**: fit the
+//!    fused similarity + modality classifier at tiny scale and require
+//!    fused AUC ≥ similarity-only AUC on the cached corpus.
+//! 2. **FusedClassifier persistence**: a byte round-trip reproduces
+//!    identical fused verdicts, and a corrupted artifact is refused
+//!    with a typed error, never silently accepted.
+//!
+//! The bench artifact is written into a scratch directory so a CI run
+//! never clobbers a quick- or full-scale `BENCH_modality.json` sitting
+//! in the repository root.
+
+use std::process::ExitCode;
+
+use mvp_artifact::Persist;
+use mvp_asr::AsrProfile;
+use mvp_bench::{experiments, ExperimentContext, Scale};
+use mvp_ears::{DetectionSystem, FusedClassifier};
+use mvp_ml::{ClassifierKind, Mat};
+use mvp_modality::ModalityKind;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("modality smoke: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("modality smoke: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let scratch = std::env::temp_dir().join(format!("mvp-modality-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("create scratch dir: {e}"))?;
+    std::env::set_current_dir(&scratch).map_err(|e| format!("enter scratch dir: {e}"))?;
+    let result = fusion_gate().and_then(|()| persist_gate());
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+/// Gate 1: the fused classifier must not lose ground to the
+/// similarity-only baseline on the cached tiny corpus.
+fn fusion_gate() -> Result<(), String> {
+    let ctx = ExperimentContext::load_or_generate(Scale::TINY);
+    let (fused_auc, similarity_auc) = experiments::modality::run_modality_bench(&ctx);
+    if fused_auc + 1e-9 < similarity_auc {
+        return Err(format!(
+            "fused AUC {fused_auc:.4} fell below similarity-only {similarity_auc:.4}"
+        ));
+    }
+    println!("fusion gate: fused AUC {fused_auc:.4} >= similarity-only {similarity_auc:.4}");
+    Ok(())
+}
+
+/// Gate 2: `FusedClassifier` byte round-trip and corruption refusal.
+fn persist_gate() -> Result<(), String> {
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary(AsrProfile::Ds1)
+        .modality_kinds(&ModalityKind::ALL)
+        .build();
+    let dim = system.fusion_layout().expect("modalities registered").raw_dim();
+    let rows = |base: f64| {
+        Mat::from_rows((0..24).map(|i| vec![base + (i % 6) as f64 * 0.01; dim]).collect(), dim)
+    };
+    system.train_fused_on_mats(rows(0.85), rows(0.15), ClassifierKind::Svm);
+    let fused = system.fused_classifier().expect("just trained");
+
+    let mut bytes = Vec::new();
+    fused.write_to(&mut bytes).map_err(|e| format!("encode: {e}"))?;
+    let restored = FusedClassifier::read_from(&bytes[..]).map_err(|e| format!("decode: {e}"))?;
+    for base in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let row = vec![base; dim];
+        if restored.is_adversarial(&row) != fused.is_adversarial(&row) {
+            return Err(format!("round-tripped verdict diverged at base {base}"));
+        }
+    }
+    println!("persist gate: round-trip reproduces fused verdicts");
+
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    match FusedClassifier::read_from(&bytes[..]) {
+        Ok(_) => Err("corrupted fused classifier was accepted".into()),
+        Err(e) => {
+            println!("persist gate: corrupted artifact refused as expected: {e}");
+            Ok(())
+        }
+    }
+}

@@ -30,6 +30,7 @@ fn main() {
     experiments::ablation::encoder_ablation(&ctx);
     experiments::ablation::baseline_comparison(&ctx);
     experiments::ablation::min_run_ablation(&ctx);
+    experiments::modality::run_modality_bench(&ctx);
     experiments::serve::run_serve_bench(&ctx);
     experiments::obs::run_obs_bench(&ctx);
     experiments::dataplane::run_dataplane_bench(&ctx);

@@ -8,6 +8,7 @@ pub mod classifiers;
 pub mod data;
 pub mod dataplane;
 pub mod mae;
+pub mod modality;
 pub mod obs;
 pub mod perf;
 pub mod serve;

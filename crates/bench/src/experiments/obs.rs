@@ -83,8 +83,7 @@ pub fn run_obs_bench(ctx: &ExperimentContext) {
         deadline_ms: 120_000,
         aux_deadline_ms: Vec::new(),
         cache_cap: 256,
-        model_dir: None,
-        audit: None,
+        ..EngineConfig::default()
     };
 
     // Warm-up pass (untimed, discarded): brings code and allocator into

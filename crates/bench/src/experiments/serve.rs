@@ -54,8 +54,7 @@ pub fn run_serve_bench(ctx: &ExperimentContext) {
         deadline_ms: 120_000,
         aux_deadline_ms: Vec::new(),
         cache_cap: 256,
-        model_dir: None,
-        audit: None,
+        ..EngineConfig::default()
     };
 
     struct Level {

@@ -18,6 +18,9 @@
 //! - [`system`] — the [`DetectionSystem`]: parallel multi-ASR execution,
 //!   score-vector extraction, classifier training and detection;
 //! - [`threshold`] — the benign-only threshold detector of §V-G;
+//! - [`fusion`] — the [`FusedClassifier`]: similarity scores fused with
+//!   `mvp-modality` feature blocks (and a benign-only one-class score
+//!   over the instability block);
 //! - [`snapshot`] — whole-system checkpointing through the artifact plane
 //!   ([`DetectionSystemSnapshot`]), for warm-starting serving processes;
 //! - [`mae`] — synthesis of hypothetical multiple-ASR-effective AEs and
@@ -46,6 +49,7 @@
 
 pub mod baseline;
 pub mod eval;
+pub mod fusion;
 pub mod mae;
 pub mod similarity;
 pub mod snapshot;
@@ -54,6 +58,7 @@ pub mod threshold;
 
 pub use baseline::MajorityBaseline;
 pub use eval::ScorePools;
+pub use fusion::{FusedClassifier, FusionLayout};
 pub use mae::{synthesize_mae, MaeType};
 pub use similarity::SimilarityMethod;
 pub use snapshot::DetectionSystemSnapshot;

@@ -9,9 +9,11 @@ use std::sync::Arc;
 use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
 use mvp_asr::TrainedAsr;
 use mvp_ml::FittedClassifier;
+use mvp_modality::ModalityKind;
 use mvp_phonetics::Encoder as PhoneticEncoder;
 use mvp_textsim::Similarity;
 
+use crate::fusion::FusedClassifier;
 use crate::similarity::SimilarityMethod;
 use crate::system::DetectionSystem;
 
@@ -26,6 +28,8 @@ pub struct DetectionSystemSnapshot {
     auxiliaries: Vec<Arc<TrainedAsr>>,
     method: SimilarityMethod,
     classifier: Option<FittedClassifier>,
+    modalities: Vec<ModalityKind>,
+    fused: Option<FusedClassifier>,
 }
 
 fn base_tag(s: Similarity) -> u8 {
@@ -86,18 +90,25 @@ impl DetectionSystemSnapshot {
             auxiliaries,
             method: system.method(),
             classifier: system.classifier().cloned(),
+            modalities: system.modalities().kinds(),
+            fused: system.fused_classifier().cloned(),
         }
     }
 
     /// Rebuilds a working detection system from the snapshot.
     pub fn restore(self) -> DetectionSystem {
-        let mut builder = DetectionSystem::builder_for(self.target).method(self.method);
+        let mut builder = DetectionSystem::builder_for(self.target)
+            .method(self.method)
+            .modality_kinds(&self.modalities);
         for aux in self.auxiliaries {
             builder = builder.auxiliary_asr(aux);
         }
         let mut system = builder.build();
         if let Some(classifier) = self.classifier {
             system.set_classifier(classifier);
+        }
+        if let Some(fused) = self.fused {
+            system.set_fused_classifier(fused);
         }
         system
     }
@@ -119,11 +130,23 @@ impl DetectionSystemSnapshot {
     pub fn is_trained(&self) -> bool {
         self.classifier.is_some()
     }
+
+    /// The modality kinds the restored system will register, in order.
+    pub fn modalities(&self) -> &[ModalityKind] {
+        &self.modalities
+    }
+
+    /// Whether the snapshot carries a fused classifier.
+    pub fn is_fused(&self) -> bool {
+        self.fused.is_some()
+    }
 }
 
 impl Persist for DetectionSystemSnapshot {
     const KIND: ArtifactKind = ArtifactKind::DETECTION_SNAPSHOT;
-    const SCHEMA_VERSION: u16 = 1;
+    // v2 appended the modality-kind list and the optional fused
+    // classifier to the v1 layout.
+    const SCHEMA_VERSION: u16 = 2;
 
     fn encode(&self, enc: &mut Encoder) {
         self.target.encode(enc);
@@ -136,6 +159,14 @@ impl Persist for DetectionSystemSnapshot {
         enc.put_bool(self.classifier.is_some());
         if let Some(classifier) = &self.classifier {
             classifier.encode(enc);
+        }
+        enc.put_usize(self.modalities.len());
+        for kind in &self.modalities {
+            enc.put_u8(kind.tag());
+        }
+        enc.put_bool(self.fused.is_some());
+        if let Some(fused) = &self.fused {
+            fused.encode(enc);
         }
     }
 
@@ -153,7 +184,26 @@ impl Persist for DetectionSystemSnapshot {
             phonetic: phonetic_from_tag(dec.u8()?)?,
         };
         let classifier = if dec.bool()? { Some(FittedClassifier::decode(dec)?) } else { None };
-        Ok(DetectionSystemSnapshot { target, auxiliaries, method, classifier })
+        let n_modalities = dec.usize()?;
+        let mut modalities = Vec::with_capacity(n_modalities);
+        for _ in 0..n_modalities {
+            let tag = dec.u8()?;
+            let kind = ModalityKind::from_tag(tag)
+                .ok_or_else(|| ArtifactError::SchemaMismatch(format!("modality tag {tag}")))?;
+            if modalities.contains(&kind) {
+                return Err(ArtifactError::SchemaMismatch(format!(
+                    "modality {kind} appears twice in snapshot"
+                )));
+            }
+            modalities.push(kind);
+        }
+        let fused = if dec.bool()? { Some(FusedClassifier::decode(dec)?) } else { None };
+        if fused.is_some() && modalities.is_empty() {
+            return Err(ArtifactError::SchemaMismatch(
+                "fused classifier without registered modalities".into(),
+            ));
+        }
+        Ok(DetectionSystemSnapshot { target, auxiliaries, method, classifier, modalities, fused })
     }
 }
 
@@ -225,6 +275,39 @@ mod tests {
         let restored = DetectionSystemSnapshot::read_from(&bytes[..]).unwrap().restore();
         assert!(!restored.is_trained());
         assert_eq!(restored.n_auxiliaries(), 1);
+    }
+
+    #[test]
+    fn fused_snapshot_round_trips() {
+        use mvp_ml::Mat;
+        use mvp_modality::ModalityKind;
+        let mut system = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .modality_kinds(&ModalityKind::ALL)
+            .build();
+        let dim = system.fusion_layout().unwrap().raw_dim();
+        let rows = |base: f64| {
+            Mat::from_rows((0..20).map(|i| vec![base + (i % 7) as f64 * 0.01; dim]).collect(), dim)
+        };
+        system.train_fused_on_mats(rows(0.88), rows(0.2), ClassifierKind::Svm);
+
+        let snap = DetectionSystemSnapshot::capture(&system);
+        assert!(snap.is_fused());
+        assert_eq!(snap.modalities(), &ModalityKind::ALL);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        let restored = DetectionSystemSnapshot::read_from(&bytes[..]).unwrap().restore();
+
+        assert!(restored.is_fused());
+        assert_eq!(restored.modalities().kinds(), system.modalities().kinds());
+        let (orig, rest) =
+            (system.fused_classifier().unwrap(), restored.fused_classifier().unwrap());
+        assert_eq!(orig.layout(), rest.layout());
+        for base in [0.1, 0.4, 0.6, 0.9] {
+            let row = vec![base; dim];
+            assert_eq!(orig.is_adversarial(&row), rest.is_adversarial(&row), "base {base}");
+            assert_eq!(orig.augment(&row), rest.augment(&row), "base {base}");
+        }
     }
 
     #[test]

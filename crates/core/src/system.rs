@@ -13,7 +13,9 @@ use crossbeam::channel;
 use mvp_asr::{Asr, AsrProfile, TrainedAsr};
 use mvp_audio::Waveform;
 use mvp_ml::{Classifier, ClassifierKind, Dataset, FittedClassifier, Mat};
+use mvp_modality::{ModalityInput, ModalityKind, ModalityOutcome, ModalityRegistry};
 
+use crate::fusion::{FusedClassifier, FusionLayout};
 use crate::similarity::SimilarityMethod;
 
 /// The verdict for one audio input.
@@ -27,6 +29,11 @@ pub struct Detection {
     pub target_transcription: String,
     /// The auxiliary transcriptions, in auxiliary order.
     pub auxiliary_transcriptions: Vec<String>,
+    /// Concatenated modality feature blocks, in registry order; empty
+    /// when the verdict came from similarity alone.
+    pub modality_features: Vec<f64>,
+    /// Whether the verdict came from the fused classifier.
+    pub fused: bool,
 }
 
 /// A configured (and optionally trained) MVP-EARS detection system.
@@ -35,6 +42,8 @@ pub struct DetectionSystem {
     auxiliaries: Vec<Arc<TrainedAsr>>,
     method: SimilarityMethod,
     classifier: Option<FittedClassifier>,
+    modalities: ModalityRegistry,
+    fused: Option<FusedClassifier>,
 }
 
 impl std::fmt::Debug for DetectionSystem {
@@ -43,6 +52,8 @@ impl std::fmt::Debug for DetectionSystem {
             .field("name", &self.name())
             .field("method", &self.method)
             .field("trained", &self.classifier.is_some())
+            .field("modalities", &self.modalities.kinds())
+            .field("fused", &self.fused.is_some())
             .finish()
     }
 }
@@ -61,6 +72,7 @@ impl DetectionSystem {
             target,
             auxiliaries: Vec::new(),
             method: SimilarityMethod::default(),
+            modalities: Vec::new(),
         }
     }
 
@@ -104,6 +116,108 @@ impl DetectionSystem {
     /// prediction time, not here.
     pub fn set_classifier(&mut self, classifier: FittedClassifier) {
         self.classifier = Some(classifier);
+    }
+
+    /// The registered detection modalities (empty = similarity-only).
+    pub fn modalities(&self) -> &ModalityRegistry {
+        &self.modalities
+    }
+
+    /// The fused similarity + modality classifier, if
+    /// [`train_fused`](Self::train_fused) has run (or a restored one was
+    /// installed).
+    pub fn fused_classifier(&self) -> Option<&FusedClassifier> {
+        self.fused.as_ref()
+    }
+
+    /// Whether a fused classifier is available, so
+    /// [`detect`](Self::detect) will use the modality plane.
+    pub fn is_fused(&self) -> bool {
+        self.fused.is_some()
+    }
+
+    /// The fused feature layout this system produces, or `None` when no
+    /// modality is registered.
+    pub fn fusion_layout(&self) -> Option<FusionLayout> {
+        if self.modalities.is_empty() {
+            return None;
+        }
+        Some(FusionLayout::new(self.n_auxiliaries(), self.modalities.kinds()))
+    }
+
+    /// Installs an externally trained fused classifier (e.g. one
+    /// restored from a persisted snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classifier's layout does not match this system's
+    /// auxiliary count and registered modalities.
+    pub fn set_fused_classifier(&mut self, fused: FusedClassifier) {
+        let expected = self.fusion_layout().expect("no modalities registered");
+        assert_eq!(
+            *fused.layout(),
+            expected,
+            "fused classifier layout does not match the system's modalities"
+        );
+        self.fused = Some(fused);
+    }
+
+    /// Scores every registered modality on `wave` (the caller supplies
+    /// the target transcription it already has), in registry order.
+    pub fn score_modalities(&self, wave: &Waveform, target_text: &str) -> Vec<ModalityOutcome> {
+        self.modalities.score_all(&ModalityInput::new(&self.target, wave, target_text))
+    }
+
+    /// The raw fused feature row for `wave`: similarity scores followed
+    /// by the concatenated modality blocks (see
+    /// [`FusionLayout::raw_dim`]).
+    pub fn raw_feature_row(&self, wave: &Waveform) -> Vec<f64> {
+        let (target, auxiliaries) = self.transcripts(wave);
+        let mut row = self.scores_from_transcripts(&target, &auxiliaries);
+        for outcome in self.score_modalities(wave, &target) {
+            row.extend_from_slice(&outcome.features);
+        }
+        row
+    }
+
+    /// Trains the fused classifier from benign and adversarial audio:
+    /// every wave is reduced to its raw fused feature row and
+    /// [`FusedClassifier::fit`] runs over the two classes (fitting the
+    /// benign-only one-class scorer along the way when the instability
+    /// modality is registered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no modality is registered or either set is empty.
+    pub fn train_fused(
+        &mut self,
+        benign: &[Waveform],
+        adversarial: &[Waveform],
+        kind: ClassifierKind,
+    ) {
+        assert!(!benign.is_empty() && !adversarial.is_empty(), "empty training class");
+        let layout = self.fusion_layout().expect("no modalities registered");
+        let rows = |waves: &[Waveform]| {
+            Mat::from_rows(
+                waves.iter().map(|w| self.raw_feature_row(w)).collect(),
+                layout.raw_dim(),
+            )
+        };
+        let (neg, pos) = (rows(benign), rows(adversarial));
+        self.fused = Some(FusedClassifier::fit(layout, &neg, &pos, kind));
+    }
+
+    /// Trains the fused classifier directly on raw feature rows — the
+    /// cached-dataset analogue of [`train_on_mats`](Self::train_on_mats)
+    /// for the fused plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no modality is registered, either class is empty, or a
+    /// matrix width differs from the fusion layout's raw width.
+    pub fn train_fused_on_mats(&mut self, benign: Mat, adversarial: Mat, kind: ClassifierKind) {
+        let layout = self.fusion_layout().expect("no modalities registered");
+        self.fused = Some(FusedClassifier::fit(layout, &benign, &adversarial, kind));
     }
 
     /// Every recogniser in execution order: the target first, then the
@@ -285,18 +399,39 @@ impl DetectionSystem {
             scores,
             target_transcription: target,
             auxiliary_transcriptions: auxiliaries,
+            modality_features: Vec::new(),
+            fused: false,
         }
     }
 
-    /// Runs the full detection pipeline on `wave`.
+    /// Runs the full detection pipeline on `wave`. When a fused
+    /// classifier is installed, the registered modalities are scored
+    /// and the fused verdict is returned (`Detection::fused` is true);
+    /// otherwise the paper's similarity-only pipeline runs.
     ///
     /// # Panics
     ///
-    /// Panics if the system is untrained; see [`DetectionSystem::train`].
+    /// Panics if the system is untrained; see [`DetectionSystem::train`]
+    /// and [`DetectionSystem::train_fused`].
     pub fn detect(&self, wave: &Waveform) -> Detection {
         let _span = mvp_obs::span!("detect");
         let (target, auxiliaries) = self.transcripts(wave);
-        self.detect_from_transcripts(target, auxiliaries)
+        let Some(fused) = &self.fused else {
+            return self.detect_from_transcripts(target, auxiliaries);
+        };
+        let scores = self.scores_from_transcripts(&target, &auxiliaries);
+        let modality_features: Vec<f64> =
+            self.score_modalities(wave, &target).into_iter().flat_map(|o| o.features).collect();
+        let mut raw = scores.clone();
+        raw.extend_from_slice(&modality_features);
+        Detection {
+            is_adversarial: fused.is_adversarial(&raw),
+            scores,
+            target_transcription: target,
+            auxiliary_transcriptions: auxiliaries,
+            modality_features,
+            fused: true,
+        }
     }
 }
 
@@ -331,6 +466,7 @@ pub struct DetectionSystemBuilder {
     target: Arc<TrainedAsr>,
     auxiliaries: Vec<Arc<TrainedAsr>>,
     method: SimilarityMethod,
+    modalities: Vec<ModalityKind>,
 }
 
 impl DetectionSystemBuilder {
@@ -352,11 +488,25 @@ impl DetectionSystemBuilder {
         self
     }
 
+    /// Registers a detection modality (default configuration). Order of
+    /// calls is registry — and fused-feature — order.
+    pub fn modality(mut self, kind: ModalityKind) -> Self {
+        self.modalities.push(kind);
+        self
+    }
+
+    /// Registers several modalities at once, in order.
+    pub fn modality_kinds(mut self, kinds: &[ModalityKind]) -> Self {
+        self.modalities.extend_from_slice(kinds);
+        self
+    }
+
     /// Finishes the build.
     ///
     /// # Panics
     ///
-    /// Panics if no auxiliary was added.
+    /// Panics if no auxiliary was added or a modality was registered
+    /// twice.
     pub fn build(self) -> DetectionSystem {
         assert!(!self.auxiliaries.is_empty(), "at least one auxiliary ASR is required");
         DetectionSystem {
@@ -364,6 +514,8 @@ impl DetectionSystemBuilder {
             auxiliaries: self.auxiliaries,
             method: self.method,
             classifier: None,
+            modalities: ModalityRegistry::from_kinds(&self.modalities),
+            fused: None,
         }
     }
 }
@@ -521,6 +673,88 @@ mod tests {
             vec!["completely unrelated words here".to_string()],
         );
         assert!(d2.is_adversarial);
+    }
+
+    #[test]
+    fn builder_registers_modalities_in_order() {
+        let s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .modality(mvp_modality::ModalityKind::Distribution)
+            .modality(mvp_modality::ModalityKind::Transform)
+            .build();
+        assert_eq!(
+            s.modalities().kinds(),
+            vec![mvp_modality::ModalityKind::Distribution, mvp_modality::ModalityKind::Transform]
+        );
+        let layout = s.fusion_layout().unwrap();
+        assert_eq!(layout.n_similarity(), 1);
+        assert!(!s.is_fused());
+    }
+
+    #[test]
+    fn similarity_only_system_has_no_fusion_layout() {
+        assert!(ds0_ds1().fusion_layout().is_none());
+    }
+
+    #[test]
+    fn fused_training_and_detection() {
+        use mvp_modality::ModalityKind;
+        let synth = Synthesizer::new(16_000);
+        let lexicon = Lexicon::builtin();
+        let sentences =
+            ["the man walked the street", "turn on the light", "good morning", "open the door"];
+        let benign: Vec<Waveform> = sentences
+            .iter()
+            .map(|s| synth.synthesize(&lexicon, s, &SpeakerProfile::default()).0)
+            .collect();
+        // Stand-in AEs: loud white noise transcribes unstably and
+        // disagrees across ASRs, which is all the fit needs here.
+        let adversarial: Vec<Waveform> =
+            (0..4).map(|i| mvp_audio::NoiseKind::White.generate(16_000, 16_000, 7 + i)).collect();
+
+        let mut s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .modality_kinds(&ModalityKind::ALL)
+            .build();
+        s.train_fused(&benign, &adversarial, ClassifierKind::Svm);
+        assert!(s.is_fused());
+        let layout = s.fusion_layout().unwrap();
+        assert_eq!(s.fused_classifier().unwrap().layout(), &layout);
+        // Instability is registered, so the benign-only scorer fitted.
+        assert!(s.fused_classifier().unwrap().one_class().is_some());
+
+        let d = s.detect(&benign[0]);
+        assert!(d.fused);
+        assert_eq!(d.modality_features.len(), layout.raw_dim() - layout.n_similarity());
+        assert!(!d.is_adversarial, "benign audio flagged by fused detector");
+    }
+
+    #[test]
+    #[should_panic(expected = "no modalities registered")]
+    fn train_fused_requires_modalities() {
+        let mut s = ds0_ds1();
+        let wave = Waveform::from_samples(vec![0.0; 160], 16_000);
+        s.train_fused(&[wave.clone()], &[wave], ClassifierKind::Svm);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_fused_classifier_rejected() {
+        use mvp_modality::ModalityKind;
+        let mk = |kinds: &[ModalityKind]| {
+            DetectionSystem::builder(AsrProfile::Ds0)
+                .auxiliary(AsrProfile::Ds1)
+                .modality_kinds(kinds)
+                .build()
+        };
+        let mut donor = mk(&[ModalityKind::Transform]);
+        let dim = donor.fusion_layout().unwrap().raw_dim();
+        let rows = |base: f64| {
+            Mat::from_rows((0..10).map(|i| vec![base + (i % 5) as f64 * 0.01; dim]).collect(), dim)
+        };
+        donor.train_fused_on_mats(rows(0.9), rows(0.2), ClassifierKind::Svm);
+        let fused = donor.fused_classifier().unwrap().clone();
+        mk(&[ModalityKind::Distribution]).set_fused_classifier(fused);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod forest;
 pub mod knn;
 pub mod logistic;
 pub mod metrics;
+pub mod oneclass;
 pub mod roc;
 pub mod svm;
 pub mod tree;
@@ -46,6 +47,7 @@ pub use logistic::LogisticRegression;
 pub use metrics::mean_std;
 pub use metrics::BinaryMetrics;
 pub use mvp_dsp::Mat;
+pub use oneclass::OneClassScorer;
 pub use roc::{auc, roc_curve, threshold_for_fpr, RocPoint};
 pub use svm::{Kernel, Svm};
 

@@ -1,0 +1,209 @@
+//! Benign-only one-class scoring.
+//!
+//! The variant-instability modality (and the paper's §V-G unseen-attack
+//! setting generally) needs an anomaly score that can be fitted without
+//! any adversarial data. [`OneClassScorer`] models the benign feature
+//! block as an axis-aligned Gaussian: the anomaly score of a vector is
+//! its mean squared z-score, and the decision threshold is set at a
+//! quantile of the training scores, so the training false-positive rate
+//! is `1 − quantile` by construction.
+
+use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
+use mvp_dsp::Mat;
+
+/// Variance floor: features that are constant on the benign training
+/// set still get a finite z-score instead of an infinite one.
+const MIN_STD: f64 = 1e-9;
+
+/// An axis-aligned Gaussian one-class scorer fitted on benign rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneClassScorer {
+    mean: Vec<f64>,
+    inv_std: Vec<f64>,
+    threshold: f64,
+}
+
+impl OneClassScorer {
+    /// Fits on benign feature rows; the anomaly threshold is the
+    /// `quantile` point of the training scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, has zero width, contains non-finite
+    /// values, or `quantile` is outside `(0, 1]`.
+    pub fn fit_benign(rows: &Mat, quantile: f64) -> OneClassScorer {
+        assert!(!rows.is_empty(), "empty benign training set");
+        assert!(rows.n_cols() > 0, "zero-width benign training set");
+        assert!(rows.as_slice().iter().all(|v| v.is_finite()), "non-finite training feature");
+        assert!(quantile > 0.0 && quantile <= 1.0, "quantile must be in (0, 1]");
+
+        let (n, d) = (rows.n_rows() as f64, rows.n_cols());
+        let mut mean = vec![0.0; d];
+        for row in rows.rows() {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for row in rows.rows() {
+            for ((s, &m), &v) in var.iter_mut().zip(&mean).zip(row) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let inv_std: Vec<f64> = var.iter().map(|&s| 1.0 / (s / n).sqrt().max(MIN_STD)).collect();
+
+        let mut scorer = OneClassScorer { mean, inv_std, threshold: 0.0 };
+        let mut train_scores: Vec<f64> = rows.rows().map(|r| scorer.score(r)).collect();
+        train_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite training scores"));
+        let idx = ((train_scores.len() - 1) as f64 * quantile).ceil() as usize;
+        scorer.threshold = train_scores[idx.min(train_scores.len() - 1)];
+        scorer
+    }
+
+    /// Feature dimension the scorer was fitted for.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The anomaly score of `x`: mean squared z-score against the
+    /// benign fit. `0` at the benign mean, growing quadratically with
+    /// distance; always finite for finite input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        let sum: f64 = x
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.inv_std)
+            .map(|((&v, &m), &is)| {
+                let z = (v - m) * is;
+                z * z
+            })
+            .sum();
+        sum / self.dim() as f64
+    }
+
+    /// Whether `x` scores beyond the fitted threshold.
+    pub fn is_anomalous(&self, x: &[f64]) -> bool {
+        self.score(x) > self.threshold
+    }
+
+    /// The fitted decision threshold (training-score quantile).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Persist for OneClassScorer {
+    const KIND: ArtifactKind = ArtifactKind::ONE_CLASS_SCORER;
+    const SCHEMA_VERSION: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64s(&self.mean);
+        enc.put_f64s(&self.inv_std);
+        enc.put_f64(self.threshold);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let mean = dec.f64s()?;
+        let inv_std = dec.f64s()?;
+        let threshold = dec.f64()?;
+        if mean.is_empty() || mean.len() != inv_std.len() {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "one-class scorer with {} means and {} scales",
+                mean.len(),
+                inv_std.len()
+            )));
+        }
+        if !threshold.is_finite() || mean.iter().chain(&inv_std).any(|v| !v.is_finite()) {
+            return Err(ArtifactError::SchemaMismatch("non-finite one-class parameter".into()));
+        }
+        Ok(OneClassScorer { mean, inv_std, threshold })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benign_rows() -> Mat {
+        // Tight benign cluster around (0.9, 0.85, 1.0).
+        Mat::from_rows(
+            (0..40)
+                .map(|i| {
+                    let j = (i % 8) as f64 * 0.01;
+                    vec![0.88 + j, 0.82 + j, 1.0 - j * 0.5]
+                })
+                .collect(),
+            3,
+        )
+    }
+
+    #[test]
+    fn benign_scores_below_anomalies() {
+        let scorer = OneClassScorer::fit_benign(&benign_rows(), 0.95);
+        assert_eq!(scorer.dim(), 3);
+        let benign = scorer.score(&[0.9, 0.85, 0.98]);
+        let anomalous = scorer.score(&[0.2, 0.1, 0.0]);
+        assert!(benign < anomalous, "{benign} vs {anomalous}");
+        assert!(!scorer.is_anomalous(&[0.9, 0.85, 0.98]));
+        assert!(scorer.is_anomalous(&[0.2, 0.1, 0.0]));
+    }
+
+    #[test]
+    fn training_fpr_respects_quantile() {
+        let rows = benign_rows();
+        let scorer = OneClassScorer::fit_benign(&rows, 0.9);
+        let flagged = rows.rows().filter(|r| scorer.is_anomalous(r)).count();
+        // At most ~10% of training rows may exceed the 0.9 quantile.
+        assert!(flagged * 10 <= rows.n_rows() + 9, "{flagged}/{} flagged", rows.n_rows());
+    }
+
+    #[test]
+    fn constant_feature_stays_finite() {
+        let rows = Mat::from_rows((0..10).map(|_| vec![0.5, 1.0]).collect(), 2);
+        let scorer = OneClassScorer::fit_benign(&rows, 0.95);
+        let s = scorer.score(&[0.5, 0.2]);
+        assert!(s.is_finite());
+        assert!(scorer.is_anomalous(&[0.5, 0.2]));
+    }
+
+    #[test]
+    fn round_trips_through_persist() {
+        let scorer = OneClassScorer::fit_benign(&benign_rows(), 0.95);
+        let mut bytes = Vec::new();
+        scorer.write_to(&mut bytes).unwrap();
+        let restored = OneClassScorer::read_from(&bytes[..]).unwrap();
+        assert_eq!(restored, scorer);
+        let x = [0.3, 0.9, 0.5];
+        assert_eq!(restored.score(&x), scorer.score(&x));
+    }
+
+    #[test]
+    fn corrupted_artifact_is_refused() {
+        let scorer = OneClassScorer::fit_benign(&benign_rows(), 0.95);
+        let mut bytes = Vec::new();
+        scorer.write_to(&mut bytes).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        assert!(OneClassScorer::read_from(&bytes[..]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty benign")]
+    fn empty_training_rejected() {
+        OneClassScorer::fit_benign(&Mat::zeros(0, 3), 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_rejected() {
+        OneClassScorer::fit_benign(&benign_rows(), 1.5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Benign-stability property: transform-and-compare drift on clean
+//! corpus utterances stays below a threshold fitted on a disjoint clean
+//! corpus. This is the contract the whole modality rests on — if benign
+//! speech drifted past the fitted bound, the transform features would
+//! flag clean traffic instead of adversarial perturbations.
+//!
+//! Everything is seeded: the fit corpus, the property draws, and the
+//! vendored proptest runner (per-test-name RNG), so a failure
+//! reproduces exactly.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use mvp_asr::{Asr, AsrProfile, TrainedAsr};
+use mvp_corpus::{CorpusBuilder, CorpusConfig};
+use mvp_modality::{Modality, ModalityInput, TransformCompare};
+
+/// Per-utterance drift: how far the *least* stable transform strays
+/// from a perfect re-transcription (features are similarities, higher =
+/// more stable, so drift = 1 - min feature).
+fn drift(asr: &TrainedAsr, wave: &mvp_audio::Waveform) -> f64 {
+    let target = asr.transcribe(wave);
+    let score = TransformCompare::default().score(&ModalityInput::new(asr, wave, &target));
+    1.0 - score.features.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+}
+
+struct FittedBound {
+    asr: std::sync::Arc<TrainedAsr>,
+    /// Max clean-corpus drift observed at fit time, plus slack for
+    /// utterances the fit corpus did not cover.
+    threshold: f64,
+}
+
+/// Fits the benign drift bound once: max drift over a seeded clean
+/// corpus plus a fixed slack margin, the same shape as the workspace's
+/// benign-quantile threshold fits.
+fn fitted() -> &'static FittedBound {
+    static BOUND: OnceLock<FittedBound> = OnceLock::new();
+    BOUND.get_or_init(|| {
+        let asr = AsrProfile::Ds0.trained();
+        let corpus = CorpusBuilder::new(CorpusConfig {
+            size: 16,
+            seed: 977,
+            noise_prob: 0.0,
+            ..CorpusConfig::default()
+        })
+        .build();
+        let max_drift =
+            corpus.utterances().iter().map(|u| drift(&asr, &u.wave)).fold(0.0f64, f64::max);
+        FittedBound { asr, threshold: (max_drift + 0.15).min(1.0) }
+    })
+}
+
+proptest! {
+    #[test]
+    fn clean_corpus_drift_stays_below_fitted_threshold(seed in 1_000u64..9_000) {
+        let bound = fitted();
+        // A fresh one-utterance clean corpus per case, disjoint from the
+        // fit corpus by seed range.
+        let corpus = CorpusBuilder::new(CorpusConfig {
+            size: 1,
+            seed,
+            noise_prob: 0.0,
+            ..CorpusConfig::default()
+        })
+        .build();
+        let utterance = &corpus.utterances()[0];
+        let d = drift(&bound.asr, &utterance.wave);
+        prop_assert!(
+            d <= bound.threshold,
+            "clean drift {d:.3} above fitted threshold {:.3} for {:?} (seed {seed})",
+            bound.threshold,
+            utterance.text
+        );
+    }
+}

@@ -47,6 +47,7 @@ use mvp_artifact::{ArtifactError, Persist};
 use mvp_asr::{AsrScratch, TrainedAsr};
 use mvp_audio::Waveform;
 use mvp_ears::{DetectionSystem, DetectionSystemSnapshot};
+use mvp_modality::{ModalityInput, ModalityKind};
 use mvp_obs::metrics::Counter;
 use mvp_obs::{AuditLog, JsonObj, Registry};
 
@@ -75,6 +76,19 @@ pub struct EngineConfig {
     pub aux_deadline_ms: Vec<Option<u64>>,
     /// Transcription-cache capacity in waveforms; `0` disables caching.
     pub cache_cap: usize,
+    /// The modality mix scored per request, in order. Every kind must be
+    /// registered on the served system. Empty (the default) = similarity
+    /// only, the pre-modality behaviour. When the system carries a fused
+    /// classifier and this mix covers its whole registry, requests whose
+    /// modalities all score within budget get fused verdicts.
+    pub modalities: Vec<ModalityKind>,
+    /// Per-modality time budget, parallel to `modalities` (missing tail
+    /// entries are `None`). `None` always scores; `Some(ms)` skips the
+    /// modality when the request is already older than `ms` when its
+    /// turn comes — so `Some(0)` disables it outright. A skipped
+    /// modality on a fused-capable engine degrades the verdict to
+    /// [`FallbackTier::SimilarityOnly`].
+    pub modality_budget_ms: Vec<Option<u64>>,
     /// Model directory for [`DetectionEngine::start_or_warm`]: when set,
     /// the engine loads its detection system from
     /// `<model_dir>/detector.mvpa` instead of training, and persists the
@@ -95,10 +109,79 @@ impl Default for EngineConfig {
             deadline_ms: 1_000,
             aux_deadline_ms: Vec::new(),
             cache_cap: 256,
+            modalities: Vec::new(),
+            modality_budget_ms: Vec::new(),
             model_dir: None,
             audit: None,
         }
     }
+}
+
+/// The per-request modality schedule, fixed at engine start.
+struct ModalityPlan {
+    kinds: Vec<ModalityKind>,
+    budgets_ms: Vec<Option<u64>>,
+    /// The system carries a fused classifier and `kinds` covers its
+    /// whole registry, so fully-scored requests get fused verdicts.
+    fused_capable: bool,
+}
+
+impl ModalityPlan {
+    fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+}
+
+/// One modality's evidence for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModalityReport {
+    /// Which modality.
+    pub kind: ModalityKind,
+    /// Whether it was scored (false = its budget was already spent).
+    pub scored: bool,
+    /// The feature block, higher = more benign-stable; empty when
+    /// skipped.
+    pub features: Vec<f64>,
+    /// Wall time spent scoring (0 when skipped).
+    pub elapsed_us: u64,
+}
+
+/// Scores the planned modalities for one request, skipping any whose
+/// budget is already spent relative to `submitted`.
+fn score_modalities(
+    system: &DetectionSystem,
+    plan: &ModalityPlan,
+    wave: &Waveform,
+    target_text: &str,
+    submitted: Instant,
+    stats: &ServeStats,
+) -> Vec<ModalityReport> {
+    let input = ModalityInput::new(system.target(), wave, target_text);
+    plan.kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let budget = plan.budgets_ms.get(i).copied().flatten();
+            let spent_ms = submitted.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+            if budget.is_some_and(|ms| spent_ms >= ms) {
+                stats.modality_budget_missed.inc();
+                return ModalityReport { kind, scored: false, features: Vec::new(), elapsed_us: 0 };
+            }
+            let outcome = system
+                .modalities()
+                .score_where(&input, |k| k == kind)
+                .pop()
+                // mvp-lint: allow(serve-no-panic) -- engine start asserted every planned kind is registered; an empty result is a config-validation bug, not request input
+                .expect("planned modality registered");
+            stats.modality_scored.inc();
+            ModalityReport {
+                kind,
+                scored: true,
+                features: outcome.features,
+                elapsed_us: outcome.elapsed_us,
+            }
+        })
+        .collect()
 }
 
 /// How a verdict was produced.
@@ -126,6 +209,12 @@ pub struct Verdict {
     pub scores: Vec<Option<f64>>,
     /// The target transcription, when the target answered.
     pub target_transcription: Option<String>,
+    /// One report per planned modality, in plan order; empty when the
+    /// engine runs similarity-only or the request failed/degraded
+    /// before modality scoring.
+    pub modalities: Vec<ModalityReport>,
+    /// Whether the fused similarity + modality classifier answered.
+    pub fused: bool,
     /// End-to-end latency from `submit` to finalization.
     pub latency: Duration,
 }
@@ -191,9 +280,12 @@ struct Waiter {
     queued_us: u64,
 }
 
-/// One unique waveform within a batch and everyone waiting on it.
+/// One unique waveform within a batch and everyone waiting on it. The
+/// waveform itself rides along so the collector can score modalities at
+/// finalization.
 struct BatchItem {
     key: u64,
+    wave: Arc<Waveform>,
     waiters: Vec<Waiter>,
 }
 
@@ -330,6 +422,29 @@ fn verdict_record(
         }
     }
     transcribe.push(']');
+    let mut modalities = String::from("[");
+    for (i, report) in verdict.modalities.iter().enumerate() {
+        if i > 0 {
+            modalities.push(',');
+        }
+        let mut features = String::from("[");
+        for (j, f) in report.features.iter().enumerate() {
+            if j > 0 {
+                features.push(',');
+            }
+            features.push_str(&format!("{f}"));
+        }
+        features.push(']');
+        modalities.push_str(
+            &JsonObj::new()
+                .str("name", report.kind.name())
+                .bool("scored", report.scored)
+                .raw("features", &features)
+                .u64("us", report.elapsed_us)
+                .finish(),
+        );
+    }
+    modalities.push(']');
     let timing = JsonObj::new()
         .u64("queue_us", queued_us)
         .raw("transcribe_us", &transcribe)
@@ -337,7 +452,8 @@ fn verdict_record(
         .u64("total_us", verdict.latency.as_micros().min(u128::from(u64::MAX)) as u64)
         .finish();
     let obj = JsonObj::new()
-        .u64("v", 1)
+        // v2 added the "modalities" array and the "fused" flag.
+        .u64("v", 2)
         .str("event", "verdict")
         .u64("ts_us", wall_ts_us())
         .u64("request", id);
@@ -349,9 +465,11 @@ fn verdict_record(
         .opt_str("tier", tier)
         .bool("cache", verdict.from_cache)
         .opt_bool("adversarial", verdict.is_adversarial)
+        .bool("fused", verdict.fused)
         .opt_str("target", verdict.target_transcription.as_deref())
         .opt_f64("threshold", threshold)
         .raw("aux", &aux)
+        .raw("modalities", &modalities)
         .raw("timing", &timing)
         .finish()
 }
@@ -396,6 +514,28 @@ impl DetectionEngine {
             n_aux
         );
         assert_eq!(policy.n_aux(), n_aux, "degrade policy dimension mismatch");
+        let registered = system.modalities().kinds();
+        for (i, kind) in config.modalities.iter().enumerate() {
+            assert!(
+                registered.contains(kind),
+                "modality {kind} is not registered on the served system"
+            );
+            assert!(
+                !config.modalities[..i].contains(kind),
+                "modality {kind} listed twice in the engine config"
+            );
+        }
+        assert!(
+            config.modality_budget_ms.len() <= config.modalities.len(),
+            "modality_budget_ms has {} entries for {} modalities",
+            config.modality_budget_ms.len(),
+            config.modalities.len()
+        );
+        let plan = Arc::new(ModalityPlan {
+            fused_capable: system.is_fused() && config.modalities == registered,
+            kinds: config.modalities.clone(),
+            budgets_ms: config.modality_budget_ms.clone(),
+        });
 
         let stats = Arc::new(ServeStats::new());
         let policy = Arc::new(policy);
@@ -427,6 +567,7 @@ impl DetectionEngine {
             let stats = Arc::clone(&stats);
             let cache = cache.clone();
             let config = config.clone();
+            let plan = Arc::clone(&plan);
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-batcher".into())
@@ -434,6 +575,7 @@ impl DetectionEngine {
                         batcher_loop(
                             system,
                             config,
+                            plan,
                             ingress_rx,
                             worker_txs,
                             collector_tx,
@@ -453,7 +595,7 @@ impl DetectionEngine {
                 std::thread::Builder::new()
                     .name("serve-collector".into())
                     .spawn(move || {
-                        collector_loop(system, policy, collector_rx, cache, stats, audit)
+                        collector_loop(system, policy, plan, collector_rx, cache, stats, audit)
                     })
                     // mvp-lint: allow(serve-no-panic) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
                     .expect("spawn collector"),
@@ -620,9 +762,11 @@ fn worker_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn batcher_loop(
     system: Arc<DetectionSystem>,
     config: EngineConfig,
+    plan: Arc<ModalityPlan>,
     ingress: Receiver<Request>,
     worker_txs: Vec<Sender<WorkItem>>,
     collector_tx: Sender<CollectorMsg>,
@@ -656,8 +800,8 @@ fn batcher_loop(
                 Some(&idx) => items[idx].waiters.push(waiter),
                 None => {
                     index_of.insert(key, items.len());
-                    waves.push(wave);
-                    items.push(BatchItem { key, waiters: vec![waiter] });
+                    waves.push(Arc::clone(&wave));
+                    items.push(BatchItem { key, wave, waiters: vec![waiter] });
                 }
             }
         }
@@ -702,7 +846,7 @@ fn batcher_loop(
                 request.queued_us =
                     request.submitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 if let Some(cached) = lookup(&cache, &request.key, &stats) {
-                    answer_cache_hit(&system, &request, &cached, &stats, &config.audit);
+                    answer_cache_hit(&system, &plan, &request, &cached, &stats, &config.audit);
                     continue;
                 }
                 pending.push(request);
@@ -735,8 +879,44 @@ fn lookup(cache: &Option<SharedCache>, key: &u64, stats: &ServeStats) -> Option<
     hit
 }
 
+/// Applies the modality plan to a full similarity verdict: upgrade to a
+/// fused verdict when every planned modality scored on a fused-capable
+/// engine, degrade to [`FallbackTier::SimilarityOnly`] when one missed
+/// its budget, or just attach the evidence reports otherwise.
+fn resolve_with_modalities(
+    system: &DetectionSystem,
+    plan: &ModalityPlan,
+    wave: &Waveform,
+    similarity_verdict: bool,
+    scores: &[f64],
+    target_text: &str,
+    submitted: Instant,
+    stats: &ServeStats,
+) -> (bool, VerdictKind, Vec<ModalityReport>, bool) {
+    if plan.is_empty() {
+        return (similarity_verdict, VerdictKind::Full, Vec::new(), false);
+    }
+    let reports = score_modalities(system, plan, wave, target_text, submitted, stats);
+    if !plan.fused_capable {
+        return (similarity_verdict, VerdictKind::Full, reports, false);
+    }
+    if reports.iter().all(|r| r.scored) {
+        let mut raw = scores.to_vec();
+        for report in &reports {
+            raw.extend_from_slice(&report.features);
+        }
+        let fused = system
+            .fused_classifier()
+            // mvp-lint: allow(serve-no-panic) -- fused_capable is only set at engine start when the system carries a fused classifier
+            .expect("fused-capable plan implies a fused classifier");
+        return (fused.is_adversarial(&raw), VerdictKind::Full, reports, true);
+    }
+    (similarity_verdict, VerdictKind::Degraded(FallbackTier::SimilarityOnly), reports, false)
+}
+
 fn answer_cache_hit(
     system: &DetectionSystem,
+    plan: &ModalityPlan,
     request: &Request,
     texts: &TranscriptVec,
     stats: &ServeStats,
@@ -747,14 +927,32 @@ fn answer_cache_hit(
     let detection = system.detect_from_transcripts(target, auxiliaries);
     let aux_texts: Vec<Option<String>> =
         detection.auxiliary_transcriptions.iter().cloned().map(Some).collect();
+    let (is_adversarial, kind, modalities, fused) = resolve_with_modalities(
+        system,
+        plan,
+        &request.wave,
+        detection.is_adversarial,
+        &detection.scores,
+        &detection.target_transcription,
+        request.submitted,
+        stats,
+    );
     let verdict = Verdict {
-        is_adversarial: Some(detection.is_adversarial),
-        kind: VerdictKind::Full,
+        is_adversarial: Some(is_adversarial),
+        kind,
         from_cache: true,
         scores: detection.scores.into_iter().map(Some).collect(),
         target_transcription: Some(detection.target_transcription),
+        modalities,
+        fused,
         latency: request.submitted.elapsed(),
     };
+    if matches!(verdict.kind, VerdictKind::Degraded(_)) {
+        stats.degraded.inc();
+    }
+    if verdict.fused {
+        stats.fused_verdicts.inc();
+    }
     stats.latency.record(verdict.latency);
     stats.completed.inc();
     if let Some(audit) = audit {
@@ -765,9 +963,11 @@ fn answer_cache_hit(
     let _ = request.reply.send(verdict);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collector_loop(
     system: Arc<DetectionSystem>,
     policy: Arc<DegradePolicy>,
+    plan: Arc<ModalityPlan>,
     rx: Receiver<CollectorMsg>,
     cache: Option<SharedCache>,
     stats: Arc<ServeStats>,
@@ -807,7 +1007,7 @@ fn collector_loop(
             // deadlines.
             Err(RecvTimeoutError::Disconnected) => {
                 for (id, state) in batches.drain() {
-                    finalize(&system, &policy, &cache, &stats, &audit, id, state);
+                    finalize(&system, &policy, &plan, &cache, &stats, &audit, id, state);
                 }
                 return;
             }
@@ -818,14 +1018,16 @@ fn collector_loop(
         for id in ready {
             // mvp-lint: allow(serve-no-panic) -- `id` was collected from `batches` two lines up with no intervening removal; absence is an engine bug, not request input
             let state = batches.remove(&id).expect("ready batch present");
-            finalize(&system, &policy, &cache, &stats, &audit, id, state);
+            finalize(&system, &policy, &plan, &cache, &stats, &audit, id, state);
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finalize(
     system: &DetectionSystem,
     policy: &DegradePolicy,
+    plan: &ModalityPlan,
     cache: &Option<SharedCache>,
     stats: &ServeStats,
     audit: &Option<Arc<AuditLog>>,
@@ -846,6 +1048,8 @@ fn finalize(
                     from_cache: false,
                     scores: vec![None; n_aux],
                     target_transcription: None,
+                    modalities: Vec::new(),
+                    fused: false,
                     latency: Duration::ZERO,
                 },
                 vec![None; n_aux],
@@ -867,13 +1071,30 @@ fn finalize(
                     }
                     let aux_texts: Vec<Option<String>> =
                         detection.auxiliary_transcriptions.iter().cloned().map(Some).collect();
+                    // Modality budgets run against the oldest waiter:
+                    // the request that has been waiting longest decides
+                    // how much patience the batch has left.
+                    let earliest =
+                        item.waiters.iter().map(|w| w.submitted).min().unwrap_or_else(Instant::now);
+                    let (is_adversarial, kind, modalities, fused) = resolve_with_modalities(
+                        system,
+                        plan,
+                        &item.wave,
+                        detection.is_adversarial,
+                        &detection.scores,
+                        &detection.target_transcription,
+                        earliest,
+                        stats,
+                    );
                     (
                         Verdict {
-                            is_adversarial: Some(detection.is_adversarial),
-                            kind: VerdictKind::Full,
+                            is_adversarial: Some(is_adversarial),
+                            kind,
                             from_cache: false,
                             scores: detection.scores.into_iter().map(Some).collect(),
                             target_transcription: Some(detection.target_transcription),
+                            modalities,
+                            fused,
                             latency: Duration::ZERO,
                         },
                         aux_texts,
@@ -898,6 +1119,11 @@ fn finalize(
                             from_cache: false,
                             scores,
                             target_transcription: Some(target),
+                            // An auxiliary already missed its deadline;
+                            // modality scoring would only add latency to
+                            // an answer the fused classifier cannot use.
+                            modalities: Vec::new(),
+                            fused: false,
                             latency: Duration::ZERO,
                         },
                         aux_texts,
@@ -922,6 +1148,9 @@ fn finalize(
                     stats.degraded.inc();
                 }
                 VerdictKind::Full => {}
+            }
+            if verdict.fused {
+                stats.fused_verdicts.inc();
             }
             stats.latency.record(verdict.latency);
             stats.completed.inc();
@@ -974,6 +1203,21 @@ mod tests {
             from_cache: false,
             scores: vec![Some(0.12), None],
             target_transcription: Some("open the door".into()),
+            modalities: vec![
+                ModalityReport {
+                    kind: ModalityKind::Transform,
+                    scored: true,
+                    features: vec![0.91, 0.05],
+                    elapsed_us: 420,
+                },
+                ModalityReport {
+                    kind: ModalityKind::Distribution,
+                    scored: false,
+                    features: Vec::new(),
+                    elapsed_us: 0,
+                },
+            ],
+            fused: false,
             latency: Duration::from_micros(1500),
         };
         let line = verdict_record(
@@ -988,11 +1232,20 @@ mod tests {
         );
         let v = mvp_obs::json::parse(&line).unwrap();
         assert_eq!(v.get("event").unwrap().as_str(), Some("verdict"));
+        assert_eq!(v.get("v").unwrap().as_f64(), Some(2.0));
         assert_eq!(v.get("request").unwrap().as_f64(), Some(7.0));
         assert_eq!(v.get("kind").unwrap().as_str(), Some("degraded"));
         assert_eq!(v.get("tier").unwrap().as_str(), Some("mean_threshold"));
         assert_eq!(v.get("adversarial").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("threshold").unwrap().as_f64(), Some(0.4));
+        assert_eq!(v.get("fused").unwrap().as_bool(), Some(false));
+        let modalities = v.get("modalities").unwrap().as_arr().unwrap();
+        assert_eq!(modalities.len(), 2);
+        assert_eq!(modalities[0].get("name").unwrap().as_str(), Some("transform"));
+        assert_eq!(modalities[0].get("scored").unwrap().as_bool(), Some(true));
+        assert_eq!(modalities[0].get("features").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(modalities[0].get("us").unwrap().as_f64(), Some(420.0));
+        assert_eq!(modalities[1].get("scored").unwrap().as_bool(), Some(false));
         let aux = v.get("aux").unwrap().as_arr().unwrap();
         assert_eq!(aux.len(), 2);
         assert_eq!(aux[0].get("score").unwrap().as_f64(), Some(0.12));

@@ -51,7 +51,8 @@ pub mod stats;
 pub use cache::{waveform_key, LruCache, TranscriptVec};
 pub use degrade::{DegradePolicy, FallbackTier};
 pub use engine::{
-    DetectionEngine, EngineConfig, PendingVerdict, SubmitError, Verdict, VerdictKind,
+    DetectionEngine, EngineConfig, ModalityReport, PendingVerdict, SubmitError, Verdict,
+    VerdictKind,
 };
 pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec, VerdictTally};
 pub use stats::{LatencyHistogram, ServeStats, StatsSnapshot};

@@ -42,6 +42,13 @@ pub struct ServeStats {
     pub batches: Counter,
     /// Total requests across dispatched batches (for mean batch size).
     pub batched_requests: Counter,
+    /// Modality evaluations completed (one per modality per request).
+    pub modality_scored: Counter,
+    /// Modality evaluations skipped because the per-request budget was
+    /// already spent (or the modality was disabled with a zero budget).
+    pub modality_budget_missed: Counter,
+    /// Requests answered by the fused similarity + modality classifier.
+    pub fused_verdicts: Counter,
     /// End-to-end latency of answered requests.
     pub latency: Histogram,
 }
@@ -69,6 +76,14 @@ impl ServeStats {
             batches: registry.counter("serve_batches_total", "micro-batches dispatched"),
             batched_requests: registry
                 .counter("serve_batched_requests_total", "requests across dispatched batches"),
+            modality_scored: registry
+                .counter("serve_modality_scored_total", "modality evaluations completed"),
+            modality_budget_missed: registry.counter(
+                "serve_modality_budget_missed_total",
+                "modality evaluations skipped on a spent per-request budget",
+            ),
+            fused_verdicts: registry
+                .counter("serve_fused_verdicts_total", "requests answered by the fused classifier"),
             latency: registry
                 .histogram("serve_latency_micros", "end-to-end request latency in microseconds"),
             registry,
@@ -105,6 +120,9 @@ impl ServeStats {
             } else {
                 self.batched_requests.get() as f64 / batches as f64
             },
+            modality_scored: self.modality_scored.get(),
+            modality_budget_missed: self.modality_budget_missed.get(),
+            fused_verdicts: self.fused_verdicts.get(),
             latency_mean_micros: self.latency.mean_micros(),
             latency_p50_micros: self.latency.quantile_micros(0.50),
             latency_p95_micros: self.latency.quantile_micros(0.95),
@@ -145,6 +163,12 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Mean requests per dispatched batch.
     pub mean_batch_size: f64,
+    /// Modality evaluations completed.
+    pub modality_scored: u64,
+    /// Modality evaluations skipped on a spent budget.
+    pub modality_budget_missed: u64,
+    /// Requests answered by the fused classifier.
+    pub fused_verdicts: u64,
     /// Mean end-to-end latency (µs).
     pub latency_mean_micros: f64,
     /// Median end-to-end latency (µs, bucket upper edge).
@@ -176,7 +200,9 @@ impl StatsSnapshot {
                 "\"deadline_failures\":{},\"cache_lookups\":{},\"cache_hits\":{},",
                 "\"cache_hit_rate\":{:.4},\"cache_poison_recovered\":{},",
                 "\"queue_depth\":{},\"batches\":{},",
-                "\"mean_batch_size\":{:.3},\"latency_mean_us\":{:.1},",
+                "\"mean_batch_size\":{:.3},\"modality_scored\":{},",
+                "\"modality_budget_missed\":{},\"fused_verdicts\":{},",
+                "\"latency_mean_us\":{:.1},",
                 "\"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_p99_us\":{},",
                 "\"latency_max_us\":{}}}"
             ),
@@ -192,6 +218,9 @@ impl StatsSnapshot {
             self.queue_depth,
             self.batches,
             self.mean_batch_size,
+            self.modality_scored,
+            self.modality_budget_missed,
+            self.fused_verdicts,
             self.latency_mean_micros,
             self.latency_p50_micros,
             self.latency_p95_micros,
@@ -289,6 +318,9 @@ mod tests {
             "serve_queue_depth",
             "serve_batches_total",
             "serve_batched_requests_total",
+            "serve_modality_scored_total",
+            "serve_modality_budget_missed_total",
+            "serve_fused_verdicts_total",
             "serve_latency_micros",
         ] {
             assert!(names.iter().any(|n| n == required), "missing metric {required}");

@@ -1,0 +1,155 @@
+//! End-to-end engine tests for the per-request modality plan: fused
+//! verdicts when every modality scores, `SimilarityOnly` degradation on
+//! budget misses, and evidence-only reports on partial mixes.
+
+use std::sync::Arc;
+
+use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+use mvp_ears::DetectionSystem;
+use mvp_ml::{ClassifierKind, Mat};
+use mvp_modality::ModalityKind;
+use mvp_phonetics::Lexicon;
+use mvp_serve::{DegradePolicy, DetectionEngine, EngineConfig, FallbackTier, VerdictKind};
+
+/// A system with every modality registered, a trained similarity
+/// classifier, and a fused classifier fitted on well-separated
+/// synthetic raw rows (high = benign, matching feature orientation).
+fn fused_system(kinds: &[ModalityKind]) -> Arc<DetectionSystem> {
+    let mut system = DetectionSystem::builder(mvp_asr::AsrProfile::Ds0)
+        .auxiliary(mvp_asr::AsrProfile::Ds1)
+        .modality_kinds(kinds)
+        .build();
+    let benign: Vec<Vec<f64>> = (0..30).map(|i| vec![0.85 + (i % 10) as f64 * 0.01]).collect();
+    let aes: Vec<Vec<f64>> = (0..30).map(|i| vec![0.2 + (i % 10) as f64 * 0.01]).collect();
+    system.train_on_scores(&benign, &aes, ClassifierKind::Svm);
+    let dim = system.fusion_layout().unwrap().raw_dim();
+    let rows = |base: f64| {
+        Mat::from_rows((0..24).map(|i| vec![base + (i % 6) as f64 * 0.01; dim]).collect(), dim)
+    };
+    system.train_fused_on_mats(rows(0.85), rows(0.15), ClassifierKind::Svm);
+    Arc::new(system)
+}
+
+fn speech() -> mvp_audio::Waveform {
+    let synth = Synthesizer::new(16_000);
+    let (wave, _) =
+        synth.synthesize(&Lexicon::builtin(), "open the door", &SpeakerProfile::default());
+    wave
+}
+
+#[test]
+fn full_modality_mix_produces_fused_verdicts() {
+    let system = fused_system(&ModalityKind::ALL);
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let config = EngineConfig {
+        modalities: ModalityKind::ALL.to_vec(),
+        cache_cap: 8,
+        ..EngineConfig::default()
+    };
+    let engine = DetectionEngine::start(Arc::clone(&system), policy, config);
+
+    let verdict = engine.submit(speech()).unwrap().wait();
+    assert_eq!(verdict.kind, VerdictKind::Full);
+    assert!(verdict.fused, "all modalities scored on a fused-capable engine");
+    assert!(verdict.is_adversarial.is_some());
+    assert_eq!(verdict.modalities.len(), ModalityKind::ALL.len());
+    for (report, kind) in verdict.modalities.iter().zip(ModalityKind::ALL) {
+        assert_eq!(report.kind, kind);
+        assert!(report.scored);
+        assert_eq!(report.features.len(), kind.feature_dim());
+        assert!(report.features.iter().all(|f| f.is_finite()));
+    }
+
+    // A cache-hit replay also resolves through the modality plan.
+    let replay = engine.submit(speech()).unwrap().wait();
+    assert!(replay.from_cache);
+    assert!(replay.fused);
+    assert_eq!(replay.modalities.len(), ModalityKind::ALL.len());
+
+    let snap = engine.stats();
+    assert_eq!(snap.fused_verdicts, 2);
+    assert_eq!(snap.modality_scored, 2 * ModalityKind::ALL.len() as u64);
+    assert_eq!(snap.modality_budget_missed, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn zero_budget_modality_degrades_to_similarity_only() {
+    let system = fused_system(&ModalityKind::ALL);
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let config = EngineConfig {
+        modalities: ModalityKind::ALL.to_vec(),
+        // Instability never fits a zero budget: fused requests degrade.
+        modality_budget_ms: vec![None, None, Some(0)],
+        cache_cap: 0,
+        ..EngineConfig::default()
+    };
+    let engine = DetectionEngine::start(Arc::clone(&system), policy, config);
+
+    let verdict = engine.submit(speech()).unwrap().wait();
+    assert_eq!(verdict.kind, VerdictKind::Degraded(FallbackTier::SimilarityOnly));
+    assert!(!verdict.fused);
+    assert_eq!(verdict.modalities.len(), 3);
+    assert!(verdict.modalities[0].scored && verdict.modalities[1].scored);
+    assert!(!verdict.modalities[2].scored);
+    assert!(verdict.modalities[2].features.is_empty());
+    // The similarity classifier still answered.
+    assert!(verdict.is_adversarial.is_some());
+
+    let snap = engine.stats();
+    assert_eq!(snap.fused_verdicts, 0);
+    assert_eq!(snap.modality_budget_missed, 1);
+    assert_eq!(snap.degraded, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn partial_mix_reports_evidence_without_fusing() {
+    // The system's registry (and fused layout) covers all three kinds,
+    // but the engine only scores one: evidence rides the verdict, the
+    // fused classifier stays out of the loop.
+    let system = fused_system(&ModalityKind::ALL);
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let config = EngineConfig {
+        modalities: vec![ModalityKind::Transform],
+        cache_cap: 0,
+        ..EngineConfig::default()
+    };
+    let engine = DetectionEngine::start(Arc::clone(&system), policy, config);
+
+    let verdict = engine.submit(speech()).unwrap().wait();
+    assert_eq!(verdict.kind, VerdictKind::Full);
+    assert!(!verdict.fused, "partial mix cannot feed the fused layout");
+    assert_eq!(verdict.modalities.len(), 1);
+    assert_eq!(verdict.modalities[0].kind, ModalityKind::Transform);
+    assert!(verdict.modalities[0].scored);
+    engine.shutdown();
+}
+
+#[test]
+fn similarity_only_engine_is_unchanged() {
+    let system = fused_system(&ModalityKind::ALL);
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let engine = DetectionEngine::start(Arc::clone(&system), policy, EngineConfig::default());
+    let verdict = engine.submit(speech()).unwrap().wait();
+    assert_eq!(verdict.kind, VerdictKind::Full);
+    assert!(!verdict.fused);
+    assert!(verdict.modalities.is_empty());
+    assert_eq!(engine.stats().modality_scored, 0);
+    engine.shutdown();
+}
+
+#[test]
+#[should_panic(expected = "not registered")]
+fn unregistered_modality_in_config_is_rejected() {
+    let mut system = DetectionSystem::builder(mvp_asr::AsrProfile::Ds0)
+        .auxiliary(mvp_asr::AsrProfile::Ds1)
+        .build();
+    let benign: Vec<Vec<f64>> = (0..20).map(|_| vec![0.9]).collect();
+    let aes: Vec<Vec<f64>> = (0..20).map(|_| vec![0.1]).collect();
+    system.train_on_scores(&benign, &aes, ClassifierKind::Svm);
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let config =
+        EngineConfig { modalities: vec![ModalityKind::Transform], ..EngineConfig::default() };
+    let _ = DetectionEngine::start(Arc::new(system), policy, config);
+}

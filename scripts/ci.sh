@@ -38,3 +38,9 @@ cargo run --release -q -p mvp-bench --bin artifact_smoke
 # every serve verdict must leave a parseable audit record that agrees
 # with the metrics exposition (exit status is the gate).
 cargo run --release -q -p mvp-bench --bin obs_smoke
+
+# Modality-plane smoke: fit the fused similarity + modality classifier
+# at tiny scale and require fused AUC >= the similarity-only baseline,
+# plus a FusedClassifier persist round-trip and corruption refusal
+# (exit status is the gate; the bench artifact goes to a temp dir).
+cargo run --release -q -p mvp-bench --bin modality_smoke
