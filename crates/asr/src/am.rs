@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mvp_artifact::{ArtifactError, ArtifactKind, Decoder as FieldDecoder, Encoder, Persist};
+use mvp_dsp::kernel;
 use mvp_dsp::mfcc::FeatureMatrix;
 use mvp_phonetics::Phoneme;
 
@@ -135,6 +136,10 @@ pub struct AmScratch {
     x: Vec<f64>,
     hid: Vec<f64>,
     d_hid: Vec<f64>,
+    /// Scaled feature rows for the batch GEMM path.
+    xs: FeatureMatrix,
+    /// Hidden activations for the batch GEMM path.
+    hid_m: FeatureMatrix,
 }
 
 /// The acoustic model: `logits = W2·relu(W1·scale(x) + b1) + b2`.
@@ -194,13 +199,11 @@ impl AcousticModel {
                     let mut hid = vec![0.0; h];
                     for j in 0..h {
                         let row = &w1[j * dim..(j + 1) * dim];
-                        let pre: f64 = b1[j] + row.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
-                        hid[j] = pre.max(0.0);
+                        hid[j] = (b1[j] + kernel::dot(row, x)).max(0.0);
                     }
                     let mut logits = vec![0.0; N_CLASSES];
                     for c in 0..N_CLASSES {
-                        let row = &w2[c * h..(c + 1) * h];
-                        logits[c] = b2[c] + row.iter().zip(&hid).map(|(w, hv)| w * hv).sum::<f64>();
+                        logits[c] = b2[c] + kernel::dot(&w2[c * h..(c + 1) * h], &hid);
                     }
                     let probs = softmax(&logits);
                     // Backward.
@@ -208,22 +211,15 @@ impl AcousticModel {
                     for c in 0..N_CLASSES {
                         let err = probs[c] - f64::from(c == labels[i]);
                         gb2[c] += err;
-                        let row = &mut gw2[c * h..(c + 1) * h];
-                        let w_row = &w2[c * h..(c + 1) * h];
-                        for j in 0..h {
-                            row[j] += err * hid[j];
-                            d_hid[j] += err * w_row[j];
-                        }
+                        kernel::axpy(&mut gw2[c * h..(c + 1) * h], err, &hid);
+                        kernel::axpy(&mut d_hid, err, &w2[c * h..(c + 1) * h]);
                     }
                     for j in 0..h {
                         if hid[j] <= 0.0 {
                             continue; // ReLU gate
                         }
                         gb1[j] += d_hid[j];
-                        let row = &mut gw1[j * dim..(j + 1) * dim];
-                        for (g, &xv) in row.iter_mut().zip(x) {
-                            *g += d_hid[j] * xv;
-                        }
+                        kernel::axpy(&mut gw1[j * dim..(j + 1) * dim], d_hid[j], x);
                     }
                 }
                 let scale = cfg.learning_rate / chunk.len() as f64;
@@ -260,11 +256,11 @@ impl AcousticModel {
     fn forward_hidden(&self, row: &[f64], scratch: &mut AmScratch) {
         scratch.x.resize(self.dim, 0.0);
         self.scaler.transform_into(row, &mut scratch.x);
-        scratch.hid.clear();
-        scratch.hid.extend((0..self.hidden).map(|j| {
-            let w_row = &self.w1[j * self.dim..(j + 1) * self.dim];
-            (self.b1[j] + w_row.iter().zip(&scratch.x).map(|(w, xv)| w * xv).sum::<f64>()).max(0.0)
-        }));
+        scratch.hid.resize(self.hidden, 0.0);
+        kernel::gemv(&self.w1, self.dim, &scratch.x, &mut scratch.hid);
+        for (h, &b) in scratch.hid.iter_mut().zip(&self.b1) {
+            *h = (*h + b).max(0.0);
+        }
     }
 
     /// Logits for one raw (unscaled) feature row.
@@ -289,9 +285,9 @@ impl AcousticModel {
         assert_eq!(row.len(), self.dim, "feature dimension mismatch");
         assert_eq!(out.len(), N_CLASSES, "logit output length");
         self.forward_hidden(row, scratch);
-        for (c, o) in out.iter_mut().enumerate() {
-            let w_row = &self.w2[c * self.hidden..(c + 1) * self.hidden];
-            *o = self.b2[c] + w_row.iter().zip(&scratch.hid).map(|(w, hv)| w * hv).sum::<f64>();
+        kernel::gemv(&self.w2, self.hidden, &scratch.hid, out);
+        for (o, &b) in out.iter_mut().zip(&self.b2) {
+            *o += b;
         }
     }
 
@@ -305,15 +301,57 @@ impl AcousticModel {
 
     /// Allocation-free [`logit_matrix`](Self::logit_matrix): fills `out`
     /// with per-frame logits, reusing `scratch` across rows.
+    ///
+    /// Batched form of [`logits_into`](Self::logits_into): two
+    /// cache-blocked `kernel::gemm_nt` calls over all frames at once.
+    /// `gemm_nt` never splits the inner dimension, so every row of the
+    /// result is bit-identical to the per-row path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feats.dim() != self.dim()` (for a non-empty matrix).
     pub fn logit_matrix_into(
         &self,
         feats: &FeatureMatrix,
         scratch: &mut AmScratch,
         out: &mut FeatureMatrix,
     ) {
-        out.reset(feats.n_frames(), N_CLASSES);
-        for t in 0..feats.n_frames() {
-            self.logits_into(feats.row(t), scratch, out.row_mut(t));
+        let n = feats.n_frames();
+        out.reset(n, N_CLASSES);
+        if n == 0 {
+            return;
+        }
+        assert_eq!(feats.dim(), self.dim, "feature dimension mismatch");
+        scratch.xs.reset(n, self.dim);
+        for (t, row) in feats.rows().enumerate() {
+            self.scaler.transform_into(row, scratch.xs.row_mut(t));
+        }
+        scratch.hid_m.reset(n, self.hidden);
+        kernel::gemm_nt(
+            scratch.xs.as_slice(),
+            n,
+            &self.w1,
+            self.hidden,
+            self.dim,
+            scratch.hid_m.as_mut_slice(),
+        );
+        for t in 0..n {
+            for (h, &b) in scratch.hid_m.row_mut(t).iter_mut().zip(&self.b1) {
+                *h = (*h + b).max(0.0);
+            }
+        }
+        kernel::gemm_nt(
+            scratch.hid_m.as_slice(),
+            n,
+            &self.w2,
+            N_CLASSES,
+            self.hidden,
+            out.as_mut_slice(),
+        );
+        for t in 0..n {
+            for (o, &b) in out.row_mut(t).iter_mut().zip(&self.b2) {
+                *o += b;
+            }
         }
     }
 
@@ -377,20 +415,14 @@ impl AcousticModel {
             if g == 0.0 {
                 continue;
             }
-            let row = &self.w2[c * self.hidden..(c + 1) * self.hidden];
-            for (d, &w) in scratch.d_hid.iter_mut().zip(row) {
-                *d += g * w;
-            }
+            kernel::axpy(&mut scratch.d_hid, g, &self.w2[c * self.hidden..(c + 1) * self.hidden]);
         }
         out.fill(0.0);
         for j in 0..self.hidden {
             if scratch.hid[j] <= 0.0 || scratch.d_hid[j] == 0.0 {
                 continue;
             }
-            let row = &self.w1[j * self.dim..(j + 1) * self.dim];
-            for (d, &w) in out.iter_mut().zip(row) {
-                *d += scratch.d_hid[j] * w;
-            }
+            kernel::axpy(out, scratch.d_hid[j], &self.w1[j * self.dim..(j + 1) * self.dim]);
         }
         self.scaler.backward_in_place(out);
     }

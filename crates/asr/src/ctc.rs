@@ -7,6 +7,7 @@
 //! gradient (`softmax − occupancy`) is what the white-box attack pushes
 //! back through the acoustic model and MFCC pipeline into the waveform.
 
+use mvp_dsp::kernel;
 use mvp_dsp::mfcc::FeatureMatrix;
 use mvp_phonetics::Phoneme;
 
@@ -72,13 +73,23 @@ pub fn collapse_labels(labels: &[usize]) -> Vec<usize> {
     out
 }
 
-fn log_sum_exp(values: impl IntoIterator<Item = f64>) -> f64 {
-    let vals: Vec<f64> = values.into_iter().filter(|v| *v > f64::NEG_INFINITY).collect();
-    if vals.is_empty() {
+/// Allocation-free log-sum-exp over a cloneable iterator (the trellis
+/// calls this per cell, so a temporary `Vec` here dominated the loss).
+/// Summation order matches the historical collect-then-sum form
+/// bit-for-bit: same max, same left-to-right accumulation over the
+/// finite entries.
+fn log_sum_exp(values: impl IntoIterator<Item = f64> + Clone) -> f64 {
+    let m = values
+        .clone()
+        .into_iter()
+        .filter(|v| *v > f64::NEG_INFINITY)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
-    let m = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    m + vals.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
+    let sum: f64 =
+        values.into_iter().filter(|v| *v > f64::NEG_INFINITY).map(|v| (v - m).exp()).sum();
+    m + sum.ln()
 }
 
 /// CTC negative log-likelihood of `target` (class indices, no blanks) under
@@ -118,13 +129,22 @@ pub fn ctc_loss_and_grad(logits: &FeatureMatrix, target: &[usize]) -> (f64, Feat
         return (f64::INFINITY, FeatureMatrix::zeros(t_len, c));
     }
 
-    // Log-softmax per frame, one contiguous matrix.
-    let y = logits.map_rows(c, |l, out| {
-        softmax_into(l, out);
-        for o in out.iter_mut() {
-            *o = o.max(1e-300).ln();
-        }
-    });
+    // Log-softmax per frame, one contiguous matrix. Frames are
+    // independent, so this fans out across kernel workers (results are
+    // bit-identical at any worker count).
+    let mut y = FeatureMatrix::zeros(t_len, c);
+    kernel::par_rows(
+        y.as_mut_slice(),
+        c,
+        || (),
+        |(), t, out| {
+            softmax_into(logits.row(t), out);
+            for o in out.iter_mut() {
+                *o = o.max(1e-300).ln();
+            }
+        },
+    );
+    let y = y;
 
     const NEG: f64 = f64::NEG_INFINITY;
     // Forward and backward trellises, flat with stride `s_len`.
@@ -174,27 +194,32 @@ pub fn ctc_loss_and_grad(logits: &FeatureMatrix, target: &[usize]) -> (f64, Feat
         }
     }
 
-    // Gradient: softmax − occupancy.
-    let mut occ_log = vec![NEG; c];
+    // Gradient: softmax − occupancy. Each frame reads only its own
+    // trellis column, so the rows fan out across kernel workers with a
+    // per-worker (probs, occupancy) scratch pair.
     let mut grad = FeatureMatrix::zeros(t_len, c);
-    let mut probs = vec![0.0; c];
-    for t in 0..t_len {
-        softmax_into(logits.row(t), &mut probs);
-        // Occupancy per class at frame t.
-        occ_log.fill(NEG);
-        for s in 0..s_len {
-            let v = alpha[at(t, s)] + beta[at(t, s)];
-            if v > NEG {
-                let k = ext(s);
-                occ_log[k] = log_sum_exp([occ_log[k], v]);
+    let (alpha_ref, beta_ref, ext_ref) = (&alpha, &beta, &ext);
+    kernel::par_rows(
+        grad.as_mut_slice(),
+        c,
+        || (vec![0.0; c], vec![NEG; c]),
+        |(probs, occ_log), t, row| {
+            softmax_into(logits.row(t), probs);
+            // Occupancy per class at frame t.
+            occ_log.fill(NEG);
+            for s in 0..s_len {
+                let v = alpha_ref[at(t, s)] + beta_ref[at(t, s)];
+                if v > NEG {
+                    let k = ext_ref(s);
+                    occ_log[k] = log_sum_exp([occ_log[k], v]);
+                }
             }
-        }
-        let row = grad.row_mut(t);
-        for k in 0..c {
-            let occ = if occ_log[k] == NEG { 0.0 } else { (occ_log[k] - log_p).exp() };
-            row[k] = probs[k] - occ;
-        }
-    }
+            for (k, o) in row.iter_mut().enumerate() {
+                let occ = if occ_log[k] == NEG { 0.0 } else { (occ_log[k] - log_p).exp() };
+                *o = probs[k] - occ;
+            }
+        },
+    );
     (-log_p, grad)
 }
 

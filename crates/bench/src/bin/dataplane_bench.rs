@@ -1,0 +1,8 @@
+//! Runs only the data-plane benchmark (scale via `MVP_EARS_SCALE`).
+
+use mvp_bench::{experiments, ExperimentContext, Scale};
+
+fn main() {
+    let ctx = ExperimentContext::load_or_generate(Scale::from_env());
+    experiments::dataplane::run_dataplane_bench(&ctx);
+}

@@ -80,10 +80,13 @@ pub fn run_modality_bench(ctx: &ExperimentContext) -> (f64, f64) {
     let aux: Vec<AsrProfile> = THREE_AUX.to_vec();
     let kinds = ModalityKind::ALL;
 
-    let mut system = DetectionSystem::builder(AsrProfile::Ds0)
-        .auxiliary(aux[0])
-        .auxiliary(aux[1])
-        .auxiliary(aux[2])
+    // Warm-start every ASR from the context's artifact cache instead of
+    // retraining; the run measures modality scoring, not ASR training.
+    let models = ctx.models_dir();
+    let mut system = DetectionSystem::builder_for(AsrProfile::Ds0.trained_in(Some(&models)))
+        .auxiliary_asr(aux[0].trained_in(Some(&models)))
+        .auxiliary_asr(aux[1].trained_in(Some(&models)))
+        .auxiliary_asr(aux[2].trained_in(Some(&models)))
         .modality_kinds(&kinds)
         .build();
     system.train_on_scores(

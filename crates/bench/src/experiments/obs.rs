@@ -61,10 +61,13 @@ pub fn run_obs_bench(ctx: &ExperimentContext) {
     let method = SimilarityMethod::default();
     let aux: Vec<AsrProfile> = THREE_AUX.to_vec();
 
-    let mut system = DetectionSystem::builder(AsrProfile::Ds0)
-        .auxiliary(aux[0])
-        .auxiliary(aux[1])
-        .auxiliary(aux[2])
+    // Warm-start every ASR from the context's artifact cache; cold
+    // retraining here would dwarf the obs overhead being measured.
+    let models = ctx.models_dir();
+    let mut system = DetectionSystem::builder_for(AsrProfile::Ds0.trained_in(Some(&models)))
+        .auxiliary_asr(aux[0].trained_in(Some(&models)))
+        .auxiliary_asr(aux[1].trained_in(Some(&models)))
+        .auxiliary_asr(aux[2].trained_in(Some(&models)))
         .build();
     let benign_scores = ctx.benign_scores(&aux, method);
     let ae_scores = ctx.ae_scores(&aux, method, None);

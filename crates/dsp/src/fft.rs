@@ -26,7 +26,11 @@ pub fn ifft(data: &mut [Complex]) {
     }
 }
 
-fn transform(data: &mut [Complex], sign: f64) {
+/// Raw in-place radix-2 transform with explicit kernel sign and no
+/// normalisation; `sign = -1.0` is the forward DFT, `sign = 1.0` the
+/// unnormalised inverse. The kernel plane drives this directly for its
+/// half-size real-input transforms.
+pub(crate) fn transform(data: &mut [Complex], sign: f64) {
     let n = data.len();
     assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
     if n <= 1 {

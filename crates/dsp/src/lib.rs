@@ -27,6 +27,7 @@ pub mod dct;
 pub mod delta;
 pub mod fft;
 pub mod frame;
+pub mod kernel;
 pub mod mat;
 pub mod mel;
 pub mod mfcc;

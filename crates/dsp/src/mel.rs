@@ -1,5 +1,6 @@
 //! Mel-scale filterbank.
 
+use crate::kernel;
 use crate::mat::Mat;
 
 /// Converts frequency in Hz to mel (O'Shaughnessy formula).
@@ -20,6 +21,10 @@ pub struct MelFilterbank {
     /// filter `m` — one flat `n_filters × n_bins` matrix.
     weights: Mat,
     n_bins: usize,
+    /// Per-filter `[lo, hi)` range of non-zero weights: each triangle
+    /// touches only a narrow band of bins, so the fused kernel sums
+    /// just that band instead of the full spectrum.
+    ranges: Vec<(usize, usize)>,
 }
 
 impl MelFilterbank {
@@ -56,7 +61,15 @@ impl MelFilterbank {
                 }
             }
         }
-        MelFilterbank { weights, n_bins }
+        let ranges = (0..n_filters)
+            .map(|m| {
+                let row = weights.row(m);
+                let lo = row.iter().position(|&w| w != 0.0).unwrap_or(0);
+                let hi = row.iter().rposition(|&w| w != 0.0).map_or(lo, |i| i + 1);
+                (lo, hi)
+            })
+            .collect();
+        MelFilterbank { weights, n_bins, ranges }
     }
 
     /// Number of filters.
@@ -88,6 +101,28 @@ impl MelFilterbank {
     /// Panics if `power.len() != self.n_bins()` or
     /// `out.len() != self.n_filters()`.
     pub fn apply_into(&self, power: &[f64], out: &mut [f64]) {
+        if kernel::scalar_forced() {
+            return self.apply_dense_into(power, out);
+        }
+        assert_eq!(power.len(), self.n_bins, "power spectrum bin count");
+        assert_eq!(out.len(), self.n_filters(), "mel output length");
+        // Fused sparse form: every skipped term of the dense oracle is
+        // exactly `w * p == +0.0`, so restricting the serial sum to the
+        // non-zero band is bit-exact against `apply_dense_into`.
+        for ((o, row), &(lo, hi)) in out.iter_mut().zip(self.weights.rows()).zip(&self.ranges) {
+            *o = row[lo..hi].iter().zip(&power[lo..hi]).map(|(w, p)| w * p).sum();
+        }
+    }
+
+    /// Dense scalar oracle for [`apply_into`](Self::apply_into): sums
+    /// every bin, zero weights included. Parity tests and
+    /// `kernel::force_scalar` benches are the intended callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len() != self.n_bins()` or
+    /// `out.len() != self.n_filters()`.
+    pub fn apply_dense_into(&self, power: &[f64], out: &mut [f64]) {
         assert_eq!(power.len(), self.n_bins, "power spectrum bin count");
         assert_eq!(out.len(), self.n_filters(), "mel output length");
         for (o, row) in out.iter_mut().zip(self.weights.rows()) {
@@ -102,14 +137,36 @@ impl MelFilterbank {
     ///
     /// Panics if `grad.len() != self.n_filters()`.
     pub fn apply_transpose(&self, grad: &[f64]) -> Vec<f64> {
-        assert_eq!(grad.len(), self.n_filters(), "mel gradient length");
         let mut out = vec![0.0; self.n_bins];
-        for (row, &g) in self.weights.rows().zip(grad) {
-            for (o, &w) in out.iter_mut().zip(row) {
+        self.apply_transpose_into(grad, &mut out);
+        out
+    }
+
+    /// Allocation-free [`apply_transpose`](Self::apply_transpose),
+    /// scattering only over each filter's non-zero band. `out` is
+    /// overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != self.n_filters()` or
+    /// `out.len() != self.n_bins()`.
+    pub fn apply_transpose_into(&self, grad: &[f64], out: &mut [f64]) {
+        assert_eq!(grad.len(), self.n_filters(), "mel gradient length");
+        assert_eq!(out.len(), self.n_bins, "spectrum gradient length");
+        out.fill(0.0);
+        if kernel::scalar_forced() {
+            for (row, &g) in self.weights.rows().zip(grad) {
+                for (o, &w) in out.iter_mut().zip(row) {
+                    *o += w * g;
+                }
+            }
+            return;
+        }
+        for ((row, &g), &(lo, hi)) in self.weights.rows().zip(grad).zip(&self.ranges) {
+            for (o, &w) in out[lo..hi].iter_mut().zip(&row[lo..hi]) {
                 *o += w * g;
             }
         }
-        out
     }
 }
 
@@ -164,6 +221,34 @@ mod tests {
         let lhs: f64 = fb.apply(&p).iter().zip(&g).map(|(a, b)| a * b).sum();
         let rhs: f64 = fb.apply_transpose(&g).iter().zip(&p).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fused_apply_matches_dense_oracle_bit_exactly() {
+        for (n_filters, n_fft, f_min) in [(26, 512, 20.0), (8, 128, 0.0), (40, 1024, 300.0)] {
+            let fb = MelFilterbank::new(n_filters, n_fft, 16000.0, f_min, 8000.0);
+            let power: Vec<f64> =
+                (0..fb.n_bins()).map(|i| ((i * 31 % 17) as f64 * 0.3).sin().abs()).collect();
+            let mut fused = vec![0.0; fb.n_filters()];
+            let mut dense = vec![0.0; fb.n_filters()];
+            fb.apply_into(&power, &mut fused);
+            fb.apply_dense_into(&power, &mut dense);
+            assert_eq!(fused, dense, "{n_filters} filters over {n_fft}-point FFT");
+
+            let grad: Vec<f64> =
+                (0..fb.n_filters()).map(|i| (i as f64 * 0.7).cos() - 0.3).collect();
+            let mut fused_t = vec![0.0; fb.n_bins()];
+            fb.apply_transpose_into(&grad, &mut fused_t);
+            let mut dense_t = vec![0.0; fb.n_bins()];
+            for (row, &g) in (0..fb.n_filters()).map(|m| fb.weights.row(m)).zip(&grad) {
+                for (o, &w) in dense_t.iter_mut().zip(row) {
+                    *o += w * g;
+                }
+            }
+            for (a, b) in fused_t.iter().zip(&dense_t) {
+                assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]

@@ -14,9 +14,8 @@
 //! allocation once the buffers have reached their working size.
 
 use crate::complex::Complex;
-use crate::dct::{dct2_into, dct2_transpose_into};
-use crate::fft::fft;
 use crate::frame::{frame_count, overlap_add_adjoint};
+use crate::kernel::{self, DctPlan, RfftPlan, RfftScratch};
 use crate::mat::Mat;
 use crate::mel::MelFilterbank;
 use crate::window::Window;
@@ -99,9 +98,10 @@ impl MfccConfig {
 /// Per-frame intermediates retained for the backward pass.
 #[derive(Debug, Clone)]
 pub struct MfccCache {
-    /// Full complex spectra, one `n_fft`-length segment per frame.
+    /// One-sided complex spectra, one `n_fft/2 + 1`-length segment per
+    /// frame (the real-input FFT never materialises the mirrored half).
     spectra: Vec<Complex>,
-    /// Spectrum stride (`n_fft`).
+    /// FFT size the spectra were produced with.
     n_fft: usize,
     /// Mel energies per frame (pre-log), `n_frames × n_mels`.
     mels: Mat,
@@ -114,8 +114,13 @@ impl MfccCache {
         self.mels.n_rows()
     }
 
+    fn n_bins(&self) -> usize {
+        self.n_fft / 2 + 1
+    }
+
     fn spectrum(&self, f: usize) -> &[Complex] {
-        &self.spectra[f * self.n_fft..(f + 1) * self.n_fft]
+        let n_bins = self.n_bins();
+        &self.spectra[f * n_bins..(f + 1) * n_bins]
     }
 }
 
@@ -129,10 +134,19 @@ impl MfccCache {
 #[derive(Debug, Clone, Default)]
 pub struct MfccScratch {
     emphasized: Vec<f64>,
-    fft: Vec<Complex>,
+    bufs: FrameBufs,
+}
+
+/// Per-frame working buffers; [`kernel::par_rows`] workers each own one
+/// so parallel frame extraction never contends.
+#[derive(Debug, Clone, Default)]
+struct FrameBufs {
+    windowed: Vec<f64>,
+    spec: Vec<Complex>,
     power: Vec<f64>,
     mel: Vec<f64>,
     logmel: Vec<f64>,
+    rfft: RfftScratch,
 }
 
 /// The MFCC front end.
@@ -141,6 +155,8 @@ pub struct MfccExtractor {
     cfg: MfccConfig,
     window: Vec<f64>,
     filterbank: MelFilterbank,
+    plan: RfftPlan,
+    dct: DctPlan,
 }
 
 impl MfccExtractor {
@@ -154,7 +170,9 @@ impl MfccExtractor {
         let window = cfg.window.coefficients(cfg.frame_len);
         let filterbank =
             MelFilterbank::new(cfg.n_mels, cfg.n_fft, cfg.sample_rate as f64, cfg.f_min, cfg.f_max);
-        MfccExtractor { cfg, window, filterbank }
+        let plan = RfftPlan::new(cfg.n_fft);
+        let dct = DctPlan::new(cfg.n_mels, cfg.n_cepstra);
+        MfccExtractor { cfg, window, filterbank, plan, dct }
     }
 
     /// The configuration this extractor was built with.
@@ -219,7 +237,47 @@ impl MfccExtractor {
         (out, cache)
     }
 
+    /// One frame of the pipeline: window → real FFT → power → mel → log
+    /// → DCT. Leaves the frame's one-sided spectrum in `bufs.spec` and
+    /// its mel energies in `bufs.mel` for a cache-filling caller.
+    fn frame_forward(
+        &self,
+        emphasized: &[f64],
+        f: usize,
+        bufs: &mut FrameBufs,
+        out_row: &mut [f64],
+    ) {
+        let cfg = &self.cfg;
+        let n_bins = cfg.n_fft / 2 + 1;
+        let start = f * cfg.hop;
+        let end = (start + cfg.frame_len).min(emphasized.len());
+        bufs.windowed.resize(cfg.frame_len, 0.0);
+        for (t, w) in bufs.windowed.iter_mut().enumerate() {
+            let s = if t < end.saturating_sub(start) { emphasized[start + t] } else { 0.0 };
+            *w = s * self.window[t];
+        }
+        bufs.spec.resize(n_bins, Complex::ZERO);
+        self.plan.forward(&bufs.windowed, &mut bufs.rfft, &mut bufs.spec);
+        bufs.power.resize(n_bins, 0.0);
+        for (p, z) in bufs.power.iter_mut().zip(&bufs.spec) {
+            *p = z.norm_sq();
+        }
+        bufs.mel.resize(cfg.n_mels, 0.0);
+        self.filterbank.apply_into(&bufs.power, &mut bufs.mel);
+        bufs.logmel.resize(cfg.n_mels, 0.0);
+        for (l, &m) in bufs.logmel.iter_mut().zip(&bufs.mel) {
+            *l = (m + cfg.log_floor).ln();
+        }
+        self.dct.forward_into(&bufs.logmel, out_row);
+    }
+
     /// Shared forward pass; fills `cache` when the caller needs gradients.
+    ///
+    /// Frames are independent, so the uncached path fans them out over
+    /// [`kernel::par_rows`] workers (each with its own [`FrameBufs`]);
+    /// results are bit-identical at any worker count. On one worker, or
+    /// when a cache is being filled, the loop runs serially in the
+    /// caller's scratch with zero steady-state allocation.
     fn forward(
         &self,
         samples: &[f64],
@@ -232,39 +290,32 @@ impl MfccExtractor {
         let n_bins = cfg.n_fft / 2 + 1;
         self.pre_emphasize_into(samples, &mut scratch.emphasized);
         out.reset(n_frames, cfg.n_cepstra);
-        scratch.fft.resize(cfg.n_fft, Complex::ZERO);
-        scratch.power.resize(n_bins, 0.0);
-        scratch.mel.resize(cfg.n_mels, 0.0);
-        scratch.logmel.resize(cfg.n_mels, 0.0);
+        let emphasized = &scratch.emphasized;
         if let Some(c) = cache.as_deref_mut() {
             c.n_fft = cfg.n_fft;
             c.n_samples = samples.len();
             c.spectra.clear();
-            c.spectra.reserve(n_frames * cfg.n_fft);
+            c.spectra.resize(n_frames * n_bins, Complex::ZERO);
             c.mels.reset(n_frames, cfg.n_mels);
-        }
-        let emphasized = &scratch.emphasized;
-        for f in 0..n_frames {
-            // Windowed frame straight into the FFT buffer (zero-padded).
-            let start = f * cfg.hop;
-            let end = (start + cfg.frame_len).min(emphasized.len());
-            for (t, z) in scratch.fft.iter_mut().enumerate() {
-                let s = if t < end.saturating_sub(start) { emphasized[start + t] } else { 0.0 };
-                let w = if t < cfg.frame_len { self.window[t] } else { 0.0 };
-                *z = Complex::new(s * w, 0.0);
+            let bufs = &mut scratch.bufs;
+            for f in 0..n_frames {
+                self.frame_forward(emphasized, f, bufs, out.row_mut(f));
+                c.spectra[f * n_bins..(f + 1) * n_bins].copy_from_slice(&bufs.spec);
+                c.mels.row_mut(f).copy_from_slice(&bufs.mel);
             }
-            fft(&mut scratch.fft);
-            for (p, z) in scratch.power.iter_mut().zip(&scratch.fft) {
-                *p = z.norm_sq();
-            }
-            self.filterbank.apply_into(&scratch.power, &mut scratch.mel);
-            for (l, &m) in scratch.logmel.iter_mut().zip(&scratch.mel) {
-                *l = (m + cfg.log_floor).ln();
-            }
-            dct2_into(&scratch.logmel, out.row_mut(f));
-            if let Some(c) = cache.as_deref_mut() {
-                c.spectra.extend_from_slice(&scratch.fft);
-                c.mels.row_mut(f).copy_from_slice(&scratch.mel);
+        } else if kernel::threads() > 1 && n_frames > 1 {
+            kernel::par_rows(
+                out.as_mut_slice(),
+                cfg.n_cepstra,
+                FrameBufs::default,
+                |bufs, f, row| {
+                    self.frame_forward(emphasized, f, bufs, row);
+                },
+            );
+        } else {
+            let bufs = &mut scratch.bufs;
+            for f in 0..n_frames {
+                self.frame_forward(emphasized, f, bufs, out.row_mut(f));
             }
         }
     }
@@ -286,25 +337,35 @@ impl MfccExtractor {
         let mut frame_grads = Mat::zeros(cache.n_frames(), cfg.frame_len);
         let mut d_logmel = vec![0.0; cfg.n_mels];
         let mut d_mel = vec![0.0; cfg.n_mels];
-        let mut z = vec![Complex::ZERO; cfg.n_fft];
+        let mut d_power = vec![0.0; n_bins];
+        let mut w_os = vec![Complex::ZERO; n_bins];
+        let mut d_frame = vec![0.0; cfg.n_fft];
+        let mut rfft_scratch = RfftScratch::default();
         for f in 0..cache.n_frames() {
             let spec = cache.spectrum(f);
             // DCT and log adjoints.
-            dct2_transpose_into(d_mfcc.row(f), &mut d_logmel);
+            self.dct.adjoint_into(d_mfcc.row(f), &mut d_logmel);
             for ((d, &g), &m) in d_mel.iter_mut().zip(&d_logmel).zip(cache.mels.row(f)) {
                 *d = g / (m + cfg.log_floor);
             }
-            let d_power = self.filterbank.apply_transpose(&d_mel);
-            // |X_k|² adjoint via one forward FFT:
-            // dL/dx_t = 2 Re( Σ_k g_k conj(X_k) e^{-2πi kt/n} ), so build
-            // Z_k = g_k conj(X_k) on the one-sided bins and DFT it.
-            z.fill(Complex::ZERO);
-            for k in 0..n_bins {
-                z[k] = spec[k].conj().scale(d_power[k]);
+            self.filterbank.apply_transpose_into(&d_mel, &mut d_power);
+            // |X_k|² adjoint via one Hermitian synthesis:
+            // dL/dx_t = 2 Re( Σ_{k=0}^{n/2} g_k conj(X_k) e^{-2πi kt/n} ).
+            // `hfft` sums the interior bins twice (once mirrored), which
+            // supplies exactly the factor 2; the DC and Nyquist bins only
+            // appear once, so they are pre-doubled to keep the historical
+            // one-sided convention of this adjoint.
+            for ((w, &z), &g) in w_os.iter_mut().zip(spec).zip(d_power.iter()) {
+                *w = z.conj().scale(g);
             }
-            fft(&mut z);
-            for (t, d) in frame_grads.row_mut(f).iter_mut().enumerate() {
-                *d = 2.0 * z[t].re * self.window[t];
+            w_os[0] = Complex::new(2.0 * w_os[0].re, 0.0);
+            let last = n_bins - 1;
+            w_os[last] = Complex::new(2.0 * w_os[last].re, 0.0);
+            self.plan.hfft(&w_os, &mut rfft_scratch, &mut d_frame);
+            for (d, (&h, &w)) in
+                frame_grads.row_mut(f).iter_mut().zip(d_frame.iter().zip(&self.window))
+            {
+                *d = h * w;
             }
         }
         let d_emph = overlap_add_adjoint(&frame_grads, cfg.hop, cache.n_samples);

@@ -5,8 +5,9 @@
 //! for inspection, visualisation and spectral analysis (the MFCC pipeline
 //! in [`crate::mfcc`] embeds the same computation).
 
-use crate::fft::rfft;
+use crate::complex::Complex;
 use crate::frame::frames;
+use crate::kernel::{RfftPlan, RfftScratch};
 use crate::window::Window;
 
 /// A magnitude or power spectrogram: `n_frames × n_bins` with
@@ -89,11 +90,17 @@ pub fn spectrogram(
     let coeffs = window.coefficients(frame_len);
     let n_bins = n_fft / 2 + 1;
     let framed = frames(samples, frame_len, hop);
+    let plan = RfftPlan::new(n_fft);
+    let mut scratch = RfftScratch::default();
+    let mut windowed = vec![0.0; frame_len];
+    let mut spec = vec![Complex::ZERO; n_bins];
     let mut data = Vec::with_capacity(framed.n_rows() * n_bins);
     for frame in framed.rows() {
-        let windowed: Vec<f64> = frame.iter().zip(&coeffs).map(|(s, w)| s * w).collect();
-        let spec = rfft(&windowed, n_fft);
-        data.extend(spec[..n_bins].iter().map(|z| z.norm_sq()));
+        for ((w, &s), &c) in windowed.iter_mut().zip(frame).zip(&coeffs) {
+            *w = s * c;
+        }
+        plan.forward(&windowed, &mut scratch, &mut spec);
+        data.extend(spec.iter().map(|z| z.norm_sq()));
     }
     Spectrogram {
         n_frames: framed.n_rows(),

@@ -1,0 +1,23 @@
+// Direct scalar-oracle calls in non-test numeric code: every one of
+// these must be flagged.
+use mvp_dsp::{dft_naive, fft, ifft};
+
+pub fn spectrum(buf: &mut [Complex]) {
+    fft(buf);
+}
+
+pub fn resynthesize(buf: &mut [Complex]) {
+    ifft(buf);
+}
+
+pub fn reference_spectrum(buf: &[Complex]) -> Vec<Complex> {
+    dft_naive(buf)
+}
+
+pub fn cepstrum(mel: &[f64], out: &mut [f64]) {
+    crate::dct::dct2_into(mel, out);
+}
+
+pub fn dense_filterbank(bank: &Filterbank, power: &[f64], out: &mut [f64]) {
+    bank.apply_dense_into(power, out);
+}

@@ -1,0 +1,29 @@
+// Production code on the kernel plane; oracle names only in paths,
+// strings, comments and tests — none of which may trip the rule.
+use mvp_dsp::kernel::{self, RfftPlan};
+
+/// Not a call: `fft(...)` in a doc comment.
+pub fn spectrum(plan: &RfftPlan, frame: &[f64], scratch: &mut Scratch, out: &mut [Complex]) {
+    plan.forward(frame, scratch, out);
+}
+
+pub fn hidden(w: &[f64], x: &[f64]) -> f64 {
+    kernel::dot(w, x)
+}
+
+pub fn describe() -> &'static str {
+    "dct2(...) inside a string literal"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_against_oracle() {
+        let mut buf = oracle_input();
+        fft(&mut buf);
+        let naive = dft_naive(&buf);
+        assert_close(&buf, &naive);
+    }
+}

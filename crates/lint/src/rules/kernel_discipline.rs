@@ -1,0 +1,90 @@
+//! `kernel-discipline`: hot paths go through `mvp_dsp::kernel`, not the
+//! scalar oracles.
+//!
+//! PR 7 introduced the kernel plane: the full-complex FFT, the naive
+//! DCT-II loops and the dense mel filterbank survive only as correctness
+//! oracles for the vectorized kernels. A direct call to one of them from
+//! non-test code of a numeric crate means a hot path has quietly dropped
+//! off the tuned implementations (the bench crate is exempt — it times
+//! the oracles on purpose, as do the parity tests).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::rules::{finding, in_crate_src, Rule};
+use crate::source::SourceFile;
+
+const NAME: &str = "kernel-discipline";
+const CRATES: &[&str] = &["dsp", "asr", "ml", "attack", "core", "serve", "modality"];
+
+/// Scalar-oracle entry points that production code must reach only via
+/// `mvp_dsp::kernel` (which dispatches to them under `force_scalar`).
+const ORACLES: &[&str] = &[
+    "fft",
+    "ifft",
+    "dft_naive",
+    "dct2",
+    "dct2_into",
+    "dct2_transpose",
+    "dct2_transpose_into",
+    "apply_dense_into",
+];
+
+/// Files that define the oracles or the kernel dispatch over them.
+const EXEMPT: &[&str] = &[
+    "crates/dsp/src/fft.rs",
+    "crates/dsp/src/dct.rs",
+    "crates/dsp/src/mel.rs",
+    "crates/dsp/src/kernel.rs",
+];
+
+pub struct KernelDiscipline;
+
+impl Rule for KernelDiscipline {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn doc(&self) -> &'static str {
+        "hot numeric paths call mvp_dsp::kernel, never the scalar oracles directly, outside tests"
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        in_crate_src(rel, CRATES) && !EXEMPT.contains(&rel)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = file.code();
+        // Match the token run `<oracle> (` — a direct call (or call-path
+        // tail, e.g. `dct::dct2_into(...)`). Bare idents in `use` lists
+        // or paths without a following `(` are re-exports, not calls.
+        for i in 0..toks.len().saturating_sub(1) {
+            let (kind, word, at) = toks[i];
+            if kind != TokKind::Ident || !ORACLES.contains(&word) {
+                continue;
+            }
+            let (next_kind, next_word, _) = toks[i + 1];
+            if next_kind != TokKind::Punct || next_word != "(" {
+                continue;
+            }
+            if file.is_test_at(at) {
+                continue;
+            }
+            finding(
+                file,
+                NAME,
+                self.severity(),
+                at,
+                format!(
+                    "direct call to scalar oracle `{word}` in non-test code; route through \
+                     mvp_dsp::kernel so the vectorized path (and its force_scalar dispatch) \
+                     stays authoritative"
+                ),
+                out,
+            );
+        }
+    }
+}

@@ -10,6 +10,7 @@
 use crate::diag::{Diagnostic, Severity};
 use crate::source::SourceFile;
 
+mod kernel_discipline;
 mod lock_discipline;
 mod nested_vec_f64;
 mod numeric_truncation;
@@ -40,6 +41,7 @@ pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(nested_vec_f64::NestedVecF64),
+        Box::new(kernel_discipline::KernelDiscipline),
         Box::new(serve_no_panic::ServeNoPanic),
         Box::new(lock_discipline::LockDiscipline),
         Box::new(unbounded_with_capacity::UnboundedWithCapacity),

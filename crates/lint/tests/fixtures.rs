@@ -13,6 +13,7 @@ use mvp_lint::lint_source;
 /// `applies_to` so a scoping regression shows up as a missing finding.
 const CASES: &[(&str, &str)] = &[
     ("nested-vec-f64", "crates/core/src/fixture.rs"),
+    ("kernel-discipline", "crates/asr/src/fixture.rs"),
     ("serve-no-panic", "crates/serve/src/fixture.rs"),
     ("lock-discipline", "crates/serve/src/fixture.rs"),
     ("unbounded-with-capacity", "crates/audio/src/fixture.rs"),

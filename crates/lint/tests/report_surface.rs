@@ -11,6 +11,7 @@ use mvp_obs::json;
 /// rule must update this test alongside DESIGN.md §8.
 const LIST_RULES_GOLDEN: &str = "\
 nested-vec-f64           deny   numeric crates carry matrices as contiguous Mat, never Vec<Vec<f64>>, outside tests
+kernel-discipline        deny   hot numeric paths call mvp_dsp::kernel, never the scalar oracles directly, outside tests
 serve-no-panic           deny   no unwrap/expect/panic!/unreachable! in crates/serve request-path code (loadgen exempt)
 lock-discipline          deny   in crates/serve, .lock() may appear only inside SharedCache::with (poison recovery)
 unbounded-with-capacity  warn   in audio/artifact parsers, with_capacity/vec![..; n] from parsed values needs a prior limit check (heuristic)

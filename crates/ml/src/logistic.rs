@@ -6,6 +6,7 @@
 
 use crate::dataset::Dataset;
 use crate::Classifier;
+use mvp_dsp::kernel;
 
 /// Binary logistic regression trained with batch gradient descent.
 #[derive(Debug, Clone)]
@@ -40,7 +41,7 @@ impl LogisticRegression {
     pub fn probability(&self, x: &[f64]) -> f64 {
         assert!(self.trained, "logistic regression not fitted");
         assert_eq!(x.len(), self.weights.len(), "dimension mismatch");
-        let z: f64 = self.bias + self.weights.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
+        let z = self.bias + kernel::dot(&self.weights, x);
         1.0 / (1.0 + (-z).exp())
     }
 }
@@ -62,14 +63,11 @@ impl Classifier for LogisticRegression {
             let mut gw = vec![0.0; d];
             let mut gb = 0.0;
             for (x, &y) in data.features().rows().zip(data.labels()) {
-                let z: f64 =
-                    self.bias + self.weights.iter().zip(x).map(|(w, xv)| w * xv).sum::<f64>();
+                let z = self.bias + kernel::dot(&self.weights, x);
                 let p = 1.0 / (1.0 + (-z).exp());
                 let err = p - y as f64;
                 gb += err;
-                for (g, &xv) in gw.iter_mut().zip(x) {
-                    *g += err * xv;
-                }
+                kernel::axpy(&mut gw, err, x);
             }
             for (w, g) in self.weights.iter_mut().zip(&gw) {
                 *w -= self.learning_rate * (g / n + self.l2 * *w);

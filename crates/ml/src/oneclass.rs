@@ -9,6 +9,7 @@
 //! is `1 − quantile` by construction.
 
 use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
+use mvp_dsp::kernel;
 use mvp_dsp::Mat;
 
 /// Variance floor: features that are constant on the benign training
@@ -77,16 +78,7 @@ impl OneClassScorer {
     /// Panics on a dimension mismatch.
     pub fn score(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dim(), "dimension mismatch");
-        let sum: f64 = x
-            .iter()
-            .zip(&self.mean)
-            .zip(&self.inv_std)
-            .map(|((&v, &m), &is)| {
-                let z = (v - m) * is;
-                z * z
-            })
-            .sum();
-        sum / self.dim() as f64
+        kernel::sq_zscore_sum(x, &self.mean, &self.inv_std) / self.dim() as f64
     }
 
     /// Whether `x` scores beyond the fitted threshold.

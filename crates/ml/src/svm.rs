@@ -1,6 +1,7 @@
 //! Soft-margin SVM trained with simplified SMO (Platt, 1998).
 
 use mvp_artifact::{ArtifactError, ArtifactKind, Decoder, Encoder, Persist};
+use mvp_dsp::kernel;
 use mvp_dsp::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,14 +30,10 @@ pub enum Kernel {
 
 impl Kernel {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let dot: f64 = a.iter().zip(b).map(|(x, z)| x * z).sum();
         match *self {
-            Kernel::Linear => dot,
-            Kernel::Polynomial { degree, coef0 } => (dot + coef0).powi(degree as i32),
-            Kernel::Rbf { gamma } => {
-                let d2: f64 = a.iter().zip(b).map(|(x, z)| (x - z) * (x - z)).sum();
-                (-gamma * d2).exp()
-            }
+            Kernel::Linear => kernel::dot(a, b),
+            Kernel::Polynomial { degree, coef0 } => (kernel::dot(a, b) + coef0).powi(degree as i32),
+            Kernel::Rbf { gamma } => (-gamma * kernel::sq_dist(a, b)).exp(),
         }
     }
 }

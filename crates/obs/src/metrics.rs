@@ -72,12 +72,20 @@ impl Gauge {
     }
 }
 
-/// Number of histogram buckets: one per power-of-two of the recorded
-/// unit (microseconds for latencies), spanning sub-unit to ~2³¹ with
-/// ≤ 2× relative error.
-const BUCKETS: usize = 32;
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding the quantile edge error at
+/// `2^-SUB_BITS` (25%) instead of the 2× a pure log₂ histogram gives.
+const SUB_BITS: u32 = 2;
 
-#[derive(Debug, Default)]
+/// Values below `LINEAR` get one exact bucket each (they have fewer
+/// significant bits than the sub-bucket split needs).
+const LINEAR: usize = 8;
+
+/// Total bucket count: the exact low range plus 4 sub-buckets for every
+/// octave from bit-length 4 (values ≥ 8) through 64 (`u64::MAX`).
+const BUCKETS: usize = LINEAR + 61 * (1 << SUB_BITS);
+
+#[derive(Debug)]
 struct HistogramCells {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
@@ -85,8 +93,45 @@ struct HistogramCells {
     max: AtomicU64,
 }
 
-/// A concurrent log₂-bucketed histogram. Bucket `i` holds values in
-/// `[2^(i-1), 2^i)` (bucket 0 holds zero).
+// [AtomicU64; 252] is past the derive(Default) array limit.
+impl Default for HistogramCells {
+    fn default() -> HistogramCells {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Maps a value to its log-linear bucket: exact below [`LINEAR`], then
+/// indexed by (octave, top-two-mantissa-bits) above it.
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR as u64 {
+        return value as usize;
+    }
+    let bits = 64 - value.leading_zeros() as usize; // 4..=64
+    let sub = ((value >> (bits - 1 - SUB_BITS as usize)) & ((1 << SUB_BITS) - 1)) as usize;
+    LINEAR + (bits - 4) * (1 << SUB_BITS) + sub
+}
+
+/// Inclusive upper edge of bucket `i` (the value `quantile_micros`
+/// reports when the quantile rank falls in that bucket).
+fn bucket_upper_edge(i: usize) -> u64 {
+    if i < LINEAR {
+        return i as u64;
+    }
+    let octave = (i - LINEAR) >> SUB_BITS; // bit length − 4
+    let sub = ((i - LINEAR) & ((1 << SUB_BITS) - 1)) as u128;
+    let lower = (1u128 << (octave + 3)) + sub * (1u128 << (octave + 1));
+    let upper = lower + (1u128 << (octave + 1));
+    u64::try_from(upper).unwrap_or(u64::MAX)
+}
+
+/// A concurrent log-linear histogram: exact buckets below [`LINEAR`],
+/// then each power-of-two octave split into 4 linear sub-buckets, so
+/// bucket edges are within 25% of any recorded value.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(Arc<HistogramCells>);
 
@@ -103,8 +148,7 @@ impl Histogram {
 
     /// Records one raw value.
     pub fn record_value(&self, value: u64) {
-        let bucket = (64 - value.leading_zeros() as usize).min(BUCKETS - 1);
-        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(value, Ordering::Relaxed);
         self.0.max.fetch_max(value, Ordering::Relaxed);
@@ -131,7 +175,7 @@ impl Histogram {
     }
 
     /// Approximate `q`-quantile (`0 < q <= 1`): the upper edge of the
-    /// bucket containing the quantile rank, i.e. within 2× of the true
+    /// bucket containing the quantile rank, i.e. within 25% of the true
     /// value. Returns 0 when empty.
     pub fn quantile_micros(&self, q: f64) -> u64 {
         let n = self.count();
@@ -143,7 +187,7 @@ impl Histogram {
         for (i, bucket) in self.0.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << i };
+                return bucket_upper_edge(i);
             }
         }
         self.max_micros()
@@ -255,12 +299,18 @@ impl Registry {
                 Metric::Histogram(h) => {
                     let mut cumulative = 0u64;
                     for (i, bucket) in h.0.buckets.iter().enumerate() {
-                        cumulative += bucket.load(Ordering::Relaxed);
-                        // Bucket i's upper edge: 2^i (bucket 0 holds zero).
+                        let n = bucket.load(Ordering::Relaxed);
+                        // The cumulative series loses nothing by skipping
+                        // empty buckets, and 252 log-linear buckets would
+                        // swamp the exposition otherwise.
+                        if n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
                         out.push_str(&format!(
                             "{}_bucket{{le=\"{}\"}} {}\n",
                             e.name,
-                            1u64 << i.min(63),
+                            bucket_upper_edge(i),
                             cumulative
                         ));
                     }
@@ -375,6 +425,47 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edges_stay_within_a_quarter_of_the_value() {
+        // Regression: the old pure power-of-two buckets reported the p50
+        // of a 700µs-dominated stream as 1024µs (46% high). The linear
+        // sub-buckets cap the edge error at 25%.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_value(700);
+        }
+        for _ in 0..10 {
+            h.record_value(1_000_000);
+        }
+        let p50 = h.quantile_micros(0.5);
+        assert_eq!(p50, 768, "p50 edge {p50}");
+        assert!((p50 as f64 - 700.0) / 700.0 <= 0.25);
+        // The tail quantile still brackets the slow mode.
+        let p99 = h.quantile_micros(0.99);
+        assert!((1_000_000..=1_250_000).contains(&p99), "p99 edge {p99}");
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_tight() {
+        // Exact below the linear cutoff.
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_edge(bucket_index(v)), v);
+        }
+        // Above it: the edge is an upper bound within 25%, and indices
+        // never decrease as values grow.
+        let mut prev_idx = 0usize;
+        for &v in &[8u64, 9, 15, 16, 100, 700, 5_000, 1 << 20, (1 << 40) + 7, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev_idx, "index regressed at {v}");
+            assert!(idx < BUCKETS);
+            let edge = bucket_upper_edge(idx);
+            assert!(edge >= v, "edge {edge} below value {v}");
+            assert!(edge as f64 <= v as f64 * 1.25, "edge {edge} too loose for {v}");
+            prev_idx = idx;
+        }
+    }
+
+    #[test]
     fn histogram_empty_is_zero() {
         let h = Histogram::new();
         assert_eq!(h.quantile_micros(0.5), 0);
@@ -396,8 +487,9 @@ mod tests {
         assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("lat_micros_sum 103\n"));
         assert!(text.contains("lat_micros_count 2\n"));
-        // Bucket counts are cumulative: the le="128" bucket covers both.
-        assert!(text.contains("lat_micros_bucket{le=\"128\"} 2\n"));
+        // Bucket counts are cumulative: 100 lands in the [96, 112)
+        // sub-bucket, whose line covers both observations.
+        assert!(text.contains("lat_micros_bucket{le=\"112\"} 2\n"));
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');

@@ -547,6 +547,12 @@ impl DetectionEngine {
         let (collector_tx, collector_rx) = channel::unbounded::<CollectorMsg>();
 
         let recognizers = system.recognizers();
+        // Partition the machine's cores between the ASR workers: each
+        // worker's kernel-plane frame parallelism (`par_rows` inside
+        // MFCC/CTC) gets an equal share, so intra-request data
+        // parallelism never oversubscribes the batch plane.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        mvp_dsp::kernel::set_threads((cores / recognizers.len().max(1)).max(1));
         let mut threads = Vec::with_capacity(recognizers.len() + 2);
         let mut worker_txs = Vec::with_capacity(recognizers.len());
         for (i, asr) in recognizers.into_iter().enumerate() {
@@ -728,6 +734,9 @@ impl DetectionEngine {
                 std::panic::resume_unwind(panic);
             }
         }
+        // Give the kernel plane its automatic thread count back now
+        // that the worker fleet no longer owns the cores.
+        mvp_dsp::kernel::set_threads(0);
     }
 }
 

@@ -44,3 +44,9 @@ cargo run --release -q -p mvp-bench --bin obs_smoke
 # plus a FusedClassifier persist round-trip and corruption refusal
 # (exit status is the gate; the bench artifact goes to a temp dir).
 cargo run --release -q -p mvp-bench --bin modality_smoke
+
+# Kernel-plane smoke: every tuned kernel must agree with its scalar
+# oracle (bit-exact or within documented reassociation slack), and
+# end-to-end tiny-scale transcription on the vectorized path must not
+# lose to the scalar fallback (exit status is the gate).
+cargo run --release -q -p mvp-bench --bin kernel_smoke
