@@ -23,40 +23,75 @@ pub fn blank_index() -> usize {
 /// merged).
 ///
 /// The result retains [`Phoneme::SIL`] entries — the word decoder uses them
-/// as word-boundary separators.
+/// as word-boundary separators. This is one batch drive of a
+/// [`RunAccumulator`], so chunked and one-shot decoding share the
+/// denoise/collapse logic by construction.
 pub fn greedy_phonemes(logits: &FeatureMatrix, min_run: usize) -> Vec<Phoneme> {
-    // The blank class (never seen in training, so effectively never the
-    // argmax) is folded into silence for word chunking.
-    let sil = Phoneme::SIL.index();
-    let labels: Vec<usize> = logits
-        .rows()
-        .map(|l| {
-            let a = argmax(l);
-            if a >= Phoneme::COUNT {
-                sil
-            } else {
-                a
+    let mut acc = RunAccumulator::default();
+    for row in logits.rows() {
+        acc.push_logits_row(row);
+    }
+    acc.phonemes(min_run)
+}
+
+/// Incremental greedy best-path state: per-frame argmax labels folded into
+/// `(label, run length)` pairs as frames arrive.
+///
+/// The streaming ASR path pushes each new logit row here and can ask for
+/// the running phoneme sequence at any point; [`greedy_phonemes`] drives
+/// the same accumulator over a whole matrix, so the final chunked decode is
+/// byte-identical to the batch decode.
+#[derive(Debug, Clone, Default)]
+pub struct RunAccumulator {
+    /// `(label, length)` for each maximal run of equal argmax labels.
+    runs: Vec<(usize, usize)>,
+    n_frames: usize,
+}
+
+impl RunAccumulator {
+    /// Clears the state for a new utterance, keeping capacity.
+    pub fn reset(&mut self) {
+        self.runs.clear();
+        self.n_frames = 0;
+    }
+
+    /// Number of logit frames consumed since the last reset.
+    pub fn n_frames(&self) -> usize {
+        self.n_frames
+    }
+
+    /// Consumes one frame of logits: argmax with the blank class (never
+    /// seen in training, so effectively never the argmax) folded into
+    /// silence for word chunking.
+    pub fn push_logits_row(&mut self, row: &[f64]) {
+        let a = argmax(row);
+        self.push_label(if a >= Phoneme::COUNT { Phoneme::SIL.index() } else { a });
+    }
+
+    /// Consumes one pre-computed frame label.
+    pub fn push_label(&mut self, label: usize) {
+        self.n_frames += 1;
+        match self.runs.last_mut() {
+            Some((prev, n)) if *prev == label => *n += 1,
+            _ => self.runs.push((label, 1)),
+        }
+    }
+
+    /// The denoised (runs shorter than `min_run` dropped) and collapsed
+    /// phoneme sequence of the frames seen so far.
+    pub fn phonemes(&self, min_run: usize) -> Vec<Phoneme> {
+        let mut out: Vec<Phoneme> = Vec::new();
+        for &(label, n) in &self.runs {
+            if n < min_run {
+                continue;
             }
-        })
-        .collect();
-    let mut runs: Vec<(usize, usize)> = Vec::new(); // (label, length)
-    for &l in &labels {
-        match runs.last_mut() {
-            Some((prev, n)) if *prev == l => *n += 1,
-            _ => runs.push((l, 1)),
+            let ph = Phoneme::from_index(label);
+            if out.last() != Some(&ph) {
+                out.push(ph);
+            }
         }
+        out
     }
-    let mut out: Vec<Phoneme> = Vec::new();
-    for (label, n) in runs {
-        if n < min_run {
-            continue;
-        }
-        let ph = Phoneme::from_index(label);
-        if out.last() != Some(&ph) {
-            out.push(ph);
-        }
-    }
-    out
 }
 
 /// Collapses per-frame labels CTC-style: merge repeats, then drop blanks.
@@ -256,6 +291,22 @@ mod tests {
         );
         let seq = greedy_phonemes(&logits, 2);
         assert_eq!(seq, vec![Phoneme::AA, Phoneme::SIL, Phoneme::B]);
+    }
+
+    #[test]
+    fn run_accumulator_matches_batch_greedy_and_resets() {
+        let logits = random_logits(40, N_CLASSES, 11);
+        for min_run in [1usize, 2, 3] {
+            let mut acc = RunAccumulator::default();
+            for row in logits.rows() {
+                acc.push_logits_row(row);
+            }
+            assert_eq!(acc.phonemes(min_run), greedy_phonemes(&logits, min_run));
+            assert_eq!(acc.n_frames(), 40);
+            acc.reset();
+            assert_eq!(acc.n_frames(), 0);
+            assert!(acc.phonemes(min_run).is_empty());
+        }
     }
 
     #[test]

@@ -75,6 +75,14 @@ impl Decoder {
         self.decode_phonemes(&seq)
     }
 
+    /// Decodes the frames accumulated in an incremental greedy-CTC state —
+    /// the running-best transcript of a stream in flight, and, after the
+    /// last frame, exactly what [`decode`](Self::decode) produces for the
+    /// full logit matrix.
+    pub fn decode_runs(&self, acc: &crate::ctc::RunAccumulator) -> String {
+        self.decode_phonemes(&acc.phonemes(self.cfg.min_run))
+    }
+
     /// Decodes an explicit collapsed phoneme sequence (with SIL word
     /// separators) to a transcription.
     pub fn decode_phonemes(&self, seq: &[Phoneme]) -> String {

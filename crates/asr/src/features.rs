@@ -142,16 +142,23 @@ impl FeatureFrontEnd {
     /// place.
     fn stack_into(&self, mfcc: &FeatureMatrix, out: &mut FeatureMatrix) {
         let n = mfcc.n_frames();
-        let d = mfcc.dim();
-        let c = self.context as isize;
-        let dim = (2 * self.context + 1) * d;
+        let dim = (2 * self.context + 1) * mfcc.dim();
         out.reset(n.div_ceil(self.subsample), dim);
         for (i, f) in (0..n).step_by(self.subsample).enumerate() {
-            let row = out.row_mut(i);
-            for (oi, o) in (-c..=c).enumerate() {
-                let src = (f as isize + o).clamp(0, n as isize - 1) as usize;
-                row[oi * d..(oi + 1) * d].copy_from_slice(mfcc.row(src));
-            }
+            self.stack_row(mfcc, f, n, out.row_mut(i));
+        }
+    }
+
+    /// Writes the stacked row centred on MFCC frame `f`, clamping context
+    /// reads to `[0, n_limit)`. The streaming path only emits a row once
+    /// frame `f + context` exists, so its early rows see the same clamp the
+    /// batch pass applies against the final frame count.
+    fn stack_row(&self, mfcc: &FeatureMatrix, f: usize, n_limit: usize, row: &mut [f64]) {
+        let d = mfcc.dim();
+        let c = self.context as isize;
+        for (oi, o) in (-c..=c).enumerate() {
+            let src = (f as isize + o).clamp(0, n_limit as isize - 1) as usize;
+            row[oi * d..(oi + 1) * d].copy_from_slice(mfcc.row(src));
         }
     }
 
@@ -183,6 +190,77 @@ impl FeatureFrontEnd {
             }
         }
         self.extractor.backward(&cache.mfcc_cache, &d_mfcc)
+    }
+}
+
+/// Incremental face of [`FeatureFrontEnd`]: accepts arbitrary sample
+/// chunks and emits each context-stacked, subsampled feature row as soon
+/// as its rightmost context frame exists.
+///
+/// The boundary clamp makes the right edge depend on the final frame
+/// count, so stacked row `i` (centre MFCC frame `f = i·subsample`) is
+/// emitted once MFCC frame `f + context` is complete; [`finish`]
+/// (Self::finish) emits the clamped remainder. Output across any chunking
+/// is byte-identical to [`FeatureFrontEnd::features_into`].
+#[derive(Debug, Clone, Default)]
+pub struct FrontEndStream {
+    mfcc_stream: mvp_dsp::StreamingMfcc,
+    /// Every MFCC row of the utterance so far — the context stacker needs
+    /// look-back, and the matrix is bounded by utterance length.
+    mfcc_mat: FeatureMatrix,
+    /// Next stacked output row to emit.
+    next_out: usize,
+    row: Vec<f64>,
+}
+
+impl FrontEndStream {
+    /// Clears carried state for a new utterance, keeping buffer capacity.
+    pub fn reset(&mut self) {
+        self.mfcc_stream.reset();
+        self.mfcc_mat.reset(0, 0);
+        self.next_out = 0;
+    }
+
+    /// Number of stacked feature rows emitted since the last reset.
+    pub fn rows_emitted(&self) -> usize {
+        self.next_out
+    }
+
+    /// Feeds `chunk` (widened samples) and appends every newly completed
+    /// stacked row to `out` via [`FeatureMatrix::push_row`].
+    pub fn push(&mut self, fe: &FeatureFrontEnd, chunk: &[f64], out: &mut FeatureMatrix) {
+        self.mfcc_stream.push(&fe.extractor, chunk, &mut self.mfcc_mat);
+        self.row.resize(fe.dim(), 0.0);
+        let n = self.mfcc_mat.n_frames();
+        loop {
+            let f = self.next_out * fe.subsample;
+            if f + fe.context + 1 > n {
+                break;
+            }
+            fe.stack_row(&self.mfcc_mat, f, n, &mut self.row);
+            out.push_row(&self.row);
+            self.next_out += 1;
+        }
+    }
+
+    /// Flushes the trailing frames (right-edge context clamped against the
+    /// final frame count) and resets for the next utterance. `out` then
+    /// holds every row [`FeatureFrontEnd::features_into`] would produce for
+    /// the concatenated signal.
+    pub fn finish(&mut self, fe: &FeatureFrontEnd, out: &mut FeatureMatrix) {
+        self.mfcc_stream.finish(&fe.extractor, &mut self.mfcc_mat);
+        self.row.resize(fe.dim(), 0.0);
+        let n = self.mfcc_mat.n_frames();
+        loop {
+            let f = self.next_out * fe.subsample;
+            if f >= n {
+                break;
+            }
+            fe.stack_row(&self.mfcc_mat, f, n, &mut self.row);
+            out.push_row(&self.row);
+            self.next_out += 1;
+        }
+        self.reset();
     }
 }
 
@@ -303,6 +381,45 @@ mod tests {
             fe.features_into(&w.to_f64(), &mut scratch, &mut out);
             assert_eq!(out, fe.features(w));
         }
+    }
+
+    #[test]
+    fn front_end_stream_matches_batch_across_chunkings() {
+        // Every (context, subsample) combination and chunking must agree
+        // byte-for-byte with the batch stacker — the right-edge clamp is
+        // the part a naive incremental stacker gets wrong.
+        let w = test_wave(700);
+        let samples: Vec<f64> = w.to_f64();
+        for (ctx, sub) in [(0, 1), (1, 1), (2, 3), (3, 2)] {
+            let fe = small_frontend(ctx, sub);
+            let reference = fe.features_from_samples(&samples);
+            for chunk_len in [1usize, 9, 160, samples.len()] {
+                let mut st = FrontEndStream::default();
+                let mut out = FeatureMatrix::default();
+                for chunk in samples.chunks(chunk_len) {
+                    st.push(&fe, chunk, &mut out);
+                }
+                st.finish(&fe, &mut out);
+                assert_eq!(out, reference, "ctx={ctx} sub={sub} chunk={chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn front_end_stream_reuse_and_empty_utterance() {
+        let fe = small_frontend(2, 2);
+        let w = test_wave(500);
+        let samples = w.to_f64();
+        let mut st = FrontEndStream::default();
+        let mut out = FeatureMatrix::default();
+        // Empty utterance: no rows, and the stream stays reusable.
+        st.finish(&fe, &mut out);
+        assert_eq!(out.n_frames(), 0);
+        for chunk in samples.chunks(37) {
+            st.push(&fe, chunk, &mut out);
+        }
+        st.finish(&fe, &mut out);
+        assert_eq!(out, fe.features_from_samples(&samples));
     }
 
     #[test]

@@ -45,9 +45,9 @@ pub mod profile;
 pub mod recognizer;
 
 pub use am::{AcousticModel, AmScratch};
-pub use ctc::{ctc_loss_and_grad, greedy_phonemes};
+pub use ctc::{ctc_loss_and_grad, greedy_phonemes, RunAccumulator};
 pub use decoder::{Decoder, DecoderConfig};
-pub use features::{FeatureFrontEnd, FrontEndConfig, FrontEndScratch};
+pub use features::{FeatureFrontEnd, FrontEndConfig, FrontEndScratch, FrontEndStream};
 pub use lm::BigramLm;
 pub use profile::{AsrProfile, MODEL_DIR_ENV};
-pub use recognizer::{Asr, AsrScratch, TrainedAsr};
+pub use recognizer::{Asr, AsrScratch, AsrStream, TrainedAsr};

@@ -5,9 +5,9 @@ use mvp_dsp::mfcc::FeatureMatrix;
 use mvp_phonetics::Phoneme;
 
 use crate::am::{AcousticModel, AmScratch};
-use crate::ctc::ctc_loss_and_grad;
+use crate::ctc::{ctc_loss_and_grad, RunAccumulator};
 use crate::decoder::Decoder;
-use crate::features::{FeatureFrontEnd, FrontEndScratch};
+use crate::features::{FeatureFrontEnd, FrontEndScratch, FrontEndStream};
 
 /// A speech recogniser: audio in, transcription out.
 ///
@@ -102,6 +102,64 @@ impl TrainedAsr {
             .collect()
     }
 
+    /// Feeds a chunk of widened samples into `stream`, advancing MFCCs,
+    /// context stacking, the logit matrix and the greedy prefix decode as
+    /// far as the new samples allow. Returns the number of newly decoded
+    /// logit frames.
+    ///
+    /// Any chunking of a signal — including one-sample chunks — yields,
+    /// after [`stream_finish`](Self::stream_finish), exactly the transcript
+    /// of [`Asr::transcribe`] on the whole signal.
+    pub fn stream_push(&self, stream: &mut AsrStream, chunk: &[f64]) -> usize {
+        stream.n_samples += chunk.len();
+        stream.feats.reset(0, self.frontend.dim());
+        stream.frontend.push(&self.frontend, chunk, &mut stream.feats);
+        self.extend_with_frames(stream)
+    }
+
+    /// [`stream_push`](Self::stream_push) for raw `f32` samples, widened
+    /// through the stream's own buffer exactly as
+    /// [`Waveform::copy_to_f64`] widens them.
+    pub fn stream_push_f32(&self, stream: &mut AsrStream, chunk: &[f32]) -> usize {
+        let mut samples = std::mem::take(&mut stream.samples);
+        samples.clear();
+        samples.extend(chunk.iter().map(|&s| s as f64));
+        let n = self.stream_push(stream, &samples);
+        stream.samples = samples;
+        n
+    }
+
+    /// Advances the logit matrix and prefix decode over the stacked rows
+    /// currently staged in `stream.feats` (the rows the front end completed
+    /// in the last push). Runs the same batched
+    /// [`AcousticModel::logit_matrix_into`] entry point as the one-shot
+    /// path — its rows are bit-identical at any batch size, which is what
+    /// makes chunked and batch logits agree exactly.
+    fn extend_with_frames(&self, stream: &mut AsrStream) -> usize {
+        self.am.logit_matrix_into(&stream.feats, &mut stream.am, &mut stream.logits);
+        for row in stream.logits.rows() {
+            stream.runs.push_logits_row(row);
+        }
+        stream.logits.n_frames()
+    }
+
+    /// The running best transcript of the frames decoded so far — the
+    /// incremental detector polls this between chunks.
+    pub fn stream_transcript(&self, stream: &AsrStream) -> String {
+        self.decoder.decode_runs(&stream.runs)
+    }
+
+    /// Flushes the trailing partial frames, returns the final transcript
+    /// and resets `stream` for the next utterance.
+    pub fn stream_finish(&self, stream: &mut AsrStream) -> String {
+        stream.feats.reset(0, self.frontend.dim());
+        stream.frontend.finish(&self.frontend, &mut stream.feats);
+        self.extend_with_frames(stream);
+        let text = self.decoder.decode_runs(&stream.runs);
+        stream.reset();
+        text
+    }
+
     /// Converts a text command into the CTC target sequence using the
     /// built-in lexicon. Silence symbols (word boundaries) are *kept* —
     /// like DeepSpeech's space character they are regular CTC symbols,
@@ -185,6 +243,45 @@ pub struct AsrScratch {
     am: AmScratch,
 }
 
+/// Incremental transcription state for one utterance through one
+/// [`TrainedAsr`] — the streaming counterpart of [`AsrScratch`]. Drive it
+/// with [`TrainedAsr::stream_push`] / [`TrainedAsr::stream_finish`];
+/// buffers keep their capacity across utterances, so a long-lived stream
+/// (mvp-serve's per-ASR workers hold one per in-flight stream) allocates
+/// nothing in steady state once warm.
+#[derive(Debug, Clone, Default)]
+pub struct AsrStream {
+    samples: Vec<f64>,
+    frontend: FrontEndStream,
+    /// Stacked rows completed by the most recent push (not the history —
+    /// the accumulated state lives in `runs`).
+    feats: FeatureMatrix,
+    /// Logits of the most recent push's rows.
+    logits: FeatureMatrix,
+    am: AmScratch,
+    runs: RunAccumulator,
+    n_samples: usize,
+}
+
+impl AsrStream {
+    /// Clears all carried state, ready for a fresh utterance.
+    pub fn reset(&mut self) {
+        self.frontend.reset();
+        self.runs.reset();
+        self.n_samples = 0;
+    }
+
+    /// Total samples pushed since the last reset.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Logit frames decoded since the last reset.
+    pub fn frames_decoded(&self) -> usize {
+        self.runs.n_frames()
+    }
+}
+
 /// Distributes `n_frames` frames across the target symbols proportionally
 /// to their nominal phoneme durations.
 fn stretch_alignment(target: &[usize], n_frames: usize) -> Vec<usize> {
@@ -266,6 +363,77 @@ mod tests {
         for (wave, text) in refs.iter().zip(&batch) {
             assert_eq!(*text, asr.transcribe(wave));
         }
+    }
+
+    #[test]
+    fn streaming_transcription_matches_one_shot() {
+        use crate::profile::AsrProfile;
+        use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+        use mvp_phonetics::Lexicon;
+
+        let asr = AsrProfile::Ds0.trained();
+        let synth = Synthesizer::new(16_000);
+        let lex = Lexicon::builtin();
+        let (wave, _) = synth.synthesize(&lex, "open the front door", &SpeakerProfile::default());
+        let reference = asr.transcribe(&wave);
+        assert!(!reference.is_empty());
+        let samples = wave.to_f64();
+
+        let mut stream = AsrStream::default();
+        // Deterministic random chunk boundaries, reusing the stream across
+        // trials to prove stream_finish clears every carry.
+        let mut seed = 0xDEAD_BEEFu64;
+        for trial in 0..3 {
+            let mut pos = 0;
+            while pos < samples.len() {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let len = 1 + (seed % 1200) as usize;
+                let end = (pos + len).min(samples.len());
+                asr.stream_push(&mut stream, &samples[pos..end]);
+                pos = end;
+            }
+            assert_eq!(asr.stream_finish(&mut stream), reference, "trial {trial}");
+        }
+        // f32 ingress widens exactly like copy_to_f64.
+        for chunk in wave.samples().chunks(777) {
+            asr.stream_push_f32(&mut stream, chunk);
+        }
+        assert_eq!(asr.stream_finish(&mut stream), reference);
+        // Empty stream decodes to the empty transcript, like empty audio.
+        assert_eq!(asr.stream_finish(&mut stream), "");
+    }
+
+    #[test]
+    fn running_transcript_converges_to_final() {
+        use crate::profile::AsrProfile;
+        use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+        use mvp_phonetics::Lexicon;
+
+        let asr = AsrProfile::Ds0.trained();
+        let synth = Synthesizer::new(16_000);
+        let (wave, _) =
+            synth.synthesize(&Lexicon::builtin(), "good morning", &SpeakerProfile::default());
+        let samples = wave.to_f64();
+        let mut stream = AsrStream::default();
+        let mut runnings = Vec::new();
+        for chunk in samples.chunks(1600) {
+            asr.stream_push(&mut stream, chunk);
+            runnings.push(asr.stream_transcript(&stream));
+        }
+        assert!(stream.frames_decoded() > 0);
+        assert_eq!(stream.n_samples(), samples.len());
+        let fin = asr.stream_finish(&mut stream);
+        assert_eq!(fin, asr.transcribe(&wave));
+        // The running estimate is a prefix-ish view: by the last chunk it
+        // must already contain the first decoded word.
+        let first_word = fin.split_whitespace().next().unwrap();
+        assert!(
+            runnings.last().unwrap().contains(first_word),
+            "running {:?} vs final {fin:?}",
+            runnings.last().unwrap()
+        );
     }
 
     #[test]

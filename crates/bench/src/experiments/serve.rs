@@ -1,20 +1,31 @@
 //! Serving-engine load benchmark: throughput, latency percentiles,
-//! cache hit rate, shedding and degradation under several load levels.
+//! cache hit rate, shedding and degradation under several load levels,
+//! plus shard-router scaling and streaming early-exit levels.
 //!
 //! Entirely offline and seeded: the corpus is the cached benign set, the
 //! classifier trains on the cached score vectors, and every load level's
 //! request sequence is deterministic. Results print as a table and are
 //! written to `BENCH_serve.json` in the working directory.
+//!
+//! The sharded levels are sized to expose **cache affinity**, not CPU
+//! parallelism (CI runs on one core): the per-shard transcription cache
+//! is deliberately smaller than the distinct-waveform working set, so a
+//! single shard thrashes its LRU on every pass while four shards —
+//! each home to a quarter of the content hashes — keep their residents
+//! and answer repeat passes from cache.
 
 use std::sync::Arc;
 
 use mvp_asr::AsrProfile;
 use mvp_audio::Waveform;
-use mvp_ears::{DetectionSystem, SimilarityMethod};
+use mvp_ears::{DetectionSystem, EarlyExit, SimilarityMethod};
 use mvp_ml::ClassifierKind;
 use mvp_serve::{
     run_load, DegradePolicy, DetectionEngine, EngineConfig, LoadMode, LoadReport, LoadSpec,
+    RouterConfig, ShardRouter,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::context::ExperimentContext;
 use crate::experiments::THREE_AUX;
@@ -22,6 +33,22 @@ use crate::table::Table;
 
 /// Output artifact path, relative to the working directory.
 pub const ARTIFACT: &str = "BENCH_serve.json";
+
+/// Splices router-level fields (shard count, per-shard cache hit rates,
+/// steal counters) into a [`LoadReport`] JSON object so every
+/// `BENCH_serve.json` entry stays one flat object.
+fn sharded_json(report: &LoadReport, n_shards: usize, hit_rates: &[f64], steals: &[u64]) -> String {
+    let base = report.to_json();
+    let rates: Vec<String> = hit_rates.iter().map(|r| format!("{r:.4}")).collect();
+    let steals: Vec<String> = steals.iter().map(u64::to_string).collect();
+    format!(
+        "{},\"n_shards\":{},\"shard_cache_hit_rates\":[{}],\"steal_counts\":[{}]}}",
+        &base[..base.len() - 1],
+        n_shards,
+        rates.join(","),
+        steals.join(","),
+    )
+}
 
 /// Runs every load level against a freshly started engine each and
 /// writes [`ARTIFACT`].
@@ -109,16 +136,11 @@ pub fn run_serve_bench(ctx: &ExperimentContext) {
     ];
 
     let n_aux = system.n_auxiliaries();
-    let mut reports: Vec<LoadReport> = Vec::with_capacity(levels.len());
-    for level in &levels {
-        let policy =
-            DegradePolicy::trained(n_aux, &benign_scores, &ae_scores, ClassifierKind::Knn, 0.05);
-        let engine = DetectionEngine::start(Arc::clone(&system), policy, level.config.clone());
-        let report = run_load(&engine, &corpus, &level.spec);
-        engine.shutdown();
-        reports.push(report);
-    }
-
+    let policy = |_shard: usize| {
+        DegradePolicy::trained(n_aux, &benign_scores, &ae_scores, ClassifierKind::Knn, 0.05)
+    };
+    // (json entry, table row) per level.
+    let mut entries: Vec<String> = Vec::new();
     let mut table = Table::new([
         "level",
         "offered",
@@ -130,8 +152,10 @@ pub fn run_serve_bench(ctx: &ExperimentContext) {
         "p95 ms",
         "p99 ms",
         "cache hit",
+        "early",
+        "steals",
     ]);
-    for r in &reports {
+    let mut row = |r: &LoadReport, early: String, steals: String| {
         table.row([
             r.name.clone(),
             r.offered.to_string(),
@@ -143,14 +167,87 @@ pub fn run_serve_bench(ctx: &ExperimentContext) {
             format!("{:.1}", r.stats.latency_p95_micros as f64 / 1e3),
             format!("{:.1}", r.stats.latency_p99_micros as f64 / 1e3),
             format!("{:.0}%", r.stats.cache_hit_rate() * 100.0),
+            early,
+            steals,
         ]);
+    };
+
+    for level in &levels {
+        let engine = DetectionEngine::start(Arc::clone(&system), policy(0), level.config.clone());
+        let report = run_load(&engine, &corpus, &level.spec);
+        engine.shutdown();
+        row(&report, "-".into(), "-".into());
+        entries.push(report.to_json());
     }
+
+    // Shard-scaling levels: fixed working set, per-shard cache smaller
+    // than the set, zero duplicates — every pass walks all distinct
+    // waveforms, so hit rate is pure affinity.
+    let distinct = corpus.len();
+    let shard_engine = EngineConfig { cache_cap: (distinct / 3).max(2), ..base_config.clone() };
+    for n_shards in [1usize, 2, 4] {
+        let spec = LoadSpec {
+            name: format!("sharded-x{n_shards}"),
+            requests: distinct * 3,
+            mode: LoadMode::Closed { concurrency: 4 },
+            duplicate_frac: 0.0,
+            seed: 21,
+        };
+        let config = RouterConfig {
+            n_shards,
+            // High enough that closed-loop depths never trigger steals:
+            // the levels measure affinity, not steal throughput.
+            steal_depth: 64,
+            engine: shard_engine.clone(),
+        };
+        let router = ShardRouter::start(Arc::clone(&system), config, |shard| policy(shard));
+        let report = run_load(&router, &corpus, &spec);
+        let hit_rates: Vec<f64> = router.shard_stats().iter().map(|s| s.cache_hit_rate()).collect();
+        let steals = router.steal_counts();
+        router.shutdown();
+        row(&report, "-".into(), steals.iter().sum::<u64>().to_string());
+        entries.push(sharded_json(&report, n_shards, &hit_rates, &steals));
+    }
+
+    // Streaming level: benign utterances plus seeded noise bursts (which
+    // the classifier flags adversarial), chunked ingress with the
+    // default early-exit rule armed — reports early-exit rate and
+    // time-to-verdict.
+    let mut stream_corpus = Vec::with_capacity(corpus.len() * 2);
+    let mut rng = StdRng::seed_from_u64(31);
+    for wave in &corpus {
+        // Interleaved benign/noise so any schedule prefix sees both.
+        stream_corpus.push(Arc::clone(wave));
+        let samples: Vec<f32> = (0..16_000).map(|_| rng.gen_range(-0.4f32..0.4)).collect();
+        stream_corpus.push(Arc::new(Waveform::from_samples(samples, 16_000)));
+    }
+    let spec = LoadSpec {
+        name: "streaming-c2".into(),
+        // Streams are paced to real time, so volume stays modest.
+        requests: stream_corpus.len().min(24),
+        mode: LoadMode::Streaming { concurrency: 2, chunk_ms: 60 },
+        duplicate_frac: 0.0,
+        seed: 41,
+    };
+    let config = EngineConfig { early_exit: Some(EarlyExit::default()), ..base_config.clone() };
+    let engine = DetectionEngine::start(Arc::clone(&system), policy(0), config);
+    let report = run_load(&engine, &stream_corpus, &spec);
+    engine.shutdown();
+    row(
+        &report,
+        format!(
+            "{}/{} ({:.0}ms ttv)",
+            report.early_exits,
+            report.offered,
+            report.mean_time_to_verdict_us / 1e3
+        ),
+        "-".into(),
+    );
+    entries.push(report.to_json());
+
     println!("{table}");
 
-    let json = format!(
-        "[\n  {}\n]\n",
-        reports.iter().map(LoadReport::to_json).collect::<Vec<_>>().join(",\n  ")
-    );
+    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
     match std::fs::write(ARTIFACT, &json) {
         Ok(()) => println!("wrote {ARTIFACT}\n"),
         Err(e) => println!("could not write {ARTIFACT}: {e}\n"),

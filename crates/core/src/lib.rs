@@ -17,6 +17,8 @@
 //!   in Table III);
 //! - [`system`] — the [`DetectionSystem`]: parallel multi-ASR execution,
 //!   score-vector extraction, classifier training and detection;
+//! - [`stream`] — incremental detection: chunked audio ingress with an
+//!   early-exit rule that can fire `Adversarial` before end-of-stream;
 //! - [`threshold`] — the benign-only threshold detector of §V-G;
 //! - [`fusion`] — the [`FusedClassifier`]: similarity scores fused with
 //!   `mvp-modality` feature blocks (and a benign-only one-class score
@@ -53,6 +55,7 @@ pub mod fusion;
 pub mod mae;
 pub mod similarity;
 pub mod snapshot;
+pub mod stream;
 pub mod system;
 pub mod threshold;
 
@@ -62,5 +65,6 @@ pub use fusion::{FusedClassifier, FusionLayout};
 pub use mae::{synthesize_mae, MaeType};
 pub use similarity::SimilarityMethod;
 pub use snapshot::DetectionSystemSnapshot;
+pub use stream::{DetectionStream, EarlyExit};
 pub use system::{fit_classifier, Detection, DetectionSystem, DetectionSystemBuilder};
 pub use threshold::{ThresholdBank, ThresholdDetector};

@@ -34,6 +34,10 @@ pub struct Detection {
     pub modality_features: Vec<f64>,
     /// Whether the verdict came from the fused classifier.
     pub fused: bool,
+    /// Whether a streaming early-exit rule fired this verdict before
+    /// end-of-stream (see `stream::EarlyExit`). Always `false` for
+    /// one-shot detection.
+    pub early_exit: bool,
 }
 
 /// A configured (and optionally trained) MVP-EARS detection system.
@@ -401,6 +405,7 @@ impl DetectionSystem {
             auxiliary_transcriptions: auxiliaries,
             modality_features: Vec::new(),
             fused: false,
+            early_exit: false,
         }
     }
 
@@ -431,6 +436,7 @@ impl DetectionSystem {
             auxiliary_transcriptions: auxiliaries,
             modality_features,
             fused: true,
+            early_exit: false,
         }
     }
 }

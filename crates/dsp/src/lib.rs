@@ -36,5 +36,5 @@ pub mod window;
 
 pub use complex::Complex;
 pub use mat::Mat;
-pub use mfcc::{FeatureMatrix, MfccConfig, MfccExtractor, MfccScratch};
+pub use mfcc::{FeatureMatrix, MfccConfig, MfccExtractor, MfccScratch, StreamingMfcc};
 pub use window::Window;

@@ -12,6 +12,13 @@
 //! threads an [`MfccScratch`] plan through the pipeline so repeated
 //! extraction (batch serving, attack inner loops) performs no per-call
 //! allocation once the buffers have reached their working size.
+//!
+//! [`StreamingMfcc`] is the incremental face of the same pipeline: it
+//! accepts arbitrary sample chunks, carries the pre-emphasis state and the
+//! overlap ring across chunk boundaries, and emits each MFCC row the moment
+//! its analysis window is complete. The one-shot serial path is literally
+//! "one big chunk + flush" through this state machine, so chunked and batch
+//! extraction are byte-identical by construction.
 
 use crate::complex::Complex;
 use crate::frame::{frame_count, overlap_add_adjoint};
@@ -135,6 +142,7 @@ impl MfccCache {
 pub struct MfccScratch {
     emphasized: Vec<f64>,
     bufs: FrameBufs,
+    stream: StreamingMfcc,
 }
 
 /// Per-frame working buffers; [`kernel::par_rows`] workers each own one
@@ -248,12 +256,21 @@ impl MfccExtractor {
         out_row: &mut [f64],
     ) {
         let cfg = &self.cfg;
-        let n_bins = cfg.n_fft / 2 + 1;
-        let start = f * cfg.hop;
+        let start = (f * cfg.hop).min(emphasized.len());
         let end = (start + cfg.frame_len).min(emphasized.len());
+        self.frame_forward_slice(&emphasized[start..end], bufs, out_row);
+    }
+
+    /// [`frame_forward`](Self::frame_forward) on an explicit window slice:
+    /// `frame` holds the first `frame.len() <= frame_len` emphasized samples
+    /// of the window; the remainder is zero-padded. The streaming path calls
+    /// this directly against its carry-over ring.
+    fn frame_forward_slice(&self, frame: &[f64], bufs: &mut FrameBufs, out_row: &mut [f64]) {
+        let cfg = &self.cfg;
+        let n_bins = cfg.n_fft / 2 + 1;
         bufs.windowed.resize(cfg.frame_len, 0.0);
         for (t, w) in bufs.windowed.iter_mut().enumerate() {
-            let s = if t < end.saturating_sub(start) { emphasized[start + t] } else { 0.0 };
+            let s = if t < frame.len() { frame[t] } else { 0.0 };
             *w = s * self.window[t];
         }
         bufs.spec.resize(n_bins, Complex::ZERO);
@@ -275,9 +292,11 @@ impl MfccExtractor {
     ///
     /// Frames are independent, so the uncached path fans them out over
     /// [`kernel::par_rows`] workers (each with its own [`FrameBufs`]);
-    /// results are bit-identical at any worker count. On one worker, or
-    /// when a cache is being filled, the loop runs serially in the
-    /// caller's scratch with zero steady-state allocation.
+    /// results are bit-identical at any worker count. On one worker the
+    /// signal runs through [`StreamingMfcc`] as one big chunk plus a flush —
+    /// the same state machine chunked callers drive — so the one-shot and
+    /// streaming paths cannot drift apart. The cache-filling loop stays
+    /// serial in the caller's scratch with zero steady-state allocation.
     fn forward(
         &self,
         samples: &[f64],
@@ -288,10 +307,9 @@ impl MfccExtractor {
         let cfg = &self.cfg;
         let n_frames = self.n_frames_for(samples.len());
         let n_bins = cfg.n_fft / 2 + 1;
-        self.pre_emphasize_into(samples, &mut scratch.emphasized);
-        out.reset(n_frames, cfg.n_cepstra);
-        let emphasized = &scratch.emphasized;
         if let Some(c) = cache.as_deref_mut() {
+            self.pre_emphasize_into(samples, &mut scratch.emphasized);
+            out.reset(n_frames, cfg.n_cepstra);
             c.n_fft = cfg.n_fft;
             c.n_samples = samples.len();
             c.spectra.clear();
@@ -299,11 +317,14 @@ impl MfccExtractor {
             c.mels.reset(n_frames, cfg.n_mels);
             let bufs = &mut scratch.bufs;
             for f in 0..n_frames {
-                self.frame_forward(emphasized, f, bufs, out.row_mut(f));
+                self.frame_forward(&scratch.emphasized, f, bufs, out.row_mut(f));
                 c.spectra[f * n_bins..(f + 1) * n_bins].copy_from_slice(&bufs.spec);
                 c.mels.row_mut(f).copy_from_slice(&bufs.mel);
             }
         } else if kernel::threads() > 1 && n_frames > 1 {
+            self.pre_emphasize_into(samples, &mut scratch.emphasized);
+            out.reset(n_frames, cfg.n_cepstra);
+            let emphasized = &scratch.emphasized;
             kernel::par_rows(
                 out.as_mut_slice(),
                 cfg.n_cepstra,
@@ -313,10 +334,11 @@ impl MfccExtractor {
                 },
             );
         } else {
-            let bufs = &mut scratch.bufs;
-            for f in 0..n_frames {
-                self.frame_forward(emphasized, f, bufs, out.row_mut(f));
-            }
+            let stream = &mut scratch.stream;
+            stream.reset();
+            out.reset(0, cfg.n_cepstra);
+            stream.push(self, samples, out);
+            stream.finish(self, out);
         }
     }
 
@@ -380,6 +402,129 @@ impl MfccExtractor {
             d_x[t] = d_emph[t] - if t + 1 < n { a * d_emph[t + 1] } else { 0.0 };
         }
         d_x
+    }
+}
+
+/// Incremental MFCC extraction over arbitrary sample chunks.
+///
+/// Feed raw samples with [`push`](Self::push) in chunks of any size (down
+/// to a single sample); each call appends every MFCC row whose analysis
+/// window is complete to the output matrix. [`finish`](Self::finish) emits
+/// the trailing zero-padded frames so the row count equals
+/// [`MfccExtractor::n_frames_for`] of the total sample count, then resets
+/// the state for the next utterance.
+///
+/// The state carried across chunk boundaries is exactly what framing
+/// overlap requires: the pre-emphasis predecessor sample and a ring of
+/// emphasized samples not yet consumed by an emitted frame. Output is
+/// byte-identical to [`MfccExtractor::extract_into`] for every chunking of
+/// the same signal — the one-shot serial path *is* one big `push` plus
+/// `finish` through this type.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingMfcc {
+    /// Emphasized samples still needed by future frames; `ring[0]` holds
+    /// absolute sample index `ring_start`.
+    ring: Vec<f64>,
+    ring_start: usize,
+    /// Total raw samples pushed so far.
+    n_samples: usize,
+    /// Pre-emphasis carry: the last raw sample of the previous chunk.
+    prev_raw: f64,
+    /// Index of the next frame to emit.
+    next_frame: usize,
+    row: Vec<f64>,
+    bufs: FrameBufs,
+}
+
+impl StreamingMfcc {
+    /// Clears all carried state, ready for a fresh utterance. Buffers keep
+    /// their capacity, so a long-lived stream allocates nothing in steady
+    /// state.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.ring_start = 0;
+        self.n_samples = 0;
+        self.prev_raw = 0.0;
+        self.next_frame = 0;
+    }
+
+    /// Total raw samples pushed since the last reset.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of MFCC rows emitted since the last reset.
+    pub fn frames_emitted(&self) -> usize {
+        self.next_frame
+    }
+
+    /// Feeds `chunk` and appends every newly completed MFCC row to `out`.
+    ///
+    /// `out` accumulates across calls: start an utterance with
+    /// `out.reset(0, n_cepstra)` (or an empty matrix) and rows arrive via
+    /// [`Mat::push_row`]. Frame `f` is emitted as soon as
+    /// `f·hop + frame_len` samples have been seen.
+    pub fn push(&mut self, ex: &MfccExtractor, chunk: &[f64], out: &mut FeatureMatrix) {
+        let cfg = &ex.cfg;
+        // Streamed pre-emphasis: identical to the batch pass because the
+        // predecessor sample is carried across chunk boundaries.
+        let a = cfg.pre_emphasis;
+        self.ring.reserve(chunk.len());
+        if a == 0.0 {
+            self.ring.extend_from_slice(chunk);
+        } else {
+            let mut prev = self.prev_raw;
+            for &s in chunk {
+                self.ring.push(s - a * prev);
+                prev = s;
+            }
+        }
+        if let Some(&last) = chunk.last() {
+            self.prev_raw = last;
+        }
+        self.n_samples += chunk.len();
+        self.row.resize(cfg.n_cepstra, 0.0);
+        while self.next_frame * cfg.hop + cfg.frame_len <= self.n_samples {
+            let rel = self.next_frame * cfg.hop - self.ring_start;
+            ex.frame_forward_slice(
+                &self.ring[rel..rel + cfg.frame_len],
+                &mut self.bufs,
+                &mut self.row,
+            );
+            out.push_row(&self.row);
+            self.next_frame += 1;
+        }
+        // Drop the prefix no future frame can read. The ring never starts
+        // past the buffered extent even when hop > frame_len leaves a gap
+        // before the next frame's window.
+        let consumed = (self.next_frame * cfg.hop).min(self.ring_start + self.ring.len());
+        let k = consumed - self.ring_start;
+        if k > 0 {
+            self.ring.drain(..k);
+            self.ring_start = consumed;
+        }
+    }
+
+    /// Emits the remaining zero-padded partial frames and resets the state
+    /// for the next utterance.
+    ///
+    /// After this call `out` holds exactly
+    /// [`n_frames_for`](MfccExtractor::n_frames_for)`(n_samples)` rows in
+    /// total, matching the batch extractor's framing of the full signal.
+    pub fn finish(&mut self, ex: &MfccExtractor, out: &mut FeatureMatrix) {
+        let cfg = &ex.cfg;
+        let total = ex.n_frames_for(self.n_samples);
+        self.row.resize(cfg.n_cepstra, 0.0);
+        while self.next_frame < total {
+            // Trailing frames read a short (possibly empty, when hop >
+            // frame_len strands a window past the end) slice of the ring.
+            let rel = (self.next_frame * cfg.hop - self.ring_start).min(self.ring.len());
+            let end = (rel + cfg.frame_len).min(self.ring.len());
+            ex.frame_forward_slice(&self.ring[rel..end], &mut self.bufs, &mut self.row);
+            out.push_row(&self.row);
+            self.next_frame += 1;
+        }
+        self.reset();
     }
 }
 
@@ -526,6 +671,91 @@ mod tests {
             lo[t] -= eps;
             let fd = (loss(&hi) - loss(&lo)) / (2.0 * eps);
             assert!((grad[t] - fd).abs() / fd.abs().max(1e-6) < 1e-4);
+        }
+    }
+
+    /// Splits `sig` at the given chunk lengths and runs it through a
+    /// [`StreamingMfcc`], returning the accumulated matrix.
+    fn stream_in_chunks(ex: &MfccExtractor, sig: &[f64], chunks: &[usize]) -> FeatureMatrix {
+        let mut st = StreamingMfcc::default();
+        let mut out = FeatureMatrix::default();
+        out.reset(0, ex.config().n_cepstra);
+        let mut pos = 0;
+        for &len in chunks {
+            let end = (pos + len).min(sig.len());
+            st.push(ex, &sig[pos..end], &mut out);
+            pos = end;
+        }
+        st.push(ex, &sig[pos..], &mut out);
+        st.finish(ex, &mut out);
+        out
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_bitwise() {
+        let ex = MfccExtractor::new(small_cfg());
+        let sig = pseudo_signal(317);
+        let reference = ex.extract(&sig);
+        // One big chunk, tiny fixed chunks, single samples, and a lopsided
+        // split: every chunking must reproduce the batch result exactly.
+        for chunks in [vec![sig.len()], vec![7; 64], vec![1; sig.len()], vec![300, 1, 16]] {
+            assert_eq!(stream_in_chunks(&ex, &sig, &chunks), reference);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_on_random_boundaries() {
+        let ex = MfccExtractor::new(small_cfg());
+        for (trial, &n) in [0usize, 1, 31, 64, 65, 200, 411].iter().enumerate() {
+            let sig = pseudo_signal(n);
+            let reference = ex.extract(&sig);
+            // Deterministic xorshift chunk lengths in 1..=47, fresh per trial.
+            let mut seed = 0x9E37_79B9u64.wrapping_add(trial as u64 * 0x517C_C1B7);
+            let mut chunks = Vec::new();
+            let mut covered = 0;
+            while covered < n {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let len = 1 + (seed % 47) as usize;
+                chunks.push(len);
+                covered += len;
+            }
+            assert_eq!(stream_in_chunks(&ex, &sig, &chunks), reference, "n={n} trial={trial}");
+        }
+    }
+
+    #[test]
+    fn streaming_handles_hop_larger_than_frame() {
+        // hop > frame_len strands analysis windows past the signal end;
+        // the stream must still agree with the batch framing.
+        let mut cfg = small_cfg();
+        cfg.frame_len = 24;
+        cfg.hop = 40;
+        cfg.n_fft = 32;
+        let ex = MfccExtractor::new(cfg);
+        for n in [0usize, 3, 24, 25, 63, 64, 65, 200] {
+            let sig = pseudo_signal(n);
+            assert_eq!(stream_in_chunks(&ex, &sig, &[5; 50]), ex.extract(&sig), "n={n}");
+        }
+    }
+
+    #[test]
+    fn stream_reuse_across_utterances_is_exact() {
+        // finish() must clear the pre-emphasis and ring carry so a reused
+        // stream starts the next utterance from silence, like the batch path.
+        let ex = MfccExtractor::new(small_cfg());
+        let a = pseudo_signal(200);
+        let b: Vec<f64> = pseudo_signal(150).iter().map(|s| s * -0.3).collect();
+        let mut st = StreamingMfcc::default();
+        let mut out = FeatureMatrix::default();
+        for sig in [&a[..], &b[..], &a[..]] {
+            out.reset(0, ex.config().n_cepstra);
+            for chunk in sig.chunks(13) {
+                st.push(&ex, chunk, &mut out);
+            }
+            st.finish(&ex, &mut out);
+            assert_eq!(out, ex.extract(sig));
         }
     }
 

@@ -1,0 +1,20 @@
+// Linted as if at crates/serve/src/bad.rs: every unbounded channel
+// constructor turns overload backpressure into memory growth.
+use crossbeam::channel;
+use std::sync::mpsc;
+
+pub fn crossbeam_unbounded() -> (channel::Sender<u32>, channel::Receiver<u32>) {
+    channel::unbounded()
+}
+
+pub fn crossbeam_unbounded_turbofish() -> (channel::Sender<u32>, channel::Receiver<u32>) {
+    channel::unbounded::<u32>()
+}
+
+pub fn std_unbounded() -> (mpsc::Sender<u32>, mpsc::Receiver<u32>) {
+    mpsc::channel()
+}
+
+pub fn tokio_style() {
+    let (_tx, _rx) = unbounded_channel::<u32>();
+}

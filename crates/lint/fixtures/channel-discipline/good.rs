@@ -1,0 +1,28 @@
+// Bounded queues everywhere: shedding and backpressure stay possible.
+use crossbeam::channel;
+use std::sync::mpsc;
+
+pub fn crossbeam_bounded(cap: usize) -> (channel::Sender<u32>, channel::Receiver<u32>) {
+    channel::bounded(cap)
+}
+
+pub fn std_bounded(cap: usize) -> (mpsc::SyncSender<u32>, mpsc::Receiver<u32>) {
+    mpsc::sync_channel(cap)
+}
+
+// An ident merely *named* channel is not a constructor call.
+pub fn not_a_constructor(channel: u32) -> u32 {
+    channel + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use crossbeam::channel;
+
+    #[test]
+    fn unbounded_in_tests_is_fine() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -10,6 +10,7 @@
 use crate::diag::{Diagnostic, Severity};
 use crate::source::SourceFile;
 
+mod channel_discipline;
 mod kernel_discipline;
 mod lock_discipline;
 mod nested_vec_f64;
@@ -44,6 +45,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(kernel_discipline::KernelDiscipline),
         Box::new(serve_no_panic::ServeNoPanic),
         Box::new(lock_discipline::LockDiscipline),
+        Box::new(channel_discipline::ChannelDiscipline),
         Box::new(unbounded_with_capacity::UnboundedWithCapacity),
         Box::new(numeric_truncation::NumericTruncation),
         Box::new(persist_schema::PersistSchema),

@@ -16,6 +16,7 @@ const CASES: &[(&str, &str)] = &[
     ("kernel-discipline", "crates/asr/src/fixture.rs"),
     ("serve-no-panic", "crates/serve/src/fixture.rs"),
     ("lock-discipline", "crates/serve/src/fixture.rs"),
+    ("channel-discipline", "crates/serve/src/fixture.rs"),
     ("unbounded-with-capacity", "crates/audio/src/fixture.rs"),
     ("numeric-truncation", "crates/audio/src/wav.rs"),
     ("persist-schema", "crates/artifact/src/fixture.rs"),

@@ -14,6 +14,7 @@ nested-vec-f64           deny   numeric crates carry matrices as contiguous Mat,
 kernel-discipline        deny   hot numeric paths call mvp_dsp::kernel, never the scalar oracles directly, outside tests
 serve-no-panic           deny   no unwrap/expect/panic!/unreachable! in crates/serve request-path code (loadgen exempt)
 lock-discipline          deny   in crates/serve, .lock() may appear only inside SharedCache::with (poison recovery)
+channel-discipline       deny   in crates/serve, channels must be bounded: no unbounded()/mpsc::channel()
 unbounded-with-capacity  warn   in audio/artifact parsers, with_capacity/vec![..; n] from parsed values needs a prior limit check (heuristic)
 numeric-truncation       deny   byte-format codecs (wav, artifact) must not narrow integers with `as`; use try_into
 persist-schema           deny   every `impl Persist for T` declares a `SCHEMA_VERSION` const for its wire format

@@ -27,6 +27,21 @@
 //! startup and feature-extraction scratch allocations are amortised
 //! across requests.
 //!
+//! Streamed requests ([`DetectionEngine::submit_stream`]) ride the same
+//! threads: the batcher forwards each chunk to every worker immediately
+//! (streams are not micro-batched), each worker advances one incremental
+//! [`AsrStream`] per open stream, and the collector assembles the running
+//! transcripts — firing an early `Adversarial` verdict when the
+//! configured [`EngineConfig::early_exit`] rule trips, or the full
+//! end-of-stream verdict at [`StreamHandle::finish`]. With early exit
+//! off, a chunked stream and a one-shot [`submit`](DetectionEngine::submit)
+//! of the same signal produce byte-identical transcripts and scores.
+//! Streams are flow-controlled, not shed: a full ingress queue blocks
+//! the pushing caller instead of dropping a chunk mid-utterance. They
+//! bypass the transcription cache, per-recogniser deadlines, and
+//! modality scoring (the audio is consumed chunk by chunk, never
+//! retained server-side).
+//!
 //! Every stage is instrumented: `serve.submit`, `serve.flush`,
 //! `serve.cache_hit`, `serve.transcribe_batch` and `serve.finalize`
 //! spans (inert unless `mvp_obs::trace` is enabled), registry-backed
@@ -44,9 +59,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 
 use mvp_artifact::{ArtifactError, Persist};
-use mvp_asr::{AsrScratch, TrainedAsr};
+use mvp_asr::{AsrScratch, AsrStream, TrainedAsr};
 use mvp_audio::Waveform;
-use mvp_ears::{DetectionSystem, DetectionSystemSnapshot};
+use mvp_ears::{DetectionSystem, DetectionSystemSnapshot, EarlyExit};
 use mvp_modality::{ModalityInput, ModalityKind};
 use mvp_obs::metrics::Counter;
 use mvp_obs::{AuditLog, JsonObj, Registry};
@@ -98,6 +113,12 @@ pub struct EngineConfig {
     /// degraded, failed, cache hit) and every shed appends one JSONL
     /// record. `None` (the default) disables auditing.
     pub audit: Option<Arc<AuditLog>>,
+    /// Early-exit rule for streamed requests: when set, the collector
+    /// re-scores the running transcripts after every chunk and can
+    /// answer `Adversarial` before end-of-stream. `None` (the default)
+    /// decides only at [`StreamHandle::finish`], which keeps chunked
+    /// verdicts byte-identical to one-shot ones.
+    pub early_exit: Option<EarlyExit>,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +134,7 @@ impl Default for EngineConfig {
             modality_budget_ms: Vec::new(),
             model_dir: None,
             audit: None,
+            early_exit: None,
         }
     }
 }
@@ -215,6 +237,10 @@ pub struct Verdict {
     pub modalities: Vec<ModalityReport>,
     /// Whether the fused similarity + modality classifier answered.
     pub fused: bool,
+    /// Whether this verdict fired before end-of-stream under the
+    /// engine's [`EngineConfig::early_exit`] rule. Always `false` for
+    /// one-shot submissions and for stream verdicts decided at finish.
+    pub early_exit: bool,
     /// End-to-end latency from `submit` to finalization.
     pub latency: Duration,
 }
@@ -261,6 +287,26 @@ impl PendingVerdict {
     pub fn try_wait(&self) -> Option<Verdict> {
         self.rx.try_recv().ok()
     }
+
+    /// Blocks up to `timeout` for the verdict. `Err(self)` on timeout
+    /// returns the ticket so the caller can keep waiting, retry with a
+    /// longer budget, or drop it — no caller is ever forced to hang
+    /// forever on a wedged engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's threads died without replying (a bug),
+    /// exactly as [`wait`](Self::wait) does.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Verdict, PendingVerdict> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(verdict) => Ok(verdict),
+            Err(RecvTimeoutError::Timeout) => Err(self),
+            Err(RecvTimeoutError::Disconnected) => {
+                // mvp-lint: allow(serve-no-panic) -- same invariant as wait(): every accepted ticket is answered by construction; a dropped channel is an engine bug
+                panic!("engine dropped the reply channel")
+            }
+        }
+    }
 }
 
 struct Request {
@@ -271,6 +317,25 @@ struct Request {
     /// Time spent in the ingress queue, stamped at batcher pickup.
     queued_us: u64,
     reply: Sender<Verdict>,
+}
+
+/// Everything that can enter the ingress queue: one-shot requests and
+/// stream lifecycle messages share the single bounded channel, so
+/// per-stream chunk order is preserved end to end.
+enum IngressMsg {
+    Detect(Request),
+    Stream(StreamMsg),
+}
+
+struct StreamMsg {
+    id: u64,
+    payload: StreamPayload,
+}
+
+enum StreamPayload {
+    Open { reply: Sender<Verdict>, opened: Instant },
+    Chunk { samples: Arc<Vec<f32>> },
+    Finish,
 }
 
 struct Waiter {
@@ -289,9 +354,21 @@ struct BatchItem {
     waiters: Vec<Waiter>,
 }
 
-struct WorkItem {
-    batch_id: u64,
-    waves: Vec<Arc<Waveform>>,
+enum WorkItem {
+    Batch {
+        batch_id: u64,
+        waves: Vec<Arc<Waveform>>,
+    },
+    StreamChunk {
+        stream_id: u64,
+        samples: Arc<Vec<f32>>,
+        /// Send the running transcript back after this chunk (true only
+        /// when the engine has an early-exit rule to evaluate).
+        report_running: bool,
+    },
+    StreamFinish {
+        stream_id: u64,
+    },
 }
 
 struct WorkResult {
@@ -313,6 +390,28 @@ struct BatchMeta {
 enum CollectorMsg {
     Meta(BatchMeta),
     Result(WorkResult),
+    StreamOpen { stream_id: u64, reply: Sender<Verdict>, opened: Instant },
+    StreamRunning { stream_id: u64, asr_index: usize, seq: u64, frames: usize, text: String },
+    StreamFinal { stream_id: u64, asr_index: usize, text: String },
+}
+
+/// Collector-side state of one open stream.
+struct StreamState {
+    reply: Sender<Verdict>,
+    opened: Instant,
+    /// An early verdict has been sent; the finish only cleans up.
+    answered: bool,
+    /// Consecutive collapsed early-exit evaluations.
+    collapsed: usize,
+    /// Chunk seq of the last early-exit evaluation (each chunk is
+    /// evaluated at most once, after every recogniser has reported it).
+    evaluated_seq: u64,
+    /// Target-recogniser logit frames decoded so far.
+    frames: usize,
+    /// Per recogniser: latest running `(seq, transcript)`.
+    running: Vec<Option<(u64, String)>>,
+    /// Per recogniser: the final flushed transcript.
+    finals: Vec<Option<String>>,
 }
 
 struct BatchState {
@@ -452,8 +551,10 @@ fn verdict_record(
         .u64("total_us", verdict.latency.as_micros().min(u128::from(u64::MAX)) as u64)
         .finish();
     let obj = JsonObj::new()
-        // v2 added the "modalities" array and the "fused" flag.
-        .u64("v", 2)
+        // v2 added the "modalities" array and the "fused" flag;
+        // v3 added the "early" flag (stream verdicts that fired before
+        // end-of-stream).
+        .u64("v", 3)
         .str("event", "verdict")
         .u64("ts_us", wall_ts_us())
         .u64("request", id);
@@ -466,6 +567,7 @@ fn verdict_record(
         .bool("cache", verdict.from_cache)
         .opt_bool("adversarial", verdict.is_adversarial)
         .bool("fused", verdict.fused)
+        .bool("early", verdict.early_exit)
         .opt_str("target", verdict.target_transcription.as_deref())
         .opt_f64("threshold", threshold)
         .raw("aux", &aux)
@@ -477,11 +579,12 @@ fn verdict_record(
 /// The long-lived serving engine. Dropping it drains in-flight requests
 /// (each gets a verdict) and joins all threads.
 pub struct DetectionEngine {
-    ingress: Option<Sender<Request>>,
+    ingress: Option<Sender<IngressMsg>>,
     threads: Vec<JoinHandle<()>>,
     stats: Arc<ServeStats>,
     audit: Option<Arc<AuditLog>>,
     next_id: AtomicU64,
+    next_stream_id: AtomicU64,
 }
 
 impl std::fmt::Debug for DetectionEngine {
@@ -543,8 +646,12 @@ impl DetectionEngine {
         let cache: Option<SharedCache> = (config.cache_cap > 0)
             .then(|| SharedCache::new(config.cache_cap, stats.cache_poison_recovered.clone()));
 
-        let (ingress_tx, ingress_rx) = channel::bounded::<Request>(config.queue_cap);
-        let (collector_tx, collector_rx) = channel::unbounded::<CollectorMsg>();
+        let (ingress_tx, ingress_rx) = channel::bounded::<IngressMsg>(config.queue_cap);
+        // Bounded like every other serve channel (channel-discipline):
+        // the collector always drains and never sends into a producer,
+        // so capacity only sizes the buffer — it cannot deadlock.
+        let (collector_tx, collector_rx) =
+            channel::bounded::<CollectorMsg>((config.queue_cap * 8).max(256));
 
         let recognizers = system.recognizers();
         // Partition the machine's cores between the ASR workers: each
@@ -556,7 +663,10 @@ impl DetectionEngine {
         let mut threads = Vec::with_capacity(recognizers.len() + 2);
         let mut worker_txs = Vec::with_capacity(recognizers.len());
         for (i, asr) in recognizers.into_iter().enumerate() {
-            let (tx, rx) = channel::unbounded::<WorkItem>();
+            // Bounded: a backlogged worker exerts backpressure on the
+            // batcher (and through the ingress queue, on submitters)
+            // instead of buffering without limit.
+            let (tx, rx) = channel::bounded::<WorkItem>((config.queue_cap * 4).max(64));
             worker_txs.push(tx);
             let collector_tx = collector_tx.clone();
             threads.push(
@@ -597,11 +707,21 @@ impl DetectionEngine {
         {
             let stats = Arc::clone(&stats);
             let audit = audit.clone();
+            let early = config.early_exit;
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-collector".into())
                     .spawn(move || {
-                        collector_loop(system, policy, plan, collector_rx, cache, stats, audit)
+                        collector_loop(
+                            system,
+                            policy,
+                            plan,
+                            early,
+                            collector_rx,
+                            cache,
+                            stats,
+                            audit,
+                        )
                     })
                     // mvp-lint: allow(serve-no-panic) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
                     .expect("spawn collector"),
@@ -614,6 +734,7 @@ impl DetectionEngine {
             stats,
             audit,
             next_id: AtomicU64::new(0),
+            next_stream_id: AtomicU64::new(0),
         }
     }
 
@@ -673,12 +794,12 @@ impl DetectionEngine {
             Request { id, wave, key, submitted: Instant::now(), queued_us: 0, reply: reply_tx };
         // Gauge first so it never underflows against the batcher's decrement.
         self.stats.queue_depth.inc();
-        match tx.try_send(request) {
+        match tx.try_send(IngressMsg::Detect(request)) {
             Ok(()) => {
                 self.stats.submitted.inc();
                 Ok(PendingVerdict { rx: reply_rx })
             }
-            Err(TrySendError::Full(request)) => {
+            Err(TrySendError::Full(_)) => {
                 self.stats.queue_depth.dec();
                 self.stats.shed.inc();
                 if let Some(audit) = &self.audit {
@@ -687,7 +808,7 @@ impl DetectionEngine {
                             .u64("v", 1)
                             .str("event", "shed")
                             .u64("ts_us", wall_ts_us())
-                            .u64("request", request.id)
+                            .u64("request", id)
                             .finish(),
                     );
                 }
@@ -698,6 +819,31 @@ impl DetectionEngine {
                 Err(SubmitError::Closed)
             }
         }
+    }
+
+    /// Opens a chunked-ingress stream. Chunks pushed through the
+    /// returned [`StreamHandle`] feed the same persistent workers as
+    /// one-shot requests; the verdict arrives at
+    /// [`finish`](StreamHandle::finish), or earlier when the engine's
+    /// [`EngineConfig::early_exit`] rule fires.
+    ///
+    /// The handle borrows the engine, so a stream can never outlive it —
+    /// shutdown cannot start while a stream is open, which is what makes
+    /// "every accepted stream is answered" a structural guarantee.
+    pub fn submit_stream(&self) -> Result<StreamHandle<'_>, SubmitError> {
+        let tx = self.ingress.as_ref().ok_or(SubmitError::Closed)?;
+        let id = self.next_stream_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let payload = StreamPayload::Open { reply: reply_tx, opened: Instant::now() };
+        tx.send(IngressMsg::Stream(StreamMsg { id, payload })).map_err(|_| SubmitError::Closed)?;
+        self.stats.streams_opened.inc();
+        Ok(StreamHandle { engine: self, id, reply: reply_rx, got: None, finished: false })
+    }
+
+    /// Current ingress queue depth (the batcher's backlog). The shard
+    /// router reads this to decide when to steal.
+    pub fn queue_depth(&self) -> u64 {
+        self.stats.queue_depth.get()
     }
 
     /// Convenience: submit and block for the verdict.
@@ -746,6 +892,87 @@ impl Drop for DetectionEngine {
     }
 }
 
+/// One open chunked-ingress stream on a [`DetectionEngine`].
+///
+/// Push sample chunks with [`push`](Self::push), poll for an early
+/// verdict with [`try_verdict`](Self::try_verdict), and settle with
+/// [`finish`](Self::finish). Exactly one verdict is produced per stream
+/// — early or final, never both. Dropping the handle without finishing
+/// sends a best-effort finish so worker-side stream state is reclaimed.
+#[derive(Debug)]
+pub struct StreamHandle<'a> {
+    engine: &'a DetectionEngine,
+    id: u64,
+    reply: Receiver<Verdict>,
+    /// An early verdict observed by `try_verdict`, held for `finish`.
+    got: Option<Verdict>,
+    finished: bool,
+}
+
+impl StreamHandle<'_> {
+    /// The engine-assigned stream id (also the `request` field of the
+    /// stream's audit records).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn send(&self, payload: StreamPayload) -> Result<(), SubmitError> {
+        let tx = self.engine.ingress.as_ref().ok_or(SubmitError::Closed)?;
+        tx.send(IngressMsg::Stream(StreamMsg { id: self.id, payload }))
+            .map_err(|_| SubmitError::Closed)
+    }
+
+    /// Feeds the next chunk of samples. Blocks while the ingress queue
+    /// is full — streams are flow-controlled, never shed mid-utterance.
+    pub fn push(&mut self, samples: &[f32]) -> Result<(), SubmitError> {
+        self.push_arc(Arc::new(samples.to_vec()))
+    }
+
+    /// [`push`](Self::push) without copying an already-shared buffer.
+    pub fn push_arc(&mut self, samples: Arc<Vec<f32>>) -> Result<(), SubmitError> {
+        self.engine.stats.stream_chunks.inc();
+        self.send(StreamPayload::Chunk { samples })
+    }
+
+    /// Returns the early verdict if one has fired. After this returns
+    /// `Some`, further pushes still advance the recognisers but the
+    /// verdict is settled; [`finish`](Self::finish) returns it.
+    pub fn try_verdict(&mut self) -> Option<&Verdict> {
+        if self.got.is_none() {
+            self.got = self.reply.try_recv().ok();
+        }
+        self.got.as_ref()
+    }
+
+    /// Ends the stream and blocks for its verdict: the early one if the
+    /// rule fired, otherwise the full end-of-stream detection (the only
+    /// place a stream can be judged `Benign`).
+    pub fn finish(mut self) -> Result<Verdict, SubmitError> {
+        self.finished = true;
+        self.send(StreamPayload::Finish)?;
+        if let Some(verdict) = self.got.take() {
+            return Ok(verdict);
+        }
+        self.reply.recv().map_err(|_| SubmitError::Closed)
+    }
+}
+
+impl Drop for StreamHandle<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            if let Some(tx) = self.engine.ingress.as_ref() {
+                // Best-effort: a full queue here leaks the worker-side
+                // stream state until engine shutdown, which is preferable
+                // to a Drop that can block.
+                let _ = tx.try_send(IngressMsg::Stream(StreamMsg {
+                    id: self.id,
+                    payload: StreamPayload::Finish,
+                }));
+            }
+        }
+    }
+}
+
 fn worker_loop(
     asr: Arc<TrainedAsr>,
     asr_index: usize,
@@ -754,19 +981,51 @@ fn worker_loop(
 ) {
     // One scratch plan per worker thread: after the first few batches every
     // pipeline intermediate is served from these buffers, so steady-state
-    // batches allocate nothing on the hot path.
+    // batches allocate nothing on the hot path. Streams each carry their
+    // own incremental state (`AsrStream`) keyed by stream id; the `u64`
+    // alongside is the chunk seq, counted identically by every worker so
+    // the collector can align running transcripts across recognisers.
     let mut scratch = AsrScratch::default();
-    for WorkItem { batch_id, waves } in work.iter() {
-        let started = Instant::now();
-        let texts = {
-            let _span = mvp_obs::span!("serve.transcribe_batch", batch_id);
-            let refs: Vec<&Waveform> = waves.iter().map(Arc::as_ref).collect();
-            asr.transcribe_batch_with(&refs, &mut scratch)
-        };
-        let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        let result = WorkResult { batch_id, asr_index, texts, elapsed_us };
-        if out.send(CollectorMsg::Result(result)).is_err() {
-            return;
+    let mut streams: HashMap<u64, (AsrStream, u64)> = HashMap::new();
+    for item in work.iter() {
+        match item {
+            WorkItem::Batch { batch_id, waves } => {
+                let started = Instant::now();
+                let texts = {
+                    let _span = mvp_obs::span!("serve.transcribe_batch", batch_id);
+                    let refs: Vec<&Waveform> = waves.iter().map(Arc::as_ref).collect();
+                    asr.transcribe_batch_with(&refs, &mut scratch)
+                };
+                let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                let result = WorkResult { batch_id, asr_index, texts, elapsed_us };
+                if out.send(CollectorMsg::Result(result)).is_err() {
+                    return;
+                }
+            }
+            WorkItem::StreamChunk { stream_id, samples, report_running } => {
+                let (stream, seq) = streams.entry(stream_id).or_default();
+                asr.stream_push_f32(stream, &samples);
+                *seq += 1;
+                if report_running {
+                    let msg = CollectorMsg::StreamRunning {
+                        stream_id,
+                        asr_index,
+                        seq: *seq,
+                        frames: stream.frames_decoded(),
+                        text: asr.stream_transcript(stream),
+                    };
+                    if out.send(msg).is_err() {
+                        return;
+                    }
+                }
+            }
+            WorkItem::StreamFinish { stream_id } => {
+                let (mut stream, _seq) = streams.remove(&stream_id).unwrap_or_default();
+                let text = asr.stream_finish(&mut stream);
+                if out.send(CollectorMsg::StreamFinal { stream_id, asr_index, text }).is_err() {
+                    return;
+                }
+            }
         }
     }
 }
@@ -776,7 +1035,7 @@ fn batcher_loop(
     system: Arc<DetectionSystem>,
     config: EngineConfig,
     plan: Arc<ModalityPlan>,
-    ingress: Receiver<Request>,
+    ingress: Receiver<IngressMsg>,
     worker_txs: Vec<Sender<WorkItem>>,
     collector_tx: Sender<CollectorMsg>,
     cache: Option<SharedCache>,
@@ -839,7 +1098,7 @@ fn batcher_loop(
         }
         for (i, tx) in worker_txs.iter().enumerate() {
             if dispatched[i] {
-                let _ = tx.send(WorkItem { batch_id, waves: waves.clone() });
+                let _ = tx.send(WorkItem::Batch { batch_id, waves: waves.clone() });
             }
         }
     };
@@ -850,7 +1109,7 @@ fn batcher_loop(
             Some(t) => ingress.recv_timeout(t.saturating_duration_since(Instant::now())),
         };
         match received {
-            Ok(mut request) => {
+            Ok(IngressMsg::Detect(mut request)) => {
                 stats.queue_depth.dec();
                 request.queued_us =
                     request.submitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -866,6 +1125,33 @@ fn batcher_loop(
                     flush_at = Some(Instant::now() + max_delay);
                 }
             }
+            // Stream traffic is forwarded immediately, never batched: a
+            // chunk is one unit of work for every recogniser, and order
+            // within a stream is preserved by channel FIFO end to end.
+            Ok(IngressMsg::Stream(StreamMsg { id, payload })) => match payload {
+                StreamPayload::Open { reply, opened } => {
+                    let msg = CollectorMsg::StreamOpen { stream_id: id, reply, opened };
+                    if collector_tx.send(msg).is_err() {
+                        return;
+                    }
+                }
+                StreamPayload::Chunk { samples } => {
+                    let report_running = config.early_exit.is_some();
+                    for tx in &worker_txs {
+                        let item = WorkItem::StreamChunk {
+                            stream_id: id,
+                            samples: Arc::clone(&samples),
+                            report_running,
+                        };
+                        let _ = tx.send(item);
+                    }
+                }
+                StreamPayload::Finish => {
+                    for tx in &worker_txs {
+                        let _ = tx.send(WorkItem::StreamFinish { stream_id: id });
+                    }
+                }
+            },
             Err(RecvTimeoutError::Timeout) => {
                 flush(&mut pending, &mut next_batch_id);
                 flush_at = None;
@@ -954,6 +1240,7 @@ fn answer_cache_hit(
         target_transcription: Some(detection.target_transcription),
         modalities,
         fused,
+        early_exit: false,
         latency: request.submitted.elapsed(),
     };
     if matches!(verdict.kind, VerdictKind::Degraded(_)) {
@@ -977,12 +1264,15 @@ fn collector_loop(
     system: Arc<DetectionSystem>,
     policy: Arc<DegradePolicy>,
     plan: Arc<ModalityPlan>,
+    early: Option<EarlyExit>,
     rx: Receiver<CollectorMsg>,
     cache: Option<SharedCache>,
     stats: Arc<ServeStats>,
     audit: Option<Arc<AuditLog>>,
 ) {
     let mut batches: HashMap<u64, BatchState> = HashMap::new();
+    let mut streams: HashMap<u64, StreamState> = HashMap::new();
+    let n_rec = system.n_recognizers();
     loop {
         let next_deadline = batches.values().filter_map(BatchState::next_deadline).min();
         let received = match next_deadline {
@@ -1009,14 +1299,74 @@ fn collector_loop(
                     state.elapsed_us[result.asr_index] = Some(result.elapsed_us);
                 }
             }
+            Ok(CollectorMsg::StreamOpen { stream_id, reply, opened }) => {
+                streams.insert(
+                    stream_id,
+                    StreamState {
+                        reply,
+                        opened,
+                        answered: false,
+                        collapsed: 0,
+                        evaluated_seq: 0,
+                        frames: 0,
+                        running: vec![None; n_rec],
+                        finals: vec![None; n_rec],
+                    },
+                );
+            }
+            Ok(CollectorMsg::StreamRunning { stream_id, asr_index, seq, frames, text }) => {
+                if let Some(state) = streams.get_mut(&stream_id) {
+                    if asr_index == 0 {
+                        state.frames = frames;
+                    }
+                    state.running[asr_index] = Some((seq, text));
+                    if !state.answered {
+                        if let Some(rule) = early {
+                            evaluate_stream(&system, rule, state, &stats, &audit, stream_id);
+                        }
+                    }
+                }
+            }
+            Ok(CollectorMsg::StreamFinal { stream_id, asr_index, text }) => {
+                let done = match streams.get_mut(&stream_id) {
+                    Some(state) => {
+                        state.finals[asr_index] = Some(text);
+                        state.finals.iter().all(Option::is_some)
+                    }
+                    None => false,
+                };
+                if done {
+                    // mvp-lint: allow(serve-no-panic) -- `done` was computed from this exact entry two lines up with no intervening removal
+                    let state = streams.remove(&stream_id).expect("finalized stream present");
+                    finalize_stream(&system, &stats, &audit, stream_id, state);
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {}
             // Producers gone and their queue drained: every result that
             // will ever arrive has arrived, so finalize what remains
             // (missing slots count as missed) rather than waiting out
-            // deadlines.
+            // deadlines, and answer any still-open stream with a Failed
+            // verdict so no ticket is left hanging.
             Err(RecvTimeoutError::Disconnected) => {
                 for (id, state) in batches.drain() {
                     finalize(&system, &policy, &plan, &cache, &stats, &audit, id, state);
+                }
+                for (_, state) in streams.drain() {
+                    if !state.answered {
+                        let verdict = Verdict {
+                            is_adversarial: None,
+                            kind: VerdictKind::Failed,
+                            from_cache: false,
+                            scores: vec![None; n_rec - 1],
+                            target_transcription: None,
+                            modalities: Vec::new(),
+                            fused: false,
+                            early_exit: false,
+                            latency: state.opened.elapsed(),
+                        };
+                        stats.completed.inc();
+                        let _ = state.reply.send(verdict);
+                    }
                 }
                 return;
             }
@@ -1030,6 +1380,106 @@ fn collector_loop(
             finalize(&system, &policy, &plan, &cache, &stats, &audit, id, state);
         }
     }
+}
+
+/// One early-exit evaluation over a stream's running transcripts. Runs
+/// once per chunk seq, after every recogniser has reported that seq; the
+/// mechanics mirror `mvp_ears::DetectionStream::evaluate` so serve-side
+/// and in-process streaming agree on when a verdict may fire early.
+fn evaluate_stream(
+    system: &DetectionSystem,
+    rule: EarlyExit,
+    state: &mut StreamState,
+    stats: &ServeStats,
+    audit: &Option<Arc<AuditLog>>,
+    stream_id: u64,
+) {
+    let mut seq = u64::MAX;
+    for report in &state.running {
+        match report {
+            Some((s, _)) => seq = seq.min(*s),
+            None => return,
+        }
+    }
+    if seq <= state.evaluated_seq {
+        return;
+    }
+    state.evaluated_seq = seq;
+    if state.frames < rule.min_frames {
+        return;
+    }
+    let target = state.running[0].as_ref().map_or("", |(_, t)| t.as_str());
+    let auxiliaries: Vec<String> = state.running[1..]
+        .iter()
+        .map(|r| r.as_ref().map_or(String::new(), |(_, t)| t.clone()))
+        .collect();
+    let scores = system.scores_from_transcripts(target, &auxiliaries);
+    let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+    let collapsed = mean < rule.threshold - rule.margin && system.classify_scores(&scores);
+    state.collapsed = if collapsed { state.collapsed + 1 } else { 0 };
+    if state.collapsed < rule.horizon.max(1) {
+        return;
+    }
+    state.answered = true;
+    stats.stream_early_exits.inc();
+    let verdict = Verdict {
+        is_adversarial: Some(true),
+        kind: VerdictKind::Full,
+        from_cache: false,
+        scores: scores.into_iter().map(Some).collect(),
+        target_transcription: Some(target.to_string()),
+        modalities: Vec::new(),
+        fused: false,
+        early_exit: true,
+        latency: state.opened.elapsed(),
+    };
+    stats.latency.record(verdict.latency);
+    stats.completed.inc();
+    if let Some(audit) = audit {
+        let aux_texts: Vec<Option<String>> = auxiliaries.into_iter().map(Some).collect();
+        let record = verdict_record(stream_id, None, &verdict, &aux_texts, None, 0, &[], 0);
+        let _ = audit.append(&record);
+    }
+    let _ = state.reply.send(verdict);
+}
+
+/// Settles a stream whose every recogniser has flushed: the full
+/// end-of-stream detection — the only place a stream is judged benign.
+/// A stream already answered early only has its state reclaimed here.
+fn finalize_stream(
+    system: &DetectionSystem,
+    stats: &ServeStats,
+    audit: &Option<Arc<AuditLog>>,
+    stream_id: u64,
+    state: StreamState,
+) {
+    stats.streams_completed.inc();
+    if state.answered {
+        return;
+    }
+    let texts: Vec<String> = state.finals.into_iter().map(Option::unwrap_or_default).collect();
+    let (target, auxiliaries) = DetectionSystem::split_transcripts(texts);
+    let detection = system.detect_from_transcripts(target, auxiliaries);
+    let aux_texts: Vec<Option<String>> =
+        detection.auxiliary_transcriptions.iter().cloned().map(Some).collect();
+    let verdict = Verdict {
+        is_adversarial: Some(detection.is_adversarial),
+        kind: VerdictKind::Full,
+        from_cache: false,
+        scores: detection.scores.into_iter().map(Some).collect(),
+        target_transcription: Some(detection.target_transcription),
+        modalities: Vec::new(),
+        fused: false,
+        early_exit: false,
+        latency: state.opened.elapsed(),
+    };
+    stats.latency.record(verdict.latency);
+    stats.completed.inc();
+    if let Some(audit) = audit {
+        let record = verdict_record(stream_id, None, &verdict, &aux_texts, None, 0, &[], 0);
+        let _ = audit.append(&record);
+    }
+    let _ = state.reply.send(verdict);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1059,6 +1509,7 @@ fn finalize(
                     target_transcription: None,
                     modalities: Vec::new(),
                     fused: false,
+                    early_exit: false,
                     latency: Duration::ZERO,
                 },
                 vec![None; n_aux],
@@ -1104,6 +1555,7 @@ fn finalize(
                             target_transcription: Some(detection.target_transcription),
                             modalities,
                             fused,
+                            early_exit: false,
                             latency: Duration::ZERO,
                         },
                         aux_texts,
@@ -1133,6 +1585,7 @@ fn finalize(
                             // an answer the fused classifier cannot use.
                             modalities: Vec::new(),
                             fused: false,
+                            early_exit: false,
                             latency: Duration::ZERO,
                         },
                         aux_texts,
@@ -1227,6 +1680,7 @@ mod tests {
                 },
             ],
             fused: false,
+            early_exit: false,
             latency: Duration::from_micros(1500),
         };
         let line = verdict_record(
@@ -1241,13 +1695,14 @@ mod tests {
         );
         let v = mvp_obs::json::parse(&line).unwrap();
         assert_eq!(v.get("event").unwrap().as_str(), Some("verdict"));
-        assert_eq!(v.get("v").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("v").unwrap().as_f64(), Some(3.0));
         assert_eq!(v.get("request").unwrap().as_f64(), Some(7.0));
         assert_eq!(v.get("kind").unwrap().as_str(), Some("degraded"));
         assert_eq!(v.get("tier").unwrap().as_str(), Some("mean_threshold"));
         assert_eq!(v.get("adversarial").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("threshold").unwrap().as_f64(), Some(0.4));
         assert_eq!(v.get("fused").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("early").unwrap().as_bool(), Some(false));
         let modalities = v.get("modalities").unwrap().as_arr().unwrap();
         assert_eq!(modalities.len(), 2);
         assert_eq!(modalities[0].get("name").unwrap().as_str(), Some("transform"));

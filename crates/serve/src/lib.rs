@@ -26,8 +26,19 @@
 //!   ([`EngineConfig::audit`]) from which each decision can be
 //!   reconstructed offline.
 //!
-//! The [`loadgen`] module drives an engine with deterministic closed- or
-//! open-loop load for benchmarking.
+//! - **chunked ingress** — [`DetectionEngine::submit_stream`] feeds the
+//!   same workers one chunk at a time through a [`StreamHandle`]; with an
+//!   [`EngineConfig::early_exit`] rule the collector can answer
+//!   `Adversarial` before end-of-stream, and with it off the chunked
+//!   verdict is byte-identical to the one-shot one;
+//! - a **shard router** — [`ShardRouter`] runs N engines behind a
+//!   content-hash router (cache affinity per shard) with work-stealing
+//!   when a shard's queue backs up, per-shard metrics, and steal
+//!   counters.
+//!
+//! The [`loadgen`] module drives an engine or router (anything
+//! implementing [`LoadTarget`]) with deterministic closed-loop,
+//! open-loop, or streaming load for benchmarking.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -46,13 +57,15 @@ pub mod cache;
 pub mod degrade;
 pub mod engine;
 pub mod loadgen;
+pub mod router;
 pub mod stats;
 
 pub use cache::{waveform_key, LruCache, TranscriptVec};
 pub use degrade::{DegradePolicy, FallbackTier};
 pub use engine::{
-    DetectionEngine, EngineConfig, ModalityReport, PendingVerdict, SubmitError, Verdict,
-    VerdictKind,
+    DetectionEngine, EngineConfig, ModalityReport, PendingVerdict, StreamHandle, SubmitError,
+    Verdict, VerdictKind,
 };
-pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec, VerdictTally};
+pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec, LoadTarget, VerdictTally};
+pub use router::{RouterConfig, ShardRouter};
 pub use stats::{LatencyHistogram, ServeStats, StatsSnapshot};

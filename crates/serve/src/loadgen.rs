@@ -1,12 +1,16 @@
-//! Deterministic load generation against a [`DetectionEngine`].
+//! Deterministic load generation against a [`DetectionEngine`] or
+//! [`ShardRouter`] (anything implementing [`LoadTarget`]).
 //!
-//! Two disciplines:
+//! Three disciplines:
 //!
 //! - **closed loop**: K submitter threads, each waiting for its verdict
 //!   before submitting again — measures capacity at fixed concurrency;
 //! - **open loop**: requests dispatched on a seeded pre-computed arrival
 //!   schedule regardless of completion — measures behaviour (shedding,
-//!   latency tails) at a fixed offered rate.
+//!   latency tails) at a fixed offered rate;
+//! - **streaming**: K submitter threads feeding fixed-duration chunks
+//!   through [`StreamHandle`]s, stopping a stream the moment an early
+//!   verdict fires — measures early-exit rate and time-to-verdict.
 //!
 //! Which waveform each request carries is fully determined by the spec's
 //! seed: a fraction of requests (`duplicate_frac`) replay an earlier
@@ -24,8 +28,50 @@ use rand::{Rng, SeedableRng};
 
 use mvp_audio::Waveform;
 
-use crate::engine::{DetectionEngine, PendingVerdict, SubmitError, Verdict, VerdictKind};
+use crate::engine::{
+    DetectionEngine, PendingVerdict, StreamHandle, SubmitError, Verdict, VerdictKind,
+};
+use crate::router::ShardRouter;
 use crate::stats::StatsSnapshot;
+
+/// A submit surface the load generator can drive: one engine or a whole
+/// shard router.
+pub trait LoadTarget {
+    /// Submit one waveform (non-blocking; may shed).
+    fn submit_wave(&self, wave: Arc<Waveform>) -> Result<PendingVerdict, SubmitError>;
+    /// Open a chunked-ingress stream.
+    fn open_stream(&self) -> Result<StreamHandle<'_>, SubmitError>;
+    /// Point-in-time metrics (aggregated across shards for a router).
+    fn load_stats(&self) -> StatsSnapshot;
+}
+
+impl LoadTarget for DetectionEngine {
+    fn submit_wave(&self, wave: Arc<Waveform>) -> Result<PendingVerdict, SubmitError> {
+        self.submit(wave)
+    }
+
+    fn open_stream(&self) -> Result<StreamHandle<'_>, SubmitError> {
+        self.submit_stream()
+    }
+
+    fn load_stats(&self) -> StatsSnapshot {
+        self.stats()
+    }
+}
+
+impl LoadTarget for ShardRouter {
+    fn submit_wave(&self, wave: Arc<Waveform>) -> Result<PendingVerdict, SubmitError> {
+        self.submit(wave)
+    }
+
+    fn open_stream(&self) -> Result<StreamHandle<'_>, SubmitError> {
+        self.submit_stream()
+    }
+
+    fn load_stats(&self) -> StatsSnapshot {
+        self.stats()
+    }
+}
 
 /// The load discipline for one run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +89,17 @@ pub enum LoadMode {
         /// Verdict-draining thread count.
         waiters: usize,
     },
+    /// `concurrency` submitters, each feeding one stream at a time in
+    /// `chunk_ms` chunks **paced to real time** (a chunk of audio takes
+    /// its own duration to arrive), cutting the stream short when an
+    /// early verdict fires — so `mean_verdict_audio_frac` measures how
+    /// much of the utterance the detector actually needed.
+    Streaming {
+        /// Number of submitter threads (streams in flight).
+        concurrency: usize,
+        /// Chunk duration in milliseconds of audio.
+        chunk_ms: u64,
+    },
 }
 
 /// One load level to run.
@@ -52,7 +109,7 @@ pub struct LoadSpec {
     pub name: String,
     /// Total requests to offer.
     pub requests: usize,
-    /// Closed or open loop.
+    /// Closed, open, or streaming loop.
     pub mode: LoadMode,
     /// Fraction of requests replaying an earlier waveform (cache food).
     pub duplicate_frac: f64,
@@ -102,6 +159,27 @@ impl VerdictTally {
     }
 }
 
+/// Client-side streaming accounting: how early verdicts arrive.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct StreamTally {
+    streams: u64,
+    early_exits: u64,
+    /// Sum over streams of the audio fraction consumed when the verdict
+    /// became known (1.0 for end-of-stream verdicts).
+    frac_sum: f64,
+    /// Sum of server-side open→verdict latencies (µs).
+    ttv_us_sum: u64,
+}
+
+impl StreamTally {
+    fn merge(&mut self, other: StreamTally) {
+        self.streams += other.streams;
+        self.early_exits += other.early_exits;
+        self.frac_sum += other.frac_sum;
+        self.ttv_us_sum += other.ttv_us_sum;
+    }
+}
+
 /// The outcome of one load level.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -117,6 +195,15 @@ pub struct LoadReport {
     pub throughput_rps: f64,
     /// Client-side verdict tally.
     pub tally: VerdictTally,
+    /// Streamed requests answered before end-of-stream (0 for
+    /// non-streaming modes).
+    pub early_exits: u64,
+    /// Mean fraction of the audio consumed when the verdict became
+    /// known: 1.0 = every verdict waited for end-of-stream; 0 when the
+    /// level ran no streams.
+    pub mean_verdict_audio_frac: f64,
+    /// Mean stream open→verdict latency (µs; 0 when no streams ran).
+    pub mean_time_to_verdict_us: f64,
     /// Engine metrics snapshot at the end of the run.
     pub stats: StatsSnapshot,
 }
@@ -129,6 +216,8 @@ impl LoadReport {
                 "{{\"name\":{:?},\"offered\":{},\"shed\":{},\"wall_secs\":{:.3},",
                 "\"throughput_rps\":{:.2},\"verdicts\":{{\"full\":{},\"cached\":{},",
                 "\"degraded\":{},\"failed\":{},\"flagged_adversarial\":{}}},",
+                "\"early_exits\":{},\"mean_verdict_audio_frac\":{:.4},",
+                "\"mean_time_to_verdict_us\":{:.1},",
                 "\"stats\":{}}}"
             ),
             self.name,
@@ -141,6 +230,9 @@ impl LoadReport {
             self.tally.degraded,
             self.tally.failed,
             self.tally.flagged_adversarial,
+            self.early_exits,
+            self.mean_verdict_audio_frac,
+            self.mean_time_to_verdict_us,
             self.stats.to_json(),
         )
     }
@@ -164,15 +256,27 @@ fn request_schedule(spec: &LoadSpec, corpus_len: usize) -> Vec<usize> {
     schedule
 }
 
-/// Runs one load level and reports. The engine should be freshly started
+/// Runs one load level and reports. The target should be freshly started
 /// so the embedded stats snapshot covers exactly this run.
-pub fn run_load(engine: &DetectionEngine, corpus: &[Arc<Waveform>], spec: &LoadSpec) -> LoadReport {
+pub fn run_load<T: LoadTarget + Sync + ?Sized>(
+    target: &T,
+    corpus: &[Arc<Waveform>],
+    spec: &LoadSpec,
+) -> LoadReport {
     let schedule = request_schedule(spec, corpus.len());
     let started = Instant::now();
-    let (tally, shed) = match spec.mode {
-        LoadMode::Closed { concurrency } => run_closed(engine, corpus, &schedule, concurrency),
+    let (tally, shed, streamed) = match spec.mode {
+        LoadMode::Closed { concurrency } => {
+            let (tally, shed) = run_closed(target, corpus, &schedule, concurrency);
+            (tally, shed, StreamTally::default())
+        }
         LoadMode::Open { rate_hz, waiters } => {
-            run_open(engine, corpus, &schedule, spec.seed, rate_hz, waiters)
+            let (tally, shed) = run_open(target, corpus, &schedule, spec.seed, rate_hz, waiters);
+            (tally, shed, StreamTally::default())
+        }
+        LoadMode::Streaming { concurrency, chunk_ms } => {
+            let (tally, streamed) = run_streaming(target, corpus, &schedule, concurrency, chunk_ms);
+            (tally, 0, streamed)
         }
     };
     let wall = started.elapsed();
@@ -183,12 +287,23 @@ pub fn run_load(engine: &DetectionEngine, corpus: &[Arc<Waveform>], spec: &LoadS
         wall,
         throughput_rps: tally.total() as f64 / wall.as_secs_f64().max(1e-9),
         tally,
-        stats: engine.stats(),
+        early_exits: streamed.early_exits,
+        mean_verdict_audio_frac: if streamed.streams == 0 {
+            0.0
+        } else {
+            streamed.frac_sum / streamed.streams as f64
+        },
+        mean_time_to_verdict_us: if streamed.streams == 0 {
+            0.0
+        } else {
+            streamed.ttv_us_sum as f64 / streamed.streams as f64
+        },
+        stats: target.load_stats(),
     }
 }
 
-fn run_closed(
-    engine: &DetectionEngine,
+fn run_closed<T: LoadTarget + Sync + ?Sized>(
+    target: &T,
     corpus: &[Arc<Waveform>],
     schedule: &[usize],
     concurrency: usize,
@@ -204,7 +319,7 @@ fn run_closed(
                     // deterministic regardless of thread interleaving.
                     for &corpus_idx in schedule.iter().skip(worker).step_by(concurrency) {
                         loop {
-                            match engine.submit(Arc::clone(&corpus[corpus_idx])) {
+                            match target.submit_wave(Arc::clone(&corpus[corpus_idx])) {
                                 Ok(pending) => {
                                     local.absorb(&pending.wait());
                                     break;
@@ -230,8 +345,8 @@ fn run_closed(
     (tally, 0)
 }
 
-fn run_open(
-    engine: &DetectionEngine,
+fn run_open<T: LoadTarget + Sync + ?Sized>(
+    target: &T,
     corpus: &[Arc<Waveform>],
     schedule: &[usize],
     seed: u64,
@@ -252,7 +367,10 @@ fn run_open(
         offsets.push(t);
     }
 
-    let (pending_tx, pending_rx) = channel::unbounded::<PendingVerdict>();
+    // Bounded at the schedule length: at most one pending ticket per
+    // offered request ever sits in the channel, so the dispatcher can
+    // never block on it (channel-discipline).
+    let (pending_tx, pending_rx) = channel::bounded::<PendingVerdict>(schedule.len().max(1));
     let mut tally = VerdictTally::default();
     let mut shed = 0u64;
     std::thread::scope(|scope| {
@@ -276,7 +394,7 @@ fn run_open(
             if let Some(sleep) = due.checked_duration_since(Instant::now()) {
                 std::thread::sleep(sleep);
             }
-            match engine.submit(Arc::clone(&corpus[corpus_idx])) {
+            match target.submit_wave(Arc::clone(&corpus[corpus_idx])) {
                 Ok(pending) => {
                     let _ = pending_tx.send(pending);
                 }
@@ -290,6 +408,94 @@ fn run_open(
         }
     });
     (tally, shed)
+}
+
+fn run_streaming<T: LoadTarget + Sync + ?Sized>(
+    target: &T,
+    corpus: &[Arc<Waveform>],
+    schedule: &[usize],
+    concurrency: usize,
+    chunk_ms: u64,
+) -> (VerdictTally, StreamTally) {
+    let concurrency = concurrency.max(1);
+    let chunk_ms = chunk_ms.max(1);
+    let mut tally = VerdictTally::default();
+    let mut streamed = StreamTally::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut local = VerdictTally::default();
+                    let mut local_stream = StreamTally::default();
+                    for &corpus_idx in schedule.iter().skip(worker).step_by(concurrency) {
+                        let wave = &corpus[corpus_idx];
+                        let chunk =
+                            ((u64::from(wave.sample_rate()) * chunk_ms / 1000).max(1)) as usize;
+                        let mut handle = match target.open_stream() {
+                            Ok(handle) => handle,
+                            Err(_) => return (local, local_stream),
+                        };
+                        let samples = wave.samples();
+                        let n_chunks = samples.chunks(chunk).len();
+                        let chunk_dur = Duration::from_millis(chunk_ms);
+                        let opened = Instant::now();
+                        let mut consumed = 0usize;
+                        let mut early = false;
+                        for (ci, c) in samples.chunks(chunk).enumerate() {
+                            if handle.push(c).is_err() {
+                                break;
+                            }
+                            consumed += c.len();
+                            if ci + 1 == n_chunks {
+                                break;
+                            }
+                            // Pace to real time: the next chunk only
+                            // exists after its audio has elapsed. Poll
+                            // for an early verdict while waiting.
+                            let due = opened + chunk_dur * (ci as u32 + 1);
+                            loop {
+                                if handle.try_verdict().is_some() {
+                                    // The verdict is settled: stop paying
+                                    // for audio the detector no longer
+                                    // needs.
+                                    early = true;
+                                    break;
+                                }
+                                let now = Instant::now();
+                                if now >= due {
+                                    break;
+                                }
+                                std::thread::sleep((due - now).min(Duration::from_millis(2)));
+                            }
+                            if early {
+                                break;
+                            }
+                        }
+                        let verdict = match handle.finish() {
+                            Ok(verdict) => verdict,
+                            Err(_) => return (local, local_stream),
+                        };
+                        local.absorb(&verdict);
+                        local_stream.streams += 1;
+                        if verdict.early_exit {
+                            local_stream.early_exits += 1;
+                        }
+                        local_stream.frac_sum +=
+                            if early { consumed as f64 / samples.len().max(1) as f64 } else { 1.0 };
+                        local_stream.ttv_us_sum +=
+                            verdict.latency.as_micros().min(u128::from(u64::MAX)) as u64;
+                    }
+                    (local, local_stream)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, local_stream) = handle.join().expect("streaming worker panicked");
+            tally.merge(local);
+            streamed.merge(local_stream);
+        }
+    });
+    (tally, streamed)
 }
 
 #[cfg(test)]
@@ -328,5 +534,25 @@ mod tests {
         // distinct waveforms appear.
         let distinct: std::collections::HashSet<_> = s.iter().collect();
         assert!(distinct.len() < 80, "distinct {}", distinct.len());
+    }
+
+    #[test]
+    fn streaming_report_fields_default_to_zero_for_request_modes() {
+        let report = LoadReport {
+            name: "x".into(),
+            offered: 0,
+            shed: 0,
+            wall: Duration::ZERO,
+            throughput_rps: 0.0,
+            tally: VerdictTally::default(),
+            early_exits: 0,
+            mean_verdict_audio_frac: 0.0,
+            mean_time_to_verdict_us: 0.0,
+            stats: StatsSnapshot::default(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"early_exits\":0"));
+        assert!(json.contains("\"mean_verdict_audio_frac\":0.0000"));
+        assert!(json.contains("\"mean_time_to_verdict_us\":0.0"));
     }
 }

@@ -49,6 +49,15 @@ pub struct ServeStats {
     pub modality_budget_missed: Counter,
     /// Requests answered by the fused similarity + modality classifier.
     pub fused_verdicts: Counter,
+    /// Chunked-ingress streams opened.
+    pub streams_opened: Counter,
+    /// Stream chunks pushed across all streams.
+    pub stream_chunks: Counter,
+    /// Streams answered early by the early-exit rule.
+    pub stream_early_exits: Counter,
+    /// Streams fully finished (every recogniser flushed), whether the
+    /// verdict was early or settled at end-of-stream.
+    pub streams_completed: Counter,
     /// End-to-end latency of answered requests.
     pub latency: Histogram,
 }
@@ -84,6 +93,15 @@ impl ServeStats {
             ),
             fused_verdicts: registry
                 .counter("serve_fused_verdicts_total", "requests answered by the fused classifier"),
+            streams_opened: registry
+                .counter("serve_streams_opened_total", "chunked-ingress streams opened"),
+            stream_chunks: registry.counter("serve_stream_chunks_total", "stream chunks pushed"),
+            stream_early_exits: registry.counter(
+                "serve_stream_early_exits_total",
+                "streams answered early by the early-exit rule",
+            ),
+            streams_completed: registry
+                .counter("serve_streams_completed_total", "streams fully finished"),
             latency: registry
                 .histogram("serve_latency_micros", "end-to-end request latency in microseconds"),
             registry,
@@ -123,6 +141,10 @@ impl ServeStats {
             modality_scored: self.modality_scored.get(),
             modality_budget_missed: self.modality_budget_missed.get(),
             fused_verdicts: self.fused_verdicts.get(),
+            streams_opened: self.streams_opened.get(),
+            stream_chunks: self.stream_chunks.get(),
+            stream_early_exits: self.stream_early_exits.get(),
+            streams_completed: self.streams_completed.get(),
             latency_mean_micros: self.latency.mean_micros(),
             latency_p50_micros: self.latency.quantile_micros(0.50),
             latency_p95_micros: self.latency.quantile_micros(0.95),
@@ -139,7 +161,7 @@ impl Default for ServeStats {
 }
 
 /// A point-in-time copy of the engine metrics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// Requests accepted into the ingress queue.
     pub submitted: u64,
@@ -169,6 +191,14 @@ pub struct StatsSnapshot {
     pub modality_budget_missed: u64,
     /// Requests answered by the fused classifier.
     pub fused_verdicts: u64,
+    /// Chunked-ingress streams opened.
+    pub streams_opened: u64,
+    /// Stream chunks pushed.
+    pub stream_chunks: u64,
+    /// Streams answered early by the early-exit rule.
+    pub stream_early_exits: u64,
+    /// Streams fully finished.
+    pub streams_completed: u64,
     /// Mean end-to-end latency (µs).
     pub latency_mean_micros: f64,
     /// Median end-to-end latency (µs, bucket upper edge).
@@ -191,6 +221,51 @@ impl StatsSnapshot {
         }
     }
 
+    /// Merges per-shard snapshots into one aggregate view. Counters and
+    /// gauges sum; `mean_batch_size` and `latency_mean_micros` are
+    /// weighted means (by batches and completed requests respectively);
+    /// latency quantiles and max take the worst shard — exact histogram
+    /// merging would need the raw buckets, and a cross-shard p99 is
+    /// upper-bounded by the worst per-shard p99, which is the
+    /// conservative number an operator wants anyway.
+    pub fn merged(shards: &[StatsSnapshot]) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        let mut batch_requests = 0.0f64;
+        let mut latency_sum = 0.0f64;
+        for s in shards {
+            out.submitted += s.submitted;
+            out.shed += s.shed;
+            out.completed += s.completed;
+            out.degraded += s.degraded;
+            out.deadline_failures += s.deadline_failures;
+            out.cache_lookups += s.cache_lookups;
+            out.cache_hits += s.cache_hits;
+            out.cache_poison_recovered += s.cache_poison_recovered;
+            out.queue_depth += s.queue_depth;
+            out.batches += s.batches;
+            batch_requests += s.mean_batch_size * s.batches as f64;
+            out.modality_scored += s.modality_scored;
+            out.modality_budget_missed += s.modality_budget_missed;
+            out.fused_verdicts += s.fused_verdicts;
+            out.streams_opened += s.streams_opened;
+            out.stream_chunks += s.stream_chunks;
+            out.stream_early_exits += s.stream_early_exits;
+            out.streams_completed += s.streams_completed;
+            latency_sum += s.latency_mean_micros * s.completed as f64;
+            out.latency_p50_micros = out.latency_p50_micros.max(s.latency_p50_micros);
+            out.latency_p95_micros = out.latency_p95_micros.max(s.latency_p95_micros);
+            out.latency_p99_micros = out.latency_p99_micros.max(s.latency_p99_micros);
+            out.latency_max_micros = out.latency_max_micros.max(s.latency_max_micros);
+        }
+        if out.batches > 0 {
+            out.mean_batch_size = batch_requests / out.batches as f64;
+        }
+        if out.completed > 0 {
+            out.latency_mean_micros = latency_sum / out.completed as f64;
+        }
+        out
+    }
+
     /// Renders the snapshot as a JSON object (the repo has no serde; the
     /// field set is flat, so hand-rolling is trivial and dependency-free).
     pub fn to_json(&self) -> String {
@@ -202,6 +277,8 @@ impl StatsSnapshot {
                 "\"queue_depth\":{},\"batches\":{},",
                 "\"mean_batch_size\":{:.3},\"modality_scored\":{},",
                 "\"modality_budget_missed\":{},\"fused_verdicts\":{},",
+                "\"streams_opened\":{},\"stream_chunks\":{},",
+                "\"stream_early_exits\":{},\"streams_completed\":{},",
                 "\"latency_mean_us\":{:.1},",
                 "\"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_p99_us\":{},",
                 "\"latency_max_us\":{}}}"
@@ -221,6 +298,10 @@ impl StatsSnapshot {
             self.modality_scored,
             self.modality_budget_missed,
             self.fused_verdicts,
+            self.streams_opened,
+            self.stream_chunks,
+            self.stream_early_exits,
+            self.streams_completed,
             self.latency_mean_micros,
             self.latency_p50_micros,
             self.latency_p95_micros,
@@ -303,6 +384,37 @@ mod tests {
     }
 
     #[test]
+    fn merged_sums_counters_and_takes_worst_tails() {
+        let a = ServeStats::new();
+        a.submitted.add(4);
+        a.completed.add(4);
+        a.cache_lookups.add(4);
+        a.cache_hits.add(2);
+        a.streams_opened.add(1);
+        a.latency.record(Duration::from_micros(100));
+        let b = ServeStats::new();
+        b.submitted.add(6);
+        b.completed.add(2);
+        b.cache_lookups.add(2);
+        b.stream_early_exits.inc();
+        b.latency.record(Duration::from_micros(900));
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let m = StatsSnapshot::merged(&[sa.clone(), sb.clone()]);
+        assert_eq!(m.submitted, 10);
+        assert_eq!(m.completed, 6);
+        assert_eq!(m.cache_lookups, 6);
+        assert_eq!(m.cache_hits, 2);
+        assert_eq!(m.streams_opened, 1);
+        assert_eq!(m.stream_early_exits, 1);
+        assert_eq!(m.latency_max_micros, sa.latency_max_micros.max(sb.latency_max_micros));
+        assert!(m.latency_p99_micros >= sa.latency_p99_micros.max(sb.latency_p99_micros));
+        // Weighted mean lands between the two shard means.
+        assert!(m.latency_mean_micros > sa.latency_mean_micros);
+        assert!(m.latency_mean_micros < sb.latency_mean_micros);
+        assert_eq!(StatsSnapshot::merged(&[]), StatsSnapshot::default());
+    }
+
+    #[test]
     fn registry_names_cover_every_snapshot_field() {
         let s = ServeStats::new();
         let names = s.registry().names();
@@ -321,6 +433,10 @@ mod tests {
             "serve_modality_scored_total",
             "serve_modality_budget_missed_total",
             "serve_fused_verdicts_total",
+            "serve_streams_opened_total",
+            "serve_stream_chunks_total",
+            "serve_stream_early_exits_total",
+            "serve_streams_completed_total",
             "serve_latency_micros",
         ] {
             assert!(names.iter().any(|n| n == required), "missing metric {required}");

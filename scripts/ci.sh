@@ -50,3 +50,13 @@ cargo run --release -q -p mvp-bench --bin modality_smoke
 # end-to-end tiny-scale transcription on the vectorized path must not
 # lose to the scalar fallback (exit status is the gate).
 cargo run --release -q -p mvp-bench --bin kernel_smoke
+
+# Streaming/sharding smoke: a 4-shard router must beat a single engine
+# by >= 1.5x at tiny scale (cache affinity, not cores), and a forced
+# chunked run must reproduce the one-shot verdict exactly (exit status
+# is the gate).
+cargo run --release -q -p mvp-bench --bin shard_smoke
+
+# Collate whatever BENCH_*.json artifacts exist into one trajectory
+# table (informational; never fails the gate on missing artifacts).
+scripts/bench_summary.sh
