@@ -78,6 +78,15 @@ impl Encoder {
         }
     }
 
+    /// Appends a length-prefixed `i8` slice (quantized tensors), one
+    /// two's-complement byte per element.
+    pub fn put_i8s(&mut self, v: &[i8]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
     /// Appends a length-prefixed slice of `usize`s (stored as `u64`).
     pub fn put_usizes(&mut self, v: &[usize]) {
         self.put_usize(v.len());
@@ -187,6 +196,14 @@ impl<'a> Decoder<'a> {
         (0..n).map(|_| self.f64()).collect()
     }
 
+    /// Reads a length-prefixed `i8` vector written by
+    /// [`Encoder::put_i8s`].
+    pub fn i8s(&mut self) -> Result<Vec<i8>, ArtifactError> {
+        let n = self.checked_len(1)?;
+        let bytes = self.take(n)?;
+        Ok(bytes.iter().map(|&b| i8::from_le_bytes([b])).collect())
+    }
+
     /// Reads a length-prefixed `usize` vector.
     pub fn usizes(&mut self) -> Result<Vec<usize>, ArtifactError> {
         let n = self.checked_len(8)?;
@@ -242,6 +259,7 @@ mod tests {
         enc.put_f64(-0.0);
         enc.put_str("open the door");
         enc.put_f64s(&[1.0, f64::NAN, f64::NEG_INFINITY]);
+        enc.put_i8s(&[i8::MIN, -1, 0, 1, i8::MAX]);
         enc.put_usizes(&[0, 42]);
         let mut dec = Decoder::new(enc.as_bytes());
         assert_eq!(dec.u8().unwrap(), 7);
@@ -254,6 +272,7 @@ mod tests {
         let v = dec.f64s().unwrap();
         assert_eq!(v.len(), 3);
         assert!(v[1].is_nan());
+        assert_eq!(dec.i8s().unwrap(), vec![i8::MIN, -1, 0, 1, i8::MAX]);
         assert_eq!(dec.usizes().unwrap(), vec![0, 42]);
         dec.finish().unwrap();
     }

@@ -53,6 +53,8 @@ impl ArtifactKind {
     pub const ONE_CLASS_SCORER: ArtifactKind = ArtifactKind(14);
     /// Similarity + modality fusion classifier (`mvp_ears::FusedClassifier`).
     pub const FUSED_CLASSIFIER: ArtifactKind = ArtifactKind(15);
+    /// Int8-quantized ASR pipeline (`mvp_asr::QuantizedAsr`).
+    pub const QUANTIZED_ASR: ArtifactKind = ArtifactKind(16);
 
     /// A kind with an explicit tag (downstream/experimental artifacts
     /// should use tags `>= 0x7000` to stay clear of the registry).

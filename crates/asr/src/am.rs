@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 use mvp_artifact::{ArtifactError, ArtifactKind, Decoder as FieldDecoder, Encoder, Persist};
 use mvp_dsp::kernel;
 use mvp_dsp::mfcc::FeatureMatrix;
+use mvp_ml::quant::{Calibration, InputQuantizer, QuantizedMatrix};
 use mvp_phonetics::Phoneme;
 
 /// Per-dimension standardisation fitted on training data.
@@ -140,6 +141,12 @@ pub struct AmScratch {
     xs: FeatureMatrix,
     /// Hidden activations for the batch GEMM path.
     hid_m: FeatureMatrix,
+    /// Quantized input rows for the int8 path.
+    qx: Vec<i8>,
+    /// Quantized hidden activations for the int8 path.
+    qh: Vec<i8>,
+    /// i32 GEMM accumulators for the int8 path.
+    acc: Vec<i32>,
 }
 
 /// The acoustic model: `logits = W2·relu(W1·scale(x) + b1) + b2`.
@@ -428,6 +435,220 @@ impl AcousticModel {
     }
 }
 
+/// An int8 precision variant of [`AcousticModel`]: the same scaler and
+/// biases, but both weight matrices quantized to symmetric i8 codes and
+/// both layer inputs quantized through calibrated per-layer scales.
+///
+/// The forward pass mirrors [`AcousticModel::logit_matrix_into`] with
+/// the two f64 GEMMs swapped for [`kernel::gemm_nt_i8`]: quantize the
+/// scaled inputs, accumulate raw i8 products in i32, then dequantize
+/// with one multiply per output (`acc · w_scale · in_scale`) before the
+/// bias and ReLU run in f64 as usual. Quantization noise makes this a
+/// *cheap ensemble member* in the PVP sense — its decision boundaries
+/// differ from the f64 model's in exactly the way precision diversity
+/// predicts, while transcripts on benign audio stay overwhelmingly in
+/// agreement.
+///
+/// Only the forward path exists in int8; attack gradients always flow
+/// through the f64 weights of the model this one was quantized from.
+#[derive(Debug, Clone)]
+pub struct QuantizedAcousticModel {
+    /// Row-major `[hidden × dim]` i8 codes with per-row scales.
+    w1: QuantizedMatrix,
+    b1: Vec<f64>,
+    /// Row-major `[N_CLASSES × hidden]` i8 codes with per-row scales.
+    w2: QuantizedMatrix,
+    b2: Vec<f64>,
+    /// Calibrated scale for the standardised input features.
+    in_q: InputQuantizer,
+    /// Calibrated scale for the ReLU hidden activations.
+    hid_q: InputQuantizer,
+    scaler: FeatureScaler,
+    dim: usize,
+    hidden: usize,
+}
+
+impl QuantizedAcousticModel {
+    /// Quantizes `am` post-training, calibrating both activation scales
+    /// on `calibration` (benign feature rows).
+    ///
+    /// The hidden-layer scale is calibrated on the activations the
+    /// *quantized* first layer produces — not the f64 model's — so the
+    /// runtime distribution is exactly the calibrated one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty, has the wrong dimensionality,
+    /// or yields no finite activations.
+    pub fn quantize(am: &AcousticModel, calibration: &FeatureMatrix) -> QuantizedAcousticModel {
+        assert!(!calibration.is_empty(), "cannot calibrate on an empty sample");
+        assert_eq!(calibration.dim(), am.dim, "calibration dimension mismatch");
+        let w1 = QuantizedMatrix::quantize(&am.w1, am.hidden, am.dim);
+        let w2 = QuantizedMatrix::quantize(&am.w2, N_CLASSES, am.hidden);
+
+        let mut x = vec![0.0; am.dim];
+        let mut cal_in = Calibration::new();
+        for row in calibration.rows() {
+            am.scaler.transform_into(row, &mut x);
+            cal_in.observe(&x);
+        }
+        let in_q = cal_in.input_quantizer();
+
+        let mut cal_hid = Calibration::new();
+        let mut qx = Vec::new();
+        let mut acc = vec![0i32; am.hidden];
+        let mut hid = vec![0.0; am.hidden];
+        for row in calibration.rows() {
+            am.scaler.transform_into(row, &mut x);
+            in_q.quantize_into(&x, &mut qx);
+            kernel::gemm_nt_i8(&qx, 1, w1.data(), am.hidden, am.dim, &mut acc);
+            for ((h, &a), (&s, &b)) in hid.iter_mut().zip(&acc).zip(w1.scales().iter().zip(&am.b1))
+            {
+                *h = (f64::from(a) * s * in_q.scale() + b).max(0.0);
+            }
+            cal_hid.observe(&hid);
+        }
+        let hid_q = cal_hid.input_quantizer();
+
+        QuantizedAcousticModel {
+            w1,
+            b1: am.b1.clone(),
+            w2,
+            b2: am.b2.clone(),
+            in_q,
+            hid_q,
+            scaler: am.scaler.clone(),
+            dim: am.dim,
+            hidden: am.hidden,
+        }
+    }
+
+    /// Input feature dimensionality (before standardisation).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Logits for one raw feature row (convenience; the hot path is
+    /// [`logit_matrix_into`](Self::logit_matrix_into)).
+    pub fn logits(&self, row: &[f64]) -> Vec<f64> {
+        let mut feats = FeatureMatrix::zeros(0, row.len());
+        feats.push_row(row);
+        let mut out = FeatureMatrix::default();
+        self.logit_matrix_into(&feats, &mut AmScratch::default(), &mut out);
+        out.row(0).to_vec()
+    }
+
+    /// Int8 counterpart of [`AcousticModel::logit_matrix_into`]: fills
+    /// `out` with per-frame logits, reusing `scratch` across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feats.dim() != self.dim()` (for a non-empty matrix).
+    pub fn logit_matrix_into(
+        &self,
+        feats: &FeatureMatrix,
+        scratch: &mut AmScratch,
+        out: &mut FeatureMatrix,
+    ) {
+        let n = feats.n_frames();
+        out.reset(n, N_CLASSES);
+        if n == 0 {
+            return;
+        }
+        assert_eq!(feats.dim(), self.dim, "feature dimension mismatch");
+        scratch.xs.reset(n, self.dim);
+        for (t, row) in feats.rows().enumerate() {
+            self.scaler.transform_into(row, scratch.xs.row_mut(t));
+        }
+        self.in_q.quantize_into(scratch.xs.as_slice(), &mut scratch.qx);
+        scratch.acc.clear();
+        scratch.acc.resize(n * self.hidden, 0);
+        kernel::gemm_nt_i8(&scratch.qx, n, self.w1.data(), self.hidden, self.dim, &mut scratch.acc);
+        scratch.hid_m.reset(n, self.hidden);
+        let d1 = self.in_q.scale();
+        for t in 0..n {
+            let acc_row = &scratch.acc[t * self.hidden..(t + 1) * self.hidden];
+            for ((h, &a), (&s, &b)) in scratch
+                .hid_m
+                .row_mut(t)
+                .iter_mut()
+                .zip(acc_row)
+                .zip(self.w1.scales().iter().zip(&self.b1))
+            {
+                *h = (f64::from(a) * s * d1 + b).max(0.0);
+            }
+        }
+        self.hid_q.quantize_into(scratch.hid_m.as_slice(), &mut scratch.qh);
+        scratch.acc.clear();
+        scratch.acc.resize(n * N_CLASSES, 0);
+        kernel::gemm_nt_i8(
+            &scratch.qh,
+            n,
+            self.w2.data(),
+            N_CLASSES,
+            self.hidden,
+            &mut scratch.acc,
+        );
+        let d2 = self.hid_q.scale();
+        for t in 0..n {
+            let acc_row = &scratch.acc[t * N_CLASSES..(t + 1) * N_CLASSES];
+            for ((o, &a), (&s, &b)) in
+                out.row_mut(t).iter_mut().zip(acc_row).zip(self.w2.scales().iter().zip(&self.b2))
+            {
+                *o = f64::from(a) * s * d2 + b;
+            }
+        }
+    }
+
+    /// Appends the model to an artifact payload (nested inside the
+    /// quantized-pipeline artifact, like the config records).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.dim);
+        enc.put_usize(self.hidden);
+        self.w1.encode(enc);
+        enc.put_f64s(&self.b1);
+        self.w2.encode(enc);
+        enc.put_f64s(&self.b2);
+        self.in_q.encode(enc);
+        self.hid_q.encode(enc);
+        self.scaler.encode(enc);
+    }
+
+    /// Reads a model written by [`encode`](Self::encode), refusing any
+    /// internally inconsistent shape.
+    pub fn decode(dec: &mut FieldDecoder<'_>) -> Result<QuantizedAcousticModel, ArtifactError> {
+        let dim = dec.usize()?;
+        let hidden = dec.usize()?;
+        let w1 = QuantizedMatrix::decode(dec)?;
+        let b1 = dec.f64s()?;
+        let w2 = QuantizedMatrix::decode(dec)?;
+        let b2 = dec.f64s()?;
+        let in_q = InputQuantizer::decode(dec)?;
+        let hid_q = InputQuantizer::decode(dec)?;
+        let scaler = FeatureScaler::decode(dec)?;
+        let shape_ok = hidden > 0
+            && w1.n_rows() == hidden
+            && w1.n_cols() == dim
+            && b1.len() == hidden
+            && w2.n_rows() == N_CLASSES
+            && w2.n_cols() == hidden
+            && b2.len() == N_CLASSES
+            && scaler.dim() == dim;
+        if !shape_ok {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "quantized acoustic model shapes inconsistent with dim {dim}, \
+                 hidden {hidden}, {N_CLASSES} classes"
+            )));
+        }
+        Ok(QuantizedAcousticModel { w1, b1, w2, b2, in_q, hid_q, scaler, dim, hidden })
+    }
+}
+
 impl Persist for FeatureScaler {
     const KIND: ArtifactKind = ArtifactKind::FEATURE_SCALER;
     const SCHEMA_VERSION: u16 = 1;
@@ -514,13 +735,11 @@ pub fn softmax_into(logits: &[f64], out: &mut [f64]) {
     }
 }
 
-/// Index of the largest element.
+/// Index of the largest element. `total_cmp` keeps a NaN logit from
+/// panicking mid-decode (it ranks above every finite value and wins,
+/// which downstream decoding treats like any other class choice).
 pub fn argmax(v: &[f64]) -> usize {
-    v.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
-        .map(|(i, _)| i)
-        .expect("empty logits")
+    v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).expect("empty logits")
 }
 
 #[cfg(test)]
@@ -689,6 +908,70 @@ mod tests {
         .unwrap();
         assert!(matches!(
             AcousticModel::read_from(&bytes[..]),
+            Err(ArtifactError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_model_agrees_with_f64_on_most_frames() {
+        let (feats, labels) = toy_data(60, 3);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let qam = QuantizedAcousticModel::quantize(&am, &feats);
+        assert_eq!(qam.dim(), am.dim());
+        assert_eq!(qam.hidden(), am.hidden());
+        let mut scratch = AmScratch::default();
+        let mut q_logits = FeatureMatrix::default();
+        qam.logit_matrix_into(&feats, &mut scratch, &mut q_logits);
+        let f_logits = am.logit_matrix(&feats);
+        let agree = (0..feats.n_frames())
+            .filter(|&t| argmax(q_logits.row(t)) == argmax(f_logits.row(t)))
+            .count();
+        let rate = agree as f64 / feats.n_frames() as f64;
+        assert!(rate > 0.95, "int8/f64 frame agreement {rate}");
+    }
+
+    #[test]
+    fn quantized_batch_path_matches_per_row() {
+        let (feats, labels) = toy_data(15, 5);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let qam = QuantizedAcousticModel::quantize(&am, &feats);
+        let mut scratch = AmScratch::default();
+        let mut batch = FeatureMatrix::default();
+        qam.logit_matrix_into(&feats, &mut scratch, &mut batch);
+        for t in 0..feats.n_frames() {
+            assert_eq!(batch.row(t), qam.logits(feats.row(t)).as_slice(), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn quantized_model_codec_round_trips_bit_exactly() {
+        let (feats, labels) = toy_data(15, 7);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let qam = QuantizedAcousticModel::quantize(&am, &feats);
+        let mut enc = Encoder::new();
+        qam.encode(&mut enc);
+        let mut dec = FieldDecoder::new(enc.as_bytes());
+        let back = QuantizedAcousticModel::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        for t in 0..feats.n_frames() {
+            assert_eq!(back.logits(feats.row(t)), qam.logits(feats.row(t)));
+        }
+    }
+
+    #[test]
+    fn quantized_model_decode_refuses_inconsistent_shapes() {
+        let (feats, labels) = toy_data(10, 7);
+        let am = AcousticModel::train(&feats, &labels, &TrainConfig::default());
+        let qam = QuantizedAcousticModel::quantize(&am, &feats);
+        let mut enc = Encoder::new();
+        qam.encode(&mut enc);
+        // Lie about the hidden width (second u64 of the record): every
+        // dependent shape check must now fail loudly, not misindex.
+        let mut payload = enc.as_bytes().to_vec();
+        payload[8..16].copy_from_slice(&(qam.hidden() as u64 + 1).to_le_bytes());
+        let mut dec = FieldDecoder::new(&payload);
+        assert!(matches!(
+            QuantizedAcousticModel::decode(&mut dec),
             Err(ArtifactError::SchemaMismatch(_))
         ));
     }

@@ -44,10 +44,11 @@ pub mod persist;
 pub mod profile;
 pub mod recognizer;
 
-pub use am::{AcousticModel, AmScratch};
+pub use am::{AcousticModel, AmScratch, QuantizedAcousticModel};
 pub use ctc::{ctc_loss_and_grad, greedy_phonemes, RunAccumulator};
 pub use decoder::{Decoder, DecoderConfig};
 pub use features::{FeatureFrontEnd, FrontEndConfig, FrontEndScratch, FrontEndStream};
 pub use lm::BigramLm;
-pub use profile::{AsrProfile, MODEL_DIR_ENV};
+pub use persist::QuantizedAsr;
+pub use profile::{AsrProfile, PrecisionVariant, MODEL_DIR_ENV};
 pub use recognizer::{Asr, AsrScratch, AsrStream, TrainedAsr};

@@ -16,7 +16,7 @@ use mvp_dsp::mfcc::MfccConfig;
 use mvp_dsp::Window;
 use mvp_phonetics::Lexicon;
 
-use crate::am::AcousticModel;
+use crate::am::{AcousticModel, QuantizedAcousticModel};
 use crate::decoder::{Decoder, DecoderConfig};
 use crate::features::{FeatureFrontEnd, FrontEndConfig};
 use crate::lm::BigramLm;
@@ -142,6 +142,64 @@ impl Persist for TrainedAsr {
     }
 }
 
+/// A persistable int8 pipeline: a [`TrainedAsr`] that is guaranteed to
+/// carry a precision variant.
+///
+/// Kept as its *own* artifact kind rather than a `TrainedAsr` schema
+/// bump: existing f64 model artifacts on disk stay valid, and a
+/// quantized checkpoint can never be confused for a full-precision one
+/// at load time.
+#[derive(Debug, Clone)]
+pub struct QuantizedAsr(TrainedAsr);
+
+impl QuantizedAsr {
+    /// Wraps a quantized pipeline for persistence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asr` carries no precision variant — persisting a plain
+    /// f64 pipeline under the quantized kind would lie to every loader.
+    pub fn new(asr: TrainedAsr) -> QuantizedAsr {
+        assert!(asr.quantized_model().is_some(), "pipeline has no quantized acoustic model");
+        QuantizedAsr(asr)
+    }
+
+    /// The wrapped pipeline.
+    pub fn as_asr(&self) -> &TrainedAsr {
+        &self.0
+    }
+
+    /// Unwraps into the pipeline.
+    pub fn into_asr(self) -> TrainedAsr {
+        self.0
+    }
+}
+
+impl Persist for QuantizedAsr {
+    const KIND: ArtifactKind = ArtifactKind::QUANTIZED_ASR;
+    const SCHEMA_VERSION: u16 = 1;
+
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.0.quantized_model().expect("checked at construction").encode(enc);
+    }
+
+    fn decode(dec: &mut FieldDecoder<'_>) -> Result<Self, ArtifactError> {
+        let base = TrainedAsr::decode(dec)?;
+        let qam = QuantizedAcousticModel::decode(dec)?;
+        if qam.dim() != base.frontend().dim() || qam.hidden() != base.acoustic_model().hidden() {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "quantized model {}x{} does not match pipeline {}x{}",
+                qam.dim(),
+                qam.hidden(),
+                base.frontend().dim(),
+                base.acoustic_model().hidden()
+            )));
+        }
+        Ok(QuantizedAsr(base.with_quantized(qam)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +234,58 @@ mod tests {
         let mut dec = FieldDecoder::new(enc.as_bytes());
         assert_eq!(DecoderConfig::decode(&mut dec).unwrap(), cfg);
         dec.finish().unwrap();
+    }
+
+    fn quantized_kaldi() -> QuantizedAsr {
+        use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+
+        let asr = crate::profile::AsrProfile::Kaldi.trained();
+        let synth = Synthesizer::new(16_000);
+        let lex = Lexicon::builtin();
+        let waves: Vec<_> = ["open the door", "good morning"]
+            .iter()
+            .map(|t| synth.synthesize(&lex, t, &SpeakerProfile::default()).0)
+            .collect();
+        let refs: Vec<_> = waves.iter().collect();
+        QuantizedAsr::new(asr.quantize(&refs))
+    }
+
+    #[test]
+    fn quantized_pipeline_round_trips_with_identical_transcripts() {
+        use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+
+        let quantized = quantized_kaldi();
+        assert_eq!(quantized.as_asr().name(), "KALDI-I8");
+        assert_eq!(quantized.as_asr().precision(), "int8");
+        let mut bytes = Vec::new();
+        quantized.write_to(&mut bytes).unwrap();
+        let back = QuantizedAsr::read_from(&bytes[..]).unwrap();
+        assert_eq!(back.as_asr().name(), "KALDI-I8");
+        let synth = Synthesizer::new(16_000);
+        let (wave, _) = synth.synthesize(
+            &Lexicon::builtin(),
+            "the man walked the street",
+            &SpeakerProfile::default(),
+        );
+        // Bit-exact weights + bit-exact integer kernels ⇒ the reloaded
+        // pipeline transcribes identically, not just similarly.
+        assert_eq!(back.as_asr().transcribe(&wave), quantized.as_asr().transcribe(&wave));
+    }
+
+    #[test]
+    fn corrupt_quantized_artifact_is_refused_with_a_typed_error() {
+        let quantized = quantized_kaldi();
+        let mut bytes = Vec::new();
+        quantized.write_to(&mut bytes).unwrap();
+        // Flip one payload byte: the checksum must catch it cleanly.
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x40;
+        assert!(matches!(
+            QuantizedAsr::read_from(&bytes[..]),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        // Truncation is equally typed, never a panic.
+        let cut = &bytes[..bytes.len() / 3];
+        assert!(QuantizedAsr::read_from(cut).is_err());
     }
 }

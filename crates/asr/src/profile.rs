@@ -222,9 +222,20 @@ impl AsrProfile {
         TrainedAsr::new(spec.name, frontend, am, decoder)
     }
 
+    /// Resolves a display name back to its profile.
+    pub fn by_name(name: &str) -> Option<AsrProfile> {
+        AsrProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+
     /// File name of this profile's artifact inside a model directory.
     pub fn artifact_file_name(self) -> String {
         format!("asr-{}.mvpa", self.name().to_lowercase())
+    }
+
+    /// File name of this profile's *quantized* artifact inside a model
+    /// directory.
+    pub fn quantized_artifact_file_name(self) -> String {
+        format!("asr-{}-i8.mvpa", self.name().to_lowercase())
     }
 
     /// Path of this profile's artifact inside `dir`.
@@ -319,6 +330,132 @@ impl AsrProfile {
         let mut map = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(map.entry(self).or_insert(trained))
     }
+
+    /// The process-wide cached *int8* variant of this profile, backed by
+    /// the artifact directory in [`MODEL_DIR_ENV`] when that is set.
+    ///
+    /// The variant is the profile's full-precision pipeline carrying a
+    /// [`crate::am::QuantizedAcousticModel`] calibrated on a small fixed
+    /// benign sample (seed disjoint from every training corpus), so it is
+    /// deterministic per profile, exactly like [`trained`](Self::trained).
+    pub fn trained_quantized(self) -> Arc<TrainedAsr> {
+        let dir = std::env::var_os(MODEL_DIR_ENV).map(PathBuf::from);
+        self.trained_quantized_in(dir.as_deref())
+    }
+
+    /// [`trained_quantized`](Self::trained_quantized) with an explicit
+    /// disk tier, mirroring [`trained_in`](Self::trained_in): `None` is a
+    /// pure in-process cache; with a directory, misses first try the
+    /// persisted `asr-<name>-i8.mvpa` artifact (healing an unusable one by
+    /// re-quantizing, with a warning) and fresh variants are saved back
+    /// best-effort.
+    pub fn trained_quantized_in(self, dir: Option<&Path>) -> Arc<TrainedAsr> {
+        static CACHE: OnceLock<Mutex<HashMap<AsrProfile, Arc<TrainedAsr>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        {
+            let map = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(asr) = map.get(&self) {
+                return Arc::clone(asr);
+            }
+        }
+        let path = dir.map(|d| d.join(self.quantized_artifact_file_name()));
+        let loaded =
+            path.as_deref().and_then(|p| match crate::persist::QuantizedAsr::load_file(p) {
+                Ok(q) if q.as_asr().name() == format!("{}-I8", self.name()) => Some(q.into_asr()),
+                Ok(_) => {
+                    eprintln!("warning: {} holds another profile; re-quantizing", p.display());
+                    None
+                }
+                Err(e) => {
+                    if !e.is_not_found() {
+                        eprintln!("warning: discarding unusable int8 artifact for {self}: {e}");
+                    }
+                    None
+                }
+            });
+        let resolved = loaded.unwrap_or_else(|| {
+            let base = self.trained_in(dir);
+            let calibration = calibration_corpus();
+            let refs: Vec<&mvp_audio::Waveform> =
+                calibration.utterances().iter().map(|u| &u.wave).collect();
+            let quantized = base.quantize(&refs);
+            if let Some(path) = &path {
+                if let Err(e) = crate::persist::QuantizedAsr::new(quantized.clone()).save_file(path)
+                {
+                    eprintln!("warning: could not persist {self} int8 variant: {e}");
+                }
+            }
+            quantized
+        });
+        let trained = Arc::new(resolved);
+        let mut map = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(map.entry(self).or_insert(trained))
+    }
+}
+
+/// The shared activation-calibration sample: a small clean corpus whose
+/// seed is disjoint from every profile's training and LM seeds, so the
+/// int8 scales never memorise training audio.
+fn calibration_corpus() -> mvp_corpus::SpeechCorpus {
+    CorpusBuilder::new(CorpusConfig {
+        size: 8,
+        seed: 90_909,
+        sample_rate: 16_000,
+        noise_prob: 0.0,
+        noise_snr_db: (12.0, 28.0),
+    })
+    .build()
+}
+
+/// One ensemble member: an ASR profile at a numeric precision.
+///
+/// The paper's ensemble diversity comes from *architectural* version
+/// differences; PVP (PAPERS.md) shows numeric precision is a second, free
+/// diversity axis. A `PrecisionVariant` names a point on both axes, so a
+/// detection system can mix `DS1@f64` with `DS1@int8` — or run a
+/// precision-only ensemble of one architecture at several precisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrecisionVariant {
+    /// The architectural version.
+    pub profile: AsrProfile,
+    /// Run the profile's int8 quantized acoustic model instead of f64.
+    pub int8: bool,
+}
+
+impl PrecisionVariant {
+    /// The profile at full f64 precision.
+    pub fn f64(profile: AsrProfile) -> PrecisionVariant {
+        PrecisionVariant { profile, int8: false }
+    }
+
+    /// The profile's int8 quantized variant.
+    pub fn int8(profile: AsrProfile) -> PrecisionVariant {
+        PrecisionVariant { profile, int8: true }
+    }
+
+    /// Display name, e.g. `"DS1"` or `"DS1-I8"`.
+    pub fn name(self) -> String {
+        if self.int8 {
+            format!("{}-I8", self.profile.name())
+        } else {
+            self.profile.name().to_string()
+        }
+    }
+
+    /// The process-wide cached trained pipeline of this variant.
+    pub fn trained(self) -> Arc<TrainedAsr> {
+        if self.int8 {
+            self.profile.trained_quantized()
+        } else {
+            self.profile.trained()
+        }
+    }
+}
+
+impl std::fmt::Display for PrecisionVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
 }
 
 impl std::fmt::Display for AsrProfile {
@@ -361,6 +498,44 @@ mod tests {
         let a = AsrProfile::Ds0.trained();
         let b = AsrProfile::Ds0.trained();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for p in AsrProfile::ALL {
+            assert_eq!(AsrProfile::by_name(p.name()), Some(p));
+        }
+        assert_eq!(AsrProfile::by_name("DS0-I8"), None);
+    }
+
+    #[test]
+    fn quantized_variant_is_cached_and_named() {
+        let a = AsrProfile::Kaldi.trained_quantized();
+        let b = PrecisionVariant::int8(AsrProfile::Kaldi).trained();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.name(), "KALDI-I8");
+        assert_eq!(a.precision(), "int8");
+        assert!(a.quantized_model().is_some());
+        // The f64 cache entry is untouched by quantization.
+        let base = PrecisionVariant::f64(AsrProfile::Kaldi).trained();
+        assert_eq!(base.precision(), "f64");
+        assert_eq!(PrecisionVariant::int8(AsrProfile::Kaldi).name(), "KALDI-I8");
+    }
+
+    #[test]
+    fn quantized_disk_tier_round_trips() {
+        // KaldiVariant: no other test quantizes it, so the in-process
+        // cache is guaranteed cold and the disk-tier miss path runs.
+        let dir = std::env::temp_dir().join(format!("mvp-quant-tier-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let profile = AsrProfile::KaldiVariant;
+        profile.trained().save_file(&profile.artifact_path(&dir)).unwrap();
+        let first = profile.trained_quantized_in(Some(&dir));
+        let saved = dir.join(profile.quantized_artifact_file_name());
+        assert!(saved.exists(), "int8 artifact persisted on the miss path");
+        let reloaded = crate::persist::QuantizedAsr::load_file(&saved).unwrap();
+        assert_eq!(reloaded.as_asr().name(), first.name());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

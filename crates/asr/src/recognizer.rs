@@ -4,7 +4,7 @@ use mvp_audio::Waveform;
 use mvp_dsp::mfcc::FeatureMatrix;
 use mvp_phonetics::Phoneme;
 
-use crate::am::{AcousticModel, AmScratch};
+use crate::am::{AcousticModel, AmScratch, QuantizedAcousticModel};
 use crate::ctc::{ctc_loss_and_grad, RunAccumulator};
 use crate::decoder::Decoder;
 use crate::features::{FeatureFrontEnd, FrontEndScratch, FrontEndStream};
@@ -23,12 +23,20 @@ pub trait Asr: Send + Sync {
 }
 
 /// A fully assembled simulated ASR: front end → acoustic model → decoder.
+///
+/// A pipeline carries an optional int8 *precision variant* of its
+/// acoustic model (see [`TrainedAsr::quantize`]). When present, every
+/// forward/transcription path runs the quantized model; the training,
+/// attack and gradient paths always use the f64 weights, which is the
+/// PVP threat model — the attacker optimises against full precision and
+/// the cheap low-precision sibling votes independently.
 #[derive(Debug, Clone)]
 pub struct TrainedAsr {
     name: String,
     frontend: FeatureFrontEnd,
     am: AcousticModel,
     decoder: Decoder,
+    qam: Option<QuantizedAcousticModel>,
 }
 
 impl TrainedAsr {
@@ -39,7 +47,7 @@ impl TrainedAsr {
         am: AcousticModel,
         decoder: Decoder,
     ) -> TrainedAsr {
-        TrainedAsr { name: name.into(), frontend, am, decoder }
+        TrainedAsr { name: name.into(), frontend, am, decoder, qam: None }
     }
 
     /// The feature front end (exposed for attacks and diagnostics).
@@ -52,14 +60,77 @@ impl TrainedAsr {
         &self.am
     }
 
+    /// The int8 precision variant, if this pipeline carries one.
+    pub fn quantized_model(&self) -> Option<&QuantizedAcousticModel> {
+        self.qam.as_ref()
+    }
+
+    /// Short precision label for tables and logs: `"int8"` or `"f64"`.
+    pub fn precision(&self) -> &'static str {
+        if self.qam.is_some() {
+            "int8"
+        } else {
+            "f64"
+        }
+    }
+
     /// The word decoder.
     pub fn decoder(&self) -> &Decoder {
         &self.decoder
     }
 
-    /// Per-frame logits over phoneme classes for `wave`.
+    /// An int8 precision variant of this pipeline: the acoustic model is
+    /// quantized post-training, calibrated on the features of
+    /// `calibration` (benign audio), and the clone is renamed
+    /// `"<name>-I8"`. Front end and decoder are shared unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` produces no feature frames.
+    pub fn quantize(&self, calibration: &[&Waveform]) -> TrainedAsr {
+        let mut feats = FeatureMatrix::zeros(0, self.frontend.dim());
+        for wave in calibration {
+            let f = self.frontend.features(wave);
+            for row in f.rows() {
+                feats.push_row(row);
+            }
+        }
+        let qam = QuantizedAcousticModel::quantize(&self.am, &feats);
+        self.clone().with_quantized(qam)
+    }
+
+    /// Attaches a prepared precision variant (the persistence path; most
+    /// callers want [`quantize`](Self::quantize)). Renames the pipeline
+    /// with the `-I8` suffix unless it already carries one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant's dimensionality does not match the front
+    /// end's.
+    pub fn with_quantized(mut self, qam: QuantizedAcousticModel) -> TrainedAsr {
+        assert_eq!(qam.dim(), self.frontend.dim(), "quantized model dimension mismatch");
+        if !self.name.ends_with("-I8") {
+            self.name.push_str("-I8");
+        }
+        self.qam = Some(qam);
+        self
+    }
+
+    /// Runs the acoustic model all transcription paths share: the int8
+    /// variant when present, the f64 model otherwise.
+    fn am_forward(&self, feats: &FeatureMatrix, scratch: &mut AmScratch, out: &mut FeatureMatrix) {
+        match &self.qam {
+            Some(qam) => qam.logit_matrix_into(feats, scratch, out),
+            None => self.am.logit_matrix_into(feats, scratch, out),
+        }
+    }
+
+    /// Per-frame logits over phoneme classes for `wave` (through the
+    /// precision variant when present).
     pub fn logits(&self, wave: &Waveform) -> FeatureMatrix {
-        self.am.logit_matrix(&self.frontend.features(wave))
+        let mut out = FeatureMatrix::default();
+        self.am_forward(&self.frontend.features(wave), &mut AmScratch::default(), &mut out);
+        out
     }
 
     /// Transcribes a whole micro-batch. Produces exactly what
@@ -94,7 +165,7 @@ impl TrainedAsr {
                         &mut scratch.frontend,
                         &mut scratch.feats,
                     );
-                    self.am.logit_matrix_into(&scratch.feats, &mut scratch.am, &mut scratch.logits);
+                    self.am_forward(&scratch.feats, &mut scratch.am, &mut scratch.logits);
                 }
                 let _span = mvp_obs::span!("asr.decode");
                 self.decoder.decode(&scratch.logits)
@@ -136,7 +207,7 @@ impl TrainedAsr {
     /// path — its rows are bit-identical at any batch size, which is what
     /// makes chunked and batch logits agree exactly.
     fn extend_with_frames(&self, stream: &mut AsrStream) -> usize {
-        self.am.logit_matrix_into(&stream.feats, &mut stream.am, &mut stream.logits);
+        self.am_forward(&stream.feats, &mut stream.am, &mut stream.logits);
         for row in stream.logits.rows() {
             stream.runs.push_logits_row(row);
         }
@@ -434,6 +505,65 @@ mod tests {
             "running {:?} vs final {fin:?}",
             runnings.last().unwrap()
         );
+    }
+
+    const BENIGN_PHRASES: [&str; 4] =
+        ["open the door", "good morning", "turn on the light", "call me back now"];
+
+    /// One shared (f64, int8) pair of the same pipeline; quantization is
+    /// deterministic, so caching it keeps the property test fast.
+    fn precision_pair() -> &'static (std::sync::Arc<TrainedAsr>, TrainedAsr) {
+        use crate::profile::AsrProfile;
+        use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+        use mvp_phonetics::Lexicon;
+
+        static PAIR: std::sync::OnceLock<(std::sync::Arc<TrainedAsr>, TrainedAsr)> =
+            std::sync::OnceLock::new();
+        PAIR.get_or_init(|| {
+            let asr = AsrProfile::Ds0.trained();
+            let synth = Synthesizer::new(16_000);
+            let lex = Lexicon::builtin();
+            let calibration: Vec<_> = BENIGN_PHRASES
+                .iter()
+                .map(|t| synth.synthesize(&lex, t, &SpeakerProfile::default()).0)
+                .collect();
+            let refs: Vec<_> = calibration.iter().collect();
+            let quantized = asr.quantize(&refs);
+            (asr, quantized)
+        })
+    }
+
+    proptest::proptest! {
+        /// PVP's load-bearing property: on *benign* audio the int8
+        /// precision variant transcribes (near-)identically to its f64
+        /// parent — similarity stays above the detector's benign
+        /// operating region (fitted thresholds sit below 0.6), so the
+        /// cheap ensemble member never flags clean speech on its own.
+        #[test]
+        fn quantized_variant_agrees_with_f64_on_benign_audio(
+            phrase_idx in 0usize..4,
+            speaker_seed in 0u64..50,
+        ) {
+            use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+            use mvp_phonetics::Lexicon;
+
+            let (asr, quantized) = precision_pair();
+            let synth = Synthesizer::new(16_000);
+            let speaker = SpeakerProfile {
+                seed: speaker_seed,
+                pitch_hz: 100.0 + (speaker_seed % 7) as f32 * 8.0,
+                ..SpeakerProfile::default()
+            };
+            let (wave, _) =
+                synth.synthesize(&Lexicon::builtin(), BENIGN_PHRASES[phrase_idx], &speaker);
+            let full = asr.transcribe(&wave);
+            let cheap = quantized.transcribe(&wave);
+            let sim = mvp_textsim::levenshtein_similarity(&full, &cheap);
+            proptest::prop_assert!(
+                sim >= 0.6,
+                "int8 vs f64 transcripts diverged: {full:?} vs {cheap:?} (sim {sim})"
+            );
+        }
     }
 
     #[test]

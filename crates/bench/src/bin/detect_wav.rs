@@ -2,7 +2,7 @@
 //! MVP-EARS system and print the verdict.
 //!
 //! ```text
-//! detect_wav [--model-dir <dir>] [--modalities <list>] [--trace] <file.wav> [more.wav ...]
+//! detect_wav [--model-dir <dir>] [--modalities <list>] [--precision] [--trace] <file.wav> [more.wav ...]
 //! ```
 //!
 //! The threshold detectors are fitted on a built-in benign corpus at a 5 %
@@ -24,6 +24,13 @@
 //! the exit code, so the exit-code semantics below are unchanged — and an
 //! unknown modality name is a usage error (exit 2).
 //!
+//! With `--precision`, the target's int8 quantized variant (DS0-I8) joins
+//! the ensemble as a fourth auxiliary — the PVP precision-diversity axis:
+//! its transcript diverges from the f64 target's exactly when small
+//! adversarial perturbations stop surviving numeric coarsening. The
+//! threshold bank then carries four detectors; a `--model-dir` bank fitted
+//! without the flag is refused with a dimension error rather than reused.
+//!
 //! With `--trace`, the observability plane's span tracing is enabled and
 //! an indented span tree — per-stage micro-timings of the whole pipeline —
 //! is printed after each file's verdict.
@@ -40,7 +47,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use mvp_artifact::Persist;
-use mvp_asr::AsrProfile;
+use mvp_asr::{Asr, AsrProfile};
 use mvp_audio::wav::read_wav;
 use mvp_corpus::{CorpusBuilder, CorpusConfig};
 use mvp_ears::{DetectionSystem, ThresholdBank, ThresholdDetector};
@@ -87,6 +94,7 @@ fn main() -> ExitCode {
 fn run() -> Result<bool, String> {
     let mut model_dir: Option<PathBuf> = None;
     let mut trace = false;
+    let mut precision = false;
     let mut modalities: Vec<ModalityKind> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -100,17 +108,18 @@ fn run() -> Result<bool, String> {
                 let list = args.next().ok_or("--modalities needs a comma-separated list")?;
                 modalities = parse_modalities(&list)?;
             }
+            "--precision" => precision = true,
             "--trace" => trace = true,
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        return Err("usage: detect_wav [--model-dir <dir>] [--modalities <list>] [--trace] \
-                    <file.wav> [more.wav ...]"
+        return Err("usage: detect_wav [--model-dir <dir>] [--modalities <list>] [--precision] \
+                    [--trace] <file.wav> [more.wav ...]"
             .into());
     }
 
-    let system = build_system(model_dir.as_deref(), &modalities)?;
+    let system = build_system(model_dir.as_deref(), &modalities, precision)?;
     let detectors = load_or_fit_thresholds(&system, model_dir.as_deref())?;
 
     let mut any_adversarial = false;
@@ -136,10 +145,14 @@ fn run() -> Result<bool, String> {
             AsrProfile::Ds0,
             target
         );
-        for ((profile, text), (&s, d)) in
-            AUXILIARIES.iter().zip(&aux).zip(scores.iter().zip(detectors.detectors()))
+        for ((asr, text), (&s, d)) in
+            system.auxiliaries().iter().zip(&aux).zip(scores.iter().zip(detectors.detectors()))
         {
-            println!("  {profile}: {text:?} (similarity {s:.3}, threshold {:.3})", d.threshold());
+            println!(
+                "  {}: {text:?} (similarity {s:.3}, threshold {:.3})",
+                asr.name(),
+                d.threshold()
+            );
         }
         // Extra modality evidence, printed but never part of the verdict:
         // the similarity thresholds alone decide the exit code.
@@ -171,20 +184,21 @@ fn run() -> Result<bool, String> {
 
 /// Builds DS0+{DS1, GCS, AT} with the selected modality mix registered,
 /// training in-process or loading/saving each model through the
-/// `--model-dir` disk tier.
+/// `--model-dir` disk tier. With `precision`, the target's int8 variant
+/// (DS0-I8) is appended as a fourth auxiliary, persisted in the same
+/// directory tier as `asr-ds0-i8.mvpa`.
 fn build_system(
     model_dir: Option<&Path>,
     modalities: &[ModalityKind],
+    precision: bool,
 ) -> Result<DetectionSystem, String> {
-    match model_dir {
+    let mut builder = match model_dir {
         None => {
             eprintln!("training ASR profiles (one-time; use --model-dir to persist them)...");
-            Ok(DetectionSystem::builder(AsrProfile::Ds0)
+            DetectionSystem::builder(AsrProfile::Ds0)
                 .auxiliary(AsrProfile::Ds1)
                 .auxiliary(AsrProfile::Gcs)
                 .auxiliary(AsrProfile::At)
-                .modality_kinds(modalities)
-                .build())
         }
         Some(dir) => {
             let load = |p: AsrProfile| {
@@ -196,9 +210,13 @@ fn build_system(
             for aux in AUXILIARIES {
                 builder = builder.auxiliary_asr(load(aux)?);
             }
-            Ok(builder.modality_kinds(modalities).build())
+            builder
         }
+    };
+    if precision {
+        builder = builder.auxiliary_asr(AsrProfile::Ds0.trained_quantized_in(model_dir));
     }
+    Ok(builder.modality_kinds(modalities).build())
 }
 
 /// Fits the per-auxiliary threshold bank on the built-in benign corpus,

@@ -1,0 +1,170 @@
+//! CI smoke test for the quantization plane. Exits non-zero on any
+//! failure, so `scripts/ci.sh` can gate on it. Three gates:
+//!
+//! 1. **Throughput**: int8 acoustic-model inference on the widest
+//!    profile (GCS) must beat the f64 model by >= 1.3x. Steady-state is
+//!    ~1.8x on AVX-512 hosts; the slack absorbs scheduler noise and
+//!    narrower SIMD. The gate sits at the acoustic-model level on
+//!    purpose — the MFCC frontend dominates end-to-end transcription,
+//!    so an end-to-end gate would measure the frontend, not the
+//!    quantized path (see DESIGN.md, "Quantization plane").
+//! 2. **Agreement**: the int8 variant must still be the *same version*
+//!    on clean speech — mean transcript similarity with its f64 parent
+//!    over the tiny benign corpus >= 0.6 (the recognizer property
+//!    test's bound).
+//! 3. **Artifact**: the quantized pipeline must round-trip through its
+//!    `.mvpa` artifact bit-exactly, and a corrupted artifact must be
+//!    refused with a typed error, never silently re-quantized here.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mvp_artifact::Persist;
+use mvp_asr::{AmScratch, Asr, AsrProfile, QuantizedAsr};
+use mvp_bench::{ExperimentContext, Scale};
+use mvp_dsp::mfcc::FeatureMatrix;
+use mvp_ears::SimilarityMethod;
+
+/// Minimum int8-over-f64 acoustic-model speedup on GCS.
+const MIN_AM_SPEEDUP: f64 = 1.3;
+
+/// Minimum mean benign transcript similarity between precisions.
+const MIN_AGREEMENT_SIM: f64 = 0.6;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("quant smoke: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("quant smoke: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let ctx = ExperimentContext::load_or_generate(Scale::TINY);
+    throughput_gate(&ctx)?;
+    agreement_gate(&ctx)?;
+    artifact_gate(&ctx)
+}
+
+/// Best-of-5 mean wall time per round, one untimed warm-up round.
+fn time_us(rounds: usize, mut work: impl FnMut()) -> f64 {
+    work();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..rounds {
+            work();
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e6 / rounds as f64);
+    }
+    best
+}
+
+/// Gate 1: int8 GCS acoustic-model inference >= 1.3x its f64 parent.
+fn throughput_gate(ctx: &ExperimentContext) -> Result<(), String> {
+    let models = ctx.models_dir();
+    let asr = AsrProfile::Gcs.trained_in(Some(&models));
+    let quant = AsrProfile::Gcs.trained_quantized_in(Some(&models));
+    let feats: Vec<FeatureMatrix> =
+        ctx.benign.utterances().iter().map(|u| asr.frontend().features(&u.wave)).collect();
+    let am = asr.acoustic_model();
+    let qam = quant.quantized_model().ok_or("GCS quantized variant has no int8 model")?;
+    let mut scratch = AmScratch::default();
+    let mut out = FeatureMatrix::default();
+    let f64_us = time_us(20, || {
+        for f in &feats {
+            am.logit_matrix_into(f, &mut scratch, &mut out);
+        }
+        std::hint::black_box(&out);
+    });
+    let i8_us = time_us(20, || {
+        for f in &feats {
+            qam.logit_matrix_into(f, &mut scratch, &mut out);
+        }
+        std::hint::black_box(&out);
+    });
+    let speedup = f64_us / i8_us;
+    println!(
+        "throughput gate: GCS acoustic model f64 {f64_us:.0} us vs int8 {i8_us:.0} us \
+         ({speedup:.2}x)"
+    );
+    if speedup < MIN_AM_SPEEDUP {
+        return Err(format!(
+            "int8 GCS acoustic model only {speedup:.2}x over f64 (gate {MIN_AM_SPEEDUP}x)"
+        ));
+    }
+    Ok(())
+}
+
+/// Gate 2: the int8 variant transcribes clean speech like its parent.
+fn agreement_gate(ctx: &ExperimentContext) -> Result<(), String> {
+    let models = ctx.models_dir();
+    let asr = AsrProfile::Ds0.trained_in(Some(&models));
+    let quant = AsrProfile::Ds0.trained_quantized_in(Some(&models));
+    let method = SimilarityMethod::default();
+    let n = ctx.benign.utterances().len();
+    let mean_sim = ctx
+        .benign
+        .utterances()
+        .iter()
+        .map(|u| method.score(&asr.transcribe(&u.wave), &quant.transcribe(&u.wave)))
+        .sum::<f64>()
+        / n.max(1) as f64;
+    println!("agreement gate: DS0 vs DS0-I8 mean similarity {mean_sim:.3} over {n} utterances");
+    if mean_sim < MIN_AGREEMENT_SIM {
+        return Err(format!("benign int8/f64 similarity {mean_sim:.3} below {MIN_AGREEMENT_SIM}"));
+    }
+    Ok(())
+}
+
+/// Gate 3: quantized-artifact round-trip fidelity and corruption refusal.
+fn artifact_gate(ctx: &ExperimentContext) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("mvp-quant-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create temp dir: {e}"))?;
+    let result = artifact_checks(ctx, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn artifact_checks(ctx: &ExperimentContext, dir: &std::path::Path) -> Result<(), String> {
+    // Quantize the cheapest profile fresh (bypassing the process cache so
+    // the artifact genuinely comes from this quantization pass).
+    let base = AsrProfile::Kaldi.trained_in(Some(&ctx.models_dir()));
+    let calibration: Vec<&mvp_audio::Waveform> =
+        ctx.benign.utterances().iter().take(4).map(|u| &u.wave).collect();
+    let quantized = base.quantize(&calibration);
+    let path = dir.join(AsrProfile::Kaldi.quantized_artifact_file_name());
+    QuantizedAsr::new(quantized.clone())
+        .save_file(&path)
+        .map_err(|e| format!("persist quantized: {e}"))?;
+
+    // Round trip: the loaded variant must transcribe bit-exactly.
+    let loaded =
+        QuantizedAsr::load_file(&path).map_err(|e| format!("reload quantized: {e}"))?.into_asr();
+    for u in ctx.benign.utterances().iter().take(4) {
+        if loaded.transcribe(&u.wave) != quantized.transcribe(&u.wave) {
+            return Err("reloaded int8 pipeline diverged from the quantized one".into());
+        }
+    }
+    println!("artifact gate: int8 round trip reproduces the quantized pipeline");
+
+    // Corruption: flip one byte mid-file; the load must fail typed.
+    let mut bytes = std::fs::read(&path).map_err(|e| format!("read artifact: {e}"))?;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).map_err(|e| format!("write corrupt copy: {e}"))?;
+    match QuantizedAsr::load_file(&path) {
+        Ok(_) => Err("corrupted int8 artifact was accepted".into()),
+        Err(e) if e.is_not_found() => Err(format!("corruption misreported as a cache miss: {e}")),
+        Err(e) => {
+            println!("artifact gate: corrupted int8 artifact refused as expected: {e}");
+            Ok(())
+        }
+    }
+}

@@ -35,4 +35,5 @@ fn main() {
     experiments::obs::run_obs_bench(&ctx);
     experiments::dataplane::run_dataplane_bench(&ctx);
     experiments::artifact::run_artifact_bench(&ctx);
+    experiments::quant::run_quant_bench(&ctx);
 }

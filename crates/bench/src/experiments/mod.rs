@@ -11,6 +11,7 @@ pub mod mae;
 pub mod modality;
 pub mod obs;
 pub mod perf;
+pub mod quant;
 pub mod serve;
 pub mod similarity;
 pub mod transfer;

@@ -38,8 +38,9 @@ pub struct EarlyExit {
     pub margin: f64,
     /// Consecutive collapsed updates required before firing.
     pub horizon: usize,
-    /// Minimum decoded target frames before any early verdict — running
-    /// transcripts over a handful of frames are noise.
+    /// Minimum decoded frames — on *every* participating stream — before
+    /// any early verdict; running transcripts over a handful of frames
+    /// are noise.
     pub min_frames: usize,
 }
 
@@ -125,7 +126,12 @@ impl DetectionStream {
 
     /// One early-exit evaluation over the running transcripts.
     fn evaluate(&mut self, system: &DetectionSystem, rule: EarlyExit) {
-        if self.streams[0].frames_decoded() < rule.min_frames {
+        // Gate on the *least* decoded stream, not the target: a heavily
+        // subsampling auxiliary (or a precision variant that lags) with
+        // near-empty running transcripts would otherwise read as a
+        // similarity collapse and fire a premature verdict.
+        let least = self.streams.iter().map(AsrStream::frames_decoded).min().unwrap_or(0);
+        if least < rule.min_frames {
             return;
         }
         let (target, auxiliaries, scores) = self.running(system);
@@ -311,5 +317,42 @@ mod tests {
         }
         assert!(!stream.early_fired());
         assert_eq!(stream.finish(&system).scores, reference.scores);
+    }
+
+    #[test]
+    fn min_frames_gates_on_the_least_decoded_stream() {
+        // Kaldi subsamples 3x, so its stream decodes about a third of the
+        // target's frames from the same audio. With an always-adversarial
+        // classifier and horizon 1, a target-only gate would fire as soon
+        // as the *target* passes min_frames; the fixed gate must hold the
+        // verdict until the slow auxiliary catches up — visible as the
+        // target being far past min_frames when the rule finally fires.
+        let mut system =
+            DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Kaldi).build();
+        let benign: Vec<Vec<f64>> = (0..8).map(|_| vec![5.0; 1]).collect();
+        let ae: Vec<Vec<f64>> = (0..8).map(|i| vec![0.5 + 0.01 * (i % 4) as f64; 1]).collect();
+        system.train_on_scores(&benign, &ae, ClassifierKind::Knn);
+
+        let samples = speech().to_f64();
+        let min_frames = 30;
+        let rule = EarlyExit { threshold: 2.0, margin: 0.0, horizon: 1, min_frames };
+        let mut stream = system.stream_begin(Some(rule));
+        let mut fired = false;
+        for c in samples.chunks(1600) {
+            if stream.push(&system, c).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "early exit must fire once every stream passes min_frames");
+        // Under the old `streams[0]`-only gate the target would sit within
+        // one chunk (~10 frames) of min_frames here; waiting for the 3x
+        // subsampled auxiliary pushes it to roughly 3x min_frames.
+        assert!(
+            stream.frames_decoded() >= 2 * min_frames,
+            "target decoded only {} frames at firing — gate did not wait \
+             for the subsampled auxiliary",
+            stream.frames_decoded()
+        );
     }
 }

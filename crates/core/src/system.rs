@@ -488,6 +488,14 @@ impl DetectionSystemBuilder {
         self
     }
 
+    /// Adds an auxiliary at an explicit numeric precision: the PVP axis,
+    /// where `DS1@int8` is a *different ensemble member* from `DS1@f64`
+    /// even though both share one set of trained weights.
+    pub fn auxiliary_variant(mut self, variant: mvp_asr::PrecisionVariant) -> Self {
+        self.auxiliaries.push(variant.trained());
+        self
+    }
+
     /// Overrides the similarity method (default `PE_JaroWinkler`).
     pub fn method(mut self, method: SimilarityMethod) -> Self {
         self.method = method;
@@ -570,6 +578,43 @@ mod tests {
         assert!(s.is_trained());
         assert!(s.classify_scores(&[0.1]));
         assert!(!s.classify_scores(&[0.95]));
+    }
+
+    #[test]
+    fn nan_bearing_scores_yield_a_verdict_not_a_panic() {
+        // Regression: a degenerate feature (NaN similarity score) must
+        // degrade to *some* verdict in every classifier family — a serve
+        // worker must never abort on one bad dimension.
+        let mut s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary(AsrProfile::Ds1)
+            .auxiliary(AsrProfile::Gcs)
+            .build();
+        let benign: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![0.85 + (i % 10) as f64 * 0.01; 2]).collect();
+        let aes: Vec<Vec<f64>> = (0..30).map(|i| vec![0.2 + (i % 10) as f64 * 0.01; 2]).collect();
+        for kind in ClassifierKind::ALL {
+            s.train_on_scores(&benign, &aes, kind);
+            let _ = s.classify_scores(&[f64::NAN, 0.9]);
+            let _ = s.classify_scores(&[f64::NAN, f64::NAN]);
+        }
+    }
+
+    #[test]
+    fn precision_variant_auxiliary_joins_the_ensemble() {
+        use mvp_asr::PrecisionVariant;
+        let s = DetectionSystem::builder(AsrProfile::Ds0)
+            .auxiliary_variant(PrecisionVariant::int8(AsrProfile::Ds0))
+            .auxiliary(AsrProfile::Ds1)
+            .build();
+        assert_eq!(s.name(), "DS0+{DS0-I8, DS1}");
+        let synth = Synthesizer::new(16_000);
+        let (wave, _) =
+            synth.synthesize(&Lexicon::builtin(), "open the door", &SpeakerProfile::default());
+        let scores = s.score_vector(&wave);
+        assert_eq!(scores.len(), 2);
+        // The int8 sibling shares its parent's weights, so on benign audio
+        // it is the *most* agreeing auxiliary in the ensemble.
+        assert!(scores[0] > 0.8, "int8 sibling diverged on benign audio: {scores:?}");
     }
 
     #[test]

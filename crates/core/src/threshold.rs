@@ -26,7 +26,10 @@ impl ThresholdDetector {
         assert!(!benign_scores.is_empty(), "no benign scores");
         assert!(max_fpr > 0.0 && max_fpr < 1.0, "FPR budget out of range");
         let mut sorted = benign_scores.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+        // total_cmp: a NaN benign score (degenerate transcript pair) sorts
+        // past every finite score and cannot become the threshold below,
+        // because `fpr < max_fpr` stops the scan before the tail.
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         // Flagging rule is `score < threshold`; find the largest candidate
         // threshold keeping the benign flag rate under budget. Candidate
@@ -176,6 +179,17 @@ mod tests {
     #[should_panic(expected = "no benign")]
     fn empty_scores_rejected() {
         ThresholdDetector::fit_benign(&[], 0.05);
+    }
+
+    #[test]
+    fn nan_benign_score_cannot_become_the_threshold() {
+        let mut scores = benign_scores();
+        scores.push(f64::NAN);
+        let det = ThresholdDetector::fit_benign(&scores, 0.05);
+        assert!(det.threshold().is_finite(), "threshold {}", det.threshold());
+        // A NaN *query* score degrades to benign (`NaN < t` is false)
+        // rather than panicking anywhere downstream.
+        assert!(!det.is_adversarial(f64::NAN));
     }
 
     #[test]

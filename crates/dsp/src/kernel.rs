@@ -18,6 +18,14 @@
 //! | [`dot`], [`gemv`], [`gemm_nt`] | 4-way reassociation; small relative  |
 //! |                                | error `O(n·ε)`, tested ≤ 1e-12 rel   |
 //! | [`sq_dist`], [`sq_zscore_sum`] | 4-way reassociation, as above        |
+//! | [`dot_i8`], [`gemm_nt_i8`]     | bit-exact (i32 integer accumulation  |
+//! |                                | is associative; lanes reorder freely,|
+//! |                                | runtime ISA dispatch is invisible —  |
+//! |                                | including the width heuristic that   |
+//! |                                | keeps AVX-512 off short rows)        |
+//! | [`quantize_i8`]                | bit-exact (saturating float→int cast |
+//! |                                | equals the oracle's checked clamp on |
+//! |                                | every input, `NaN → 0` included)     |
 //! | [`RfftPlan`]                   | different algorithm (half-size       |
 //! |                                | complex FFT); error `O(n·ε)`         |
 //!
@@ -130,6 +138,53 @@ pub mod scalar {
     pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
         for (yi, &xi) in y.iter_mut().zip(x) {
             *yi += a * xi;
+        }
+    }
+
+    /// Serial i8 dot product with i32 accumulation. Exact: each product
+    /// fits in 15 bits, so `k` up to `2^16` rows cannot overflow i32.
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        a.iter().zip(b).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum()
+    }
+
+    /// Serial symmetric i8 quantization — `out[i] = saturate(xs[i] /
+    /// scale)` with round-to-nearest (half away from zero), clamp to
+    /// `±127` and `NaN → 0`; the oracle for
+    /// [`quantize_i8`](super::quantize_i8). The branchy checked form
+    /// here *defines* the saturate semantics the vectorized body must
+    /// reproduce bit-for-bit.
+    pub fn quantize_i8(xs: &[f64], scale: f64, out: &mut [i8]) {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            let q = x / scale;
+            *o = if q.is_nan() {
+                0
+            } else {
+                // The i64 intermediate is exact for the clamped range;
+                // `try_from` keeps the no-wrap guarantee checked.
+                i8::try_from(q.round().clamp(-127.0, 127.0) as i64).expect("clamped to i8 range")
+            };
+        }
+    }
+
+    /// Serial i8 `C = A·Bᵀ` with i32 accumulation; the oracle for
+    /// [`gemm_nt_i8`](super::gemm_nt_i8).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch between `a`, `b`, `k` and `out`.
+    pub fn gemm_nt_i8(a: &[i8], m: usize, b: &[i8], n: usize, k: usize, out: &mut [i32]) {
+        assert_eq!(a.len(), m * k, "gemm_nt_i8: A shape mismatch");
+        assert_eq!(b.len(), n * k, "gemm_nt_i8: B shape mismatch");
+        assert_eq!(out.len(), m * n, "gemm_nt_i8: output shape mismatch");
+        if k == 0 {
+            out.fill(0);
+            return;
+        }
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                out[i * n + j] = dot_i8(a_row, &b[j * k..(j + 1) * k]);
+            }
         }
     }
 }
@@ -291,6 +346,157 @@ pub fn gemm_nt(a: &[f64], m: usize, b: &[f64], n: usize, k: usize, out: &mut [f6
         }
         jb = j_end;
     }
+}
+
+/// Dot product of two i8 vectors, accumulating in i32. Integer addition
+/// is associative, so any evaluation order is *bit-exact* against
+/// [`scalar::dot_i8`] — the quantized acoustic-model path inherits the
+/// vectorized-equals-oracle guarantee the f64 kernels only meet up to
+/// reassociation error.
+///
+/// Each product fits in 15 bits (`127·127`), so overflow needs
+/// `k > 2^16` — far past any acoustic-model width; debug builds would
+/// still catch it as an `i32` overflow panic.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    if scalar_forced() {
+        return scalar::dot_i8(a, b);
+    }
+    a.iter().zip(b).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum()
+}
+
+/// Generates one monomorphic `C = A·Bᵀ` body over pre-widened i16
+/// operands, optionally compiled for a wider ISA. The i8 inputs are
+/// widened to i16 *before* the hot loop so the auto-vectorizer sees the
+/// `pmaddwd`/`vpmaddwd` shape (i16 × i16 → paired i32 adds) directly;
+/// widening inside the loop defeats it and ends up slower than the f64
+/// path. One source body, three instruction sets — bit-identical
+/// results in all of them because i32 accumulation is associative.
+macro_rules! gemm_i16_impl {
+    ($name:ident $(, $feat:literal)?) => {
+        $(#[target_feature(enable = $feat)])?
+        fn $name(aw: &[i16], m: usize, bw: &[i16], n: usize, k: usize, out: &mut [i32]) {
+            for i in 0..m {
+                let a_row = &aw[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &bw[j * k..(j + 1) * k];
+                    *o = a_row.iter().zip(b_row).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum();
+                }
+            }
+        }
+    };
+}
+
+gemm_i16_impl!(gemm_i16_portable);
+#[cfg(target_arch = "x86_64")]
+gemm_i16_impl!(gemm_i16_avx2, "avx2");
+#[cfg(target_arch = "x86_64")]
+gemm_i16_impl!(gemm_i16_avx512, "avx512bw");
+
+/// Shortest reduction axis at which the AVX-512BW GEMM body is worth
+/// dispatching. A 512-bit vector holds 32 i16 lanes; below two full
+/// vectors per row the masked tail and the wider horizontal reduce cost
+/// more than the extra lanes earn, and the AVX2 body wins (measured
+/// 1.2–2.1× faster at the acoustic-model shapes `k = 8..39`, while
+/// AVX-512 stays ahead from `k = 64` up).
+const GEMM_I8_AVX512_MIN_K: usize = 64;
+
+/// Generates one monomorphic symmetric-quantization body, optionally
+/// compiled for a wider ISA: `out[i] = saturate(xs[i] / scale)`. The
+/// float→int `as` cast saturates and maps `NaN` to `0` (a Rust language
+/// guarantee), so the branch-free form is element-for-element identical
+/// to [`scalar::quantize_i8`]'s checked arithmetic while letting the
+/// auto-vectorizer emit packed divide/round/clamp/convert.
+macro_rules! quantize_i8_impl {
+    ($name:ident $(, $feat:literal)?) => {
+        $(#[target_feature(enable = $feat)])?
+        fn $name(xs: &[f64], scale: f64, out: &mut [i8]) {
+            for (o, &x) in out.iter_mut().zip(xs) {
+                // mvp-lint: allow(numeric-truncation) -- float→i8 `as` saturates with NaN→0 (never wraps); bit-parity with the checked oracle is pinned by quantize_i8_is_bit_exact_against_oracle
+                *o = (x / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+    };
+}
+
+quantize_i8_impl!(quantize_i8_portable);
+#[cfg(target_arch = "x86_64")]
+quantize_i8_impl!(quantize_i8_avx2, "avx2");
+
+/// Symmetric i8 quantization of a whole activation buffer:
+/// `out[i] = saturate(xs[i] / scale)` — round to nearest (half away
+/// from zero), clamp to `±127`, `NaN → 0`. This is the activation
+/// ingress of the int8 acoustic-model path, hot enough to matter: the
+/// quantized GEMMs only win end to end if feeding them does not cost
+/// the savings back.
+///
+/// Bit-exact against [`scalar::quantize_i8`] on every dispatch target —
+/// the saturating cast and the checked clamp agree on all inputs,
+/// including non-finite ones.
+///
+/// # Panics
+///
+/// Panics if `xs` and `out` lengths differ.
+pub fn quantize_i8(xs: &[f64], scale: f64, out: &mut [i8]) {
+    assert_eq!(xs.len(), out.len(), "quantize_i8: shape mismatch");
+    if scalar_forced() {
+        return scalar::quantize_i8(xs, scale, out);
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime feature check one line up.
+            return unsafe { quantize_i8_avx2(xs, scale, out) };
+        }
+    }
+    quantize_i8_portable(xs, scale, out);
+}
+
+/// `out[i·n + j] = dot_i8(a_row_i, b_row_j)` — integer `C = A·Bᵀ` for
+/// row-major i8 `A (m×k)` and `B (n×k)`.
+///
+/// Both operands are widened to i16 scratch up front (cost `O(mk + nk)`
+/// against `O(mnk)` multiplies), then a single generic inner body runs
+/// on the widest instruction set the CPU reports — AVX-512BW, AVX2, or
+/// the portable baseline. i32 accumulation is associative, so every
+/// dispatch target is bit-exact against [`scalar::gemm_nt_i8`] and
+/// against per-element [`dot_i8`] calls on the same operands; the
+/// parity tests below pin all reachable paths.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch between `a`, `b`, `k` and `out`.
+pub fn gemm_nt_i8(a: &[i8], m: usize, b: &[i8], n: usize, k: usize, out: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt_i8: A shape mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt_i8: B shape mismatch");
+    assert_eq!(out.len(), m * n, "gemm_nt_i8: output shape mismatch");
+    if scalar_forced() {
+        return scalar::gemm_nt_i8(a, m, b, n, k, out);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0);
+        return;
+    }
+    let aw: Vec<i16> = a.iter().map(|&x| i16::from(x)).collect();
+    let bw: Vec<i16> = b.iter().map(|&x| i16::from(x)).collect();
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Rows shorter than GEMM_I8_AVX512_MIN_K lose on 512-bit lanes;
+        // every target computes bit-identical i32 sums, so the width
+        // choice is purely a timing decision.
+        if k >= GEMM_I8_AVX512_MIN_K && std::arch::is_x86_feature_detected!("avx512bw") {
+            // SAFETY: guarded by the runtime feature check one line up.
+            return unsafe { gemm_i16_avx512(&aw, m, &bw, n, k, out) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime feature check one line up.
+            return unsafe { gemm_i16_avx2(&aw, m, &bw, n, k, out) };
+        }
+    }
+    gemm_i16_portable(&aw, m, &bw, n, k, out);
 }
 
 // ---------------------------------------------------------------------------
@@ -729,6 +935,110 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Deterministic i8 fill from the same xorshift stream.
+    fn i8_seeded(seed: u64, n: usize) -> Vec<i8> {
+        vec_seeded(seed, n).iter().map(|v| (v * 127.0).round().clamp(-127.0, 127.0) as i8).collect()
+    }
+
+    #[test]
+    fn dot_i8_is_bit_exact_against_oracle() {
+        for (seed, n) in [(61u64, 0usize), (62, 1), (63, 3), (64, 4), (65, 39), (66, 257)] {
+            let a = i8_seeded(seed, n);
+            let b = i8_seeded(seed ^ 0x5A5A, n);
+            assert_eq!(dot_i8(&a, &b), scalar::dot_i8(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn gemm_i8_equals_dot_i8_and_scalar_oracle() {
+        // Same invariant as the f64 GEMM, but *exact*: integer
+        // accumulation makes tiling and lane order invisible.
+        // Shapes straddle GEMM_I8_AVX512_MIN_K so both sides of the
+        // width dispatch run (63/64/65 pin the cutoff boundary).
+        for (m, n, k) in [
+            (0usize, 3usize, 4usize),
+            (3, 4, 0),
+            (1, 1, 1),
+            (5, 19, 23),
+            (17, 33, 4),
+            (7, 11, 63),
+            (7, 11, 64),
+            (7, 11, 65),
+        ] {
+            let a = i8_seeded(71 + m as u64, m * k);
+            let b = i8_seeded(73 + n as u64, n * k);
+            let mut c = vec![0i32; m * n];
+            let mut want = vec![0i32; m * n];
+            gemm_nt_i8(&a, m, &b, n, k, &mut c);
+            scalar::gemm_nt_i8(&a, m, &b, n, k, &mut want);
+            assert_eq!(c, want, "{m}x{n}x{k}");
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        c[i * n + j],
+                        dot_i8(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]),
+                        "({i},{j}) of {m}x{n}x{k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_i8_is_bit_exact_against_oracle() {
+        // Edge inputs first: both half boundaries, saturation on both
+        // sides, and every non-finite class must land exactly where the
+        // checked oracle puts them.
+        let edges = [
+            0.0,
+            -0.0,
+            0.49,
+            0.5,
+            0.51,
+            -0.5,
+            -0.51,
+            126.49,
+            126.5,
+            127.0,
+            127.49,
+            128.0,
+            300.0,
+            -300.0,
+            1e300,
+            -1e300,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        for scale in [1.0, 0.031, 7.5] {
+            let mut got = vec![0i8; edges.len()];
+            let mut want = vec![0i8; edges.len()];
+            quantize_i8(&edges, scale, &mut got);
+            scalar::quantize_i8(&edges, scale, &mut want);
+            assert_eq!(got, want, "edges at scale {scale}");
+        }
+        // Dense random sweep across lengths that exercise every lane
+        // position of the vectorized body.
+        for (seed, n) in [(91u64, 1usize), (92, 3), (93, 4), (94, 17), (95, 64), (96, 403)] {
+            let xs: Vec<f64> = vec_seeded(seed, n).iter().map(|v| v * 9.0).collect();
+            let mut got = vec![0i8; n];
+            let mut want = vec![0i8; n];
+            quantize_i8(&xs, 0.031, &mut got);
+            scalar::quantize_i8(&xs, 0.031, &mut want);
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_extremes_do_not_overflow() {
+        // Worst case ±127·±127 across a wide row stays well inside i32.
+        let a = vec![i8::MIN + 1; 4096];
+        let b = vec![127i8; 4096];
+        assert_eq!(dot_i8(&a, &b), -127 * 127 * 4096);
+        assert_eq!(scalar::dot_i8(&a, &b), -127 * 127 * 4096);
     }
 
     #[test]

@@ -7,3 +7,10 @@ pub fn chunk_to_len(chunk_len: u32) -> usize {
 pub fn halve(len: u64) -> u32 {
     (len / 2) as u32
 }
+
+// Quantization-plane flavour (linted again as if at
+// crates/ml/src/quant.rs): a bare `as i8` wraps instead of saturating
+// and silently corrupts logits.
+pub fn quantize_one(q: f64) -> i8 {
+    q.round() as i8
+}

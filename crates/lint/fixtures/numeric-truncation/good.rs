@@ -19,3 +19,15 @@ mod tests {
         assert_eq!(300u32 as u8, 44);
     }
 }
+
+// Quantization-plane flavour: narrowing goes through a checked
+// conversion from a clamped value, or carries a reasoned suppression
+// where the `as` cast's saturation is the point.
+pub fn saturate_i8(q: f64) -> i8 {
+    i8::try_from(q.round().clamp(-127.0, 127.0) as i64).expect("clamped to i8 range")
+}
+
+pub fn saturating_cast(q: f64) -> i8 {
+    // mvp-lint: allow(numeric-truncation) -- float->int `as` saturates and maps NaN to 0; parity with the checked helper is pinned by a test
+    q.round().clamp(-127.0, 127.0) as i8
+}

@@ -6,6 +6,14 @@
 //! the byte-parsing crates (`audio`, `artifact`), integer narrowing
 //! must go through `try_into()` / `usize::try_from` so oversized values
 //! surface as format errors.
+//!
+//! The quantization plane is in scope for the same reason with different
+//! stakes: `mvp_ml::quant` and the i8 kernels narrow `f64`/`i32` values
+//! into `i8` ranges on every inference pass, and a wrapping cast there
+//! does not crash — it silently corrupts logits. Narrowing must go
+//! through the checked saturating helpers (`saturate_i8`/`saturate_i32`);
+//! the one deliberate saturating `as i8` in the vectorized quantize
+//! kernel carries a reasoned suppression with its parity test named.
 
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::TokKind;
@@ -28,14 +36,20 @@ impl Rule for NumericTruncation {
     }
 
     fn doc(&self) -> &'static str {
-        "byte-format codecs (wav, artifact) must not narrow integers with `as`; use try_into"
+        "byte-format codecs (wav, artifact) and the quantization plane (ml quant, dsp kernels) \
+         must not narrow integers with `as`; use try_into or the saturating helpers"
     }
 
     fn applies_to(&self, rel: &str) -> bool {
         // Scoped to the byte-format codecs, where the cast source is a
         // field read off the wire; synthesis/DSP sample-index math in
-        // the rest of crates/audio is not parsing.
-        rel == "crates/audio/src/wav.rs" || rel.starts_with("crates/artifact/src/")
+        // the rest of crates/audio is not parsing. The quantization
+        // plane joins the scope because its i8 narrowing corrupts
+        // logits silently instead of crashing.
+        rel == "crates/audio/src/wav.rs"
+            || rel.starts_with("crates/artifact/src/")
+            || rel.starts_with("crates/ml/src/quant")
+            || rel == "crates/dsp/src/kernel.rs"
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {

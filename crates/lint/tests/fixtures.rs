@@ -19,6 +19,8 @@ const CASES: &[(&str, &str)] = &[
     ("channel-discipline", "crates/serve/src/fixture.rs"),
     ("unbounded-with-capacity", "crates/audio/src/fixture.rs"),
     ("numeric-truncation", "crates/audio/src/wav.rs"),
+    ("numeric-truncation", "crates/ml/src/quant.rs"),
+    ("numeric-truncation", "crates/dsp/src/kernel.rs"),
     ("persist-schema", "crates/artifact/src/fixture.rs"),
     ("todo-markers", "crates/core/src/fixture.rs"),
     ("suppression-hygiene", "crates/core/src/fixture.rs"),

@@ -16,7 +16,7 @@ serve-no-panic           deny   no unwrap/expect/panic!/unreachable! in crates/s
 lock-discipline          deny   in crates/serve, .lock() may appear only inside SharedCache::with (poison recovery)
 channel-discipline       deny   in crates/serve, channels must be bounded: no unbounded()/mpsc::channel()
 unbounded-with-capacity  warn   in audio/artifact parsers, with_capacity/vec![..; n] from parsed values needs a prior limit check (heuristic)
-numeric-truncation       deny   byte-format codecs (wav, artifact) must not narrow integers with `as`; use try_into
+numeric-truncation       deny   byte-format codecs (wav, artifact) and the quantization plane (ml quant, dsp kernels) must not narrow integers with `as`; use try_into or the saturating helpers
 persist-schema           deny   every `impl Persist for T` declares a `SCHEMA_VERSION` const for its wire format
 todo-markers             deny   no todo!/unimplemented!/dbg! anywhere in non-test workspace code
 suppression-hygiene      deny   every mvp-lint marker is a well-formed allow(<known-rule>) -- <reason>

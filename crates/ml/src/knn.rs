@@ -68,7 +68,9 @@ impl Classifier for Knn {
         let mut dists: Vec<(f64, usize)> =
             self.x.rows().zip(&self.y).map(|(xi, &yi)| (dist_sq(xi, x), yi)).collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        // total_cmp: a NaN distance (degenerate feature) sorts last and
+        // never panics, so one bad dimension cannot abort a serve worker.
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let votes: usize = dists[..k].iter().map(|&(_, y)| y).sum();
         usize::from(votes * 2 > k)
     }
@@ -118,5 +120,16 @@ mod tests {
     #[should_panic(expected = "not fitted")]
     fn predict_before_fit_panics() {
         Knn::new(3).predict(&[0.0]);
+    }
+
+    #[test]
+    fn nan_query_votes_over_finite_neighbours() {
+        // A NaN coordinate makes every distance NaN-free rows' distances
+        // finite and NaN rows sort last under total_cmp — the vote
+        // proceeds instead of panicking.
+        let mut knn = Knn::new(10);
+        knn.fit(&clusters());
+        let p = knn.predict(&[f64::NAN, 0.0]);
+        assert!(p <= 1);
     }
 }

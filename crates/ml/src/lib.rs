@@ -35,6 +35,7 @@ pub mod knn;
 pub mod logistic;
 pub mod metrics;
 pub mod oneclass;
+pub mod quant;
 pub mod roc;
 pub mod svm;
 pub mod tree;
@@ -48,6 +49,7 @@ pub use metrics::mean_std;
 pub use metrics::BinaryMetrics;
 pub use mvp_dsp::Mat;
 pub use oneclass::OneClassScorer;
+pub use quant::{Calibration, InputQuantizer, QuantizedMatrix};
 pub use roc::{auc, roc_curve, threshold_for_fpr, RocPoint};
 pub use svm::{Kernel, Svm};
 

@@ -58,7 +58,7 @@ impl OneClassScorer {
 
         let mut scorer = OneClassScorer { mean, inv_std, threshold: 0.0 };
         let mut train_scores: Vec<f64> = rows.rows().map(|r| scorer.score(r)).collect();
-        train_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite training scores"));
+        train_scores.sort_by(f64::total_cmp);
         let idx = ((train_scores.len() - 1) as f64 * quantile).ceil() as usize;
         scorer.threshold = train_scores[idx.min(train_scores.len() - 1)];
         scorer
@@ -164,6 +164,22 @@ mod tests {
         let s = scorer.score(&[0.5, 0.2]);
         assert!(s.is_finite());
         assert!(scorer.is_anomalous(&[0.5, 0.2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite training feature")]
+    fn nan_training_row_is_refused_at_the_boundary() {
+        // Corrupt activations are rejected with a clear message before
+        // they can poison the fit statistics — not deep inside a sort.
+        let mut rows: Vec<Vec<f64>> = benign_rows().rows().map(<[f64]>::to_vec).collect();
+        rows.push(vec![f64::NAN, 0.8, 1.0]);
+        OneClassScorer::fit_benign(&Mat::from_rows(rows, 3), 0.9);
+    }
+
+    #[test]
+    fn nan_query_score_degrades_without_panic() {
+        let scorer = OneClassScorer::fit_benign(&benign_rows(), 0.9);
+        let _ = scorer.is_anomalous(&[f64::NAN, 0.85, 1.0]);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Post-training symmetric int8 quantization — the numeric substrate of
+//! the precision-variant ensemble members (PVP, PAPERS.md).
+//!
+//! Symmetric quantization maps a real tensor onto i8 codes through a
+//! single positive scale per row, with the zero point pinned at `0`:
+//! `x ≈ scale · q` with `q ∈ [-127, 127]`. Pinning the zero point is
+//! what lets the i8 GEMM accumulate raw products in i32 with no
+//! cross-terms — dequantization is one multiply per output, so the
+//! quantized path stays a drop-in replacement for the f64 kernels.
+//!
+//! Three pieces:
+//!
+//! - [`QuantizedMatrix`]: an i8 weight tensor with per-row scales,
+//!   chosen per row as `max|w| / 127` so every row uses the full code
+//!   range regardless of how unbalanced the layer is.
+//! - [`Calibration`] → [`InputQuantizer`]: a max-abs pass over a benign
+//!   activation sample fixes one *per-layer* scale for runtime inputs
+//!   (weights are known at quantization time; activations are not).
+//!   Non-finite observations are skipped and counted, never propagated.
+//! - [`saturate_i8`] / [`saturate_i32`]: the only sanctioned f64→int
+//!   conversions in this module. Round-to-nearest, clamp to the target
+//!   range, NaN to zero — narrowing can saturate but never wrap. The
+//!   `numeric-truncation` lint keeps bare `as` narrowing out of the
+//!   quantization plane.
+
+use mvp_artifact::{ArtifactError, Decoder, Encoder};
+
+/// Largest magnitude an i8 code may take. Symmetric range `±127`: the
+/// code `-128` is never produced, so negating a quantized tensor stays
+/// inside the representation.
+pub const Q_MAX: f64 = 127.0;
+
+/// Clamp-checked `f64 → i8`: round to nearest, saturate to `±127`,
+/// `NaN → 0`. Never wraps.
+pub fn saturate_i8(x: f64) -> i8 {
+    if x.is_nan() {
+        return 0;
+    }
+    // The i64 intermediate is exact for the clamped range; `try_from`
+    // (rather than a bare `as i8`) keeps the no-wrap guarantee checked.
+    let clamped = x.round().clamp(-Q_MAX, Q_MAX);
+    i8::try_from(clamped as i64).expect("clamped to i8 range")
+}
+
+/// Clamp-checked `f64 → i32`: round to nearest, saturate to the i32
+/// range, `NaN → 0`. Never wraps.
+pub fn saturate_i32(x: f64) -> i32 {
+    if x.is_nan() {
+        return 0;
+    }
+    let clamped = x.round().clamp(f64::from(i32::MIN), f64::from(i32::MAX));
+    i32::try_from(clamped as i64).expect("clamped to i32 range")
+}
+
+/// A row-major i8 matrix with one symmetric dequantization scale per
+/// row: element `(r, c)` of the real matrix is approximately
+/// `scales[r] · data[r·n_cols + c]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    data: Vec<i8>,
+    n_cols: usize,
+    scales: Vec<f64>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a row-major `n_rows × n_cols` f64 buffer, one max-abs
+    /// scale per row. An all-zero (or all-NaN) row gets scale `1.0` and
+    /// all-zero codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != n_rows * n_cols`.
+    pub fn quantize(rows: &[f64], n_rows: usize, n_cols: usize) -> QuantizedMatrix {
+        assert_eq!(rows.len(), n_rows * n_cols, "quantize: shape mismatch");
+        let mut data = Vec::with_capacity(rows.len());
+        let mut scales = Vec::with_capacity(n_rows);
+        for row in rows.chunks_exact(n_cols.max(1)) {
+            let max_abs =
+                row.iter().filter(|v| v.is_finite()).fold(0.0f64, |acc, &v| acc.max(v.abs()));
+            let scale = if max_abs > 0.0 { max_abs / Q_MAX } else { 1.0 };
+            scales.push(scale);
+            data.extend(row.iter().map(|&v| saturate_i8(v / scale)));
+        }
+        QuantizedMatrix { data, n_cols, scales }
+    }
+
+    /// Number of rows (one scale each).
+    pub fn n_rows(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The row-major i8 codes.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-row dequantization scales.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Reconstructs the approximate f64 matrix (row-major).
+    pub fn dequantize(&self) -> Vec<f64> {
+        let cols = self.n_cols.max(1);
+        self.data
+            .chunks_exact(cols)
+            .zip(&self.scales)
+            .flat_map(|(row, &s)| row.iter().map(move |&q| f64::from(q) * s))
+            .collect()
+    }
+
+    /// Appends the matrix to an artifact payload.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_cols);
+        enc.put_f64s(&self.scales);
+        enc.put_i8s(&self.data);
+    }
+
+    /// Reads a matrix written by [`encode`](Self::encode), refusing
+    /// inconsistent shapes and non-positive or non-finite scales.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<QuantizedMatrix, ArtifactError> {
+        let n_cols = dec.usize()?;
+        let scales = dec.f64s()?;
+        let data = dec.i8s()?;
+        if scales.len().checked_mul(n_cols) != Some(data.len()) {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "quantized matrix {} scales x {n_cols} cols vs {} codes",
+                scales.len(),
+                data.len()
+            )));
+        }
+        if let Some(bad) = scales.iter().find(|s| !s.is_finite() || **s <= 0.0) {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "quantized matrix scale {bad} not positive finite"
+            )));
+        }
+        Ok(QuantizedMatrix { data, n_cols, scales })
+    }
+}
+
+/// A max-abs calibration pass over a benign activation sample.
+///
+/// Feed every activation vector the f32 model produces on calibration
+/// audio through [`observe`](Self::observe); the resulting
+/// [`InputQuantizer`] maps the observed dynamic range onto the full i8
+/// code range. Values outside the calibrated range at inference time
+/// saturate — they do not wrap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Calibration {
+    max_abs: f64,
+    n_observed: usize,
+    n_skipped: usize,
+}
+
+impl Calibration {
+    /// An empty calibration.
+    pub fn new() -> Calibration {
+        Calibration::default()
+    }
+
+    /// Accumulates one activation vector. Non-finite entries are skipped
+    /// and counted instead of poisoning the range.
+    pub fn observe(&mut self, xs: &[f64]) {
+        for &x in xs {
+            if x.is_finite() {
+                self.max_abs = self.max_abs.max(x.abs());
+                self.n_observed += 1;
+            } else {
+                self.n_skipped += 1;
+            }
+        }
+    }
+
+    /// Finite values observed so far.
+    pub fn n_observed(&self) -> usize {
+        self.n_observed
+    }
+
+    /// Non-finite values skipped so far (a health signal: a large count
+    /// means the calibration sample itself is degenerate).
+    pub fn n_skipped(&self) -> usize {
+        self.n_skipped
+    }
+
+    /// Largest finite magnitude observed.
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Fixes the per-layer input scale from the observed range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing finite was observed — an input quantizer fitted
+    /// on no data would silently zero every activation.
+    pub fn input_quantizer(&self) -> InputQuantizer {
+        assert!(self.n_observed > 0, "calibration saw no finite activations");
+        let scale = if self.max_abs > 0.0 { self.max_abs / Q_MAX } else { 1.0 };
+        InputQuantizer { scale }
+    }
+}
+
+/// Per-layer symmetric activation quantizer: `q = saturate(x / scale)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputQuantizer {
+    scale: f64,
+}
+
+impl InputQuantizer {
+    /// A quantizer with an explicit scale (tests, hand-built layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn with_scale(scale: f64) -> InputQuantizer {
+        assert!(scale.is_finite() && scale > 0.0, "input scale {scale} not positive finite");
+        InputQuantizer { scale }
+    }
+
+    /// The dequantization scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Quantizes a vector into a caller-owned buffer (resized to fit).
+    ///
+    /// Hot path of the int8 acoustic model: delegates to the vectorized
+    /// [`mvp_dsp::kernel::quantize_i8`], which is bit-exact against
+    /// per-element [`saturate_i8`] on every input (its scalar oracle is
+    /// the same checked arithmetic).
+    pub fn quantize_into(&self, xs: &[f64], out: &mut Vec<i8>) {
+        out.clear();
+        out.resize(xs.len(), 0);
+        mvp_dsp::kernel::quantize_i8(xs, self.scale, out);
+    }
+
+    /// Appends the quantizer to an artifact payload.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.scale);
+    }
+
+    /// Reads a quantizer written by [`encode`](Self::encode), refusing
+    /// non-positive or non-finite scales.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<InputQuantizer, ArtifactError> {
+        let scale = dec.f64()?;
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(ArtifactError::SchemaMismatch(format!(
+                "input scale {scale} not positive finite"
+            )));
+        }
+        Ok(InputQuantizer { scale })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturate_i8_rounds_clamps_and_absorbs_nan() {
+        assert_eq!(saturate_i8(0.49), 0);
+        assert_eq!(saturate_i8(0.51), 1);
+        assert_eq!(saturate_i8(-0.51), -1);
+        assert_eq!(saturate_i8(126.6), 127);
+        assert_eq!(saturate_i8(300.0), 127);
+        assert_eq!(saturate_i8(-300.0), -127);
+        assert_eq!(saturate_i8(f64::INFINITY), 127);
+        assert_eq!(saturate_i8(f64::NEG_INFINITY), -127);
+        assert_eq!(saturate_i8(f64::NAN), 0);
+    }
+
+    #[test]
+    fn saturate_i32_clamps_at_the_type_range() {
+        assert_eq!(saturate_i32(1e18), i32::MAX);
+        assert_eq!(saturate_i32(-1e18), i32::MIN);
+        assert_eq!(saturate_i32(12_345.4), 12_345);
+        assert_eq!(saturate_i32(f64::NAN), 0);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_is_bounded_by_half_a_step() {
+        let rows: Vec<f64> = (0..60).map(|i| (i as f64 * 0.7).sin() * (1.0 + i as f64)).collect();
+        let q = QuantizedMatrix::quantize(&rows, 6, 10);
+        let back = q.dequantize();
+        for (r, chunk) in rows.chunks(10).enumerate() {
+            let step = q.scales()[r];
+            for (c, &orig) in chunk.iter().enumerate() {
+                let err = (back[r * 10 + c] - orig).abs();
+                assert!(err <= step / 2.0 + 1e-12, "({r},{c}): err {err} vs step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_code_range_is_used_per_row() {
+        // Rows with wildly different magnitudes each hit ±127.
+        let rows = [vec![1e-3, -1e-3, 5e-4], vec![1e3, -1e3, 500.0]];
+        let flat: Vec<f64> = rows.concat();
+        let q = QuantizedMatrix::quantize(&flat, 2, 3);
+        assert_eq!(q.data()[0], 127);
+        assert_eq!(q.data()[3], 127);
+        assert_eq!(q.data()[4], -127);
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_zero_codes() {
+        let q = QuantizedMatrix::quantize(&[0.0; 8], 2, 4);
+        assert!(q.data().iter().all(|&v| v == 0));
+        assert!(q.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn calibration_skips_and_counts_non_finite() {
+        let mut cal = Calibration::new();
+        cal.observe(&[0.5, f64::NAN, -2.0, f64::INFINITY]);
+        assert_eq!(cal.n_observed(), 2);
+        assert_eq!(cal.n_skipped(), 2);
+        assert_eq!(cal.max_abs(), 2.0);
+        let iq = cal.input_quantizer();
+        assert!((iq.scale() - 2.0 / Q_MAX).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite activations")]
+    fn calibration_on_nothing_is_refused() {
+        let mut cal = Calibration::new();
+        cal.observe(&[f64::NAN]);
+        cal.input_quantizer();
+    }
+
+    #[test]
+    fn input_quantizer_saturates_out_of_range() {
+        let iq = InputQuantizer::with_scale(0.1);
+        let mut out = Vec::new();
+        iq.quantize_into(&[0.1, -0.1, 100.0, -100.0, f64::NAN], &mut out);
+        assert_eq!(out, vec![1, -1, 127, -127, 0]);
+    }
+
+    #[test]
+    fn matrix_codec_round_trips_and_refuses_bad_payloads() {
+        let rows: Vec<f64> = (0..12).map(|i| i as f64 - 6.0).collect();
+        let q = QuantizedMatrix::quantize(&rows, 3, 4);
+        let mut enc = Encoder::new();
+        q.encode(&mut enc);
+        let mut dec = Decoder::new(enc.as_bytes());
+        assert_eq!(QuantizedMatrix::decode(&mut dec).unwrap(), q);
+        dec.finish().unwrap();
+
+        // Shape lie: 3 scales x 5 cols vs 12 codes.
+        let mut enc = Encoder::new();
+        enc.put_usize(5);
+        enc.put_f64s(q.scales());
+        enc.put_i8s(q.data());
+        assert!(matches!(
+            QuantizedMatrix::decode(&mut Decoder::new(enc.as_bytes())),
+            Err(ArtifactError::SchemaMismatch(_))
+        ));
+
+        // Poisoned scale.
+        let mut enc = Encoder::new();
+        enc.put_usize(4);
+        enc.put_f64s(&[q.scales()[0], -1.0, q.scales()[2]]);
+        enc.put_i8s(q.data());
+        assert!(matches!(
+            QuantizedMatrix::decode(&mut Decoder::new(enc.as_bytes())),
+            Err(ArtifactError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn input_quantizer_codec_refuses_bad_scale() {
+        let iq = InputQuantizer::with_scale(0.25);
+        let mut enc = Encoder::new();
+        iq.encode(&mut enc);
+        assert_eq!(InputQuantizer::decode(&mut Decoder::new(enc.as_bytes())).unwrap(), iq);
+
+        let mut enc = Encoder::new();
+        enc.put_f64(0.0);
+        assert!(matches!(
+            InputQuantizer::decode(&mut Decoder::new(enc.as_bytes())),
+            Err(ArtifactError::SchemaMismatch(_))
+        ));
+    }
+}

@@ -32,7 +32,7 @@ pub fn roc_curve(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
     assert!(pos > 0 && neg > 0, "need both classes for a ROC curve");
 
     let mut thresholds: Vec<f64> = scores.to_vec();
-    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    thresholds.sort_by(f64::total_cmp);
     thresholds.dedup();
 
     let mut points = vec![RocPoint { threshold: f64::NEG_INFINITY, fpr: 0.0, tpr: 0.0 }];
@@ -54,12 +54,7 @@ pub fn roc_curve(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
             tpr: tp as f64 / pos as f64,
         });
     }
-    points.sort_by(|a, b| {
-        a.fpr
-            .partial_cmp(&b.fpr)
-            .expect("NaN rate")
-            .then(a.tpr.partial_cmp(&b.tpr).expect("NaN rate"))
-    });
+    points.sort_by(|a, b| a.fpr.total_cmp(&b.fpr).then(a.tpr.total_cmp(&b.tpr)));
     points
 }
 
@@ -137,5 +132,17 @@ mod tests {
     #[should_panic(expected = "both classes")]
     fn single_class_rejected() {
         roc_curve(&[0.1, 0.2], &[1, 1]);
+    }
+
+    #[test]
+    fn nan_score_degrades_instead_of_panicking() {
+        // A NaN score sorts past every finite threshold candidate and
+        // compares false against all of them; the curve and its area stay
+        // finite.
+        let scores = [0.1, 0.2, f64::NAN, 0.9, 0.95, 0.85];
+        let labels = [1, 1, 1, 0, 0, 0];
+        let curve = roc_curve(&scores, &labels);
+        assert!(auc(&curve).is_finite());
+        assert!(curve.iter().all(|p| p.fpr.is_finite() && p.tpr.is_finite()));
     }
 }

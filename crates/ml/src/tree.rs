@@ -79,7 +79,9 @@ fn grow(
     let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
     for &f in features {
         let mut values: Vec<f64> = idx.iter().map(|&i| x.row(i)[f]).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        // total_cmp: NaN features sort last and split like any other
+        // value instead of panicking mid-fit.
+        values.sort_by(f64::total_cmp);
         values.dedup();
         for w in values.windows(2) {
             let thr = (w[0] + w[1]) / 2.0;
@@ -270,6 +272,17 @@ mod tests {
         let d = steps();
         let tree = DecisionTree::fit(&d, &TreeConfig { max_depth: 0, min_samples_split: 2 });
         assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn nan_feature_fits_and_predicts_without_panic() {
+        // A NaN cell sorts last under total_cmp during split search; the
+        // fit completes and prediction routes NaN right (`<=` is false).
+        let mut x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 10.0, 0.0]).collect();
+        x[3][0] = f64::NAN;
+        let y: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        let tree = DecisionTree::fit(&Dataset::from_rows(x, y), &TreeConfig::default());
+        assert!(tree.predict(&[f64::NAN, 0.0]) <= 1);
     }
 
     #[test]

@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 
 use mvp_artifact::{ArtifactError, Persist};
-use mvp_asr::{AsrScratch, AsrStream, TrainedAsr};
+use mvp_asr::{Asr, AsrProfile, AsrScratch, AsrStream, TrainedAsr};
 use mvp_audio::Waveform;
 use mvp_ears::{DetectionSystem, DetectionSystemSnapshot, EarlyExit};
 use mvp_modality::{ModalityInput, ModalityKind};
@@ -89,6 +89,15 @@ pub struct EngineConfig {
     /// May be shorter than the full auxiliary list; missing tail entries
     /// are `None`.
     pub aux_deadline_ms: Vec<Option<u64>>,
+    /// Per-auxiliary precision mix (the PVP axis): `true` swaps that
+    /// auxiliary's persistent worker to the profile's int8 quantized
+    /// variant at engine start, so the ensemble mixes f64 and int8
+    /// members without retraining or re-snapshotting. May be shorter
+    /// than the auxiliary list; missing tail entries stay f64. An
+    /// auxiliary that is already an int8 variant is left as-is; one
+    /// whose name matches no [`AsrProfile`] cannot be swapped and fails
+    /// engine start.
+    pub aux_int8: Vec<bool>,
     /// Transcription-cache capacity in waveforms; `0` disables caching.
     pub cache_cap: usize,
     /// The modality mix scored per request, in order. Every kind must be
@@ -129,6 +138,7 @@ impl Default for EngineConfig {
             max_delay_ms: 5,
             deadline_ms: 1_000,
             aux_deadline_ms: Vec::new(),
+            aux_int8: Vec::new(),
             cache_cap: 256,
             modalities: Vec::new(),
             modality_budget_ms: Vec::new(),
@@ -406,8 +416,12 @@ struct StreamState {
     /// Chunk seq of the last early-exit evaluation (each chunk is
     /// evaluated at most once, after every recogniser has reported it).
     evaluated_seq: u64,
-    /// Target-recogniser logit frames decoded so far.
-    frames: usize,
+    /// Per recogniser: logit frames decoded so far. The early-exit
+    /// `min_frames` gate reads the minimum, mirroring
+    /// `mvp_ears::DetectionStream::evaluate` — a heavily subsampling
+    /// auxiliary (or a lagging precision variant) must not be judged on a
+    /// near-empty running transcript.
+    frames: Vec<usize>,
     /// Per recogniser: latest running `(seq, transcript)`.
     running: Vec<Option<(u64, String)>>,
     /// Per recogniser: the final flushed transcript.
@@ -616,6 +630,12 @@ impl DetectionEngine {
             config.aux_deadline_ms.len(),
             n_aux
         );
+        assert!(
+            config.aux_int8.len() <= n_aux,
+            "aux_int8 has {} entries for {} auxiliaries",
+            config.aux_int8.len(),
+            n_aux
+        );
         assert_eq!(policy.n_aux(), n_aux, "degrade policy dimension mismatch");
         let registered = system.modalities().kinds();
         for (i, kind) in config.modalities.iter().enumerate() {
@@ -653,7 +673,21 @@ impl DetectionEngine {
         let (collector_tx, collector_rx) =
             channel::bounded::<CollectorMsg>((config.queue_cap * 8).max(256));
 
-        let recognizers = system.recognizers();
+        let mut recognizers = system.recognizers();
+        // Apply the precision mix: marked auxiliaries transcribe on the
+        // profile's int8 variant while scoring, classification and the
+        // cache stay untouched (both precisions produce plain text).
+        for (j, &int8) in config.aux_int8.iter().enumerate() {
+            if !int8 || recognizers[j + 1].quantized_model().is_some() {
+                continue;
+            }
+            let name = recognizers[j + 1].name().to_string();
+            let Some(profile) = AsrProfile::by_name(&name) else {
+                // mvp-lint: allow(serve-no-panic) -- engine construction config validation, before any request is accepted
+                panic!("aux_int8[{j}]: auxiliary {name:?} matches no profile, cannot derive its int8 variant")
+            };
+            recognizers[j + 1] = profile.trained_quantized();
+        }
         // Partition the machine's cores between the ASR workers: each
         // worker's kernel-plane frame parallelism (`par_rows` inside
         // MFCC/CTC) gets an equal share, so intra-request data
@@ -1308,7 +1342,7 @@ fn collector_loop(
                         answered: false,
                         collapsed: 0,
                         evaluated_seq: 0,
-                        frames: 0,
+                        frames: vec![0; n_rec],
                         running: vec![None; n_rec],
                         finals: vec![None; n_rec],
                     },
@@ -1316,9 +1350,7 @@ fn collector_loop(
             }
             Ok(CollectorMsg::StreamRunning { stream_id, asr_index, seq, frames, text }) => {
                 if let Some(state) = streams.get_mut(&stream_id) {
-                    if asr_index == 0 {
-                        state.frames = frames;
-                    }
+                    state.frames[asr_index] = frames;
                     state.running[asr_index] = Some((seq, text));
                     if !state.answered {
                         if let Some(rule) = early {
@@ -1405,7 +1437,7 @@ fn evaluate_stream(
         return;
     }
     state.evaluated_seq = seq;
-    if state.frames < rule.min_frames {
+    if state.frames.iter().copied().min().unwrap_or(0) < rule.min_frames {
         return;
     }
     let target = state.running[0].as_ref().map_or("", |(_, t)| t.as_str());

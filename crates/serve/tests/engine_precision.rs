@@ -1,0 +1,83 @@
+//! End-to-end tests for the engine's per-auxiliary precision mix
+//! (`EngineConfig::aux_int8`): a marked auxiliary's worker runs the
+//! profile's int8 quantized variant, and the verdict matches in-process
+//! detection with that variant as an ensemble member.
+
+use std::sync::Arc;
+
+use mvp_asr::{AsrProfile, PrecisionVariant};
+use mvp_audio::synth::{SpeakerProfile, Synthesizer};
+use mvp_ears::DetectionSystem;
+use mvp_ml::ClassifierKind;
+use mvp_phonetics::Lexicon;
+use mvp_serve::{DegradePolicy, DetectionEngine, EngineConfig, VerdictKind};
+
+fn train(system: &mut DetectionSystem) {
+    let benign: Vec<Vec<f64>> = (0..30).map(|i| vec![0.85 + (i % 10) as f64 * 0.01]).collect();
+    let aes: Vec<Vec<f64>> = (0..30).map(|i| vec![0.2 + (i % 10) as f64 * 0.01]).collect();
+    system.train_on_scores(&benign, &aes, ClassifierKind::Svm);
+}
+
+fn speech() -> mvp_audio::Waveform {
+    let synth = Synthesizer::new(16_000);
+    synth.synthesize(&Lexicon::builtin(), "turn on the light", &SpeakerProfile::default()).0
+}
+
+#[test]
+fn aux_int8_swaps_the_worker_to_the_quantized_variant() {
+    // Reference: in-process detection with DS1@int8 as the auxiliary.
+    let mut reference = DetectionSystem::builder(AsrProfile::Ds0)
+        .auxiliary_variant(PrecisionVariant::int8(AsrProfile::Ds1))
+        .build();
+    train(&mut reference);
+    let wave = speech();
+    let expected = reference.detect(&wave);
+
+    // Engine: the *full-precision* system, with the mix requesting int8
+    // for auxiliary 0. Quantization is deterministic, so the served
+    // verdict must match the in-process one bit for bit.
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    train(&mut system);
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let config = EngineConfig { aux_int8: vec![true], cache_cap: 0, ..EngineConfig::default() };
+    let engine = DetectionEngine::start(Arc::new(system), policy, config);
+    let verdict = engine.detect_blocking(wave).unwrap();
+    engine.shutdown();
+
+    assert_eq!(verdict.kind, VerdictKind::Full);
+    assert_eq!(verdict.is_adversarial, Some(expected.is_adversarial));
+    let scores: Vec<Option<f64>> = expected.scores.iter().map(|&s| Some(s)).collect();
+    assert_eq!(verdict.scores, scores);
+    assert_eq!(
+        verdict.target_transcription.as_deref(),
+        Some(expected.target_transcription.as_str())
+    );
+}
+
+#[test]
+fn empty_precision_mix_serves_full_precision() {
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    train(&mut system);
+    let wave = speech();
+    let expected = system.detect(&wave);
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let engine = DetectionEngine::start(
+        Arc::new(system),
+        policy,
+        EngineConfig { cache_cap: 0, ..EngineConfig::default() },
+    );
+    let verdict = engine.detect_blocking(wave).unwrap();
+    engine.shutdown();
+    let scores: Vec<Option<f64>> = expected.scores.iter().map(|&s| Some(s)).collect();
+    assert_eq!(verdict.scores, scores);
+}
+
+#[test]
+#[should_panic(expected = "aux_int8")]
+fn oversized_precision_mix_is_rejected() {
+    let mut system = DetectionSystem::builder(AsrProfile::Ds0).auxiliary(AsrProfile::Ds1).build();
+    train(&mut system);
+    let policy = DegradePolicy::untrained(system.n_auxiliaries());
+    let config = EngineConfig { aux_int8: vec![true, true], ..EngineConfig::default() };
+    let _ = DetectionEngine::start(Arc::new(system), policy, config);
+}

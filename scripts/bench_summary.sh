@@ -61,6 +61,16 @@ def summarize(path, doc):
     elif name == "BENCH_obs.json" and "modes" in doc:
         worst = max(m.get("overhead_pct", 0) for m in doc["modes"])
         add("obs", f"{len(doc['modes'])} modes", f"worst overhead {worst:.2f}%")
+    elif name == "BENCH_quant.json" and "aucs" in doc:
+        add("quant", "int8 inference",
+            f"AM {doc.get('am_headline_speedup', 0):.2f}x f64 (GCS), "
+            f"end-to-end {doc.get('transcribe_speedup', 0):.2f}x, "
+            f"benign agreement {doc.get('benign_agreement', 0):.0%}")
+        aucs = doc["aucs"]
+        add("quant", "ensemble AUC",
+            f"precision-only {aucs.get('precision_only', 0):.4f}, "
+            f"profile-only {aucs.get('profile_only', 0):.4f}, "
+            f"mixed {aucs.get('mixed', 0):.4f}")
     else:
         kind = f"{len(doc)} entries" if isinstance(doc, list) else "object"
         add(name.removeprefix("BENCH_").removesuffix(".json"), kind, "(no summarizer)")

@@ -57,6 +57,13 @@ cargo run --release -q -p mvp-bench --bin kernel_smoke
 # is the gate).
 cargo run --release -q -p mvp-bench --bin shard_smoke
 
+# Quantization-plane smoke: the int8 GCS acoustic model must beat f64
+# by >= 1.3x (the AM level is where the win physically lives — the MFCC
+# frontend dominates end-to-end transcription), the int8 target must
+# agree with its f64 parent on tiny-scale benign speech, and a corrupt
+# quantized artifact must be refused typed (exit status is the gate).
+cargo run --release -q -p mvp-bench --bin quant_smoke
+
 # Collate whatever BENCH_*.json artifacts exist into one trajectory
 # table (informational; never fails the gate on missing artifacts).
 scripts/bench_summary.sh
