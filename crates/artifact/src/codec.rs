@@ -144,11 +144,13 @@ impl<'a> Decoder<'a> {
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, ArtifactError> {
+        // mvp-lint: allow(panic-path) -- take(4)? returned exactly 4 bytes, so the array conversion cannot fail
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, ArtifactError> {
+        // mvp-lint: allow(panic-path) -- take(8)? returned exactly 8 bytes, so the array conversion cannot fail
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 

@@ -739,6 +739,7 @@ pub fn softmax_into(logits: &[f64], out: &mut [f64]) {
 /// panicking mid-decode (it ranks above every finite value and wins,
 /// which downstream decoding treats like any other class choice).
 pub fn argmax(v: &[f64]) -> usize {
+    // mvp-lint: allow(panic-path) -- callers pass N_CLASSES-wide logit rows; an empty row is a construction bug, not request input
     v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).expect("empty logits")
 }
 

@@ -84,6 +84,7 @@ impl FeatureFrontEnd {
     /// ([`FeatureFrontEnd::new`] on the result reproduces it exactly).
     pub fn config(&self) -> FrontEndConfig {
         FrontEndConfig {
+            // mvp-lint: allow(hot-path-alloc) -- one-shot persistence snapshot; reached only through a name-collision with MfccExtractor::config
             mfcc: self.extractor.config().clone(),
             context: self.context,
             subsample: self.subsample,

@@ -259,7 +259,7 @@ pub fn blackbox_attack(
     for gen in 0..cfg.generations {
         generations_used = gen + 1;
         let mut order: Vec<usize> = (0..population.n_rows()).collect();
-        order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("NaN fitness"));
+        order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
         let mut sorted = Mat::zeros(0, 2 * k);
         for &i in &order {
             sorted.push_row(population.row(i));
@@ -297,7 +297,7 @@ pub fn blackbox_attack(
 
     // NES refinement on the best envelope.
     let mut order: Vec<usize> = (0..population.n_rows()).collect();
-    order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("NaN fitness"));
+    order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
     let mut best = population.row(order[0]).to_vec();
     let mut best_fit = fitness[order[0]];
     for step in 0..cfg.nes_steps {

@@ -161,6 +161,7 @@ pub mod scalar {
             } else {
                 // The i64 intermediate is exact for the clamped range;
                 // `try_from` keeps the no-wrap guarantee checked.
+                // mvp-lint: allow(panic-path) -- the clamp to [-127, 127] makes the conversion infallible
                 i8::try_from(q.round().clamp(-127.0, 127.0) as i64).expect("clamped to i8 range")
             };
         }
@@ -480,7 +481,9 @@ pub fn gemm_nt_i8(a: &[i8], m: usize, b: &[i8], n: usize, k: usize, out: &mut [i
         out.fill(0);
         return;
     }
+    // mvp-lint: allow(hot-path-alloc) -- one widening copy per GEMM call, amortized over O(m*n*k) work; the i8 kernel API is scratch-free by design
     let aw: Vec<i16> = a.iter().map(|&x| i16::from(x)).collect();
+    // mvp-lint: allow(hot-path-alloc) -- one widening copy per GEMM call, amortized over O(m*n*k) work; the i8 kernel API is scratch-free by design
     let bw: Vec<i16> = b.iter().map(|&x| i16::from(x)).collect();
     #[cfg(target_arch = "x86_64")]
     {

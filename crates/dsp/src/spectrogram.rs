@@ -53,11 +53,8 @@ impl Spectrogram {
     /// Panics if `t >= n_frames`.
     pub fn peak_frequency(&self, t: usize) -> f64 {
         let frame = self.frame(t);
-        let (idx, _) = frame
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN bin"))
-            .expect("non-empty frame");
+        let (idx, _) =
+            frame.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty frame");
         idx as f64 * self.bin_hz
     }
 

@@ -1,0 +1,12 @@
+// Linted as if at crates/asr/src/fixture.rs: both panicking comparator
+// shapes — unwrap and expect-with-tie-break — must be flagged.
+
+pub fn best(scores: &[f64]) -> usize {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    order.first().copied().unwrap_or(0)
+}
+
+pub fn rank(scored: &mut [(usize, f64)]) {
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN").then(a.0.cmp(&b.0)));
+}

@@ -1,0 +1,20 @@
+// total_cmp comparators (tie-breaks compose with .then), and a
+// partial_cmp whose Option is handled rather than unwrapped.
+
+pub fn best(scores: &[f64]) -> usize {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        let x = scores.get(a).copied().unwrap_or(f64::INFINITY);
+        let y = scores.get(b).copied().unwrap_or(f64::INFINITY);
+        x.total_cmp(&y)
+    });
+    order.first().copied().unwrap_or(0)
+}
+
+pub fn rank(scored: &mut [(usize, f64)]) {
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+}
+
+pub fn strictly_less(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(std::cmp::Ordering::Less)
+}

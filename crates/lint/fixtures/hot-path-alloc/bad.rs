@@ -1,0 +1,20 @@
+// Linted as if at crates/dsp/src/fixture.rs: `frame_into` is a
+// scratch-plan root, so the allocations it reaches — the vec! in its
+// own body and the with_capacity one hop down — must be flagged with
+// chains.
+
+pub fn frame_into(input: &[f64], out: &mut [f64]) {
+    let gains = vec![1.0; input.len()];
+    let weights = window(input.len());
+    for (((o, &x), &w), &g) in out.iter_mut().zip(input).zip(weights.iter()).zip(gains.iter()) {
+        *o = x * w * g;
+    }
+}
+
+fn window(n: usize) -> Vec<f64> {
+    let mut w = Vec::with_capacity(n);
+    for i in 0..n {
+        w.push(0.5 + 0.5 * (i as f64));
+    }
+    w
+}

@@ -1,0 +1,20 @@
+// Linted as if at crates/serve/src/fixture.rs: `submit` is a serve
+// entry-point name, so everything it calls is on the request path. The
+// panic two hops down, the unwrap one hop down and the direct indexing
+// must all be flagged, each with its call chain.
+
+pub fn submit(queue: &[u32]) -> u32 {
+    let first = queue[0];
+    dispatch(first)
+}
+
+fn dispatch(v: u32) -> u32 {
+    decode(v).unwrap()
+}
+
+fn decode(v: u32) -> Option<u32> {
+    if v > 10 {
+        panic!("value out of range");
+    }
+    Some(v)
+}

@@ -1,0 +1,27 @@
+// The same request path with every failure propagated instead of
+// panicking. `submit` stays defined so the rule's entry-point sweep has
+// a root (a serve file set with no entry points is itself a finding).
+
+pub fn submit(queue: &[u32]) -> Option<u32> {
+    let first = queue.first().copied()?;
+    dispatch(first)
+}
+
+fn dispatch(v: u32) -> Option<u32> {
+    decode(v)
+}
+
+fn decode(v: u32) -> Option<u32> {
+    if v > 10 {
+        return None;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicking_assertions_in_tests_are_fine() {
+        assert_eq!(super::submit(&[1]).unwrap(), 1);
+    }
+}

@@ -1,18 +1,22 @@
 //! The `lint` binary: runs the mvp-lint rule set over the workspace.
 //!
 //! ```text
-//! lint [--root <dir>] [--rule <name>] [--fail-on=warn|deny] [--json] [--list-rules]
+//! lint [--root <dir>] [--rule <name>] [--fail-on=warn|deny] [--json]
+//!      [--list-rules] [--explain <rule>] [--bench-out <path>]
 //! ```
 //!
 //! Exit status: 0 when no finding reaches the gate level, 1 when one
 //! does, 2 on usage or I/O errors — so `scripts/ci.sh` can gate on it
-//! directly.
+//! directly. `--bench-out` writes a BENCH_lint.json-style timing
+//! artifact (files scanned, call-graph size, wall time) for
+//! `scripts/bench_summary.sh`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use mvp_lint::{engine, report, Severity};
+use mvp_obs::json::JsonObj;
 
 struct Opts {
     root: PathBuf,
@@ -20,6 +24,8 @@ struct Opts {
     fail_on: Severity,
     json: bool,
     list_rules: bool,
+    explain: Option<String>,
+    bench_out: Option<PathBuf>,
 }
 
 fn main() -> ExitCode {
@@ -27,7 +33,10 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("lint: {msg}");
-            eprintln!("usage: lint [--root <dir>] [--rule <name>] [--fail-on=warn|deny] [--json] [--list-rules]");
+            eprintln!(
+                "usage: lint [--root <dir>] [--rule <name>] [--fail-on=warn|deny] [--json] \
+                 [--list-rules] [--explain <rule>] [--bench-out <path>]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -35,6 +44,18 @@ fn main() -> ExitCode {
     if opts.list_rules {
         print!("{}", report::list_rules());
         return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &opts.explain {
+        match report::explain(name) {
+            Some(page) => {
+                print!("{page}");
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!("lint: unknown rule `{name}`");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let started = Instant::now();
@@ -45,12 +66,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
     if opts.json {
         println!("{}", report::json(&run));
     } else {
         print!("{}", report::human(&run));
-        eprintln!("lint: finished in {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
+        eprintln!("lint: finished in {wall_ms:.1} ms");
+    }
+
+    if let Some(path) = &opts.bench_out {
+        let doc = JsonObj::new()
+            .str("bench", "lint")
+            .u64("files_scanned", run.files_scanned as u64)
+            .u64("graph_nodes", run.graph_nodes as u64)
+            .u64("graph_edges", run.graph_edges as u64)
+            .u64("findings", run.diagnostics.len() as u64)
+            .u64("suppressed", run.suppressed as u64)
+            .f64("wall_ms", wall_ms)
+            .finish();
+        if let Err(e) = std::fs::write(path, doc + "\n") {
+            eprintln!("lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
 
     if run.fails_at(opts.fail_on) {
@@ -67,6 +105,8 @@ fn parse_args() -> Result<Opts, String> {
         fail_on: Severity::Deny,
         json: false,
         list_rules: false,
+        explain: None,
+        bench_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,6 +119,13 @@ fn parse_args() -> Result<Opts, String> {
             "--rule" => {
                 opts.rule = Some(validated_rule(&args.next().ok_or("--rule needs a name")?)?);
             }
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule name")?);
+            }
+            "--bench-out" => {
+                opts.bench_out =
+                    Some(PathBuf::from(args.next().ok_or("--bench-out needs a path")?));
+            }
             other => {
                 if let Some(v) = other.strip_prefix("--rule=") {
                     opts.rule = Some(validated_rule(v)?);
@@ -90,6 +137,10 @@ fn parse_args() -> Result<Opts, String> {
                     };
                 } else if let Some(v) = other.strip_prefix("--root=") {
                     opts.root = PathBuf::from(v);
+                } else if let Some(v) = other.strip_prefix("--explain=") {
+                    opts.explain = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--bench-out=") {
+                    opts.bench_out = Some(PathBuf::from(v));
                 } else {
                     return Err(format!("unknown argument `{other}`"));
                 }

@@ -27,6 +27,19 @@ impl fmt::Display for Severity {
     }
 }
 
+/// One hop of interprocedural evidence: where a call chain passes
+/// through on its way from an entry point to the finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Workspace-relative path of the hop.
+    pub path: String,
+    /// 1-based line — the entry point's declaration for the first hop,
+    /// the call site inside the previous hop's fn for the rest.
+    pub line: usize,
+    /// Name of the function entered at this hop.
+    pub fn_name: String,
+}
+
 /// One rule finding at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -42,6 +55,10 @@ pub struct Diagnostic {
     pub col: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Call-chain evidence for interprocedural findings: entry point
+    /// first, the finding's enclosing fn last. Empty for per-file
+    /// rules.
+    pub chain: Vec<ChainHop>,
 }
 
 impl fmt::Display for Diagnostic {

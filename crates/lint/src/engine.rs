@@ -1,15 +1,42 @@
-//! The lint engine: runs the rule set over sources, applies inline
+//! The lint engine: parses the workspace once, runs per-file rules and
+//! workspace (interprocedural) rules over it, applies inline
 //! suppressions, and reports suppression-format problems as its own
 //! `suppression-hygiene` rule.
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::Path;
 
+use crate::callgraph::CallGraph;
 use crate::diag::{Diagnostic, Severity};
+use crate::items::ItemIndex;
 use crate::rules::{self, SUPPRESSION_HYGIENE};
 use crate::source::SourceFile;
 use crate::workspace;
+
+/// The whole parsed workspace, as seen by a
+/// [`rules::WorkspaceRule`]: every lexed file, the fn-item/call-site
+/// index over them, and the name-resolved call graph.
+pub struct Workspace {
+    /// Every lintable file, in scan order; ids into this vec are the
+    /// `file` fields of [`crate::items::FnItem`] and
+    /// [`crate::items::CallSite`].
+    pub files: Vec<SourceFile>,
+    /// Fn items and call sites across `files`.
+    pub index: ItemIndex,
+    /// Conservative name-resolved call graph over `index`.
+    pub graph: CallGraph,
+}
+
+impl Workspace {
+    /// Indexes and links `files` into an analysable workspace.
+    pub fn build(files: Vec<SourceFile>) -> Self {
+        let index = ItemIndex::build(&files);
+        let graph = CallGraph::build(&index, &files);
+        Workspace { files, index, graph }
+    }
+}
 
 /// Outcome of a lint run.
 pub struct LintReport {
@@ -19,6 +46,10 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Findings silenced by a well-formed, reasoned `allow(...)`.
     pub suppressed: usize,
+    /// Functions in the workspace call graph.
+    pub graph_nodes: usize,
+    /// Resolved call edges in the workspace call graph.
+    pub graph_edges: usize,
 }
 
 impl LintReport {
@@ -35,7 +66,9 @@ impl LintReport {
 
 /// Lints one in-memory source under a workspace-relative path. This is
 /// the fixture-test entry point: the `rel` path decides which rules are
-/// in scope, exactly as for on-disk files.
+/// in scope, exactly as for on-disk files, and workspace rules run over
+/// the single-file workspace (so a fixture can seed its own entry
+/// points).
 ///
 /// # Errors
 ///
@@ -46,10 +79,8 @@ pub fn lint_source(
     only_rule: Option<&str>,
 ) -> Result<Vec<Diagnostic>, String> {
     let file = SourceFile::parse(rel, text).map_err(|e| format!("{rel}: {e}"))?;
-    let mut out = Vec::new();
-    let mut suppressed = 0usize;
-    lint_file(&file, only_rule, &mut out, &mut suppressed);
-    Ok(out)
+    let report = run(vec![file], only_rule);
+    Ok(report.diagnostics)
 }
 
 /// Lints every non-vendor member source file under `root`.
@@ -59,45 +90,62 @@ pub fn lint_source(
 /// Propagates I/O failures; an unlexable file is reported as an
 /// `Err` so a lexer gap fails loudly instead of silently skipping.
 pub fn lint_workspace(root: &Path, only_rule: Option<&str>) -> io::Result<LintReport> {
-    let mut diagnostics = Vec::new();
-    let mut suppressed = 0usize;
-    let files = workspace::lintable_files(root)?;
-    let files_scanned = files.len();
-    for wf in &files {
+    let mut files = Vec::new();
+    for wf in workspace::lintable_files(root)? {
         let text = fs::read_to_string(&wf.abs)?;
         let file = SourceFile::parse(&wf.rel, &text)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", wf.rel)))?;
-        lint_file(&file, only_rule, &mut diagnostics, &mut suppressed);
+        files.push(file);
     }
-    diagnostics.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
-    Ok(LintReport { diagnostics, files_scanned, suppressed })
+    Ok(run(files, only_rule))
 }
 
-fn lint_file(
-    file: &SourceFile,
-    only_rule: Option<&str>,
-    out: &mut Vec<Diagnostic>,
-    suppressed: &mut usize,
-) {
-    for rule in rules::all() {
+/// The unified pass: per-file rules and hygiene over each file, then
+/// workspace rules over the linked whole, with one suppression filter
+/// for everything except hygiene (which is deliberately unsuppressible).
+fn run(files: Vec<SourceFile>, only_rule: Option<&str>) -> LintReport {
+    let ws = Workspace::build(files);
+    let mut raw = Vec::new();
+    let mut diagnostics = Vec::new();
+
+    for file in &ws.files {
+        for rule in rules::all() {
+            if only_rule.is_some_and(|r| r != rule.name()) {
+                continue;
+            }
+            if !rule.applies_to(&file.rel) {
+                continue;
+            }
+            rule.check(file, &mut raw);
+        }
+        if only_rule.is_none() || only_rule == Some(SUPPRESSION_HYGIENE) {
+            suppression_hygiene(file, &mut diagnostics);
+        }
+    }
+    for rule in rules::workspace_rules() {
         if only_rule.is_some_and(|r| r != rule.name()) {
             continue;
         }
-        if !rule.applies_to(&file.rel) {
-            continue;
-        }
-        let mut found = Vec::new();
-        rule.check(file, &mut found);
-        for d in found {
-            if file.is_suppressed(d.rule, d.line) {
-                *suppressed += 1;
-            } else {
-                out.push(d);
-            }
+        rule.check(&ws, &mut raw);
+    }
+
+    let by_rel: HashMap<&str, &SourceFile> = ws.files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    let mut suppressed = 0usize;
+    for d in raw {
+        let silenced = by_rel.get(d.path.as_str()).is_some_and(|f| f.is_suppressed(d.rule, d.line));
+        if silenced {
+            suppressed += 1;
+        } else {
+            diagnostics.push(d);
         }
     }
-    if only_rule.is_none() || only_rule == Some(SUPPRESSION_HYGIENE) {
-        suppression_hygiene(file, out);
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    LintReport {
+        diagnostics,
+        files_scanned: ws.files.len(),
+        suppressed,
+        graph_nodes: ws.index.fns.len(),
+        graph_edges: ws.graph.n_edges,
     }
 }
 
@@ -115,6 +163,7 @@ fn suppression_hygiene(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 line: s.line,
                 col: 1,
                 message,
+                chain: Vec::new(),
             });
         };
         if !s.well_formed {

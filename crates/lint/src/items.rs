@@ -1,0 +1,325 @@
+//! The item layer: every `fn` in the workspace as an addressable node,
+//! plus every call and method-call expression inside it.
+//!
+//! This sits between the lexer and the call graph. [`SourceFile`]
+//! already finds `fn` and `impl` brace spans; this module lifts them
+//! into a flat, workspace-wide [`ItemIndex`] — each function tagged
+//! with its impl owner (for conservative method resolution) — and
+//! scans each body for call expressions:
+//!
+//! - `name(...)` — a free call,
+//! - `.name(...)` — a method call (with the `self.name(...)` receiver
+//!   special-cased, since that one *can* be resolved precisely),
+//! - `Qual::name(...)` — a qualified call, keeping the last path
+//!   segment before the name as the qualifier (a type or module name).
+//!
+//! Turbofish (`name::<T>(...)`) is stepped over; macros (`name!`) and
+//! definitions (`fn name(`) are not calls. The scan is deliberately
+//! *syntactic*: it never knows receiver types, so resolution in
+//! `callgraph` over-approximates by name. The soundness caveats are
+//! documented in DESIGN.md §8 ("Workspace analysis").
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Words that look like `ident (` but never name a workspace function.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "loop", "match", "return", "let", "fn", "impl", "use",
+    "pub", "mod", "where", "move", "ref", "mut", "break", "continue", "unsafe", "dyn", "crate",
+    "super", "as", "const", "static", "type", "trait", "enum", "struct", "union", "await",
+];
+
+/// One `fn` item somewhere in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// The function's name.
+    pub name: String,
+    /// The self-type of the innermost enclosing `impl`, when the fn is
+    /// a method or associated function; `None` for free functions.
+    pub owner: Option<String>,
+    /// The trait being implemented, when the enclosing impl is a trait
+    /// impl (`impl Trait for Type`).
+    pub trait_name: Option<String>,
+    /// Byte span of the item (signature through closing `}`).
+    pub start: usize,
+    /// End of the item (exclusive).
+    pub end: usize,
+    /// 1-based line of the item start.
+    pub line: usize,
+    /// Whether the item is test code (test file, `#[cfg(test)]` module
+    /// or `#[test]` fn).
+    pub is_test: bool,
+}
+
+/// How a call expression names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(...)`; `self_receiver` is true for exactly
+    /// `self.name(...)` (one-segment receiver), which resolves within
+    /// the enclosing impl when possible.
+    Method {
+        /// True when the receiver is the bare `self`.
+        self_receiver: bool,
+    },
+    /// `Qual::name(...)` — the qualifier is the last path segment
+    /// before the callee (a type name, or a module for free fns).
+    Qualified(String),
+    /// `name(...)` with no receiver or path qualifier.
+    Free,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// File the call appears in.
+    pub file: usize,
+    /// Id (into [`ItemIndex::fns`]) of the innermost enclosing fn;
+    /// `None` for calls in top-level const/static initializers.
+    pub caller: Option<usize>,
+    /// Callee name (last path segment).
+    pub callee: String,
+    /// Call shape, used for resolution.
+    pub kind: CallKind,
+    /// Byte offset of the callee token.
+    pub offset: usize,
+}
+
+/// Flat index of every fn item and call site across a file set.
+pub struct ItemIndex {
+    /// All functions, in (file, span start) order.
+    pub fns: Vec<FnItem>,
+    /// All call expressions found inside the files.
+    pub calls: Vec<CallSite>,
+}
+
+impl ItemIndex {
+    /// Builds the index over an already-parsed file set. The `files`
+    /// slice order defines the `file` indices used throughout.
+    pub fn build(files: &[SourceFile]) -> ItemIndex {
+        let mut fns = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            for span in f.fn_spans() {
+                let owner =
+                    f.impl_at(span.start).map(|imp| (imp.name.clone(), imp.trait_name.clone()));
+                fns.push(FnItem {
+                    file: fi,
+                    name: span.name.clone(),
+                    owner: owner.as_ref().map(|(n, _)| n.clone()),
+                    trait_name: owner.and_then(|(_, t)| t),
+                    start: span.start,
+                    end: span.end,
+                    line: f.line_of(span.start),
+                    is_test: f.is_test_at(span.start),
+                });
+            }
+        }
+        let mut index = ItemIndex { fns, calls: Vec::new() };
+        for (fi, f) in files.iter().enumerate() {
+            index.scan_calls(fi, f);
+        }
+        index
+    }
+
+    /// Id of the innermost fn containing `offset` in `file`, if any.
+    pub fn fn_at(&self, file: usize, offset: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.file == file && offset >= it.start && offset < it.end)
+            .min_by_key(|(_, it)| it.end - it.start)
+            .map(|(id, _)| id)
+    }
+
+    /// Ids of every non-test fn named `name`.
+    pub fn fns_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = usize> + 'a {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, it)| it.name == name && !it.is_test)
+            .map(|(id, _)| id)
+    }
+
+    /// Scans one file's token stream for call expressions.
+    fn scan_calls(&mut self, fi: usize, f: &SourceFile) {
+        let toks = f.code();
+        let word = |i: usize| toks.get(i).map_or("", |t| t.1);
+        let is_punct =
+            |i: usize, c: &str| toks.get(i).is_some_and(|t| t.0 == TokKind::Punct && t.1 == c);
+        for i in 0..toks.len() {
+            let (kind, name, at) = toks[i];
+            if kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&name) || name == "self" {
+                continue;
+            }
+            // A definition (`fn name(`) is not a call.
+            if i > 0 && word(i - 1) == "fn" {
+                continue;
+            }
+            // Step over a turbofish: `name::<T, U>(`.
+            let mut j = i + 1;
+            if is_punct(j, ":") && is_punct(j + 1, ":") && is_punct(j + 2, "<") {
+                let mut depth = 0usize;
+                j += 2;
+                while j < toks.len() {
+                    if is_punct(j, "<") {
+                        depth += 1;
+                    } else if is_punct(j, ">") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            if !is_punct(j, "(") {
+                continue;
+            }
+            let call_kind = if i > 0 && is_punct(i - 1, ".") {
+                // `recv.name(` — exactly `self.name(` when the token
+                // before the dot is `self` not itself preceded by `.`.
+                let self_receiver =
+                    i >= 2 && word(i - 2) == "self" && !(i >= 3 && is_punct(i - 3, "."));
+                CallKind::Method { self_receiver }
+            } else if i >= 2 && is_punct(i - 1, ":") && is_punct(i - 2, ":") {
+                CallKind::Qualified(path_qualifier(&toks, i))
+            } else {
+                CallKind::Free
+            };
+            self.calls.push(CallSite {
+                file: fi,
+                caller: self.fn_at(fi, at),
+                callee: name.to_string(),
+                kind: call_kind,
+                offset: at,
+            });
+        }
+    }
+}
+
+/// The last path segment before `:: name` at token index `i`, stepping
+/// back over a generic argument list (`Vec::<f64>::new`). Returns an
+/// empty string when the walk finds no identifier (e.g. `<T>::new`).
+fn path_qualifier(toks: &[(TokKind, &str, usize)], i: usize) -> String {
+    // toks[i-1] and toks[i-2] are the `::` pair.
+    let mut j = i.saturating_sub(3);
+    if toks.get(j).is_some_and(|t| t.0 == TokKind::Punct && t.1 == ">") {
+        let mut depth = 0usize;
+        loop {
+            let t = &toks[j];
+            if t.0 == TokKind::Punct && t.1 == ">" {
+                depth += 1;
+            } else if t.0 == TokKind::Punct && t.1 == "<" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return String::new();
+            }
+            j -= 1;
+        }
+        // Before the `<` there may be another `::` pair (turbofish
+        // form) or the qualifying identifier directly follows.
+        if j >= 2
+            && toks[j - 1].0 == TokKind::Punct
+            && toks[j - 1].1 == ":"
+            && toks[j - 2].0 == TokKind::Punct
+            && toks[j - 2].1 == ":"
+        {
+            j = j.saturating_sub(3);
+        } else {
+            j = j.saturating_sub(1);
+        }
+    }
+    toks.get(j).filter(|t| t.0 == TokKind::Ident).map(|t| t.1.to_string()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(src: &str) -> (Vec<SourceFile>, ItemIndex) {
+        let files = vec![SourceFile::parse("crates/x/src/lib.rs", src).expect("parses")];
+        let index = ItemIndex::build(&files);
+        (files, index)
+    }
+
+    #[test]
+    fn fns_carry_owner_and_trait() {
+        let src = "\
+fn free() {}\n\
+impl Mat {\n    fn rows(&self) {}\n}\n\
+impl Persist for Mat {\n    fn encode(&self) {}\n}\n";
+        let (_, idx) = index_of(src);
+        let by_name = |n: &str| idx.fns.iter().find(|f| f.name == n).expect(n);
+        assert_eq!(by_name("free").owner, None);
+        assert_eq!(by_name("rows").owner.as_deref(), Some("Mat"));
+        let enc = by_name("encode");
+        assert_eq!(enc.owner.as_deref(), Some("Mat"));
+        assert_eq!(enc.trait_name.as_deref(), Some("Persist"));
+    }
+
+    #[test]
+    fn call_shapes_classified() {
+        let src = "\
+fn caller(&self) {\n\
+    helper();\n\
+    self.own_method();\n\
+    other.their_method();\n\
+    Vec::with_capacity(4);\n\
+    Vec::<f64>::new();\n\
+    parse::<u32>(\"1\");\n\
+    not_a_macro!(x);\n\
+}\n";
+        let (_, idx) = index_of(src);
+        let call = |n: &str| idx.calls.iter().find(|c| c.callee == n);
+        assert_eq!(call("helper").expect("free").kind, CallKind::Free);
+        assert_eq!(
+            call("own_method").expect("self method").kind,
+            CallKind::Method { self_receiver: true }
+        );
+        assert_eq!(
+            call("their_method").expect("method").kind,
+            CallKind::Method { self_receiver: false }
+        );
+        assert_eq!(
+            call("with_capacity").expect("qualified").kind,
+            CallKind::Qualified("Vec".to_string())
+        );
+        assert_eq!(call("new").expect("turbofish path").kind, CallKind::Qualified("Vec".into()));
+        assert_eq!(call("parse").expect("turbofish free").kind, CallKind::Free);
+        assert!(call("not_a_macro").is_none(), "macros are not calls");
+    }
+
+    #[test]
+    fn definitions_and_keywords_are_not_calls() {
+        let src = "fn outer(x: u32) { if (x > 0) { return (x); } match (x, 1) { _ => {} } }\n";
+        let (_, idx) = index_of(src);
+        assert!(idx.calls.is_empty(), "{:?}", idx.calls);
+    }
+
+    #[test]
+    fn calls_attribute_to_innermost_fn() {
+        let src = "fn outer() {\n    fn inner() { leaf(); }\n    trunk();\n}\n";
+        let (_, idx) = index_of(src);
+        let inner_id = idx.fns.iter().position(|f| f.name == "inner").expect("inner");
+        let outer_id = idx.fns.iter().position(|f| f.name == "outer").expect("outer");
+        let leaf = idx.calls.iter().find(|c| c.callee == "leaf").expect("leaf");
+        let trunk = idx.calls.iter().find(|c| c.callee == "trunk").expect("trunk");
+        assert_eq!(leaf.caller, Some(inner_id));
+        assert_eq!(trunk.caller, Some(outer_id));
+    }
+
+    #[test]
+    fn test_fns_are_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn prod() {}\n";
+        let (_, idx) = index_of(src);
+        assert!(idx.fns.iter().find(|f| f.name == "helper").expect("helper").is_test);
+        assert!(!idx.fns.iter().find(|f| f.name == "prod").expect("prod").is_test);
+        assert_eq!(idx.fns_named("helper").count(), 0, "test fns hidden from resolution");
+    }
+}

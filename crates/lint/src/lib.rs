@@ -19,8 +19,10 @@
 //! `// mvp-lint: allow(<rule>) -- <reason>`; the reason is mandatory
 //! and the marker's format is itself linted (`suppression-hygiene`).
 
+pub mod callgraph;
 pub mod diag;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;

@@ -9,18 +9,22 @@ use crate::engine::LintReport;
 use crate::rules;
 
 /// Human-readable report: one `path:line:col: [sev] rule: message` per
-/// finding, then a summary line.
+/// finding — with its call-chain evidence indented below for
+/// interprocedural findings — then a summary line.
 pub fn human(report: &LintReport) -> String {
     let mut out = String::new();
     for d in &report.diagnostics {
         out.push_str(&d.to_string());
         out.push('\n');
+        for hop in &d.chain {
+            out.push_str(&format!("    via {} ({}:{})\n", hop.fn_name, hop.path, hop.line));
+        }
     }
     let denies = count(report, Severity::Deny);
     let warns = count(report, Severity::Warn);
     out.push_str(&format!(
-        "mvp-lint: {} file(s) scanned, {} deny, {} warn, {} suppressed\n",
-        report.files_scanned, denies, warns, report.suppressed
+        "mvp-lint: {} file(s) scanned, {} fn(s) / {} edge(s) in call graph, {} deny, {} warn, {} suppressed\n",
+        report.files_scanned, report.graph_nodes, report.graph_edges, denies, warns, report.suppressed
     ));
     out
 }
@@ -32,6 +36,20 @@ pub fn json(report: &LintReport) -> String {
         if i > 0 {
             findings.push(',');
         }
+        let mut chain = String::from("[");
+        for (j, hop) in d.chain.iter().enumerate() {
+            if j > 0 {
+                chain.push(',');
+            }
+            chain.push_str(
+                &JsonObj::new()
+                    .str("fn", &hop.fn_name)
+                    .str("path", &hop.path)
+                    .u64("line", hop.line as u64)
+                    .finish(),
+            );
+        }
+        chain.push(']');
         findings.push_str(
             &JsonObj::new()
                 .str("rule", d.rule)
@@ -40,6 +58,7 @@ pub fn json(report: &LintReport) -> String {
                 .u64("line", d.line as u64)
                 .u64("col", d.col as u64)
                 .str("message", &d.message)
+                .raw("chain", &chain)
                 .finish(),
         );
     }
@@ -47,6 +66,8 @@ pub fn json(report: &LintReport) -> String {
     JsonObj::new()
         .str("tool", "mvp-lint")
         .u64("files_scanned", report.files_scanned as u64)
+        .u64("graph_nodes", report.graph_nodes as u64)
+        .u64("graph_edges", report.graph_edges as u64)
         .u64("deny", count(report, Severity::Deny) as u64)
         .u64("warn", count(report, Severity::Warn) as u64)
         .u64("suppressed", report.suppressed as u64)
@@ -54,14 +75,16 @@ pub fn json(report: &LintReport) -> String {
         .finish()
 }
 
-/// The `--list-rules` table: one `name  severity  doc` line per rule,
-/// including the engine-owned `suppression-hygiene`. Asserted verbatim
-/// by a unit test so a new rule cannot ship without a doc line.
+/// The `--list-rules` table: one `name  severity  doc` line per rule —
+/// per-file rules, then workspace rules, then the engine-owned
+/// `suppression-hygiene`. Asserted verbatim by a unit test so a new
+/// rule cannot ship without a doc line.
 pub fn list_rules() -> String {
     let mut out = String::new();
     let rows: Vec<(&str, &str, &str)> = rules::all()
         .iter()
         .map(|r| (r.name(), r.severity().name(), r.doc()))
+        .chain(rules::workspace_rules().iter().map(|r| (r.name(), r.severity().name(), r.doc())))
         .collect::<Vec<_>>()
         .into_iter()
         .chain(std::iter::once((
@@ -75,6 +98,28 @@ pub fn list_rules() -> String {
         out.push_str(&format!("{name:width$}  {sev:5}  {doc}\n"));
     }
     out
+}
+
+/// The `--explain <rule>` page: name, severity, one-line doc, then the
+/// rationale / fix-guidance text.
+pub fn explain(name: &str) -> Option<String> {
+    let (name, severity, text) = rules::explain(name)?;
+    let doc = rules::all()
+        .iter()
+        .map(|r| (r.name(), r.doc()))
+        .chain(rules::workspace_rules().iter().map(|r| (r.name(), r.doc())))
+        .find(|(n, _)| *n == name)
+        .map(|(_, d)| d.to_string());
+    let mut out = format!("{name} ({severity})\n");
+    if let Some(doc) = doc {
+        out.push_str(&format!("  {doc}\n"));
+    }
+    out.push('\n');
+    for line in text.lines() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    Some(out)
 }
 
 fn count(report: &LintReport, sev: Severity) -> usize {

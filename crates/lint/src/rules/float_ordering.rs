@@ -1,0 +1,115 @@
+//! `float-ordering`: float comparators use `total_cmp`, never
+//! `partial_cmp(...).unwrap()`.
+//!
+//! Every score, distance, fitness and probability in this workspace is
+//! an `f64`, and almost every pipeline stage sorts or arg-maxes over
+//! them. `partial_cmp` returns `None` for NaN, so the idiomatic-looking
+//! `a.partial_cmp(b).unwrap()` comparator is a panic wired to the first
+//! NaN a degenerate input produces — exactly the failure mode PR 9
+//! fixed by hand in five scoring sites and this PR fixes in the three
+//! remaining ones. `f64::total_cmp` is a total order (NaN sorts to the
+//! edge, -0.0 < +0.0) at identical cost, so there is no reason to keep
+//! the panicking form in scoring or decoding code.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::engine::Workspace;
+use crate::lexer::TokKind;
+use crate::rules::WorkspaceRule;
+
+const NAME: &str = "float-ordering";
+
+/// Scoring/decoding crates where float comparators live.
+const CRATES: &[&str] = &["asr", "core", "ml", "dsp", "attack", "modality", "serve", "textsim"];
+
+pub struct FloatOrdering;
+
+impl WorkspaceRule for FloatOrdering {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn doc(&self) -> &'static str {
+        "scoring/decoding comparators use f64::total_cmp, never partial_cmp(..).unwrap()/expect()"
+    }
+
+    fn explain(&self) -> &'static str {
+        "partial_cmp on floats returns None for NaN, so `a.partial_cmp(b).unwrap()` inside a \
+         sort_by / min_by / max_by comparator panics on the first NaN that reaches it — and \
+         NaN is exactly what adversarial or degenerate audio produces (log of a silent \
+         frame, 0/0 normalisation). A panicking comparator in a scoring path is a denial of \
+         service wired to the inputs the detector exists to handle.\n\
+         Fix: `a.total_cmp(b)` — a total order over all f64 bit patterns (NaN sorts to the \
+         edges, -0.0 < +0.0) with the same inlined cost. Existing tie-breaks compose \
+         unchanged: `a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))`. If NaN must be *rejected* \
+         rather than ordered, test for it explicitly before the sort; do not let the \
+         comparator be the detector."
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (file_id, file) in ws.files.iter().enumerate() {
+            if !crate::rules::in_crate_src(&file.rel, CRATES) {
+                continue;
+            }
+            let toks = file.code();
+            for (i, &(kind, word, at)) in toks.iter().enumerate() {
+                if kind != TokKind::Ident || word != "partial_cmp" {
+                    continue;
+                }
+                if !toks.get(i + 1).is_some_and(|t| t.1 == "(") {
+                    continue;
+                }
+                if file.is_test_at(at) {
+                    continue;
+                }
+                // Walk to the matching close paren, then require
+                // `.unwrap(` / `.expect(` to follow.
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    match toks[j].1 {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let unwrapped = toks.get(j + 1).is_some_and(|t| t.1 == ".")
+                    && toks.get(j + 2).is_some_and(|t| {
+                        t.0 == TokKind::Ident && matches!(t.1, "unwrap" | "expect")
+                    })
+                    && toks.get(j + 3).is_some_and(|t| t.1 == "(");
+                if !unwrapped {
+                    continue;
+                }
+                let method = toks[j + 2].1;
+                let context = ws
+                    .index
+                    .fn_at(file_id, at)
+                    .map(|id| format!(" in `{}`", ws.index.fns[id].name))
+                    .unwrap_or_default();
+                let (line, col) = file.line_col(at);
+                out.push(Diagnostic {
+                    rule: NAME,
+                    severity: Severity::Deny,
+                    path: file.rel.clone(),
+                    line,
+                    col,
+                    message: format!(
+                        "partial_cmp(..).{method}() comparator{context} panics on NaN; \
+                         use f64::total_cmp (tie-breaks compose: .then(..))"
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+}

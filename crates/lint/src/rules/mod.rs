@@ -1,26 +1,34 @@
 //! The rule framework and the built-in rule set.
 //!
-//! Each rule is a stateless checker over one lexed [`SourceFile`].
-//! Scoping (which crates/paths a rule polices) lives in the rule via
-//! [`Rule::applies_to`] so the engine stays generic; test-code
-//! exemption is each rule's responsibility via
-//! [`SourceFile::is_test_at`], because a few rules (none today) could
+//! Two rule shapes coexist. A [`Rule`] is a stateless checker over one
+//! lexed [`SourceFile`]; scoping (which crates/paths a rule polices)
+//! lives in the rule via [`Rule::applies_to`] so the engine stays
+//! generic. A [`WorkspaceRule`] sees the whole parsed workspace at once
+//! — the file set, the fn-item index and the call graph — so it can
+//! enforce *interprocedural* invariants (reachability from entry
+//! points) that no single file can witness. Test-code exemption is each
+//! rule's responsibility via [`SourceFile::is_test_at`] /
+//! [`crate::items::FnItem::is_test`], because a few rules could
 //! legitimately gate tests too.
 
 use crate::diag::{Diagnostic, Severity};
+use crate::engine::Workspace;
 use crate::source::SourceFile;
 
 mod channel_discipline;
+mod float_ordering;
+mod hot_path_alloc;
 mod kernel_discipline;
 mod lock_discipline;
 mod nested_vec_f64;
 mod numeric_truncation;
+mod panic_path;
 mod persist_schema;
-mod serve_no_panic;
+mod reachable;
 mod todo_markers;
 mod unbounded_with_capacity;
 
-/// A lint rule.
+/// A per-file lint rule.
 pub trait Rule {
     /// Stable kebab-case rule name (used in reports, `--rule`, and
     /// `allow(...)` suppressions).
@@ -29,21 +37,41 @@ pub trait Rule {
     fn severity(&self) -> Severity;
     /// One-line invariant statement for `--list-rules`.
     fn doc(&self) -> &'static str;
+    /// Multi-line rationale and fix guidance for `--explain`.
+    fn explain(&self) -> &'static str {
+        self.doc()
+    }
     /// Whether the rule runs on this workspace-relative path.
     fn applies_to(&self, rel: &str) -> bool;
     /// Appends findings for `file` (already known to be in scope).
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
 }
 
+/// A workspace-level lint rule: sees every file, the item index and
+/// the call graph in one pass.
+pub trait WorkspaceRule {
+    /// Stable kebab-case rule name.
+    fn name(&self) -> &'static str;
+    /// Gate level for findings of this rule.
+    fn severity(&self) -> Severity;
+    /// One-line invariant statement for `--list-rules`.
+    fn doc(&self) -> &'static str;
+    /// Multi-line rationale and fix guidance for `--explain`.
+    fn explain(&self) -> &'static str {
+        self.doc()
+    }
+    /// Appends findings over the whole workspace.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
 /// Name reserved for the engine's own suppression-format findings.
 pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
 
-/// All built-in rules, in report order.
+/// All built-in per-file rules, in report order.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(nested_vec_f64::NestedVecF64),
         Box::new(kernel_discipline::KernelDiscipline),
-        Box::new(serve_no_panic::ServeNoPanic),
         Box::new(lock_discipline::LockDiscipline),
         Box::new(channel_discipline::ChannelDiscipline),
         Box::new(unbounded_with_capacity::UnboundedWithCapacity),
@@ -53,12 +81,48 @@ pub fn all() -> Vec<Box<dyn Rule>> {
     ]
 }
 
+/// All built-in workspace rules, in report order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(panic_path::PanicPath),
+        Box::new(float_ordering::FloatOrdering),
+        Box::new(hot_path_alloc::HotPathAlloc),
+    ]
+}
+
 /// Every valid rule name accepted by `--rule` and `allow(...)`,
 /// including the engine-owned `suppression-hygiene`.
 pub fn known_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = all().iter().map(|r| r.name()).collect();
+    names.extend(workspace_rules().iter().map(|r| r.name()));
     names.push(SUPPRESSION_HYGIENE);
     names
+}
+
+/// The `--explain` text for a rule name, when the rule exists.
+pub fn explain(name: &str) -> Option<(&'static str, Severity, &'static str)> {
+    for r in all() {
+        if r.name() == name {
+            return Some((r.name(), r.severity(), r.explain()));
+        }
+    }
+    for r in workspace_rules() {
+        if r.name() == name {
+            return Some((r.name(), r.severity(), r.explain()));
+        }
+    }
+    if name == SUPPRESSION_HYGIENE {
+        return Some((
+            SUPPRESSION_HYGIENE,
+            Severity::Deny,
+            "Engine-owned and unsuppressible: every `mvp-lint:` marker must be a well-formed \
+             `allow(<known-rule>) -- <reason>`. A marker that silently fails to parse would \
+             disable a suppression (or worse, look like one while suppressing nothing), so \
+             format errors are deny findings in their own right.\n\
+             Fix: write `// mvp-lint: allow(rule-a, rule-b) -- why this violation is sound`.",
+        ));
+    }
+    None
 }
 
 /// Shared helper: is `rel` a `src/` file of one of the named crate dirs?
@@ -76,5 +140,13 @@ pub(crate) fn finding(
     out: &mut Vec<Diagnostic>,
 ) {
     let (line, col) = file.line_col(offset);
-    out.push(Diagnostic { rule, severity, path: file.rel.clone(), line, col, message });
+    out.push(Diagnostic {
+        rule,
+        severity,
+        path: file.rel.clone(),
+        line,
+        col,
+        message,
+        chain: Vec::new(),
+    });
 }

@@ -1,0 +1,48 @@
+//! Shared scaffolding for reachability-based workspace rules: chain
+//! evidence construction and per-file grouping of reached functions.
+
+use std::collections::HashMap;
+
+use crate::callgraph::Reach;
+use crate::diag::ChainHop;
+use crate::engine::Workspace;
+
+/// Builds the human-facing call chain from a sweep root to `target`:
+/// the root's declaration first, then each call site stepped through.
+pub(crate) fn chain_hops(ws: &Workspace, reach: &Reach, target: usize) -> Vec<ChainHop> {
+    let mut hops = Vec::new();
+    let mut prev_file: Option<usize> = None;
+    for (fn_id, offset) in reach.chain_to(target, &ws.index) {
+        let entered = &ws.index.fns[fn_id];
+        // The first hop's offset is the root's own declaration; later
+        // offsets are call sites in the *previous* hop's file.
+        let site_file = prev_file.unwrap_or(entered.file);
+        let file = &ws.files[site_file];
+        hops.push(ChainHop {
+            path: file.rel.clone(),
+            line: file.line_of(offset),
+            fn_name: entered.name.clone(),
+        });
+        prev_file = Some(entered.file);
+    }
+    hops
+}
+
+/// Reached, non-test fn ids grouped by defining file, so a rule can
+/// lex-scan each file once.
+pub(crate) fn reached_by_file(ws: &Workspace, reach: &Reach) -> HashMap<usize, Vec<usize>> {
+    let mut by_file: HashMap<usize, Vec<usize>> = HashMap::new();
+    for id in reach.reached_ids() {
+        let item = &ws.index.fns[id];
+        if item.is_test {
+            continue;
+        }
+        by_file.entry(item.file).or_default().push(id);
+    }
+    by_file
+}
+
+/// The name of the sweep root a chain starts from.
+pub(crate) fn chain_root(chain: &[ChainHop]) -> &str {
+    chain.first().map_or("?", |h| h.fn_name.as_str())
+}

@@ -147,6 +147,11 @@ impl SourceFile {
         &self.impl_spans
     }
 
+    /// All `fn` item spans found in the file, in scan order.
+    pub fn fn_spans(&self) -> &[ScopeSpan] {
+        &self.fn_spans
+    }
+
     /// All parsed suppression markers, in file order.
     pub fn suppressions(&self) -> &[Suppression] {
         &self.suppressions

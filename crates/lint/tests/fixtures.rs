@@ -14,7 +14,6 @@ use mvp_lint::lint_source;
 const CASES: &[(&str, &str)] = &[
     ("nested-vec-f64", "crates/core/src/fixture.rs"),
     ("kernel-discipline", "crates/asr/src/fixture.rs"),
-    ("serve-no-panic", "crates/serve/src/fixture.rs"),
     ("lock-discipline", "crates/serve/src/fixture.rs"),
     ("channel-discipline", "crates/serve/src/fixture.rs"),
     ("unbounded-with-capacity", "crates/audio/src/fixture.rs"),
@@ -24,6 +23,11 @@ const CASES: &[(&str, &str)] = &[
     ("persist-schema", "crates/artifact/src/fixture.rs"),
     ("todo-markers", "crates/core/src/fixture.rs"),
     ("suppression-hygiene", "crates/core/src/fixture.rs"),
+    // Workspace (interprocedural) rules: linted over the single-file
+    // workspace the fixture itself seeds with entry points.
+    ("panic-path", "crates/serve/src/fixture.rs"),
+    ("float-ordering", "crates/asr/src/fixture.rs"),
+    ("hot-path-alloc", "crates/dsp/src/fixture.rs"),
 ];
 
 fn fixture(rule: &str, which: &str) -> String {
@@ -63,6 +67,20 @@ fn bad_fixture_findings_carry_position_and_message() {
         assert!(!d.message.is_empty(), "message must not be empty: {d:?}");
         assert_eq!(d.path, "crates/core/src/fixture.rs");
     }
+}
+
+#[test]
+fn panic_path_findings_carry_chain_evidence() {
+    let text = fixture("panic-path", "bad");
+    let diags =
+        lint_source("crates/serve/src/fixture.rs", &text, Some("panic-path")).expect("lexes");
+    assert!(diags.len() >= 3, "expect indexing + unwrap + panic findings, got {diags:?}");
+    for d in &diags {
+        assert!(!d.chain.is_empty(), "interprocedural finding without a chain: {d:?}");
+        assert_eq!(d.chain[0].fn_name, "submit", "chains start at the entry point: {d:?}");
+    }
+    let deepest = diags.iter().map(|d| d.chain.len()).max().unwrap_or(0);
+    assert!(deepest >= 3, "the panic! chain should pass through dispatch and decode: {diags:?}");
 }
 
 #[test]

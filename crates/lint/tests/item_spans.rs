@@ -1,0 +1,124 @@
+//! Item-index invariants over the real workspace and over random
+//! fn-item soup: every fn span must sit inside its file, nest properly
+//! (two spans either disjoint or strictly containing), and own exactly
+//! the call sites attributed to it. The call graph is only as good as
+//! these spans — a drifted span misattributes calls and silently bends
+//! reachability.
+
+use std::fs;
+use std::path::Path;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mvp_lint::items::ItemIndex;
+use mvp_lint::source::SourceFile;
+use mvp_lint::workspace;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn check_invariants(files: &[SourceFile], index: &ItemIndex) {
+    for (id, f) in index.fns.iter().enumerate() {
+        let file = &files[f.file];
+        assert!(
+            f.start < f.end && f.end <= file.text.len(),
+            "{}: fn `{}` span {}..{} out of bounds ({} bytes)",
+            file.rel,
+            f.name,
+            f.start,
+            f.end,
+            file.text.len()
+        );
+        assert!(!f.name.is_empty(), "{}: unnamed fn item", file.rel);
+        // Spans in one file nest or are disjoint — never partially
+        // overlap — so innermost-fn attribution is well-defined.
+        for other in index.fns.iter().skip(id + 1).filter(|o| o.file == f.file) {
+            let disjoint = other.start >= f.end || other.end <= f.start;
+            let nested = (f.start <= other.start && other.end <= f.end)
+                || (other.start <= f.start && f.end <= other.end);
+            assert!(
+                disjoint || nested,
+                "{}: fn `{}` {}..{} and `{}` {}..{} partially overlap",
+                file.rel,
+                f.name,
+                f.start,
+                f.end,
+                other.name,
+                other.start,
+                other.end
+            );
+        }
+    }
+    for call in &index.calls {
+        if let Some(caller) = call.caller {
+            let f = &index.fns[caller];
+            assert_eq!(call.file, f.file, "call attributed across files");
+            assert!(
+                f.start <= call.offset && call.offset < f.end,
+                "call `{}` at {} attributed to `{}` spanning {}..{}",
+                call.callee,
+                call.offset,
+                f.name,
+                f.start,
+                f.end
+            );
+            assert_eq!(
+                index.fn_at(call.file, call.offset),
+                Some(caller),
+                "caller must be the innermost fn at the call offset"
+            );
+        }
+    }
+}
+
+#[test]
+fn item_spans_hold_over_every_workspace_file() {
+    let walked = workspace::lintable_files(workspace_root()).expect("walk workspace");
+    assert!(walked.len() > 100, "workspace walk looks broken: only {} files", walked.len());
+    let files: Vec<SourceFile> = walked
+        .iter()
+        .map(|wf| {
+            let text = fs::read_to_string(&wf.abs).expect("readable source");
+            SourceFile::parse(&wf.rel, &text).unwrap_or_else(|e| panic!("{}: {e}", wf.rel))
+        })
+        .collect();
+    let index = ItemIndex::build(&files);
+    assert!(index.fns.len() > 500, "workspace should index many fns: {}", index.fns.len());
+    assert!(index.calls.len() > 1000, "workspace should see many calls: {}", index.calls.len());
+    check_invariants(&files, &index);
+}
+
+/// Item-shaped fragments: fns at module level, fns in impls, nested
+/// fns, closures, calls of every shape, and test scaffolding.
+const ITEM_FRAGMENTS: &[&str] = &[
+    "fn free_a() { helper(); }\n",
+    "pub fn free_b(x: u32) -> u32 { x.checked_mul(2).unwrap_or(x) }\n",
+    "fn outer() { fn inner() { leaf(); } inner(); }\n",
+    "struct S;\nimpl S { fn method(&self) { self.other(); } fn other(&self) {} }\n",
+    "trait T { fn t(&self); }\nimpl T for S { fn t(&self) { free_a(); } }\n",
+    "fn with_closure() { let f = |x: u32| helper(x); f(1); }\n",
+    "fn qualified() { mvp_dsp::kernel::dot(&[], &[]); }\n",
+    "fn turbofish() { parse::<u32>(\"1\"); }\n",
+    "const K: usize = 4;\n",
+    "// fn commented_out() { panic!(\"not real\"); }\n",
+    "fn stringy() { let _ = \"fn fake() { call_in_string(); }\"; }\n",
+    "#[cfg(test)]\nmod tests { #[test] fn t_helper() { super::free_a(); } }\n",
+    "fn generic<A: Clone>(a: A) -> A { a.clone() }\n",
+    "mod inner_mod { pub fn modfn() { } }\n",
+];
+
+proptest! {
+    #[test]
+    fn item_spans_hold_over_random_item_soup(
+        parts in vec(proptest::sample::select(ITEM_FRAGMENTS.to_vec()), 0..24),
+    ) {
+        let src: String = parts.concat();
+        let file = SourceFile::parse("crates/core/src/soup.rs", &src)
+            .unwrap_or_else(|e| panic!("parse failed on {src:?}: {e}"));
+        let files = vec![file];
+        let index = ItemIndex::build(&files);
+        check_invariants(&files, &index);
+    }
+}

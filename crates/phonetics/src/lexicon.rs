@@ -106,11 +106,13 @@ impl Lexicon {
         for line in BUILTIN.lines() {
             let (word, phones) = line
                 .split_once(':')
+                // mvp-lint: allow(panic-path) -- BUILTIN is compiled-in data; a parse failure is a build defect, not request input
                 .unwrap_or_else(|| panic!("malformed builtin lexicon line: {line}"));
             let phones: Vec<Phoneme> = phones
                 .split_whitespace()
                 .map(|s| {
                     Phoneme::parse(s)
+                        // mvp-lint: allow(panic-path) -- BUILTIN is compiled-in data; a parse failure is a build defect, not request input
                         .unwrap_or_else(|| panic!("bad phoneme {s:?} for word {word:?}"))
                 })
                 .collect();

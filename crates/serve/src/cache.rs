@@ -139,19 +139,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// single cache mutex, so a vacant slot here is an internal coherence
     /// bug — there is no degraded way to serve from a corrupt index.
     fn occupied(&self, idx: usize) -> &Entry<K, V> {
-        // mvp-lint: allow(serve-no-panic) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
+        // mvp-lint: allow(panic-path) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
         self.slab[idx].as_ref().expect("linked slot occupied")
     }
 
     /// Mutable counterpart of [`occupied`](Self::occupied).
     fn occupied_mut(&mut self, idx: usize) -> &mut Entry<K, V> {
-        // mvp-lint: allow(serve-no-panic) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
+        // mvp-lint: allow(panic-path) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
         self.slab[idx].as_mut().expect("linked slot occupied")
     }
 
     /// Removes and returns the entry of an occupied slot.
     fn take_entry(&mut self, idx: usize) -> Entry<K, V> {
-        // mvp-lint: allow(serve-no-panic) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
+        // mvp-lint: allow(panic-path) -- slab/list coherence is a module-internal invariant, never request input; a vacant linked slot is unrecoverable corruption
         self.slab[idx].take().expect("linked slot occupied")
     }
 

@@ -203,7 +203,7 @@ fn score_modalities(
                 .modalities()
                 .score_where(&input, |k| k == kind)
                 .pop()
-                // mvp-lint: allow(serve-no-panic) -- engine start asserted every planned kind is registered; an empty result is a config-validation bug, not request input
+                // mvp-lint: allow(panic-path) -- engine start asserted every planned kind is registered; an empty result is a config-validation bug, not request input
                 .expect("planned modality registered");
             stats.modality_scored.inc();
             ModalityReport {
@@ -289,7 +289,7 @@ impl PendingVerdict {
     ///
     /// Panics if the engine's threads died without replying (a bug).
     pub fn wait(self) -> Verdict {
-        // mvp-lint: allow(serve-no-panic) -- every accepted ticket is answered by construction (drain-on-shutdown); a dropped channel is an engine bug the caller cannot degrade around
+        // mvp-lint: allow(panic-path) -- every accepted ticket is answered by construction (drain-on-shutdown); a dropped channel is an engine bug the caller cannot degrade around
         self.rx.recv().expect("engine dropped the reply channel")
     }
 
@@ -312,7 +312,7 @@ impl PendingVerdict {
             Ok(verdict) => Ok(verdict),
             Err(RecvTimeoutError::Timeout) => Err(self),
             Err(RecvTimeoutError::Disconnected) => {
-                // mvp-lint: allow(serve-no-panic) -- same invariant as wait(): every accepted ticket is answered by construction; a dropped channel is an engine bug
+                // mvp-lint: allow(panic-path) -- same invariant as wait(): every accepted ticket is answered by construction; a dropped channel is an engine bug
                 panic!("engine dropped the reply channel")
             }
         }
@@ -441,8 +441,9 @@ struct BatchState {
 impl BatchState {
     /// Ready when every dispatched recogniser has answered or timed out.
     fn is_ready(&self, now: Instant) -> bool {
-        (0..self.dispatched.len())
-            .all(|i| !self.dispatched[i] || self.results[i].is_some() || now >= self.deadlines[i])
+        self.dispatched.iter().zip(&self.results).zip(&self.deadlines).all(
+            |((&dispatched, result), &deadline)| !dispatched || result.is_some() || now >= deadline,
+        )
     }
 
     /// The next instant at which readiness can change by timeout alone.
@@ -683,7 +684,7 @@ impl DetectionEngine {
             }
             let name = recognizers[j + 1].name().to_string();
             let Some(profile) = AsrProfile::by_name(&name) else {
-                // mvp-lint: allow(serve-no-panic) -- engine construction config validation, before any request is accepted
+                // mvp-lint: allow(panic-path) -- engine construction config validation, before any request is accepted
                 panic!("aux_int8[{j}]: auxiliary {name:?} matches no profile, cannot derive its int8 variant")
             };
             recognizers[j + 1] = profile.trained_quantized();
@@ -707,7 +708,7 @@ impl DetectionEngine {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(asr, i, rx, collector_tx))
-                    // mvp-lint: allow(serve-no-panic) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
+                    // mvp-lint: allow(panic-path) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
                     .expect("spawn worker"),
             );
         }
@@ -733,7 +734,7 @@ impl DetectionEngine {
                             stats,
                         )
                     })
-                    // mvp-lint: allow(serve-no-panic) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
+                    // mvp-lint: allow(panic-path) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
                     .expect("spawn batcher"),
             );
         }
@@ -757,7 +758,7 @@ impl DetectionEngine {
                             audit,
                         )
                     })
-                    // mvp-lint: allow(serve-no-panic) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
+                    // mvp-lint: allow(panic-path) -- engine construction, before any request is accepted; failing to spawn means no engine exists to degrade
                     .expect("spawn collector"),
             );
         }
@@ -1093,13 +1094,14 @@ fn batcher_loop(
         let mut items: Vec<BatchItem> = Vec::new();
         let mut waves: Vec<Arc<Waveform>> = Vec::new();
         let mut index_of: HashMap<u64, usize> = HashMap::new();
-        let mut earliest = pending[0].submitted;
+        let Some(first) = pending.first() else { return };
+        let mut earliest = first.submitted;
         let n_requests = pending.len() as u64;
         for Request { id, wave, key, submitted, queued_us, reply } in pending.drain(..) {
             earliest = earliest.min(submitted);
             let waiter = Waiter { id, reply, submitted, queued_us };
-            match index_of.get(&key) {
-                Some(&idx) => items[idx].waiters.push(waiter),
+            match index_of.get(&key).and_then(|&idx| items.get_mut(idx)) {
+                Some(item) => item.waiters.push(waiter),
                 None => {
                     index_of.insert(key, items.len());
                     waves.push(Arc::clone(&wave));
@@ -1110,12 +1112,14 @@ fn batcher_loop(
 
         let mut dispatched = vec![true; n_rec];
         let mut deadlines = vec![earliest + overall; n_rec];
-        for (j, override_ms) in config.aux_deadline_ms.iter().enumerate() {
+        // Entry 0 is the target recogniser; per-auxiliary overrides
+        // start at index 1.
+        let aux = dispatched.iter_mut().skip(1).zip(deadlines.iter_mut().skip(1));
+        for (override_ms, (dispatch, deadline)) in config.aux_deadline_ms.iter().zip(aux) {
             match override_ms {
-                Some(0) => dispatched[j + 1] = false,
+                Some(0) => *dispatch = false,
                 Some(ms) => {
-                    deadlines[j + 1] =
-                        earliest + Duration::from_millis((*ms).min(config.deadline_ms));
+                    *deadline = earliest + Duration::from_millis((*ms).min(config.deadline_ms));
                 }
                 None => {}
             }
@@ -1130,8 +1134,8 @@ fn batcher_loop(
         if collector_tx.send(CollectorMsg::Meta(meta)).is_err() {
             return;
         }
-        for (i, tx) in worker_txs.iter().enumerate() {
-            if dispatched[i] {
+        for (tx, &dispatch) in worker_txs.iter().zip(&dispatched) {
+            if dispatch {
                 let _ = tx.send(WorkItem::Batch { batch_id, waves: waves.clone() });
             }
         }
@@ -1236,7 +1240,7 @@ fn resolve_with_modalities(
         }
         let fused = system
             .fused_classifier()
-            // mvp-lint: allow(serve-no-panic) -- fused_capable is only set at engine start when the system carries a fused classifier
+            // mvp-lint: allow(panic-path) -- fused_capable is only set at engine start when the system carries a fused classifier
             .expect("fused-capable plan implies a fused classifier");
         return (fused.is_adversarial(&raw), VerdictKind::Full, reports, true);
     }
@@ -1329,8 +1333,12 @@ fn collector_loop(
             }
             Ok(CollectorMsg::Result(result)) => {
                 if let Some(state) = batches.get_mut(&result.batch_id) {
-                    state.results[result.asr_index] = Some(result.texts);
-                    state.elapsed_us[result.asr_index] = Some(result.elapsed_us);
+                    if let Some(slot) = state.results.get_mut(result.asr_index) {
+                        *slot = Some(result.texts);
+                    }
+                    if let Some(slot) = state.elapsed_us.get_mut(result.asr_index) {
+                        *slot = Some(result.elapsed_us);
+                    }
                 }
             }
             Ok(CollectorMsg::StreamOpen { stream_id, reply, opened }) => {
@@ -1350,8 +1358,12 @@ fn collector_loop(
             }
             Ok(CollectorMsg::StreamRunning { stream_id, asr_index, seq, frames, text }) => {
                 if let Some(state) = streams.get_mut(&stream_id) {
-                    state.frames[asr_index] = frames;
-                    state.running[asr_index] = Some((seq, text));
+                    if let Some(slot) = state.frames.get_mut(asr_index) {
+                        *slot = frames;
+                    }
+                    if let Some(slot) = state.running.get_mut(asr_index) {
+                        *slot = Some((seq, text));
+                    }
                     if !state.answered {
                         if let Some(rule) = early {
                             evaluate_stream(&system, rule, state, &stats, &audit, stream_id);
@@ -1362,13 +1374,15 @@ fn collector_loop(
             Ok(CollectorMsg::StreamFinal { stream_id, asr_index, text }) => {
                 let done = match streams.get_mut(&stream_id) {
                     Some(state) => {
-                        state.finals[asr_index] = Some(text);
+                        if let Some(slot) = state.finals.get_mut(asr_index) {
+                            *slot = Some(text);
+                        }
                         state.finals.iter().all(Option::is_some)
                     }
                     None => false,
                 };
                 if done {
-                    // mvp-lint: allow(serve-no-panic) -- `done` was computed from this exact entry two lines up with no intervening removal
+                    // mvp-lint: allow(panic-path) -- `done` was computed from this exact entry two lines up with no intervening removal
                     let state = streams.remove(&stream_id).expect("finalized stream present");
                     finalize_stream(&system, &stats, &audit, stream_id, state);
                 }
@@ -1407,7 +1421,7 @@ fn collector_loop(
         let ready: Vec<u64> =
             batches.iter().filter(|(_, s)| s.is_ready(now)).map(|(&id, _)| id).collect();
         for id in ready {
-            // mvp-lint: allow(serve-no-panic) -- `id` was collected from `batches` two lines up with no intervening removal; absence is an engine bug, not request input
+            // mvp-lint: allow(panic-path) -- `id` was collected from `batches` two lines up with no intervening removal; absence is an engine bug, not request input
             let state = batches.remove(&id).expect("ready batch present");
             finalize(&system, &policy, &plan, &cache, &stats, &audit, id, state);
         }
@@ -1440,9 +1454,11 @@ fn evaluate_stream(
     if state.frames.iter().copied().min().unwrap_or(0) < rule.min_frames {
         return;
     }
-    let target = state.running[0].as_ref().map_or("", |(_, t)| t.as_str());
-    let auxiliaries: Vec<String> = state.running[1..]
+    let target = state.running.first().and_then(Option::as_ref).map_or("", |(_, t)| t.as_str());
+    let auxiliaries: Vec<String> = state
+        .running
         .iter()
+        .skip(1)
         .map(|r| r.as_ref().map_or(String::new(), |(_, t)| t.clone()))
         .collect();
     let scores = system.scores_from_transcripts(target, &auxiliaries);
@@ -1530,7 +1546,12 @@ fn finalize(
     let n_rec = state.results.len();
     let n_aux = n_rec - 1;
     for (idx, item) in state.items.into_iter().enumerate() {
-        let target = state.results[0].as_ref().map(|texts| texts[idx].clone());
+        let target = state
+            .results
+            .first()
+            .and_then(Option::as_ref)
+            .and_then(|texts| texts.get(idx))
+            .cloned();
         let (verdict, aux_texts) = match target {
             None => (
                 Verdict {
@@ -1549,7 +1570,12 @@ fn finalize(
             Some(target) => {
                 let available: Vec<(usize, String)> = (0..n_aux)
                     .filter_map(|j| {
-                        state.results[j + 1].as_ref().map(|texts| (j, texts[idx].clone()))
+                        state
+                            .results
+                            .get(j + 1)
+                            .and_then(Option::as_ref)
+                            .and_then(|texts| texts.get(idx))
+                            .map(|t| (j, t.clone()))
                     })
                     .collect();
                 if available.len() == n_aux {
@@ -1602,8 +1628,12 @@ fn finalize(
                     let mut scores = vec![None; n_aux];
                     let mut aux_texts: Vec<Option<String>> = vec![None; n_aux];
                     for ((&j, &s), text) in indices.iter().zip(partial.iter()).zip(texts) {
-                        scores[j] = Some(s);
-                        aux_texts[j] = Some(text);
+                        if let Some(slot) = scores.get_mut(j) {
+                            *slot = Some(s);
+                        }
+                        if let Some(slot) = aux_texts.get_mut(j) {
+                            *slot = Some(text);
+                        }
                     }
                     (
                         Verdict {

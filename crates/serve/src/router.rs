@@ -145,35 +145,48 @@ impl ShardRouter {
     pub fn submit(&self, wave: impl Into<Arc<Waveform>>) -> Result<PendingVerdict, SubmitError> {
         let wave = wave.into();
         let home = self.home_of(waveform_key(&wave));
-        if self.shards.len() == 1 {
-            return self.shards[0].submit(wave);
+        if let [only] = self.shards.as_slice() {
+            return only.submit(wave);
         }
         let mut shard = home;
-        if self.shards[home].queue_depth() >= self.steal_depth {
+        let backlogged = self.shards.get(home).is_some_and(|s| s.queue_depth() >= self.steal_depth);
+        if backlogged {
             let victim = self.least_loaded(None);
             if victim != home {
                 shard = victim;
             }
         }
-        match self.shards[shard].submit(Arc::clone(&wave)) {
+        let Some(chosen) = self.shards.get(shard) else {
+            return Err(SubmitError::Overloaded);
+        };
+        match chosen.submit(Arc::clone(&wave)) {
             Ok(pending) => {
                 if shard != home {
-                    self.steals[home].fetch_add(1, Ordering::Relaxed);
+                    self.record_steal(home);
                 }
                 Ok(pending)
             }
             // The chosen shard shed at the door: one last steal attempt
-            // at whichever other shard is least loaded right now.
+            // at whichever other shard is least loaded right now. A
+            // `least_loaded` miss returns `usize::MAX`, which `get`
+            // turns into the Overloaded answer.
             Err(SubmitError::Overloaded) => {
                 let victim = self.least_loaded(Some(shard));
-                if victim == usize::MAX {
+                let Some(engine) = self.shards.get(victim) else {
                     return Err(SubmitError::Overloaded);
-                }
-                let pending = self.shards[victim].submit(wave)?;
-                self.steals[home].fetch_add(1, Ordering::Relaxed);
+                };
+                let pending = engine.submit(wave)?;
+                self.record_steal(home);
                 Ok(pending)
             }
             Err(SubmitError::Closed) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Counts one steal against `home`'s shard.
+    fn record_steal(&self, home: usize) {
+        if let Some(counter) = self.steals.get(home) {
+            counter.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -186,7 +199,7 @@ impl ShardRouter {
     pub fn submit_stream(&self) -> Result<StreamHandle<'_>, SubmitError> {
         let n = self.shards.len() as u64;
         let shard = (self.next_stream.fetch_add(1, Ordering::Relaxed) % n) as usize;
-        self.shards[shard].submit_stream()
+        self.shards.get(shard).ok_or(SubmitError::Closed)?.submit_stream()
     }
 
     /// Point-in-time metrics of every shard, in shard order.

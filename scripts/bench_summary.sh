@@ -61,6 +61,11 @@ def summarize(path, doc):
     elif name == "BENCH_obs.json" and "modes" in doc:
         worst = max(m.get("overhead_pct", 0) for m in doc["modes"])
         add("obs", f"{len(doc['modes'])} modes", f"worst overhead {worst:.2f}%")
+    elif name == "BENCH_lint.json" and "graph_nodes" in doc:
+        add("lint", "workspace analysis",
+            f"{doc.get('files_scanned', 0)} files, "
+            f"{doc['graph_nodes']} fns / {doc.get('graph_edges', 0)} edges, "
+            f"{doc.get('wall_ms', 0):.0f} ms")
     elif name == "BENCH_quant.json" and "aucs" in doc:
         add("quant", "int8 inference",
             f"AM {doc.get('am_headline_speedup', 0):.2f}x f64 (GCS), "

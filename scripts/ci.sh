@@ -9,17 +9,21 @@ RUSTFLAGS="-Dwarnings" cargo build --release
 cargo test -q
 
 # Static-analysis gate: the workspace's own invariants (data-plane Mat
-# discipline, serve-path panic freedom, artifact schema versioning, ...)
-# enforced by mvp-lint. Deny findings fail the build; suppressions
-# require a reason and a known rule name.
-cargo run --release -q -p mvp-lint --bin lint -- --fail-on=deny
+# discipline, serve-path panic freedom via the workspace call graph,
+# NaN-safe comparators, allocation-free kernel hot paths, artifact
+# schema versioning, ...) enforced by mvp-lint. Deny findings fail the
+# build; suppressions require a reason and a known rule name. The run
+# also records its own wall time as a bench artifact.
+cargo run --release -q -p mvp-lint --bin lint -- --fail-on=deny --bench-out BENCH_lint.json
 
-# Lint self-test: seed a violation into a linted path and prove the gate
-# actually fails on it, then clean up whatever happens.
+# Lint self-test: seed an *interprocedural* violation into a linted path
+# — a serve entry point whose panic sits one call away, so only the
+# call-graph rule can see it — and prove the gate actually fails on it,
+# then clean up whatever happens.
 lint_smoke() {
     local seeded="crates/serve/src/ci_lint_smoke_seeded.rs"
     trap 'rm -f "$seeded"' RETURN
-    printf 'pub fn seeded() { panic!("ci lint smoke"); }\n' > "$seeded"
+    printf 'pub fn submit() { seeded_helper(); }\nfn seeded_helper() { panic!("ci lint smoke"); }\n' > "$seeded"
     if cargo run --release -q -p mvp-lint --bin lint -- --fail-on=deny > /dev/null 2>&1; then
         echo "lint_smoke: gate passed with a seeded violation" >&2
         return 1
